@@ -1,0 +1,152 @@
+// Ablation bench: how much does each engine design choice buy?
+//
+// DESIGN.md calls out three choices worth isolating:
+//  1. static-equivalence pruning (§2's "statically equivalent [schedules]
+//     do not need to be evaluated", §6 future work) — on/off;
+//  2. the B-rule interpretation for H=Strict (DESIGN.md §5.2) —
+//     paper-literal vs lookahead;
+//  3. failure handling (DESIGN.md §5.3) — abort-branch vs skip-action.
+//
+// Workloads: the E2 jigsaw game and a commuting-heavy counter workload
+// where equivalence pruning shines.
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "core/reconciler.hpp"
+#include "objects/counter.hpp"
+
+using namespace icecube;
+using namespace icecube::jigsaw;
+using K = PlayerSpec::Kind;
+
+namespace {
+
+void jigsaw_rows() {
+  std::printf("--- jigsaw E2 game (U1-7 vs U2-12, 4x4) ---\n");
+  bench::print_header();
+  for (const bool prune : {false, true}) {
+    // Case 4's adjacency preferences create the safe (commuting) pairs the
+    // pruning exploits; Case 2 has none, so it is unaffected there.
+    const Problem p = make_problem(4, 4, Board::OrderCase::kAdjacency,
+                                   {{K::kU1, 7}, {K::kU2, 12}});
+    auto opts = bench::options(Heuristic::kAll, FailureMode::kAbortBranch);
+    opts.prune_equivalent = prune;
+    char name[96];
+    std::snprintf(name, sizeof name, "Case4 H=All, equivalence pruning %s",
+                  prune ? "ON " : "OFF");
+    bench::print_row(name, run_experiment(p, opts));
+  }
+  for (const BRule rule : {BRule::kPaperLiteral, BRule::kLookahead}) {
+    const Problem p = make_problem(4, 4, Board::OrderCase::kAdjacency,
+                                   {{K::kU1, 7}, {K::kU2, 12}});
+    auto opts = bench::options(Heuristic::kStrict, FailureMode::kAbortBranch);
+    opts.b_rule = rule;
+    char name[96];
+    std::snprintf(name, sizeof name, "Case4 H=Strict, B-rule %s",
+                  rule == BRule::kPaperLiteral ? "paper-literal" : "lookahead");
+    bench::print_row(name, run_experiment(p, opts));
+  }
+  for (const FailureMode fm :
+       {FailureMode::kAbortBranch, FailureMode::kSkipAction}) {
+    const Problem p = make_problem(4, 4, Board::OrderCase::kKeepLogOrder,
+                                   {{K::kU1, 7}, {K::kU2, 12}});
+    const auto opts = bench::options(Heuristic::kSafe, fm);
+    char name[96];
+    std::snprintf(name, sizeof name, "Case2 H=Safe, failures: %s",
+                  fm == FailureMode::kAbortBranch ? "abort-branch"
+                                                  : "skip-action");
+    bench::print_row(name, run_experiment(p, opts));
+  }
+  std::printf("\n");
+}
+
+void memoization_rows() {
+  // §6 failure memoization pays on multi-object universes, where the
+  // causal key of a doomed action repeats across interleavings of
+  // unrelated work.
+  std::printf(
+      "--- failure memoization: 5 counters, 1 doomed decrement ---\n"
+      "%-52s %12s %12s %14s\n",
+      "configuration", "schedules", "failures", "memoized");
+  for (const bool memoize : {false, true}) {
+    Universe u;
+    std::vector<ObjectId> counters;
+    for (int i = 0; i < 5; ++i) {
+      counters.push_back(u.add(std::make_unique<Counter>(0)));
+    }
+    std::vector<Log> logs;
+    Log busy("busy");
+    for (int i = 1; i < 5; ++i) {
+      busy.append(std::make_shared<IncrementAction>(counters[
+          static_cast<std::size_t>(i)], 1));
+    }
+    logs.push_back(std::move(busy));
+    Log doomed("doomed");
+    doomed.append(std::make_shared<DecrementAction>(counters[0], 9));
+    logs.push_back(std::move(doomed));
+
+    ReconcilerOptions opts;
+    opts.heuristic = Heuristic::kAll;
+    opts.memoize_failures = memoize;
+    opts.limits.max_schedules = 100000;
+    Reconciler r(u, logs, opts);
+    const auto result = r.run();
+    char name[96];
+    std::snprintf(name, sizeof name, "H=All, failure memoization %s",
+                  memoize ? "ON " : "OFF");
+    std::printf("%-52s %12llu %12llu %14llu\n", name,
+                static_cast<unsigned long long>(
+                    result.stats.schedules_explored()),
+                static_cast<unsigned long long>(
+                    result.stats.precondition_failures +
+                    result.stats.execution_failures),
+                static_cast<unsigned long long>(
+                    result.stats.memoized_failures));
+  }
+  std::printf("\n");
+}
+
+void counter_rows() {
+  std::printf(
+      "--- commuting-heavy workload: 8 one-increment logs, shared counter "
+      "---\n%-52s %12s %12s\n",
+      "configuration", "schedules", "time(s)");
+  for (const bool prune : {false, true}) {
+    Universe u;
+    const ObjectId c = u.add(std::make_unique<Counter>(0));
+    std::vector<Log> logs;
+    for (int i = 0; i < 8; ++i) {
+      Log log("r" + std::to_string(i));
+      log.append(std::make_shared<IncrementAction>(c, 1 << i));
+      logs.push_back(std::move(log));
+    }
+    ReconcilerOptions opts;
+    opts.heuristic = Heuristic::kAll;
+    opts.prune_equivalent = prune;
+    opts.limits.max_schedules = 100000;
+    Reconciler r(u, logs, opts);
+    const auto result = r.run();
+    char name[96];
+    std::snprintf(name, sizeof name, "8 commuting increments, pruning %s",
+                  prune ? "ON " : "OFF");
+    std::printf("%-52s %12llu %12.4f\n", name,
+                static_cast<unsigned long long>(
+                    result.stats.schedules_explored()),
+                result.stats.elapsed_seconds);
+  }
+  std::printf(
+      "\nAll 8! = 40,320 increment orders reach the same state; pruning\n"
+      "keeps one complete canonical representative (plus the short stuck\n"
+      "prefixes the adjacent-pair rule cannot avoid — still a ~300x cut).\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablations: engine design choices ===\n\n");
+  jigsaw_rows();
+  memoization_rows();
+  counter_rows();
+  return 0;
+}

@@ -1,0 +1,181 @@
+// Baseline comparison (B1, §1.1/§5): IceCube versus every reconciliation
+// strategy the paper positions itself against, on generated divergent
+// workloads.
+//
+//  - temporal merge (Bayou-style): fixed order, failures dropped;
+//  - greedy insertion (Phatak & Badrinath style): per-action optimal
+//    insertion point, no scheduling phase;
+//  - algebraic sync (Ramsey & Csirmaz style, file system only): canonical
+//    static order, conflicts excluded;
+//  - IceCube: constraint-guided search (Safe heuristic, drop-failed).
+//
+// Metric: actions applied out of the total logged (higher is better — every
+// dropped action is a user's work lost or a conflict escalated), plus each
+// strategy's cost proxy.
+#include <cstdio>
+
+#include "baseline/algebraic_sync.hpp"
+#include "baseline/greedy_insertion.hpp"
+#include "baseline/temporal_merge.hpp"
+#include "core/reconciler.hpp"
+#include "objects/file_system.hpp"
+#include "workload/generators.hpp"
+
+using namespace icecube;
+
+namespace {
+
+struct Tally {
+  std::size_t applied = 0;
+  std::size_t total = 0;
+  void add(std::size_t a, std::size_t t) {
+    applied += a;
+    total += t;
+  }
+  [[nodiscard]] double percent() const {
+    return total == 0 ? 100.0
+                      : 100.0 * static_cast<double>(applied) /
+                            static_cast<double>(total);
+  }
+};
+
+std::size_t total_actions(const std::vector<Log>& logs) {
+  std::size_t n = 0;
+  for (const auto& log : logs) n += log.size();
+  return n;
+}
+
+std::size_t icecube_applied(const Universe& initial,
+                            const std::vector<Log>& logs) {
+  ReconcilerOptions opts;
+  opts.heuristic = Heuristic::kSafe;
+  opts.failure_mode = FailureMode::kSkipAction;
+  opts.limits.max_schedules = 20000;
+  Reconciler r(initial, logs, opts);
+  const auto result = r.run();
+  return result.found_any() ? result.best().schedule.size() : 0;
+}
+
+Universe icecube_final(const Universe& initial, const std::vector<Log>& logs) {
+  ReconcilerOptions opts;
+  opts.heuristic = Heuristic::kSafe;
+  opts.failure_mode = FailureMode::kSkipAction;
+  opts.limits.max_schedules = 20000;
+  Reconciler r(initial, logs, opts);
+  const auto result = r.run();
+  return result.found_any() ? result.best().final_state : initial;
+}
+
+/// Counting "applied" actions flatters fixed orders: a write that executes
+/// and is then wiped by a concurrent delete counts as applied but the work
+/// is still lost. For file systems we therefore count *visible effects*:
+/// logged intentions that hold in the final tree.
+std::size_t fs_effects_preserved(const Universe& final_state,
+                                 const std::vector<Log>& logs) {
+  const auto& tree = final_state.as<FileSystem>(ObjectId(0));
+  std::size_t preserved = 0;
+  for (const Log& log : logs) {
+    for (const auto& action : log) {
+      const Tag& tag = action->tag();
+      if (tag.op == "mkdir") {
+        preserved += tree.is_dir(tag.str_param(0)) ? 1 : 0;
+      } else if (tag.op == "fswrite") {
+        preserved += tree.read(tag.str_param(0)) == tag.str_param(1) ? 1 : 0;
+      } else if (tag.op == "fsdelete") {
+        preserved += tree.exists(tag.str_param(0)) ? 0 : 1;
+      }
+    }
+  }
+  return preserved;
+}
+
+void counter_comparison() {
+  std::printf("--- tight shared budget: 3 replicas x 5 actions, 10 seeds ---\n");
+  Tally concat, rr, greedy, ice;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    workload::CounterSpec spec;
+    spec.seed = seed;
+    spec.initial_balance = 20;  // tight budget: ordering matters
+    spec.max_amount = 25;
+    const auto g = workload::counter_workload(spec);
+    const std::size_t total = total_actions(g.logs);
+
+    concat.add(temporal_merge(g.initial, g.logs, MergeOrder::kConcatenate)
+                   .applied,
+               total);
+    rr.add(temporal_merge(g.initial, g.logs, MergeOrder::kRoundRobin).applied,
+           total);
+    greedy.add(greedy_insertion_merge(g.initial, g.logs).schedule.size(),
+               total);
+    ice.add(icecube_applied(g.initial, g.logs), total);
+  }
+  std::printf("%-38s %8.1f%%\n", "temporal merge (concatenate)",
+              concat.percent());
+  std::printf("%-38s %8.1f%%\n", "temporal merge (round-robin)",
+              rr.percent());
+  std::printf("%-38s %8.1f%%\n", "greedy insertion", greedy.percent());
+  std::printf("%-38s %8.1f%%\n\n", "IceCube (Safe, drop-failed)",
+              ice.percent());
+}
+
+void fs_comparison() {
+  std::printf(
+      "--- divergent file trees: 2 replicas x 6 actions, 10 seeds ---\n"
+      "(metric: logged intentions visible in the final tree — a write that\n"
+      " executes but is wiped by a concurrent delete preserved nothing)\n");
+  Tally concat, rr, greedy, algebra, ice;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    workload::FsSpec spec;
+    spec.seed = seed;
+    const auto g = workload::fs_workload(spec);
+    const std::size_t total = total_actions(g.logs);
+
+    concat.add(
+        fs_effects_preserved(
+            temporal_merge(g.initial, g.logs, MergeOrder::kConcatenate)
+                .final_state,
+            g.logs),
+        total);
+    rr.add(fs_effects_preserved(
+               temporal_merge(g.initial, g.logs, MergeOrder::kRoundRobin)
+                   .final_state,
+               g.logs),
+           total);
+    greedy.add(
+        fs_effects_preserved(greedy_insertion_merge(g.initial, g.logs)
+                                 .final_state,
+                             g.logs),
+        total);
+    algebra.add(
+        fs_effects_preserved(
+            algebraic_fs_sync(g.initial, g.logs, ObjectId(0)).final_state,
+            g.logs),
+        total);
+    ice.add(fs_effects_preserved(icecube_final(g.initial, g.logs), g.logs),
+            total);
+  }
+  std::printf("%-38s %8.1f%%\n", "temporal merge (concatenate)",
+              concat.percent());
+  std::printf("%-38s %8.1f%%\n", "temporal merge (round-robin)",
+              rr.percent());
+  std::printf("%-38s %8.1f%%\n", "greedy insertion", greedy.percent());
+  std::printf("%-38s %8.1f%%\n", "algebraic sync (static canonical)",
+              algebra.percent());
+  std::printf("%-38s %8.1f%%\n\n", "IceCube (Safe, drop-failed)",
+              ice.percent());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Reconciler comparison: actions preserved ===\n\n");
+  counter_comparison();
+  fs_comparison();
+  std::printf(
+      "Shape: search-based reconciliation preserves at least as much work\n"
+      "as every fixed-order or static scheme, and strictly more whenever\n"
+      "ordering matters (budget-style invariants, cross-log dependencies).\n"
+      "The algebraic scheme is competitive only while its clean-log,\n"
+      "mostly-commutative assumptions hold.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Experiment E3 (§4.3): "In a game where the second player follows scenario
+// U3, we observe in Cases 3 and 4 occasional reorderings that provide
+// better solutions than in Case 2 (which disallows reorderings)."
+//
+// Sweep of 12 seeded U3 games (first player U1 with 7 pieces, second player
+// U3 with 12 actions, 4x4 board) under Cases 2, 3 and 4 with
+// drop-failed-actions semantics. A "win" is a seed where freeing removes
+// (Case 3) or preferring adjacent joins (Case 4) improves the correct-piece
+// count over Case 2.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace icecube;
+using namespace icecube::jigsaw;
+using K = PlayerSpec::Kind;
+
+int main() {
+  std::printf("=== E3: U1 vs U3, Cases 2-4, drop-failed-actions ===\n\n");
+  std::printf("%-8s %18s %18s %18s %s\n", "seed", "case2 corr(sched)",
+              "case3 corr(sched)", "case4 corr(sched)", "reorder wins?");
+
+  int wins = 0;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    int correct[5] = {};
+    unsigned long long schedules[5] = {};
+    for (int c = 2; c <= 4; ++c) {
+      const Problem p = make_problem(4, 4, static_cast<Board::OrderCase>(c),
+                                     {{K::kU1, 7}, {K::kU3, 12, seed}});
+      const auto r = run_experiment(
+          p, bench::options(Heuristic::kAll, FailureMode::kSkipAction,
+                            30000));
+      correct[c] = r.best.correct;
+      schedules[c] = r.stats.schedules_explored();
+    }
+    const bool win = correct[3] > correct[2] || correct[4] > correct[2];
+    wins += win ? 1 : 0;
+    std::printf("%-8llu %10d(%6llu) %10d(%6llu) %10d(%6llu) %s\n",
+                static_cast<unsigned long long>(seed), correct[2],
+                schedules[2], correct[3], schedules[3], correct[4],
+                schedules[4], win ? "YES" : "no");
+  }
+
+  std::printf(
+      "\n%d of 12 seeds show a reordering win — 'occasional', as the paper\n"
+      "puts it. Note the weaker policies' larger schedule counts: freeing\n"
+      "removes (Case 3) and adding adjacency preferences (Case 4) enlarge\n"
+      "the search space, foreshadowing E4's cap-outs on bigger games.\n",
+      wins);
+  return 0;
+}

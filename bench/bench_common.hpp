@@ -1,0 +1,36 @@
+// Shared helpers for the experiment benches.
+#pragma once
+
+#include <cstdio>
+
+#include "jigsaw/experiment.hpp"
+
+namespace bench {
+
+inline void print_header() {
+  std::printf("%-52s %8s %7s %7s %9s %10s %11s %9s %6s\n", "configuration",
+              "actions", "pieces", "correct", "complete", "schedules",
+              "sched2best", "time(s)", "cap?");
+}
+
+inline void print_row(const char* name,
+                      const icecube::jigsaw::ExperimentResult& r) {
+  std::printf("%-52s %8d %7d %7d %9s %10llu %11llu %9.3f %6s\n", name,
+              r.best.actions, r.best.pieces, r.best.correct,
+              r.best_complete ? "yes" : "no",
+              static_cast<unsigned long long>(r.stats.schedules_explored()),
+              static_cast<unsigned long long>(r.stats.schedules_to_best),
+              r.stats.elapsed_seconds, r.stats.hit_limit ? "HIT" : "-");
+}
+
+inline icecube::ReconcilerOptions options(icecube::Heuristic h,
+                                          icecube::FailureMode fm,
+                                          std::uint64_t cap = 100000) {
+  icecube::ReconcilerOptions opts;
+  opts.heuristic = h;
+  opts.failure_mode = fm;
+  opts.limits.max_schedules = cap;
+  return opts;
+}
+
+}  // namespace bench

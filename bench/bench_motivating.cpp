@@ -1,0 +1,97 @@
+// M1 and M2: the two motivating examples of §2, reconciled end to end, with
+// the fixed-order baseline (B1) alongside.
+//
+//  M1 (sys-admin): logs A = [upgrade OS v4->v5, buy tape drive 800, obtain
+//  1500 budget increase], B = [buy printer 400, install printer driver v4],
+//  budget initially 1000. The paper's solution: A3, B1, B2, A1, A2; other
+//  orders are statically equivalent. Fixed-order merges fail in both
+//  directions and interleaved.
+//
+//  M2 (calendar): appAB, appBC, freeC with the Monday-morning calendars of
+//  §2. The only successful ordering is freeC, appBC, appAB.
+#include <cstdio>
+
+#include "baseline/temporal_merge.hpp"
+#include "core/reconciler.hpp"
+#include "objects/calendar.hpp"
+#include "objects/sysadmin.hpp"
+
+using namespace icecube;
+
+namespace {
+
+void sysadmin_example() {
+  std::printf("--- M1: collaborative system administration ---\n");
+  SysAdminExample ex = make_sysadmin_example();
+
+  ReconcilerOptions opts;
+  opts.heuristic = Heuristic::kAll;
+  Reconciler r(ex.initial, ex.logs, opts);
+  std::printf("discovered cross-log dependency: B2 before A1: %s\n",
+              r.relations().depends(ActionId(4), ActionId(0)) ? "yes" : "no");
+  std::printf("discovered in-log independency: A3 may precede A2: %s\n",
+              !r.relations().depends(ActionId(1), ActionId(2)) ? "yes" : "no");
+
+  const auto result = r.run();
+  std::printf("IceCube: %llu complete schedules; best:\n",
+              static_cast<unsigned long long>(
+                  result.stats.schedules_completed));
+  std::printf("%s", r.describe_schedule(result.best().schedule).c_str());
+  std::printf("final state:\n%s",
+              result.best().final_state.describe().c_str());
+
+  const auto ab = temporal_merge(ex.initial, ex.logs, MergeOrder::kConcatenate);
+  std::vector<Log> reversed{ex.logs[1], ex.logs[0]};
+  const auto ba = temporal_merge(ex.initial, reversed, MergeOrder::kConcatenate);
+  const auto rr = temporal_merge(ex.initial, ex.logs, MergeOrder::kRoundRobin);
+  std::printf(
+      "baseline conflicts: A-then-B=%zu  B-then-A=%zu  interleaved=%zu "
+      "(IceCube: 0)\n\n",
+      ab.conflicts, ba.conflicts, rr.conflicts);
+}
+
+void calendar_example() {
+  std::printf("--- M2: off-line calendar appointments ---\n");
+  Universe u;
+  const ObjectId a = u.add(std::make_unique<Calendar>("A"));
+  const ObjectId b = u.add(std::make_unique<Calendar>("B"));
+  const ObjectId c = u.add(std::make_unique<Calendar>("C"));
+  u.as<Calendar>(b).book(11, "B-own");
+  u.as<Calendar>(c).book(9, "C-9");
+  u.as<Calendar>(c).book(10, "C-10");
+  u.as<Calendar>(c).book(11, "C-11");
+
+  std::vector<Log> logs;
+  Log la("A"), lb("B"), lc("C");
+  la.append(std::make_shared<RequestAppointmentAction>(a, b, 9, 11, "appAB"));
+  lb.append(std::make_shared<RequestAppointmentAction>(b, c, 9, 11, "appBC"));
+  lc.append(std::make_shared<CancelAppointmentAction>(c, 9));
+  logs = {std::move(la), std::move(lb), std::move(lc)};
+
+  ReconcilerOptions opts;
+  opts.heuristic = Heuristic::kAll;
+  Reconciler r(u, logs, opts);
+  const auto result = r.run();
+  std::printf("complete schedules found: %llu (expected: exactly 1)\n",
+              static_cast<unsigned long long>(
+                  result.stats.schedules_completed));
+  std::printf("the unique order:\n%s",
+              r.describe_schedule(result.best().schedule).c_str());
+  std::printf("final calendars:\n%s",
+              result.best().final_state.describe().c_str());
+
+  const auto fixed = temporal_merge(u, logs, MergeOrder::kConcatenate);
+  std::printf(
+      "baseline (logs in arrival order A,B,C): %zu rejected "
+      "appointment(s); IceCube: none\n\n",
+      fixed.conflicts);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Motivating examples (paper §2) ===\n\n");
+  sysadmin_example();
+  calendar_example();
+  return 0;
+}

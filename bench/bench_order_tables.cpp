@@ -1,0 +1,106 @@
+// Figures 2, 3, 4, 5, 7 and 8 — the order-method tables.
+//
+// Prints each figure's `order(a, b)` matrix exactly as the engine computes
+// it (rows: a, columns: b; the cell answers "may a be ordered before b?").
+// Cell values follow the prose of §2.4 / §4.2; see DESIGN.md §5.1 for how
+// the ambiguous scanned figures were resolved.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/universe.hpp"
+#include "jigsaw/actions.hpp"
+#include "jigsaw/board.hpp"
+#include "jigsaw/order.hpp"
+#include "objects/counter.hpp"
+#include "objects/rw_register.hpp"
+
+namespace {
+
+using icecube::Action;
+using icecube::Constraint;
+using icecube::LogRelation;
+
+void print_table(const std::string& title,
+                 const std::vector<std::string>& labels,
+                 const std::vector<std::shared_ptr<Action>>& actions,
+                 const icecube::SharedObject& object, LogRelation rel) {
+  std::printf("%s\n", title.c_str());
+  std::printf("%-26s", "order(a,b): a \\ b");
+  for (const auto& l : labels) std::printf("%-26s", l.c_str());
+  std::printf("\n");
+  for (std::size_t i = 0; i < actions.size(); ++i) {
+    std::printf("%-26s", labels[i].c_str());
+    for (std::size_t j = 0; j < actions.size(); ++j) {
+      const Constraint c = object.order(*actions[i], *actions[j], rel);
+      std::printf("%-26s", std::string(to_string(c)).c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+void register_tables() {
+  icecube::Universe u;
+  const auto reg = u.add(std::make_unique<icecube::RwRegister>(0));
+  const std::vector<std::shared_ptr<Action>> actions{
+      std::make_shared<icecube::WriteAction>(reg, 1),
+      std::make_shared<icecube::ReadAction>(reg)};
+  const std::vector<std::string> labels{"write", "read"};
+  print_table("Figure 2: read-write integer order(a,b), across logs", labels,
+              actions, u.at(reg), LogRelation::kAcrossLogs);
+  print_table("Figure 4: read-write integer order(a,b), within log", labels,
+              actions, u.at(reg), LogRelation::kSameLog);
+}
+
+void counter_tables() {
+  icecube::Universe u;
+  const auto c = u.add(std::make_unique<icecube::Counter>(0));
+  const std::vector<std::shared_ptr<Action>> actions{
+      std::make_shared<icecube::IncrementAction>(c, 1),
+      std::make_shared<icecube::DecrementAction>(c, 1)};
+  const std::vector<std::string> labels{"increment", "decrement"};
+  print_table("Figure 3: counter integer order(a,b), across logs", labels,
+              actions, u.at(c), LogRelation::kAcrossLogs);
+  print_table("Figure 5: counter integer order(a,b), within log", labels,
+              actions, u.at(c), LogRelation::kSameLog);
+}
+
+void jigsaw_tables() {
+  using namespace icecube::jigsaw;
+  icecube::Universe u;
+  const auto b =
+      u.add(std::make_unique<Board>(4, 4, Board::OrderCase::kSemantic));
+  // Representative pairs: joins sharing a piece-edge slot conflict; joins
+  // and removes of a common piece conflict; unrelated pieces are "maybe".
+  const std::vector<std::shared_ptr<Action>> actions{
+      std::make_shared<JoinAction>(b, 0, Edge::kRight, 1, Edge::kLeft),
+      std::make_shared<JoinAction>(b, 1, Edge::kRight, 2, Edge::kLeft),
+      std::make_shared<JoinAction>(b, 0, Edge::kRight, 5, Edge::kLeft),
+      std::make_shared<RemoveAction>(b, 1),
+      std::make_shared<RemoveAction>(b, 9)};
+  const std::vector<std::string> labels{
+      "join(P0,r,P1,l)", "join(P1,r,P2,l)", "join(P0,r,P5,l)", "remove(P1)",
+      "remove(P9)"};
+  print_table(
+      "Figure 7: jigsaw semantic order(a,b), same log (reversing direction)",
+      labels, actions, u.at(b), LogRelation::kSameLog);
+  print_table("Figure 8: jigsaw semantic order(a,b), across logs", labels,
+              actions, u.at(b), LogRelation::kAcrossLogs);
+  std::printf(
+      "Rules visible above: joins sharing the same edge of the same piece\n"
+      "(join(P0,r,P1,l) vs join(P0,r,P5,l)) are unsafe; a join and a remove\n"
+      "of a common piece are mutually unsafe (the paper's spurious-conflict\n"
+      "example, #4.4); everything else is maybe, i.e. checked dynamically.\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== IceCube order-method tables (Figures 2-5, 7-8) ===\n\n");
+  register_tables();
+  counter_tables();
+  jigsaw_tables();
+  return 0;
+}

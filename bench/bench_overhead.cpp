@@ -1,0 +1,113 @@
+// Experiment E5 (§4.3): the overhead of static constraints.
+//
+// Paper: "In the absence of static constraints, a simulation of 10,000
+// schedules is 0.781 s. In Case 2 the same number of schedules is simulated
+// in 2.294 s, three times longer. Simulation times are proportional to the
+// number of simulated schedules. For instance 100,000 simulations without
+// static constraints terminate in 7.7 s."
+//
+// Two parts:
+//  1. a proportionality table (time vs schedule count, both modes), printed
+//     directly;
+//  2. google-benchmark timings of the same runs for statistically robust
+//     per-schedule costs.
+//
+// Expect absolute times ~100x faster than 2001 hardware. Note our
+// architecture pays the constraint cost once up front (matrix + relations +
+// closure) rather than per schedule, so the per-schedule ratio is near 1x
+// rather than the paper's 3x; the table separates setup from search time to
+// make that visible.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "util/timer.hpp"
+
+using namespace icecube;
+using namespace icecube::jigsaw;
+using K = PlayerSpec::Kind;
+
+namespace {
+
+Problem game(bool constrained) {
+  // A workload whose unconstrained search is effectively unbounded: the
+  // 7+12 game of E2.
+  return make_problem(4, 4,
+                      constrained ? Board::OrderCase::kKeepLogOrder
+                                  : Board::OrderCase::kUnconstrained,
+                      {{K::kU1, 7}, {K::kU2, 12}});
+}
+
+ExperimentResult run_capped(const Problem& p, std::uint64_t cap) {
+  auto opts = bench::options(Heuristic::kAll, FailureMode::kAbortBranch, cap);
+  opts.record_partial_outcomes = false;  // measure raw search, not retention
+  return run_experiment(p, opts);
+}
+
+void proportionality_table() {
+  std::printf("%-34s %12s %12s %14s\n", "mode", "schedules", "time(s)",
+              "us/schedule");
+  for (const bool constrained : {false, true}) {
+    const Problem p = game(constrained);
+    for (const std::uint64_t cap : {10000u, 25000u, 50000u, 100000u}) {
+      const auto r = run_capped(p, cap);
+      const auto n = r.stats.schedules_explored();
+      char name[64];
+      std::snprintf(name, sizeof name, "%s cap=%llu",
+                    constrained ? "Case 2 static constraints"
+                                : "no static constraints",
+                    static_cast<unsigned long long>(cap));
+      std::printf("%-34s %12llu %12.4f %14.3f\n", name,
+                  static_cast<unsigned long long>(n),
+                  r.stats.elapsed_seconds,
+                  n ? 1e6 * r.stats.elapsed_seconds / static_cast<double>(n)
+                    : 0.0);
+    }
+  }
+}
+
+void search_10k(benchmark::State& state) {
+  const bool constrained = state.range(0) != 0;
+  const Problem p = game(constrained);
+  std::uint64_t schedules = 0;
+  for (auto _ : state) {
+    const auto r = run_capped(p, 10000);
+    schedules += r.stats.schedules_explored();
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["schedules/s"] = benchmark::Counter(
+      static_cast<double>(schedules), benchmark::Counter::kIsRate);
+}
+BENCHMARK(search_10k)->Arg(0)->Arg(1)->ArgNames({"static_constraints"})
+    ->Unit(benchmark::kMillisecond);
+
+void constraint_setup(benchmark::State& state) {
+  // The one-time cost our architecture pays instead of a per-schedule tax:
+  // constraint matrix + D/I relations + transitive closure + cutsets.
+  const Problem p = game(true);
+  JigsawPolicy policy(p.board_id);
+  for (auto _ : state) {
+    Reconciler r(p.initial, p.logs, {}, &policy);
+    benchmark::DoNotOptimize(r.relations());
+  }
+}
+BENCHMARK(constraint_setup)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("=== E5: overhead of static constraints ===\n\n");
+  proportionality_table();
+  std::printf(
+      "\nShape: time is proportional to the number of simulated schedules in\n"
+      "both modes (us/schedule roughly constant down each column), matching\n"
+      "the paper. The paper's 3x per-schedule constrained-vs-unconstrained\n"
+      "ratio does not reappear because this implementation evaluates the\n"
+      "constraint relation once up front (see constraint_setup below) and\n"
+      "consults bitsets during search.\n\n");
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,57 @@
+// The paper's second motivating example (§2): three users book appointments
+// off-line over the weekend; only one replay order satisfies everyone.
+//
+//   $ ./calendar
+//
+// A wants an hour with B as close to 9:00 as possible; B wants an hour with
+// C likewise; C cancels their 9:00 slot. IceCube finds the unique order
+// freeC, appBC, appAB and applies all updates "without generating any
+// rejected appointments".
+#include <cstdio>
+#include <memory>
+
+#include "baseline/temporal_merge.hpp"
+#include "core/reconciler.hpp"
+#include "objects/calendar.hpp"
+
+using namespace icecube;
+
+int main() {
+  // Friday evening: A free all Monday morning; B free at 9 and 10; C full.
+  Universe initial;
+  const ObjectId a = initial.add(std::make_unique<Calendar>("A"));
+  const ObjectId b = initial.add(std::make_unique<Calendar>("B"));
+  const ObjectId c = initial.add(std::make_unique<Calendar>("C"));
+  initial.as<Calendar>(b).book(11, "own-meeting");
+  initial.as<Calendar>(c).book(9, "standup");
+  initial.as<Calendar>(c).book(10, "review");
+  initial.as<Calendar>(c).book(11, "planning");
+  std::printf("Friday evening:\n%s\n", initial.describe().c_str());
+
+  // The weekend's isolated updates, one log per user.
+  Log log_a("A"), log_b("B"), log_c("C");
+  log_a.append(
+      std::make_shared<RequestAppointmentAction>(a, b, 9, 11, "appAB"));
+  log_b.append(
+      std::make_shared<RequestAppointmentAction>(b, c, 9, 11, "appBC"));
+  log_c.append(std::make_shared<CancelAppointmentAction>(c, 9));
+
+  ReconcilerOptions opts;
+  opts.heuristic = Heuristic::kAll;  // exhaustive: provably unique solution
+  Reconciler reconciler(initial, {log_a, log_b, log_c}, opts);
+  const ReconcileResult result = reconciler.run();
+
+  std::printf("complete orderings that satisfy everyone: %llu\n",
+              static_cast<unsigned long long>(
+                  result.stats.schedules_completed));
+  std::printf("%s", reconciler.describe_schedule(result.best().schedule).c_str());
+  std::printf("\nMonday morning after reconciliation:\n%s\n",
+              result.best().final_state.describe().c_str());
+
+  // Arrival-order replay (a Bayou-like committed order) rejects a request.
+  const auto fixed = temporal_merge(initial, {log_a, log_b, log_c},
+                                    MergeOrder::kConcatenate);
+  std::printf("arrival-order replay rejects %zu appointment(s)\n",
+              fixed.conflicts);
+  return 0;
+}

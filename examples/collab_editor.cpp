@@ -1,0 +1,55 @@
+// Collaborative text editing with operational transformation (§5): two
+// writers edit a shared document off-line; reconciliation remaps character
+// positions so both sets of edits land where their authors meant them.
+//
+//   $ ./collab_editor
+#include <cstdio>
+#include <memory>
+
+#include "objects/text.hpp"
+#include "replica/site.hpp"
+#include "replica/sync.hpp"
+
+using namespace icecube;
+
+int main() {
+  Universe initial;
+  (void)initial.add(
+      std::make_unique<TextBuffer>("The IceCube approach to reconciliation"));
+  const ObjectId doc{0};
+
+  Site alice("alice", initial), bob("bob", initial);
+  std::printf("base document: \"%s\"\n\n",
+              initial.as<TextBuffer>(doc).text().c_str());
+
+  // Alice works on the front of the sentence.
+  (void)alice.perform(std::make_shared<InsertTextAction>(doc, 1, 0, "PODC'01: "));
+  (void)alice.perform(std::make_shared<DeleteTextAction>(doc, 1, 13, 8));
+  // -> "PODC'01: The approach to reconciliation" in Alice's view
+  std::printf("alice sees:    \"%s\"\n",
+              alice.tentative().as<TextBuffer>(doc).text().c_str());
+
+  // Bob, concurrently, works on the tail — using the *original* positions.
+  (void)bob.perform(std::make_shared<InsertTextAction>(
+      doc, 2, 38, " of divergent replicas"));
+  (void)bob.perform(std::make_shared<InsertTextAction>(doc, 2, 3, "!"));
+  std::printf("bob sees:      \"%s\"\n\n",
+              bob.tentative().as<TextBuffer>(doc).text().c_str());
+
+  const SyncResult result = synchronise({&alice, &bob});
+  if (!result.adopted) {
+    std::printf("sync failed: %s\n", result.error.c_str());
+    return 1;
+  }
+  std::printf("merged:        \"%s\"\n",
+              alice.tentative().as<TextBuffer>(doc).text().c_str());
+  std::printf("converged: %s; schedules explored: %llu\n",
+              converged({&alice, &bob}) ? "yes" : "no",
+              static_cast<unsigned long long>(
+                  result.reconcile.stats.schedules_explored()));
+  std::printf(
+      "\nBob's insertions were remapped across Alice's concurrent edits —\n"
+      "the argument translation the paper calls Operational Transformation\n"
+      "('surprisingly complex', #5) — so neither author's intent was lost.\n");
+  return 0;
+}

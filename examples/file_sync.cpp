@@ -1,0 +1,76 @@
+// File synchronisation with semantics (§2.4 and the related-work
+// discussion): two users diverge on a shared tree; IceCube merges them,
+// surfacing — not silently losing — the write-under-deleted-directory
+// conflict. Also demonstrates log cleaning (§4.4).
+//
+//   $ ./file_sync
+#include <cstdio>
+#include <memory>
+
+#include "core/reconciler.hpp"
+#include "logclean/cleaner.hpp"
+#include "objects/file_system.hpp"
+
+using namespace icecube;
+
+int main() {
+  // The shared tree both laptops started from.
+  Universe initial;
+  const ObjectId fs = initial.add(std::make_unique<FileSystem>());
+  {
+    auto& t = initial.as<FileSystem>(fs);
+    (void)t.mkdir("/project");
+    (void)t.write("/project/notes.txt", "v1");
+    (void)t.mkdir("/scratch");
+  }
+
+  // Alice edits her notes twice (a dirty log: the first write is
+  // redundant), and drafts a report.
+  Log alice("alice");
+  alice.append(
+      std::make_shared<WriteFileAction>(fs, "/project/notes.txt", "v2"));
+  alice.append(
+      std::make_shared<WriteFileAction>(fs, "/project/notes.txt", "v3"));
+  alice.append(
+      std::make_shared<WriteFileAction>(fs, "/project/report.txt", "draft"));
+
+  // Bob cleans up: he deletes /scratch — and, concurrently with Alice,
+  // writes a file inside it.
+  Log bob("bob");
+  bob.append(std::make_shared<WriteFileAction>(fs, "/scratch/tmp.txt", "x"));
+  bob.append(std::make_shared<DeleteAction>(fs, "/scratch"));
+
+  // Carol writes into the directory Bob is deleting — the paper's
+  // write/delete example across logs.
+  Log carol("carol");
+  carol.append(
+      std::make_shared<WriteFileAction>(fs, "/scratch/keep.txt", "mine!"));
+
+  // Log cleaning first (§4.4): Alice's superseded write disappears.
+  const CleanReport cleaned = clean_fs_log(initial, alice);
+  std::printf("log cleaning: alice %zu -> %zu actions (%zu removed)\n\n",
+              alice.size(), cleaned.cleaned.size(), cleaned.removed);
+
+  ReconcilerOptions opts;
+  opts.heuristic = Heuristic::kAll;
+  opts.failure_mode = FailureMode::kSkipAction;
+  Reconciler reconciler(initial, {cleaned.cleaned, bob, carol}, opts);
+  const ReconcileResult result = reconciler.run();
+
+  const Outcome& best = result.best();
+  std::printf("schedule (%zu applied, %zu dropped):\n%s\n",
+              best.schedule.size(), best.skipped.size(),
+              reconciler.describe_schedule(best.schedule).c_str());
+  std::printf("merged tree:\n");
+  for (const auto& path : best.final_state.as<FileSystem>(fs).list()) {
+    std::printf("  %s\n", path.c_str());
+  }
+  std::printf(
+      "\nCarol's write into /scratch was dropped *visibly* (it is in the\n"
+      "skipped list), because the file system's order method forbids\n"
+      "ordering it before Bob's delete — the paper's 'contrary to\n"
+      "mathematical intuition' rule that avoids silent data loss.\n");
+  std::printf("dropped actions: %zu; conflicts surfaced to the user.\n",
+              best.skipped.size());
+  return 0;
+}

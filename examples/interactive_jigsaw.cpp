@@ -1,0 +1,60 @@
+// Interactive reconciliation (§2's pipeline / §4.3's "immediate interactive
+// feedback"): the search runs in slices; after every slice the incumbent
+// best board is shown, exactly as an interactive application would display
+// it while the sweep continues in the background.
+//
+//   $ ./interactive_jigsaw [slice_budget]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/incremental.hpp"
+#include "jigsaw/experiment.hpp"
+
+using namespace icecube;
+using namespace icecube::jigsaw;
+
+int main(int argc, char** argv) {
+  const std::uint64_t slice =
+      argc > 1 ? static_cast<std::uint64_t>(std::atoll(argv[1])) : 4000;
+
+  using K = PlayerSpec::Kind;
+  const Problem problem =
+      make_problem(4, 4, Board::OrderCase::kKeepLogOrder,
+                   {{K::kU1, 7}, {K::kU2, 12}});
+
+  ReconcilerOptions opts;
+  opts.heuristic = Heuristic::kAll;  // the paper's 38k-schedule sweep
+  JigsawPolicy policy(problem.board_id);
+  IncrementalReconciler reconciler(problem.initial, problem.logs, opts,
+                                   &policy);
+
+  std::printf("=== interactive jigsaw reconciliation (slice = %llu) ===\n\n",
+              static_cast<unsigned long long>(slice));
+  int slice_no = 0;
+  for (;;) {
+    const auto progress = reconciler.step(slice);
+    const auto& board =
+        reconciler.best().final_state.as<Board>(problem.board_id);
+    std::printf("slice %2d: %7llu schedules explored, incumbent %2d/%d "
+                "correct pieces%s\n",
+                ++slice_no,
+                static_cast<unsigned long long>(progress.schedules_explored),
+                board.correct_pieces(),
+                board.rows() * board.cols(),
+                progress.finished ? "  [search exhausted]" : "");
+    if (progress.finished) break;
+  }
+
+  const auto result = reconciler.take_result();
+  std::printf("\nfinal board:\n%s",
+              result.best()
+                  .final_state.as<Board>(problem.board_id)
+                  .render()
+                  .c_str());
+  std::printf(
+      "\nNote the incumbent was already optimal after the first slice —\n"
+      "the paper's observation that H=All finds the best solution 'after\n"
+      "two sequences' and only then sweeps the remaining tens of thousands\n"
+      "(interactive applications simply stop early).\n");
+  return 0;
+}

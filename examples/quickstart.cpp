@@ -1,0 +1,54 @@
+// Quickstart: reconcile two divergent replicas of a shared counter and
+// register in ~60 lines.
+//
+//   $ ./quickstart
+//
+// Walks through the whole public API: build a universe, record per-replica
+// logs, run the reconciler, inspect the best outcome.
+#include <cstdio>
+#include <memory>
+
+#include "core/reconciler.hpp"
+#include "objects/counter.hpp"
+#include "objects/rw_register.hpp"
+
+using namespace icecube;
+
+int main() {
+  // 1. The shared state both replicas started from: a budget of 100 and a
+  //    config register holding 7.
+  Universe initial;
+  const ObjectId budget = initial.add(std::make_unique<Counter>(100));
+  const ObjectId config = initial.add(std::make_unique<RwRegister>(7));
+
+  // 2. Each replica worked in isolation and recorded a log.
+  //    Alice spent 150 — valid for her only because she first noted the
+  //    boss's promised top-up of 100.
+  Log alice("alice");
+  alice.append(std::make_shared<IncrementAction>(budget, 100));
+  alice.append(std::make_shared<DecrementAction>(budget, 150));
+  //    Bob spent 40 and read the config (he saw 7; the read's precondition
+  //    records that expectation).
+  Log bob("bob");
+  bob.append(std::make_shared<DecrementAction>(budget, 40));
+  bob.append(std::make_shared<ReadAction>(config, 7));
+
+  // 3. Reconcile. The counter's order method (paper Figure 3) tells the
+  //    scheduler to try increments before decrements, so Alice's top-up
+  //    lands before either purchase and every action fits.
+  Reconciler reconciler(initial, {alice, bob});
+  const ReconcileResult result = reconciler.run();
+
+  const Outcome& best = result.best();
+  std::printf("complete: %s, %zu actions scheduled, %zu dropped\n",
+              best.complete ? "yes" : "no", best.schedule.size(),
+              best.skipped.size());
+  std::printf("schedule:\n%s",
+              reconciler.describe_schedule(best.schedule).c_str());
+  std::printf("reconciled state:\n%s", best.final_state.describe().c_str());
+  std::printf("search: %llu schedules explored in %.4fs\n",
+              static_cast<unsigned long long>(
+                  result.stats.schedules_explored()),
+              result.stats.elapsed_seconds);
+  return 0;
+}

@@ -1,0 +1,48 @@
+// The paper's first motivating example (§2) as a runnable walkthrough: two
+// administrators collaboratively manage an OS and an expense budget.
+//
+//   $ ./sysadmin
+//
+// Shows how IceCube discovers a cross-log dependency (install the v4
+// printer driver before the OS upgrade) and an in-log independency (the
+// budget increase may move ahead of the purchases), then finds a
+// conflict-free schedule where every fixed-order replay fails.
+#include <cstdio>
+
+#include "baseline/temporal_merge.hpp"
+#include "core/reconciler.hpp"
+#include "objects/sysadmin.hpp"
+
+using namespace icecube;
+
+int main() {
+  SysAdminExample ex = make_sysadmin_example();
+  std::printf("initial state:\n%s\n", ex.initial.describe().c_str());
+  std::printf("log A: upgrade OS v4->v5; buy tape drive 800; fund 1500\n");
+  std::printf("log B: buy printer 400; install printer driver (v4)\n\n");
+
+  // What the static analysis sees before any simulation.
+  Reconciler reconciler(ex.initial, ex.logs);
+  const auto& rel = reconciler.relations();
+  std::printf("static analysis:\n");
+  std::printf("  B2 (install driver) must precede A1 (upgrade): %s\n",
+              rel.depends(ActionId(4), ActionId(0)) ? "yes" : "no");
+  std::printf("  A3 (funding) free to move before A2 (tape purchase): %s\n",
+              !rel.depends(ActionId(1), ActionId(2)) ? "yes" : "no");
+
+  const ReconcileResult result = reconciler.run();
+  std::printf("\nIceCube's schedule (%s):\n%s",
+              result.best().complete ? "complete" : "partial",
+              reconciler.describe_schedule(result.best().schedule).c_str());
+  std::printf("reconciled state:\n%s\n",
+              result.best().final_state.describe().c_str());
+
+  // Every predetermined order conflicts somewhere.
+  const auto ab = temporal_merge(ex.initial, ex.logs, MergeOrder::kConcatenate);
+  std::vector<Log> ba_logs{ex.logs[1], ex.logs[0]};
+  const auto ba = temporal_merge(ex.initial, ba_logs, MergeOrder::kConcatenate);
+  std::printf("fixed-order baselines: A++B drops %zu action(s), "
+              "B++A drops %zu action(s)\n",
+              ab.conflicts, ba.conflicts);
+  return 0;
+}

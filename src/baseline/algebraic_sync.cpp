@@ -1,0 +1,158 @@
+#include "baseline/algebraic_sync.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+#include "objects/file_system.hpp"
+
+namespace icecube {
+
+namespace {
+
+enum class OpKind : std::uint8_t { kMkdir, kWrite, kDelete };
+
+struct Op {
+  OpKind kind;
+  std::string path;
+  std::string content;  // writes only
+  ActionId id;
+  LogId log;
+  bool excluded = false;
+  bool duplicate = false;
+};
+
+OpKind kind_of(const Tag& tag) {
+  if (tag.op == "mkdir") return OpKind::kMkdir;
+  if (tag.op == "fswrite") return OpKind::kWrite;
+  assert(tag.op == "fsdelete" && "algebraic sync handles fs actions only");
+  return OpKind::kDelete;
+}
+
+std::size_t depth(const std::string& path) {
+  return static_cast<std::size_t>(
+      std::count(path.begin(), path.end(), '/'));
+}
+
+bool related(const Op& a, const Op& b) {
+  return fspath::covers(a.path, b.path) || fspath::covers(b.path, a.path);
+}
+
+/// Do two concurrent operations on *related* paths conflict statically?
+bool conflicts(const Op& a, const Op& b) {
+  if (a.path == b.path) {
+    if (a.kind != b.kind) return true;  // e.g. write vs delete of one path
+    switch (a.kind) {
+      case OpKind::kMkdir:
+        return false;  // identical creations are idempotent
+      case OpKind::kDelete:
+        return false;  // both want it gone
+      case OpKind::kWrite:
+        return a.content != b.content;  // divergent contents conflict
+    }
+  }
+  // Ancestor-related, distinct paths: a delete of the ancestor conflicts
+  // with concurrent work at or below it; creations chain harmlessly
+  // (parents first), and a delete of a descendant composes with anything
+  // above it.
+  const Op& up = fspath::covers(a.path, b.path) ? a : b;
+  const Op& down = (&up == &a) ? b : a;
+  if (up.kind == OpKind::kDelete) {
+    return down.kind == OpKind::kMkdir || down.kind == OpKind::kWrite;
+  }
+  return false;
+}
+
+}  // namespace
+
+AlgebraicSyncReport algebraic_fs_sync(const Universe& initial,
+                                      const std::vector<Log>& logs,
+                                      ObjectId fs) {
+  AlgebraicSyncReport report;
+  const std::vector<ActionRecord> records = flatten(logs);
+
+  std::vector<Op> ops;
+  ops.reserve(records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const Tag& tag = records[i].action->tag();
+    Op op;
+    op.kind = kind_of(tag);
+    op.path = tag.str_param(0);
+    if (op.kind == OpKind::kWrite) op.content = tag.str_param(1);
+    op.id = ActionId(i);
+    op.log = records[i].log;
+    ops.push_back(std::move(op));
+  }
+
+  // Clean-log assumption: "no more than one operation affecting a given
+  // object" per log. (Creating a directory and then a child inside it is
+  // fine — that is the ancestor dependency the canonical order handles.)
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    for (std::size_t j = i + 1; j < ops.size(); ++j) {
+      if (ops[i].log == ops[j].log && ops[i].path == ops[j].path) {
+        report.clean = false;
+      }
+    }
+  }
+
+  // Cross-log analysis: duplicates collapse (idempotence), conflicts
+  // exclude both members.
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    for (std::size_t j = i + 1; j < ops.size(); ++j) {
+      if (ops[i].log == ops[j].log) continue;
+      if (!related(ops[i], ops[j])) continue;
+      if (conflicts(ops[i], ops[j])) {
+        report.conflicts.emplace_back(ops[i].id, ops[j].id);
+        ops[i].excluded = true;
+        ops[j].excluded = true;
+      } else if (ops[i].path == ops[j].path && ops[i].kind == ops[j].kind &&
+                 ops[i].content == ops[j].content) {
+        if (!ops[j].duplicate && !ops[i].duplicate) {
+          ops[j].duplicate = true;
+          report.duplicates.push_back(ops[j].id);
+        }
+      }
+    }
+  }
+
+  // Canonical order: creations parents-first, then writes, then deletions
+  // children-first; ties broken lexicographically (arbitrary but
+  // consistent).
+  std::vector<const Op*> schedule;
+  for (const Op& op : ops) {
+    if (!op.excluded && !op.duplicate) schedule.push_back(&op);
+  }
+  std::sort(schedule.begin(), schedule.end(), [](const Op* a, const Op* b) {
+    if (a->kind != b->kind) return a->kind < b->kind;
+    if (a->kind == OpKind::kDelete) {
+      if (depth(a->path) != depth(b->path)) {
+        return depth(a->path) > depth(b->path);
+      }
+    } else if (depth(a->path) != depth(b->path)) {
+      return depth(a->path) < depth(b->path);
+    }
+    if (a->path != b->path) return a->path < b->path;
+    return a->id < b->id;
+  });
+
+  report.final_state = initial;
+  for (const Op* op : schedule) {
+    auto& tree = report.final_state.as<FileSystem>(fs);
+    bool ok = false;
+    switch (op->kind) {
+      case OpKind::kMkdir:
+        ok = tree.mkdir(op->path) || tree.is_dir(op->path);
+        break;
+      case OpKind::kWrite:
+        ok = tree.write(op->path, op->content);
+        break;
+      case OpKind::kDelete:
+        ok = tree.remove(op->path) || !tree.exists(op->path);
+        break;
+    }
+    if (ok) report.applied.push_back(op->id);
+  }
+  return report;
+}
+
+}  // namespace icecube

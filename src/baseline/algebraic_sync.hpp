@@ -1,0 +1,51 @@
+// Algebraic file synchronisation — the Ramsey & Csirmaz baseline of §5.
+//
+// "Operations on files are carefully crafted to make them almost entirely
+// independent and idempotent. The only dependencies are between an object
+// (file or directory) and the existence of its ancestor directories. A log
+// is assumed clean ... This allows them to define a canonical ordering
+// between operations such that reconciliation has a unique, static
+// solution: non-commutative operations appear in their natural order, and
+// commutative operations are ordered arbitrarily but consistently."
+//
+// This module reproduces that scheme on the FileSystem substrate:
+//  - static conflict detection over tag pairs (same path with different
+//    effects; a delete against concurrent work below it);
+//  - deduplication of identical concurrent operations (idempotence);
+//  - the canonical order: directory creations parents-first, then writes,
+//    then deletions children-first — no search, a unique static solution.
+//
+// Its limits are exactly what motivates IceCube: no dynamic stage, no
+// reordering search, conflicts simply excluded.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "core/log.hpp"
+#include "core/universe.hpp"
+#include "util/ids.hpp"
+
+namespace icecube {
+
+/// Result of one algebraic synchronisation.
+struct AlgebraicSyncReport {
+  Universe final_state;
+  /// Flattened ids applied, in canonical order (after dedup/exclusion).
+  std::vector<ActionId> applied;
+  /// Cross-log statically-conflicting pairs; both members are excluded.
+  std::vector<std::pair<ActionId, ActionId>> conflicts;
+  /// Ids dropped as duplicates of an applied operation (idempotence).
+  std::vector<ActionId> duplicates;
+  /// False if some log violates the clean-log assumption (two operations on
+  /// related paths in one log); the merge still proceeds best-effort.
+  bool clean = true;
+};
+
+/// Synchronises file-system logs algebraically. All actions must target the
+/// FileSystem object `fs` and be mkdir/fswrite/fsdelete actions.
+[[nodiscard]] AlgebraicSyncReport algebraic_fs_sync(
+    const Universe& initial, const std::vector<Log>& logs, ObjectId fs);
+
+}  // namespace icecube

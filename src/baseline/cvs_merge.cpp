@@ -1,0 +1,49 @@
+#include "baseline/cvs_merge.hpp"
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "objects/line_file.hpp"
+
+namespace icecube {
+
+CvsMergeReport cvs_merge(const Universe& initial, const std::vector<Log>& logs,
+                         ObjectId file) {
+  CvsMergeReport report;
+  report.final_state = initial;
+  auto& merged = report.final_state.as<LineFile>(file);
+
+  // Final intended content per line, per session (a session's later edit of
+  // a line supersedes its earlier one — CVS ships working-copy state).
+  std::map<std::size_t, std::vector<std::string>> intents;
+  for (const Log& log : logs) {
+    std::map<std::size_t, std::string> session_final;
+    for (const auto& action : log) {
+      const Tag& tag = action->tag();
+      session_final[static_cast<std::size_t>(tag.param(0))] =
+          tag.str_param(1);  // the replacement text
+    }
+    for (auto& [line, text] : session_final) {
+      intents[line].push_back(text);
+    }
+  }
+
+  for (const auto& [line, texts] : intents) {
+    std::optional<std::string> agreed = texts.front();
+    for (const auto& text : texts) {
+      if (text != *agreed) {
+        agreed.reset();
+        break;
+      }
+    }
+    if (agreed && merged.set_line(line, *agreed)) {
+      ++report.applied;
+    } else {
+      report.conflicts.push_back(line);  // divergent or out of range
+    }
+  }
+  return report;
+}
+
+}  // namespace icecube

@@ -1,0 +1,32 @@
+// Three-way line merge — the CVS baseline of §1.1.
+//
+// Classic diff3 over `SetLineAction` logs: for each line, collect every
+// session's final intended content; lines touched by one session adopt its
+// text, lines touched by several sessions with the same final text merge
+// silently, and divergent final texts are conflicts (the line keeps its
+// base content and is reported). No ordering search, no preconditions —
+// the whole merge is a static function of the per-line last writes.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/log.hpp"
+#include "core/universe.hpp"
+#include "util/ids.hpp"
+
+namespace icecube {
+
+struct CvsMergeReport {
+  Universe final_state;
+  std::size_t applied = 0;              ///< line updates adopted
+  std::vector<std::size_t> conflicts;   ///< line numbers left unresolved
+};
+
+/// Merges `SetLineAction` logs against the `LineFile` at `file` in
+/// `initial`.
+[[nodiscard]] CvsMergeReport cvs_merge(const Universe& initial,
+                                       const std::vector<Log>& logs,
+                                       ObjectId file);
+
+}  // namespace icecube

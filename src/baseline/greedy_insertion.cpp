@@ -1,0 +1,78 @@
+#include "baseline/greedy_insertion.hpp"
+
+#include <optional>
+
+namespace icecube {
+
+namespace {
+
+/// Replays `schedule` from `initial`; returns the final state if every
+/// action succeeds, nullopt otherwise.
+std::optional<Universe> replay(const Universe& initial,
+                               const std::vector<ActionRecord>& records,
+                               const std::vector<ActionId>& schedule) {
+  Universe state = initial;
+  for (ActionId id : schedule) {
+    const Action& action = *records[id.index()].action;
+    if (!action.precondition(state)) return std::nullopt;
+    if (!action.execute(state)) return std::nullopt;
+  }
+  return state;
+}
+
+}  // namespace
+
+GreedyReport greedy_insertion_merge(const Universe& initial,
+                                    const std::vector<Log>& logs) {
+  GreedyReport report;
+  const std::vector<ActionRecord> records = flatten(logs);
+
+  // Primary schedule: log 0 as recorded. Its actions always replay (a log
+  // is correct), but verify anyway and drop stragglers defensively.
+  std::size_t primary_size = logs.empty() ? 0 : logs[0].size();
+  std::vector<ActionId> schedule;
+  for (std::size_t i = 0; i < primary_size; ++i) {
+    schedule.push_back(ActionId(i));
+  }
+  ++report.replays;
+  if (!replay(initial, records, schedule)) {
+    schedule.clear();  // degenerate input; rebuild action by action
+    for (std::size_t i = 0; i < primary_size; ++i) {
+      schedule.push_back(ActionId(i));
+      ++report.replays;
+      if (!replay(initial, records, schedule)) {
+        schedule.pop_back();
+        ++report.dropped;
+      }
+    }
+  }
+
+  // Insert every further action at the first position that keeps the whole
+  // schedule replayable.
+  std::size_t offset = primary_size;
+  for (std::size_t li = 1; li < logs.size(); ++li) {
+    for (std::size_t p = 0; p < logs[li].size(); ++p) {
+      const ActionId incoming(offset + p);
+      bool placed = false;
+      for (std::size_t pos = 0; pos <= schedule.size() && !placed; ++pos) {
+        std::vector<ActionId> candidate = schedule;
+        candidate.insert(candidate.begin() + static_cast<std::ptrdiff_t>(pos),
+                         incoming);
+        ++report.replays;
+        if (replay(initial, records, candidate)) {
+          schedule = std::move(candidate);
+          placed = true;
+        }
+      }
+      if (!placed) ++report.dropped;
+    }
+    offset += logs[li].size();
+  }
+
+  auto final_state = replay(initial, records, schedule);
+  report.final_state = final_state ? std::move(*final_state) : initial;
+  report.schedule = std::move(schedule);
+  return report;
+}
+
+}  // namespace icecube

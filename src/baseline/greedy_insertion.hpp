@@ -1,0 +1,42 @@
+// Greedy incremental insertion — the Phatak & Badrinath-style baseline
+// discussed in §5.
+//
+// "They present an incremental algorithm ... for incorporating disconnected
+// transactions into a schedule. It inserts each such transaction into the
+// schedule at an optimal position ... One key difference is that their
+// preconditions are based purely on read-sets and write-sets ... Another is
+// that they assume transactions are independent ... Finally, [their]
+// algorithm lacks a scheduling phase, which we found essential to fight
+// combinatorial explosion."
+//
+// This module reproduces the *shape* of that algorithm on IceCube's action
+// model: start from the primary log's schedule and insert each further
+// action, one at a time and in log order, at the first position where the
+// whole schedule still replays; drop it if no position works. No search, no
+// static constraints — each insertion is O(n) replays.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/log.hpp"
+#include "core/universe.hpp"
+
+namespace icecube {
+
+/// Result of a greedy-insertion merge.
+struct GreedyReport {
+  Universe final_state;
+  /// Flattened action ids (log-major, as in `flatten`) in schedule order.
+  std::vector<ActionId> schedule;
+  std::size_t dropped = 0;  ///< actions with no working insertion point
+  std::size_t replays = 0;  ///< full-schedule replays performed (cost proxy)
+};
+
+/// Merges `logs` into one schedule by greedy insertion, starting from
+/// `logs[0]` as the primary. Returns the final state of the best-effort
+/// schedule.
+[[nodiscard]] GreedyReport greedy_insertion_merge(const Universe& initial,
+                                                  const std::vector<Log>& logs);
+
+}  // namespace icecube

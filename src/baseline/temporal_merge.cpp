@@ -1,0 +1,65 @@
+#include "baseline/temporal_merge.hpp"
+
+#include <algorithm>
+
+namespace icecube {
+
+MergeReport temporal_merge(const Universe& initial,
+                           const std::vector<Log>& logs, MergeOrder order) {
+  // Build the attempted order over flattened ids (log-major flattening, as
+  // in `flatten`).
+  std::vector<std::size_t> offsets;
+  std::size_t total = 0;
+  for (const auto& log : logs) {
+    offsets.push_back(total);
+    total += log.size();
+  }
+
+  MergeReport report;
+  report.attempted.reserve(total);
+  switch (order) {
+    case MergeOrder::kConcatenate:
+      for (std::size_t li = 0; li < logs.size(); ++li) {
+        for (std::size_t p = 0; p < logs[li].size(); ++p) {
+          report.attempted.push_back(ActionId(offsets[li] + p));
+        }
+      }
+      break;
+    case MergeOrder::kRoundRobin: {
+      std::size_t longest = 0;
+      for (const auto& log : logs) longest = std::max(longest, log.size());
+      for (std::size_t p = 0; p < longest; ++p) {
+        for (std::size_t li = 0; li < logs.size(); ++li) {
+          if (p < logs[li].size()) {
+            report.attempted.push_back(ActionId(offsets[li] + p));
+          }
+        }
+      }
+      break;
+    }
+  }
+
+  const std::vector<ActionRecord> records = flatten(logs);
+  report.final_state = initial;
+  for (ActionId id : report.attempted) {
+    const Action& action = *records[id.index()].action;
+    bool ok = false;
+    if (action.precondition(report.final_state)) {
+      // Execute against a shadow copy so a failed operation cannot leave a
+      // half-applied state behind (same discipline as the simulator).
+      Universe shadow = report.final_state;
+      if (action.execute(shadow)) {
+        report.final_state = std::move(shadow);
+        ok = true;
+      }
+    }
+    if (ok) {
+      ++report.applied;
+    } else {
+      ++report.conflicts;
+    }
+  }
+  return report;
+}
+
+}  // namespace icecube

@@ -1,0 +1,43 @@
+// Predetermined-order log merge — the baseline IceCube argues against
+// (§1.1, §5).
+//
+// Systems like Bayou replay actions in a fixed order (e.g. tentative
+// timestamp order), checking each action's dependency check (precondition)
+// and invoking conflict resolution when it fails. This module reproduces
+// that behaviour: it merges logs in a predetermined order and drops (counts)
+// every action whose precondition or execution fails, with no search for a
+// better ordering.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/log.hpp"
+#include "core/universe.hpp"
+
+namespace icecube {
+
+/// How the baseline interleaves the input logs.
+enum class MergeOrder : std::uint8_t {
+  kConcatenate,  ///< log 0 in full, then log 1, ...
+  kRoundRobin    ///< position 0 of every log, then position 1, ... (a proxy
+                 ///< for timestamp order under similar activity rates)
+};
+
+/// Result of one predetermined-order merge.
+struct MergeReport {
+  Universe final_state;
+  std::size_t applied = 0;    ///< actions executed successfully
+  std::size_t conflicts = 0;  ///< actions dropped (precondition/execution
+                              ///< failure — Bayou would call mergeproc)
+  /// Flattened-action ids in attempted order (successful and failed).
+  std::vector<ActionId> attempted;
+};
+
+/// Replays all logs against `initial` in the given predetermined order.
+[[nodiscard]] MergeReport temporal_merge(const Universe& initial,
+                                         const std::vector<Log>& logs,
+                                         MergeOrder order);
+
+}  // namespace icecube

@@ -1,0 +1,226 @@
+#include "cli/cli.hpp"
+
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <sstream>
+
+#include "core/graphviz.hpp"
+#include "core/reconciler.hpp"
+#include "objects/counter.hpp"
+#include "objects/file_system.hpp"
+#include "objects/sysadmin.hpp"
+#include "serialize/log_codec.hpp"
+#include "serialize/universe_codec.hpp"
+
+namespace icecube::cli {
+
+namespace {
+
+std::optional<std::string> read_file(const std::string& path,
+                                     std::ostream& err) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    err << "error: cannot open '" << path << "'\n";
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+bool write_file(const std::string& path, const std::string& content,
+                std::ostream& err) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    err << "error: cannot write '" << path << "'\n";
+    return false;
+  }
+  out << content;
+  return true;
+}
+
+int usage(std::ostream& err) {
+  err << "usage:\n"
+         "  icecube demo <bank|sysadmin|files>\n"
+         "  icecube reconcile <universe> <log>... [--heuristic "
+         "all|safe|strict]\n"
+         "           [--skip-failed] [--max-schedules N] [--save FILE] "
+         "[--dot]\n"
+         "  icecube show <universe-file|log-file>\n";
+  return 2;
+}
+
+int cmd_demo(const std::vector<std::string>& args, std::ostream& out,
+             std::ostream& err) {
+  if (args.size() != 1) return usage(err);
+  Universe universe;
+  if (args[0] == "bank") {
+    (void)universe.add(std::make_unique<Counter>(100));
+  } else if (args[0] == "sysadmin") {
+    universe = make_sysadmin_example().initial;
+  } else if (args[0] == "files") {
+    auto fs = std::make_unique<FileSystem>();
+    (void)fs->mkdir("/shared");
+    (void)fs->write("/shared/readme", "hello");
+    (void)universe.add(std::move(fs));
+  } else {
+    err << "error: unknown demo '" << args[0] << "'\n";
+    return 2;
+  }
+  const auto encoded =
+      encode_universe(universe, ObjectRegistry::with_builtins());
+  out << *encoded;
+  return 0;
+}
+
+int cmd_show(const std::vector<std::string>& args, std::ostream& out,
+             std::ostream& err) {
+  if (args.size() != 1) return usage(err);
+  const auto text = read_file(args[0], err);
+  if (!text) return 1;
+
+  if (text->starts_with("icecube-universe")) {
+    const auto decoded =
+        decode_universe(*text, ObjectRegistry::with_builtins());
+    if (!decoded.ok()) {
+      err << "error: " << decoded.error << '\n';
+      return 1;
+    }
+    out << decoded.universe->describe();
+    return 0;
+  }
+  if (text->starts_with("icecube-log")) {
+    const auto decoded = decode_log(*text, ActionRegistry::with_builtins());
+    if (!decoded.ok()) {
+      err << "error: " << decoded.error << '\n';
+      return 1;
+    }
+    out << "log '" << decoded.log->name() << "', " << decoded.log->size()
+        << " action(s):\n";
+    for (const auto& action : *decoded.log) {
+      out << "  " << action->describe() << '\n';
+    }
+    return 0;
+  }
+  err << "error: '" << args[0] << "' is neither a universe nor a log file\n";
+  return 1;
+}
+
+int cmd_reconcile(const std::vector<std::string>& args, std::ostream& out,
+                  std::ostream& err) {
+  std::vector<std::string> files;
+  ReconcilerOptions options;
+  std::string save_path;
+  bool dot = false;
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--heuristic") {
+      if (++i >= args.size()) return usage(err);
+      if (args[i] == "all") {
+        options.heuristic = Heuristic::kAll;
+      } else if (args[i] == "safe") {
+        options.heuristic = Heuristic::kSafe;
+      } else if (args[i] == "strict") {
+        options.heuristic = Heuristic::kStrict;
+      } else {
+        err << "error: unknown heuristic '" << args[i] << "'\n";
+        return 2;
+      }
+    } else if (arg == "--skip-failed") {
+      options.failure_mode = FailureMode::kSkipAction;
+    } else if (arg == "--max-schedules") {
+      if (++i >= args.size()) return usage(err);
+      options.limits.max_schedules = std::stoull(args[i]);
+    } else if (arg == "--save") {
+      if (++i >= args.size()) return usage(err);
+      save_path = args[i];
+    } else if (arg == "--dot") {
+      dot = true;
+    } else if (arg.starts_with("--")) {
+      err << "error: unknown option '" << arg << "'\n";
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.size() < 2) return usage(err);
+
+  const auto universe_text = read_file(files[0], err);
+  if (!universe_text) return 1;
+  const auto universe =
+      decode_universe(*universe_text, ObjectRegistry::with_builtins());
+  if (!universe.ok()) {
+    err << "error: " << files[0] << ": " << universe.error << '\n';
+    return 1;
+  }
+
+  std::vector<Log> logs;
+  const ActionRegistry actions = ActionRegistry::with_builtins();
+  for (std::size_t i = 1; i < files.size(); ++i) {
+    const auto log_text = read_file(files[i], err);
+    if (!log_text) return 1;
+    auto decoded = decode_log(*log_text, actions);
+    if (!decoded.ok()) {
+      err << "error: " << files[i] << ": " << decoded.error << '\n';
+      return 1;
+    }
+    logs.push_back(std::move(*decoded.log));
+  }
+
+  Reconciler reconciler(*universe.universe, std::move(logs), options);
+  if (dot) {
+    out << to_dot(reconciler.records(), reconciler.relations());
+    return 0;
+  }
+
+  const ReconcileResult result = reconciler.run();
+  if (!result.found_any()) {
+    err << "no outcome found (limits too tight or every branch pruned)\n";
+    return 1;
+  }
+  const Outcome& best = result.best();
+  out << "schedule (" << (best.complete ? "complete" : "partial") << ", "
+      << best.schedule.size() << " executed, " << best.skipped.size()
+      << " dropped, " << best.cutset.size() << " cut):\n"
+      << reconciler.describe_schedule(best.schedule);
+  out << "final state:\n" << best.final_state.describe();
+  out << "search: " << result.stats.schedules_explored()
+      << " schedules explored in " << result.stats.elapsed_seconds << "s"
+      << (result.stats.hit_limit ? " (limit hit)" : "") << '\n';
+
+  if (!save_path.empty()) {
+    const auto encoded = encode_universe(best.final_state,
+                                         ObjectRegistry::with_builtins());
+    if (!encoded) {
+      err << "error: merged universe contains unserialisable objects\n";
+      return 1;
+    }
+    if (!write_file(save_path, *encoded, err)) return 1;
+    out << "merged universe written to " << save_path << '\n';
+  }
+  return 0;
+}
+
+}  // namespace
+
+int run(const std::vector<std::string>& args, std::ostream& out,
+        std::ostream& err) {
+  if (args.empty()) return usage(err);
+  const std::string& command = args[0];
+  const std::vector<std::string> rest(args.begin() + 1, args.end());
+  try {
+    if (command == "demo") return cmd_demo(rest, out, err);
+    if (command == "show") return cmd_show(rest, out, err);
+    if (command == "reconcile") return cmd_reconcile(rest, out, err);
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << '\n';
+    return 1;
+  }
+  err << "error: unknown command '" << command << "'\n";
+  return usage(err);
+}
+
+}  // namespace icecube::cli

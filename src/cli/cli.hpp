@@ -1,0 +1,34 @@
+// The `icecube` command-line tool, as a testable library.
+//
+// Subcommands:
+//
+//   icecube demo <bank|sysadmin|files>
+//       Print a serialised demo universe to stdout.
+//   icecube reconcile <universe-file> <log-file>... [options]
+//       Reconcile the logs against the universe; print the chosen schedule,
+//       statistics and final state. Options:
+//         --heuristic all|safe|strict     (default safe)
+//         --skip-failed                   drop failing actions (default:
+//                                         abort the branch)
+//         --max-schedules N               search cap (default 100000)
+//         --save <file>                   write the merged universe
+//         --dot                           print the relations graph instead
+//                                         of searching
+//   icecube show <universe-file|log-file>
+//       Pretty-print a serialised universe or log.
+//
+// The entry point takes explicit streams so tests can drive it without a
+// process boundary; `tools/icecube_tool.cpp` wires it to main().
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace icecube::cli {
+
+/// Runs the tool. Returns the process exit code (0 on success).
+int run(const std::vector<std::string>& args, std::ostream& out,
+        std::ostream& err);
+
+}  // namespace icecube::cli

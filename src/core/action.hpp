@@ -1,0 +1,68 @@
+// Actions — the unit recorded in logs (§2.2).
+//
+// An action names its target objects, carries a side-effect-free
+// precondition and an operation whose boolean result is its post-condition,
+// plus a tag used for static constraint evaluation. Pre- and post-conditions
+// are the *dynamic* constraints of the model.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/tag.hpp"
+#include "core/universe.hpp"
+#include "util/ids.hpp"
+
+namespace icecube {
+
+/// Abstract action. Concrete actions are immutable once logged; `execute`
+/// mutates the universe it is given (typically a shadow copy), never the
+/// action itself. Actions are deterministic: replaying a schedule against
+/// the same initial state yields the same final state (§2, footnote 2).
+class Action {
+ public:
+  Action() = default;
+  Action(const Action&) = default;
+  Action& operator=(const Action&) = default;
+  Action(Action&&) = default;
+  Action& operator=(Action&&) = default;
+  virtual ~Action() = default;
+
+  /// The shared object(s) this action reads or writes.
+  [[nodiscard]] virtual std::vector<ObjectId> targets() const = 0;
+
+  /// Dynamic constraint checked before execution; must not mutate `u`.
+  [[nodiscard]] virtual bool precondition(const Universe& u) const = 0;
+
+  /// Performs the operation on `u`. The return value is the post-condition:
+  /// `false` signals an execution failure (a dynamic conflict).
+  virtual bool execute(Universe& u) const = 0;
+
+  /// Static metadata consumed by `SharedObject::order`.
+  [[nodiscard]] virtual const Tag& tag() const = 0;
+
+  [[nodiscard]] virtual std::string describe() const {
+    return tag().describe();
+  }
+};
+
+using ActionPtr = std::shared_ptr<const Action>;
+
+/// Convenience base for the common case of a fixed tag and target list.
+class SimpleAction : public Action {
+ public:
+  SimpleAction(Tag tag, std::vector<ObjectId> targets)
+      : tag_(std::move(tag)), targets_(std::move(targets)) {}
+
+  [[nodiscard]] std::vector<ObjectId> targets() const override {
+    return targets_;
+  }
+  [[nodiscard]] const Tag& tag() const override { return tag_; }
+
+ private:
+  Tag tag_;
+  std::vector<ObjectId> targets_;
+};
+
+}  // namespace icecube

@@ -1,0 +1,40 @@
+// The three-valued static constraint relation of IceCube (§2.3).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace icecube {
+
+/// Value of the static constraint `constraint(a, b)`: may action `a` be
+/// ordered before action `b` in a reconciled schedule?
+///
+///  - `kSafe`:   allowed, and known (or highly likely) not to cause a
+///               dynamic failure when `b` immediately follows `a`.
+///  - `kMaybe`:  possible, modulo dynamic conflicts found in simulation.
+///  - `kUnsafe`: disallowed; any schedule containing both must put `b`
+///               before `a`.
+enum class Constraint : std::uint8_t { kSafe = 0, kMaybe = 1, kUnsafe = 2 };
+
+/// Returns the more constraining of two values (unsafe > maybe > safe).
+/// Used when an action pair shares several target objects (§2.4: "the system
+/// calls each of their order in turn and returns the most constraining
+/// value").
+[[nodiscard]] constexpr Constraint most_constraining(Constraint a,
+                                                     Constraint b) {
+  return a >= b ? a : b;
+}
+
+[[nodiscard]] constexpr std::string_view to_string(Constraint c) {
+  switch (c) {
+    case Constraint::kSafe:
+      return "safe";
+    case Constraint::kMaybe:
+      return "maybe";
+    case Constraint::kUnsafe:
+      return "unsafe";
+  }
+  return "?";
+}
+
+}  // namespace icecube

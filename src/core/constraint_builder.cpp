@@ -1,0 +1,87 @@
+#include "core/constraint_builder.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace icecube {
+
+namespace {
+
+/// Common targets of two actions (both vectors are tiny; quadratic scan).
+std::vector<ObjectId> common_targets(const Action& a, const Action& b) {
+  std::vector<ObjectId> out;
+  const auto ta = a.targets();
+  const auto tb = b.targets();
+  for (ObjectId x : ta) {
+    if (std::find(tb.begin(), tb.end(), x) != tb.end() &&
+        std::find(out.begin(), out.end(), x) == out.end()) {
+      out.push_back(x);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Constraint evaluate_constraint(const Universe& universe, const ActionRecord& a,
+                               const ActionRecord& b) {
+  const auto shared = common_targets(*a.action, *b.action);
+  // Rule 1: disjoint targets ⇒ independent and commutative.
+  if (shared.empty()) return Constraint::kSafe;
+  // Rule 2: the recorded order of a log is safe by default (user intent).
+  if (a.before_in_log(b)) return Constraint::kSafe;
+  // Rule 3: ask each common target's order method; keep the most
+  // constraining answer.
+  const LogRelation rel =
+      a.same_log(b) ? LogRelation::kSameLog : LogRelation::kAcrossLogs;
+  Constraint result = Constraint::kSafe;
+  for (ObjectId target : shared) {
+    result = most_constraining(
+        result, universe.at(target).order(*a.action, *b.action, rel));
+    if (result == Constraint::kUnsafe) break;  // cannot get worse
+  }
+  return result;
+}
+
+ConstraintMatrix build_constraints(const Universe& universe,
+                                   const std::vector<ActionRecord>& records) {
+  ConstraintMatrix matrix(records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    for (std::size_t j = 0; j < records.size(); ++j) {
+      if (i == j) continue;  // diagonal is meaningless; left safe
+      matrix.set(ActionId(i), ActionId(j),
+                 evaluate_constraint(universe, records[i], records[j]));
+    }
+  }
+  return matrix;
+}
+
+std::string render_matrix(const ConstraintMatrix& matrix,
+                          const std::vector<std::string>& labels) {
+  std::size_t width = 6;  // at least "unsafe"
+  for (const auto& l : labels) width = std::max(width, l.size());
+  width += 2;
+
+  std::ostringstream os;
+  os << std::left << std::setw(static_cast<int>(width)) << "a \\ b";
+  for (const auto& l : labels) {
+    os << std::setw(static_cast<int>(width)) << l;
+  }
+  os << '\n';
+  for (std::size_t i = 0; i < matrix.size(); ++i) {
+    os << std::setw(static_cast<int>(width)) << labels[i];
+    for (std::size_t j = 0; j < matrix.size(); ++j) {
+      if (i == j) {
+        os << std::setw(static_cast<int>(width)) << "-";
+      } else {
+        os << std::setw(static_cast<int>(width))
+           << to_string(matrix.at(ActionId(i), ActionId(j)));
+      }
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace icecube

@@ -1,0 +1,64 @@
+// Pairwise static-constraint matrix (§2.3).
+//
+// The scheduler compares every pair of actions, across logs and within each
+// log, and records `constraint(a, b)` — whether `a` may precede `b`. The
+// relation is built from three sources: log order, target identity, and the
+// per-object `order` method.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/constraint.hpp"
+#include "core/log.hpp"
+#include "core/universe.hpp"
+#include "util/ids.hpp"
+
+namespace icecube {
+
+/// Dense N×N matrix of `Constraint` values over a flattened action set.
+class ConstraintMatrix {
+ public:
+  ConstraintMatrix() = default;
+  explicit ConstraintMatrix(std::size_t n)
+      : n_(n), cells_(n * n, Constraint::kSafe) {}
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+  [[nodiscard]] Constraint at(ActionId a, ActionId b) const {
+    return cells_[a.index() * n_ + b.index()];
+  }
+  void set(ActionId a, ActionId b, Constraint c) {
+    cells_[a.index() * n_ + b.index()] = c;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<Constraint> cells_;
+};
+
+/// Computes `constraint(a, b)` for one pair of action records, per the
+/// summary rules of §2.3:
+///
+///   constraint(a,b) = safe                      if targets(a) ∩ targets(b) = ∅
+///                   = safe                      if a before b in the same log
+///                   = most-constraining over common targets of
+///                     target.order(a, b, rel)   otherwise
+///
+/// `universe` supplies the order methods; constraint evaluation never touches
+/// mutable object state.
+[[nodiscard]] Constraint evaluate_constraint(const Universe& universe,
+                                             const ActionRecord& a,
+                                             const ActionRecord& b);
+
+/// Builds the full matrix over `records`.
+[[nodiscard]] ConstraintMatrix build_constraints(
+    const Universe& universe, const std::vector<ActionRecord>& records);
+
+/// Renders the matrix as an aligned text table (used by the figure benches
+/// and handy in test failures).
+[[nodiscard]] std::string render_matrix(
+    const ConstraintMatrix& matrix, const std::vector<std::string>& labels);
+
+}  // namespace icecube

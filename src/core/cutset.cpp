@@ -1,0 +1,106 @@
+#include "core/cutset.hpp"
+
+#include <algorithm>
+
+namespace icecube {
+
+namespace {
+
+/// True iff `a` is a superset of any member of `sets` other than itself.
+bool dominated(const Bitset& a, const std::vector<Bitset>& sets) {
+  for (const auto& s : sets) {
+    if (&s != &a && s.subset_of(a) && s != a) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+CutsetAnalysis minimal_hitting_sets(const std::vector<Cycle>& cycles,
+                                    std::size_t n, std::size_t max_cutsets) {
+  CutsetAnalysis analysis;
+  if (cycles.empty()) {
+    analysis.cutsets.push_back(Cutset{});
+    return analysis;
+  }
+
+  // Berge's incremental transversal computation: fold cycles in one at a
+  // time, keeping the family of minimal partial transversals.
+  std::vector<Bitset> cycle_sets;
+  cycle_sets.reserve(cycles.size());
+  for (const auto& cycle : cycles) {
+    Bitset bs(n);
+    for (ActionId v : cycle) bs.set(v.index());
+    cycle_sets.push_back(std::move(bs));
+  }
+  // Processing larger cycles last keeps intermediate families smaller.
+  std::sort(cycle_sets.begin(), cycle_sets.end(),
+            [](const Bitset& a, const Bitset& b) { return a.count() < b.count(); });
+
+  std::vector<Bitset> transversals{Bitset(n)};  // start from the empty set
+  for (const auto& cycle : cycle_sets) {
+    std::vector<Bitset> next;
+    for (const auto& t : transversals) {
+      if (!t.disjoint(cycle)) {
+        next.push_back(t);  // already hits this cycle
+        continue;
+      }
+      cycle.for_each([&](std::size_t v) {
+        Bitset extended = t;
+        extended.set(v);
+        next.push_back(std::move(extended));
+      });
+    }
+    // Keep only minimal members (deduplicated). Domination is decided
+    // against the intact `next` family before anything is moved out of it.
+    std::vector<std::size_t> keep;
+    for (std::size_t i = 0; i < next.size(); ++i) {
+      if (dominated(next[i], next)) continue;
+      bool duplicate = false;
+      for (std::size_t j : keep) duplicate = duplicate || next[j] == next[i];
+      if (!duplicate) keep.push_back(i);
+    }
+    std::vector<Bitset> minimal;
+    minimal.reserve(keep.size());
+    for (std::size_t i : keep) minimal.push_back(std::move(next[i]));
+    transversals = std::move(minimal);
+    if (transversals.size() > max_cutsets * 4) {
+      // Soft cap on the intermediate family: keep the smallest sets, which
+      // are the most useful cutsets (they drop the fewest actions).
+      std::sort(transversals.begin(), transversals.end(),
+                [](const Bitset& a, const Bitset& b) {
+                  return a.count() < b.count();
+                });
+      transversals.resize(max_cutsets * 4);
+      analysis.truncated = true;
+    }
+  }
+
+  for (const auto& t : transversals) {
+    Cutset cs;
+    t.for_each([&cs](std::size_t v) { cs.actions.push_back(ActionId(v)); });
+    analysis.cutsets.push_back(std::move(cs));
+  }
+  std::sort(analysis.cutsets.begin(), analysis.cutsets.end(),
+            [](const Cutset& a, const Cutset& b) {
+              if (a.size() != b.size()) return a.size() < b.size();
+              return a.actions < b.actions;
+            });
+  if (analysis.cutsets.size() > max_cutsets) {
+    analysis.cutsets.resize(max_cutsets);
+    analysis.truncated = true;
+  }
+  return analysis;
+}
+
+CutsetAnalysis find_proper_cutsets(const Relations& relations,
+                                   std::size_t max_cycles,
+                                   std::size_t max_cutsets) {
+  const CycleAnalysis cycles = find_cycles(relations, max_cycles);
+  CutsetAnalysis analysis =
+      minimal_hitting_sets(cycles.cycles, relations.size(), max_cutsets);
+  analysis.truncated = analysis.truncated || cycles.truncated;
+  return analysis;
+}
+
+}  // namespace icecube

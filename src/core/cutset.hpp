@@ -1,0 +1,53 @@
+// Proper cutset enumeration (§3.2).
+//
+// A *cutset* S ⊆ A is a set of actions whose removal (with their D edges)
+// leaves no cycle in D. A *proper* cutset has no proper subset that is also
+// a cutset — i.e. it is a minimal feedback vertex set restricted to the
+// vertices that actually appear on cycles.
+//
+// Because every cycle must lose at least one vertex, cutsets are exactly the
+// hitting sets of the family of elementary cycles, and proper cutsets are
+// its minimal hitting sets. We enumerate those with a bounded
+// branch-and-prune transversal computation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/cycles.hpp"
+#include "util/bitset.hpp"
+#include "util/ids.hpp"
+
+namespace icecube {
+
+/// A proper cutset: actions excluded from scheduling for one sub-problem.
+struct Cutset {
+  std::vector<ActionId> actions;  // ascending ActionId order
+
+  [[nodiscard]] bool empty() const { return actions.empty(); }
+  [[nodiscard]] std::size_t size() const { return actions.size(); }
+  friend bool operator==(const Cutset&, const Cutset&) = default;
+};
+
+struct CutsetAnalysis {
+  std::vector<Cutset> cutsets;  ///< sorted by size, then lexicographically
+  bool truncated = false;       ///< a cap (cycles or cutsets) was hit
+};
+
+/// Enumerates all proper cutsets of the raw D edges in `relations`.
+///
+/// When D is acyclic this returns exactly one empty cutset, so callers can
+/// uniformly iterate "one search per cutset". Results are capped at
+/// `max_cutsets` (and the underlying cycle enumeration at `max_cycles`);
+/// truncation is reported.
+[[nodiscard]] CutsetAnalysis find_proper_cutsets(const Relations& relations,
+                                                 std::size_t max_cycles = 10000,
+                                                 std::size_t max_cutsets = 256);
+
+/// Lower-level entry point: minimal hitting sets of an explicit cycle family
+/// over a universe of `n` vertices. Exposed for direct testing.
+[[nodiscard]] CutsetAnalysis minimal_hitting_sets(
+    const std::vector<Cycle>& cycles, std::size_t n,
+    std::size_t max_cutsets = 256);
+
+}  // namespace icecube

@@ -1,0 +1,195 @@
+#include "core/cycles.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace icecube {
+
+namespace {
+
+/// Iterative Tarjan SCC. Kept iterative so pathological graphs cannot blow
+/// the call stack.
+class TarjanScc {
+ public:
+  explicit TarjanScc(const Relations& rel) : rel_(rel), n_(rel.size()) {
+    index_.assign(n_, kUnvisited);
+    lowlink_.assign(n_, 0);
+    on_stack_.assign(n_, false);
+  }
+
+  std::vector<std::vector<ActionId>> run() {
+    for (std::size_t v = 0; v < n_; ++v) {
+      if (index_[v] == kUnvisited) visit(v);
+    }
+    return std::move(components_);
+  }
+
+ private:
+  static constexpr std::size_t kUnvisited = static_cast<std::size_t>(-1);
+
+  struct Frame {
+    std::size_t vertex;
+    std::vector<std::size_t> successors;
+    std::size_t next = 0;
+  };
+
+  void visit(std::size_t root) {
+    std::vector<Frame> frames;
+    push_vertex(root, frames);
+
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      if (f.next < f.successors.size()) {
+        const std::size_t w = f.successors[f.next++];
+        if (index_[w] == kUnvisited) {
+          push_vertex(w, frames);
+        } else if (on_stack_[w]) {
+          lowlink_[f.vertex] = std::min(lowlink_[f.vertex], index_[w]);
+        }
+      } else {
+        if (lowlink_[f.vertex] == index_[f.vertex]) {
+          std::vector<ActionId> component;
+          std::size_t w;
+          do {
+            w = stack_.back();
+            stack_.pop_back();
+            on_stack_[w] = false;
+            component.push_back(ActionId(w));
+          } while (w != f.vertex);
+          components_.push_back(std::move(component));
+        }
+        const std::size_t v = f.vertex;
+        frames.pop_back();
+        if (!frames.empty()) {
+          lowlink_[frames.back().vertex] =
+              std::min(lowlink_[frames.back().vertex], lowlink_[v]);
+        }
+      }
+    }
+  }
+
+  void push_vertex(std::size_t v, std::vector<Frame>& frames) {
+    index_[v] = lowlink_[v] = counter_++;
+    stack_.push_back(v);
+    on_stack_[v] = true;
+    std::vector<std::size_t> succ;
+    rel_.raw_successors(ActionId(v)).for_each([&succ, v](std::size_t w) {
+      if (w != v) succ.push_back(w);
+    });
+    frames.push_back(Frame{v, std::move(succ), 0});
+  }
+
+  const Relations& rel_;
+  std::size_t n_;
+  std::size_t counter_ = 0;
+  std::vector<std::size_t> index_, lowlink_, stack_;
+  std::vector<bool> on_stack_;
+  std::vector<std::vector<ActionId>> components_;
+};
+
+/// Johnson's elementary-circuit search within one SCC, with a result cap.
+class JohnsonCycles {
+ public:
+  JohnsonCycles(const Relations& rel, const std::vector<ActionId>& component,
+                std::size_t max_cycles, std::vector<Cycle>& out,
+                bool& truncated)
+      : rel_(rel), max_cycles_(max_cycles), out_(out), truncated_(truncated) {
+    members_ = Bitset(rel.size());
+    for (ActionId v : component) members_.set(v.index());
+    blocked_.assign(rel.size(), false);
+    block_map_.assign(rel.size(), {});
+  }
+
+  void run() {
+    // Iterate start vertices in ascending order; restrict each search to
+    // vertices >= start to avoid duplicates (Johnson's trick).
+    std::vector<std::size_t> vertices = members_.to_vector();
+    for (std::size_t s : vertices) {
+      if (out_.size() >= max_cycles_) {
+        truncated_ = true;
+        return;
+      }
+      start_ = s;
+      for (std::size_t v : vertices) {
+        blocked_[v] = false;
+        block_map_[v].clear();
+      }
+      circuit(s);
+    }
+  }
+
+ private:
+  bool circuit(std::size_t v) {
+    if (out_.size() >= max_cycles_) {
+      truncated_ = true;
+      return true;
+    }
+    bool found = false;
+    path_.push_back(v);
+    blocked_[v] = true;
+    rel_.raw_successors(ActionId(v)).for_each([&](std::size_t w) {
+      if (truncated_ || w < start_ || !members_.test(w) || w == v) return;
+      if (w == start_) {
+        Cycle cycle;
+        cycle.reserve(path_.size());
+        for (std::size_t u : path_) cycle.push_back(ActionId(u));
+        out_.push_back(std::move(cycle));
+        found = true;
+      } else if (!blocked_[w]) {
+        if (circuit(w)) found = true;
+      }
+    });
+    if (found) {
+      unblock(v);
+    } else {
+      rel_.raw_successors(ActionId(v)).for_each([&](std::size_t w) {
+        if (w < start_ || !members_.test(w) || w == v) return;
+        auto& lst = block_map_[w];
+        if (std::find(lst.begin(), lst.end(), v) == lst.end())
+          lst.push_back(v);
+      });
+    }
+    path_.pop_back();
+    return found;
+  }
+
+  void unblock(std::size_t v) {
+    blocked_[v] = false;
+    auto pending = std::move(block_map_[v]);
+    block_map_[v].clear();
+    for (std::size_t w : pending) {
+      if (blocked_[w]) unblock(w);
+    }
+  }
+
+  const Relations& rel_;
+  std::size_t max_cycles_;
+  std::vector<Cycle>& out_;
+  bool& truncated_;
+  Bitset members_;
+  std::size_t start_ = 0;
+  std::vector<std::size_t> path_;
+  std::vector<bool> blocked_;
+  std::vector<std::vector<std::size_t>> block_map_;
+};
+
+}  // namespace
+
+std::vector<std::vector<ActionId>> strongly_connected_components(
+    const Relations& relations) {
+  return TarjanScc(relations).run();
+}
+
+CycleAnalysis find_cycles(const Relations& relations, std::size_t max_cycles) {
+  CycleAnalysis analysis;
+  for (const auto& component : strongly_connected_components(relations)) {
+    if (component.size() < 2) continue;  // no elementary cycle of length >= 2
+    JohnsonCycles(relations, component, max_cycles, analysis.cycles,
+                  analysis.truncated)
+        .run();
+    if (analysis.truncated) break;
+  }
+  return analysis;
+}
+
+}  // namespace icecube

@@ -1,0 +1,39 @@
+// Elementary-cycle enumeration over the raw dependence graph (§3.2).
+//
+// A schedule cannot satisfy D and contain all actions of a D-cycle, so the
+// first step of the scheduler is to find the cycles. We enumerate the
+// elementary cycles (Johnson's algorithm, restricted to one strongly
+// connected component at a time) with an explicit cap — reaching the cap is
+// reported, never silent.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/relations.hpp"
+#include "util/bitset.hpp"
+#include "util/ids.hpp"
+
+namespace icecube {
+
+/// One elementary cycle, as the ordered vertex list [c1, c2, ..., ck] with
+/// edges c1→c2→...→ck→c1.
+using Cycle = std::vector<ActionId>;
+
+struct CycleAnalysis {
+  std::vector<Cycle> cycles;
+  bool truncated = false;  ///< true iff `max_cycles` was reached
+};
+
+/// Enumerates elementary cycles of the raw D edges in `relations`.
+/// Self-loops (aDa beyond the formal reflexivity) are ignored: they carry no
+/// ordering information.
+[[nodiscard]] CycleAnalysis find_cycles(const Relations& relations,
+                                        std::size_t max_cycles = 10000);
+
+/// Strongly connected components (Tarjan). Returns one vertex list per SCC;
+/// used by the cycle finder and directly testable.
+[[nodiscard]] std::vector<std::vector<ActionId>> strongly_connected_components(
+    const Relations& relations);
+
+}  // namespace icecube

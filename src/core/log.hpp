@@ -1,0 +1,87 @@
+// Action logs (§2.1).
+//
+// A log is the ordered record of one replica's isolated execution. It is
+// tentative but *correct*: it was successfully performed against the local
+// universe and reflects the user's intent. Within a log the recorded order
+// is `safe` by default; the engine may still discover that some of it can be
+// relaxed (via the same-log order method).
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/action.hpp"
+#include "util/ids.hpp"
+
+namespace icecube {
+
+/// An ordered sequence of actions recorded at one site.
+class Log {
+ public:
+  Log() = default;
+  explicit Log(std::string name) : name_(std::move(name)) {}
+
+  void append(ActionPtr action) {
+    assert(action != nullptr);
+    actions_.push_back(std::move(action));
+  }
+
+  [[nodiscard]] std::size_t size() const { return actions_.size(); }
+  [[nodiscard]] bool empty() const { return actions_.empty(); }
+
+  [[nodiscard]] const Action& at(std::size_t i) const {
+    assert(i < actions_.size());
+    return *actions_[i];
+  }
+  [[nodiscard]] const ActionPtr& ptr(std::size_t i) const {
+    assert(i < actions_.size());
+    return actions_[i];
+  }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  [[nodiscard]] auto begin() const { return actions_.begin(); }
+  [[nodiscard]] auto end() const { return actions_.end(); }
+
+ private:
+  std::string name_;
+  std::vector<ActionPtr> actions_;
+};
+
+/// Provenance of an action inside a reconciliation problem: which log it came
+/// from and at which position. The engine flattens all input logs into a
+/// dense `ActionId` space and keeps this record per action.
+struct ActionRecord {
+  ActionPtr action;
+  LogId log;
+  std::size_t position = 0;  // index within the originating log
+
+  [[nodiscard]] bool same_log(const ActionRecord& other) const {
+    return log == other.log;
+  }
+  /// True iff this action appears before `other` within the same log.
+  [[nodiscard]] bool before_in_log(const ActionRecord& other) const {
+    return log == other.log && position < other.position;
+  }
+};
+
+/// Flattens `logs` into one vector of records; ids are assigned log by log,
+/// preserving in-log order (so `ActionId` order within one log equals log
+/// order — handy for tests, never relied upon by the engine).
+[[nodiscard]] inline std::vector<ActionRecord> flatten(
+    const std::vector<Log>& logs) {
+  std::vector<ActionRecord> records;
+  std::size_t total = 0;
+  for (const auto& log : logs) total += log.size();
+  records.reserve(total);
+  for (std::size_t li = 0; li < logs.size(); ++li) {
+    for (std::size_t pos = 0; pos < logs[li].size(); ++pos) {
+      records.push_back(ActionRecord{logs[li].ptr(pos), LogId(li), pos});
+    }
+  }
+  return records;
+}
+
+}  // namespace icecube

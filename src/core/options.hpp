@@ -1,0 +1,113 @@
+// Engine configuration: heuristics, failure handling, limits.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace icecube {
+
+/// The scheduling heuristic H (§3.3). Controls how the independence
+/// relation I narrows the successor candidates of a prefix.
+enum class Heuristic : std::uint8_t {
+  kAll,    ///< try every D-consistent successor; I is ignored
+  kSafe,   ///< try only I-successors of the last action when any exist
+  kStrict  ///< try exactly one I-successor when any exists, else S − B
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Heuristic h) {
+  switch (h) {
+    case Heuristic::kAll:
+      return "All";
+    case Heuristic::kSafe:
+      return "Safe";
+    case Heuristic::kStrict:
+      return "Strict";
+  }
+  return "?";
+}
+
+/// What to do when an action's precondition or execution fails during
+/// simulation.
+///
+/// `kAbortBranch` is the letter of §3.4: the branch below the failing action
+/// is abandoned (sibling candidates are still explored). `kSkipAction` drops
+/// the failing action from the remainder of the subtree and continues — the
+/// behaviour of the later IceCube systems, required to reach "complete"
+/// schedules when some actions are inherently doomed (see DESIGN.md §5.3).
+enum class FailureMode : std::uint8_t { kAbortBranch, kSkipAction };
+
+[[nodiscard]] constexpr std::string_view to_string(FailureMode m) {
+  switch (m) {
+    case FailureMode::kAbortBranch:
+      return "AbortBranch";
+    case FailureMode::kSkipAction:
+      return "SkipAction";
+  }
+  return "?";
+}
+
+/// Interpretation of the B set in H=Strict with C=∅ (see DESIGN.md §5.2).
+enum class BRule : std::uint8_t {
+  kPaperLiteral,  ///< B = {b ∈ S : ∃c ∈ C, c I b} — vacuous when C = ∅
+  kLookahead      ///< B = {b ∈ S : ∃c ∈ S \ {b}, c I b}
+};
+
+/// Hard bounds on the search. The paper caps runs at 100,000 simulations;
+/// we additionally support wall-clock and step budgets.
+struct SearchLimits {
+  /// Maximum number of schedules *explored* (terminal nodes: completed or
+  /// dead-ended), mirroring the paper's simulation cap.
+  std::uint64_t max_schedules = 100000;
+  /// Maximum individual action simulations (precondition+execute attempts).
+  std::uint64_t max_steps = UINT64_MAX;
+  /// Wall-clock budget in seconds; <= 0 disables.
+  double max_seconds = 0.0;
+};
+
+/// Top-level reconciler configuration.
+struct ReconcilerOptions {
+  Heuristic heuristic = Heuristic::kSafe;
+  FailureMode failure_mode = FailureMode::kAbortBranch;
+  BRule b_rule = BRule::kLookahead;
+  SearchLimits limits;
+
+  /// How many best outcomes to retain (ranked by the policy cost).
+  std::size_t keep_outcomes = 8;
+  /// Record dead-end prefixes as (partial) outcomes, not just complete
+  /// schedules. The selection stage ranks both; §4.3's "solutions equivalent
+  /// to log 1 alone" are such partial outcomes.
+  bool record_partial_outcomes = true;
+  /// Stop the whole search as soon as the first complete schedule is found.
+  bool stop_at_first_complete = false;
+
+  /// Static-equivalence pruning (§2: "recognises that other solutions are
+  /// statically equivalent and do not need to be evaluated"). Schedules that
+  /// differ only by transpositions of adjacent fully-commuting actions
+  /// (safe in both directions) reach the same final state; when enabled the
+  /// search explores only the representatives with no adjacent commuting
+  /// inversion (the trace-monoid normal-form characterisation). Sound for
+  /// H=All on the set of reachable final states; under Safe/Strict it
+  /// composes with (and can compound) the heuristics' own incompleteness.
+  bool prune_equivalent = false;
+
+  /// Failure memoization (§6: "use the causality information ... to
+  /// identify schedules that will fail identically"). An action's dynamic
+  /// outcome depends only on the state of its target objects, which is
+  /// determined by the ordered subsequence of executed actions sharing a
+  /// target with it. Failures are cached under that causal key and replayed
+  /// without re-simulating. Requires actions to read and write only their
+  /// declared targets (true of every substrate in this repository).
+  bool memoize_failures = false;
+
+  /// Caps for the cycle/cutset analysis.
+  std::size_t max_cycles = 10000;
+  std::size_t max_cutsets = 64;
+
+  /// H=Strict picks "one action in C arbitrarily"; with 0 the first
+  /// candidate (deterministic) is taken, otherwise a seeded pseudo-random
+  /// member.
+  std::uint64_t strict_pick_seed = 0;
+};
+
+}  // namespace icecube

@@ -1,0 +1,64 @@
+// Simulation outcomes and search statistics.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/universe.hpp"
+#include "util/ids.hpp"
+
+namespace icecube {
+
+/// The result of simulating one schedule (complete or dead-ended).
+struct Outcome {
+  /// Actions successfully executed, in execution order.
+  std::vector<ActionId> schedule;
+  /// Actions dropped by FailureMode::kSkipAction in this branch.
+  std::vector<ActionId> skipped;
+  /// Actions excluded up front by the cutset this search ran under.
+  std::vector<ActionId> cutset;
+  /// Final state after replaying `schedule` from the initial state.
+  Universe final_state;
+  /// True iff every input action is accounted for (scheduled, skipped or
+  /// cut) — the paper's "complete schedule" is `complete && skipped.empty()
+  /// && cutset.empty()`, but applications usually just want `complete`.
+  bool complete = false;
+  /// Cost assigned by the selection stage; lower is better.
+  double cost = 0.0;
+};
+
+/// Why a dynamic constraint failed.
+enum class FailureKind : std::uint8_t { kPrecondition, kExecution };
+
+/// Counters describing one reconciliation run.
+struct SearchStats {
+  std::uint64_t schedules_completed = 0;  ///< terminal nodes, complete
+  std::uint64_t dead_ends = 0;            ///< terminal nodes, incomplete
+  std::uint64_t sim_steps = 0;            ///< action simulations attempted
+  std::uint64_t precondition_failures = 0;
+  std::uint64_t execution_failures = 0;
+  /// Failures answered from the §6 causal-key cache without re-simulation
+  /// (only with ReconcilerOptions::memoize_failures).
+  std::uint64_t memoized_failures = 0;
+  std::uint64_t prefix_prunes = 0;  ///< prefixes abandoned by policy
+  std::uint64_t state_clones = 0;   ///< shadow copies taken
+  bool hit_limit = false;           ///< a SearchLimits bound was reached
+  bool cutsets_truncated = false;   ///< cycle/cutset caps were reached
+  std::size_t cutset_count = 0;     ///< number of proper cutsets searched
+
+  double elapsed_seconds = 0.0;
+  /// Seconds from search start until the incumbent best outcome was found
+  /// (unset if no outcome was recorded).
+  std::optional<double> time_to_best;
+  /// Number of schedules explored when the best outcome was found.
+  std::uint64_t schedules_to_best = 0;
+
+  /// Terminal nodes explored — the paper's "number of simulated schedules".
+  [[nodiscard]] std::uint64_t schedules_explored() const {
+    return schedules_completed + dead_ends;
+  }
+};
+
+}  // namespace icecube

@@ -1,0 +1,208 @@
+// Reusable application policies built on the §3.5 hooks.
+//
+// These are the worked examples of the hook system: a branch-and-bound
+// policy that prunes unpromising prefixes (the paper's "abort the
+// simulation of a prefix that is deemed not sufficiently promising", and a
+// first step toward the constraint-programming optimisation §6 cites), and
+// a priority policy that protects chosen actions from cutset exclusion
+// ("prioritise an action by not allowing it to be excluded from the
+// reconciled log").
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/cutset.hpp"
+#include "core/policy.hpp"
+
+namespace icecube {
+
+/// Branch-and-bound on the number of executed actions. A prefix is pruned
+/// when even executing every remaining action could not beat the incumbent
+/// best schedule length — sound because `schedule-length` is monotone along
+/// a branch and bounded by |prefix| + |remaining|.
+///
+/// Construct with the total action count (cutset exclusions are accounted
+/// for per-outcome automatically via the prefix view).
+class MaxActionsPolicy : public Policy {
+ public:
+  explicit MaxActionsPolicy(std::size_t total_actions)
+      : total_(total_actions) {}
+
+  bool keep_prefix(const PrefixView& prefix, const Universe&) override {
+    // Upper bound: everything not yet executed or dropped could still run.
+    const std::size_t upper =
+        total_ - std::min(total_, prefix.skipped.size());
+    return static_cast<std::ptrdiff_t>(upper) >
+           static_cast<std::ptrdiff_t>(incumbent_);
+    // (strictly greater: equalling the incumbent cannot improve it)
+  }
+
+  bool on_outcome(const Outcome& outcome) override {
+    incumbent_ = std::max(incumbent_, outcome.schedule.size());
+    return true;
+  }
+
+  double cost(const Outcome& outcome) override {
+    return -static_cast<double>(outcome.schedule.size());
+  }
+
+  [[nodiscard]] std::size_t incumbent() const { return incumbent_; }
+
+ private:
+  std::size_t total_;
+  std::size_t incumbent_ = 0;
+};
+
+/// Protects a set of actions from cutset exclusion: every proper cutset
+/// containing a protected action is rejected. If no cutset survives, the
+/// conflict is unresolvable under the protection and the search runs with
+/// no cutsets (finding nothing) — callers should check `rejected_all()`.
+class ProtectActionsPolicy : public Policy {
+ public:
+  explicit ProtectActionsPolicy(std::vector<ActionId> protected_actions)
+      : protected_(std::move(protected_actions)) {}
+
+  void select_cutsets(std::vector<Cutset>& cutsets) override {
+    std::erase_if(cutsets, [this](const Cutset& cs) {
+      for (ActionId a : cs.actions) {
+        if (std::find(protected_.begin(), protected_.end(), a) !=
+            protected_.end()) {
+          return true;
+        }
+      }
+      return false;
+    });
+    rejected_all_ = cutsets.empty();
+  }
+
+  [[nodiscard]] bool rejected_all() const { return rejected_all_; }
+
+ private:
+  std::vector<ActionId> protected_;
+  bool rejected_all_ = false;
+};
+
+/// Atomic groups ("parcels"): within each declared group, either every
+/// action executes or none does. This is the all-or-nothing user intent the
+/// follow-up IceCube systems made a first-class constraint; here it is
+/// expressed with the 2001 hooks alone:
+///  - prefixes that have executed part of a group and dropped another part
+///    are pruned where further search could still find a clean outcome;
+///  - outcomes that split a group are costed at +infinity, so any
+///    parcel-respecting outcome outranks them.
+///
+/// Limit of the hook vocabulary (deliberate — the 2001 paper has no
+/// all-or-nothing constraint): the engine only drops actions that *fail*,
+/// so when a parcel member can never execute, no outcome dropping its
+/// healthy peers exists to be selected. Callers must therefore check
+/// `satisfied(best)` and compensate (e.g. re-run with the parcel's actions
+/// removed) when it reports false.
+class ParcelPolicy : public Policy {
+ public:
+  explicit ParcelPolicy(std::vector<std::vector<ActionId>> parcels)
+      : parcels_(std::move(parcels)) {}
+
+  bool keep_prefix(const PrefixView& prefix, const Universe&) override {
+    if (prefix.skipped.empty()) return true;
+    for (const auto& parcel : parcels_) {
+      bool executed = false, dropped = false;
+      for (ActionId a : parcel) {
+        executed = executed || contains(prefix.actions, a);
+        dropped = dropped || contains(prefix.skipped, a);
+      }
+      if (executed && dropped) return false;
+    }
+    return true;
+  }
+
+  double cost(const Outcome& outcome) override {
+    for (const auto& parcel : parcels_) {
+      bool executed = false, missing = false;
+      for (ActionId a : parcel) {
+        (contains(outcome.schedule, a) ? executed : missing) = true;
+      }
+      if (executed && missing) {
+        return std::numeric_limits<double>::infinity();
+      }
+    }
+    return Policy::cost(outcome);
+  }
+
+  /// True iff `outcome` keeps every parcel atomic.
+  [[nodiscard]] bool satisfied(const Outcome& outcome) const {
+    for (const auto& parcel : parcels_) {
+      bool executed = false, missing = false;
+      for (ActionId a : parcel) {
+        (contains(outcome.schedule, a) ? executed : missing) = true;
+      }
+      if (executed && missing) return false;
+    }
+    return true;
+  }
+
+ private:
+  static bool contains(const std::vector<ActionId>& v, ActionId a) {
+    return std::find(v.begin(), v.end(), a) != v.end();
+  }
+  std::vector<std::vector<ActionId>> parcels_;
+};
+
+/// Records the search's decision points as human-readable lines — failures,
+/// prunes, outcomes — bounded to the most recent `capacity` events. Wrap it
+/// around experiments to understand why a schedule was (not) found.
+class TracePolicy : public Policy {
+ public:
+  explicit TracePolicy(std::size_t capacity = 1024) : capacity_(capacity) {}
+
+  void on_failure(const PrefixView& prefix, const Universe&, ActionId failed,
+                  FailureKind kind) override {
+    std::ostringstream os;
+    os << "depth " << prefix.actions.size() << ": action " << failed.value()
+       << (kind == FailureKind::kPrecondition ? " precondition" : " execution")
+       << " failed";
+    push(os.str());
+  }
+
+  bool on_outcome(const Outcome& outcome) override {
+    std::ostringstream os;
+    os << (outcome.complete ? "complete" : "dead-end") << " outcome: "
+       << outcome.schedule.size() << " executed, " << outcome.skipped.size()
+       << " dropped";
+    push(os.str());
+    return true;
+  }
+
+  [[nodiscard]] const std::vector<std::string>& events() const {
+    return events_;
+  }
+  [[nodiscard]] std::size_t dropped_events() const { return dropped_; }
+
+  [[nodiscard]] std::string dump() const {
+    std::string out;
+    for (const auto& line : events_) {
+      out += line;
+      out += '\n';
+    }
+    return out;
+  }
+
+ private:
+  void push(std::string line) {
+    if (events_.size() >= capacity_) {
+      events_.erase(events_.begin());
+      ++dropped_;
+    }
+    events_.push_back(std::move(line));
+  }
+
+  std::size_t capacity_;
+  std::size_t dropped_ = 0;
+  std::vector<std::string> events_;
+};
+
+}  // namespace icecube

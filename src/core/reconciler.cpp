@@ -1,0 +1,71 @@
+#include "core/reconciler.hpp"
+
+#include <sstream>
+
+#include "core/selection.hpp"
+#include "core/simulator.hpp"
+#include "util/timer.hpp"
+
+namespace icecube {
+
+Reconciler::Reconciler(Universe initial, std::vector<Log> logs,
+                       ReconcilerOptions options, Policy* policy)
+    : initial_(std::move(initial)),
+      logs_(std::move(logs)),
+      options_(options),
+      policy_(policy) {
+  if (policy_ == nullptr) {
+    default_policy_ = std::make_unique<Policy>();
+    policy_ = default_policy_.get();
+  }
+  records_ = flatten(logs_);
+  matrix_ = build_constraints(initial_, records_);
+  relations_ = Relations::from_constraints(matrix_);
+}
+
+ReconcileResult Reconciler::run() {
+  ReconcileResult result;
+  Stopwatch clock;
+
+  CutsetAnalysis cuts = find_proper_cutsets(relations_, options_.max_cycles,
+                                            options_.max_cutsets);
+  result.stats.cutsets_truncated = cuts.truncated;
+  policy_->select_cutsets(cuts.cutsets);
+  result.stats.cutset_count = cuts.cutsets.size();
+  result.cutsets = cuts.cutsets;
+
+  Selection selection(*policy_, options_.keep_outcomes);
+  for (const Cutset& cutset : cuts.cutsets) {
+    // Under a non-empty cutset the dependence closure must be recomputed
+    // with the cut vertices' edges removed (see Relations::restricted).
+    Relations working;
+    const Relations* active = &relations_;
+    if (!cutset.empty()) {
+      Bitset removed(records_.size());
+      for (ActionId a : cutset.actions) removed.set(a.index());
+      working = relations_.restricted(removed);
+      active = &working;
+    }
+    Simulator simulator(records_, *active, options_, *policy_, selection,
+                        result.stats, clock);
+    if (!simulator.run(cutset, initial_)) break;
+  }
+
+  result.stats.elapsed_seconds = clock.seconds();
+  result.outcomes = selection.take();
+  return result;
+}
+
+std::string Reconciler::describe_schedule(
+    const std::vector<ActionId>& schedule) const {
+  std::ostringstream os;
+  for (ActionId id : schedule) {
+    const ActionRecord& rec = records_[id.index()];
+    const std::string& name = logs_[rec.log.index()].name();
+    os << (name.empty() ? "log" + std::to_string(rec.log.value()) : name)
+       << ':' << rec.position << ' ' << rec.action->describe() << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace icecube

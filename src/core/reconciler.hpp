@@ -1,0 +1,81 @@
+// Top-level reconciliation (§2.1): scheduling → simulation → selection.
+//
+// This is the public entry point of the library. Feed it the common initial
+// state and one log per replica; it builds the static constraint relation,
+// analyses dependence cycles, searches schedules per proper cutset under the
+// configured heuristic, and returns the ranked outcomes.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/constraint_builder.hpp"
+#include "core/cutset.hpp"
+#include "core/log.hpp"
+#include "core/options.hpp"
+#include "core/outcome.hpp"
+#include "core/policy.hpp"
+#include "core/relations.hpp"
+#include "core/universe.hpp"
+
+namespace icecube {
+
+/// Everything a caller learns from one reconciliation run.
+struct ReconcileResult {
+  /// Retained outcomes, best first (per the policy cost function). Empty
+  /// only if the action set is empty... in which case it holds the trivial
+  /// empty schedule, so in practice never empty unless limits were 0.
+  std::vector<Outcome> outcomes;
+  SearchStats stats;
+  /// The proper cutsets that were searched (usually just the empty one).
+  std::vector<Cutset> cutsets;
+
+  [[nodiscard]] const Outcome& best() const { return outcomes.front(); }
+  [[nodiscard]] bool found_any() const { return !outcomes.empty(); }
+};
+
+/// One-problem reconciler. Construct with the initial universe and the
+/// divergent logs, optionally attach a policy, then `run()`.
+///
+/// ```
+/// Reconciler r(initial, {log_a, log_b}, options);
+/// ReconcileResult result = r.run();
+/// const Universe& merged = result.best().final_state;
+/// ```
+class Reconciler {
+ public:
+  /// `policy` may be null (neutral defaults are used). The policy must
+  /// outlive the reconciler.
+  Reconciler(Universe initial, std::vector<Log> logs,
+             ReconcilerOptions options = {}, Policy* policy = nullptr);
+
+  /// Runs all three stages and returns the ranked outcomes. Repeatable;
+  /// each call searches from scratch.
+  [[nodiscard]] ReconcileResult run();
+
+  /// Introspection for tests, benches and demos — valid after construction.
+  [[nodiscard]] const std::vector<ActionRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] const ConstraintMatrix& constraints() const { return matrix_; }
+  [[nodiscard]] const Relations& relations() const { return relations_; }
+  [[nodiscard]] const Universe& initial_state() const { return initial_; }
+
+  /// Formats a schedule as "log:pos op(...)" lines for demos.
+  [[nodiscard]] std::string describe_schedule(
+      const std::vector<ActionId>& schedule) const;
+
+ private:
+  Universe initial_;
+  std::vector<Log> logs_;
+  ReconcilerOptions options_;
+  Policy* policy_;
+  std::unique_ptr<Policy> default_policy_;
+
+  std::vector<ActionRecord> records_;
+  ConstraintMatrix matrix_;
+  Relations relations_;
+};
+
+}  // namespace icecube

@@ -1,0 +1,71 @@
+// Successor-candidate computation (§3.3).
+//
+// Given a prefix P of already chosen actions, the scheduler derives:
+//
+//   S — actions whose (closed) D-predecessors are all accounted for,
+//   C — members of S that I-follow the last action of P,
+//   B — members of S that still have an available I-predecessor,
+//
+// and applies the heuristic H to decide which of them to try next:
+//
+//   H = All               : S
+//   H = Safe,   C ≠ ∅     : C
+//   H = Safe,   C = ∅     : S
+//   H = Strict, C ≠ ∅     : one arbitrary member of C
+//   H = Strict, C = ∅     : S − B
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "core/options.hpp"
+#include "core/relations.hpp"
+#include "util/bitset.hpp"
+#include "util/ids.hpp"
+#include "util/rng.hpp"
+
+namespace icecube {
+
+/// Stateless-per-node candidate generator. One instance serves a whole
+/// search over a fixed relation set and cutset.
+class CandidateScheduler {
+ public:
+  /// `excluded` are the actions removed by the active cutset; they are never
+  /// candidates, and dependence on them is treated as satisfied (D only
+  /// constrains schedules that contain both actions). With
+  /// `prune_equivalent`, candidates that would create an adjacent
+  /// commuting inversion (see ReconcilerOptions::prune_equivalent) are
+  /// dropped; the pruning is suppressed while prefix-conditional extra
+  /// dependencies are active, since those can invalidate the exchange
+  /// argument.
+  CandidateScheduler(const Relations& relations, Heuristic heuristic,
+                     BRule b_rule, Bitset excluded,
+                     bool prune_equivalent = false);
+
+  /// The set S for a search node. `done` must contain every scheduled,
+  /// skipped and excluded action. `extra_deps` are prefix-conditional
+  /// dependencies (a must precede b) injected by the application policy.
+  [[nodiscard]] Bitset eligible(
+      const Bitset& done,
+      const std::vector<std::pair<ActionId, ActionId>>& extra_deps) const;
+
+  /// Applies H and returns the candidates to try, in ascending id order
+  /// (the application policy may reorder them afterwards). `last` is the
+  /// final action of the prefix (invalid id at the root). `rng` is consulted
+  /// only by H=Strict when configured for random picks.
+  [[nodiscard]] std::vector<ActionId> successors(
+      const Bitset& done, ActionId last,
+      const std::vector<std::pair<ActionId, ActionId>>& extra_deps,
+      Rng* rng) const;
+
+  [[nodiscard]] const Bitset& excluded() const { return excluded_; }
+
+ private:
+  const Relations& relations_;
+  Heuristic heuristic_;
+  BRule b_rule_;
+  Bitset excluded_;
+  bool prune_equivalent_;
+};
+
+}  // namespace icecube

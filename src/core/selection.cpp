@@ -1,0 +1,36 @@
+#include "core/selection.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace icecube {
+
+bool Selection::better(const Outcome& a, const Outcome& b) {
+  if (a.cost != b.cost) return a.cost < b.cost;
+  if (a.complete != b.complete) return a.complete;
+  if (a.skipped.size() != b.skipped.size())
+    return a.skipped.size() < b.skipped.size();
+  return false;  // equivalent; first-found wins (stable)
+}
+
+bool Selection::offer(Outcome&& outcome) {
+  outcome.cost = policy_->cost(outcome);
+  const bool is_best = kept_.empty() || better(outcome, kept_.front());
+
+  // Insert in sorted position; drop the tail beyond `keep_`.
+  auto pos = std::upper_bound(
+      kept_.begin(), kept_.end(), outcome,
+      [](const Outcome& a, const Outcome& b) { return better(a, b); });
+  if (static_cast<std::size_t>(pos - kept_.begin()) < keep_) {
+    kept_.insert(pos, std::move(outcome));
+    if (kept_.size() > keep_) kept_.pop_back();
+  }
+  return is_best;
+}
+
+double Selection::best_cost() const {
+  if (kept_.empty()) return std::numeric_limits<double>::infinity();
+  return kept_.front().cost;
+}
+
+}  // namespace icecube

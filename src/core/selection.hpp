@@ -1,0 +1,39 @@
+// The selection stage (§2, §3.5): rank outcomes and keep the best K.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/outcome.hpp"
+#include "core/policy.hpp"
+
+namespace icecube {
+
+/// Collects outcomes during the search, scoring each with the policy cost
+/// function and retaining the `keep` cheapest. Completeness wins ties:
+/// between equal costs a complete outcome ranks above an incomplete one.
+class Selection {
+ public:
+  Selection(Policy& policy, std::size_t keep)
+      : policy_(&policy), keep_(keep == 0 ? 1 : keep) {}
+
+  /// Scores and files `outcome`. Returns true iff it became the new best.
+  bool offer(Outcome&& outcome);
+
+  [[nodiscard]] bool empty() const { return kept_.empty(); }
+  [[nodiscard]] double best_cost() const;
+  [[nodiscard]] const Outcome& best() const { return kept_.front(); }
+
+  /// All retained outcomes, best first.
+  [[nodiscard]] std::vector<Outcome> take() { return std::move(kept_); }
+  [[nodiscard]] const std::vector<Outcome>& outcomes() const { return kept_; }
+
+ private:
+  static bool better(const Outcome& a, const Outcome& b);
+
+  Policy* policy_;
+  std::size_t keep_;
+  std::vector<Outcome> kept_;  // sorted, best first
+};
+
+}  // namespace icecube

@@ -1,0 +1,254 @@
+#include "core/simulator.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace icecube {
+
+namespace {
+
+Bitset cutset_bits(const Cutset& cutset, std::size_t n) {
+  Bitset bits(n);
+  for (ActionId a : cutset.actions) bits.set(a.index());
+  return bits;
+}
+
+}  // namespace
+
+Simulator::Simulator(const std::vector<ActionRecord>& records,
+                     const Relations& relations,
+                     const ReconcilerOptions& options, Policy& policy,
+                     Selection& selection, SearchStats& stats,
+                     const Stopwatch& clock)
+    : records_(records),
+      relations_(relations),
+      options_(options),
+      policy_(policy),
+      selection_(selection),
+      stats_(stats),
+      clock_(clock),
+      done_(records.size()) {
+  if (options.strict_pick_seed != 0) {
+    strict_rng_.emplace(options.strict_pick_seed);
+  }
+}
+
+std::uint64_t Simulator::causal_key(ActionId action) const {
+  std::uint64_t state = 0x9d3f5ca1b7e42681ULL ^ action.value();
+  std::uint64_t hash = splitmix64(state);
+  const Bitset& overlap = target_overlap_[action.index()];
+  for (ActionId executed : prefix_) {
+    if (overlap.test(executed.index())) {
+      state ^= (hash << 1) ^ executed.value();
+      hash ^= splitmix64(state);
+    }
+  }
+  return hash;
+}
+
+void Simulator::start(const Cutset& cutset, const Universe& initial) {
+  assert(records_.size() == relations_.size());
+  if (options_.memoize_failures && target_overlap_.empty()) {
+    target_overlap_.assign(records_.size(), Bitset(records_.size()));
+    for (std::size_t a = 0; a < records_.size(); ++a) {
+      const auto ta = records_[a].action->targets();
+      for (std::size_t b = 0; b < records_.size(); ++b) {
+        if (a == b) continue;
+        for (ObjectId t : records_[b].action->targets()) {
+          if (std::find(ta.begin(), ta.end(), t) != ta.end()) {
+            target_overlap_[a].set(b);
+            break;
+          }
+        }
+      }
+    }
+  }
+  known_failures_.clear();  // keys are relative to this cutset's searches
+  const Bitset excluded = cutset_bits(cutset, records_.size());
+  scheduler_.emplace(relations_, options_.heuristic, options_.b_rule,
+                     excluded, options_.prune_equivalent);
+  done_ = excluded;
+  prefix_.clear();
+  skipped_.clear();
+  cut_actions_ = cutset.actions;
+  stack_.clear();
+  stop_ = false;
+  if (!push_node(initial, ActionId())) {
+    ++stats_.prefix_prunes;  // the application pruned the root
+  }
+}
+
+bool Simulator::run(const Cutset& cutset, const Universe& initial) {
+  start(cutset, initial);
+  (void)step(UINT64_MAX);
+  return !stop_;
+}
+
+void Simulator::fill_candidates(Frame& frame) {
+  frame.candidates = scheduler_->successors(
+      done_, last_scheduled(), frame.extra_deps,
+      strict_rng_ ? &*strict_rng_ : nullptr);
+  std::erase_if(frame.candidates,
+                [&frame](ActionId a) { return frame.tried.test(a.index()); });
+  frame.next = 0;
+}
+
+bool Simulator::push_node(Universe state, ActionId via) {
+  const PrefixView view{prefix_, skipped_};
+  if (!policy_.keep_prefix(view, state)) return false;
+  Frame frame;
+  frame.state = std::move(state);
+  frame.via = via;
+  frame.tried = Bitset(records_.size());
+  policy_.extra_dependencies(view, frame.extra_deps);
+  fill_candidates(frame);
+  policy_.order_candidates(view, frame.candidates);
+  stack_.push_back(std::move(frame));
+  return true;
+}
+
+void Simulator::pop_node() {
+  Frame& frame = stack_.back();
+  for (; frame.skips > 0; --frame.skips) {
+    done_.reset(skipped_.back().index());
+    skipped_.pop_back();
+  }
+  if (frame.via.valid()) {
+    assert(!prefix_.empty() && prefix_.back() == frame.via);
+    prefix_.pop_back();
+    done_.reset(frame.via.index());
+  }
+  stack_.pop_back();
+}
+
+bool Simulator::step(std::uint64_t schedule_budget) {
+  std::uint64_t terminals = 0;
+  while (!stack_.empty() && !stop_ && terminals < schedule_budget) {
+    if (options_.limits.max_seconds > 0 &&
+        clock_.seconds() > options_.limits.max_seconds) {
+      stats_.hit_limit = true;
+      stop_ = true;
+      break;
+    }
+
+    Frame& frame = stack_.back();
+    if (frame.recompute) {
+      fill_candidates(frame);
+      const PrefixView view{prefix_, skipped_};
+      policy_.order_candidates(view, frame.candidates);
+      frame.recompute = false;
+    }
+    if (frame.next >= frame.candidates.size()) {
+      if (!frame.explored_child) {
+        record_outcome(frame.state);
+        ++terminals;
+      }
+      pop_node();
+      continue;
+    }
+
+    const ActionId cand = frame.candidates[frame.next++];
+    frame.tried.set(cand.index());
+
+    ++stats_.sim_steps;
+    if (stats_.sim_steps > options_.limits.max_steps) {
+      stats_.hit_limit = true;
+      stop_ = true;
+      break;
+    }
+
+    const Action& action = *records_[cand.index()].action;
+    FailureKind failure = FailureKind::kPrecondition;
+    Universe shadow;
+    bool ok = false;
+    std::uint64_t key = 0;
+    bool memoized = false;
+    if (options_.memoize_failures) {
+      key = causal_key(cand);
+      if (const auto it = known_failures_.find(key);
+          it != known_failures_.end()) {
+        // §6: this action fails identically after any prefix with the same
+        // causal context; skip the re-simulation.
+        failure = it->second;
+        memoized = true;
+        ++stats_.memoized_failures;
+      }
+    }
+    if (!memoized) {
+      if (!action.precondition(frame.state)) {
+        ++stats_.precondition_failures;
+      } else {
+        shadow = frame.state;  // shadow copy (§3.4)
+        ++stats_.state_clones;
+        if (action.execute(shadow)) {
+          ok = true;
+        } else {
+          ++stats_.execution_failures;
+          failure = FailureKind::kExecution;
+        }
+      }
+      if (!ok && options_.memoize_failures) {
+        known_failures_.emplace(key, failure);
+      }
+    }
+
+    if (!ok) {
+      const PrefixView view{prefix_, skipped_};
+      policy_.on_failure(view, frame.state, cand, failure);
+      if (options_.failure_mode == FailureMode::kSkipAction) {
+        // Drop the action for the remainder of this subtree; re-derive the
+        // candidates (the skip may unlock D-successors).
+        done_.set(cand.index());
+        skipped_.push_back(cand);
+        ++frame.skips;
+        frame.recompute = true;
+      }
+      continue;  // AbortBranch: siblings still explored
+    }
+
+    done_.set(cand.index());
+    prefix_.push_back(cand);
+    frame.explored_child = true;
+    if (!push_node(std::move(shadow), cand)) {
+      // Application pruned the child prefix: unwind the action.
+      ++stats_.prefix_prunes;
+      prefix_.pop_back();
+      done_.reset(cand.index());
+    }
+  }
+  return !stack_.empty() && !stop_;
+}
+
+void Simulator::record_outcome(const Universe& state) {
+  const bool complete = done_.count() == records_.size();
+  if (complete) {
+    ++stats_.schedules_completed;
+  } else {
+    ++stats_.dead_ends;
+  }
+
+  const bool record = complete || options_.record_partial_outcomes;
+  if (record) {
+    Outcome outcome;
+    outcome.schedule = prefix_;
+    outcome.skipped = skipped_;
+    outcome.cutset = cut_actions_;
+    outcome.final_state = state;  // deep copy
+    outcome.complete = complete;
+    outcome.cost = policy_.cost(outcome);
+
+    if (!policy_.on_outcome(outcome)) stop_ = true;
+    if (selection_.offer(std::move(outcome))) {
+      stats_.time_to_best = clock_.seconds();
+      stats_.schedules_to_best = stats_.schedules_explored();
+    }
+  }
+
+  if (complete && options_.stop_at_first_complete) stop_ = true;
+  if (stats_.schedules_explored() >= options_.limits.max_schedules) {
+    stats_.hit_limit = true;
+    stop_ = true;
+  }
+}
+
+}  // namespace icecube

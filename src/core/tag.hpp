@@ -1,0 +1,61 @@
+// Action tags (§2.2).
+//
+// A tag is the action's private data made visible to static analysis: it
+// records the operation type and its parameters. `order` methods inspect
+// tags — never object state — which is exactly what makes the constraints
+// they produce *static*.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace icecube {
+
+/// Operation name plus integral parameters. Kept deliberately simple: every
+/// substrate in this repository encodes its parameters as small integers
+/// (piece numbers, edges, amounts, slot indices) so tags stay cheap to copy
+/// and trivially comparable.
+struct Tag {
+  std::string op;
+  std::vector<std::int64_t> params;
+  /// String parameters (e.g. file-system paths). Kept separate from the
+  /// integral ones; most substrates leave this empty.
+  std::vector<std::string> str_params;
+
+  Tag() = default;
+  Tag(std::string operation, std::vector<std::int64_t> parameters = {},
+      std::vector<std::string> strings = {})
+      : op(std::move(operation)),
+        params(std::move(parameters)),
+        str_params(std::move(strings)) {}
+
+  [[nodiscard]] std::int64_t param(std::size_t i) const { return params.at(i); }
+  [[nodiscard]] const std::string& str_param(std::size_t i) const {
+    return str_params.at(i);
+  }
+
+  friend bool operator==(const Tag&, const Tag&) = default;
+
+  [[nodiscard]] std::string describe() const {
+    std::ostringstream os;
+    os << op << '(';
+    bool first = true;
+    for (const auto& p : params) {
+      if (!first) os << ',';
+      os << p;
+      first = false;
+    }
+    for (const auto& s : str_params) {
+      if (!first) os << ',';
+      os << s;
+      first = false;
+    }
+    os << ')';
+    return os.str();
+  }
+};
+
+}  // namespace icecube

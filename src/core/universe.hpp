@@ -1,0 +1,137 @@
+// The object universe (§2.1) and the shared-object interface.
+//
+// During isolated execution a site runs applications against a local replica
+// of the shared objects — the *object universe*. The simulator replays
+// candidate schedules against *shadow copies* of the universe, which is why
+// every shared object must be deep-cloneable.
+#pragma once
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <typeinfo>
+#include <vector>
+
+#include "core/constraint.hpp"
+#include "util/ids.hpp"
+
+namespace icecube {
+
+class Action;
+
+/// Whether the two actions given to `SharedObject::order` come from the same
+/// input log. The paper's order tables differ between the two cases
+/// (Figures 2/3 vs 4/5, Figures 7 vs 8).
+enum class LogRelation : std::uint8_t { kSameLog, kAcrossLogs };
+
+/// A replicated shared object. Concrete types provide state, a deep `clone`,
+/// and the `order` method that bridges object semantics to static
+/// constraints (§2.4).
+class SharedObject {
+ public:
+  SharedObject() = default;
+  SharedObject(const SharedObject&) = default;
+  SharedObject& operator=(const SharedObject&) = default;
+  SharedObject(SharedObject&&) = default;
+  SharedObject& operator=(SharedObject&&) = default;
+  virtual ~SharedObject() = default;
+
+  /// Deep copy, used to create shadow universes for simulation.
+  [[nodiscard]] virtual std::unique_ptr<SharedObject> clone() const = 0;
+
+  /// Static-constraint bridge: is ordering `a` before `b` safe / maybe /
+  /// unsafe according to this object's semantics? Must depend only on the
+  /// actions' tags (and `rel`), never on object state.
+  ///
+  /// For `kSameLog` pairs the engine calls this only for the direction that
+  /// *reverses* the log: "given that the log contains b before a, is it safe
+  /// to swap them and execute a before b?"
+  [[nodiscard]] virtual Constraint order(const Action& a, const Action& b,
+                                         LogRelation rel) const = 0;
+
+  /// Human-readable snapshot of the object's state, for demos and debugging.
+  [[nodiscard]] virtual std::string describe() const = 0;
+
+  /// Canonical rendering of the *complete* state: two objects are in the
+  /// same state iff their fingerprints are equal. Used to check replay
+  /// equivalence (log cleaning, determinism tests). Defaults to
+  /// `describe()`; override when `describe()` is only a summary.
+  [[nodiscard]] virtual std::string fingerprint() const { return describe(); }
+};
+
+/// An indexed collection of shared objects. Copyable: copying a universe
+/// deep-clones every object (a shadow copy in the paper's terms).
+class Universe {
+ public:
+  Universe() = default;
+
+  Universe(const Universe& other) { copy_from(other); }
+  Universe& operator=(const Universe& other) {
+    if (this != &other) {
+      objects_.clear();
+      copy_from(other);
+    }
+    return *this;
+  }
+  Universe(Universe&&) noexcept = default;
+  Universe& operator=(Universe&&) noexcept = default;
+
+  /// Adds an object and returns its id. Ids are dense and stable.
+  ObjectId add(std::unique_ptr<SharedObject> obj) {
+    assert(obj != nullptr);
+    objects_.push_back(std::move(obj));
+    return ObjectId(objects_.size() - 1);
+  }
+
+  [[nodiscard]] std::size_t size() const { return objects_.size(); }
+
+  [[nodiscard]] SharedObject& at(ObjectId id) {
+    assert(id.index() < objects_.size());
+    return *objects_[id.index()];
+  }
+  [[nodiscard]] const SharedObject& at(ObjectId id) const {
+    assert(id.index() < objects_.size());
+    return *objects_[id.index()];
+  }
+
+  /// Typed accessor; asserts on type mismatch in debug builds.
+  template <typename T>
+  [[nodiscard]] T& as(ObjectId id) {
+    auto* p = dynamic_cast<T*>(&at(id));
+    assert(p != nullptr && "universe object has unexpected type");
+    return *p;
+  }
+  template <typename T>
+  [[nodiscard]] const T& as(ObjectId id) const {
+    const auto* p = dynamic_cast<const T*>(&at(id));
+    assert(p != nullptr && "universe object has unexpected type");
+    return *p;
+  }
+
+  [[nodiscard]] std::string describe() const {
+    std::string out;
+    for (std::size_t i = 0; i < objects_.size(); ++i) {
+      out += "[" + std::to_string(i) + "] " + objects_[i]->describe() + "\n";
+    }
+    return out;
+  }
+
+  /// Canonical rendering of the full state (see SharedObject::fingerprint).
+  [[nodiscard]] std::string fingerprint() const {
+    std::string out;
+    for (std::size_t i = 0; i < objects_.size(); ++i) {
+      out += "[" + std::to_string(i) + "] " + objects_[i]->fingerprint() + "\n";
+    }
+    return out;
+  }
+
+ private:
+  void copy_from(const Universe& other) {
+    objects_.reserve(other.objects_.size());
+    for (const auto& obj : other.objects_) objects_.push_back(obj->clone());
+  }
+
+  std::vector<std::unique_ptr<SharedObject>> objects_;
+};
+
+}  // namespace icecube

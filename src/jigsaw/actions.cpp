@@ -1,0 +1,78 @@
+#include "jigsaw/actions.hpp"
+
+#include <cassert>
+
+namespace icecube::jigsaw {
+
+bool InsertAction::precondition(const Universe& u) const {
+  const auto& board = u.as<Board>(board_);
+  if (strict_ && !board.board_empty()) return false;
+  return board.available(piece_) &&
+         !board.piece_at(board.home(piece_)).has_value();
+}
+
+bool InsertAction::execute(Universe& u) const {
+  auto& board = u.as<Board>(board_);
+  board.place(piece_, board.home(piece_));
+  return true;
+}
+
+bool JoinAction::precondition(const Universe& u) const {
+  const auto& board = u.as<Board>(board_);
+  // (i) the board is not empty
+  if (board.board_empty()) return false;
+  // (ii) either Pi or Pj is available (but not both)
+  if (board.available(pi_) == board.available(pj_)) return false;
+  // (iii) edge ei of Pi and edge ej of Pj are not already taken
+  if (board.edge_taken(pi_, ei_) || board.edge_taken(pj_, ej_)) return false;
+  return true;
+}
+
+bool JoinAction::execute(Universe& u) const {
+  auto& board = u.as<Board>(board_);
+  // Square pieces: the two joined edges must be geometrically opposite.
+  if (ej_ != opposite(ei_)) return false;
+
+  const bool pi_placed = board.on_board(pi_);
+  const int anchor = pi_placed ? pi_ : pj_;
+  const int moved = pi_placed ? pj_ : pi_;
+  const Edge anchor_edge = pi_placed ? ei_ : ej_;
+
+  const auto anchor_pos = board.position(anchor);
+  assert(anchor_pos.has_value());
+  const Cell dest = neighbour(*anchor_pos, anchor_edge);
+  if (board.piece_at(dest).has_value()) return false;  // cell occupied
+
+  board.place(moved, dest);
+  return true;
+}
+
+bool RemoveAction::precondition(const Universe& u) const {
+  return u.as<Board>(board_).on_board(piece_);
+}
+
+bool RemoveAction::execute(Universe& u) const {
+  u.as<Board>(board_).take_off(piece_);
+  return true;
+}
+
+JoinAction correct_join(const Board& board, ObjectId board_id, int anchor,
+                        int new_piece) {
+  const Cell a = board.home(anchor);
+  const Cell b = board.home(new_piece);
+  Edge edge;
+  if (b.row == a.row && b.col == a.col + 1) {
+    edge = Edge::kRight;
+  } else if (b.row == a.row && b.col == a.col - 1) {
+    edge = Edge::kLeft;
+  } else if (b.col == a.col && b.row == a.row + 1) {
+    edge = Edge::kBottom;
+  } else {
+    assert(b.col == a.col && b.row == a.row - 1 &&
+           "correct_join requires adjacent home cells");
+    edge = Edge::kTop;
+  }
+  return JoinAction(board_id, anchor, edge, new_piece, opposite(edge));
+}
+
+}  // namespace icecube::jigsaw

@@ -1,0 +1,113 @@
+// Jigsaw actions (§4.1): insert, join, remove.
+//
+// Tags encode the action type and piece/edge parameters so that order
+// methods (Figures 7–8 and the policy cases) can evaluate constraints
+// statically.
+#pragma once
+
+#include <cstdint>
+
+#include "core/action.hpp"
+#include "jigsaw/board.hpp"
+
+namespace icecube::jigsaw {
+
+/// Places an available piece at its home cell.
+///
+/// The paper only says the board "has been initialised with a single
+/// insert"; the precondition is configurable (DESIGN.md §5.4):
+///  - default: the piece is available and its home cell is free;
+///  - strict:  additionally the board must be empty (at most one insert can
+///             ever succeed in a replayed schedule).
+class InsertAction final : public Action {
+ public:
+  InsertAction(ObjectId board, int piece, bool strict = false)
+      : tag_(strict ? "insert!" : "insert", {piece}),
+        board_(board),
+        piece_(piece),
+        strict_(strict) {}
+
+  [[nodiscard]] std::vector<ObjectId> targets() const override {
+    return {board_};
+  }
+  [[nodiscard]] const Tag& tag() const override { return tag_; }
+  [[nodiscard]] bool precondition(const Universe& u) const override;
+  bool execute(Universe& u) const override;
+
+  [[nodiscard]] int piece() const { return piece_; }
+
+ private:
+  Tag tag_;
+  ObjectId board_;
+  int piece_;
+  bool strict_;
+};
+
+/// join(Pi, ei, Pj, ej): joins edge `ei` of `Pi` to edge `ej` of `Pj`,
+/// moving whichever of the two is available onto the board (§4.1).
+///
+/// Precondition (verbatim from the paper): (i) the board is not empty,
+/// (ii) either Pi or Pj is available (but not both), (iii) edge ei of Pi and
+/// edge ej of Pj are not already taken. Execution additionally fails if the
+/// edges are not geometrically opposite or the destination cell is occupied
+/// (the "laws of physics").
+class JoinAction final : public Action {
+ public:
+  JoinAction(ObjectId board, int pi, Edge ei, int pj, Edge ej)
+      : tag_("join", {pi, static_cast<std::int64_t>(ei), pj,
+                      static_cast<std::int64_t>(ej)}),
+        board_(board),
+        pi_(pi),
+        ei_(ei),
+        pj_(pj),
+        ej_(ej) {}
+
+  [[nodiscard]] std::vector<ObjectId> targets() const override {
+    return {board_};
+  }
+  [[nodiscard]] const Tag& tag() const override { return tag_; }
+  [[nodiscard]] bool precondition(const Universe& u) const override;
+  bool execute(Universe& u) const override;
+
+  [[nodiscard]] int pi() const { return pi_; }
+  [[nodiscard]] Edge ei() const { return ei_; }
+  [[nodiscard]] int pj() const { return pj_; }
+  [[nodiscard]] Edge ej() const { return ej_; }
+
+ private:
+  Tag tag_;
+  ObjectId board_;
+  int pi_;
+  Edge ei_;
+  int pj_;
+  Edge ej_;
+};
+
+/// remove(Pi): moves a placed piece off the board, making it available.
+class RemoveAction final : public Action {
+ public:
+  RemoveAction(ObjectId board, int piece)
+      : tag_("remove", {piece}), board_(board), piece_(piece) {}
+
+  [[nodiscard]] std::vector<ObjectId> targets() const override {
+    return {board_};
+  }
+  [[nodiscard]] const Tag& tag() const override { return tag_; }
+  [[nodiscard]] bool precondition(const Universe& u) const override;
+  bool execute(Universe& u) const override;
+
+  [[nodiscard]] int piece() const { return piece_; }
+
+ private:
+  Tag tag_;
+  ObjectId board_;
+  int piece_;
+};
+
+/// Builds the correct join that attaches available piece `new_piece` to
+/// placed neighbour `anchor` according to their home cells. Asserts the two
+/// homes are adjacent.
+[[nodiscard]] JoinAction correct_join(const Board& board, ObjectId board_id,
+                                      int anchor, int new_piece);
+
+}  // namespace icecube::jigsaw

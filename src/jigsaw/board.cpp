@@ -1,0 +1,100 @@
+#include "jigsaw/board.hpp"
+
+#include <cassert>
+#include <sstream>
+
+#include "jigsaw/order.hpp"
+
+namespace icecube::jigsaw {
+
+Board::Board(int rows, int cols, OrderCase order_case)
+    : rows_(rows),
+      cols_(cols),
+      order_case_(order_case),
+      position_(static_cast<std::size_t>(rows * cols)) {
+  assert(rows > 0 && cols > 0);
+}
+
+std::optional<int> Board::piece_at(Cell c) const {
+  const auto it = occupancy_.find(c);
+  if (it == occupancy_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool Board::edge_taken(int piece, Edge e) const {
+  const auto pos = position(piece);
+  if (!pos) return false;  // an available piece has no taken edges
+  return occupancy_.contains(neighbour(*pos, e));
+}
+
+void Board::place(int piece, Cell c) {
+  assert(available(piece));
+  assert(!occupancy_.contains(c));
+  position_[static_cast<std::size_t>(piece)] = c;
+  occupancy_.emplace(c, piece);
+}
+
+void Board::take_off(int piece) {
+  const auto pos = position(piece);
+  assert(pos.has_value());
+  occupancy_.erase(*pos);
+  position_[static_cast<std::size_t>(piece)].reset();
+}
+
+int Board::correct_pieces() const {
+  int correct = 0;
+  for (int p = 0; p < piece_count(); ++p) {
+    if (position(p) == std::optional<Cell>(home(p))) ++correct;
+  }
+  return correct;
+}
+
+Constraint Board::order(const Action& a, const Action& b,
+                        LogRelation rel) const {
+  return jigsaw_order(order_case_, a, b, rel);
+}
+
+std::string Board::describe() const {
+  std::ostringstream os;
+  os << "jigsaw " << rows_ << 'x' << cols_ << ": " << pieces_on_board()
+     << " placed, " << correct_pieces() << " correct";
+  return os.str();
+}
+
+std::string Board::fingerprint() const {
+  std::ostringstream os;
+  for (int p = 0; p < piece_count(); ++p) {
+    const auto pos = position(p);
+    if (pos) os << p << "@(" << pos->row << ',' << pos->col << ") ";
+  }
+  return os.str();
+}
+
+std::string Board::render() const {
+  std::ostringstream os;
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) {
+      const auto piece = piece_at(Cell{r, c});
+      if (!piece) {
+        os << "  . ";
+      } else if (home(*piece) == Cell{r, c}) {
+        os << ' ' << (*piece < 10 ? " " : "") << *piece << ' ';
+      } else {
+        os << " !" << *piece << (*piece < 10 ? " " : "");
+      }
+    }
+    os << '\n';
+  }
+  int strays = 0;
+  for (int p = 0; p < piece_count(); ++p) {
+    const auto pos = position(p);
+    if (pos && (pos->row < 0 || pos->row >= rows_ || pos->col < 0 ||
+                pos->col >= cols_)) {
+      ++strays;
+    }
+  }
+  if (strays > 0) os << "(" << strays << " pieces placed off-frame)\n";
+  return os.str();
+}
+
+}  // namespace icecube::jigsaw

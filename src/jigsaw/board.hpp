@@ -1,0 +1,148 @@
+// Collaborative jigsaw puzzle state (§4.1).
+//
+// A game is a fixed set of n×m pieces, each either *available* or *on the
+// board* at some cell. Piece p's home cell is (p / cols, p % cols); a state
+// is correct when every placed piece sits at its home. Players grow the
+// board with `insert` / `join` and shrink it with `remove`.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/universe.hpp"
+
+namespace icecube::jigsaw {
+
+/// Square-piece edge. Joining requires opposite edges (left↔right,
+/// top↔bottom).
+enum class Edge : std::uint8_t { kTop = 0, kRight = 1, kBottom = 2, kLeft = 3 };
+
+[[nodiscard]] constexpr Edge opposite(Edge e) {
+  switch (e) {
+    case Edge::kTop:
+      return Edge::kBottom;
+    case Edge::kRight:
+      return Edge::kLeft;
+    case Edge::kBottom:
+      return Edge::kTop;
+    case Edge::kLeft:
+      return Edge::kRight;
+  }
+  return Edge::kTop;
+}
+
+[[nodiscard]] constexpr std::string_view to_string(Edge e) {
+  switch (e) {
+    case Edge::kTop:
+      return "top";
+    case Edge::kRight:
+      return "right";
+    case Edge::kBottom:
+      return "bottom";
+    case Edge::kLeft:
+      return "left";
+  }
+  return "?";
+}
+
+/// Board cell. Placed pieces can sit anywhere on the plane (an incorrect
+/// join may push a piece outside the picture frame), so coordinates are
+/// signed.
+struct Cell {
+  int row = 0;
+  int col = 0;
+  friend bool operator==(Cell, Cell) = default;
+  friend auto operator<=>(Cell, Cell) = default;
+};
+
+/// Neighbouring cell across edge `e` of a piece at `c`.
+[[nodiscard]] constexpr Cell neighbour(Cell c, Edge e) {
+  switch (e) {
+    case Edge::kTop:
+      return {c.row - 1, c.col};
+    case Edge::kRight:
+      return {c.row, c.col + 1};
+    case Edge::kBottom:
+      return {c.row + 1, c.col};
+    case Edge::kLeft:
+      return {c.row, c.col - 1};
+  }
+  return c;
+}
+
+/// The shared jigsaw object. One instance represents the whole game; every
+/// jigsaw action targets it, so its `order` method sees every action pair —
+/// which order method applies (semantic Case 1 or policy Cases 2–4) is
+/// selected at construction (§4.2).
+class Board final : public SharedObject {
+ public:
+  /// Which static-constraint regime the object's `order` method implements.
+  enum class OrderCase : std::uint8_t {
+    kUnconstrained = 0,///< no static constraints at all (§4.3's baseline)
+    kSemantic = 1,     ///< Case 1: rules of the game + laws of physics
+    kKeepLogOrder = 2, ///< Case 2: preserve each player's log order
+    kKeepJoinOrder = 3,///< Case 3: preserve log order among joins only
+    kAdjacency = 4     ///< Case 4: Case 3 + prefer adjacent-join strings
+  };
+
+  Board(int rows, int cols, OrderCase order_case = OrderCase::kSemantic);
+
+  [[nodiscard]] int rows() const { return rows_; }
+  [[nodiscard]] int cols() const { return cols_; }
+  [[nodiscard]] int piece_count() const { return rows_ * cols_; }
+
+  /// Home cell of piece `p` (row-major numbering).
+  [[nodiscard]] Cell home(int piece) const {
+    return {piece / cols_, piece % cols_};
+  }
+
+  [[nodiscard]] bool available(int piece) const {
+    return !position_[static_cast<std::size_t>(piece)].has_value();
+  }
+  [[nodiscard]] bool on_board(int piece) const { return !available(piece); }
+  [[nodiscard]] std::optional<Cell> position(int piece) const {
+    return position_[static_cast<std::size_t>(piece)];
+  }
+  [[nodiscard]] std::optional<int> piece_at(Cell c) const;
+  [[nodiscard]] bool board_empty() const { return occupancy_.empty(); }
+
+  /// Edge `e` of placed piece `p` is taken iff the adjacent cell is occupied.
+  [[nodiscard]] bool edge_taken(int piece, Edge e) const;
+
+  void place(int piece, Cell c);
+  void take_off(int piece);
+
+  /// Evaluation criteria of §4.3.
+  [[nodiscard]] int pieces_on_board() const {
+    return static_cast<int>(occupancy_.size());
+  }
+  [[nodiscard]] int correct_pieces() const;
+
+  [[nodiscard]] OrderCase order_case() const { return order_case_; }
+  void set_order_case(OrderCase c) { order_case_ = c; }
+
+  // SharedObject interface.
+  [[nodiscard]] std::unique_ptr<SharedObject> clone() const override {
+    return std::make_unique<Board>(*this);
+  }
+  [[nodiscard]] Constraint order(const Action& a, const Action& b,
+                                 LogRelation rel) const override;
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] std::string fingerprint() const override;
+
+  /// ASCII rendering for demos: home pieces as numbers, misplaced as '!'.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  int rows_;
+  int cols_;
+  OrderCase order_case_;
+  std::vector<std::optional<Cell>> position_;  // per piece
+  std::map<Cell, int> occupancy_;              // cell -> piece
+};
+
+}  // namespace icecube::jigsaw

@@ -1,0 +1,63 @@
+#include "jigsaw/experiment.hpp"
+
+#include <cassert>
+#include <memory>
+
+namespace icecube::jigsaw {
+
+Problem make_problem(int rows, int cols, Board::OrderCase order_case,
+                     const std::vector<PlayerSpec>& players,
+                     ScenarioOptions scenario_opts) {
+  Problem problem;
+  Board prototype(rows, cols, order_case);
+  problem.board_id = problem.initial.add(prototype.clone());
+  assert(problem.board_id == ObjectId(0) &&
+         "scenario generators assume the board occupies slot 0");
+
+  int player_index = 0;
+  for (const PlayerSpec& spec : players) {
+    Log log;
+    switch (spec.kind) {
+      case PlayerSpec::Kind::kU1:
+        log = scenario_u1(prototype, problem.board_id, spec.amount,
+                          scenario_opts);
+        break;
+      case PlayerSpec::Kind::kU2:
+        log = scenario_u2(prototype, problem.board_id, spec.amount,
+                          scenario_opts);
+        break;
+      case PlayerSpec::Kind::kU3:
+        log = scenario_u3(prototype, problem.board_id, spec.amount, spec.seed,
+                          scenario_opts);
+        break;
+    }
+    Log named(log.name() + "-p" + std::to_string(player_index++));
+    for (const auto& a : log) named.append(a);
+    problem.logs.push_back(std::move(named));
+  }
+  return problem;
+}
+
+Criteria evaluate(const Problem& problem, const Outcome& outcome) {
+  const auto& board = outcome.final_state.as<Board>(problem.board_id);
+  return Criteria{static_cast<int>(outcome.schedule.size()),
+                  board.pieces_on_board(), board.correct_pieces()};
+}
+
+ExperimentResult run_experiment(const Problem& problem,
+                                const ReconcilerOptions& options) {
+  JigsawPolicy policy(problem.board_id);
+  Reconciler reconciler(problem.initial, problem.logs, options, &policy);
+  const ReconcileResult result = reconciler.run();
+
+  ExperimentResult summary;
+  summary.stats = result.stats;
+  summary.outcome_count = result.outcomes.size();
+  if (result.found_any()) {
+    summary.best = evaluate(problem, result.best());
+    summary.best_complete = result.best().complete;
+  }
+  return summary;
+}
+
+}  // namespace icecube::jigsaw

@@ -1,0 +1,79 @@
+// Shared experiment harness for the §4 jigsaw evaluation: problem
+// construction, the paper's comparison criteria, and a policy whose cost
+// function implements them.
+//
+// §4.3: "We compared the reconciliation results according to different
+// criteria: (i) the number of actions in the schedule, (ii) the number of
+// pieces in the reconciled state, and (iii) the number of correct pieces."
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/policy.hpp"
+#include "core/reconciler.hpp"
+#include "jigsaw/board.hpp"
+#include "jigsaw/scenario.hpp"
+
+namespace icecube::jigsaw {
+
+/// A reconciliation problem over one shared board.
+struct Problem {
+  Universe initial;
+  ObjectId board_id;
+  std::vector<Log> logs;
+};
+
+/// Which scenario each player follows.
+struct PlayerSpec {
+  enum class Kind : std::uint8_t { kU1, kU2, kU3 } kind;
+  int amount;              ///< pieces for U1/U2, actions for U3
+  std::uint64_t seed = 1;  ///< U3 only
+};
+
+/// Builds a rows×cols game under `order_case` with one log per player.
+[[nodiscard]] Problem make_problem(int rows, int cols,
+                                   Board::OrderCase order_case,
+                                   const std::vector<PlayerSpec>& players,
+                                   ScenarioOptions scenario_opts = {});
+
+/// The paper's evaluation criteria for one outcome.
+struct Criteria {
+  int actions = 0;   ///< (i) actions in the schedule
+  int pieces = 0;    ///< (ii) pieces in the reconciled state
+  int correct = 0;   ///< (iii) correct pieces
+  friend bool operator==(const Criteria&, const Criteria&) = default;
+};
+
+[[nodiscard]] Criteria evaluate(const Problem& problem, const Outcome& outcome);
+
+/// Policy ranking outcomes by (iii) correct pieces, then (ii) pieces, then
+/// (i) actions — all maximised.
+class JigsawPolicy : public Policy {
+ public:
+  explicit JigsawPolicy(ObjectId board_id) : board_id_(board_id) {}
+
+  double cost(const Outcome& outcome) override {
+    const auto& board = outcome.final_state.as<Board>(board_id_);
+    return -(board.correct_pieces() * 1'000'000.0 +
+             board.pieces_on_board() * 1'000.0 +
+             static_cast<double>(outcome.schedule.size()));
+  }
+
+ private:
+  ObjectId board_id_;
+};
+
+/// One experiment run: reconcile `problem` under `options` and summarise.
+struct ExperimentResult {
+  Criteria best;
+  SearchStats stats;
+  std::size_t outcome_count = 0;
+  bool best_complete = false;
+};
+
+[[nodiscard]] ExperimentResult run_experiment(const Problem& problem,
+                                              const ReconcilerOptions& options);
+
+}  // namespace icecube::jigsaw

@@ -1,0 +1,157 @@
+#include "jigsaw/order.hpp"
+
+#include <algorithm>
+
+#include "core/tag.hpp"
+
+namespace icecube::jigsaw {
+
+namespace {
+
+// Tag decoding. Tags are the only information an order method may consult —
+// this is what makes the resulting constraints static.
+
+bool is_join(const Tag& t) { return t.op == "join"; }
+bool is_remove(const Tag& t) { return t.op == "remove"; }
+bool is_insert(const Tag& t) { return t.op == "insert" || t.op == "insert!"; }
+
+struct JoinTag {
+  int pi;
+  Edge ei;
+  int pj;
+  Edge ej;
+};
+
+JoinTag decode_join(const Tag& t) {
+  return {static_cast<int>(t.param(0)), static_cast<Edge>(t.param(1)),
+          static_cast<int>(t.param(2)), static_cast<Edge>(t.param(3))};
+}
+
+/// Pieces an action mentions (one for insert/remove, two for join).
+std::vector<int> pieces_of(const Tag& t) {
+  if (is_join(t)) {
+    const JoinTag j = decode_join(t);
+    return {j.pi, j.pj};
+  }
+  return {static_cast<int>(t.param(0))};
+}
+
+bool mentions(const Tag& t, int piece) {
+  const auto ps = pieces_of(t);
+  return std::find(ps.begin(), ps.end(), piece) != ps.end();
+}
+
+bool share_piece(const Tag& a, const Tag& b) {
+  for (int p : pieces_of(a)) {
+    if (mentions(b, p)) return true;
+  }
+  return false;
+}
+
+/// "Laws of physics": can joins a and b both hold in one assembly?
+/// They cannot if they use the same edge of the same piece for different
+/// partners, or are the same connection stated twice.
+bool physically_compatible(const JoinTag& a, const JoinTag& b) {
+  const std::pair<int, Edge> slots_a[2] = {{a.pi, a.ei}, {a.pj, a.ej}};
+  const std::pair<int, Edge> slots_b[2] = {{b.pi, b.ei}, {b.pj, b.ej}};
+  for (const auto& sa : slots_a) {
+    for (const auto& sb : slots_b) {
+      if (sa == sb) return false;  // same edge of same piece used twice
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Constraint semantic_order(const Action& a, const Action& b, LogRelation) {
+  // Figures 7 and 8 give the same table for both log relations; the paper
+  // distinguishes them because the engine consults `order` in different
+  // directions (within a log only the reversing direction is asked).
+  const Tag& ta = a.tag();
+  const Tag& tb = b.tag();
+
+  if (is_join(ta) && is_join(tb)) {
+    // "maybe if physically possible; unsafe otherwise"
+    return physically_compatible(decode_join(ta), decode_join(tb))
+               ? Constraint::kMaybe
+               : Constraint::kUnsafe;
+  }
+  if (is_join(ta) && is_remove(tb)) {
+    // join(..Pi..Pj..) before remove(Pf): losing freshly joined work is
+    // undesirable — "unsafe if f = i or f = j; maybe otherwise".
+    const JoinTag j = decode_join(ta);
+    const int f = static_cast<int>(tb.param(0));
+    return (f == j.pi || f == j.pj) ? Constraint::kUnsafe : Constraint::kMaybe;
+  }
+  if (is_remove(ta) && is_join(tb)) {
+    // remove(Pm) before join(..Pi..Pj..): "unsafe if m = i or m = j; maybe
+    // otherwise". Together with the row above this makes a concurrent
+    // remove/join of the same piece a static conflict (§4.4's "spurious
+    // conflict" discussion).
+    const int m = static_cast<int>(ta.param(0));
+    const JoinTag j = decode_join(tb);
+    return (m == j.pi || m == j.pj) ? Constraint::kUnsafe : Constraint::kMaybe;
+  }
+  if (is_remove(ta) && is_remove(tb)) {
+    // "maybe if m != f; unsafe otherwise"
+    return ta.param(0) == tb.param(0) ? Constraint::kUnsafe
+                                      : Constraint::kMaybe;
+  }
+  // Insert is our explicit modelling of the paper's board initialisation;
+  // give it remove-like semantics with respect to its piece: two actions
+  // touching the same piece conflict statically, anything else is maybe.
+  if (is_insert(ta) || is_insert(tb)) {
+    const Tag& ins = is_insert(ta) ? ta : tb;
+    const Tag& other = is_insert(ta) ? tb : ta;
+    const int p = static_cast<int>(ins.param(0));
+    return mentions(other, p) ? Constraint::kUnsafe : Constraint::kMaybe;
+  }
+  return Constraint::kMaybe;
+}
+
+Constraint keep_log_order(const Action&, const Action&, LogRelation rel) {
+  // Same log ⇒ the engine is asking about the reversing direction, which
+  // Case 2 forbids outright. Across logs ⇒ no static information.
+  return rel == LogRelation::kSameLog ? Constraint::kUnsafe
+                                      : Constraint::kMaybe;
+}
+
+Constraint keep_join_order(const Action& a, const Action& b, LogRelation rel) {
+  if (rel == LogRelation::kSameLog) {
+    // Placement actions (joins and the insert that seeds them) keep their
+    // log order; removes float freely.
+    const bool both_placements = (is_join(a.tag()) || is_insert(a.tag())) &&
+                                 (is_join(b.tag()) || is_insert(b.tag()));
+    if (both_placements) return Constraint::kUnsafe;
+  }
+  return Constraint::kMaybe;
+}
+
+Constraint adjacency_order(const Action& a, const Action& b, LogRelation rel) {
+  // Preference a I b between joins having one piece in common: declared
+  // safe so the Safe/Strict heuristics chain adjacent joins.
+  if (is_join(a.tag()) && is_join(b.tag()) && share_piece(a.tag(), b.tag())) {
+    return Constraint::kSafe;
+  }
+  return keep_join_order(a, b, rel);
+}
+
+Constraint jigsaw_order(Board::OrderCase order_case, const Action& a,
+                        const Action& b, LogRelation rel) {
+  switch (order_case) {
+    case Board::OrderCase::kUnconstrained:
+      return Constraint::kMaybe;
+    case Board::OrderCase::kSemantic:
+      return semantic_order(a, b, rel);
+    case Board::OrderCase::kKeepLogOrder:
+      return keep_log_order(a, b, rel);
+    case Board::OrderCase::kKeepJoinOrder:
+      return keep_join_order(a, b, rel);
+    case Board::OrderCase::kAdjacency:
+      return adjacency_order(a, b, rel);
+  }
+  return Constraint::kMaybe;
+}
+
+}  // namespace icecube::jigsaw

@@ -1,0 +1,38 @@
+// Jigsaw order methods: Case 1 semantic constraints (Figures 7 and 8) and
+// the application-policy constraints of Cases 2–4 (§4.2).
+#pragma once
+
+#include "core/action.hpp"
+#include "core/constraint.hpp"
+#include "core/universe.hpp"
+#include "jigsaw/board.hpp"
+
+namespace icecube::jigsaw {
+
+/// Dispatches to the order method for `order_case`. `a` proposed before `b`;
+/// for same-log pairs this is called only for the log-reversing direction.
+[[nodiscard]] Constraint jigsaw_order(Board::OrderCase order_case,
+                                      const Action& a, const Action& b,
+                                      LogRelation rel);
+
+/// Case 1: the rules of the game and the laws of physics (Figures 7–8).
+[[nodiscard]] Constraint semantic_order(const Action& a, const Action& b,
+                                        LogRelation rel);
+
+/// Case 2: preserve each player's entire log order; across logs, no static
+/// information ("for two actions a and b, order(b, a) = unsafe if a precedes
+/// b in the same log").
+[[nodiscard]] Constraint keep_log_order(const Action& a, const Action& b,
+                                        LogRelation rel);
+
+/// Case 3: preserve log order between joins only; removes (and inserts) may
+/// be scheduled anywhere.
+[[nodiscard]] Constraint keep_join_order(const Action& a, const Action& b,
+                                         LogRelation rel);
+
+/// Case 4: Case 3 plus the preference a I b between join actions sharing a
+/// piece — favours uninterrupted strings of adjacent joins.
+[[nodiscard]] Constraint adjacency_order(const Action& a, const Action& b,
+                                         LogRelation rel);
+
+}  // namespace icecube::jigsaw

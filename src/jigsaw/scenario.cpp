@@ -1,0 +1,180 @@
+#include "jigsaw/scenario.hpp"
+
+#include <cassert>
+#include <memory>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace icecube::jigsaw {
+
+namespace {
+
+/// Builder that executes each appended action against a private replica so
+/// generated logs satisfy the "log is correct" invariant by construction.
+class IsolatedSession {
+ public:
+  IsolatedSession(const Board& board, ObjectId board_id)
+      : board_id_(board_id) {
+    ObjectId id = universe_.add(board.clone());
+    assert(id == board_id && "scenario board id must match its universe slot");
+    (void)id;
+  }
+
+  /// Tries the action against the replica; records it only on success.
+  bool try_append(ActionPtr action) {
+    if (!action->precondition(universe_)) return false;
+    if (!action->execute(universe_)) return false;
+    log_.append(std::move(action));
+    return true;
+  }
+
+  [[nodiscard]] const Board& board() const {
+    return universe_.as<Board>(board_id_);
+  }
+  [[nodiscard]] Log take(std::string name) {
+    Log out(std::move(name));
+    for (const auto& a : log_) out.append(a);
+    return out;
+  }
+
+ private:
+  Universe universe_;
+  ObjectId board_id_;
+  Log log_;
+};
+
+/// Row-major sweep: anchor is the left neighbour when one exists, otherwise
+/// the piece above.
+int u1_anchor(const Board& board, int piece) {
+  const Cell home = board.home(piece);
+  return home.col > 0 ? piece - 1 : piece - board.cols();
+}
+
+/// Reverse sweep: anchor is the right neighbour when one exists, otherwise
+/// the piece below.
+int u2_anchor(const Board& board, int piece) {
+  const Cell home = board.home(piece);
+  return home.col < board.cols() - 1 ? piece + 1 : piece + board.cols();
+}
+
+}  // namespace
+
+Log scenario_u1(const Board& board, ObjectId board_id, int pieces,
+                ScenarioOptions opts) {
+  assert(pieces >= 1 && pieces <= board.piece_count());
+  IsolatedSession session(board, board_id);
+  bool ok = session.try_append(
+      std::make_shared<InsertAction>(board_id, 0, opts.strict_insert));
+  assert(ok);
+  for (int p = 1; p < pieces; ++p) {
+    ok = session.try_append(std::make_shared<JoinAction>(
+        correct_join(board, board_id, u1_anchor(board, p), p)));
+    assert(ok);
+  }
+  (void)ok;
+  return session.take("U1");
+}
+
+Log scenario_u2(const Board& board, ObjectId board_id, int pieces,
+                ScenarioOptions opts) {
+  assert(pieces >= 1 && pieces <= board.piece_count());
+  IsolatedSession session(board, board_id);
+  const int last = board.piece_count() - 1;
+  bool ok = session.try_append(
+      std::make_shared<InsertAction>(board_id, last, opts.strict_insert));
+  assert(ok);
+  for (int i = 1; i < pieces; ++i) {
+    const int p = last - i;
+    ok = session.try_append(std::make_shared<JoinAction>(
+        correct_join(board, board_id, u2_anchor(board, p), p)));
+    assert(ok);
+  }
+  (void)ok;
+  return session.take("U2");
+}
+
+Log scenario_u3(const Board& board, ObjectId board_id, int actions,
+                std::uint64_t seed, ScenarioOptions opts) {
+  IsolatedSession session(board, board_id);
+  Rng rng(seed);
+
+  int recorded = 0;
+  if (actions > 0) {
+    if (session.try_append(
+            std::make_shared<InsertAction>(board_id, 0, opts.strict_insert))) {
+      ++recorded;
+    }
+  }
+
+  int attempts_left = actions * 64;  // generous bound; biased moves converge
+  while (recorded < actions && attempts_left-- > 0) {
+    const Board& b = session.board();
+
+    // Collect the correct frontier: (anchor on board, missing neighbour).
+    std::vector<std::pair<int, int>> frontier;
+    for (int p = 0; p < b.piece_count(); ++p) {
+      if (!b.on_board(p)) continue;
+      const Cell home = b.home(p);
+      const int candidates[4] = {
+          home.col > 0 ? p - 1 : -1, home.col < b.cols() - 1 ? p + 1 : -1,
+          home.row > 0 ? p - b.cols() : -1,
+          home.row < b.rows() - 1 ? p + b.cols() : -1};
+      for (int q : candidates) {
+        if (q >= 0 && b.available(q)) frontier.emplace_back(p, q);
+      }
+    }
+
+    const double roll = rng.unit();
+    bool appended = false;
+    if (roll < 0.80 && !frontier.empty()) {
+      // Correct join from a random frontier edge.
+      const auto& [anchor, piece] =
+          frontier[static_cast<std::size_t>(rng.below(frontier.size()))];
+      appended = session.try_append(std::make_shared<JoinAction>(
+          correct_join(b, board_id, anchor, piece)));
+    } else if (roll < 0.90 && b.pieces_on_board() > 1) {
+      // Remove a random placed piece (keep the board seeded).
+      std::vector<int> placed;
+      for (int p = 0; p < b.piece_count(); ++p) {
+        if (b.on_board(p)) placed.push_back(p);
+      }
+      const int victim =
+          placed[static_cast<std::size_t>(rng.below(placed.size()))];
+      appended =
+          session.try_append(std::make_shared<RemoveAction>(board_id, victim));
+    } else {
+      // Incorrect join: attach a random available piece to a random placed
+      // anchor on a random free edge — physically possible, semantically
+      // wrong (the piece will usually land off its home cell).
+      std::vector<int> placed, avail;
+      for (int p = 0; p < b.piece_count(); ++p) {
+        (b.on_board(p) ? placed : avail).push_back(p);
+      }
+      if (!placed.empty() && !avail.empty()) {
+        const int anchor =
+            placed[static_cast<std::size_t>(rng.below(placed.size()))];
+        const int piece =
+            avail[static_cast<std::size_t>(rng.below(avail.size()))];
+        const Edge e = static_cast<Edge>(rng.below(4));
+        appended = session.try_append(std::make_shared<JoinAction>(
+            board_id, anchor, e, piece, opposite(e)));
+      }
+    }
+    if (appended) ++recorded;
+  }
+  return session.take("U3");
+}
+
+int replay_count(const Board& board, const Log& log) {
+  Universe universe;
+  const ObjectId id = universe.add(board.clone());
+  (void)id;
+  int ok = 0;
+  for (const auto& action : log) {
+    if (action->precondition(universe) && action->execute(universe)) ++ok;
+  }
+  return ok;
+}
+
+}  // namespace icecube::jigsaw

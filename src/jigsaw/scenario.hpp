@@ -1,0 +1,48 @@
+// User scenarios for the jigsaw experiments (§4.2).
+//
+//  U1 — joins correct pieces, left to right, row by row downwards, starting
+//       from square 0.
+//  U2 — symmetric: right to left and upwards, starting from the last square.
+//  U3 — a random sequence of correct and incorrect joins and removes,
+//       strongly biased towards correct moves, starting from square 0.
+//
+// Every generated log is *correct* in the paper's sense: it was successfully
+// executed against a private replica of the (initially empty) board.
+#pragma once
+
+#include <cstdint>
+
+#include "core/log.hpp"
+#include "core/universe.hpp"
+#include "jigsaw/actions.hpp"
+#include "jigsaw/board.hpp"
+
+namespace icecube::jigsaw {
+
+struct ScenarioOptions {
+  /// Use the strict "board must be empty" insert precondition (DESIGN.md
+  /// §5.4). Affects replay during reconciliation, not isolated execution.
+  bool strict_insert = false;
+};
+
+/// U1: places `pieces` pieces (one insert + pieces-1 correct joins).
+[[nodiscard]] Log scenario_u1(const Board& board, ObjectId board_id,
+                              int pieces, ScenarioOptions opts = {});
+
+/// U2: places `pieces` pieces starting from the last square, right to left
+/// and upwards.
+[[nodiscard]] Log scenario_u2(const Board& board, ObjectId board_id,
+                              int pieces, ScenarioOptions opts = {});
+
+/// U3: records `actions` successful random moves (~80% correct joins,
+/// ~10% removes, ~10% physically-possible incorrect joins).
+[[nodiscard]] Log scenario_u3(const Board& board, ObjectId board_id,
+                              int actions, std::uint64_t seed,
+                              ScenarioOptions opts = {});
+
+/// Replays `log` against a fresh universe containing only a copy of `board`;
+/// returns the number of actions that executed successfully. Generators use
+/// this invariant-check internally; exposed for tests.
+[[nodiscard]] int replay_count(const Board& board, const Log& log);
+
+}  // namespace icecube::jigsaw

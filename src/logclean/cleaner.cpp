@@ -1,0 +1,129 @@
+#include "logclean/cleaner.hpp"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace icecube {
+
+namespace {
+
+/// Replays `actions` against a copy of `initial`. Returns the final
+/// fingerprint, or nullopt if any action fails (a clean log must replay in
+/// full).
+std::optional<std::string> replay_fingerprint(
+    const Universe& initial, const std::vector<ActionPtr>& actions) {
+  Universe state = initial;
+  for (const auto& action : actions) {
+    if (!action->precondition(state)) return std::nullopt;
+    if (!action->execute(state)) return std::nullopt;
+  }
+  return state.fingerprint();
+}
+
+/// Generic generate-and-verify cleaner: repeatedly tries to drop candidate
+/// index sets proposed by `propose`, keeping a drop iff the shortened log
+/// still replays in full to the same final state. Iterates to fixpoint.
+///
+/// `propose(actions)` returns candidate sets of indices to drop together,
+/// cheapest first. Verification makes the cleaner sound regardless of how
+/// optimistic the proposals are.
+template <typename ProposeFn>
+CleanReport clean_by_verification(const Universe& initial, const Log& log,
+                                  ProposeFn&& propose) {
+  std::vector<ActionPtr> actions;
+  for (const auto& a : log) actions.push_back(a);
+
+  CleanReport report;
+  const auto reference = replay_fingerprint(initial, actions);
+  if (!reference) {
+    // Input log does not replay cleanly; return it untouched.
+    report.cleaned = log;
+    return report;
+  }
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const std::vector<std::size_t>& drop : propose(actions)) {
+      std::vector<ActionPtr> candidate;
+      candidate.reserve(actions.size());
+      for (std::size_t i = 0; i < actions.size(); ++i) {
+        bool dropped = false;
+        for (std::size_t d : drop) dropped = dropped || d == i;
+        if (!dropped) candidate.push_back(actions[i]);
+      }
+      if (replay_fingerprint(initial, candidate) == reference) {
+        report.removed += actions.size() - candidate.size();
+        actions = std::move(candidate);
+        changed = true;
+        break;  // re-propose on the shortened log
+      }
+    }
+  }
+
+  Log cleaned(log.name());
+  for (auto& a : actions) cleaned.append(std::move(a));
+  report.cleaned = std::move(cleaned);
+  return report;
+}
+
+bool mentions_piece(const Tag& t, std::int64_t piece) {
+  if (t.op == "join") return t.param(0) == piece || t.param(2) == piece;
+  return t.param(0) == piece;  // insert / remove
+}
+
+}  // namespace
+
+CleanReport clean_jigsaw_log(const Universe& initial, const Log& log) {
+  // Candidates: a placement (insert/join) and a later remove that mention a
+  // common piece, with preference for adjacent pairs; plus lone
+  // place-then-remove of the same piece. Verification rejects unsound drops.
+  auto propose = [](const std::vector<ActionPtr>& actions) {
+    std::vector<std::vector<std::size_t>> candidates;
+    for (std::size_t j = 0; j < actions.size(); ++j) {
+      const Tag& tj = actions[j]->tag();
+      if (tj.op != "remove") continue;
+      const std::int64_t piece = tj.param(0);
+      for (std::size_t i = j; i-- > 0;) {  // nearest placement first
+        const Tag& ti = actions[i]->tag();
+        const bool places = ti.op == "join" || ti.op == "insert" ||
+                            ti.op == "insert!";
+        if (places && mentions_piece(ti, piece)) {
+          candidates.push_back({i, j});
+          break;
+        }
+      }
+    }
+    return candidates;
+  };
+  return clean_by_verification(initial, log, propose);
+}
+
+CleanReport clean_fs_log(const Universe& initial, const Log& log) {
+  // Candidates: drop an earlier write/mkdir whose path is later overwritten
+  // or deleted; and mkdir/delete pairs of the same path.
+  auto propose = [](const std::vector<ActionPtr>& actions) {
+    std::vector<std::vector<std::size_t>> candidates;
+    for (std::size_t i = 0; i < actions.size(); ++i) {
+      const Tag& ti = actions[i]->tag();
+      if (ti.op != "fswrite" && ti.op != "mkdir") continue;
+      const std::string& path = ti.str_param(0);
+      for (std::size_t j = i + 1; j < actions.size(); ++j) {
+        const Tag& tj = actions[j]->tag();
+        if (tj.op == "fswrite" && tj.str_param(0) == path) {
+          candidates.push_back({i});  // superseded write
+          break;
+        }
+        if (tj.op == "fsdelete" && tj.str_param(0) == path) {
+          candidates.push_back({i, j});  // create/delete pair
+          break;
+        }
+      }
+    }
+    return candidates;
+  };
+  return clean_by_verification(initial, log, propose);
+}
+
+}  // namespace icecube

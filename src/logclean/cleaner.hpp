@@ -1,0 +1,38 @@
+// Log cleaning (§4.4).
+//
+// Semantic constraints work best on "clean" logs — logs where no two actions
+// redundantly update the same object. Interactive users change their minds,
+// so IceCube proposes cleaning the log after the fact: combining several
+// actions from the same log targeting the same object into one. The paper's
+// example: join(P1,top,P2,bottom), remove(P2), join(P1,top,P2,bottom)
+// reduces to the single final join.
+//
+// Cleaning must preserve the log's replayed final state; tests enforce this.
+#pragma once
+
+#include "core/log.hpp"
+#include "core/universe.hpp"
+#include "util/ids.hpp"
+
+namespace icecube {
+
+/// Statistics from one cleaning pass.
+struct CleanReport {
+  Log cleaned;
+  std::size_t removed = 0;  ///< actions dropped from the input log
+};
+
+/// Cleans a jigsaw log: cancels place/remove pairs of the same piece when no
+/// intervening action depends on the piece being on the board, iterating to
+/// a fixed point. `initial` must contain the board the log was recorded
+/// against (it is replayed to attribute piece movements to actions).
+[[nodiscard]] CleanReport clean_jigsaw_log(const Universe& initial,
+                                           const Log& log);
+
+/// Cleans a file-system log: drops a write to a path that is overwritten by
+/// a later write (or deleted) with no intervening dependent action, and
+/// collapses mkdir/delete pairs, iterating to a fixed point. `initial` must
+/// contain the file system the log was recorded against.
+[[nodiscard]] CleanReport clean_fs_log(const Universe& initial, const Log& log);
+
+}  // namespace icecube

@@ -1,0 +1,79 @@
+#include "objects/calendar.hpp"
+
+#include <sstream>
+
+namespace icecube {
+
+Constraint Calendar::order(const Action& a, const Action& b,
+                           LogRelation rel) const {
+  const Tag& ta = a.tag();
+  const Tag& tb = b.tag();
+  const bool a_cancel = ta.op == "cancel";
+  const bool b_cancel = tb.op == "cancel";
+
+  if (a_cancel && b_cancel) {
+    // Same slot twice can never both succeed; distinct slots commute.
+    return ta.param(0) == tb.param(0) ? Constraint::kUnsafe
+                                      : Constraint::kSafe;
+  }
+  if (a_cancel && !b_cancel) {
+    // Freeing a slot before a booking can only help the booking.
+    return Constraint::kSafe;
+  }
+  if (!a_cancel && b_cancel) {
+    // Booking first might grab the slot being cancelled — check dynamically.
+    return Constraint::kMaybe;
+  }
+  if (rel == LogRelation::kSameLog) {
+    // Two requests recorded in one session: swapping changes which slots
+    // each gets, contradicting what the user saw.
+    return Constraint::kUnsafe;
+  }
+  // Concurrent requests sharing this calendar compete for slots.
+  return Constraint::kMaybe;
+}
+
+std::string Calendar::describe() const {
+  std::ostringstream os;
+  os << owner_ << "{";
+  bool first = true;
+  for (const auto& [hour, label] : slots_) {
+    if (!first) os << ", ";
+    os << hour << ":00=" << label;
+    first = false;
+  }
+  os << "}";
+  return os.str();
+}
+
+std::optional<int> RequestAppointmentAction::find_slot(
+    const Universe& u) const {
+  const auto& a = u.as<Calendar>(cal_a_);
+  const auto& b = u.as<Calendar>(cal_b_);
+  for (int hour = earliest_; hour <= latest_; ++hour) {
+    if (a.free_at(hour) && b.free_at(hour)) return hour;
+  }
+  return std::nullopt;
+}
+
+bool RequestAppointmentAction::precondition(const Universe& u) const {
+  return find_slot(u).has_value();
+}
+
+bool RequestAppointmentAction::execute(Universe& u) const {
+  const auto slot = find_slot(u);
+  if (!slot) return false;
+  u.as<Calendar>(cal_a_).book(*slot, label_);
+  u.as<Calendar>(cal_b_).book(*slot, label_);
+  return true;
+}
+
+bool CancelAppointmentAction::precondition(const Universe& u) const {
+  return !u.as<Calendar>(cal_).free_at(hour_);
+}
+
+bool CancelAppointmentAction::execute(Universe& u) const {
+  return u.as<Calendar>(cal_).cancel(hour_);
+}
+
+}  // namespace icecube

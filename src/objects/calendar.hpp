@@ -1,0 +1,94 @@
+// Calendar application (§2, second motivating example).
+//
+// Each user owns a calendar of hourly slots. An appointment request between
+// two users books the earliest slot in its window that is free in *both*
+// calendars ("as close to 9:00 as possible"); a cancellation frees a slot.
+// The paper's example has a unique successful ordering — freeC, appBC,
+// appAB — which IceCube must discover.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/action.hpp"
+#include "core/universe.hpp"
+
+namespace icecube {
+
+/// One user's calendar: hour → appointment label; absent hours are free.
+class Calendar final : public SharedObject {
+ public:
+  explicit Calendar(std::string owner) : owner_(std::move(owner)) {}
+
+  [[nodiscard]] const std::string& owner() const { return owner_; }
+  [[nodiscard]] bool free_at(int hour) const { return !slots_.contains(hour); }
+  [[nodiscard]] std::optional<std::string> appointment_at(int hour) const {
+    const auto it = slots_.find(hour);
+    if (it == slots_.end()) return std::nullopt;
+    return it->second;
+  }
+  [[nodiscard]] std::size_t booked_count() const { return slots_.size(); }
+  [[nodiscard]] const std::map<int, std::string>& bookings() const {
+    return slots_;
+  }
+
+  void book(int hour, std::string label) { slots_[hour] = std::move(label); }
+  bool cancel(int hour) { return slots_.erase(hour) > 0; }
+
+  [[nodiscard]] std::unique_ptr<SharedObject> clone() const override {
+    return std::make_unique<Calendar>(*this);
+  }
+  [[nodiscard]] Constraint order(const Action& a, const Action& b,
+                                 LogRelation rel) const override;
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  std::string owner_;
+  std::map<int, std::string> slots_;
+};
+
+/// Books the earliest hour in [earliest, latest] free in both calendars.
+/// Precondition: such an hour exists.
+class RequestAppointmentAction final : public SimpleAction {
+ public:
+  RequestAppointmentAction(ObjectId cal_a, ObjectId cal_b, int earliest,
+                           int latest, std::string label)
+      : SimpleAction(Tag("request", {earliest, latest}, {label}),
+                     {cal_a, cal_b}),
+        cal_a_(cal_a),
+        cal_b_(cal_b),
+        earliest_(earliest),
+        latest_(latest),
+        label_(std::move(label)) {}
+
+  [[nodiscard]] bool precondition(const Universe& u) const override;
+  bool execute(Universe& u) const override;
+
+ private:
+  [[nodiscard]] std::optional<int> find_slot(const Universe& u) const;
+
+  ObjectId cal_a_;
+  ObjectId cal_b_;
+  int earliest_;
+  int latest_;
+  std::string label_;
+};
+
+/// Cancels the appointment at `hour` in one calendar.
+class CancelAppointmentAction final : public SimpleAction {
+ public:
+  CancelAppointmentAction(ObjectId cal, int hour)
+      : SimpleAction(Tag("cancel", {hour}), {cal}), cal_(cal), hour_(hour) {}
+
+  [[nodiscard]] bool precondition(const Universe& u) const override;
+  bool execute(Universe& u) const override;
+
+ private:
+  ObjectId cal_;
+  int hour_;
+};
+
+}  // namespace icecube

@@ -1,0 +1,22 @@
+#include "objects/counter.hpp"
+
+namespace icecube {
+
+Constraint Counter::order(const Action& a, const Action& b,
+                          LogRelation rel) const {
+  const bool a_dec = a.tag().op == "decrement";
+  const bool b_dec = b.tag().op == "decrement";
+
+  if (rel == LogRelation::kSameLog) {
+    // Figure 5: swapping a decrement to before an increment could make an
+    // intermediate state go negative where the log did not; disallowed.
+    if (a_dec && !b_dec) return Constraint::kUnsafe;
+    return Constraint::kSafe;
+  }
+  // Figure 3 (across logs): increments first; decrement-before-increment is
+  // possible but must clear the dynamic non-negativity check.
+  if (a_dec && !b_dec) return Constraint::kMaybe;
+  return Constraint::kSafe;
+}
+
+}  // namespace icecube

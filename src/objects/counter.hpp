@@ -1,0 +1,89 @@
+// Non-negative counter: a bank account or budget (§2.4, Figures 3 and 5).
+//
+// Semantics: increments and decrements instead of reads and writes; the
+// value may never go negative (an object invariant enforced dynamically).
+// Order-method rationale, from the paper: "orders increments before
+// decrements; increments commute with one another, and decrements commute
+// with one another subject to the dynamic constraint that the budget not
+// become negative."
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/action.hpp"
+#include "core/universe.hpp"
+
+namespace icecube {
+
+/// Budget/bank-account integer; invariant: value >= 0.
+class Counter final : public SharedObject {
+ public:
+  explicit Counter(std::int64_t initial = 0) : value_(initial) {}
+
+  [[nodiscard]] std::int64_t value() const { return value_; }
+
+  /// Applies a delta; returns false (and leaves the value unchanged) if the
+  /// result would violate the non-negativity invariant.
+  bool apply(std::int64_t delta) {
+    if (value_ + delta < 0) return false;
+    value_ += delta;
+    return true;
+  }
+
+  [[nodiscard]] std::unique_ptr<SharedObject> clone() const override {
+    return std::make_unique<Counter>(*this);
+  }
+  [[nodiscard]] Constraint order(const Action& a, const Action& b,
+                                 LogRelation rel) const override;
+  [[nodiscard]] std::string describe() const override {
+    return "counter=" + std::to_string(value_);
+  }
+
+ private:
+  std::int64_t value_;
+};
+
+/// Adds `amount` (>= 0) to the counter. Tag: increment(amount).
+class IncrementAction final : public SimpleAction {
+ public:
+  IncrementAction(ObjectId counter, std::int64_t amount)
+      : SimpleAction(Tag("increment", {amount}), {counter}),
+        counter_(counter),
+        amount_(amount) {}
+
+  [[nodiscard]] bool precondition(const Universe&) const override {
+    return true;
+  }
+  bool execute(Universe& u) const override {
+    return u.as<Counter>(counter_).apply(amount_);
+  }
+
+ private:
+  ObjectId counter_;
+  std::int64_t amount_;
+};
+
+/// Subtracts `amount` (>= 0); both the precondition and the post-condition
+/// guard the invariant — the dynamic constraint of Figure 3's `maybe`.
+class DecrementAction final : public SimpleAction {
+ public:
+  DecrementAction(ObjectId counter, std::int64_t amount)
+      : SimpleAction(Tag("decrement", {amount}), {counter}),
+        counter_(counter),
+        amount_(amount) {}
+
+  [[nodiscard]] bool precondition(const Universe& u) const override {
+    return u.as<Counter>(counter_).value() >= amount_;
+  }
+  bool execute(Universe& u) const override {
+    return u.as<Counter>(counter_).apply(-amount_);
+  }
+
+ private:
+  ObjectId counter_;
+  std::int64_t amount_;
+};
+
+}  // namespace icecube

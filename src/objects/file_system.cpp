@@ -1,0 +1,152 @@
+#include "objects/file_system.hpp"
+
+#include <sstream>
+
+namespace icecube {
+
+namespace fspath {
+
+std::string parent(std::string_view path) {
+  if (path == "/" || path.empty()) return "/";
+  const auto slash = path.find_last_of('/');
+  if (slash == 0) return "/";
+  return std::string(path.substr(0, slash));
+}
+
+bool covers(std::string_view ancestor, std::string_view path) {
+  if (ancestor == path) return true;
+  if (ancestor == "/") return true;
+  return path.size() > ancestor.size() && path.starts_with(ancestor) &&
+         path[ancestor.size()] == '/';
+}
+
+}  // namespace fspath
+
+FileSystem::FileSystem() { nodes_["/"] = Node{true, {}}; }
+
+bool FileSystem::exists(const std::string& path) const {
+  return nodes_.contains(path);
+}
+bool FileSystem::is_dir(const std::string& path) const {
+  const auto it = nodes_.find(path);
+  return it != nodes_.end() && it->second.dir;
+}
+bool FileSystem::is_file(const std::string& path) const {
+  const auto it = nodes_.find(path);
+  return it != nodes_.end() && !it->second.dir;
+}
+
+std::optional<std::string> FileSystem::read(const std::string& path) const {
+  const auto it = nodes_.find(path);
+  if (it == nodes_.end() || it->second.dir) return std::nullopt;
+  return it->second.content;
+}
+
+std::vector<std::string> FileSystem::list() const {
+  std::vector<std::string> out;
+  out.reserve(nodes_.size());
+  for (const auto& [path, node] : nodes_) out.push_back(path);
+  return out;
+}
+
+bool FileSystem::mkdir(const std::string& path) {
+  if (exists(path) || !is_dir(fspath::parent(path))) return false;
+  nodes_[path] = Node{true, {}};
+  return true;
+}
+
+bool FileSystem::write(const std::string& path, std::string content) {
+  if (is_dir(path) || !is_dir(fspath::parent(path))) return false;
+  nodes_[path] = Node{false, std::move(content)};
+  return true;
+}
+
+bool FileSystem::remove(const std::string& path) {
+  if (!exists(path) || path == "/") return false;
+  // Erase the node and, for directories, the whole subtree.
+  for (auto it = nodes_.begin(); it != nodes_.end();) {
+    if (fspath::covers(path, it->first)) {
+      it = nodes_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return true;
+}
+
+Constraint FileSystem::order(const Action& a, const Action& b,
+                             LogRelation rel) const {
+  const Tag& ta = a.tag();
+  const Tag& tb = b.tag();
+  const std::string& pa = ta.str_param(0);
+  const std::string& pb = tb.str_param(0);
+  const bool related = fspath::covers(pa, pb) || fspath::covers(pb, pa);
+
+  if (rel == LogRelation::kSameLog) {
+    // Within a log, keep the user's order for related paths (swapping could
+    // change what the user saw); unrelated paths commute.
+    return related ? Constraint::kUnsafe : Constraint::kSafe;
+  }
+
+  // Across logs. Unrelated paths commute outright.
+  if (!related) return Constraint::kSafe;
+
+  const bool a_del = ta.op == "fsdelete";
+  const bool b_del = tb.op == "fsdelete";
+  const bool a_makes = ta.op == "fswrite" || ta.op == "mkdir";
+  const bool b_makes = tb.op == "fswrite" || tb.op == "mkdir";
+
+  // The paper's file example: creating work under (or at) something the
+  // other user deletes must not be silently discarded — creation before
+  // deletion is unsafe; deletion first is maybe (the creation will then
+  // fail dynamically and the user is notified).
+  if (a_makes && b_del && fspath::covers(pb, pa)) return Constraint::kUnsafe;
+  if (a_del && b_makes && fspath::covers(pa, pb)) return Constraint::kMaybe;
+
+  // Two concurrent updates of the same path: order-dependent, conflicting —
+  // leave it to the dynamic stage.
+  if (pa == pb) return Constraint::kMaybe;
+
+  // Remaining ancestor-related combinations (e.g. mkdir parent then write
+  // child): possible, verified dynamically.
+  return Constraint::kMaybe;
+}
+
+std::string FileSystem::describe() const {
+  std::ostringstream os;
+  os << "fs{" << nodes_.size() << " nodes}";
+  return os.str();
+}
+
+std::string FileSystem::fingerprint() const {
+  std::ostringstream os;
+  for (const auto& [path, node] : nodes_) {
+    os << path << (node.dir ? "/" : "=" + node.content) << ";";
+  }
+  return os.str();
+}
+
+bool MkdirAction::precondition(const Universe& u) const {
+  const auto& fs = u.as<FileSystem>(fs_);
+  return !fs.exists(path_) && fs.is_dir(fspath::parent(path_));
+}
+bool MkdirAction::execute(Universe& u) const {
+  return u.as<FileSystem>(fs_).mkdir(path_);
+}
+
+bool WriteFileAction::precondition(const Universe& u) const {
+  const auto& fs = u.as<FileSystem>(fs_);
+  return !fs.is_dir(path_) && fs.is_dir(fspath::parent(path_));
+}
+bool WriteFileAction::execute(Universe& u) const {
+  return u.as<FileSystem>(fs_).write(path_, content_);
+}
+
+bool DeleteAction::precondition(const Universe& u) const {
+  return u.as<FileSystem>(fs_).exists(path_);
+}
+bool DeleteAction::execute(Universe& u) const {
+  return u.as<FileSystem>(fs_).remove(path_);
+}
+
+}  // namespace icecube

@@ -1,0 +1,116 @@
+// In-memory hierarchical file system (§2.4's write/delete example; also the
+// substrate for the file-synchroniser scenario of the related-work
+// discussion).
+//
+// Order-method rationale, from the paper: one isolated user writes a file
+// while another deletes that file's parent directory. It is *formally* safe
+// to write then delete, but that silently loses the first user's work — so,
+// "contrary to mathematical intuition", write-before-delete is marked
+// `unsafe` and delete-before-write `maybe`, which triggers a dynamic failure
+// and notifies the user.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/action.hpp"
+#include "core/universe.hpp"
+
+namespace icecube {
+
+/// Normalised absolute path helpers. Paths look like "/a/b/c"; the root is
+/// "/".
+namespace fspath {
+[[nodiscard]] std::string parent(std::string_view path);
+/// True iff `ancestor` equals `path` or is a proper ancestor directory.
+[[nodiscard]] bool covers(std::string_view ancestor, std::string_view path);
+}  // namespace fspath
+
+/// Tree of directories and files; files carry string content.
+class FileSystem final : public SharedObject {
+ public:
+  FileSystem();
+
+  [[nodiscard]] bool exists(const std::string& path) const;
+  [[nodiscard]] bool is_dir(const std::string& path) const;
+  [[nodiscard]] bool is_file(const std::string& path) const;
+  [[nodiscard]] std::optional<std::string> read(const std::string& path) const;
+  [[nodiscard]] std::size_t entry_count() const { return nodes_.size(); }
+  [[nodiscard]] std::vector<std::string> list() const;
+
+  bool mkdir(const std::string& path);
+  bool write(const std::string& path, std::string content);
+  /// Removes a file, or a directory with its whole subtree.
+  bool remove(const std::string& path);
+
+  [[nodiscard]] std::unique_ptr<SharedObject> clone() const override {
+    return std::make_unique<FileSystem>(*this);
+  }
+  [[nodiscard]] Constraint order(const Action& a, const Action& b,
+                                 LogRelation rel) const override;
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] std::string fingerprint() const override;
+
+ private:
+  struct Node {
+    bool dir = false;
+    std::string content;  // files only
+  };
+  std::map<std::string, Node> nodes_;  // keyed by normalised path
+};
+
+/// mkdir(path): parent must exist and be a directory; path must be absent.
+class MkdirAction final : public SimpleAction {
+ public:
+  MkdirAction(ObjectId fs, std::string path)
+      : SimpleAction(Tag("mkdir", {}, {path}), {fs}),
+        fs_(fs),
+        path_(std::move(path)) {}
+
+  [[nodiscard]] bool precondition(const Universe& u) const override;
+  bool execute(Universe& u) const override;
+
+ private:
+  ObjectId fs_;
+  std::string path_;
+};
+
+/// write(path, content): creates or overwrites a file; parent must exist.
+class WriteFileAction final : public SimpleAction {
+ public:
+  WriteFileAction(ObjectId fs, std::string path, std::string content)
+      : SimpleAction(Tag("fswrite", {}, {path, content}), {fs}),
+        fs_(fs),
+        path_(std::move(path)),
+        content_(std::move(content)) {}
+
+  [[nodiscard]] bool precondition(const Universe& u) const override;
+  bool execute(Universe& u) const override;
+
+ private:
+  ObjectId fs_;
+  std::string path_;
+  std::string content_;
+};
+
+/// delete(path): removes a file or a directory subtree; path must exist.
+class DeleteAction final : public SimpleAction {
+ public:
+  DeleteAction(ObjectId fs, std::string path)
+      : SimpleAction(Tag("fsdelete", {}, {path}), {fs}),
+        fs_(fs),
+        path_(std::move(path)) {}
+
+  [[nodiscard]] bool precondition(const Universe& u) const override;
+  bool execute(Universe& u) const override;
+
+ private:
+  ObjectId fs_;
+  std::string path_;
+};
+
+}  // namespace icecube

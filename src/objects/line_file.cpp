@@ -1,0 +1,20 @@
+#include "objects/line_file.hpp"
+
+namespace icecube {
+
+Constraint LineFile::order(const Action& a, const Action& b,
+                           LogRelation rel) const {
+  const bool same_line = a.tag().param(0) == b.tag().param(0);
+  if (rel == LogRelation::kSameLog) {
+    // Within one editing session, re-edits of the same line must keep their
+    // order (each edit's precondition pins its predecessor's output);
+    // different lines commute.
+    return same_line ? Constraint::kUnsafe : Constraint::kSafe;
+  }
+  // Across sessions: the CVS rule. Different lines never conflict; the same
+  // line is a potential conflict left to the dynamic stage (the loser's
+  // precondition fails and the user is notified).
+  return same_line ? Constraint::kMaybe : Constraint::kSafe;
+}
+
+}  // namespace icecube

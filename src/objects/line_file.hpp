@@ -1,0 +1,102 @@
+// Line-oriented shared file — the CVS example of §1.1.
+//
+// "What constitutes a conflict and how to resolve it depends on semantics
+// and on user intent. (One example is CVS, where non-overlapping writes
+// conflict if and only if they occur in the same line of the same text
+// file.)"
+//
+// A `LineFile` is a fixed roster of numbered lines. `SetLineAction`
+// carries both the text the editor saw (its dynamic precondition — the
+// line must still read that way) and the replacement, so concurrent edits
+// of one line surface as dynamic conflicts exactly as CVS flags them, while
+// edits of different lines commute freely. The `cvs_merge` baseline
+// (src/baseline) performs the classic three-way merge over the same
+// actions; IceCube subsumes it and additionally searches orderings when
+// edits chain.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/action.hpp"
+#include "core/universe.hpp"
+
+namespace icecube {
+
+/// A text file addressed by line number (0-based, fixed line count — the
+/// classic RCS/CVS model where hunks replace line ranges).
+class LineFile final : public SharedObject {
+ public:
+  explicit LineFile(std::vector<std::string> lines = {})
+      : lines_(std::move(lines)) {}
+
+  [[nodiscard]] std::size_t line_count() const { return lines_.size(); }
+  [[nodiscard]] const std::string& line(std::size_t i) const {
+    return lines_.at(i);
+  }
+  [[nodiscard]] const std::vector<std::string>& lines() const {
+    return lines_;
+  }
+
+  bool set_line(std::size_t i, std::string text) {
+    if (i >= lines_.size()) return false;
+    lines_[i] = std::move(text);
+    return true;
+  }
+
+  [[nodiscard]] std::unique_ptr<SharedObject> clone() const override {
+    return std::make_unique<LineFile>(*this);
+  }
+  [[nodiscard]] Constraint order(const Action& a, const Action& b,
+                                 LogRelation rel) const override;
+  [[nodiscard]] std::string describe() const override {
+    return "file[" + std::to_string(lines_.size()) + " lines]";
+  }
+  [[nodiscard]] std::string fingerprint() const override {
+    std::string out;
+    for (const auto& l : lines_) {
+      out += l;
+      out += '\n';
+    }
+    return out;
+  }
+
+ private:
+  std::vector<std::string> lines_;
+};
+
+/// Replaces the content of one line. The precondition pins the content the
+/// editing user saw: if a concurrent edit got there first, this edit fails
+/// dynamically — the CVS conflict, surfaced instead of silently clobbered.
+class SetLineAction final : public SimpleAction {
+ public:
+  SetLineAction(ObjectId file, std::size_t line, std::string expected,
+                std::string replacement)
+      : SimpleAction(Tag("setline", {static_cast<std::int64_t>(line)},
+                         {expected, replacement}),
+                     {file}),
+        file_(file),
+        line_(line),
+        expected_(std::move(expected)),
+        replacement_(std::move(replacement)) {}
+
+  [[nodiscard]] bool precondition(const Universe& u) const override {
+    const auto& f = u.as<LineFile>(file_);
+    return line_ < f.line_count() && f.line(line_) == expected_;
+  }
+  bool execute(Universe& u) const override {
+    return u.as<LineFile>(file_).set_line(line_, replacement_);
+  }
+
+  [[nodiscard]] std::size_t line() const { return line_; }
+  [[nodiscard]] const std::string& replacement() const { return replacement_; }
+
+ private:
+  ObjectId file_;
+  std::size_t line_;
+  std::string expected_;
+  std::string replacement_;
+};
+
+}  // namespace icecube

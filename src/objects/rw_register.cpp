@@ -1,0 +1,22 @@
+#include "objects/rw_register.hpp"
+
+namespace icecube {
+
+Constraint RwRegister::order(const Action& a, const Action& b,
+                             LogRelation rel) const {
+  const bool a_write = a.tag().op == "write";
+  const bool b_write = b.tag().op == "write";
+
+  if (rel == LogRelation::kSameLog) {
+    // Figure 4: reads commute, writes commute, read/write never swaps.
+    if (a_write == b_write) return Constraint::kSafe;
+    return Constraint::kUnsafe;
+  }
+  // Figure 2 (across logs).
+  if (!a_write && !b_write) return Constraint::kSafe;   // read before read
+  if (!a_write && b_write) return Constraint::kSafe;    // read before write
+  if (a_write && !b_write) return Constraint::kUnsafe;  // write before read
+  return Constraint::kMaybe;                            // write before write
+}
+
+}  // namespace icecube

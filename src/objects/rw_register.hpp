@@ -1,0 +1,88 @@
+// Shared integer register with read/write semantics (§2.4, Figures 2 and 4).
+//
+// Order-method rationale, from the paper:
+//  - across logs: "avoid losing writes, but allow a read to be ordered
+//    before an unrelated write" — a concurrent read may precede a foreign
+//    write (it returns the value its user saw), but a foreign write must not
+//    be ordered before a concurrent read; two concurrent writes are `maybe`
+//    (order matters, checked dynamically).
+//  - within a log: reads commute with reads and writes with writes, but a
+//    read never swaps with a write (it would change the value returned
+//    during isolated execution).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/action.hpp"
+#include "core/universe.hpp"
+
+namespace icecube {
+
+/// Read/write integer register.
+class RwRegister final : public SharedObject {
+ public:
+  explicit RwRegister(std::int64_t initial = 0) : value_(initial) {}
+
+  [[nodiscard]] std::int64_t value() const { return value_; }
+  void write(std::int64_t v) { value_ = v; }
+
+  [[nodiscard]] std::unique_ptr<SharedObject> clone() const override {
+    return std::make_unique<RwRegister>(*this);
+  }
+  [[nodiscard]] Constraint order(const Action& a, const Action& b,
+                                 LogRelation rel) const override;
+  [[nodiscard]] std::string describe() const override {
+    return "register=" + std::to_string(value_);
+  }
+
+ private:
+  std::int64_t value_;
+};
+
+/// Writes a fixed value. Tag: write(value). Never fails dynamically.
+class WriteAction final : public SimpleAction {
+ public:
+  WriteAction(ObjectId reg, std::int64_t value)
+      : SimpleAction(Tag("write", {value}), {reg}), reg_(reg), value_(value) {}
+
+  [[nodiscard]] bool precondition(const Universe&) const override {
+    return true;
+  }
+  bool execute(Universe& u) const override {
+    u.as<RwRegister>(reg_).write(value_);
+    return true;
+  }
+
+ private:
+  ObjectId reg_;
+  std::int64_t value_;
+};
+
+/// Reads the register. If `expected` is set, the precondition checks the
+/// value still matches what the isolated user observed (the paper's
+/// "similarly to, but more flexibly than, a database lock").
+class ReadAction final : public SimpleAction {
+ public:
+  explicit ReadAction(ObjectId reg,
+                      std::optional<std::int64_t> expected = std::nullopt)
+      : SimpleAction(Tag("read", expected
+                                     ? std::vector<std::int64_t>{*expected}
+                                     : std::vector<std::int64_t>{}),
+                     {reg}),
+        reg_(reg),
+        expected_(expected) {}
+
+  [[nodiscard]] bool precondition(const Universe& u) const override {
+    return !expected_ || u.as<RwRegister>(reg_).value() == *expected_;
+  }
+  bool execute(Universe&) const override { return true; }
+
+ private:
+  ObjectId reg_;
+  std::optional<std::int64_t> expected_;
+};
+
+}  // namespace icecube

@@ -1,0 +1,120 @@
+#include "objects/sysadmin.hpp"
+
+#include <sstream>
+
+namespace icecube {
+
+Constraint OsSystem::order(const Action& a, const Action& b,
+                           LogRelation rel) const {
+  const Tag& ta = a.tag();
+  const Tag& tb = b.tag();
+
+  // upgrade(from, to) vs install(device, driver_version)
+  if (ta.op == "install" && tb.op == "upgrade") {
+    const auto v = ta.param(1);
+    if (v == tb.param(0)) return Constraint::kSafe;    // install, then upgrade
+    if (v == tb.param(1)) return Constraint::kUnsafe;  // needs the upgrade 1st
+    return Constraint::kMaybe;
+  }
+  if (ta.op == "upgrade" && tb.op == "install") {
+    const auto v = tb.param(1);
+    if (v == ta.param(0)) return Constraint::kUnsafe;  // upgrade breaks it
+    if (v == ta.param(1)) return Constraint::kSafe;    // upgrade enables it
+    return Constraint::kMaybe;
+  }
+  if (ta.op == "upgrade" && tb.op == "upgrade") {
+    if (ta.param(1) == tb.param(0)) return Constraint::kSafe;  // chains a→b
+    return Constraint::kUnsafe;  // reversed chain or same source version
+  }
+  // buy(device, cost) vs install(device, version): ownership first.
+  if (ta.op == "buy" && tb.op == "install") {
+    return Constraint::kSafe;  // buying never hurts a later install
+  }
+  if (ta.op == "install" && tb.op == "buy") {
+    if (ta.param(0) == tb.param(0)) return Constraint::kUnsafe;
+    return Constraint::kSafe;
+  }
+  if (ta.op == "buy" && tb.op == "buy") {
+    // Buying the same device twice can never both succeed.
+    return ta.param(0) == tb.param(0) ? Constraint::kUnsafe
+                                      : Constraint::kSafe;
+  }
+  // upgrade vs buy (and anything unanticipated): independent of version.
+  (void)rel;
+  return Constraint::kSafe;
+}
+
+std::string OsSystem::describe() const {
+  std::ostringstream os;
+  os << "os{v" << version_ << ", devices=" << devices_.size()
+     << ", drivers=" << drivers_.size() << "}";
+  return os.str();
+}
+
+Constraint SysBudget::order(const Action& a, const Action& b,
+                            LogRelation rel) const {
+  // Figures 3/5 with fund=increment, buy=decrement.
+  const bool a_spend = a.tag().op == "buy";
+  const bool b_spend = b.tag().op == "buy";
+  if (rel == LogRelation::kSameLog) {
+    if (a_spend && !b_spend) return Constraint::kUnsafe;
+    return Constraint::kSafe;
+  }
+  if (a_spend && !b_spend) return Constraint::kMaybe;
+  return Constraint::kSafe;
+}
+
+bool UpgradeOsAction::precondition(const Universe& u) const {
+  return u.as<OsSystem>(os_).version() == from_;
+}
+bool UpgradeOsAction::execute(Universe& u) const {
+  u.as<OsSystem>(os_).upgrade(to_);
+  return true;
+}
+
+bool BuyDeviceAction::precondition(const Universe& u) const {
+  return !u.as<OsSystem>(os_).owns(device_) &&
+         u.as<SysBudget>(budget_).balance() >= cost_;
+}
+bool BuyDeviceAction::execute(Universe& u) const {
+  if (!u.as<SysBudget>(budget_).spend(cost_)) return false;
+  u.as<OsSystem>(os_).buy(device_);
+  return true;
+}
+
+bool InstallDriverAction::precondition(const Universe& u) const {
+  const auto& os = u.as<OsSystem>(os_);
+  return os.owns(device_) && os.version() == driver_version_;
+}
+bool InstallDriverAction::execute(Universe& u) const {
+  u.as<OsSystem>(os_).install_driver(device_, driver_version_);
+  return true;
+}
+
+bool FundBudgetAction::execute(Universe& u) const {
+  u.as<SysBudget>(budget_).fund(amount_);
+  return true;
+}
+
+SysAdminExample make_sysadmin_example() {
+  SysAdminExample ex;
+  ex.os = ex.initial.add(std::make_unique<OsSystem>(4));
+  ex.budget = ex.initial.add(std::make_unique<SysBudget>(1000));
+
+  Log log_a("A");
+  log_a.append(std::make_shared<UpgradeOsAction>(ex.os, 4, 5));  // A1
+  log_a.append(std::make_shared<BuyDeviceAction>(
+      ex.os, ex.budget, SysAdminExample::kTapeDrive, 800));      // A2
+  log_a.append(std::make_shared<FundBudgetAction>(ex.budget, 1500));  // A3
+
+  Log log_b("B");
+  log_b.append(std::make_shared<BuyDeviceAction>(
+      ex.os, ex.budget, SysAdminExample::kPrinter, 400));  // B1
+  log_b.append(std::make_shared<InstallDriverAction>(
+      ex.os, SysAdminExample::kPrinter, 4));  // B2
+
+  ex.logs = {std::move(log_a), std::move(log_b)};
+  return ex;
+}
+
+}  // namespace icecube

@@ -1,0 +1,180 @@
+// System-administration substrate (§2, first motivating example).
+//
+// Two shared objects: the operating system (version, owned devices,
+// installed drivers) and the expense budget (a non-negative balance whose
+// order method understands both plain funding increments and device
+// purchases). The example's expected solution is A3, B1, B2, A1, A2: the
+// reconciler must discover the cross-log dependency "install printer driver
+// (v4) before the OS upgrade" and the in-log independency "the budget
+// increase may run before the purchases".
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "core/action.hpp"
+#include "core/log.hpp"
+#include "core/universe.hpp"
+
+namespace icecube {
+
+/// Operating system state: version, purchased devices, installed drivers
+/// (device → driver version). Upgrading the OS auto-upgrades all installed
+/// drivers, as in the paper's story.
+class OsSystem final : public SharedObject {
+ public:
+  explicit OsSystem(int version) : version_(version) {}
+
+  [[nodiscard]] int version() const { return version_; }
+  [[nodiscard]] bool owns(int device) const { return devices_.contains(device); }
+  [[nodiscard]] bool driver_installed(int device) const {
+    return drivers_.contains(device);
+  }
+  [[nodiscard]] int driver_version(int device) const {
+    return drivers_.at(device);
+  }
+  [[nodiscard]] const std::set<int>& devices() const { return devices_; }
+  [[nodiscard]] const std::map<int, int>& drivers() const { return drivers_; }
+
+  void buy(int device) { devices_.insert(device); }
+  void install_driver(int device, int version) { drivers_[device] = version; }
+  void upgrade(int to) {
+    version_ = to;
+    for (auto& [device, v] : drivers_) v = to;  // drivers auto-upgraded
+  }
+
+  [[nodiscard]] std::unique_ptr<SharedObject> clone() const override {
+    return std::make_unique<OsSystem>(*this);
+  }
+  [[nodiscard]] Constraint order(const Action& a, const Action& b,
+                                 LogRelation rel) const override;
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  int version_;
+  std::set<int> devices_;
+  std::map<int, int> drivers_;
+};
+
+/// Expense budget; invariant: balance >= 0. Its order method follows the
+/// counter tables (Figures 3/5) with "fund" as the increment and "buy" as
+/// the decrement.
+class SysBudget final : public SharedObject {
+ public:
+  explicit SysBudget(std::int64_t balance) : balance_(balance) {}
+
+  [[nodiscard]] std::int64_t balance() const { return balance_; }
+  bool spend(std::int64_t amount) {
+    if (balance_ < amount) return false;
+    balance_ -= amount;
+    return true;
+  }
+  void fund(std::int64_t amount) { balance_ += amount; }
+
+  [[nodiscard]] std::unique_ptr<SharedObject> clone() const override {
+    return std::make_unique<SysBudget>(*this);
+  }
+  [[nodiscard]] Constraint order(const Action& a, const Action& b,
+                                 LogRelation rel) const override;
+  [[nodiscard]] std::string describe() const override {
+    return "budget=" + std::to_string(balance_);
+  }
+
+ private:
+  std::int64_t balance_;
+};
+
+/// Upgrade the OS from `from` to `to`; all installed drivers follow.
+class UpgradeOsAction final : public SimpleAction {
+ public:
+  UpgradeOsAction(ObjectId os, int from, int to)
+      : SimpleAction(Tag("upgrade", {from, to}), {os}),
+        os_(os),
+        from_(from),
+        to_(to) {}
+
+  [[nodiscard]] bool precondition(const Universe& u) const override;
+  bool execute(Universe& u) const override;
+
+ private:
+  ObjectId os_;
+  int from_;
+  int to_;
+};
+
+/// Purchase a device: debits the budget and records ownership.
+class BuyDeviceAction final : public SimpleAction {
+ public:
+  BuyDeviceAction(ObjectId os, ObjectId budget, int device, std::int64_t cost)
+      : SimpleAction(Tag("buy", {device, cost}), {os, budget}),
+        os_(os),
+        budget_(budget),
+        device_(device),
+        cost_(cost) {}
+
+  [[nodiscard]] bool precondition(const Universe& u) const override;
+  bool execute(Universe& u) const override;
+
+ private:
+  ObjectId os_;
+  ObjectId budget_;
+  int device_;
+  std::int64_t cost_;
+};
+
+/// Install the driver for an owned device; the driver version must match
+/// the running OS version.
+class InstallDriverAction final : public SimpleAction {
+ public:
+  InstallDriverAction(ObjectId os, int device, int driver_version)
+      : SimpleAction(Tag("install", {device, driver_version}), {os}),
+        os_(os),
+        device_(device),
+        driver_version_(driver_version) {}
+
+  [[nodiscard]] bool precondition(const Universe& u) const override;
+  bool execute(Universe& u) const override;
+
+ private:
+  ObjectId os_;
+  int device_;
+  int driver_version_;
+};
+
+/// Obtain a budget increase.
+class FundBudgetAction final : public SimpleAction {
+ public:
+  FundBudgetAction(ObjectId budget, std::int64_t amount)
+      : SimpleAction(Tag("fund", {amount}), {budget}),
+        budget_(budget),
+        amount_(amount) {}
+
+  [[nodiscard]] bool precondition(const Universe&) const override {
+    return true;
+  }
+  bool execute(Universe& u) const override;
+
+ private:
+  ObjectId budget_;
+  std::int64_t amount_;
+};
+
+/// The paper's example, ready to reconcile: OS at v4, budget £1000,
+/// log A = [upgrade v4→v5, buy tape £800, fund £1500] and
+/// log B = [buy printer £400, install printer driver v4].
+struct SysAdminExample {
+  Universe initial;
+  ObjectId os;
+  ObjectId budget;
+  std::vector<Log> logs;
+
+  static constexpr int kTapeDrive = 1;
+  static constexpr int kPrinter = 2;
+};
+
+[[nodiscard]] SysAdminExample make_sysadmin_example();
+
+}  // namespace icecube

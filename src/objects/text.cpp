@@ -1,0 +1,126 @@
+#include "objects/text.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace icecube {
+
+TransformedEdit lift(const TextEdit& e) {
+  TransformedEdit t;
+  t.kind = e.kind;
+  t.site = e.site;
+  if (e.kind == TextEdit::Kind::kInsert) {
+    t.pos = e.pos;
+    t.text = e.text;
+  } else if (e.len > 0) {
+    t.ranges.emplace_back(e.pos, e.pos + e.len);
+  }
+  return t;
+}
+
+namespace {
+
+void transform_against_insert(TransformedEdit& e, std::size_t p2,
+                              std::size_t l2, int site2) {
+  if (e.kind == TextEdit::Kind::kInsert) {
+    // Ties at the same position are broken by site id, so that both
+    // relative orders of two concurrent inserts converge (TP1).
+    if (e.pos > p2 || (e.pos == p2 && e.site > site2)) e.pos += l2;
+    return;
+  }
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  out.reserve(e.ranges.size() + 1);
+  for (auto [s, t] : e.ranges) {
+    if (p2 <= s) {
+      out.emplace_back(s + l2, t + l2);
+    } else if (p2 < t) {
+      // The concurrent insert landed inside our deletion range: split the
+      // range around it rather than deleting the new text.
+      out.emplace_back(s, p2);
+      out.emplace_back(p2 + l2, t + l2);
+    } else {
+      out.emplace_back(s, t);
+    }
+  }
+  e.ranges = std::move(out);
+}
+
+void transform_against_delete(TransformedEdit& e, std::size_t p2,
+                              std::size_t l2) {
+  const auto shift = [p2, l2](std::size_t x) {
+    if (x <= p2) return x;
+    if (x >= p2 + l2) return x - l2;
+    return p2;  // inside the deleted region: collapse to its start
+  };
+  if (e.kind == TextEdit::Kind::kInsert) {
+    e.pos = shift(e.pos);
+    return;
+  }
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  out.reserve(e.ranges.size());
+  for (auto [s, t] : e.ranges) {
+    const std::size_t ns = shift(s);
+    const std::size_t nt = shift(t);
+    if (ns < nt) out.emplace_back(ns, nt);  // drop fully-deleted ranges
+  }
+  e.ranges = std::move(out);
+}
+
+}  // namespace
+
+void include_transform(TransformedEdit& e, const TextEdit& applied) {
+  if (applied.kind == TextEdit::Kind::kInsert) {
+    transform_against_insert(e, applied.pos, applied.text.size(),
+                             applied.site);
+  } else {
+    transform_against_delete(e, applied.pos, applied.len);
+  }
+}
+
+bool TextBuffer::apply(const TextEdit& edit) {
+  TransformedEdit t = lift(edit);
+  // Include-transform against the concurrent edits already applied: entries
+  // from other sites. Own-site entries are the edit's generation context
+  // and must not shift it. (Exact when schedules chain whole logs — which
+  // the safe cross-log ordering produces — approximate for fine
+  // interleavings; see the header.)
+  for (const TextEdit& h : history_) {
+    if (h.site != edit.site) include_transform(t, h);
+  }
+
+  if (t.kind == TextEdit::Kind::kInsert) {
+    if (t.pos > text_.size()) return false;
+    text_.insert(t.pos, t.text);
+    history_.push_back(TextEdit::insert(t.site, t.pos, t.text));
+    return true;
+  }
+
+  // Validate every range, then erase from the highest down so earlier
+  // ranges' coordinates stay valid; record each as applied.
+  for (auto [s, e] : t.ranges) {
+    if (e > text_.size() || s > e) return false;
+  }
+  std::sort(t.ranges.begin(), t.ranges.end(),
+            [](auto a, auto b) { return a.first > b.first; });
+  for (auto [s, e] : t.ranges) {
+    text_.erase(s, e - s);
+    history_.push_back(TextEdit::remove(t.site, s, e - s));
+  }
+  // A delete whose target text was already removed is a satisfied no-op.
+  return true;
+}
+
+Constraint TextBuffer::order(const Action& a, const Action& b,
+                             LogRelation rel) const {
+  (void)a;
+  (void)b;
+  if (rel == LogRelation::kSameLog) {
+    // Positions within a log refer to the session's own evolving text;
+    // never reorder them.
+    return Constraint::kUnsafe;
+  }
+  // Transformation makes concurrent edits commute: either order converges.
+  return Constraint::kSafe;
+}
+
+}  // namespace icecube

@@ -1,0 +1,173 @@
+// Shared text with operational transformation (§5).
+//
+// "Reconciliation needs to compensate for the difference between an
+// operation performed by an isolated user in the context of its local view
+// ... and performing the same operation in the context of the reconciled
+// state ... a text editing application might designate edits by the
+// position of the affected characters — but concurrent edits scheduled
+// earlier by reconciliation might change that numbering ... arguments need
+// to be translated to make sense in the new context, viz., character
+// numbers remapped. This translation, called Operational Transformation,
+// is surprisingly complex."
+//
+// This module supplies that translation for a shared text buffer:
+//
+//  - `TextEdit` + `include_transform`: the OT kernel. Insert positions
+//    shift across concurrent inserts/deletes (ties broken by site id so
+//    both relative orders converge — the TP1 property, tested); delete
+//    ranges are maintained as *range sets*, so a concurrent insert into the
+//    middle of a range splits it instead of swallowing the new text.
+//  - `TextBuffer`: a SharedObject holding the text and the history of edits
+//    applied since the common base. Executing an edit include-transforms it
+//    against the concurrent (other-site) edits already applied.
+//  - `InsertTextAction` / `DeleteTextAction`: log-recordable actions whose
+//    tags carry (site, position, length) for static analysis.
+//
+// Because transformation makes concurrent edits commute, the buffer's
+// order method reports cross-log pairs as `safe` — the scheduler chains
+// them without search. Known limitation (inherent to this classic
+// two-party IT scheme): convergence is guaranteed pairwise (TP1); the TP2
+// puzzle cases of 3+ concurrent sites are out of scope, as they are in the
+// paper.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/action.hpp"
+#include "core/universe.hpp"
+
+namespace icecube {
+
+/// One primitive text edit, in the coordinates of some text revision.
+struct TextEdit {
+  enum class Kind : std::uint8_t { kInsert, kDelete } kind;
+  int site = 0;     ///< originating site; breaks insert-position ties
+  std::size_t pos = 0;
+  std::string text;      ///< inserted text (kInsert)
+  std::size_t len = 0;   ///< deleted length (kDelete)
+
+  static TextEdit insert(int site, std::size_t pos, std::string text) {
+    TextEdit e;
+    e.kind = Kind::kInsert;
+    e.site = site;
+    e.pos = pos;
+    e.text = std::move(text);
+    return e;
+  }
+  static TextEdit remove(int site, std::size_t pos, std::size_t len) {
+    TextEdit e;
+    e.kind = Kind::kDelete;
+    e.site = site;
+    e.pos = pos;
+    e.len = len;
+    return e;
+  }
+};
+
+/// A delete transformed across concurrent edits may become several disjoint
+/// ranges (a concurrent insert splits it). Inserts stay a single position.
+struct TransformedEdit {
+  TextEdit::Kind kind;
+  int site = 0;
+  std::size_t pos = 0;                                  // kInsert
+  std::string text;                                     // kInsert
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;  // kDelete
+};
+
+/// Lifts `e` into a transformable form (one range for a delete).
+[[nodiscard]] TransformedEdit lift(const TextEdit& e);
+
+/// Inclusion transform: rewrites `e` (in-place) so that it means the same
+/// thing *after* `applied` has been applied to the text.
+void include_transform(TransformedEdit& e, const TextEdit& applied);
+
+/// Shared text buffer. The history records every edit as applied since the
+/// buffer's construction (the common base of the next reconciliation).
+class TextBuffer final : public SharedObject {
+ public:
+  explicit TextBuffer(std::string initial = {}) : text_(std::move(initial)) {}
+
+  [[nodiscard]] const std::string& text() const { return text_; }
+  [[nodiscard]] const std::vector<TextEdit>& history() const {
+    return history_;
+  }
+
+  /// Transforms `edit` against the concurrent (other-site) history entries
+  /// and applies it. Returns false if the transformed edit falls outside
+  /// the text (a genuine dynamic conflict).
+  bool apply(const TextEdit& edit);
+
+  /// Rebuilds a buffer from persisted state (text plus applied-edit
+  /// history, both in their stored form). Used by the universe codec.
+  static TextBuffer restore(std::string text, std::vector<TextEdit> history) {
+    TextBuffer buf(std::move(text));
+    buf.history_ = std::move(history);
+    return buf;
+  }
+
+  [[nodiscard]] std::unique_ptr<SharedObject> clone() const override {
+    return std::make_unique<TextBuffer>(*this);
+  }
+  [[nodiscard]] Constraint order(const Action& a, const Action& b,
+                                 LogRelation rel) const override;
+  [[nodiscard]] std::string describe() const override {
+    return "text[" + std::to_string(text_.size()) + "]=\"" + text_ + "\"";
+  }
+  [[nodiscard]] std::string fingerprint() const override { return text_; }
+
+ private:
+  std::string text_;
+  std::vector<TextEdit> history_;
+};
+
+/// Inserts `text` at `pos` (coordinates of the originating site's view).
+class InsertTextAction final : public SimpleAction {
+ public:
+  InsertTextAction(ObjectId buffer, int site, std::size_t pos,
+                   std::string text)
+      : SimpleAction(Tag("tins",
+                         {site, static_cast<std::int64_t>(pos),
+                          static_cast<std::int64_t>(text.size())},
+                         {text}),
+                     {buffer}),
+        buffer_(buffer),
+        edit_(TextEdit::insert(site, pos, std::move(text))) {}
+
+  [[nodiscard]] bool precondition(const Universe&) const override {
+    return true;  // bounds are checked post-transform, in execute
+  }
+  bool execute(Universe& u) const override {
+    return u.as<TextBuffer>(buffer_).apply(edit_);
+  }
+
+ private:
+  ObjectId buffer_;
+  TextEdit edit_;
+};
+
+/// Deletes `len` characters at `pos` (originating site's coordinates).
+class DeleteTextAction final : public SimpleAction {
+ public:
+  DeleteTextAction(ObjectId buffer, int site, std::size_t pos,
+                   std::size_t len)
+      : SimpleAction(Tag("tdel", {site, static_cast<std::int64_t>(pos),
+                                  static_cast<std::int64_t>(len)}),
+                     {buffer}),
+        buffer_(buffer),
+        edit_(TextEdit::remove(site, pos, len)) {}
+
+  [[nodiscard]] bool precondition(const Universe&) const override {
+    return true;
+  }
+  bool execute(Universe& u) const override {
+    return u.as<TextBuffer>(buffer_).apply(edit_);
+  }
+
+ private:
+  ObjectId buffer_;
+  TextEdit edit_;
+};
+
+}  // namespace icecube

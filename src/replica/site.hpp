@@ -1,0 +1,74 @@
+// Replica sites and the isolated-execution phase (§2.1).
+//
+// "With IceCube, an application is either in the isolated execution phase
+// or in the reconciliation phase. During isolated execution, a site
+// executes its applications against a local replica of the shared objects,
+// called the object universe. This brings the local object universe from
+// some initial state to some tentative final state. Actions are recorded in
+// a local log."
+//
+// `Site` packages that lifecycle: a committed state (the last state all
+// replicas agreed on), a tentative state evolved by locally-performed
+// actions, and the log of those actions. The log is *correct by
+// construction*: an action is recorded only if its precondition held and
+// its execution succeeded against the tentative state.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "core/action.hpp"
+#include "core/log.hpp"
+#include "core/universe.hpp"
+
+namespace icecube {
+
+/// One replica of the shared object universe.
+class Site {
+ public:
+  Site(std::string name, Universe committed)
+      : name_(std::move(name)),
+        committed_(committed),
+        tentative_(std::move(committed)),
+        log_(name_) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// The last agreed state (the common initial state of the next
+  /// reconciliation).
+  [[nodiscard]] const Universe& committed() const { return committed_; }
+  /// The local state including all tentatively-performed actions.
+  [[nodiscard]] const Universe& tentative() const { return tentative_; }
+  /// The isolated-execution log since the last commit.
+  [[nodiscard]] const Log& log() const { return log_; }
+  [[nodiscard]] bool has_local_updates() const { return !log_.empty(); }
+
+  /// Isolated execution: runs `action` against the tentative state and
+  /// records it on success. Returns false (state unchanged) if the
+  /// precondition or execution fails — the log stays correct.
+  bool perform(ActionPtr action) {
+    if (!action->precondition(tentative_)) return false;
+    Universe shadow = tentative_;
+    if (!action->execute(shadow)) return false;
+    tentative_ = std::move(shadow);
+    log_.append(std::move(action));
+    return true;
+  }
+
+  /// Adopts a reconciled state: it becomes both the committed and the
+  /// tentative state, and the local log is cleared. Called when this site
+  /// participated in a reconciliation round.
+  void adopt(Universe reconciled) {
+    committed_ = reconciled;
+    tentative_ = std::move(reconciled);
+    log_ = Log(name_);
+  }
+
+ private:
+  std::string name_;
+  Universe committed_;
+  Universe tentative_;
+  Log log_;
+};
+
+}  // namespace icecube

@@ -1,0 +1,50 @@
+#include "replica/sync.hpp"
+
+#include <cassert>
+
+namespace icecube {
+
+SyncResult synchronise(const std::vector<Site*>& sites,
+                       const ReconcilerOptions& options, Policy* policy) {
+  SyncResult out;
+  assert(!sites.empty());
+
+  // Log-based reconciliation replays merged logs against the common initial
+  // state; a divergent committed state means a previous round was missed.
+  const std::string reference = sites.front()->committed().fingerprint();
+  for (const Site* site : sites) {
+    if (site->committed().fingerprint() != reference) {
+      out.error = "sites '" + sites.front()->name() + "' and '" +
+                  site->name() + "' do not share a committed state";
+      return out;
+    }
+  }
+
+  std::vector<Log> logs;
+  logs.reserve(sites.size());
+  for (const Site* site : sites) logs.push_back(site->log());
+
+  Reconciler reconciler(sites.front()->committed(), std::move(logs), options,
+                        policy);
+  out.reconcile = reconciler.run();
+  if (!out.reconcile.found_any()) {
+    out.error = "reconciliation produced no outcome";
+    return out;
+  }
+
+  const Universe& merged = out.reconcile.best().final_state;
+  for (Site* site : sites) site->adopt(merged);
+  out.adopted = true;
+  return out;
+}
+
+bool converged(const std::vector<Site*>& sites) {
+  if (sites.empty()) return true;
+  const std::string reference = sites.front()->tentative().fingerprint();
+  for (const Site* site : sites) {
+    if (site->tentative().fingerprint() != reference) return false;
+  }
+  return true;
+}
+
+}  // namespace icecube

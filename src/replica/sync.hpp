@@ -1,0 +1,52 @@
+// The reconciliation phase across sites (§2.1).
+//
+// "During the reconciliation phase, the logs of two or more replicas are
+// merged to bring the replicas to a consistent state."
+//
+// `synchronise` gathers the logs of a group of sites that share a committed
+// state, runs one IceCube reconciliation over them, and — on success — has
+// every participant adopt the best outcome. Log-based reconciliation is
+// only meaningful from a *common* initial state, so the group's committed
+// fingerprints are verified first.
+//
+// The paper deliberately ignores distribution ("this paper focuses on our
+// approach to reconciliation at a single site"); this module supplies the
+// minimal group-synchronisation workflow a deployment needs on top, and
+// documents its one structural requirement (common committed state) rather
+// than hiding it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/options.hpp"
+#include "core/policy.hpp"
+#include "core/reconciler.hpp"
+#include "replica/site.hpp"
+
+namespace icecube {
+
+/// Result of one group synchronisation round.
+struct SyncResult {
+  /// Full reconciliation output (outcomes, stats, cutsets). Unset fields if
+  /// the round was rejected before searching (`error` non-empty).
+  ReconcileResult reconcile;
+  /// True iff a best outcome existed and all sites adopted it.
+  bool adopted = false;
+  /// Non-empty when the round could not run (e.g. divergent committed
+  /// states).
+  std::string error;
+};
+
+/// Reconciles the logs of `sites` from their shared committed state and, if
+/// an outcome was found, installs its final state at every site (clearing
+/// their logs). `sites` must be non-empty; sites without local updates
+/// simply adopt the merged result.
+[[nodiscard]] SyncResult synchronise(const std::vector<Site*>& sites,
+                                     const ReconcilerOptions& options = {},
+                                     Policy* policy = nullptr);
+
+/// True iff all sites currently report the same tentative state.
+[[nodiscard]] bool converged(const std::vector<Site*>& sites);
+
+}  // namespace icecube

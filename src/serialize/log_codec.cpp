@@ -1,0 +1,311 @@
+#include "serialize/log_codec.hpp"
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+
+#include "jigsaw/actions.hpp"
+#include "objects/calendar.hpp"
+#include "objects/counter.hpp"
+#include "objects/file_system.hpp"
+#include "objects/line_file.hpp"
+#include "objects/rw_register.hpp"
+#include "objects/sysadmin.hpp"
+#include "objects/text.hpp"
+
+namespace icecube {
+
+namespace {
+
+constexpr char kHeader[] = "icecube-log";
+constexpr int kVersion = 1;
+
+bool needs_escape(char c) {
+  return c == '%' || c == ' ' || c == '\n' || c == '\r' || c == '\t' ||
+         c == '|';
+}
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+std::vector<std::string> split_ws(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream is(s);
+  std::string token;
+  while (is >> token) out.push_back(token);
+  return out;
+}
+
+/// Splits a line into the four '|'-separated groups.
+std::optional<std::vector<std::string>> split_groups(const std::string& line) {
+  std::vector<std::string> groups;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= line.size(); ++i) {
+    if (i == line.size() || line[i] == '|') {
+      groups.push_back(line.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  if (groups.size() != 4) return std::nullopt;
+  return groups;
+}
+
+}  // namespace
+
+std::string escape_field(const std::string& raw) {
+  static const char kHex[] = "0123456789abcdef";
+  // Whitespace-tokenised formats cannot carry an empty token; "%-" is the
+  // dedicated empty-string marker.
+  if (raw.empty()) return "%-";
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    if (needs_escape(c)) {
+      const auto byte = static_cast<unsigned char>(c);
+      out.push_back('%');
+      out.push_back(kHex[byte >> 4]);
+      out.push_back(kHex[byte & 0xF]);
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::optional<std::string> unescape_field(const std::string& escaped) {
+  if (escaped == "%-") return std::string{};
+  std::string out;
+  out.reserve(escaped.size());
+  for (std::size_t i = 0; i < escaped.size(); ++i) {
+    if (escaped[i] != '%') {
+      out.push_back(escaped[i]);
+      continue;
+    }
+    if (i + 2 >= escaped.size()) return std::nullopt;
+    const int hi = hex_value(escaped[i + 1]);
+    const int lo = hex_value(escaped[i + 2]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    out.push_back(static_cast<char>((hi << 4) | lo));
+    i += 2;
+  }
+  return out;
+}
+
+std::string encode_log(const Log& log) {
+  std::ostringstream os;
+  os << kHeader << ' ' << kVersion << ' ' << escape_field(log.name()) << '\n';
+  for (const auto& action : log) {
+    const Tag& tag = action->tag();
+    os << escape_field(tag.op) << " |";
+    for (ObjectId t : action->targets()) os << ' ' << t.value();
+    os << " |";
+    for (std::int64_t p : tag.params) os << ' ' << p;
+    os << " |";
+    for (const auto& s : tag.str_params) os << ' ' << escape_field(s);
+    os << '\n';
+  }
+  return os.str();
+}
+
+ActionPtr ActionRegistry::make(const std::vector<ObjectId>& targets,
+                               const Tag& tag) const {
+  const auto it = factories_.find(tag.op);
+  if (it == factories_.end()) return nullptr;
+  try {
+    return it->second(targets, tag);
+  } catch (const std::exception&) {
+    return nullptr;  // out-of-range params, bad sizes: malformed input
+  }
+}
+
+DecodedLog decode_log(const std::string& text, const ActionRegistry& registry) {
+  DecodedLog result;
+  std::istringstream is(text);
+  std::string line;
+
+  if (!std::getline(is, line)) {
+    result.error = "empty input";
+    return result;
+  }
+  const auto header = split_ws(line);
+  if (header.size() != 3 || header[0] != kHeader ||
+      header[1] != std::to_string(kVersion)) {
+    result.error = "bad header: " + line;
+    return result;
+  }
+  const auto name = unescape_field(header[2]);
+  if (!name) {
+    result.error = "bad log name";
+    return result;
+  }
+
+  Log log(*name);
+  std::size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const auto groups = split_groups(line);
+    if (!groups) {
+      result.error = "line " + std::to_string(line_no) + ": expected 4 fields";
+      return result;
+    }
+    const auto op_tokens = split_ws((*groups)[0]);
+    if (op_tokens.size() != 1) {
+      result.error = "line " + std::to_string(line_no) + ": bad op";
+      return result;
+    }
+    const auto op = unescape_field(op_tokens[0]);
+    if (!op) {
+      result.error = "line " + std::to_string(line_no) + ": bad op escape";
+      return result;
+    }
+
+    std::vector<ObjectId> targets;
+    std::vector<std::int64_t> params;
+    std::vector<std::string> strs;
+    try {
+      for (const auto& t : split_ws((*groups)[1])) {
+        targets.push_back(ObjectId(std::stoul(t)));
+      }
+      for (const auto& p : split_ws((*groups)[2])) {
+        params.push_back(std::stoll(p));
+      }
+    } catch (const std::exception&) {
+      result.error = "line " + std::to_string(line_no) + ": bad number";
+      return result;
+    }
+    for (const auto& s : split_ws((*groups)[3])) {
+      const auto unescaped = unescape_field(s);
+      if (!unescaped) {
+        result.error = "line " + std::to_string(line_no) + ": bad escape";
+        return result;
+      }
+      strs.push_back(*unescaped);
+    }
+
+    ActionPtr action = registry.make(targets, Tag(*op, params, strs));
+    if (action == nullptr) {
+      result.error =
+          "line " + std::to_string(line_no) + ": cannot decode op '" + *op +
+          "'";
+      return result;
+    }
+    log.append(std::move(action));
+  }
+  result.log = std::move(log);
+  return result;
+}
+
+ActionRegistry ActionRegistry::with_builtins() {
+  ActionRegistry reg;
+  using Targets = std::vector<ObjectId>;
+
+  // Counter.
+  reg.register_op("increment", [](const Targets& t, const Tag& tag) {
+    return std::make_shared<IncrementAction>(t.at(0), tag.param(0));
+  });
+  reg.register_op("decrement", [](const Targets& t, const Tag& tag) {
+    return std::make_shared<DecrementAction>(t.at(0), tag.param(0));
+  });
+
+  // Register.
+  reg.register_op("write", [](const Targets& t, const Tag& tag) {
+    return std::make_shared<WriteAction>(t.at(0), tag.param(0));
+  });
+  reg.register_op("read", [](const Targets& t, const Tag& tag) {
+    if (tag.params.empty()) return std::make_shared<ReadAction>(t.at(0));
+    return std::make_shared<ReadAction>(t.at(0), tag.param(0));
+  });
+
+  // File system.
+  reg.register_op("mkdir", [](const Targets& t, const Tag& tag) {
+    return std::make_shared<MkdirAction>(t.at(0), tag.str_param(0));
+  });
+  reg.register_op("fswrite", [](const Targets& t, const Tag& tag) {
+    return std::make_shared<WriteFileAction>(t.at(0), tag.str_param(0),
+                                             tag.str_param(1));
+  });
+  reg.register_op("fsdelete", [](const Targets& t, const Tag& tag) {
+    return std::make_shared<DeleteAction>(t.at(0), tag.str_param(0));
+  });
+
+  // Calendar.
+  reg.register_op("request", [](const Targets& t, const Tag& tag) {
+    return std::make_shared<RequestAppointmentAction>(
+        t.at(0), t.at(1), static_cast<int>(tag.param(0)),
+        static_cast<int>(tag.param(1)), tag.str_param(0));
+  });
+  reg.register_op("cancel", [](const Targets& t, const Tag& tag) {
+    return std::make_shared<CancelAppointmentAction>(
+        t.at(0), static_cast<int>(tag.param(0)));
+  });
+
+  // Sys-admin.
+  reg.register_op("upgrade", [](const Targets& t, const Tag& tag) {
+    return std::make_shared<UpgradeOsAction>(t.at(0),
+                                             static_cast<int>(tag.param(0)),
+                                             static_cast<int>(tag.param(1)));
+  });
+  reg.register_op("buy", [](const Targets& t, const Tag& tag) {
+    return std::make_shared<BuyDeviceAction>(t.at(0), t.at(1),
+                                             static_cast<int>(tag.param(0)),
+                                             tag.param(1));
+  });
+  reg.register_op("install", [](const Targets& t, const Tag& tag) {
+    return std::make_shared<InstallDriverAction>(
+        t.at(0), static_cast<int>(tag.param(0)),
+        static_cast<int>(tag.param(1)));
+  });
+  reg.register_op("fund", [](const Targets& t, const Tag& tag) {
+    return std::make_shared<FundBudgetAction>(t.at(0), tag.param(0));
+  });
+
+  // Jigsaw.
+  reg.register_op("insert", [](const Targets& t, const Tag& tag) {
+    return std::make_shared<jigsaw::InsertAction>(
+        t.at(0), static_cast<int>(tag.param(0)), /*strict=*/false);
+  });
+  reg.register_op("insert!", [](const Targets& t, const Tag& tag) {
+    return std::make_shared<jigsaw::InsertAction>(
+        t.at(0), static_cast<int>(tag.param(0)), /*strict=*/true);
+  });
+  reg.register_op("join", [](const Targets& t, const Tag& tag) {
+    return std::make_shared<jigsaw::JoinAction>(
+        t.at(0), static_cast<int>(tag.param(0)),
+        static_cast<jigsaw::Edge>(tag.param(1)),
+        static_cast<int>(tag.param(2)),
+        static_cast<jigsaw::Edge>(tag.param(3)));
+  });
+  reg.register_op("remove", [](const Targets& t, const Tag& tag) {
+    return std::make_shared<jigsaw::RemoveAction>(
+        t.at(0), static_cast<int>(tag.param(0)));
+  });
+
+  // OT text.
+  reg.register_op("tins", [](const Targets& t, const Tag& tag) {
+    return std::make_shared<InsertTextAction>(
+        t.at(0), static_cast<int>(tag.param(0)),
+        static_cast<std::size_t>(tag.param(1)), tag.str_param(0));
+  });
+  reg.register_op("tdel", [](const Targets& t, const Tag& tag) {
+    return std::make_shared<DeleteTextAction>(
+        t.at(0), static_cast<int>(tag.param(0)),
+        static_cast<std::size_t>(tag.param(1)),
+        static_cast<std::size_t>(tag.param(2)));
+  });
+
+  // Line file.
+  reg.register_op("setline", [](const Targets& t, const Tag& tag) {
+    return std::make_shared<SetLineAction>(
+        t.at(0), static_cast<std::size_t>(tag.param(0)), tag.str_param(0),
+        tag.str_param(1));
+  });
+
+  return reg;
+}
+
+}  // namespace icecube

@@ -1,0 +1,81 @@
+// Log serialization — shipping isolated-execution logs between sites.
+//
+// Reconciliation is distributed in practice: a site must transmit its log
+// to wherever the merge runs (§2.1's reconciliation phase). This codec
+// writes logs to a line-oriented text format and reconstructs them through
+// a registry of per-operation factories.
+//
+// Format (one action per line, after a header):
+//
+//   icecube-log 1 <escaped-name>
+//   <op> | <target ids> | <int params> | <escaped string params>
+//
+// Example:
+//
+//   icecube-log 1 alice
+//   increment | 0 | 100 |
+//   fswrite | 1 | | /dir/file content
+//
+// Strings are %-escaped (%, space, newline, '|'), so the format is
+// whitespace-delimited and diff-friendly. Every action type in this
+// repository carries its full construction data in (targets, tag), and its
+// factory is pre-registered; applications add their own with
+// `ActionRegistry::register_op`.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/action.hpp"
+#include "core/log.hpp"
+
+namespace icecube {
+
+/// Reconstructs actions from (targets, tag). Factories receive the decoded
+/// pieces and return the action, or nullptr if the data is malformed.
+class ActionRegistry {
+ public:
+  using Factory = std::function<ActionPtr(
+      const std::vector<ObjectId>& targets, const Tag& tag)>;
+
+  /// The registry with every built-in substrate action pre-registered.
+  [[nodiscard]] static ActionRegistry with_builtins();
+
+  void register_op(std::string op, Factory factory) {
+    factories_[std::move(op)] = std::move(factory);
+  }
+  [[nodiscard]] bool knows(const std::string& op) const {
+    return factories_.contains(op);
+  }
+  /// Builds the action; nullptr if the op is unknown or the data invalid.
+  [[nodiscard]] ActionPtr make(const std::vector<ObjectId>& targets,
+                               const Tag& tag) const;
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+/// Serialises `log` to the text format above.
+[[nodiscard]] std::string encode_log(const Log& log);
+
+/// Result of decoding: the log, or an error description with line number.
+struct DecodedLog {
+  std::optional<Log> log;
+  std::string error;  ///< non-empty iff decoding failed
+
+  [[nodiscard]] bool ok() const { return log.has_value(); }
+};
+
+/// Parses a serialised log, reconstructing actions via `registry`.
+[[nodiscard]] DecodedLog decode_log(const std::string& text,
+                                    const ActionRegistry& registry);
+
+/// Escaping helpers (exposed for tests).
+[[nodiscard]] std::string escape_field(const std::string& raw);
+[[nodiscard]] std::optional<std::string> unescape_field(
+    const std::string& escaped);
+
+}  // namespace icecube

@@ -1,0 +1,353 @@
+#include "serialize/universe_codec.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "jigsaw/board.hpp"
+#include "objects/calendar.hpp"
+#include "objects/counter.hpp"
+#include "objects/file_system.hpp"
+#include "objects/line_file.hpp"
+#include "objects/rw_register.hpp"
+#include "objects/sysadmin.hpp"
+#include "objects/text.hpp"
+#include "serialize/log_codec.hpp"  // escape_field / unescape_field
+
+namespace icecube {
+
+namespace {
+
+constexpr char kHeader[] = "icecube-universe";
+constexpr int kVersion = 1;
+
+std::vector<std::string> tokens_of(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream is(s);
+  std::string token;
+  while (is >> token) out.push_back(token);
+  return out;
+}
+
+std::string field(const std::string& token) {
+  const auto decoded = unescape_field(token);
+  if (!decoded) throw std::invalid_argument("bad escape: " + token);
+  return *decoded;
+}
+
+template <typename T>
+T number(const std::string& token) {
+  return static_cast<T>(std::stoll(token));
+}
+
+}  // namespace
+
+std::string ObjectRegistry::type_of(const SharedObject& object) const {
+  for (const auto& [name, entry] : types_) {
+    if (entry.matcher(object)) return name;
+  }
+  return {};
+}
+
+std::string ObjectRegistry::encode(const std::string& type,
+                                   const SharedObject& object) const {
+  return types_.at(type).encoder(object);
+}
+
+std::unique_ptr<SharedObject> ObjectRegistry::decode(
+    const std::string& type, const std::string& payload) const {
+  const auto it = types_.find(type);
+  if (it == types_.end()) return nullptr;
+  try {
+    return it->second.factory(payload);
+  } catch (const std::exception&) {
+    return nullptr;
+  }
+}
+
+std::optional<std::string> encode_universe(const Universe& universe,
+                                           const ObjectRegistry& registry) {
+  std::ostringstream os;
+  os << kHeader << ' ' << kVersion << '\n';
+  for (std::size_t i = 0; i < universe.size(); ++i) {
+    const SharedObject& object = universe.at(ObjectId(i));
+    const std::string type = registry.type_of(object);
+    if (type.empty()) return std::nullopt;
+    os << type << ' ' << registry.encode(type, object) << '\n';
+  }
+  return os.str();
+}
+
+DecodedUniverse decode_universe(const std::string& text,
+                                const ObjectRegistry& registry) {
+  DecodedUniverse result;
+  std::istringstream is(text);
+  std::string line;
+  if (!std::getline(is, line) ||
+      line != std::string(kHeader) + " " + std::to_string(kVersion)) {
+    result.error = "bad header";
+    return result;
+  }
+  Universe universe;
+  std::size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const auto space = line.find(' ');
+    const std::string type = line.substr(0, space);
+    const std::string payload =
+        space == std::string::npos ? "" : line.substr(space + 1);
+    auto object = registry.decode(type, payload);
+    if (object == nullptr) {
+      result.error = "line " + std::to_string(line_no) +
+                     ": cannot decode object of type '" + type + "'";
+      return result;
+    }
+    (void)universe.add(std::move(object));
+  }
+  result.universe = std::move(universe);
+  return result;
+}
+
+ObjectRegistry make_builtin_object_registry() {
+  ObjectRegistry reg;
+
+  // --- counter ---
+  reg.register_type(
+      "counter",
+      [](const SharedObject& o) {
+    return dynamic_cast<const Counter*>(&o) != nullptr;
+  },
+      [](const SharedObject& o) {
+        return std::to_string(dynamic_cast<const Counter&>(o).value());
+      },
+      [](const std::string& p) {
+        return std::make_unique<Counter>(number<std::int64_t>(p));
+      });
+
+  // --- register ---
+  reg.register_type(
+      "register",
+      [](const SharedObject& o) {
+    return dynamic_cast<const RwRegister*>(&o) != nullptr;
+  },
+      [](const SharedObject& o) {
+        return std::to_string(dynamic_cast<const RwRegister&>(o).value());
+      },
+      [](const std::string& p) {
+        return std::make_unique<RwRegister>(number<std::int64_t>(p));
+      });
+
+  // --- file system: "d <path>" and "f <path> <content>" entries ---
+  reg.register_type(
+      "fs",
+      [](const SharedObject& o) {
+    return dynamic_cast<const FileSystem*>(&o) != nullptr;
+  },
+      [](const SharedObject& o) {
+        const auto& fs = dynamic_cast<const FileSystem&>(o);
+        std::ostringstream os;
+        for (const auto& path : fs.list()) {
+          if (path == "/") continue;  // implicit root
+          if (fs.is_dir(path)) {
+            os << "d " << escape_field(path) << ' ';
+          } else {
+            os << "f " << escape_field(path) << ' '
+               << escape_field(*fs.read(path)) << ' ';
+          }
+        }
+        return os.str();
+      },
+      [](const std::string& p) {
+        auto fs = std::make_unique<FileSystem>();
+        const auto tokens = tokens_of(p);
+        for (std::size_t i = 0; i < tokens.size();) {
+          if (tokens[i] == "d") {
+            if (!fs->mkdir(field(tokens.at(i + 1)))) {
+              throw std::invalid_argument("bad mkdir");
+            }
+            i += 2;
+          } else if (tokens[i] == "f") {
+            if (!fs->write(field(tokens.at(i + 1)), field(tokens.at(i + 2)))) {
+              throw std::invalid_argument("bad write");
+            }
+            i += 3;
+          } else {
+            throw std::invalid_argument("bad fs entry");
+          }
+        }
+        return fs;
+      });
+
+  // --- calendar: "<owner> <hour> <label> ..." ---
+  reg.register_type(
+      "calendar",
+      [](const SharedObject& o) {
+    return dynamic_cast<const Calendar*>(&o) != nullptr;
+  },
+      [](const SharedObject& o) {
+        const auto& cal = dynamic_cast<const Calendar&>(o);
+        std::ostringstream os;
+        os << escape_field(cal.owner());
+        for (const auto& [hour, label] : cal.bookings()) {
+          os << ' ' << hour << ' ' << escape_field(label);
+        }
+        return os.str();
+      },
+      [](const std::string& p) {
+        const auto tokens = tokens_of(p);
+        auto cal = std::make_unique<Calendar>(field(tokens.at(0)));
+        for (std::size_t i = 1; i + 1 < tokens.size(); i += 2) {
+          cal->book(number<int>(tokens[i]), field(tokens[i + 1]));
+        }
+        return cal;
+      });
+
+  // --- OS: "<version> d <dev>... r <dev> <ver>..." ---
+  reg.register_type(
+      "os",
+      [](const SharedObject& o) {
+    return dynamic_cast<const OsSystem*>(&o) != nullptr;
+  },
+      [](const SharedObject& o) {
+        const auto& os_obj = dynamic_cast<const OsSystem&>(o);
+        std::ostringstream os;
+        os << os_obj.version();
+        for (int dev : os_obj.devices()) os << " d " << dev;
+        for (const auto& [dev, ver] : os_obj.drivers()) {
+          os << " r " << dev << ' ' << ver;
+        }
+        return os.str();
+      },
+      [](const std::string& p) {
+        const auto tokens = tokens_of(p);
+        auto os_obj = std::make_unique<OsSystem>(number<int>(tokens.at(0)));
+        for (std::size_t i = 1; i < tokens.size();) {
+          if (tokens[i] == "d") {
+            os_obj->buy(number<int>(tokens.at(i + 1)));
+            i += 2;
+          } else if (tokens[i] == "r") {
+            os_obj->install_driver(number<int>(tokens.at(i + 1)),
+                                   number<int>(tokens.at(i + 2)));
+            i += 3;
+          } else {
+            throw std::invalid_argument("bad os entry");
+          }
+        }
+        return os_obj;
+      });
+
+  // --- budget ---
+  reg.register_type(
+      "budget",
+      [](const SharedObject& o) {
+    return dynamic_cast<const SysBudget*>(&o) != nullptr;
+  },
+      [](const SharedObject& o) {
+        return std::to_string(dynamic_cast<const SysBudget&>(o).balance());
+      },
+      [](const std::string& p) {
+        return std::make_unique<SysBudget>(number<std::int64_t>(p));
+      });
+
+  // --- jigsaw board: "<rows> <cols> <case> p <piece> <row> <col> ..." ---
+  reg.register_type(
+      "board",
+      [](const SharedObject& o) {
+    return dynamic_cast<const jigsaw::Board*>(&o) != nullptr;
+  },
+      [](const SharedObject& o) {
+        const auto& board = dynamic_cast<const jigsaw::Board&>(o);
+        std::ostringstream os;
+        os << board.rows() << ' ' << board.cols() << ' '
+           << static_cast<int>(board.order_case());
+        for (int piece = 0; piece < board.piece_count(); ++piece) {
+          if (const auto pos = board.position(piece)) {
+            os << " p " << piece << ' ' << pos->row << ' ' << pos->col;
+          }
+        }
+        return os.str();
+      },
+      [](const std::string& p) {
+        const auto tokens = tokens_of(p);
+        auto board = std::make_unique<jigsaw::Board>(
+            number<int>(tokens.at(0)), number<int>(tokens.at(1)),
+            static_cast<jigsaw::Board::OrderCase>(number<int>(tokens.at(2))));
+        for (std::size_t i = 3; i < tokens.size(); i += 4) {
+          if (tokens.at(i) != "p") throw std::invalid_argument("bad board");
+          board->place(number<int>(tokens.at(i + 1)),
+                       jigsaw::Cell{number<int>(tokens.at(i + 2)),
+                                    number<int>(tokens.at(i + 3))});
+        }
+        return board;
+      });
+
+  // --- OT text: "<text> [i <site> <pos> <str> | d <site> <pos> <len>]..."
+  reg.register_type(
+      "text",
+      [](const SharedObject& o) {
+    return dynamic_cast<const TextBuffer*>(&o) != nullptr;
+  },
+      [](const SharedObject& o) {
+        const auto& buf = dynamic_cast<const TextBuffer&>(o);
+        std::ostringstream os;
+        os << escape_field(buf.text());
+        for (const TextEdit& e : buf.history()) {
+          if (e.kind == TextEdit::Kind::kInsert) {
+            os << " i " << e.site << ' ' << e.pos << ' '
+               << escape_field(e.text);
+          } else {
+            os << " d " << e.site << ' ' << e.pos << ' ' << e.len;
+          }
+        }
+        return os.str();
+      },
+      [](const std::string& p) {
+        const auto tokens = tokens_of(p);
+        std::vector<TextEdit> history;
+        for (std::size_t i = 1; i < tokens.size(); i += 4) {
+          const int site = number<int>(tokens.at(i + 1));
+          const auto pos = number<std::size_t>(tokens.at(i + 2));
+          if (tokens.at(i) == "i") {
+            history.push_back(
+                TextEdit::insert(site, pos, field(tokens.at(i + 3))));
+          } else if (tokens.at(i) == "d") {
+            history.push_back(TextEdit::remove(
+                site, pos, number<std::size_t>(tokens.at(i + 3))));
+          } else {
+            throw std::invalid_argument("bad text edit");
+          }
+        }
+        return std::make_unique<TextBuffer>(
+            TextBuffer::restore(field(tokens.at(0)), std::move(history)));
+      });
+
+  // --- line file: "<line0> <line1> ..." ---
+  reg.register_type(
+      "linefile",
+      [](const SharedObject& o) {
+    return dynamic_cast<const LineFile*>(&o) != nullptr;
+  },
+      [](const SharedObject& o) {
+        const auto& f = dynamic_cast<const LineFile&>(o);
+        std::ostringstream os;
+        for (std::size_t i = 0; i < f.line_count(); ++i) {
+          if (i != 0) os << ' ';
+          os << escape_field(f.line(i));
+        }
+        return os.str();
+      },
+      [](const std::string& p) {
+        std::vector<std::string> lines;
+        for (const auto& token : tokens_of(p)) lines.push_back(field(token));
+        return std::make_unique<LineFile>(std::move(lines));
+      });
+
+  return reg;
+}
+
+ObjectRegistry ObjectRegistry::with_builtins() {
+  return make_builtin_object_registry();
+}
+
+}  // namespace icecube

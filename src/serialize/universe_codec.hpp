@@ -1,0 +1,80 @@
+// Universe (replica state) serialization.
+//
+// A site that shuts down between the isolated-execution phase and the next
+// reconciliation needs its committed state and pending log on disk; a site
+// that joins a group needs a state transfer. This codec persists a
+// `Universe` of built-in substrate objects to a line-oriented text format
+// and restores it through a registry of per-type state factories.
+//
+// Format:
+//
+//   icecube-universe 1
+//   <type-name> <escaped state payload>
+//
+// Object ids are implicit (line order), matching `Universe::add` order.
+// Each substrate defines its own payload encoding; applications register
+// custom types with `ObjectRegistry::register_type`.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/universe.hpp"
+
+namespace icecube {
+
+/// Reconstructs shared objects from (type name, payload).
+class ObjectRegistry {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<SharedObject>(const std::string& payload)>;
+  using Encoder = std::function<std::string(const SharedObject&)>;
+  using Matcher = std::function<bool(const SharedObject&)>;
+
+  /// Registry covering every substrate in this repository.
+  [[nodiscard]] static ObjectRegistry with_builtins();
+
+  /// Registers a type: `matcher` recognises instances during encoding
+  /// (typically a dynamic_cast check), `encoder` renders the state payload,
+  /// `factory` rebuilds the object (may throw on malformed payloads).
+  void register_type(std::string name, Matcher matcher, Encoder encoder,
+                     Factory factory) {
+    types_[std::move(name)] = {std::move(matcher), std::move(encoder),
+                               std::move(factory)};
+  }
+
+  /// Type name used for `object` when encoding, empty if unknown.
+  [[nodiscard]] std::string type_of(const SharedObject& object) const;
+  [[nodiscard]] std::string encode(const std::string& type,
+                                   const SharedObject& object) const;
+  [[nodiscard]] std::unique_ptr<SharedObject> decode(
+      const std::string& type, const std::string& payload) const;
+
+ private:
+  struct Entry {
+    Matcher matcher;
+    Encoder encoder;
+    Factory factory;
+  };
+  std::map<std::string, Entry> types_;
+};
+
+/// Serialises every object of `universe` (all must be known to `registry`).
+/// Returns nullopt if some object's type is not registered.
+[[nodiscard]] std::optional<std::string> encode_universe(
+    const Universe& universe, const ObjectRegistry& registry);
+
+struct DecodedUniverse {
+  std::optional<Universe> universe;
+  std::string error;
+
+  [[nodiscard]] bool ok() const { return universe.has_value(); }
+};
+
+[[nodiscard]] DecodedUniverse decode_universe(const std::string& text,
+                                              const ObjectRegistry& registry);
+
+}  // namespace icecube

@@ -1,0 +1,67 @@
+// Strongly-typed integer identifiers.
+//
+// IceCube juggles several index spaces (actions, objects, logs); mixing them
+// up silently is a classic source of bugs. `StrongId<Tag>` is a zero-cost
+// wrapper that makes each space a distinct type.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <type_traits>
+#include <limits>
+#include <ostream>
+
+namespace icecube {
+
+/// A type-safe integral id. `Tag` is an empty struct that names the id space.
+/// The invalid (default) value is the max of the underlying type.
+template <typename Tag>
+class StrongId {
+ public:
+  using underlying_type = std::uint32_t;
+  static constexpr underlying_type kInvalid =
+      std::numeric_limits<underlying_type>::max();
+
+  constexpr StrongId() = default;
+  template <typename Int>
+    requires std::is_integral_v<Int>
+  constexpr explicit StrongId(Int v)
+      : value_(static_cast<underlying_type>(v)) {}
+
+  [[nodiscard]] constexpr underlying_type value() const { return value_; }
+  [[nodiscard]] constexpr std::size_t index() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+  friend constexpr bool operator==(StrongId a, StrongId b) = default;
+  friend constexpr auto operator<=>(StrongId a, StrongId b) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, StrongId id) {
+    if (!id.valid()) return os << "<invalid>";
+    return os << id.value();
+  }
+
+ private:
+  underlying_type value_ = kInvalid;
+};
+
+struct ActionIdTag {};
+struct ObjectIdTag {};
+struct LogIdTag {};
+
+/// Index of an action within a reconciliation problem (dense, 0-based).
+using ActionId = StrongId<ActionIdTag>;
+/// Index of a shared object within a `Universe` (dense, 0-based).
+using ObjectId = StrongId<ObjectIdTag>;
+/// Index of an input log (one per replica/site).
+using LogId = StrongId<LogIdTag>;
+
+}  // namespace icecube
+
+template <typename Tag>
+struct std::hash<icecube::StrongId<Tag>> {
+  std::size_t operator()(icecube::StrongId<Tag> id) const noexcept {
+    return std::hash<typename icecube::StrongId<Tag>::underlying_type>{}(
+        id.value());
+  }
+};

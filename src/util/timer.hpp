@@ -1,0 +1,24 @@
+// Wall-clock stopwatch for search limits and experiment reporting.
+#pragma once
+
+#include <chrono>
+
+namespace icecube {
+
+/// Monotonic stopwatch. Started on construction; `seconds()` is elapsed time.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace icecube

@@ -1,0 +1,221 @@
+#include "workload/generators.hpp"
+
+#include <memory>
+#include <string>
+
+#include "objects/calendar.hpp"
+#include "objects/counter.hpp"
+#include "objects/file_system.hpp"
+#include "objects/line_file.hpp"
+#include "objects/text.hpp"
+#include "replica/site.hpp"
+#include "util/rng.hpp"
+
+namespace icecube::workload {
+
+namespace {
+
+constexpr ObjectId kPrimary{0};
+
+/// Drives one replica: performs generated actions against a Site so only
+/// successful ones are recorded (a correct log, §2.1).
+template <typename GenFn>
+Log isolated_log(const Universe& initial, const std::string& name,
+                 int actions, int attempts_per_action, GenFn&& gen) {
+  Site site(name, initial);
+  int budget = actions * attempts_per_action;
+  while (static_cast<int>(site.log().size()) < actions && budget-- > 0) {
+    (void)site.perform(gen(site));
+  }
+  Log log(name);
+  for (const auto& a : site.log()) log.append(a);
+  return log;
+}
+
+}  // namespace
+
+Generated counter_workload(const CounterSpec& spec) {
+  Generated out;
+  (void)out.initial.add(std::make_unique<Counter>(spec.initial_balance));
+
+  Rng rng(spec.seed);
+  for (int r = 0; r < spec.replicas; ++r) {
+    const std::uint64_t replica_seed = rng();
+    Rng local(replica_seed);
+    out.logs.push_back(isolated_log(
+        out.initial, "r" + std::to_string(r), spec.actions_per_replica, 16,
+        [&local, &spec](const Site&) -> ActionPtr {
+          const auto amount = static_cast<std::int64_t>(
+              local.below(static_cast<std::uint64_t>(spec.max_amount)) + 1);
+          if (local.chance(spec.increment_probability)) {
+            return std::make_shared<IncrementAction>(kPrimary, amount);
+          }
+          return std::make_shared<DecrementAction>(kPrimary, amount);
+        }));
+  }
+  return out;
+}
+
+Generated fs_workload(const FsSpec& spec) {
+  Generated out;
+  {
+    auto fs = std::make_unique<FileSystem>();
+    for (int d = 0; d < spec.initial_dirs; ++d) {
+      (void)fs->mkdir("/d" + std::to_string(d));
+    }
+    (void)out.initial.add(std::move(fs));
+  }
+
+  Rng rng(spec.seed);
+  for (int r = 0; r < spec.replicas; ++r) {
+    const std::uint64_t replica_seed = rng();
+    Rng local(replica_seed);
+    int counter = 0;
+    out.logs.push_back(isolated_log(
+        out.initial, "r" + std::to_string(r), spec.actions_per_replica, 16,
+        [&local, &spec, &counter, r](const Site& site) -> ActionPtr {
+          const auto& fs = site.tentative().as<FileSystem>(kPrimary);
+          // Pick a random existing path (directories for parents, any
+          // non-root entry for deletion).
+          const auto entries = fs.list();
+          std::vector<std::string> dirs, removable;
+          for (const auto& path : entries) {
+            if (fs.is_dir(path)) dirs.push_back(path);
+            if (path != "/") removable.push_back(path);
+          }
+          const std::string parent =
+              dirs[static_cast<std::size_t>(local.below(dirs.size()))];
+          const std::string prefix = parent == "/" ? "" : parent;
+
+          const double roll = local.unit();
+          if (roll < spec.mkdir_probability) {
+            return std::make_shared<MkdirAction>(
+                kPrimary, prefix + "/dir-r" + std::to_string(r) + "-" +
+                              std::to_string(counter++));
+          }
+          if (roll < spec.mkdir_probability + spec.write_probability ||
+              removable.empty()) {
+            const int id = counter++;
+            return std::make_shared<WriteFileAction>(
+                kPrimary,
+                prefix + "/f-r" + std::to_string(r) + "-" + std::to_string(id),
+                "content-" + std::to_string(id));
+          }
+          return std::make_shared<DeleteAction>(
+              kPrimary, removable[static_cast<std::size_t>(
+                            local.below(removable.size()))]);
+        }));
+  }
+  return out;
+}
+
+Generated calendar_workload(const CalendarSpec& spec) {
+  Generated out;
+  Rng rng(spec.seed);
+  for (int u = 0; u < spec.users; ++u) {
+    auto cal = std::make_unique<Calendar>("u" + std::to_string(u));
+    for (int h = spec.first_hour; h <= spec.last_hour; ++h) {
+      if (rng.chance(spec.prebooked_probability)) {
+        cal->book(h, "pre-" + std::to_string(u) + "-" + std::to_string(h));
+      }
+    }
+    (void)out.initial.add(std::move(cal));
+  }
+
+  for (int u = 0; u < spec.users; ++u) {
+    const std::uint64_t user_seed = rng();
+    Rng local(user_seed);
+    int counter = 0;
+    const ObjectId own(u);
+    out.logs.push_back(isolated_log(
+        out.initial, "u" + std::to_string(u), spec.actions_per_user, 16,
+        [&local, &spec, own, u, &counter](const Site& site) -> ActionPtr {
+          const auto& cal = site.tentative().as<Calendar>(own);
+          if (local.chance(spec.cancel_probability) &&
+              cal.booked_count() > 0) {
+            // Cancel a random busy hour of our own calendar.
+            for (int tries = 0; tries < 16; ++tries) {
+              const int hour =
+                  spec.first_hour +
+                  static_cast<int>(local.below(static_cast<std::uint64_t>(
+                      spec.last_hour - spec.first_hour + 1)));
+              if (!cal.free_at(hour)) {
+                return std::make_shared<CancelAppointmentAction>(own, hour);
+              }
+            }
+          }
+          // Request a meeting with a random other user, as early as
+          // possible in the window.
+          int peer = u;
+          while (peer == u) {
+            peer = static_cast<int>(
+                local.below(static_cast<std::uint64_t>(spec.users)));
+          }
+          return std::make_shared<RequestAppointmentAction>(
+              own, ObjectId(peer), spec.first_hour, spec.last_hour,
+              "m" + std::to_string(u) + "-" + std::to_string(counter++));
+        }));
+  }
+  return out;
+}
+
+Generated text_workload(const TextSpec& spec) {
+  Generated out;
+  (void)out.initial.add(std::make_unique<TextBuffer>(spec.initial_text));
+
+  Rng rng(spec.seed);
+  for (int r = 0; r < spec.replicas; ++r) {
+    const std::uint64_t replica_seed = rng();
+    Rng local(replica_seed);
+    const int site_id = r + 1;
+    out.logs.push_back(isolated_log(
+        out.initial, "editor" + std::to_string(r), spec.actions_per_replica,
+        16, [&local, &spec, site_id](const Site& site) -> ActionPtr {
+          const auto& text = site.tentative().as<TextBuffer>(kPrimary).text();
+          if (local.chance(spec.insert_probability) || text.size() < 2) {
+            const auto pos = local.below(text.size() + 1);
+            return std::make_shared<InsertTextAction>(
+                kPrimary, site_id, pos,
+                std::string(1 + local.below(4),
+                            static_cast<char>('a' + site_id)));
+          }
+          const auto pos = local.below(text.size() - 1);
+          const auto len =
+              1 + local.below(std::min<std::uint64_t>(5, text.size() - pos));
+          return std::make_shared<DeleteTextAction>(kPrimary, site_id, pos,
+                                                    len);
+        }));
+  }
+  return out;
+}
+
+Generated line_workload(const LineSpec& spec) {
+  Generated out;
+  {
+    std::vector<std::string> lines;
+    for (int i = 0; i < spec.lines; ++i) {
+      lines.push_back("line-" + std::to_string(i));
+    }
+    (void)out.initial.add(std::make_unique<LineFile>(std::move(lines)));
+  }
+
+  Rng rng(spec.seed);
+  for (int r = 0; r < spec.replicas; ++r) {
+    const std::uint64_t replica_seed = rng();
+    Rng local(replica_seed);
+    int counter = 0;
+    out.logs.push_back(isolated_log(
+        out.initial, "session" + std::to_string(r), spec.actions_per_replica,
+        16, [&local, &spec, r, &counter](const Site& site) -> ActionPtr {
+          const auto& file = site.tentative().as<LineFile>(kPrimary);
+          const auto line = static_cast<std::size_t>(
+              local.below(static_cast<std::uint64_t>(spec.lines)));
+          return std::make_shared<SetLineAction>(
+              kPrimary, line, file.line(line),
+              "r" + std::to_string(r) + "-v" + std::to_string(counter++));
+        }));
+  }
+  return out;
+}
+
+}  // namespace icecube::workload

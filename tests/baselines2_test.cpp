@@ -1,0 +1,286 @@
+// Tests for the §5 related-work baselines: greedy insertion
+// (Phatak & Badrinath style) and the algebraic file synchroniser
+// (Ramsey & Csirmaz style), including the comparisons the paper draws.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baseline/algebraic_sync.hpp"
+#include "baseline/greedy_insertion.hpp"
+#include "core/reconciler.hpp"
+#include "objects/counter.hpp"
+#include "objects/file_system.hpp"
+#include "objects/sysadmin.hpp"
+#include "test_helpers.hpp"
+
+namespace icecube {
+namespace {
+
+using testing::make_log;
+
+// ---------------------------------------------------------------------------
+// Greedy insertion.
+
+TEST(GreedyInsertion, InsertsCompatibleActionsInOrder) {
+  Universe u;
+  const ObjectId c = u.add(std::make_unique<Counter>(0));
+  std::vector<Log> logs;
+  logs.push_back(make_log("a", {std::make_shared<IncrementAction>(c, 1),
+                                std::make_shared<IncrementAction>(c, 2)}));
+  logs.push_back(make_log("b", {std::make_shared<IncrementAction>(c, 4)}));
+  const GreedyReport report = greedy_insertion_merge(u, logs);
+  EXPECT_EQ(report.dropped, 0u);
+  EXPECT_EQ(report.schedule.size(), 3u);
+  EXPECT_EQ(report.final_state.as<Counter>(c).value(), 7);
+}
+
+TEST(GreedyInsertion, FindsInsertionPointRequiringReorder) {
+  // Incoming decrement only fits *between* the primary's increment and
+  // decrement; greedy insertion scans positions and finds it.
+  Universe u;
+  const ObjectId c = u.add(std::make_unique<Counter>(0));
+  std::vector<Log> logs;
+  logs.push_back(make_log("a", {std::make_shared<IncrementAction>(c, 10),
+                                std::make_shared<DecrementAction>(c, 7)}));
+  logs.push_back(make_log("b", {std::make_shared<DecrementAction>(c, 3)}));
+  const GreedyReport report = greedy_insertion_merge(u, logs);
+  EXPECT_EQ(report.dropped, 0u);
+  EXPECT_EQ(report.final_state.as<Counter>(c).value(), 0);
+}
+
+TEST(GreedyInsertion, DropsActionWithNoWorkingPosition) {
+  Universe u;
+  const ObjectId c = u.add(std::make_unique<Counter>(1));
+  std::vector<Log> logs;
+  logs.push_back(make_log("a", {std::make_shared<DecrementAction>(c, 1)}));
+  logs.push_back(make_log("b", {std::make_shared<DecrementAction>(c, 1)}));
+  const GreedyReport report = greedy_insertion_merge(u, logs);
+  EXPECT_EQ(report.dropped, 1u);
+  EXPECT_EQ(report.final_state.as<Counter>(c).value(), 0);
+}
+
+TEST(GreedyInsertion, FailsTheSysadminExampleWhereIceCubeSucceeds) {
+  // §5: "[their] algorithm lacks a scheduling phase, which we found
+  // essential". Greedy insertion places B1 (buy printer) after A3 — the
+  // only budget-feasible slot — and then no position for B2 (install
+  // driver, needs v4 *and* an owned printer) exists: before A1 the printer
+  // is not yet owned, after A1 the OS version is wrong. IceCube reorders
+  // and solves it.
+  SysAdminExample ex = make_sysadmin_example();
+  const GreedyReport report = greedy_insertion_merge(ex.initial, ex.logs);
+  EXPECT_EQ(report.dropped, 1u);
+  EXPECT_FALSE(
+      report.final_state.as<OsSystem>(ex.os).driver_installed(
+          SysAdminExample::kPrinter));
+
+  Reconciler r(ex.initial, ex.logs, {});
+  const auto ice = r.run();
+  ASSERT_TRUE(ice.found_any());
+  EXPECT_TRUE(ice.best().complete);
+  EXPECT_TRUE(ice.best().final_state.as<OsSystem>(ex.os).driver_installed(
+      SysAdminExample::kPrinter));
+}
+
+TEST(GreedyInsertion, LacksSchedulingPhaseWhereIceCubeReorders) {
+  // The incoming log's own order is never revisited: when ITS prefix is the
+  // problem (a decrement that needs the incoming log's later increment
+  // hoisted), greedy insertion drops the action while IceCube reorders.
+  Universe u;
+  const ObjectId c = u.add(std::make_unique<Counter>(0));
+  std::vector<Log> logs;
+  logs.push_back(make_log("primary", {std::make_shared<IncrementAction>(c, 1)}));
+  // Isolated execution of log b: inc 10 first, then dec 5 — but recorded
+  // here with the dec *after* an inc the greedy pass has already placed...
+  // construct the failing shape directly: dec 5 before inc 10 cannot
+  // replay as-recorded and no single insertion point fixes a prefix.
+  Log b("b");
+  {
+    // Build a log whose recorded order is [dec 5, inc 10]: legal in
+    // isolation only if the replica had funds — craft initial 5 at site b
+    // is impossible here, so this models a log from a site whose committed
+    // state diverged... for the baseline comparison we accept a
+    // hand-crafted "incorrect" log; IceCube's counter order method hoists
+    // the increment, greedy insertion cannot.
+    b.append(std::make_shared<DecrementAction>(c, 5));
+    b.append(std::make_shared<IncrementAction>(c, 10));
+  }
+  logs.push_back(std::move(b));
+
+  const GreedyReport greedy = greedy_insertion_merge(u, logs);
+  EXPECT_EQ(greedy.dropped, 1u);  // the dec never fits
+
+  ReconcilerOptions opts;
+  opts.heuristic = Heuristic::kAll;
+  Reconciler r(u, logs, opts);
+  const auto ice = r.run();
+  ASSERT_TRUE(ice.found_any());
+  EXPECT_TRUE(ice.best().complete);  // inc 10 hoisted before dec 5
+  EXPECT_EQ(ice.best().final_state.as<Counter>(c).value(), 6);
+}
+
+TEST(GreedyInsertion, ReplayCountGrowsQuadratically) {
+  // Cost shape: inserting k actions into a schedule of length n costs
+  // O(n·k) full replays — the price of having no scheduling phase.
+  Universe u;
+  const ObjectId c = u.add(std::make_unique<Counter>(0));
+  std::vector<Log> logs;
+  Log a("a"), b("b");
+  for (int i = 0; i < 10; ++i) {
+    a.append(std::make_shared<IncrementAction>(c, 1));
+    b.append(std::make_shared<IncrementAction>(c, 1));
+  }
+  logs = {std::move(a), std::move(b)};
+  const GreedyReport report = greedy_insertion_merge(u, logs);
+  EXPECT_EQ(report.dropped, 0u);
+  EXPECT_GE(report.replays, 10u);  // one per inserted action at minimum
+}
+
+// ---------------------------------------------------------------------------
+// Algebraic file synchronisation.
+
+struct FsFixture {
+  Universe universe;
+  ObjectId fs;
+  FsFixture() {
+    auto tree = std::make_unique<FileSystem>();
+    EXPECT_TRUE(tree->mkdir("/shared"));
+    fs = ObjectId(0);
+    (void)universe.add(std::move(tree));
+  }
+};
+
+TEST(AlgebraicSync, MergesIndependentWork) {
+  FsFixture fx;
+  std::vector<Log> logs;
+  logs.push_back(make_log(
+      "a", {std::make_shared<MkdirAction>(fx.fs, "/a"),
+            std::make_shared<WriteFileAction>(fx.fs, "/a/file", "1")}));
+  logs.push_back(make_log(
+      "b", {std::make_shared<WriteFileAction>(fx.fs, "/shared/b", "2")}));
+  const AlgebraicSyncReport report =
+      algebraic_fs_sync(fx.universe, logs, fx.fs);
+  EXPECT_TRUE(report.clean);
+  EXPECT_TRUE(report.conflicts.empty());
+  EXPECT_EQ(report.applied.size(), 3u);
+  const auto& tree = report.final_state.as<FileSystem>(fx.fs);
+  EXPECT_EQ(tree.read("/a/file"), "1");
+  EXPECT_EQ(tree.read("/shared/b"), "2");
+}
+
+TEST(AlgebraicSync, CanonicalOrderPutsParentsBeforeChildren) {
+  // Log b's write lands under log a's new directory: the canonical order
+  // (creations parents-first) makes it work without any search.
+  FsFixture fx;
+  std::vector<Log> logs;
+  logs.push_back(make_log(
+      "a", {std::make_shared<WriteFileAction>(fx.fs, "/shared/d", "x")}));
+  logs.push_back(make_log(
+      "b", {std::make_shared<MkdirAction>(fx.fs, "/deep"),
+            std::make_shared<MkdirAction>(fx.fs, "/deep/er")}));
+  const AlgebraicSyncReport report =
+      algebraic_fs_sync(fx.universe, logs, fx.fs);
+  EXPECT_TRUE(report.conflicts.empty());
+  EXPECT_TRUE(report.final_state.as<FileSystem>(fx.fs).is_dir("/deep/er"));
+}
+
+TEST(AlgebraicSync, DivergentWritesConflictAndAreExcluded) {
+  FsFixture fx;
+  std::vector<Log> logs;
+  logs.push_back(make_log(
+      "a", {std::make_shared<WriteFileAction>(fx.fs, "/shared/f", "A")}));
+  logs.push_back(make_log(
+      "b", {std::make_shared<WriteFileAction>(fx.fs, "/shared/f", "B")}));
+  const AlgebraicSyncReport report =
+      algebraic_fs_sync(fx.universe, logs, fx.fs);
+  EXPECT_EQ(report.conflicts.size(), 1u);
+  EXPECT_FALSE(report.final_state.as<FileSystem>(fx.fs).exists("/shared/f"));
+}
+
+TEST(AlgebraicSync, IdenticalWritesAreIdempotent) {
+  FsFixture fx;
+  std::vector<Log> logs;
+  logs.push_back(make_log(
+      "a", {std::make_shared<WriteFileAction>(fx.fs, "/shared/f", "same")}));
+  logs.push_back(make_log(
+      "b", {std::make_shared<WriteFileAction>(fx.fs, "/shared/f", "same")}));
+  const AlgebraicSyncReport report =
+      algebraic_fs_sync(fx.universe, logs, fx.fs);
+  EXPECT_TRUE(report.conflicts.empty());
+  EXPECT_EQ(report.duplicates.size(), 1u);
+  EXPECT_EQ(report.applied.size(), 1u);
+  EXPECT_EQ(report.final_state.as<FileSystem>(fx.fs).read("/shared/f"),
+            "same");
+}
+
+TEST(AlgebraicSync, DeleteVersusConcurrentWorkBelowConflicts) {
+  // The paper's write/delete example: flagged statically, both excluded.
+  FsFixture fx;
+  std::vector<Log> logs;
+  logs.push_back(make_log(
+      "writer",
+      {std::make_shared<WriteFileAction>(fx.fs, "/shared/new", "w")}));
+  logs.push_back(
+      make_log("deleter", {std::make_shared<DeleteAction>(fx.fs, "/shared")}));
+  const AlgebraicSyncReport report =
+      algebraic_fs_sync(fx.universe, logs, fx.fs);
+  EXPECT_EQ(report.conflicts.size(), 1u);
+  // Conservative exclusion: the tree keeps /shared untouched.
+  EXPECT_TRUE(report.final_state.as<FileSystem>(fx.fs).is_dir("/shared"));
+}
+
+TEST(AlgebraicSync, DirtyLogIsDetected) {
+  FsFixture fx;
+  std::vector<Log> logs;
+  logs.push_back(make_log(
+      "a", {std::make_shared<WriteFileAction>(fx.fs, "/shared/f", "1"),
+            std::make_shared<WriteFileAction>(fx.fs, "/shared/f", "2")}));
+  const AlgebraicSyncReport report =
+      algebraic_fs_sync(fx.universe, logs, fx.fs);
+  EXPECT_FALSE(report.clean);
+}
+
+TEST(AlgebraicSync, DeletesApplyChildrenFirst) {
+  FsFixture fx;
+  {
+    auto& tree = fx.universe.as<FileSystem>(fx.fs);
+    ASSERT_TRUE(tree.mkdir("/shared/sub"));
+    ASSERT_TRUE(tree.write("/shared/sub/f", "x"));
+  }
+  std::vector<Log> logs;
+  logs.push_back(make_log(
+      "a", {std::make_shared<DeleteAction>(fx.fs, "/shared/sub/f")}));
+  logs.push_back(
+      make_log("b", {std::make_shared<DeleteAction>(fx.fs, "/shared/sub")}));
+  const AlgebraicSyncReport report =
+      algebraic_fs_sync(fx.universe, logs, fx.fs);
+  EXPECT_TRUE(report.conflicts.empty());
+  EXPECT_FALSE(report.final_state.as<FileSystem>(fx.fs).exists("/shared/sub"));
+  EXPECT_TRUE(report.final_state.as<FileSystem>(fx.fs).is_dir("/shared"));
+}
+
+TEST(AlgebraicSync, IceCubeResolvesWhatAlgebraExcludes) {
+  // Divergent writes: the algebraic scheme excludes both; IceCube's dynamic
+  // stage can at least apply one (skip mode) and report the other.
+  FsFixture fx;
+  std::vector<Log> logs;
+  logs.push_back(make_log(
+      "a", {std::make_shared<WriteFileAction>(fx.fs, "/shared/f", "A")}));
+  logs.push_back(make_log(
+      "b", {std::make_shared<WriteFileAction>(fx.fs, "/shared/f", "B")}));
+
+  const AlgebraicSyncReport algebra =
+      algebraic_fs_sync(fx.universe, logs, fx.fs);
+  EXPECT_FALSE(
+      algebra.final_state.as<FileSystem>(fx.fs).exists("/shared/f"));
+
+  ReconcilerOptions opts;
+  opts.heuristic = Heuristic::kAll;
+  Reconciler r(fx.universe, logs, opts);
+  const auto ice = r.run();
+  ASSERT_TRUE(ice.found_any());
+  EXPECT_TRUE(
+      ice.best().final_state.as<FileSystem>(fx.fs).exists("/shared/f"));
+}
+
+}  // namespace
+}  // namespace icecube

@@ -1,0 +1,174 @@
+// Tests for the calendar substrate and the paper's second motivating
+// example: the unique successful ordering freeC, appBC, appAB.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/reconciler.hpp"
+#include "objects/calendar.hpp"
+#include "test_helpers.hpp"
+
+namespace icecube {
+namespace {
+
+using testing::make_log;
+
+TEST(Calendar, BookAndCancel) {
+  Calendar cal("A");
+  EXPECT_TRUE(cal.free_at(9));
+  cal.book(9, "standup");
+  EXPECT_FALSE(cal.free_at(9));
+  EXPECT_EQ(cal.appointment_at(9), "standup");
+  EXPECT_TRUE(cal.cancel(9));
+  EXPECT_TRUE(cal.free_at(9));
+  EXPECT_FALSE(cal.cancel(9));  // nothing to cancel
+}
+
+TEST(Calendar, CloneIsDeep) {
+  Calendar cal("A");
+  cal.book(9, "x");
+  auto copy = cal.clone();
+  cal.cancel(9);
+  EXPECT_FALSE(dynamic_cast<Calendar&>(*copy).free_at(9));
+}
+
+TEST(Calendar, RequestBooksEarliestCommonFreeSlot) {
+  Universe u;
+  const ObjectId a = u.add(std::make_unique<Calendar>("A"));
+  const ObjectId b = u.add(std::make_unique<Calendar>("B"));
+  u.as<Calendar>(a).book(9, "busy");  // A busy at 9, B free all morning
+
+  const RequestAppointmentAction req(a, b, 9, 11, "AB");
+  ASSERT_TRUE(req.precondition(u));
+  ASSERT_TRUE(req.execute(u));
+  // Earliest common slot is 10.
+  EXPECT_EQ(u.as<Calendar>(a).appointment_at(10), "AB");
+  EXPECT_EQ(u.as<Calendar>(b).appointment_at(10), "AB");
+  EXPECT_TRUE(u.as<Calendar>(b).free_at(9));
+}
+
+TEST(Calendar, RequestFailsWhenNoCommonSlot) {
+  Universe u;
+  const ObjectId a = u.add(std::make_unique<Calendar>("A"));
+  const ObjectId b = u.add(std::make_unique<Calendar>("B"));
+  u.as<Calendar>(a).book(9, "x");
+  u.as<Calendar>(b).book(10, "y");
+  const RequestAppointmentAction req(a, b, 9, 10, "AB");
+  EXPECT_FALSE(req.precondition(u));
+}
+
+TEST(CalendarOrder, CancelBeforeRequestIsSafe) {
+  Universe u;
+  const ObjectId a = u.add(std::make_unique<Calendar>("A"));
+  const ObjectId b = u.add(std::make_unique<Calendar>("B"));
+  const auto& cal = u.as<Calendar>(a);
+  const CancelAppointmentAction cancel(a, 9);
+  const RequestAppointmentAction req(a, b, 9, 11, "AB");
+  EXPECT_EQ(cal.order(cancel, req, LogRelation::kAcrossLogs),
+            Constraint::kSafe);
+  EXPECT_EQ(cal.order(req, cancel, LogRelation::kAcrossLogs),
+            Constraint::kMaybe);
+}
+
+TEST(CalendarOrder, ConcurrentRequestsAreMaybe) {
+  Universe u;
+  const ObjectId a = u.add(std::make_unique<Calendar>("A"));
+  const ObjectId b = u.add(std::make_unique<Calendar>("B"));
+  const ObjectId c = u.add(std::make_unique<Calendar>("C"));
+  const auto& cal = u.as<Calendar>(b);
+  const RequestAppointmentAction ab(a, b, 9, 11, "AB");
+  const RequestAppointmentAction bc(b, c, 9, 11, "BC");
+  EXPECT_EQ(cal.order(ab, bc, LogRelation::kAcrossLogs), Constraint::kMaybe);
+  EXPECT_EQ(cal.order(bc, ab, LogRelation::kAcrossLogs), Constraint::kMaybe);
+}
+
+TEST(CalendarOrder, SameSlotCancelsConflict) {
+  Universe u;
+  const ObjectId a = u.add(std::make_unique<Calendar>("A"));
+  const auto& cal = u.as<Calendar>(a);
+  const CancelAppointmentAction c1(a, 9);
+  const CancelAppointmentAction c2(a, 9);
+  const CancelAppointmentAction c3(a, 10);
+  EXPECT_EQ(cal.order(c1, c2, LogRelation::kAcrossLogs), Constraint::kUnsafe);
+  EXPECT_EQ(cal.order(c1, c3, LogRelation::kAcrossLogs), Constraint::kSafe);
+}
+
+// ---------------------------------------------------------------------------
+// The paper's example. Monday morning = hours 9..11. As of Friday: A free
+// all morning; B has free slots at 9 and 10 only; C fully booked. Offline:
+// appAB (A–B, closest to 9), appBC (B–C, closest to 9), freeC (C cancels
+// 9:00). Unique success order: freeC, appBC, appAB.
+
+struct CalendarExample {
+  Universe universe;
+  ObjectId a, b, c;
+  std::vector<Log> logs;
+};
+
+CalendarExample make_calendar_example() {
+  CalendarExample ex;
+  ex.a = ex.universe.add(std::make_unique<Calendar>("A"));
+  ex.b = ex.universe.add(std::make_unique<Calendar>("B"));
+  ex.c = ex.universe.add(std::make_unique<Calendar>("C"));
+  // B busy at 11, C busy all morning.
+  ex.universe.as<Calendar>(ex.b).book(11, "B-own");
+  auto& cal_c = ex.universe.as<Calendar>(ex.c);
+  cal_c.book(9, "C-9");
+  cal_c.book(10, "C-10");
+  cal_c.book(11, "C-11");
+
+  ex.logs.push_back(make_log(
+      "A", {std::make_shared<RequestAppointmentAction>(ex.a, ex.b, 9, 11,
+                                                       "appAB")}));
+  ex.logs.push_back(make_log(
+      "B", {std::make_shared<RequestAppointmentAction>(ex.b, ex.c, 9, 11,
+                                                       "appBC")}));
+  ex.logs.push_back(make_log(
+      "C", {std::make_shared<CancelAppointmentAction>(ex.c, 9)}));
+  return ex;
+}
+
+TEST(CalendarExampleTest, UniqueSuccessfulOrderIsFound) {
+  CalendarExample ex = make_calendar_example();
+  ReconcilerOptions opts;
+  opts.heuristic = Heuristic::kAll;
+  Reconciler r(ex.universe, ex.logs, opts);
+  const auto result = r.run();
+
+  // Exactly one complete schedule: freeC (2), appBC (1), appAB (0).
+  EXPECT_EQ(result.stats.schedules_completed, 1u);
+  ASSERT_TRUE(result.best().complete);
+  EXPECT_EQ(result.best().schedule,
+            (std::vector<ActionId>{ActionId(2), ActionId(1), ActionId(0)}));
+
+  // All appointments placed: B-C at 9, A-B at 10.
+  const auto& final_b = result.best().final_state.as<Calendar>(ex.b);
+  const auto& final_c = result.best().final_state.as<Calendar>(ex.c);
+  EXPECT_EQ(final_b.appointment_at(9), "appBC");
+  EXPECT_EQ(final_c.appointment_at(9), "appBC");
+  EXPECT_EQ(final_b.appointment_at(10), "appAB");
+}
+
+TEST(CalendarExampleTest, NoRejectedAppointmentsInBestOutcome) {
+  CalendarExample ex = make_calendar_example();
+  ReconcilerOptions opts;
+  opts.heuristic = Heuristic::kAll;
+  Reconciler r(ex.universe, ex.logs, opts);
+  const auto result = r.run();
+  EXPECT_TRUE(result.best().skipped.empty());
+  EXPECT_TRUE(result.best().cutset.empty());
+  EXPECT_EQ(result.best().schedule.size(), 3u);
+}
+
+TEST(CalendarExampleTest, IndependenceGuidesSafeHeuristic) {
+  CalendarExample ex = make_calendar_example();
+  // freeC I appBC (cancel before request on C's calendar is safe).
+  Reconciler r(ex.universe, ex.logs, {});
+  EXPECT_TRUE(r.relations().independent(ActionId(2), ActionId(1)));
+  const auto result = r.run();  // default heuristic: Safe
+  ASSERT_TRUE(result.found_any());
+  EXPECT_TRUE(result.best().complete);
+}
+
+}  // namespace
+}  // namespace icecube

@@ -1,0 +1,170 @@
+// Tests for the command-line tool: demo generation, file inspection,
+// end-to-end reconciliation with options, error paths.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "cli/cli.hpp"
+#include "objects/counter.hpp"
+#include "serialize/log_codec.hpp"
+#include "test_helpers.hpp"
+
+namespace icecube {
+namespace {
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("icecube-cli-test-" + std::to_string(::getpid()) + "-" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+  void write(const std::string& name, const std::string& content) const {
+    std::ofstream out(path(name));
+    out << content;
+  }
+
+  int run(std::vector<std::string> args) {
+    out_.str("");
+    err_.str("");
+    return cli::run(args, out_, err_);
+  }
+
+  std::filesystem::path dir_;
+  std::ostringstream out_, err_;
+};
+
+TEST_F(CliTest, NoArgsPrintsUsage) {
+  EXPECT_NE(run({}), 0);
+  EXPECT_NE(err_.str().find("usage"), std::string::npos);
+}
+
+TEST_F(CliTest, UnknownCommandFails) {
+  EXPECT_NE(run({"frobnicate"}), 0);
+  EXPECT_NE(err_.str().find("unknown command"), std::string::npos);
+}
+
+TEST_F(CliTest, DemoBankEmitsUniverse) {
+  ASSERT_EQ(run({"demo", "bank"}), 0);
+  EXPECT_NE(out_.str().find("icecube-universe 1"), std::string::npos);
+  EXPECT_NE(out_.str().find("counter 100"), std::string::npos);
+}
+
+TEST_F(CliTest, DemoUnknownNameFails) {
+  EXPECT_NE(run({"demo", "nonsense"}), 0);
+}
+
+TEST_F(CliTest, ShowUniverseAndLog) {
+  ASSERT_EQ(run({"demo", "sysadmin"}), 0);
+  write("u.txt", out_.str());
+  ASSERT_EQ(run({"show", path("u.txt")}), 0);
+  EXPECT_NE(out_.str().find("budget=1000"), std::string::npos);
+
+  const Log log = testing::make_log(
+      "alice", {std::make_shared<IncrementAction>(ObjectId(1), 5)});
+  write("l.txt", encode_log(log));
+  ASSERT_EQ(run({"show", path("l.txt")}), 0);
+  EXPECT_NE(out_.str().find("alice"), std::string::npos);
+  EXPECT_NE(out_.str().find("increment(5)"), std::string::npos);
+}
+
+TEST_F(CliTest, ShowRejectsGarbage) {
+  write("junk.txt", "not an icecube file\n");
+  EXPECT_NE(run({"show", path("junk.txt")}), 0);
+}
+
+TEST_F(CliTest, ShowMissingFileFails) {
+  EXPECT_NE(run({"show", path("absent.txt")}), 0);
+  EXPECT_NE(err_.str().find("cannot open"), std::string::npos);
+}
+
+TEST_F(CliTest, ReconcileEndToEnd) {
+  // Bank universe; two logs whose naive order overdrafts.
+  ASSERT_EQ(run({"demo", "bank"}), 0);
+  write("u.txt", out_.str());
+  write("a.txt",
+        "icecube-log 1 a\ndecrement | 0 | 120 |\nincrement | 0 | 200 |\n");
+  write("b.txt", "icecube-log 1 b\ndecrement | 0 | 150 |\n");
+
+  ASSERT_EQ(run({"reconcile", path("u.txt"), path("a.txt"), path("b.txt"),
+                 "--heuristic", "all", "--save", path("merged.txt")}),
+            0)
+      << err_.str();
+  // 100 + 200 - 120 - 150 = 30, all four actions placed.
+  EXPECT_NE(out_.str().find("complete"), std::string::npos);
+  EXPECT_NE(out_.str().find("counter=30"), std::string::npos);
+  EXPECT_NE(out_.str().find("merged universe written"), std::string::npos);
+
+  // The saved universe loads back.
+  ASSERT_EQ(run({"show", path("merged.txt")}), 0);
+  EXPECT_NE(out_.str().find("counter=30"), std::string::npos);
+}
+
+TEST_F(CliTest, ReconcileSkipFailedDropsDoomedActions) {
+  ASSERT_EQ(run({"demo", "bank"}), 0);
+  write("u.txt", out_.str());
+  write("a.txt", "icecube-log 1 a\ndecrement | 0 | 500 |\n");
+  ASSERT_EQ(run({"reconcile", path("u.txt"), path("a.txt"), "--skip-failed"}),
+            0)
+      << err_.str();
+  EXPECT_NE(out_.str().find("1 dropped"), std::string::npos);
+  EXPECT_NE(out_.str().find("counter=100"), std::string::npos);
+}
+
+TEST_F(CliTest, ReconcileDotPrintsGraph) {
+  ASSERT_EQ(run({"demo", "bank"}), 0);
+  write("u.txt", out_.str());
+  write("a.txt", "icecube-log 1 a\nincrement | 0 | 5 |\n");
+  write("b.txt", "icecube-log 1 b\ndecrement | 0 | 5 |\n");
+  ASSERT_EQ(
+      run({"reconcile", path("u.txt"), path("a.txt"), path("b.txt"), "--dot"}),
+      0);
+  EXPECT_NE(out_.str().find("digraph icecube_relations"), std::string::npos);
+}
+
+TEST_F(CliTest, ReconcileRejectsBadOption) {
+  ASSERT_EQ(run({"demo", "bank"}), 0);
+  write("u.txt", out_.str());
+  write("a.txt", "icecube-log 1 a\nincrement | 0 | 5 |\n");
+  EXPECT_NE(
+      run({"reconcile", path("u.txt"), path("a.txt"), "--frobnicate"}), 0);
+  EXPECT_NE(
+      run({"reconcile", path("u.txt"), path("a.txt"), "--heuristic", "x"}),
+      0);
+}
+
+TEST_F(CliTest, ReconcileRejectsCorruptLog) {
+  ASSERT_EQ(run({"demo", "bank"}), 0);
+  write("u.txt", out_.str());
+  write("bad.txt", "icecube-log 1 a\nwat | | |\n");
+  EXPECT_NE(run({"reconcile", path("u.txt"), path("bad.txt")}), 0);
+  EXPECT_NE(err_.str().find("wat"), std::string::npos);
+}
+
+TEST_F(CliTest, ReconcileMaxSchedulesIsHonoured) {
+  ASSERT_EQ(run({"demo", "bank"}), 0);
+  write("u.txt", out_.str());
+  std::string log = "icecube-log 1 a\n";
+  for (int i = 0; i < 6; ++i) log += "increment | 0 | 1 |\n";
+  write("a.txt", log);
+  // Six separate logs would explode; one log chains — use --heuristic all
+  // with a single log and a tiny cap to exercise the limit path.
+  ASSERT_EQ(run({"reconcile", path("u.txt"), path("a.txt"),
+                 "--max-schedules", "1", "--heuristic", "all"}),
+            0)
+      << err_.str();
+  EXPECT_NE(out_.str().find("1 schedules explored"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace icecube

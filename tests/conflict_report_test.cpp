@@ -1,0 +1,145 @@
+// Tests for conflict explanation: static exclusions name their partners,
+// dynamic drops carry failure details, the reporter delegates to an inner
+// policy.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/conflict_report.hpp"
+#include "jigsaw/experiment.hpp"
+#include "objects/counter.hpp"
+#include "objects/file_system.hpp"
+#include "test_helpers.hpp"
+
+namespace icecube {
+namespace {
+
+using testing::make_log;
+using testing::NopAction;
+using testing::ScriptedObject;
+
+TEST(ConflictReport, CleanOutcomeSaysSo) {
+  Universe u;
+  const ObjectId c = u.add(std::make_unique<Counter>(0));
+  std::vector<Log> logs;
+  logs.push_back(make_log("a", {std::make_shared<IncrementAction>(c, 1)}));
+  Reconciler r(u, logs);
+  const auto result = r.run();
+  EXPECT_NE(explain_conflicts(r, result.best()).find("no conflicts"),
+            std::string::npos);
+}
+
+TEST(ConflictReport, StaticExclusionNamesMutuallyUnsafePartner) {
+  Universe u;
+  const ObjectId obj = u.add(std::make_unique<ScriptedObject>(
+      [](const Action&, const Action&, LogRelation) {
+        return Constraint::kUnsafe;
+      }));
+  std::vector<Log> logs;
+  logs.push_back(make_log("a", {std::make_shared<NopAction>(
+                                   "alpha", std::vector{obj})}));
+  logs.push_back(make_log("b", {std::make_shared<NopAction>(
+                                   "beta", std::vector{obj})}));
+  Reconciler r(u, logs);
+  const auto result = r.run();
+  ASSERT_EQ(result.best().cutset.size(), 1u);
+  const std::string report = explain_conflicts(r, result.best());
+  EXPECT_NE(report.find("static conflict"), std::string::npos);
+  EXPECT_NE(report.find("mutually unsafe"), std::string::npos);
+  // Both actions' descriptions appear: the excluded one and its partner.
+  EXPECT_NE(report.find("alpha()"), std::string::npos);
+  EXPECT_NE(report.find("beta()"), std::string::npos);
+}
+
+TEST(ConflictReport, DroppedActionCarriesFailureDetails) {
+  Universe u;
+  const ObjectId c = u.add(std::make_unique<Counter>(0));
+  std::vector<Log> logs;
+  logs.push_back(make_log("a", {std::make_shared<IncrementAction>(c, 1)}));
+  logs.push_back(make_log("b", {std::make_shared<DecrementAction>(c, 99)}));
+
+  ConflictReporter reporter;
+  ReconcilerOptions opts;
+  opts.heuristic = Heuristic::kAll;
+  opts.failure_mode = FailureMode::kSkipAction;
+  Reconciler r(u, logs, opts, &reporter);
+  const auto result = r.run();
+  ASSERT_EQ(result.best().skipped.size(), 1u);
+
+  const std::string report =
+      explain_conflicts(r, result.best(), &reporter);
+  EXPECT_NE(report.find("decrement(99)"), std::string::npos);
+  EXPECT_NE(report.find("precondition"), std::string::npos);
+  EXPECT_NE(report.find("failure(s) overall"), std::string::npos);
+}
+
+TEST(ConflictReport, ReporterDelegatesToInnerPolicy) {
+  Universe u;
+  const ObjectId c = u.add(std::make_unique<Counter>(0));
+  std::vector<Log> logs;
+  logs.push_back(make_log("a", {std::make_shared<IncrementAction>(c, 1)}));
+  logs.push_back(make_log("b", {std::make_shared<IncrementAction>(c, 2)}));
+
+  /// Prefers schedules starting with action 1 — via the inner cost hook.
+  class Inner final : public Policy {
+   public:
+    double cost(const Outcome& o) override {
+      return o.schedule.empty() || o.schedule.front() != ActionId(1) ? 0 : -1;
+    }
+    bool on_outcome(const Outcome&) override {
+      ++outcomes;
+      return true;
+    }
+    int outcomes = 0;
+  };
+  Inner inner;
+  ConflictReporter reporter(&inner);
+  ReconcilerOptions opts;
+  opts.heuristic = Heuristic::kAll;
+  Reconciler r(u, logs, opts, &reporter);
+  const auto result = r.run();
+  EXPECT_EQ(result.best().schedule.front(), ActionId(1));  // inner cost used
+  EXPECT_EQ(inner.outcomes, 2);                            // hook delegated
+}
+
+TEST(ConflictReport, JigsawDuplicateJoinsExplained) {
+  using K = jigsaw::PlayerSpec::Kind;
+  const jigsaw::Problem p =
+      jigsaw::make_problem(4, 4, jigsaw::Board::OrderCase::kKeepLogOrder,
+                           {{K::kU1, 7}, {K::kU2, 12}});
+  jigsaw::JigsawPolicy policy(p.board_id);
+  ConflictReporter reporter(&policy);
+  ReconcilerOptions opts;
+  opts.heuristic = Heuristic::kSafe;
+  opts.failure_mode = FailureMode::kSkipAction;
+  Reconciler r(p.initial, p.logs, opts, &reporter);
+  const auto result = r.run();
+  ASSERT_EQ(result.best().skipped.size(), 3u);  // the overlap duplicates
+  const std::string report =
+      explain_conflicts(r, result.best(), &reporter);
+  EXPECT_NE(report.find("was dropped"), std::string::npos);
+  EXPECT_NE(report.find("precondition"), std::string::npos);
+}
+
+TEST(ConflictReport, EarliestFailurePrefixIsKept) {
+  // The same action fails at several depths; the note records the earliest.
+  Universe u;
+  const ObjectId c = u.add(std::make_unique<Counter>(0));
+  std::vector<Log> logs;
+  logs.push_back(make_log("a", {std::make_shared<IncrementAction>(c, 1)}));
+  logs.push_back(make_log("b", {std::make_shared<IncrementAction>(c, 2)}));
+  logs.push_back(make_log("c", {std::make_shared<DecrementAction>(c, 99)}));
+
+  ConflictReporter reporter;
+  ReconcilerOptions opts;
+  opts.heuristic = Heuristic::kAll;
+  Reconciler r(u, logs, opts, &reporter);
+  (void)r.run();
+  const auto it = reporter.failures().find(ActionId(2));
+  ASSERT_NE(it, reporter.failures().end());
+  EXPECT_EQ(it->second.prefix_length, 0u);   // fails at the very root too
+  EXPECT_GT(it->second.occurrences, 1u);     // and at deeper prefixes
+}
+
+}  // namespace
+}  // namespace icecube

@@ -1,0 +1,167 @@
+// Tests for proper-cutset enumeration (§3.2): minimal hitting sets of the
+// elementary-cycle family.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/cutset.hpp"
+
+namespace icecube {
+namespace {
+
+std::set<std::set<std::uint32_t>> as_sets(const std::vector<Cutset>& cutsets) {
+  std::set<std::set<std::uint32_t>> out;
+  for (const auto& cs : cutsets) {
+    std::set<std::uint32_t> s;
+    for (ActionId a : cs.actions) s.insert(a.value());
+    out.insert(std::move(s));
+  }
+  return out;
+}
+
+TEST(Cutsets, AcyclicGraphYieldsSingleEmptyCutset) {
+  Relations rel(3);
+  rel.add_dependence(ActionId(0), ActionId(1));
+  rel.close();
+  const CutsetAnalysis analysis = find_proper_cutsets(rel);
+  ASSERT_EQ(analysis.cutsets.size(), 1u);
+  EXPECT_TRUE(analysis.cutsets[0].empty());
+  EXPECT_FALSE(analysis.truncated);
+}
+
+TEST(Cutsets, TwoCycleYieldsBothSingletons) {
+  Relations rel(2);
+  rel.add_dependence(ActionId(0), ActionId(1));
+  rel.add_dependence(ActionId(1), ActionId(0));
+  rel.close();
+  const CutsetAnalysis analysis = find_proper_cutsets(rel);
+  EXPECT_EQ(as_sets(analysis.cutsets),
+            (std::set<std::set<std::uint32_t>>{{0}, {1}}));
+}
+
+TEST(Cutsets, TriangleYieldsThreeSingletons) {
+  Relations rel(3);
+  rel.add_dependence(ActionId(0), ActionId(1));
+  rel.add_dependence(ActionId(1), ActionId(2));
+  rel.add_dependence(ActionId(2), ActionId(0));
+  rel.close();
+  const CutsetAnalysis analysis = find_proper_cutsets(rel);
+  EXPECT_EQ(as_sets(analysis.cutsets),
+            (std::set<std::set<std::uint32_t>>{{0}, {1}, {2}}));
+}
+
+TEST(Cutsets, DisjointCyclesRequireOneVertexEach) {
+  Relations rel(4);
+  rel.add_dependence(ActionId(0), ActionId(1));
+  rel.add_dependence(ActionId(1), ActionId(0));
+  rel.add_dependence(ActionId(2), ActionId(3));
+  rel.add_dependence(ActionId(3), ActionId(2));
+  rel.close();
+  const CutsetAnalysis analysis = find_proper_cutsets(rel);
+  EXPECT_EQ(as_sets(analysis.cutsets), (std::set<std::set<std::uint32_t>>{
+                                           {0, 2}, {0, 3}, {1, 2}, {1, 3}}));
+}
+
+TEST(Cutsets, SharedVertexCoversBothCycles) {
+  // Cycles {0,1} and {1,2}: {1} hits both; {0,2} is the other minimal set.
+  Relations rel(3);
+  rel.add_dependence(ActionId(0), ActionId(1));
+  rel.add_dependence(ActionId(1), ActionId(0));
+  rel.add_dependence(ActionId(1), ActionId(2));
+  rel.add_dependence(ActionId(2), ActionId(1));
+  rel.close();
+  const CutsetAnalysis analysis = find_proper_cutsets(rel);
+  EXPECT_EQ(as_sets(analysis.cutsets),
+            (std::set<std::set<std::uint32_t>>{{1}, {0, 2}}));
+}
+
+TEST(Cutsets, AllCutsetsAreActualCutsets) {
+  // Property: removing any reported cutset leaves no cycles.
+  Relations rel(5);
+  rel.add_dependence(ActionId(0), ActionId(1));
+  rel.add_dependence(ActionId(1), ActionId(2));
+  rel.add_dependence(ActionId(2), ActionId(0));
+  rel.add_dependence(ActionId(2), ActionId(3));
+  rel.add_dependence(ActionId(3), ActionId(4));
+  rel.add_dependence(ActionId(4), ActionId(2));
+  rel.close();
+  const CutsetAnalysis analysis = find_proper_cutsets(rel);
+  ASSERT_FALSE(analysis.cutsets.empty());
+  for (const auto& cutset : analysis.cutsets) {
+    Bitset removed(5);
+    for (ActionId a : cutset.actions) removed.set(a.index());
+    const Relations rest = rel.restricted(removed);
+    EXPECT_TRUE(find_cycles(rest).cycles.empty());
+  }
+}
+
+TEST(Cutsets, AllCutsetsAreMinimal) {
+  Relations rel(5);
+  rel.add_dependence(ActionId(0), ActionId(1));
+  rel.add_dependence(ActionId(1), ActionId(2));
+  rel.add_dependence(ActionId(2), ActionId(0));
+  rel.add_dependence(ActionId(2), ActionId(3));
+  rel.add_dependence(ActionId(3), ActionId(4));
+  rel.add_dependence(ActionId(4), ActionId(2));
+  rel.close();
+  const CutsetAnalysis analysis = find_proper_cutsets(rel);
+  for (const auto& cutset : analysis.cutsets) {
+    // Dropping any single member must leave some cycle uncovered.
+    for (std::size_t skip = 0; skip < cutset.actions.size(); ++skip) {
+      Bitset removed(5);
+      for (std::size_t i = 0; i < cutset.actions.size(); ++i) {
+        if (i != skip) removed.set(cutset.actions[i].index());
+      }
+      const Relations rest = rel.restricted(removed);
+      EXPECT_FALSE(find_cycles(rest).cycles.empty())
+          << "cutset is not minimal";
+    }
+  }
+}
+
+TEST(Cutsets, SortedBySizeThenLexicographic) {
+  Relations rel(3);
+  rel.add_dependence(ActionId(0), ActionId(1));
+  rel.add_dependence(ActionId(1), ActionId(0));
+  rel.add_dependence(ActionId(1), ActionId(2));
+  rel.add_dependence(ActionId(2), ActionId(1));
+  rel.close();
+  const CutsetAnalysis analysis = find_proper_cutsets(rel);
+  ASSERT_EQ(analysis.cutsets.size(), 2u);
+  EXPECT_LE(analysis.cutsets[0].size(), analysis.cutsets[1].size());
+  EXPECT_EQ(analysis.cutsets[0].actions, std::vector<ActionId>{ActionId(1)});
+}
+
+TEST(Cutsets, RespectsMaxCutsetsCap) {
+  // Many disjoint 2-cycles → 2^k minimal cutsets; cap at 4.
+  const std::size_t k = 5;
+  Relations rel(2 * k);
+  for (std::size_t i = 0; i < k; ++i) {
+    rel.add_dependence(ActionId(2 * i), ActionId(2 * i + 1));
+    rel.add_dependence(ActionId(2 * i + 1), ActionId(2 * i));
+  }
+  rel.close();
+  const CutsetAnalysis analysis = find_proper_cutsets(rel, 10000, 4);
+  EXPECT_EQ(analysis.cutsets.size(), 4u);
+  EXPECT_TRUE(analysis.truncated);
+}
+
+TEST(MinimalHittingSets, DirectInvocation) {
+  const std::vector<Cycle> cycles{{ActionId(0), ActionId(1)},
+                                  {ActionId(1), ActionId(2)},
+                                  {ActionId(0), ActionId(2)}};
+  const CutsetAnalysis analysis = minimal_hitting_sets(cycles, 3);
+  // Hitting sets of {01, 12, 02}: any two vertices.
+  EXPECT_EQ(as_sets(analysis.cutsets),
+            (std::set<std::set<std::uint32_t>>{{0, 1}, {0, 2}, {1, 2}}));
+}
+
+TEST(MinimalHittingSets, EmptyFamilyGivesEmptySet) {
+  const CutsetAnalysis analysis = minimal_hitting_sets({}, 4);
+  ASSERT_EQ(analysis.cutsets.size(), 1u);
+  EXPECT_TRUE(analysis.cutsets[0].empty());
+}
+
+}  // namespace
+}  // namespace icecube

@@ -1,0 +1,155 @@
+// Tests for SCC decomposition and Johnson elementary-cycle enumeration
+// (§3.2's dependence cycle analysis).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/cycles.hpp"
+
+namespace icecube {
+namespace {
+
+Relations chain(std::size_t n) {
+  Relations rel(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    rel.add_dependence(ActionId(i), ActionId(i + 1));
+  }
+  rel.close();
+  return rel;
+}
+
+/// Canonicalise a cycle: rotate so the smallest id comes first.
+std::vector<std::uint32_t> canonical(const Cycle& cycle) {
+  std::vector<std::uint32_t> ids;
+  for (ActionId a : cycle) ids.push_back(a.value());
+  const auto min_it = std::min_element(ids.begin(), ids.end());
+  std::rotate(ids.begin(), ids.begin() + (min_it - ids.begin()), ids.end());
+  return ids;
+}
+
+TEST(Scc, SingletonComponentsForAcyclicGraph) {
+  const Relations rel = chain(4);
+  const auto sccs = strongly_connected_components(rel);
+  EXPECT_EQ(sccs.size(), 4u);
+  for (const auto& scc : sccs) EXPECT_EQ(scc.size(), 1u);
+}
+
+TEST(Scc, DetectsTwoCycle) {
+  Relations rel(3);
+  rel.add_dependence(ActionId(0), ActionId(1));
+  rel.add_dependence(ActionId(1), ActionId(0));
+  rel.close();
+  const auto sccs = strongly_connected_components(rel);
+  std::size_t big = 0;
+  for (const auto& scc : sccs) {
+    if (scc.size() > 1) {
+      ++big;
+      EXPECT_EQ(scc.size(), 2u);
+    }
+  }
+  EXPECT_EQ(big, 1u);
+}
+
+TEST(Scc, SeparatesIndependentComponents) {
+  Relations rel(5);
+  rel.add_dependence(ActionId(0), ActionId(1));
+  rel.add_dependence(ActionId(1), ActionId(0));
+  rel.add_dependence(ActionId(2), ActionId(3));
+  rel.add_dependence(ActionId(3), ActionId(2));
+  rel.close();
+  const auto sccs = strongly_connected_components(rel);
+  std::multiset<std::size_t> sizes;
+  for (const auto& scc : sccs) sizes.insert(scc.size());
+  EXPECT_EQ(sizes, (std::multiset<std::size_t>{1, 2, 2}));
+}
+
+TEST(Cycles, NoneInAcyclicGraph) {
+  const Relations rel = chain(6);
+  const CycleAnalysis analysis = find_cycles(rel);
+  EXPECT_TRUE(analysis.cycles.empty());
+  EXPECT_FALSE(analysis.truncated);
+}
+
+TEST(Cycles, FindsSingleTwoCycle) {
+  Relations rel(2);
+  rel.add_dependence(ActionId(0), ActionId(1));
+  rel.add_dependence(ActionId(1), ActionId(0));
+  rel.close();
+  const CycleAnalysis analysis = find_cycles(rel);
+  ASSERT_EQ(analysis.cycles.size(), 1u);
+  EXPECT_EQ(canonical(analysis.cycles[0]), (std::vector<std::uint32_t>{0, 1}));
+}
+
+TEST(Cycles, FindsAllCyclesOfTriangleWithChords) {
+  // 0→1, 1→2, 2→0 plus 1→0: cycles {0,1,2} and {0,1}.
+  Relations rel(3);
+  rel.add_dependence(ActionId(0), ActionId(1));
+  rel.add_dependence(ActionId(1), ActionId(2));
+  rel.add_dependence(ActionId(2), ActionId(0));
+  rel.add_dependence(ActionId(1), ActionId(0));
+  rel.close();
+  const CycleAnalysis analysis = find_cycles(rel);
+  std::set<std::vector<std::uint32_t>> found;
+  for (const auto& c : analysis.cycles) found.insert(canonical(c));
+  EXPECT_EQ(found, (std::set<std::vector<std::uint32_t>>{{0, 1}, {0, 1, 2}}));
+}
+
+TEST(Cycles, CompleteDigraphK4HasTwentyElementaryCycles) {
+  // K4 (all ordered pairs): C(4,2)=6 2-cycles + 8 3-cycles + 6 4-cycles.
+  Relations rel(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      if (i != j) rel.add_dependence(ActionId(i), ActionId(j));
+    }
+  }
+  rel.close();
+  const CycleAnalysis analysis = find_cycles(rel);
+  EXPECT_EQ(analysis.cycles.size(), 20u);
+  EXPECT_FALSE(analysis.truncated);
+}
+
+TEST(Cycles, RespectsCap) {
+  Relations rel(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      if (i != j) rel.add_dependence(ActionId(i), ActionId(j));
+    }
+  }
+  rel.close();
+  const CycleAnalysis analysis = find_cycles(rel, 5);
+  EXPECT_LE(analysis.cycles.size(), 5u + 1);  // may finish the inner emit
+  EXPECT_TRUE(analysis.truncated);
+}
+
+TEST(Cycles, SelfLoopsAreIgnored) {
+  Relations rel(2);
+  rel.add_dependence(ActionId(0), ActionId(0));
+  rel.close();
+  const CycleAnalysis analysis = find_cycles(rel);
+  EXPECT_TRUE(analysis.cycles.empty());
+}
+
+TEST(Cycles, EveryReportedCycleIsClosedInRawEdges) {
+  Relations rel(5);
+  rel.add_dependence(ActionId(0), ActionId(1));
+  rel.add_dependence(ActionId(1), ActionId(2));
+  rel.add_dependence(ActionId(2), ActionId(0));
+  rel.add_dependence(ActionId(2), ActionId(3));
+  rel.add_dependence(ActionId(3), ActionId(4));
+  rel.add_dependence(ActionId(4), ActionId(2));
+  rel.close();
+  const CycleAnalysis analysis = find_cycles(rel);
+  ASSERT_FALSE(analysis.cycles.empty());
+  for (const auto& cycle : analysis.cycles) {
+    for (std::size_t i = 0; i < cycle.size(); ++i) {
+      const ActionId from = cycle[i];
+      const ActionId to = cycle[(i + 1) % cycle.size()];
+      EXPECT_TRUE(rel.depends_raw(from, to))
+          << "edge " << from << "->" << to << " missing";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace icecube

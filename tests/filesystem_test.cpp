@@ -1,0 +1,196 @@
+// Tests for the in-memory file system: path helpers, tree operations,
+// actions, and the §2.4 write/delete order semantics.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/reconciler.hpp"
+#include "objects/file_system.hpp"
+#include "test_helpers.hpp"
+
+namespace icecube {
+namespace {
+
+using testing::make_log;
+
+TEST(FsPath, ParentOfNestedPath) {
+  EXPECT_EQ(fspath::parent("/a/b/c"), "/a/b");
+  EXPECT_EQ(fspath::parent("/a"), "/");
+  EXPECT_EQ(fspath::parent("/"), "/");
+}
+
+TEST(FsPath, CoversSelfAndDescendants) {
+  EXPECT_TRUE(fspath::covers("/a", "/a"));
+  EXPECT_TRUE(fspath::covers("/a", "/a/b"));
+  EXPECT_TRUE(fspath::covers("/a", "/a/b/c"));
+  EXPECT_TRUE(fspath::covers("/", "/anything"));
+  EXPECT_FALSE(fspath::covers("/a", "/ab"));  // prefix but not a component
+  EXPECT_FALSE(fspath::covers("/a/b", "/a"));
+}
+
+TEST(FileSystem, StartsWithRootOnly) {
+  FileSystem fs;
+  EXPECT_TRUE(fs.is_dir("/"));
+  EXPECT_EQ(fs.entry_count(), 1u);
+}
+
+TEST(FileSystem, MkdirRequiresParent) {
+  FileSystem fs;
+  EXPECT_TRUE(fs.mkdir("/a"));
+  EXPECT_FALSE(fs.mkdir("/a"));      // already exists
+  EXPECT_FALSE(fs.mkdir("/b/c"));    // missing parent
+  EXPECT_TRUE(fs.mkdir("/a/b"));
+  EXPECT_TRUE(fs.is_dir("/a/b"));
+}
+
+TEST(FileSystem, WriteCreatesAndOverwrites) {
+  FileSystem fs;
+  ASSERT_TRUE(fs.mkdir("/a"));
+  EXPECT_TRUE(fs.write("/a/f", "one"));
+  EXPECT_EQ(fs.read("/a/f"), "one");
+  EXPECT_TRUE(fs.write("/a/f", "two"));
+  EXPECT_EQ(fs.read("/a/f"), "two");
+  EXPECT_FALSE(fs.write("/a", "oops"));   // target is a directory
+  EXPECT_FALSE(fs.write("/b/f", "no"));   // missing parent
+}
+
+TEST(FileSystem, RemoveDeletesSubtree) {
+  FileSystem fs;
+  ASSERT_TRUE(fs.mkdir("/a"));
+  ASSERT_TRUE(fs.mkdir("/a/b"));
+  ASSERT_TRUE(fs.write("/a/b/f", "x"));
+  ASSERT_TRUE(fs.write("/a/g", "y"));
+  EXPECT_TRUE(fs.remove("/a"));
+  EXPECT_FALSE(fs.exists("/a"));
+  EXPECT_FALSE(fs.exists("/a/b"));
+  EXPECT_FALSE(fs.exists("/a/b/f"));
+  EXPECT_FALSE(fs.exists("/a/g"));
+  EXPECT_TRUE(fs.is_dir("/"));
+  EXPECT_FALSE(fs.remove("/"));  // the root is not removable
+}
+
+TEST(FileSystem, ActionsEnforcePreconditions) {
+  Universe u;
+  const ObjectId fs = u.add(std::make_unique<FileSystem>());
+  EXPECT_FALSE(WriteFileAction(fs, "/d/f", "x").precondition(u));
+  ASSERT_TRUE(MkdirAction(fs, "/d").precondition(u));
+  ASSERT_TRUE(MkdirAction(fs, "/d").execute(u));
+  EXPECT_TRUE(WriteFileAction(fs, "/d/f", "x").precondition(u));
+  EXPECT_FALSE(DeleteAction(fs, "/d/f").precondition(u));  // doesn't exist
+  ASSERT_TRUE(WriteFileAction(fs, "/d/f", "x").execute(u));
+  EXPECT_TRUE(DeleteAction(fs, "/d/f").precondition(u));
+}
+
+TEST(FileSystem, CloneIsDeep) {
+  FileSystem fs;
+  ASSERT_TRUE(fs.mkdir("/a"));
+  auto copy = fs.clone();
+  ASSERT_TRUE(fs.write("/a/f", "x"));
+  EXPECT_FALSE(dynamic_cast<FileSystem&>(*copy).exists("/a/f"));
+}
+
+// ---------------------------------------------------------------------------
+// §2.4 order semantics: write-before-delete unsafe, delete-before-write
+// maybe.
+
+TEST(FileSystemOrder, WriteBeforeParentDeleteIsUnsafe) {
+  Universe u;
+  const ObjectId fs_id = u.add(std::make_unique<FileSystem>());
+  const auto& fs = u.as<FileSystem>(fs_id);
+  const WriteFileAction write(fs_id, "/dir/file", "work");
+  const DeleteAction del(fs_id, "/dir");
+  EXPECT_EQ(fs.order(write, del, LogRelation::kAcrossLogs),
+            Constraint::kUnsafe);
+  EXPECT_EQ(fs.order(del, write, LogRelation::kAcrossLogs),
+            Constraint::kMaybe);
+}
+
+TEST(FileSystemOrder, UnrelatedPathsCommute) {
+  Universe u;
+  const ObjectId fs_id = u.add(std::make_unique<FileSystem>());
+  const auto& fs = u.as<FileSystem>(fs_id);
+  const WriteFileAction w1(fs_id, "/a/f", "x");
+  const WriteFileAction w2(fs_id, "/b/g", "y");
+  EXPECT_EQ(fs.order(w1, w2, LogRelation::kAcrossLogs), Constraint::kSafe);
+  EXPECT_EQ(fs.order(w1, w2, LogRelation::kSameLog), Constraint::kSafe);
+}
+
+TEST(FileSystemOrder, SamePathConcurrentWritesAreMaybe) {
+  Universe u;
+  const ObjectId fs_id = u.add(std::make_unique<FileSystem>());
+  const auto& fs = u.as<FileSystem>(fs_id);
+  const WriteFileAction w1(fs_id, "/f", "x");
+  const WriteFileAction w2(fs_id, "/f", "y");
+  EXPECT_EQ(fs.order(w1, w2, LogRelation::kAcrossLogs), Constraint::kMaybe);
+}
+
+TEST(FileSystemOrder, RelatedPathsKeepLogOrderWithinLog) {
+  Universe u;
+  const ObjectId fs_id = u.add(std::make_unique<FileSystem>());
+  const auto& fs = u.as<FileSystem>(fs_id);
+  const MkdirAction mk(fs_id, "/d");
+  const WriteFileAction w(fs_id, "/d/f", "x");
+  EXPECT_EQ(fs.order(w, mk, LogRelation::kSameLog), Constraint::kUnsafe);
+}
+
+// ---------------------------------------------------------------------------
+// The paper's scenario, reconciled end to end: user 1 writes a file while
+// user 2 deletes its parent directory. The unsafe constraint forces the
+// delete first; the write then fails dynamically and is surfaced (rather
+// than silently losing the write).
+
+TEST(FileSystemReconcile, ConcurrentWriteAndParentDelete) {
+  Universe u;
+  const ObjectId fs = u.add(std::make_unique<FileSystem>());
+  {
+    // Common initial state: /dir exists with a file in it.
+    ASSERT_TRUE(MkdirAction(fs, "/dir").execute(u));
+    ASSERT_TRUE(WriteFileAction(fs, "/dir/old", "v0").execute(u));
+  }
+  std::vector<Log> logs;
+  logs.push_back(make_log(
+      "writer", {std::make_shared<WriteFileAction>(fs, "/dir/new", "v1")}));
+  logs.push_back(
+      make_log("deleter", {std::make_shared<DeleteAction>(fs, "/dir")}));
+
+  ReconcilerOptions opts;
+  opts.heuristic = Heuristic::kAll;
+  Reconciler r(u, logs, opts);
+  // D: the delete (action 1) must precede the write (action 0).
+  EXPECT_TRUE(r.relations().depends(ActionId(1), ActionId(0)));
+  const auto result = r.run();
+  // The write fails after the delete: no complete schedule, and the best
+  // outcome executed only the delete — the conflict is visible, not silent.
+  EXPECT_EQ(result.stats.schedules_completed, 0u);
+  ASSERT_TRUE(result.found_any());
+  EXPECT_EQ(result.best().schedule, std::vector<ActionId>{ActionId(1)});
+  EXPECT_GE(result.stats.precondition_failures, 1u);
+  EXPECT_FALSE(
+      result.best().final_state.as<FileSystem>(fs).exists("/dir/new"));
+}
+
+TEST(FileSystemReconcile, IndependentUsersMergeCleanly) {
+  Universe u;
+  const ObjectId fs = u.add(std::make_unique<FileSystem>());
+  ASSERT_TRUE(MkdirAction(fs, "/alice").execute(u));
+  ASSERT_TRUE(MkdirAction(fs, "/bob").execute(u));
+
+  std::vector<Log> logs;
+  logs.push_back(make_log(
+      "alice", {std::make_shared<WriteFileAction>(fs, "/alice/a", "1"),
+                std::make_shared<MkdirAction>(fs, "/alice/sub")}));
+  logs.push_back(make_log(
+      "bob", {std::make_shared<WriteFileAction>(fs, "/bob/b", "2"),
+              std::make_shared<DeleteAction>(fs, "/bob/b")}));
+  Reconciler r(u, logs);
+  const auto result = r.run();
+  ASSERT_TRUE(result.found_any());
+  EXPECT_TRUE(result.best().complete);
+  const auto& merged = result.best().final_state.as<FileSystem>(fs);
+  EXPECT_EQ(merged.read("/alice/a"), "1");
+  EXPECT_TRUE(merged.is_dir("/alice/sub"));
+  EXPECT_FALSE(merged.exists("/bob/b"));
+}
+
+}  // namespace
+}  // namespace icecube

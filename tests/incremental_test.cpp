@@ -1,0 +1,163 @@
+// Tests for the pipelined/anytime reconciler (§2's pipeline with feedback
+// loops): sliced exploration, incumbent access, early stop, equivalence
+// with the one-shot reconciler.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/incremental.hpp"
+#include "core/reconciler.hpp"
+#include "jigsaw/experiment.hpp"
+#include "objects/counter.hpp"
+#include "test_helpers.hpp"
+
+namespace icecube {
+namespace {
+
+using testing::make_log;
+
+/// Three independent one-increment logs: 3! = 6 schedules under H=All.
+struct SmallProblem {
+  Universe universe;
+  ObjectId counter;
+  std::vector<Log> logs;
+
+  SmallProblem() {
+    counter = universe.add(std::make_unique<Counter>(0));
+    for (int i = 0; i < 3; ++i) {
+      logs.push_back(make_log(
+          "l" + std::to_string(i),
+          {std::make_shared<IncrementAction>(counter, 1 << i)}));
+    }
+  }
+};
+
+ReconcilerOptions all_options() {
+  ReconcilerOptions opts;
+  opts.heuristic = Heuristic::kAll;
+  return opts;
+}
+
+TEST(Incremental, SlicedSearchMatchesOneShot) {
+  SmallProblem p;
+  Reconciler one_shot(p.universe, p.logs, all_options());
+  const auto reference = one_shot.run();
+
+  IncrementalReconciler inc(p.universe, p.logs, all_options());
+  int slices = 0;
+  while (!inc.finished()) {
+    (void)inc.step(1);
+    ++slices;
+  }
+  const auto result = inc.take_result();
+  EXPECT_EQ(result.stats.schedules_completed,
+            reference.stats.schedules_completed);
+  EXPECT_EQ(result.best().schedule, reference.best().schedule);
+  EXPECT_GE(slices, 6);  // at least one slice per schedule
+}
+
+TEST(Incremental, StepRespectsBudget) {
+  SmallProblem p;
+  IncrementalReconciler inc(p.universe, p.logs, all_options());
+  const auto progress = inc.step(2);
+  EXPECT_EQ(progress.schedules_explored, 2u);
+  EXPECT_FALSE(progress.finished);
+  const auto more = inc.step(100);
+  EXPECT_EQ(more.schedules_explored, 6u);
+  EXPECT_TRUE(more.finished);
+}
+
+TEST(Incremental, IncumbentAvailableBetweenSlices) {
+  SmallProblem p;
+  IncrementalReconciler inc(p.universe, p.logs, all_options());
+  const auto progress = inc.step(1);
+  ASSERT_TRUE(progress.has_best);
+  EXPECT_TRUE(inc.best().complete);
+  EXPECT_EQ(inc.best().final_state.as<Counter>(p.counter).value(), 7);
+}
+
+TEST(Incremental, EarlyStopKeepsIncumbent) {
+  SmallProblem p;
+  IncrementalReconciler inc(p.universe, p.logs, all_options());
+  (void)inc.step(1);
+  const auto result = inc.take_result();  // abandon the rest of the search
+  ASSERT_TRUE(result.found_any());
+  EXPECT_TRUE(result.best().complete);
+  EXPECT_EQ(result.stats.schedules_explored(), 1u);
+}
+
+TEST(Incremental, StepAfterCompletionIsNoOp) {
+  SmallProblem p;
+  IncrementalReconciler inc(p.universe, p.logs, all_options());
+  (void)inc.step(1000);
+  const auto again = inc.step(1000);
+  EXPECT_TRUE(again.finished);
+  EXPECT_EQ(again.schedules_explored, 6u);
+}
+
+TEST(Incremental, CrossesCutsetBoundaries) {
+  // Two mutually-unsafe actions → 2 cutsets, each a 1-action search; the
+  // sliced run must traverse both.
+  Universe u;
+  const ObjectId obj = u.add(std::make_unique<testing::ScriptedObject>(
+      [](const Action&, const Action&, LogRelation) {
+        return Constraint::kUnsafe;
+      }));
+  std::vector<Log> logs;
+  logs.push_back(make_log("a", {std::make_shared<testing::NopAction>(
+                                   "p", std::vector{obj})}));
+  logs.push_back(make_log("b", {std::make_shared<testing::NopAction>(
+                                   "q", std::vector{obj})}));
+  IncrementalReconciler inc(u, logs, {});
+  auto progress = inc.step(1);
+  EXPECT_FALSE(progress.finished);
+  EXPECT_EQ(progress.cutsets_remaining + 1, 2u);  // one still queued/open
+  progress = inc.step(10);
+  EXPECT_TRUE(progress.finished);
+  const auto result = inc.take_result();
+  EXPECT_EQ(result.stats.schedules_completed, 2u);
+  EXPECT_EQ(result.cutsets.size(), 2u);
+}
+
+TEST(Incremental, InteractiveJigsawFindsOptimumInFirstSlices) {
+  // The paper's interactive-feedback scenario: the E2 game under H=All
+  // finds the 16-piece optimum within the first couple of schedules; an
+  // interactive application can show it long before the sweep finishes.
+  using K = jigsaw::PlayerSpec::Kind;
+  const jigsaw::Problem p =
+      jigsaw::make_problem(4, 4, jigsaw::Board::OrderCase::kKeepLogOrder,
+                           {{K::kU1, 7}, {K::kU2, 12}});
+  jigsaw::JigsawPolicy policy(p.board_id);
+  IncrementalReconciler inc(p.initial, p.logs, all_options(), &policy);
+  const auto progress = inc.step(2);
+  ASSERT_TRUE(progress.has_best);
+  EXPECT_FALSE(progress.finished);
+  const auto& board = inc.best().final_state.as<jigsaw::Board>(p.board_id);
+  EXPECT_EQ(board.correct_pieces(), 16);
+  // ... and the application may simply stop here.
+  const auto result = inc.take_result();
+  EXPECT_LE(result.stats.schedules_explored(), 2u);
+}
+
+TEST(Incremental, BestCostNeverWorsens) {
+  using K = jigsaw::PlayerSpec::Kind;
+  const jigsaw::Problem p =
+      jigsaw::make_problem(3, 3, jigsaw::Board::OrderCase::kKeepJoinOrder,
+                           {{K::kU1, 5}, {K::kU3, 6, 3}});
+  jigsaw::JigsawPolicy policy(p.board_id);
+  ReconcilerOptions opts = all_options();
+  opts.failure_mode = FailureMode::kSkipAction;
+  opts.limits.max_schedules = 5000;
+  IncrementalReconciler inc(p.initial, p.logs, opts, &policy);
+  double last_cost = std::numeric_limits<double>::infinity();
+  while (!inc.finished()) {
+    const auto progress = inc.step(50);
+    if (progress.has_best) {
+      EXPECT_LE(progress.best_cost, last_cost);
+      last_cost = progress.best_cost;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace icecube

@@ -1,0 +1,192 @@
+// Cross-module integration: multi-object universes, mixed substrates in one
+// reconciliation, log cleaning feeding the reconciler, pipeline stages
+// working together.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baseline/temporal_merge.hpp"
+#include "core/reconciler.hpp"
+#include "logclean/cleaner.hpp"
+#include "objects/calendar.hpp"
+#include "objects/counter.hpp"
+#include "objects/file_system.hpp"
+#include "objects/rw_register.hpp"
+#include "objects/sysadmin.hpp"
+#include "test_helpers.hpp"
+
+namespace icecube {
+namespace {
+
+using testing::make_log;
+
+/// A mixed workload: two users share a budget counter, a file system and a
+/// register. User A funds the budget after spending; user B's actions
+/// interleave. Mirrors the structure of the paper's first motivating
+/// example across unrelated object types.
+struct MixedFixture {
+  Universe universe;
+  ObjectId budget, fs, reg;
+  std::vector<Log> logs;
+
+  MixedFixture() {
+    budget = universe.add(std::make_unique<Counter>(100));
+    fs = universe.add(std::make_unique<FileSystem>());
+    reg = universe.add(std::make_unique<RwRegister>(0));
+    auto& fsys = universe.as<FileSystem>(fs);
+    EXPECT_TRUE(fsys.mkdir("/shared"));
+
+    logs.push_back(make_log(
+        "A", {std::make_shared<DecrementAction>(budget, 150),
+              std::make_shared<IncrementAction>(budget, 200),
+              std::make_shared<WriteFileAction>(fs, "/shared/a", "A")}));
+    logs.push_back(make_log(
+        "B", {std::make_shared<WriteFileAction>(fs, "/shared/b", "B"),
+              std::make_shared<DecrementAction>(budget, 100),
+              std::make_shared<WriteAction>(reg, 7)}));
+  }
+};
+
+TEST(Integration, MixedWorkloadReconcilesCompletely) {
+  MixedFixture fx;
+  ReconcilerOptions opts;
+  opts.heuristic = Heuristic::kAll;
+  Reconciler r(fx.universe, fx.logs, opts);
+  const auto result = r.run();
+  ASSERT_TRUE(result.found_any());
+  const Outcome& best = result.best();
+  // A's decrement of 150 exceeds the initial 100, so a complete schedule
+  // must hoist A's own increment before it (in-log reordering, Figure 5) —
+  // and B's decrement fits either way.
+  ASSERT_TRUE(best.complete);
+  EXPECT_EQ(best.final_state.as<Counter>(fx.budget).value(), 50);
+  EXPECT_EQ(best.final_state.as<FileSystem>(fx.fs).read("/shared/a"), "A");
+  EXPECT_EQ(best.final_state.as<FileSystem>(fx.fs).read("/shared/b"), "B");
+  EXPECT_EQ(best.final_state.as<RwRegister>(fx.reg).value(), 7);
+}
+
+TEST(Integration, FixedOrderMergeConflictsOnMixedWorkload) {
+  MixedFixture fx;
+  // Log A replayed as-recorded immediately overdraws the budget.
+  const MergeReport report =
+      temporal_merge(fx.universe, fx.logs, MergeOrder::kConcatenate);
+  EXPECT_GT(report.conflicts, 0u);
+}
+
+TEST(Integration, DisjointObjectsDontConstrainEachOther) {
+  MixedFixture fx;
+  Reconciler r(fx.universe, fx.logs, {});
+  // The register write (B2, id 5) and A's file write (id 2) share nothing:
+  // independent both ways.
+  EXPECT_TRUE(r.relations().independent(ActionId(2), ActionId(5)));
+  EXPECT_TRUE(r.relations().independent(ActionId(5), ActionId(2)));
+}
+
+TEST(Integration, SysadminPlusCalendarInOneUniverse) {
+  // Two independent applications reconciled in a single pass: the engine
+  // must solve both ordering puzzles simultaneously.
+  SysAdminExample sys = make_sysadmin_example();
+  Universe u = sys.initial;
+  const ObjectId cal_a = u.add(std::make_unique<Calendar>("A"));
+  const ObjectId cal_b = u.add(std::make_unique<Calendar>("B"));
+  u.as<Calendar>(cal_b).book(9, "busy");
+
+  std::vector<Log> logs = sys.logs;
+  // The calendar actions ride along in the existing logs.
+  Log extra("C");
+  extra.append(std::make_shared<CancelAppointmentAction>(cal_b, 9));
+  logs.push_back(std::move(extra));
+  logs[0].append(std::make_shared<RequestAppointmentAction>(cal_a, cal_b, 9,
+                                                            9, "meet"));
+
+  ReconcilerOptions opts;
+  opts.heuristic = Heuristic::kAll;
+  Reconciler r(u, logs, opts);
+  const auto result = r.run();
+  ASSERT_TRUE(result.found_any());
+  const Outcome& best = result.best();
+  ASSERT_TRUE(best.complete);
+  EXPECT_EQ(best.final_state.as<OsSystem>(sys.os).version(), 5);
+  EXPECT_EQ(best.final_state.as<Calendar>(cal_b).appointment_at(9), "meet");
+}
+
+TEST(Integration, CleaningThenReconcilingPreservesResults) {
+  // Clean both logs, reconcile, and verify the final state matches the
+  // reconciliation of the dirty logs (cleaning only removes redundancy).
+  Universe u;
+  const ObjectId fs = u.add(std::make_unique<FileSystem>());
+  ASSERT_TRUE(u.as<FileSystem>(fs).mkdir("/d"));
+
+  std::vector<Log> dirty;
+  dirty.push_back(make_log(
+      "A", {std::make_shared<WriteFileAction>(fs, "/d/a", "v1"),
+            std::make_shared<WriteFileAction>(fs, "/d/a", "v2")}));
+  dirty.push_back(make_log(
+      "B", {std::make_shared<WriteFileAction>(fs, "/d/b", "x"),
+            std::make_shared<DeleteAction>(fs, "/d/b")}));
+
+  std::vector<Log> cleaned;
+  std::size_t removed = 0;
+  for (const Log& log : dirty) {
+    CleanReport report = clean_fs_log(u, log);
+    removed += report.removed;
+    cleaned.push_back(std::move(report.cleaned));
+  }
+  EXPECT_GE(removed, 2u);
+
+  ReconcilerOptions opts;
+  opts.heuristic = Heuristic::kAll;
+  Reconciler r_dirty(u, dirty, opts);
+  Reconciler r_clean(u, cleaned, opts);
+  const auto dirty_result = r_dirty.run();
+  const auto clean_result = r_clean.run();
+  ASSERT_TRUE(dirty_result.found_any());
+  ASSERT_TRUE(clean_result.found_any());
+  EXPECT_EQ(dirty_result.best().final_state.fingerprint(),
+            clean_result.best().final_state.fingerprint());
+  // Cleaning shrinks the search.
+  EXPECT_LE(clean_result.stats.schedules_explored(),
+            dirty_result.stats.schedules_explored());
+}
+
+TEST(Integration, ManyLogsReconcile) {
+  // Five replicas each incrementing the shared counter; the reconciler
+  // merges all logs in one pass (the paper reconciles "two or more").
+  Universe u;
+  const ObjectId c = u.add(std::make_unique<Counter>(0));
+  std::vector<Log> logs;
+  for (int i = 0; i < 5; ++i) {
+    logs.push_back(make_log("r" + std::to_string(i),
+                            {std::make_shared<IncrementAction>(c, 1 << i)}));
+  }
+  Reconciler r(u, logs, {});
+  const auto result = r.run();
+  ASSERT_TRUE(result.found_any());
+  EXPECT_TRUE(result.best().complete);
+  EXPECT_EQ(result.best().final_state.as<Counter>(c).value(), 31);
+}
+
+TEST(Integration, LargeUniverseCloneIsConsistent) {
+  // Shadow-copy discipline across a universe with many objects.
+  Universe u;
+  std::vector<ObjectId> counters;
+  for (int i = 0; i < 50; ++i) {
+    counters.push_back(u.add(std::make_unique<Counter>(i)));
+  }
+  std::vector<Log> logs;
+  logs.push_back(make_log(
+      "a", {std::make_shared<IncrementAction>(counters[10], 5),
+            std::make_shared<DecrementAction>(counters[20], 20)}));
+  Reconciler r(u, logs, {});
+  const auto result = r.run();
+  ASSERT_TRUE(result.found_any());
+  const auto& fin = result.best().final_state;
+  EXPECT_EQ(fin.as<Counter>(counters[10]).value(), 15);
+  EXPECT_EQ(fin.as<Counter>(counters[20]).value(), 0);
+  EXPECT_EQ(fin.as<Counter>(counters[30]).value(), 30);  // untouched
+  // The original universe is unchanged (simulation never mutates it).
+  EXPECT_EQ(u.as<Counter>(counters[10]).value(), 10);
+}
+
+}  // namespace
+}  // namespace icecube

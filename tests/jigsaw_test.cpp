@@ -1,0 +1,379 @@
+// Tests for the jigsaw substrate: board mechanics, action preconditions
+// (§4.1 verbatim), the semantic order method (Figures 7–8), the policy
+// cases (§4.2), and the scenario generators.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "jigsaw/actions.hpp"
+#include "jigsaw/board.hpp"
+#include "jigsaw/order.hpp"
+#include "jigsaw/scenario.hpp"
+
+namespace icecube::jigsaw {
+namespace {
+
+TEST(Edge, OppositesArePaired) {
+  EXPECT_EQ(opposite(Edge::kTop), Edge::kBottom);
+  EXPECT_EQ(opposite(Edge::kBottom), Edge::kTop);
+  EXPECT_EQ(opposite(Edge::kLeft), Edge::kRight);
+  EXPECT_EQ(opposite(Edge::kRight), Edge::kLeft);
+}
+
+TEST(Edge, NeighbourArithmetic) {
+  const Cell c{1, 1};
+  EXPECT_EQ(neighbour(c, Edge::kTop), (Cell{0, 1}));
+  EXPECT_EQ(neighbour(c, Edge::kBottom), (Cell{2, 1}));
+  EXPECT_EQ(neighbour(c, Edge::kLeft), (Cell{1, 0}));
+  EXPECT_EQ(neighbour(c, Edge::kRight), (Cell{1, 2}));
+}
+
+TEST(Board, HomeCellsAreRowMajor) {
+  const Board board(4, 4);
+  EXPECT_EQ(board.home(0), (Cell{0, 0}));
+  EXPECT_EQ(board.home(3), (Cell{0, 3}));
+  EXPECT_EQ(board.home(4), (Cell{1, 0}));
+  EXPECT_EQ(board.home(15), (Cell{3, 3}));
+}
+
+TEST(Board, PlaceAndRemove) {
+  Board board(3, 3);
+  EXPECT_TRUE(board.board_empty());
+  board.place(4, board.home(4));
+  EXPECT_FALSE(board.board_empty());
+  EXPECT_TRUE(board.on_board(4));
+  EXPECT_EQ(board.piece_at(Cell{1, 1}), 4);
+  EXPECT_EQ(board.pieces_on_board(), 1);
+  EXPECT_EQ(board.correct_pieces(), 1);
+  board.take_off(4);
+  EXPECT_TRUE(board.available(4));
+  EXPECT_TRUE(board.board_empty());
+}
+
+TEST(Board, MisplacedPieceIsNotCorrect) {
+  Board board(3, 3);
+  board.place(4, Cell{0, 0});  // home of piece 0
+  EXPECT_EQ(board.pieces_on_board(), 1);
+  EXPECT_EQ(board.correct_pieces(), 0);
+}
+
+TEST(Board, EdgeTakenTracksOccupancy) {
+  Board board(3, 3);
+  board.place(0, board.home(0));
+  board.place(1, board.home(1));  // right of 0
+  EXPECT_TRUE(board.edge_taken(0, Edge::kRight));
+  EXPECT_TRUE(board.edge_taken(1, Edge::kLeft));
+  EXPECT_FALSE(board.edge_taken(0, Edge::kBottom));
+  EXPECT_FALSE(board.edge_taken(2, Edge::kLeft));  // available piece
+}
+
+TEST(Board, CloneIsDeep) {
+  Board board(2, 2);
+  board.place(0, board.home(0));
+  auto copy = board.clone();
+  board.place(1, board.home(1));
+  EXPECT_EQ(dynamic_cast<Board&>(*copy).pieces_on_board(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Actions, §4.1 preconditions verbatim.
+
+class JigsawActionsTest : public ::testing::Test {
+ protected:
+  JigsawActionsTest() { board_id_ = universe_.add(std::make_unique<Board>(4, 4)); }
+
+  Board& board() { return universe_.as<Board>(board_id_); }
+
+  Universe universe_;
+  ObjectId board_id_;
+};
+
+TEST_F(JigsawActionsTest, InsertPlacesAtHome) {
+  InsertAction insert(board_id_, 5);
+  ASSERT_TRUE(insert.precondition(universe_));
+  ASSERT_TRUE(insert.execute(universe_));
+  EXPECT_EQ(board().position(5), board().home(5));
+  // Same piece again: unavailable.
+  EXPECT_FALSE(InsertAction(board_id_, 5).precondition(universe_));
+}
+
+TEST_F(JigsawActionsTest, InsertFailsWhenHomeCellOccupied) {
+  board().place(1, board().home(5));  // wrong piece parked on 5's home
+  EXPECT_FALSE(InsertAction(board_id_, 5).precondition(universe_));
+}
+
+TEST_F(JigsawActionsTest, StrictInsertRequiresEmptyBoard) {
+  ASSERT_TRUE(InsertAction(board_id_, 0).execute(universe_));
+  EXPECT_FALSE(InsertAction(board_id_, 5, /*strict=*/true)
+                   .precondition(universe_));
+  EXPECT_TRUE(InsertAction(board_id_, 5, /*strict=*/false)
+                  .precondition(universe_));
+}
+
+TEST_F(JigsawActionsTest, JoinRequiresNonEmptyBoard) {
+  const JoinAction join(board_id_, 0, Edge::kRight, 1, Edge::kLeft);
+  EXPECT_FALSE(join.precondition(universe_));  // (i) board empty
+}
+
+TEST_F(JigsawActionsTest, JoinRequiresExactlyOneAvailable) {
+  ASSERT_TRUE(InsertAction(board_id_, 0).execute(universe_));
+  ASSERT_TRUE(InsertAction(board_id_, 1).execute(universe_));
+  // Both on board:
+  EXPECT_FALSE(JoinAction(board_id_, 0, Edge::kRight, 1, Edge::kLeft)
+                   .precondition(universe_));
+  // Both available:
+  EXPECT_FALSE(JoinAction(board_id_, 5, Edge::kRight, 6, Edge::kLeft)
+                   .precondition(universe_));
+  // Exactly one available:
+  EXPECT_TRUE(JoinAction(board_id_, 1, Edge::kRight, 2, Edge::kLeft)
+                  .precondition(universe_));
+}
+
+TEST_F(JigsawActionsTest, JoinRequiresFreeEdges) {
+  ASSERT_TRUE(InsertAction(board_id_, 0).execute(universe_));
+  ASSERT_TRUE(JoinAction(board_id_, 0, Edge::kRight, 1, Edge::kLeft)
+                  .execute(universe_));
+  // Piece 0's right edge is now taken: joining 2 there must fail (iii).
+  EXPECT_FALSE(JoinAction(board_id_, 0, Edge::kRight, 2, Edge::kLeft)
+                   .precondition(universe_));
+}
+
+TEST_F(JigsawActionsTest, JoinPlacesPieceAdjacent) {
+  ASSERT_TRUE(InsertAction(board_id_, 5).execute(universe_));
+  const JoinAction join(board_id_, 5, Edge::kBottom, 9, Edge::kTop);
+  ASSERT_TRUE(join.precondition(universe_));
+  ASSERT_TRUE(join.execute(universe_));
+  EXPECT_EQ(board().position(9), neighbour(board().home(5), Edge::kBottom));
+  EXPECT_EQ(board().correct_pieces(), 2);  // 9 is directly below 5 on 4x4
+}
+
+TEST_F(JigsawActionsTest, JoinWithNonOppositeEdgesFailsExecution) {
+  ASSERT_TRUE(InsertAction(board_id_, 5).execute(universe_));
+  JoinAction bad(board_id_, 5, Edge::kBottom, 9, Edge::kBottom);
+  EXPECT_TRUE(bad.precondition(universe_));  // statically plausible
+  EXPECT_FALSE(bad.execute(universe_));      // physically impossible
+}
+
+TEST_F(JigsawActionsTest, JoinIntoOccupiedCellFailsPrecondition) {
+  // The destination cell of a join is exactly the anchor's edge-adjacent
+  // cell, so an occupied destination is caught by precondition (iii).
+  ASSERT_TRUE(InsertAction(board_id_, 5).execute(universe_));
+  ASSERT_TRUE(InsertAction(board_id_, 9).execute(universe_));  // below 5
+  JoinAction join(board_id_, 5, Edge::kBottom, 10, Edge::kTop);
+  EXPECT_FALSE(join.precondition(universe_));
+}
+
+TEST_F(JigsawActionsTest, JoinAnchorsOnWhicheverPieceIsPlaced) {
+  ASSERT_TRUE(InsertAction(board_id_, 5).execute(universe_));
+  // Pi available, Pj on board: the available piece (4) moves next to 5.
+  const JoinAction join(board_id_, 4, Edge::kRight, 5, Edge::kLeft);
+  ASSERT_TRUE(join.precondition(universe_));
+  ASSERT_TRUE(join.execute(universe_));
+  EXPECT_EQ(board().position(4), neighbour(board().home(5), Edge::kLeft));
+}
+
+TEST_F(JigsawActionsTest, RemoveRequiresPieceOnBoard) {
+  EXPECT_FALSE(RemoveAction(board_id_, 3).precondition(universe_));
+  ASSERT_TRUE(InsertAction(board_id_, 3).execute(universe_));
+  ASSERT_TRUE(RemoveAction(board_id_, 3).precondition(universe_));
+  ASSERT_TRUE(RemoveAction(board_id_, 3).execute(universe_));
+  EXPECT_TRUE(board().available(3));
+}
+
+TEST_F(JigsawActionsTest, CorrectJoinHelperBuildsAdjacentJoin) {
+  const JoinAction join = correct_join(board(), board_id_, 5, 6);
+  EXPECT_EQ(join.pi(), 5);
+  EXPECT_EQ(join.ei(), Edge::kRight);
+  EXPECT_EQ(join.pj(), 6);
+  EXPECT_EQ(join.ej(), Edge::kLeft);
+}
+
+// ---------------------------------------------------------------------------
+// Order methods.
+
+class JigsawOrderTest : public ::testing::Test {
+ protected:
+  JigsawOrderTest() : board_(4, 4) {
+    board_id_ = ObjectId(0);
+  }
+  Board board_;
+  ObjectId board_id_;
+};
+
+TEST_F(JigsawOrderTest, SemanticJoinJoinCompatibleIsMaybe) {
+  // Figure 7/8: "maybe if physically possible".
+  const JoinAction j1(board_id_, 0, Edge::kRight, 1, Edge::kLeft);
+  const JoinAction j2(board_id_, 1, Edge::kRight, 2, Edge::kLeft);
+  EXPECT_EQ(semantic_order(j1, j2, LogRelation::kAcrossLogs),
+            Constraint::kMaybe);
+  EXPECT_EQ(semantic_order(j2, j1, LogRelation::kAcrossLogs),
+            Constraint::kMaybe);
+}
+
+TEST_F(JigsawOrderTest, SemanticJoinJoinSameEdgeConflictIsUnsafe) {
+  // "two different pieces can't join the same edge of the same other piece"
+  const JoinAction j1(board_id_, 0, Edge::kRight, 1, Edge::kLeft);
+  const JoinAction j2(board_id_, 0, Edge::kRight, 2, Edge::kLeft);
+  EXPECT_EQ(semantic_order(j1, j2, LogRelation::kAcrossLogs),
+            Constraint::kUnsafe);
+  EXPECT_EQ(semantic_order(j2, j1, LogRelation::kAcrossLogs),
+            Constraint::kUnsafe);
+}
+
+TEST_F(JigsawOrderTest, SemanticJoinBeforeRemoveOfJoinedPieceIsUnsafe) {
+  // Figure entry: join(..Pi..Pj..) before remove(Pf) unsafe if f ∈ {i, j}.
+  const JoinAction join(board_id_, 0, Edge::kRight, 1, Edge::kLeft);
+  const RemoveAction remove_joined(board_id_, 1);
+  const RemoveAction remove_other(board_id_, 7);
+  EXPECT_EQ(semantic_order(join, remove_joined, LogRelation::kAcrossLogs),
+            Constraint::kUnsafe);
+  EXPECT_EQ(semantic_order(join, remove_other, LogRelation::kAcrossLogs),
+            Constraint::kMaybe);
+}
+
+TEST_F(JigsawOrderTest, SemanticRemoveBeforeJoinOfSamePieceIsUnsafe) {
+  const RemoveAction remove(board_id_, 1);
+  const JoinAction join(board_id_, 0, Edge::kRight, 1, Edge::kLeft);
+  EXPECT_EQ(semantic_order(remove, join, LogRelation::kAcrossLogs),
+            Constraint::kUnsafe);
+  const JoinAction other(board_id_, 5, Edge::kRight, 6, Edge::kLeft);
+  EXPECT_EQ(semantic_order(remove, other, LogRelation::kAcrossLogs),
+            Constraint::kMaybe);
+}
+
+TEST_F(JigsawOrderTest, SemanticRemoveRemoveSamePieceIsUnsafe) {
+  const RemoveAction r1(board_id_, 3);
+  const RemoveAction r2(board_id_, 3);
+  const RemoveAction r3(board_id_, 4);
+  EXPECT_EQ(semantic_order(r1, r2, LogRelation::kAcrossLogs),
+            Constraint::kUnsafe);
+  EXPECT_EQ(semantic_order(r1, r3, LogRelation::kAcrossLogs),
+            Constraint::kMaybe);
+}
+
+TEST_F(JigsawOrderTest, Case2KeepsWholeLogOrder) {
+  const JoinAction join(board_id_, 0, Edge::kRight, 1, Edge::kLeft);
+  const RemoveAction remove(board_id_, 9);
+  // Any same-log pair (the engine asks only the reversing direction).
+  EXPECT_EQ(keep_log_order(join, remove, LogRelation::kSameLog),
+            Constraint::kUnsafe);
+  EXPECT_EQ(keep_log_order(remove, join, LogRelation::kSameLog),
+            Constraint::kUnsafe);
+  // No static information across logs.
+  EXPECT_EQ(keep_log_order(join, remove, LogRelation::kAcrossLogs),
+            Constraint::kMaybe);
+}
+
+TEST_F(JigsawOrderTest, Case3FreesRemoves) {
+  const JoinAction j1(board_id_, 0, Edge::kRight, 1, Edge::kLeft);
+  const JoinAction j2(board_id_, 1, Edge::kRight, 2, Edge::kLeft);
+  const RemoveAction remove(board_id_, 9);
+  EXPECT_EQ(keep_join_order(j1, j2, LogRelation::kSameLog),
+            Constraint::kUnsafe);
+  EXPECT_EQ(keep_join_order(remove, j1, LogRelation::kSameLog),
+            Constraint::kMaybe);
+  EXPECT_EQ(keep_join_order(j1, remove, LogRelation::kSameLog),
+            Constraint::kMaybe);
+}
+
+TEST_F(JigsawOrderTest, Case4PrefersAdjacentJoins) {
+  const JoinAction j1(board_id_, 0, Edge::kRight, 1, Edge::kLeft);
+  const JoinAction j2(board_id_, 1, Edge::kRight, 2, Edge::kLeft);  // shares 1
+  const JoinAction j3(board_id_, 8, Edge::kRight, 9, Edge::kLeft);  // disjoint
+  EXPECT_EQ(adjacency_order(j1, j2, LogRelation::kAcrossLogs),
+            Constraint::kSafe);
+  EXPECT_EQ(adjacency_order(j1, j3, LogRelation::kAcrossLogs),
+            Constraint::kMaybe);
+  // Same-log joins without a shared piece still keep log order (Case 3).
+  EXPECT_EQ(adjacency_order(j1, j3, LogRelation::kSameLog),
+            Constraint::kUnsafe);
+}
+
+TEST_F(JigsawOrderTest, BoardDispatchesOnOrderCase) {
+  const JoinAction j1(ObjectId(0), 0, Edge::kRight, 1, Edge::kLeft);
+  const RemoveAction remove(ObjectId(0), 1);
+  Board semantic(4, 4, Board::OrderCase::kSemantic);
+  Board case2(4, 4, Board::OrderCase::kKeepLogOrder);
+  EXPECT_EQ(semantic.order(j1, remove, LogRelation::kAcrossLogs),
+            Constraint::kUnsafe);
+  EXPECT_EQ(case2.order(j1, remove, LogRelation::kAcrossLogs),
+            Constraint::kMaybe);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario generators.
+
+TEST(Scenario, U1PlacesRequestedPieceCountCorrectly) {
+  const Board board(4, 4);
+  const Log log = scenario_u1(board, ObjectId(0), 7);
+  EXPECT_EQ(log.size(), 7u);  // 1 insert + 6 joins
+  EXPECT_EQ(replay_count(board, log), 7);
+
+  // Replaying yields pieces 0..6 at their homes.
+  Universe u;
+  const ObjectId id = u.add(board.clone());
+  for (const auto& a : log) {
+    ASSERT_TRUE(a->precondition(u) && a->execute(u));
+  }
+  const auto& replayed = u.as<Board>(id);
+  EXPECT_EQ(replayed.correct_pieces(), 7);
+  for (int p = 0; p < 7; ++p) EXPECT_TRUE(replayed.on_board(p));
+  for (int p = 7; p < 16; ++p) EXPECT_TRUE(replayed.available(p));
+}
+
+TEST(Scenario, U2PlacesFromLastSquareBackwards) {
+  const Board board(4, 4);
+  const Log log = scenario_u2(board, ObjectId(0), 12);
+  EXPECT_EQ(log.size(), 12u);
+  Universe u;
+  const ObjectId id = u.add(board.clone());
+  for (const auto& a : log) {
+    ASSERT_TRUE(a->precondition(u) && a->execute(u));
+  }
+  const auto& replayed = u.as<Board>(id);
+  EXPECT_EQ(replayed.correct_pieces(), 12);
+  for (int p = 4; p < 16; ++p) EXPECT_TRUE(replayed.on_board(p));
+  for (int p = 0; p < 4; ++p) EXPECT_TRUE(replayed.available(p));
+}
+
+TEST(Scenario, U3LogsAreCorrectByConstruction) {
+  const Board board(4, 4);
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    const Log log = scenario_u3(board, ObjectId(0), 12, seed);
+    EXPECT_EQ(log.size(), 12u) << "seed " << seed;
+    EXPECT_EQ(replay_count(board, log), 12) << "seed " << seed;
+  }
+}
+
+TEST(Scenario, U3IsDeterministicPerSeed) {
+  const Board board(4, 4);
+  const Log a = scenario_u3(board, ObjectId(0), 10, 77);
+  const Log b = scenario_u3(board, ObjectId(0), 10, 77);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.at(i).tag(), b.at(i).tag());
+  }
+}
+
+TEST(Scenario, U3ContainsImperfectMoves) {
+  // With enough actions, some seed must produce a remove or incorrect join.
+  const Board board(4, 4);
+  bool saw_remove = false;
+  for (std::uint64_t seed = 1; seed <= 10 && !saw_remove; ++seed) {
+    const Log log = scenario_u3(board, ObjectId(0), 14, seed);
+    for (const auto& a : log) saw_remove = saw_remove || a->tag().op == "remove";
+  }
+  EXPECT_TRUE(saw_remove);
+}
+
+TEST(Board, RenderShowsPlacedPieces) {
+  Board board(2, 2);
+  board.place(0, board.home(0));
+  board.place(3, Cell{0, 1});  // misplaced (home of 1)
+  const std::string art = board.render();
+  EXPECT_NE(art.find(" 0 "), std::string::npos);
+  EXPECT_NE(art.find("!3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace icecube::jigsaw

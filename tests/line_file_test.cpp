@@ -1,0 +1,196 @@
+// Tests for the CVS-style line file (§1.1) and the three-way merge
+// baseline, including the IceCube-subsumes-CVS comparison.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baseline/cvs_merge.hpp"
+#include "core/reconciler.hpp"
+#include "objects/line_file.hpp"
+#include "test_helpers.hpp"
+
+namespace icecube {
+namespace {
+
+using testing::make_log;
+
+Universe make_file(std::vector<std::string> lines, ObjectId& id) {
+  Universe u;
+  id = u.add(std::make_unique<LineFile>(std::move(lines)));
+  return u;
+}
+
+TEST(LineFile, SetLineRespectsBounds) {
+  LineFile f({"a", "b"});
+  EXPECT_TRUE(f.set_line(1, "B"));
+  EXPECT_EQ(f.line(1), "B");
+  EXPECT_FALSE(f.set_line(2, "C"));
+}
+
+TEST(LineFile, FingerprintJoinsLines) {
+  LineFile f({"x", "y"});
+  EXPECT_EQ(f.fingerprint(), "x\ny\n");
+}
+
+TEST(LineFile, PreconditionPinsObservedContent) {
+  ObjectId id;
+  Universe u = make_file({"old"}, id);
+  const SetLineAction good(id, 0, "old", "new");
+  const SetLineAction stale(id, 0, "other", "new");
+  EXPECT_TRUE(good.precondition(u));
+  EXPECT_FALSE(stale.precondition(u));
+}
+
+TEST(LineFileOrder, CvsRule) {
+  ObjectId id;
+  Universe u = make_file({"a", "b"}, id);
+  const auto& f = u.as<LineFile>(id);
+  const SetLineAction same1(id, 0, "a", "x");
+  const SetLineAction same2(id, 0, "a", "y");
+  const SetLineAction other(id, 1, "b", "z");
+  // "non-overlapping writes conflict if and only if they occur in the same
+  // line": different lines safe, same line left to the dynamic stage.
+  EXPECT_EQ(f.order(same1, other, LogRelation::kAcrossLogs),
+            Constraint::kSafe);
+  EXPECT_EQ(f.order(same1, same2, LogRelation::kAcrossLogs),
+            Constraint::kMaybe);
+  EXPECT_EQ(f.order(same1, same2, LogRelation::kSameLog),
+            Constraint::kUnsafe);
+  EXPECT_EQ(f.order(same1, other, LogRelation::kSameLog), Constraint::kSafe);
+}
+
+TEST(LineFileReconcile, NonOverlappingEditsMergeCompletely) {
+  ObjectId id;
+  Universe u = make_file({"l0", "l1", "l2"}, id);
+  std::vector<Log> logs;
+  logs.push_back(make_log(
+      "a", {std::make_shared<SetLineAction>(id, 0, "l0", "A0")}));
+  logs.push_back(make_log(
+      "b", {std::make_shared<SetLineAction>(id, 2, "l2", "B2")}));
+  Reconciler r(u, logs);
+  const auto result = r.run();
+  ASSERT_TRUE(result.best().complete);
+  EXPECT_EQ(result.best().final_state.as<LineFile>(id).fingerprint(),
+            "A0\nl1\nB2\n");
+}
+
+TEST(LineFileReconcile, SameLineConflictIsSurfacedNotClobbered) {
+  ObjectId id;
+  Universe u = make_file({"base"}, id);
+  std::vector<Log> logs;
+  logs.push_back(make_log(
+      "a", {std::make_shared<SetLineAction>(id, 0, "base", "from-a")}));
+  logs.push_back(make_log(
+      "b", {std::make_shared<SetLineAction>(id, 0, "base", "from-b")}));
+  ReconcilerOptions opts;
+  opts.heuristic = Heuristic::kAll;
+  opts.failure_mode = FailureMode::kSkipAction;
+  Reconciler r(u, logs, opts);
+  const auto result = r.run();
+  ASSERT_TRUE(result.found_any());
+  // One edit wins, the other is in the skipped (conflict) list — never
+  // silently overwritten by a later replay.
+  EXPECT_EQ(result.best().schedule.size(), 1u);
+  EXPECT_EQ(result.best().skipped.size(), 1u);
+  const auto& line = result.best().final_state.as<LineFile>(id).line(0);
+  EXPECT_TRUE(line == "from-a" || line == "from-b");
+}
+
+TEST(LineFileReconcile, ChainedEditsAcrossSessions) {
+  // Session b's edit was made *after seeing* a hypothetical state; in the
+  // log model its precondition pins session b's own observation. Here b
+  // edits line 1 twice (a chain) while a edits line 0: all merge.
+  ObjectId id;
+  Universe u = make_file({"x", "y"}, id);
+  std::vector<Log> logs;
+  logs.push_back(make_log(
+      "a", {std::make_shared<SetLineAction>(id, 0, "x", "x2")}));
+  logs.push_back(make_log(
+      "b", {std::make_shared<SetLineAction>(id, 1, "y", "y2"),
+            std::make_shared<SetLineAction>(id, 1, "y2", "y3")}));
+  Reconciler r(u, logs);
+  const auto result = r.run();
+  ASSERT_TRUE(result.best().complete);
+  EXPECT_EQ(result.best().final_state.as<LineFile>(id).fingerprint(),
+            "x2\ny3\n");
+}
+
+// ---------------------------------------------------------------------------
+// The diff3 baseline.
+
+TEST(CvsMerge, MergesNonOverlappingEdits) {
+  ObjectId id;
+  Universe u = make_file({"l0", "l1", "l2"}, id);
+  std::vector<Log> logs;
+  logs.push_back(make_log(
+      "a", {std::make_shared<SetLineAction>(id, 0, "l0", "A0")}));
+  logs.push_back(make_log(
+      "b", {std::make_shared<SetLineAction>(id, 2, "l2", "B2")}));
+  const CvsMergeReport report = cvs_merge(u, logs, id);
+  EXPECT_EQ(report.applied, 2u);
+  EXPECT_TRUE(report.conflicts.empty());
+  EXPECT_EQ(report.final_state.as<LineFile>(id).fingerprint(), "A0\nl1\nB2\n");
+}
+
+TEST(CvsMerge, SameLineDivergenceConflicts) {
+  ObjectId id;
+  Universe u = make_file({"base"}, id);
+  std::vector<Log> logs;
+  logs.push_back(make_log(
+      "a", {std::make_shared<SetLineAction>(id, 0, "base", "from-a")}));
+  logs.push_back(make_log(
+      "b", {std::make_shared<SetLineAction>(id, 0, "base", "from-b")}));
+  const CvsMergeReport report = cvs_merge(u, logs, id);
+  EXPECT_EQ(report.conflicts, std::vector<std::size_t>{0});
+  // The conflicted line keeps its base content.
+  EXPECT_EQ(report.final_state.as<LineFile>(id).line(0), "base");
+}
+
+TEST(CvsMerge, ConvergentEditsAreNotConflicts) {
+  ObjectId id;
+  Universe u = make_file({"base"}, id);
+  std::vector<Log> logs;
+  logs.push_back(make_log(
+      "a", {std::make_shared<SetLineAction>(id, 0, "base", "same")}));
+  logs.push_back(make_log(
+      "b", {std::make_shared<SetLineAction>(id, 0, "base", "same")}));
+  const CvsMergeReport report = cvs_merge(u, logs, id);
+  EXPECT_TRUE(report.conflicts.empty());
+  EXPECT_EQ(report.final_state.as<LineFile>(id).line(0), "same");
+}
+
+TEST(CvsMerge, SessionsLastEditWins) {
+  ObjectId id;
+  Universe u = make_file({"v0"}, id);
+  std::vector<Log> logs;
+  logs.push_back(make_log(
+      "a", {std::make_shared<SetLineAction>(id, 0, "v0", "v1"),
+            std::make_shared<SetLineAction>(id, 0, "v1", "v2")}));
+  const CvsMergeReport report = cvs_merge(u, logs, id);
+  EXPECT_EQ(report.applied, 1u);
+  EXPECT_EQ(report.final_state.as<LineFile>(id).line(0), "v2");
+}
+
+TEST(CvsMerge, IceCubeAgreesOnCleanMerges) {
+  // On conflict-free inputs the search-based reconciler reproduces exactly
+  // the static three-way merge (generality without regression).
+  ObjectId id;
+  Universe u = make_file({"a", "b", "c", "d"}, id);
+  std::vector<Log> logs;
+  logs.push_back(make_log(
+      "one", {std::make_shared<SetLineAction>(id, 0, "a", "A"),
+              std::make_shared<SetLineAction>(id, 2, "c", "C")}));
+  logs.push_back(make_log(
+      "two", {std::make_shared<SetLineAction>(id, 1, "b", "B"),
+              std::make_shared<SetLineAction>(id, 3, "d", "D")}));
+
+  const CvsMergeReport cvs = cvs_merge(u, logs, id);
+  Reconciler r(u, logs);
+  const auto ice = r.run();
+  ASSERT_TRUE(ice.best().complete);
+  EXPECT_EQ(ice.best().final_state.as<LineFile>(id).fingerprint(),
+            cvs.final_state.as<LineFile>(id).fingerprint());
+}
+
+}  // namespace
+}  // namespace icecube

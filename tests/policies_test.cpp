@@ -1,0 +1,214 @@
+// Tests for the reusable policies (branch-and-bound pruning, cutset
+// protection) built on the §3.5 hooks.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <memory>
+
+#include "core/policies.hpp"
+#include "core/reconciler.hpp"
+#include "jigsaw/experiment.hpp"
+#include "objects/counter.hpp"
+#include "test_helpers.hpp"
+
+namespace icecube {
+namespace {
+
+using testing::make_log;
+using testing::NopAction;
+using testing::ScriptedObject;
+
+TEST(MaxActionsPolicy, FindsTheSameBestWithFewerSchedules) {
+  using K = jigsaw::PlayerSpec::Kind;
+  const jigsaw::Problem p =
+      jigsaw::make_problem(4, 4, jigsaw::Board::OrderCase::kKeepLogOrder,
+                           {{K::kU1, 7}, {K::kU3, 10, 4}});
+  ReconcilerOptions opts;
+  opts.heuristic = Heuristic::kAll;
+  opts.failure_mode = FailureMode::kSkipAction;
+  opts.limits.max_schedules = 50000;
+
+  Policy exhaustive;
+  Reconciler full(p.initial, p.logs, opts, &exhaustive);
+  const auto full_result = full.run();
+
+  MaxActionsPolicy bounded(full.records().size());
+  Reconciler pruned(p.initial, p.logs, opts, &bounded);
+  const auto pruned_result = pruned.run();
+
+  ASSERT_TRUE(full_result.found_any());
+  ASSERT_TRUE(pruned_result.found_any());
+  EXPECT_EQ(pruned_result.best().schedule.size(),
+            full_result.best().schedule.size());
+  EXPECT_LE(pruned_result.stats.schedules_explored(),
+            full_result.stats.schedules_explored());
+  EXPECT_GT(pruned_result.stats.prefix_prunes, 0u);
+  EXPECT_EQ(bounded.incumbent(), pruned_result.best().schedule.size());
+}
+
+TEST(MaxActionsPolicy, IncumbentTracksBestOutcome) {
+  Universe u;
+  const ObjectId c = u.add(std::make_unique<Counter>(0));
+  std::vector<Log> logs;
+  logs.push_back(make_log("a", {std::make_shared<IncrementAction>(c, 1)}));
+  logs.push_back(make_log("b", {std::make_shared<DecrementAction>(c, 5)}));
+  ReconcilerOptions opts;
+  opts.failure_mode = FailureMode::kSkipAction;
+  MaxActionsPolicy policy(2);
+  Reconciler r(u, logs, opts, &policy);
+  const auto result = r.run();
+  ASSERT_TRUE(result.found_any());
+  EXPECT_EQ(policy.incumbent(), 1u);  // the decrement can never run
+  EXPECT_EQ(result.best().schedule.size(), 1u);
+}
+
+TEST(ProtectActionsPolicy, KeepsProtectedActionOutOfCutsets) {
+  Universe u;
+  const ObjectId obj = u.add(std::make_unique<ScriptedObject>(
+      [](const Action&, const Action&, LogRelation) {
+        return Constraint::kUnsafe;  // every cross pair conflicts
+      }));
+  std::vector<Log> logs;
+  logs.push_back(make_log("a", {std::make_shared<NopAction>(
+                                   "p", std::vector{obj})}));
+  logs.push_back(make_log("b", {std::make_shared<NopAction>(
+                                   "q", std::vector{obj})}));
+
+  ProtectActionsPolicy policy({ActionId(0)});
+  Reconciler r(u, logs, {}, &policy);
+  const auto result = r.run();
+  EXPECT_FALSE(policy.rejected_all());
+  ASSERT_TRUE(result.found_any());
+  // Action 0 survives; the cutset excluded action 1.
+  EXPECT_EQ(result.best().schedule, std::vector<ActionId>{ActionId(0)});
+  EXPECT_EQ(result.best().cutset, std::vector<ActionId>{ActionId(1)});
+}
+
+TEST(ProtectActionsPolicy, ReportsUnresolvableProtection) {
+  Universe u;
+  const ObjectId obj = u.add(std::make_unique<ScriptedObject>(
+      [](const Action&, const Action&, LogRelation) {
+        return Constraint::kUnsafe;
+      }));
+  std::vector<Log> logs;
+  logs.push_back(make_log("a", {std::make_shared<NopAction>(
+                                   "p", std::vector{obj})}));
+  logs.push_back(make_log("b", {std::make_shared<NopAction>(
+                                   "q", std::vector{obj})}));
+
+  // Protecting both sides of a static conflict is unsatisfiable.
+  ProtectActionsPolicy policy({ActionId(0), ActionId(1)});
+  Reconciler r(u, logs, {}, &policy);
+  const auto result = r.run();
+  EXPECT_TRUE(policy.rejected_all());
+  EXPECT_TRUE(result.outcomes.empty());
+}
+
+TEST(ParcelPolicy, AtomicGroupExecutesFullyOrNotAtAll) {
+  // Parcel {dec 30, inc 100} on a counter at 10: the dec can only run after
+  // the inc of its own parcel... both executable; plus a lone dec 5.
+  Universe u;
+  const ObjectId c = u.add(std::make_unique<Counter>(10));
+  std::vector<Log> logs;
+  logs.push_back(make_log("a", {std::make_shared<IncrementAction>(c, 100),
+                                std::make_shared<DecrementAction>(c, 30)}));
+  logs.push_back(make_log("b", {std::make_shared<DecrementAction>(c, 5)}));
+
+  ParcelPolicy policy({{ActionId(0), ActionId(1)}});
+  ReconcilerOptions opts;
+  opts.heuristic = Heuristic::kAll;
+  opts.failure_mode = FailureMode::kSkipAction;
+  Reconciler r(u, logs, opts, &policy);
+  const auto result = r.run();
+  ASSERT_TRUE(result.found_any());
+  EXPECT_TRUE(policy.satisfied(result.best()));
+  EXPECT_EQ(result.best().schedule.size(), 3u);
+  EXPECT_EQ(result.best().final_state.as<Counter>(c).value(), 75);
+}
+
+TEST(ParcelPolicy, UnsatisfiableParcelIsFlaggedForCompensation) {
+  // The parcel's decrement can never run; the engine only drops failing
+  // actions, so every outcome splits the parcel. The policy must flag that
+  // (infinite cost, satisfied() false) so the caller can compensate — here
+  // by re-running with the parcel removed.
+  Universe u;
+  const ObjectId c = u.add(std::make_unique<Counter>(0));
+  std::vector<Log> logs;
+  logs.push_back(make_log("a", {std::make_shared<IncrementAction>(c, 1),
+                                std::make_shared<DecrementAction>(c, 50)}));
+  logs.push_back(make_log("b", {std::make_shared<IncrementAction>(c, 2)}));
+
+  ParcelPolicy policy({{ActionId(0), ActionId(1)}});
+  ReconcilerOptions opts;
+  opts.heuristic = Heuristic::kAll;
+  opts.failure_mode = FailureMode::kSkipAction;
+  Reconciler r(u, logs, opts, &policy);
+  const auto result = r.run();
+  ASSERT_TRUE(result.found_any());
+  EXPECT_FALSE(policy.satisfied(result.best()));
+  EXPECT_EQ(result.best().cost, std::numeric_limits<double>::infinity());
+
+  // Compensation: drop the whole parcel and re-run; the rest reconciles.
+  std::vector<Log> without_parcel;
+  without_parcel.push_back(Log("a"));
+  without_parcel.push_back(logs[1]);
+  Reconciler retry(u, without_parcel, opts);
+  const auto fixed = retry.run();
+  ASSERT_TRUE(fixed.found_any());
+  EXPECT_TRUE(fixed.best().complete);
+  EXPECT_EQ(fixed.best().final_state.as<Counter>(c).value(), 2);
+}
+
+TEST(ParcelPolicy, PrunesUnrecoverablePrefixes) {
+  Universe u;
+  const ObjectId c = u.add(std::make_unique<Counter>(0));
+  std::vector<Log> logs;
+  logs.push_back(make_log("a", {std::make_shared<IncrementAction>(c, 1),
+                                std::make_shared<DecrementAction>(c, 50)}));
+  logs.push_back(make_log("b", {std::make_shared<IncrementAction>(c, 2)}));
+  ParcelPolicy policy({{ActionId(0), ActionId(1)}});
+  ReconcilerOptions opts;
+  opts.heuristic = Heuristic::kAll;
+  opts.failure_mode = FailureMode::kSkipAction;
+  Reconciler r(u, logs, opts, &policy);
+  const auto result = r.run();
+  EXPECT_GT(result.stats.prefix_prunes, 0u);
+}
+
+TEST(TracePolicy, RecordsFailuresAndOutcomes) {
+  Universe u;
+  const ObjectId c = u.add(std::make_unique<Counter>(0));
+  std::vector<Log> logs;
+  logs.push_back(make_log("a", {std::make_shared<IncrementAction>(c, 1)}));
+  logs.push_back(make_log("b", {std::make_shared<DecrementAction>(c, 5)}));
+
+  TracePolicy policy;
+  ReconcilerOptions opts;
+  opts.heuristic = Heuristic::kAll;
+  Reconciler r(u, logs, opts, &policy);
+  (void)r.run();
+  const std::string dump = policy.dump();
+  EXPECT_NE(dump.find("precondition failed"), std::string::npos);
+  EXPECT_NE(dump.find("outcome"), std::string::npos);
+  EXPECT_EQ(policy.dropped_events(), 0u);
+}
+
+TEST(TracePolicy, BoundsItsBuffer) {
+  Universe u;
+  const ObjectId c = u.add(std::make_unique<Counter>(0));
+  std::vector<Log> logs;
+  for (int i = 0; i < 5; ++i) {
+    logs.push_back(make_log("l" + std::to_string(i),
+                            {std::make_shared<IncrementAction>(c, 1)}));
+  }
+  TracePolicy policy(8);  // 5! = 120 outcomes won't fit
+  ReconcilerOptions opts;
+  opts.heuristic = Heuristic::kAll;
+  Reconciler r(u, logs, opts, &policy);
+  (void)r.run();
+  EXPECT_EQ(policy.events().size(), 8u);
+  EXPECT_GT(policy.dropped_events(), 0u);
+}
+
+}  // namespace
+}  // namespace icecube

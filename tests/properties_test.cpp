@@ -1,0 +1,313 @@
+// Property-based suites: invariants checked over randomized inputs
+// (seed-parameterized so failures are reproducible).
+//
+//  - H=All enumerates exactly the linear extensions of D when no dynamic
+//    constraint can fail;
+//  - every retained schedule satisfies D;
+//  - Safe/Strict explore no more schedules than All;
+//  - cutsets on random graphs are sound (acyclic after removal) and minimal;
+//  - replay of any retained schedule reproduces its final state;
+//  - the engine is deterministic.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <numeric>
+#include <set>
+#include <string>
+
+#include "core/reconciler.hpp"
+#include "jigsaw/experiment.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace icecube {
+namespace {
+
+using testing::NopAction;
+using testing::ScriptedObject;
+
+/// Builds a reconciliation problem of `n` always-succeeding actions, one per
+/// log (so the in-log safety rule never fires), with a seeded random
+/// constraint between every ordered pair. Returns the reconciler inputs.
+struct RandomProblem {
+  Universe universe;
+  std::vector<Log> logs;
+};
+
+RandomProblem make_random_problem(std::size_t n, std::uint64_t seed,
+                                  int unsafe_percent, int safe_percent) {
+  RandomProblem problem;
+  // The constraint table is keyed by tag-op pairs; captured by value in the
+  // scripted order function.
+  auto table = std::make_shared<std::map<std::pair<std::string, std::string>,
+                                         Constraint>>();
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const int roll = static_cast<int>(rng.below(100));
+      Constraint c = Constraint::kMaybe;
+      if (roll < unsafe_percent) {
+        c = Constraint::kUnsafe;
+      } else if (roll < unsafe_percent + safe_percent) {
+        c = Constraint::kSafe;
+      }
+      (*table)[{"a" + std::to_string(i), "a" + std::to_string(j)}] = c;
+    }
+  }
+  const ObjectId obj = problem.universe.add(std::make_unique<ScriptedObject>(
+      [table](const Action& a, const Action& b, LogRelation) {
+        return table->at({a.tag().op, b.tag().op});
+      }));
+  for (std::size_t i = 0; i < n; ++i) {
+    Log log("l" + std::to_string(i));
+    log.append(
+        std::make_shared<NopAction>("a" + std::to_string(i), std::vector{obj}));
+    problem.logs.push_back(std::move(log));
+  }
+  return problem;
+}
+
+/// Brute-force count of linear extensions of the closed D relation,
+/// excluding actions in `excluded`.
+std::uint64_t linear_extensions(const Relations& rel, const Bitset& excluded) {
+  std::vector<std::size_t> members;
+  for (std::size_t i = 0; i < rel.size(); ++i) {
+    if (!excluded.test(i)) members.push_back(i);
+  }
+  std::sort(members.begin(), members.end());
+  std::uint64_t count = 0;
+  do {
+    bool ok = true;
+    for (std::size_t i = 0; i < members.size() && ok; ++i) {
+      for (std::size_t j = i + 1; j < members.size() && ok; ++j) {
+        // members[j] placed after members[i]: violated if j must precede i.
+        if (rel.depends(ActionId(members[j]), ActionId(members[i])) &&
+            !rel.depends(ActionId(members[i]), ActionId(members[j]))) {
+          ok = false;
+        }
+      }
+    }
+    if (ok) ++count;
+  } while (std::next_permutation(members.begin(), members.end()));
+  return count;
+}
+
+class RandomConstraintSweep : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(RandomConstraintSweep, AllEnumeratesExactlyTheLinearExtensions) {
+  const std::uint64_t seed = GetParam();
+  RandomProblem problem = make_random_problem(5, seed, 25, 25);
+  ReconcilerOptions opts;
+  opts.heuristic = Heuristic::kAll;
+  opts.keep_outcomes = 1;
+  Reconciler r(problem.universe, problem.logs, opts);
+
+  const auto cuts = find_proper_cutsets(r.relations());
+  const auto result = r.run();
+
+  // Sum linear extensions over all searched cutsets (the engine explores
+  // one search per proper cutset).
+  std::uint64_t expected = 0;
+  for (const Cutset& cs : result.cutsets) {
+    Bitset removed(r.relations().size());
+    for (ActionId a : cs.actions) removed.set(a.index());
+    const Relations rest = r.relations().restricted(removed);
+    expected += linear_extensions(rest, removed);
+  }
+  EXPECT_EQ(result.stats.schedules_completed, expected)
+      << "seed " << seed << " (cutsets: " << cuts.cutsets.size() << ")";
+  EXPECT_EQ(result.stats.dead_ends, 0u);  // no dynamic failures possible
+}
+
+TEST_P(RandomConstraintSweep, SafeAndStrictExploreNoMoreThanAll) {
+  const std::uint64_t seed = GetParam();
+  RandomProblem problem = make_random_problem(6, seed, 20, 30);
+  auto run_with = [&problem](Heuristic h) {
+    ReconcilerOptions opts;
+    opts.heuristic = h;
+    Reconciler r(problem.universe, problem.logs, opts);
+    return r.run().stats.schedules_explored();
+  };
+  const auto all = run_with(Heuristic::kAll);
+  const auto safe = run_with(Heuristic::kSafe);
+  const auto strict = run_with(Heuristic::kStrict);
+  EXPECT_LE(safe, all) << "seed " << seed;
+  EXPECT_LE(strict, safe) << "seed " << seed;
+  EXPECT_GE(strict, 1u);
+}
+
+TEST_P(RandomConstraintSweep, RetainedSchedulesSatisfyD) {
+  const std::uint64_t seed = GetParam();
+  RandomProblem problem = make_random_problem(6, seed, 30, 20);
+  ReconcilerOptions opts;
+  opts.heuristic = Heuristic::kAll;
+  opts.keep_outcomes = 32;
+  Reconciler r(problem.universe, problem.logs, opts);
+  const auto result = r.run();
+  for (const Outcome& o : result.outcomes) {
+    // An outcome found under a cutset is constrained by the *restricted*
+    // relation: §3.2 removes the cut actions *and their associated edges*
+    // from D before scheduling.
+    Bitset removed(r.relations().size());
+    for (ActionId a : o.cutset) removed.set(a.index());
+    const Relations rel = r.relations().restricted(removed);
+    for (std::size_t i = 0; i < o.schedule.size(); ++i) {
+      for (std::size_t j = i + 1; j < o.schedule.size(); ++j) {
+        const bool j_before_i = rel.depends(o.schedule[j], o.schedule[i]);
+        const bool i_before_j = rel.depends(o.schedule[i], o.schedule[j]);
+        EXPECT_FALSE(j_before_i && !i_before_j) << "seed " << seed;
+      }
+    }
+  }
+}
+
+TEST_P(RandomConstraintSweep, CutsetsAreSoundAndMinimalOnRandomGraphs) {
+  const std::uint64_t seed = GetParam();
+  RandomProblem problem = make_random_problem(7, seed, 35, 10);
+  Reconciler r(problem.universe, problem.logs, {});
+  const Relations& rel = r.relations();
+  const auto analysis = find_proper_cutsets(rel);
+  ASSERT_FALSE(analysis.cutsets.empty());
+  for (const Cutset& cs : analysis.cutsets) {
+    Bitset removed(rel.size());
+    for (ActionId a : cs.actions) removed.set(a.index());
+    EXPECT_TRUE(find_cycles(rel.restricted(removed)).cycles.empty())
+        << "seed " << seed << ": cutset does not break all cycles";
+    for (std::size_t skip = 0; skip < cs.actions.size(); ++skip) {
+      Bitset partial(rel.size());
+      for (std::size_t i = 0; i < cs.actions.size(); ++i) {
+        if (i != skip) partial.set(cs.actions[i].index());
+      }
+      EXPECT_FALSE(find_cycles(rel.restricted(partial)).cycles.empty())
+          << "seed " << seed << ": cutset not minimal";
+    }
+  }
+}
+
+TEST_P(RandomConstraintSweep, EquivalencePruningPreservesReachableStates) {
+  // With failure-free actions and H=All, pruning adjacent commuting
+  // inversions must not lose any *distinct final state*, only duplicate
+  // routes to them.
+  const std::uint64_t seed = GetParam();
+  RandomProblem problem = make_random_problem(6, seed, 15, 45);
+
+  /// Collects the fingerprints of all complete outcomes.
+  class Collector final : public Policy {
+   public:
+    bool on_outcome(const Outcome& o) override {
+      if (o.complete) fingerprints.insert(o.final_state.fingerprint());
+      return true;
+    }
+    std::set<std::string> fingerprints;
+  };
+
+  auto run_with = [&problem](bool prune, Collector& collector) {
+    ReconcilerOptions opts;
+    opts.heuristic = Heuristic::kAll;
+    opts.prune_equivalent = prune;
+    opts.keep_outcomes = 1;
+    Reconciler r(problem.universe, problem.logs, opts, &collector);
+    return r.run().stats.schedules_completed;
+  };
+  Collector full, pruned;
+  const auto full_count = run_with(false, full);
+  const auto pruned_count = run_with(true, pruned);
+  EXPECT_EQ(full.fingerprints, pruned.fingerprints) << "seed " << seed;
+  EXPECT_LE(pruned_count, full_count) << "seed " << seed;
+  // NopActions all produce the same state, so with any commuting pair at
+  // all, pruning must actually remove something.
+  if (full_count > 1 && problem.logs.size() == 6) {
+    EXPECT_GE(full_count, pruned_count);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomConstraintSweep,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+// ---------------------------------------------------------------------------
+// Jigsaw-workload properties over random U3 games.
+
+class RandomJigsawSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomJigsawSweep, ReplayingBestScheduleReproducesFinalBoard) {
+  const std::uint64_t seed = GetParam();
+  using K = jigsaw::PlayerSpec::Kind;
+  const jigsaw::Problem p =
+      jigsaw::make_problem(3, 3, jigsaw::Board::OrderCase::kKeepJoinOrder,
+                           {{K::kU3, 6, seed}, {K::kU3, 6, seed + 1000}});
+  ReconcilerOptions opts;
+  opts.heuristic = Heuristic::kAll;
+  opts.failure_mode = FailureMode::kSkipAction;
+  opts.limits.max_schedules = 20000;
+  jigsaw::JigsawPolicy policy(p.board_id);
+  Reconciler r(p.initial, p.logs, opts, &policy);
+  const auto result = r.run();
+  ASSERT_TRUE(result.found_any()) << "seed " << seed;
+
+  Universe replay = r.initial_state();
+  for (ActionId id : result.best().schedule) {
+    const Action& a = *r.records()[id.index()].action;
+    ASSERT_TRUE(a.precondition(replay)) << "seed " << seed;
+    ASSERT_TRUE(a.execute(replay)) << "seed " << seed;
+  }
+  EXPECT_EQ(replay.fingerprint(), result.best().final_state.fingerprint())
+      << "seed " << seed;
+}
+
+TEST_P(RandomJigsawSweep, CompleteOutcomesAccountForEveryAction) {
+  const std::uint64_t seed = GetParam();
+  using K = jigsaw::PlayerSpec::Kind;
+  const jigsaw::Problem p =
+      jigsaw::make_problem(3, 3, jigsaw::Board::OrderCase::kKeepLogOrder,
+                           {{K::kU1, 4}, {K::kU3, 7, seed}});
+  ReconcilerOptions opts;
+  opts.failure_mode = FailureMode::kSkipAction;
+  opts.keep_outcomes = 16;
+  jigsaw::JigsawPolicy policy(p.board_id);
+  Reconciler r(p.initial, p.logs, opts, &policy);
+  const auto result = r.run();
+  const std::size_t total = r.records().size();
+  for (const Outcome& o : result.outcomes) {
+    if (!o.complete) continue;
+    EXPECT_EQ(o.schedule.size() + o.skipped.size() + o.cutset.size(), total)
+        << "seed " << seed;
+    // No action appears twice across the three groups.
+    Bitset seen(total);
+    for (const auto& group : {o.schedule, o.skipped, o.cutset}) {
+      for (ActionId a : group) {
+        EXPECT_FALSE(seen.test(a.index())) << "seed " << seed;
+        seen.set(a.index());
+      }
+    }
+  }
+}
+
+TEST_P(RandomJigsawSweep, SkipModeNeverLosesToAbortMode) {
+  // Dropping doomed actions only widens the reachable outcomes, so the best
+  // correct-piece count under skip semantics is >= the abort-mode best.
+  const std::uint64_t seed = GetParam();
+  using K = jigsaw::PlayerSpec::Kind;
+  const jigsaw::Problem p =
+      jigsaw::make_problem(3, 3, jigsaw::Board::OrderCase::kKeepLogOrder,
+                           {{K::kU1, 4}, {K::kU3, 6, seed}});
+  auto best_with = [&p](FailureMode fm) {
+    ReconcilerOptions opts;
+    opts.heuristic = Heuristic::kAll;
+    opts.failure_mode = fm;
+    opts.limits.max_schedules = 20000;
+    return jigsaw::run_experiment(p, opts).best.correct;
+  };
+  EXPECT_GE(best_with(FailureMode::kSkipAction),
+            best_with(FailureMode::kAbortBranch))
+      << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomJigsawSweep,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace icecube

@@ -1,0 +1,230 @@
+// End-to-end tests of the Reconciler facade: constraint wiring, cutset
+// handling, schedule validity, selection.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "core/reconciler.hpp"
+#include "objects/counter.hpp"
+#include "objects/rw_register.hpp"
+#include "test_helpers.hpp"
+
+namespace icecube {
+namespace {
+
+using testing::make_log;
+using testing::NopAction;
+using testing::ScriptedObject;
+
+TEST(Reconciler, EmptyInputYieldsEmptyCompleteSchedule) {
+  Universe u;
+  Reconciler r(u, {});
+  const auto result = r.run();
+  ASSERT_TRUE(result.found_any());
+  EXPECT_TRUE(result.best().complete);
+  EXPECT_TRUE(result.best().schedule.empty());
+}
+
+TEST(Reconciler, RegisterWriteReadAcrossLogsOrdersReadFirst) {
+  // Figure 2: write before read is unsafe ⇒ the read must precede the
+  // concurrent write in every schedule.
+  Universe u;
+  const ObjectId reg = u.add(std::make_unique<RwRegister>(10));
+  std::vector<Log> logs;
+  logs.push_back(make_log("w", {std::make_shared<WriteAction>(reg, 42)}));
+  logs.push_back(make_log("r", {std::make_shared<ReadAction>(reg, 10)}));
+
+  ReconcilerOptions opts;
+  opts.heuristic = Heuristic::kAll;
+  Reconciler r(u, logs, opts);
+  EXPECT_TRUE(r.relations().depends(ActionId(1), ActionId(0)));
+  const auto result = r.run();
+  ASSERT_TRUE(result.best().complete);
+  EXPECT_EQ(result.best().schedule,
+            (std::vector<ActionId>{ActionId(1), ActionId(0)}));
+  EXPECT_EQ(result.stats.schedules_completed, 1u);
+}
+
+TEST(Reconciler, CounterIncrementsCommuteAcrossLogs) {
+  Universe u;
+  const ObjectId c = u.add(std::make_unique<Counter>(0));
+  std::vector<Log> logs;
+  logs.push_back(make_log("a", {std::make_shared<IncrementAction>(c, 1)}));
+  logs.push_back(make_log("b", {std::make_shared<IncrementAction>(c, 2)}));
+  ReconcilerOptions opts;
+  opts.heuristic = Heuristic::kAll;
+  Reconciler r(u, logs, opts);
+  // Both orders are independent (safe), neither is dependent.
+  EXPECT_TRUE(r.relations().independent(ActionId(0), ActionId(1)));
+  EXPECT_TRUE(r.relations().independent(ActionId(1), ActionId(0)));
+  const auto result = r.run();
+  EXPECT_EQ(result.stats.schedules_completed, 2u);
+  EXPECT_EQ(result.best().final_state.as<Counter>(c).value(), 3);
+}
+
+TEST(Reconciler, StaticConflictProducesCutsets) {
+  // Two actions mutually unsafe: a 2-cycle in D; each proper cutset drops
+  // one of them, and outcomes record the exclusion.
+  Universe u;
+  const ObjectId obj = u.add(std::make_unique<ScriptedObject>(
+      [](const Action&, const Action&, LogRelation) {
+        return Constraint::kUnsafe;
+      }));
+  std::vector<Log> logs;
+  logs.push_back(make_log("a", {std::make_shared<NopAction>(
+                                   "p", std::vector{obj})}));
+  logs.push_back(make_log("b", {std::make_shared<NopAction>(
+                                   "q", std::vector{obj})}));
+  Reconciler r(u, logs);
+  const auto result = r.run();
+  EXPECT_EQ(result.cutsets.size(), 2u);
+  EXPECT_EQ(result.stats.cutset_count, 2u);
+  ASSERT_TRUE(result.found_any());
+  const Outcome& best = result.best();
+  EXPECT_TRUE(best.complete);
+  EXPECT_EQ(best.schedule.size(), 1u);
+  EXPECT_EQ(best.cutset.size(), 1u);
+}
+
+TEST(Reconciler, PolicyCanRejectCutsets) {
+  Universe u;
+  const ObjectId obj = u.add(std::make_unique<ScriptedObject>(
+      [](const Action&, const Action&, LogRelation) {
+        return Constraint::kUnsafe;
+      }));
+  std::vector<Log> logs;
+  logs.push_back(make_log("a", {std::make_shared<NopAction>(
+                                   "p", std::vector{obj})}));
+  logs.push_back(make_log("b", {std::make_shared<NopAction>(
+                                   "q", std::vector{obj})}));
+
+  /// Accepts only cutsets that exclude action 0 (prioritising action 1, as
+  /// §3.5 describes: "prioritise an action by not allowing it to be
+  /// excluded").
+  class CutsetPolicy final : public Policy {
+   public:
+    void select_cutsets(std::vector<Cutset>& cutsets) override {
+      std::erase_if(cutsets, [](const Cutset& cs) {
+        return std::find(cs.actions.begin(), cs.actions.end(), ActionId(0)) ==
+               cs.actions.end();
+      });
+    }
+  };
+  CutsetPolicy policy;
+  Reconciler r(u, logs, {}, &policy);
+  const auto result = r.run();
+  EXPECT_EQ(result.cutsets.size(), 1u);
+  ASSERT_TRUE(result.found_any());
+  EXPECT_EQ(result.best().schedule, std::vector<ActionId>{ActionId(1)});
+  EXPECT_EQ(result.best().cutset, std::vector<ActionId>{ActionId(0)});
+}
+
+TEST(Reconciler, InLogOrderIsPreservedWhenReverseIsUnsafe) {
+  // Register read/write in one log: Figure 4 makes the swap unsafe, so the
+  // log order is the only valid order.
+  Universe u;
+  const ObjectId reg = u.add(std::make_unique<RwRegister>(0));
+  std::vector<Log> logs;
+  logs.push_back(make_log("a", {std::make_shared<WriteAction>(reg, 1),
+                                std::make_shared<ReadAction>(reg, 1)}));
+  ReconcilerOptions opts;
+  opts.heuristic = Heuristic::kAll;
+  Reconciler r(u, logs, opts);
+  const auto result = r.run();
+  EXPECT_EQ(result.stats.schedules_completed, 1u);
+  EXPECT_EQ(result.best().schedule,
+            (std::vector<ActionId>{ActionId(0), ActionId(1)}));
+}
+
+TEST(Reconciler, InLogCommutingActionsMayReorder) {
+  // Two writes in one log commute (Figure 4): both orders are explored.
+  Universe u;
+  const ObjectId reg = u.add(std::make_unique<RwRegister>(0));
+  std::vector<Log> logs;
+  logs.push_back(make_log("a", {std::make_shared<WriteAction>(reg, 1),
+                                std::make_shared<WriteAction>(reg, 2)}));
+  ReconcilerOptions opts;
+  opts.heuristic = Heuristic::kAll;
+  Reconciler r(u, logs, opts);
+  const auto result = r.run();
+  EXPECT_EQ(result.stats.schedules_completed, 2u);
+}
+
+TEST(Reconciler, EveryScheduleSatisfiesDependences) {
+  // Mixed counter workload under H=All; validate all retained outcomes.
+  Universe u;
+  const ObjectId c = u.add(std::make_unique<Counter>(1));
+  std::vector<Log> logs;
+  logs.push_back(make_log("a", {std::make_shared<IncrementAction>(c, 2),
+                                std::make_shared<DecrementAction>(c, 1)}));
+  logs.push_back(make_log("b", {std::make_shared<DecrementAction>(c, 1),
+                                std::make_shared<IncrementAction>(c, 3)}));
+  ReconcilerOptions opts;
+  opts.heuristic = Heuristic::kAll;
+  opts.keep_outcomes = 64;
+  Reconciler r(u, logs, opts);
+  const auto result = r.run();
+  const Relations& rel = r.relations();
+  ASSERT_FALSE(result.outcomes.empty());
+  for (const Outcome& o : result.outcomes) {
+    for (std::size_t i = 0; i < o.schedule.size(); ++i) {
+      for (std::size_t j = i + 1; j < o.schedule.size(); ++j) {
+        // If the later action must precede the earlier one, D is violated.
+        EXPECT_FALSE(rel.depends(o.schedule[j], o.schedule[i]))
+            << "schedule violates D at positions " << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST(Reconciler, ReplayingBestScheduleReproducesFinalState) {
+  Universe u;
+  const ObjectId c = u.add(std::make_unique<Counter>(1));
+  std::vector<Log> logs;
+  logs.push_back(make_log("a", {std::make_shared<IncrementAction>(c, 2),
+                                std::make_shared<DecrementAction>(c, 1)}));
+  logs.push_back(make_log("b", {std::make_shared<DecrementAction>(c, 1)}));
+  Reconciler r(u, logs);
+  const auto result = r.run();
+  ASSERT_TRUE(result.found_any());
+  const Outcome& best = result.best();
+
+  Universe replay = r.initial_state();
+  for (ActionId id : best.schedule) {
+    const Action& a = *r.records()[id.index()].action;
+    ASSERT_TRUE(a.precondition(replay));
+    ASSERT_TRUE(a.execute(replay));
+  }
+  EXPECT_EQ(replay.fingerprint(), best.final_state.fingerprint());
+}
+
+TEST(Reconciler, DescribeScheduleMentionsLogAndOp) {
+  Universe u;
+  const ObjectId c = u.add(std::make_unique<Counter>(0));
+  std::vector<Log> logs;
+  logs.push_back(make_log("alice", {std::make_shared<IncrementAction>(c, 7)}));
+  Reconciler r(u, logs);
+  const auto result = r.run();
+  const std::string text = r.describe_schedule(result.best().schedule);
+  EXPECT_NE(text.find("alice"), std::string::npos);
+  EXPECT_NE(text.find("increment(7)"), std::string::npos);
+}
+
+TEST(Reconciler, RunIsRepeatable) {
+  Universe u;
+  const ObjectId c = u.add(std::make_unique<Counter>(0));
+  std::vector<Log> logs;
+  logs.push_back(make_log("a", {std::make_shared<IncrementAction>(c, 1)}));
+  logs.push_back(make_log("b", {std::make_shared<IncrementAction>(c, 2)}));
+  ReconcilerOptions opts;
+  opts.heuristic = Heuristic::kAll;
+  Reconciler r(u, logs, opts);
+  const auto first = r.run();
+  const auto second = r.run();
+  EXPECT_EQ(first.stats.schedules_completed, second.stats.schedules_completed);
+  EXPECT_EQ(first.best().schedule, second.best().schedule);
+}
+
+}  // namespace
+}  // namespace icecube

@@ -1,0 +1,175 @@
+// Tests for the replica layer: isolated execution at sites, group
+// synchronisation, convergence.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "objects/counter.hpp"
+#include "objects/file_system.hpp"
+#include "objects/rw_register.hpp"
+#include "replica/site.hpp"
+#include "replica/sync.hpp"
+#include "util/rng.hpp"
+
+namespace icecube {
+namespace {
+
+Universe counter_universe(std::int64_t initial) {
+  Universe u;
+  u.add(std::make_unique<Counter>(initial));
+  return u;
+}
+constexpr ObjectId kCounter{0};
+
+TEST(Site, PerformUpdatesTentativeOnly) {
+  Site site("a", counter_universe(10));
+  EXPECT_TRUE(site.perform(std::make_shared<IncrementAction>(kCounter, 5)));
+  EXPECT_EQ(site.tentative().as<Counter>(kCounter).value(), 15);
+  EXPECT_EQ(site.committed().as<Counter>(kCounter).value(), 10);
+  EXPECT_EQ(site.log().size(), 1u);
+}
+
+TEST(Site, FailedActionIsNotLogged) {
+  Site site("a", counter_universe(1));
+  EXPECT_FALSE(site.perform(std::make_shared<DecrementAction>(kCounter, 5)));
+  EXPECT_EQ(site.log().size(), 0u);
+  EXPECT_EQ(site.tentative().as<Counter>(kCounter).value(), 1);
+}
+
+TEST(Site, LogIsCorrectByConstruction) {
+  // Whatever sequence of attempts, the recorded log replays in full
+  // against the committed state.
+  Site site("a", counter_universe(0));
+  Rng rng(11);
+  for (int i = 0; i < 40; ++i) {
+    const auto amount = static_cast<std::int64_t>(rng.below(5)) + 1;
+    if (rng.chance(0.5)) {
+      (void)site.perform(std::make_shared<IncrementAction>(kCounter, amount));
+    } else {
+      (void)site.perform(std::make_shared<DecrementAction>(kCounter, amount));
+    }
+  }
+  Universe replay = site.committed();
+  for (const auto& action : site.log()) {
+    ASSERT_TRUE(action->precondition(replay));
+    ASSERT_TRUE(action->execute(replay));
+  }
+  EXPECT_EQ(replay.fingerprint(), site.tentative().fingerprint());
+}
+
+TEST(Site, AdoptInstallsStateAndClearsLog) {
+  Site site("a", counter_universe(0));
+  ASSERT_TRUE(site.perform(std::make_shared<IncrementAction>(kCounter, 3)));
+  site.adopt(counter_universe(42));
+  EXPECT_EQ(site.committed().as<Counter>(kCounter).value(), 42);
+  EXPECT_EQ(site.tentative().as<Counter>(kCounter).value(), 42);
+  EXPECT_FALSE(site.has_local_updates());
+}
+
+TEST(Sync, TwoSitesConverge) {
+  const Universe initial = counter_universe(100);
+  Site a("a", initial), b("b", initial);
+  ASSERT_TRUE(a.perform(std::make_shared<IncrementAction>(kCounter, 50)));
+  ASSERT_TRUE(a.perform(std::make_shared<DecrementAction>(kCounter, 120)));
+  ASSERT_TRUE(b.perform(std::make_shared<DecrementAction>(kCounter, 20)));
+
+  ASSERT_FALSE(converged({&a, &b}));
+  const SyncResult result = synchronise({&a, &b});
+  EXPECT_TRUE(result.adopted) << result.error;
+  EXPECT_TRUE(converged({&a, &b}));
+  // All three actions fit when the increment is scheduled early enough.
+  EXPECT_EQ(a.tentative().as<Counter>(kCounter).value(), 100 + 50 - 120 - 20);
+}
+
+TEST(Sync, DivergentCommittedStatesAreRejected) {
+  Site a("a", counter_universe(1));
+  Site b("b", counter_universe(2));
+  const SyncResult result = synchronise({&a, &b});
+  EXPECT_FALSE(result.adopted);
+  EXPECT_FALSE(result.error.empty());
+  EXPECT_EQ(a.committed().as<Counter>(kCounter).value(), 1);  // untouched
+}
+
+TEST(Sync, IdleSitesAdoptOthersWork) {
+  const Universe initial = counter_universe(0);
+  Site a("a", initial), b("b", initial), c("c", initial);
+  ASSERT_TRUE(a.perform(std::make_shared<IncrementAction>(kCounter, 7)));
+  const SyncResult result = synchronise({&a, &b, &c});
+  ASSERT_TRUE(result.adopted);
+  EXPECT_EQ(c.tentative().as<Counter>(kCounter).value(), 7);
+  EXPECT_TRUE(converged({&a, &b, &c}));
+}
+
+TEST(Sync, RepeatedRoundsKeepConverging) {
+  const Universe initial = counter_universe(10);
+  Site a("a", initial), b("b", initial), c("c", initial);
+  std::vector<Site*> group{&a, &b, &c};
+  Rng rng(5);
+  for (int round = 0; round < 5; ++round) {
+    for (Site* site : group) {
+      for (int i = 0; i < 4; ++i) {
+        const auto amount = static_cast<std::int64_t>(rng.below(4)) + 1;
+        if (rng.chance(0.6)) {
+          (void)site->perform(
+              std::make_shared<IncrementAction>(kCounter, amount));
+        } else {
+          (void)site->perform(
+              std::make_shared<DecrementAction>(kCounter, amount));
+        }
+      }
+    }
+    const SyncResult result = synchronise(group);
+    ASSERT_TRUE(result.adopted) << "round " << round << ": " << result.error;
+    ASSERT_TRUE(converged(group)) << "round " << round;
+    ASSERT_GE(a.tentative().as<Counter>(kCounter).value(), 0);
+  }
+}
+
+TEST(Sync, MixedObjectsAcrossSites) {
+  Universe initial;
+  initial.add(std::make_unique<Counter>(5));
+  const ObjectId fs{1};
+  {
+    auto fsys = std::make_unique<FileSystem>();
+    ASSERT_TRUE(fsys->mkdir("/inbox"));
+    initial.add(std::move(fsys));
+  }
+  Site a("a", initial), b("b", initial);
+  ASSERT_TRUE(a.perform(
+      std::make_shared<WriteFileAction>(fs, "/inbox/from-a", "hello")));
+  ASSERT_TRUE(b.perform(std::make_shared<IncrementAction>(kCounter, 1)));
+  ASSERT_TRUE(b.perform(
+      std::make_shared<WriteFileAction>(fs, "/inbox/from-b", "hi")));
+
+  const SyncResult result = synchronise({&a, &b});
+  ASSERT_TRUE(result.adopted) << result.error;
+  const auto& merged_fs = a.tentative().as<FileSystem>(fs);
+  EXPECT_TRUE(merged_fs.is_file("/inbox/from-a"));
+  EXPECT_TRUE(merged_fs.is_file("/inbox/from-b"));
+  EXPECT_EQ(a.tentative().as<Counter>(kCounter).value(), 6);
+}
+
+TEST(Sync, ConflictingWorkStillConvergesWithDrops) {
+  // Both sites write the same file: a dynamic conflict; skip mode drops one
+  // write and the group still converges.
+  Universe initial;
+  initial.add(std::make_unique<Counter>(0));
+  const ObjectId fs{1};
+  initial.add(std::make_unique<FileSystem>());
+
+  Site a("a", initial), b("b", initial);
+  ASSERT_TRUE(a.perform(std::make_shared<WriteFileAction>(fs, "/f", "A")));
+  ASSERT_TRUE(b.perform(std::make_shared<WriteFileAction>(fs, "/f", "B")));
+
+  ReconcilerOptions opts;
+  opts.heuristic = Heuristic::kAll;
+  const SyncResult result = synchronise({&a, &b}, opts);
+  ASSERT_TRUE(result.adopted) << result.error;
+  EXPECT_TRUE(converged({&a, &b}));
+  const auto content = a.tentative().as<FileSystem>(fs).read("/f");
+  ASSERT_TRUE(content.has_value());
+  EXPECT_TRUE(*content == "A" || *content == "B");
+}
+
+}  // namespace
+}  // namespace icecube

@@ -1,0 +1,197 @@
+// Tests for the sys-admin substrate and the paper's first motivating
+// example (§2): IceCube must find A3, B1, B2, A1, A2 (or a statically
+// equivalent permutation) where fixed-order merges fail.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baseline/temporal_merge.hpp"
+#include "core/reconciler.hpp"
+#include "objects/sysadmin.hpp"
+
+namespace icecube {
+namespace {
+
+// Flattened action ids in the example: A1=0, A2=1, A3=2, B1=3, B2=4.
+constexpr ActionId kA1{0}, kA2{1}, kA3{2}, kB1{3}, kB2{4};
+
+TEST(OsSystem, UpgradeBumpsVersionAndDrivers) {
+  OsSystem os(4);
+  os.buy(1);
+  os.install_driver(1, 4);
+  os.upgrade(5);
+  EXPECT_EQ(os.version(), 5);
+  EXPECT_EQ(os.driver_version(1), 5);  // drivers auto-upgraded
+}
+
+TEST(OsSystem, InstallRequiresOwnershipAndMatchingVersion) {
+  Universe u;
+  const ObjectId os = u.add(std::make_unique<OsSystem>(4));
+  EXPECT_FALSE(InstallDriverAction(os, 7, 4).precondition(u));  // not owned
+  u.as<OsSystem>(os).buy(7);
+  EXPECT_TRUE(InstallDriverAction(os, 7, 4).precondition(u));
+  EXPECT_FALSE(InstallDriverAction(os, 7, 5).precondition(u));  // wrong v
+  u.as<OsSystem>(os).upgrade(5);
+  EXPECT_FALSE(InstallDriverAction(os, 7, 4).precondition(u));
+}
+
+TEST(SysBudget, SpendGuardsBalance) {
+  SysBudget budget(100);
+  EXPECT_FALSE(budget.spend(101));
+  EXPECT_EQ(budget.balance(), 100);
+  EXPECT_TRUE(budget.spend(100));
+  EXPECT_EQ(budget.balance(), 0);
+  budget.fund(50);
+  EXPECT_EQ(budget.balance(), 50);
+}
+
+TEST(SysAdminOrder, InstallBeforeUpgradeConstraints) {
+  Universe u;
+  const ObjectId os_id = u.add(std::make_unique<OsSystem>(4));
+  const auto& os = u.as<OsSystem>(os_id);
+  const InstallDriverAction install_v4(os_id, 2, 4);
+  const InstallDriverAction install_v5(os_id, 2, 5);
+  const UpgradeOsAction upgrade(os_id, 4, 5);
+  // A v4 driver install must happen before the upgrade...
+  EXPECT_EQ(os.order(install_v4, upgrade, LogRelation::kAcrossLogs),
+            Constraint::kSafe);
+  EXPECT_EQ(os.order(upgrade, install_v4, LogRelation::kAcrossLogs),
+            Constraint::kUnsafe);
+  // ...and a v5 driver install only after it.
+  EXPECT_EQ(os.order(install_v5, upgrade, LogRelation::kAcrossLogs),
+            Constraint::kUnsafe);
+  EXPECT_EQ(os.order(upgrade, install_v5, LogRelation::kAcrossLogs),
+            Constraint::kSafe);
+}
+
+TEST(SysAdminOrder, PurchaseBeforeInstallOfSameDevice) {
+  Universe u;
+  const ObjectId os_id = u.add(std::make_unique<OsSystem>(4));
+  const ObjectId budget = u.add(std::make_unique<SysBudget>(1000));
+  const auto& os = u.as<OsSystem>(os_id);
+  const BuyDeviceAction buy(os_id, budget, 2, 400);
+  const InstallDriverAction install(os_id, 2, 4);
+  EXPECT_EQ(os.order(buy, install, LogRelation::kAcrossLogs),
+            Constraint::kSafe);
+  EXPECT_EQ(os.order(install, buy, LogRelation::kAcrossLogs),
+            Constraint::kUnsafe);
+}
+
+TEST(SysAdminOrder, BudgetOrdersFundingBeforeSpending) {
+  Universe u;
+  const ObjectId os_id = u.add(std::make_unique<OsSystem>(4));
+  const ObjectId budget_id = u.add(std::make_unique<SysBudget>(1000));
+  const auto& budget = u.as<SysBudget>(budget_id);
+  const FundBudgetAction fund(budget_id, 1500);
+  const BuyDeviceAction buy(os_id, budget_id, 1, 800);
+  EXPECT_EQ(budget.order(fund, buy, LogRelation::kAcrossLogs),
+            Constraint::kSafe);
+  EXPECT_EQ(budget.order(buy, fund, LogRelation::kAcrossLogs),
+            Constraint::kMaybe);
+  // Within a log, pulling a purchase before a funding step is disallowed.
+  EXPECT_EQ(budget.order(buy, fund, LogRelation::kSameLog),
+            Constraint::kUnsafe);
+  EXPECT_EQ(budget.order(fund, buy, LogRelation::kSameLog), Constraint::kSafe);
+}
+
+// ---------------------------------------------------------------------------
+// The full motivating example.
+
+TEST(SysAdminExampleTest, CrossLogDependencyIsDiscovered) {
+  SysAdminExample ex = make_sysadmin_example();
+  Reconciler r(ex.initial, ex.logs);
+  // "B2 must run before A1" — discovered although the actions are causally
+  // independent.
+  EXPECT_TRUE(r.relations().depends(kB2, kA1));
+  // "A3 may run before A1 and A2" — in-log order relaxed.
+  EXPECT_FALSE(r.relations().depends(kA2, kA3));
+  EXPECT_TRUE(r.relations().independent(kA3, kA2));
+}
+
+TEST(SysAdminExampleTest, ReconcilerFindsCompleteSolution) {
+  SysAdminExample ex = make_sysadmin_example();
+  ReconcilerOptions opts;
+  opts.heuristic = Heuristic::kAll;
+  Reconciler r(ex.initial, ex.logs, opts);
+  const auto result = r.run();
+  ASSERT_TRUE(result.found_any());
+  const Outcome& best = result.best();
+  ASSERT_TRUE(best.complete);
+  EXPECT_EQ(best.schedule.size(), 5u);
+
+  const auto& os = best.final_state.as<OsSystem>(ex.os);
+  const auto& budget = best.final_state.as<SysBudget>(ex.budget);
+  EXPECT_EQ(os.version(), 5);
+  EXPECT_TRUE(os.owns(SysAdminExample::kTapeDrive));
+  EXPECT_TRUE(os.owns(SysAdminExample::kPrinter));
+  EXPECT_EQ(os.driver_version(SysAdminExample::kPrinter), 5);  // upgraded
+  EXPECT_EQ(budget.balance(), 1000 + 1500 - 800 - 400);
+}
+
+TEST(SysAdminExampleTest, PaperSolutionIsAmongCompleteSchedules) {
+  SysAdminExample ex = make_sysadmin_example();
+  ReconcilerOptions opts;
+  opts.heuristic = Heuristic::kAll;
+  opts.keep_outcomes = 128;
+  Reconciler r(ex.initial, ex.logs, opts);
+  const auto result = r.run();
+  // The paper's proposed solution: A3, B1, B2, A1, A2.
+  const std::vector<ActionId> paper{kA3, kB1, kB2, kA1, kA2};
+  bool found = false;
+  for (const auto& o : result.outcomes) found = found || o.schedule == paper;
+  EXPECT_TRUE(found) << "paper's schedule not among retained outcomes";
+}
+
+TEST(SysAdminExampleTest, EveryCompleteScheduleRunsB2BeforeA1) {
+  SysAdminExample ex = make_sysadmin_example();
+  ReconcilerOptions opts;
+  opts.heuristic = Heuristic::kAll;
+  opts.keep_outcomes = 256;
+  Reconciler r(ex.initial, ex.logs, opts);
+  const auto result = r.run();
+  int complete = 0;
+  for (const auto& o : result.outcomes) {
+    if (!o.complete) continue;
+    ++complete;
+    const auto pos = [&o](ActionId a) {
+      return std::find(o.schedule.begin(), o.schedule.end(), a) -
+             o.schedule.begin();
+    };
+    EXPECT_LT(pos(kB2), pos(kA1));
+    EXPECT_LT(pos(kB1), pos(kB2));
+  }
+  EXPECT_GT(complete, 0);
+}
+
+TEST(SysAdminExampleTest, FixedOrderMergesFailAsThePaperArgues) {
+  // "Running log A before log B will fail because action B2 will find the
+  // OS in the wrong version."
+  SysAdminExample ex = make_sysadmin_example();
+  const MergeReport ab =
+      temporal_merge(ex.initial, ex.logs, MergeOrder::kConcatenate);
+  EXPECT_GT(ab.conflicts, 0u);
+  EXPECT_FALSE(
+      ab.final_state.as<OsSystem>(ex.os).driver_installed(
+          SysAdminExample::kPrinter));
+
+  // "Running B before A will fail because the budget goes negative" (the
+  // tape purchase is refused).
+  std::vector<Log> reversed{ex.logs[1], ex.logs[0]};
+  const MergeReport ba =
+      temporal_merge(ex.initial, reversed, MergeOrder::kConcatenate);
+  EXPECT_GT(ba.conflicts, 0u);
+
+  // "Interleaving log A and B fails similarly."
+  const MergeReport rr =
+      temporal_merge(ex.initial, ex.logs, MergeOrder::kRoundRobin);
+  EXPECT_GT(rr.conflicts, 0u);
+
+  // IceCube, in contrast, finds a conflict-free schedule.
+  Reconciler r(ex.initial, ex.logs);
+  const auto result = r.run();
+  ASSERT_TRUE(result.found_any());
+  EXPECT_TRUE(result.best().complete);
+}
+
+}  // namespace
+}  // namespace icecube

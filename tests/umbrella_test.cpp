@@ -1,0 +1,29 @@
+// Compilation test for the umbrella header: one translation unit including
+// the whole public API, exercising a cross-cutting smoke scenario.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "icecube.hpp"
+
+namespace icecube {
+namespace {
+
+TEST(Umbrella, EndToEndSmoke) {
+  Universe u;
+  const ObjectId c = u.add(std::make_unique<Counter>(10));
+  Site site("s", u);
+  ASSERT_TRUE(site.perform(std::make_shared<IncrementAction>(c, 5)));
+
+  Reconciler r(site.committed(), {site.log()});
+  const auto result = r.run();
+  ASSERT_TRUE(result.found_any());
+  EXPECT_TRUE(result.best().complete);
+  EXPECT_EQ(result.best().final_state.as<Counter>(c).value(), 15);
+
+  const auto encoded = encode_log(site.log());
+  EXPECT_TRUE(decode_log(encoded, ActionRegistry::with_builtins()).ok());
+}
+
+}  // namespace
+}  // namespace icecube

@@ -1,0 +1,193 @@
+// Tests for universe (replica state) serialization: round-trips for every
+// substrate, fingerprint equivalence, error handling, and the full
+// save/restore-a-site workflow.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "jigsaw/board.hpp"
+#include "objects/calendar.hpp"
+#include "objects/counter.hpp"
+#include "objects/file_system.hpp"
+#include "objects/line_file.hpp"
+#include "objects/rw_register.hpp"
+#include "objects/sysadmin.hpp"
+#include "objects/text.hpp"
+#include "replica/site.hpp"
+#include "replica/sync.hpp"
+#include "serialize/log_codec.hpp"
+#include "serialize/universe_codec.hpp"
+
+namespace icecube {
+namespace {
+
+void expect_round_trip(const Universe& universe) {
+  const ObjectRegistry registry = ObjectRegistry::with_builtins();
+  const auto encoded = encode_universe(universe, registry);
+  ASSERT_TRUE(encoded.has_value());
+  const DecodedUniverse decoded = decode_universe(*encoded, registry);
+  ASSERT_TRUE(decoded.ok()) << decoded.error << "\n" << *encoded;
+  EXPECT_EQ(decoded.universe->fingerprint(), universe.fingerprint())
+      << *encoded;
+}
+
+TEST(UniverseCodec, CounterAndRegister) {
+  Universe u;
+  (void)u.add(std::make_unique<Counter>(123));
+  (void)u.add(std::make_unique<RwRegister>(-45));
+  expect_round_trip(u);
+}
+
+TEST(UniverseCodec, FileSystemTree) {
+  Universe u;
+  auto fs = std::make_unique<FileSystem>();
+  ASSERT_TRUE(fs->mkdir("/projects"));
+  ASSERT_TRUE(fs->mkdir("/projects/ice cube"));
+  ASSERT_TRUE(fs->write("/projects/ice cube/notes", "line one | two"));
+  ASSERT_TRUE(fs->write("/empty", ""));
+  (void)u.add(std::move(fs));
+  expect_round_trip(u);
+}
+
+TEST(UniverseCodec, CalendarWithBookings) {
+  Universe u;
+  auto cal = std::make_unique<Calendar>("Anne Marie");
+  cal->book(9, "standup meeting");
+  cal->book(14, "1:1");
+  (void)u.add(std::move(cal));
+  expect_round_trip(u);
+}
+
+TEST(UniverseCodec, SysAdminState) {
+  Universe u;
+  auto os = std::make_unique<OsSystem>(5);
+  os->buy(1);
+  os->buy(2);
+  os->install_driver(2, 5);
+  (void)u.add(std::move(os));
+  (void)u.add(std::make_unique<SysBudget>(1300));
+  expect_round_trip(u);
+}
+
+TEST(UniverseCodec, JigsawBoardWithStrayPieces) {
+  Universe u;
+  auto board =
+      std::make_unique<jigsaw::Board>(4, 4, jigsaw::Board::OrderCase::kAdjacency);
+  board->place(0, board->home(0));
+  board->place(7, jigsaw::Cell{-1, 2});  // off-frame placement survives
+  (void)u.add(std::move(board));
+  expect_round_trip(u);
+
+  // Order case survives too (not part of the fingerprint).
+  const ObjectRegistry registry = ObjectRegistry::with_builtins();
+  const auto encoded = encode_universe(u, registry);
+  const auto decoded = decode_universe(*encoded, registry);
+  EXPECT_EQ(decoded.universe->as<jigsaw::Board>(ObjectId(0)).order_case(),
+            jigsaw::Board::OrderCase::kAdjacency);
+}
+
+TEST(UniverseCodec, TextBufferWithHistory) {
+  Universe u;
+  auto buf = std::make_unique<TextBuffer>("hello world");
+  ASSERT_TRUE(buf->apply(TextEdit::insert(1, 5, ", there")));
+  ASSERT_TRUE(buf->apply(TextEdit::remove(2, 0, 2)));
+  (void)u.add(std::move(buf));
+  expect_round_trip(u);
+
+  // The history must survive so later foreign edits still transform.
+  const ObjectRegistry registry = ObjectRegistry::with_builtins();
+  const auto decoded =
+      decode_universe(*encode_universe(u, registry), registry);
+  EXPECT_EQ(decoded.universe->as<TextBuffer>(ObjectId(0)).history().size(),
+            2u);
+}
+
+TEST(UniverseCodec, LineFileIncludingEmptyLines) {
+  Universe u;
+  (void)u.add(std::make_unique<LineFile>(
+      std::vector<std::string>{"first", "", "third | %"}));
+  expect_round_trip(u);
+}
+
+TEST(UniverseCodec, MixedUniverse) {
+  Universe u;
+  (void)u.add(std::make_unique<Counter>(7));
+  auto fs = std::make_unique<FileSystem>();
+  ASSERT_TRUE(fs->mkdir("/x"));
+  (void)u.add(std::move(fs));
+  (void)u.add(std::make_unique<Calendar>("C"));
+  (void)u.add(std::make_unique<jigsaw::Board>(2, 2));
+  expect_round_trip(u);
+}
+
+TEST(UniverseCodec, EmptyUniverse) {
+  expect_round_trip(Universe{});
+}
+
+TEST(UniverseCodec, UnknownObjectTypeFailsEncoding) {
+  class Exotic final : public SharedObject {
+   public:
+    std::unique_ptr<SharedObject> clone() const override {
+      return std::make_unique<Exotic>(*this);
+    }
+    Constraint order(const Action&, const Action&,
+                     LogRelation) const override {
+      return Constraint::kMaybe;
+    }
+    std::string describe() const override { return "exotic"; }
+  };
+  Universe u;
+  (void)u.add(std::make_unique<Exotic>());
+  const ObjectRegistry registry = ObjectRegistry::with_builtins();
+  EXPECT_FALSE(encode_universe(u, registry).has_value());
+}
+
+TEST(UniverseCodec, RejectsCorruptInput) {
+  const ObjectRegistry registry = ObjectRegistry::with_builtins();
+  EXPECT_FALSE(decode_universe("", registry).ok());
+  EXPECT_FALSE(decode_universe("wrong-header 1\n", registry).ok());
+  EXPECT_FALSE(
+      decode_universe("icecube-universe 1\nmystery 42\n", registry).ok());
+  EXPECT_FALSE(
+      decode_universe("icecube-universe 1\ncounter not-a-number\n", registry)
+          .ok());
+  EXPECT_FALSE(
+      decode_universe("icecube-universe 1\nfs d\n", registry).ok());
+}
+
+TEST(UniverseCodec, SiteSurvivesRestart) {
+  // The full persistence workflow: a site saves its committed state and
+  // pending log, "restarts", and the reconciliation proceeds as if it had
+  // never stopped.
+  Universe initial;
+  (void)initial.add(std::make_unique<Counter>(100));
+  const ObjectId c{0};
+
+  Site alice("alice", initial), bob("bob", initial);
+  ASSERT_TRUE(alice.perform(std::make_shared<IncrementAction>(c, 50)));
+  ASSERT_TRUE(bob.perform(std::make_shared<DecrementAction>(c, 30)));
+
+  // Save alice.
+  const ObjectRegistry objects = ObjectRegistry::with_builtins();
+  const ActionRegistry actions = ActionRegistry::with_builtins();
+  const std::string saved_state = *encode_universe(alice.committed(), objects);
+  const std::string saved_log = encode_log(alice.log());
+
+  // Restart alice from disk.
+  const auto restored_state = decode_universe(saved_state, objects);
+  ASSERT_TRUE(restored_state.ok());
+  Site alice2("alice", *restored_state.universe);
+  const auto restored_log = decode_log(saved_log, actions);
+  ASSERT_TRUE(restored_log.ok());
+  for (const auto& action : *restored_log.log) {
+    ASSERT_TRUE(alice2.perform(action));
+  }
+
+  const SyncResult result = synchronise({&alice2, &bob});
+  ASSERT_TRUE(result.adopted) << result.error;
+  EXPECT_EQ(alice2.tentative().as<Counter>(c).value(), 120);
+  EXPECT_TRUE(converged({&alice2, &bob}));
+}
+
+}  // namespace
+}  // namespace icecube

@@ -1,0 +1,11 @@
+// Command-line front-end; all logic lives in src/cli (testable).
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return icecube::cli::run(args, std::cout, std::cerr);
+}
