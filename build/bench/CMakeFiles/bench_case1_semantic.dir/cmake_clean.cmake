@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_case1_semantic.dir/bench_case1_semantic.cpp.o"
+  "CMakeFiles/bench_case1_semantic.dir/bench_case1_semantic.cpp.o.d"
+  "bench_case1_semantic"
+  "bench_case1_semantic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_case1_semantic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cases34_u3.dir/bench_cases34_u3.cpp.o"
+  "CMakeFiles/bench_cases34_u3.dir/bench_cases34_u3.cpp.o.d"
+  "bench_cases34_u3"
+  "bench_cases34_u3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cases34_u3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

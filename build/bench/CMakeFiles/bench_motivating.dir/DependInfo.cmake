@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_motivating.cpp" "bench/CMakeFiles/bench_motivating.dir/bench_motivating.cpp.o" "gcc" "bench/CMakeFiles/bench_motivating.dir/bench_motivating.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/icecube_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/objects/CMakeFiles/icecube_objects.dir/DependInfo.cmake"
+  "/root/repo/build/src/jigsaw/CMakeFiles/icecube_jigsaw.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/icecube_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/replica/CMakeFiles/icecube_replica.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/icecube_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/logclean/CMakeFiles/icecube_logclean.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

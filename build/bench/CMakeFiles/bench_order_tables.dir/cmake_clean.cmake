@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_order_tables.dir/bench_order_tables.cpp.o"
+  "CMakeFiles/bench_order_tables.dir/bench_order_tables.cpp.o.d"
+  "bench_order_tables"
+  "bench_order_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_order_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

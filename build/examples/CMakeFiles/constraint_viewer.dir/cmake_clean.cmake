@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constraint_viewer.dir/constraint_viewer.cpp.o"
+  "CMakeFiles/constraint_viewer.dir/constraint_viewer.cpp.o.d"
+  "constraint_viewer"
+  "constraint_viewer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constraint_viewer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_sync.dir/file_sync.cpp.o"
+  "CMakeFiles/file_sync.dir/file_sync.cpp.o.d"
+  "file_sync"
+  "file_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

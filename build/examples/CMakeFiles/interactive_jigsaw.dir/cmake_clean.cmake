@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interactive_jigsaw.dir/interactive_jigsaw.cpp.o"
+  "CMakeFiles/interactive_jigsaw.dir/interactive_jigsaw.cpp.o.d"
+  "interactive_jigsaw"
+  "interactive_jigsaw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interactive_jigsaw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jigsaw_demo.dir/jigsaw_demo.cpp.o"
+  "CMakeFiles/jigsaw_demo.dir/jigsaw_demo.cpp.o.d"
+  "jigsaw_demo"
+  "jigsaw_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jigsaw_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

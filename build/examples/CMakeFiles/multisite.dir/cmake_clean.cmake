@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multisite.dir/multisite.cpp.o"
+  "CMakeFiles/multisite.dir/multisite.cpp.o.d"
+  "multisite"
+  "multisite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multisite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

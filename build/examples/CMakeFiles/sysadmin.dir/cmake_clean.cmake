@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sysadmin.dir/sysadmin.cpp.o"
+  "CMakeFiles/sysadmin.dir/sysadmin.cpp.o.d"
+  "sysadmin"
+  "sysadmin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sysadmin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

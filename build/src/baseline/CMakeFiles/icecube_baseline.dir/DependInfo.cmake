@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/algebraic_sync.cpp" "src/baseline/CMakeFiles/icecube_baseline.dir/algebraic_sync.cpp.o" "gcc" "src/baseline/CMakeFiles/icecube_baseline.dir/algebraic_sync.cpp.o.d"
+  "/root/repo/src/baseline/cvs_merge.cpp" "src/baseline/CMakeFiles/icecube_baseline.dir/cvs_merge.cpp.o" "gcc" "src/baseline/CMakeFiles/icecube_baseline.dir/cvs_merge.cpp.o.d"
+  "/root/repo/src/baseline/greedy_insertion.cpp" "src/baseline/CMakeFiles/icecube_baseline.dir/greedy_insertion.cpp.o" "gcc" "src/baseline/CMakeFiles/icecube_baseline.dir/greedy_insertion.cpp.o.d"
+  "/root/repo/src/baseline/temporal_merge.cpp" "src/baseline/CMakeFiles/icecube_baseline.dir/temporal_merge.cpp.o" "gcc" "src/baseline/CMakeFiles/icecube_baseline.dir/temporal_merge.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/icecube_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/objects/CMakeFiles/icecube_objects.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

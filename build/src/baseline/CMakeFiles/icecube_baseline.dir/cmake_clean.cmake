@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icecube_baseline.dir/algebraic_sync.cpp.o"
+  "CMakeFiles/icecube_baseline.dir/algebraic_sync.cpp.o.d"
+  "CMakeFiles/icecube_baseline.dir/cvs_merge.cpp.o"
+  "CMakeFiles/icecube_baseline.dir/cvs_merge.cpp.o.d"
+  "CMakeFiles/icecube_baseline.dir/greedy_insertion.cpp.o"
+  "CMakeFiles/icecube_baseline.dir/greedy_insertion.cpp.o.d"
+  "CMakeFiles/icecube_baseline.dir/temporal_merge.cpp.o"
+  "CMakeFiles/icecube_baseline.dir/temporal_merge.cpp.o.d"
+  "libicecube_baseline.a"
+  "libicecube_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icecube_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icecube_cli.dir/cli.cpp.o"
+  "CMakeFiles/icecube_cli.dir/cli.cpp.o.d"
+  "libicecube_cli.a"
+  "libicecube_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icecube_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/conflict_report.cpp" "src/core/CMakeFiles/icecube_core.dir/conflict_report.cpp.o" "gcc" "src/core/CMakeFiles/icecube_core.dir/conflict_report.cpp.o.d"
+  "/root/repo/src/core/constraint_builder.cpp" "src/core/CMakeFiles/icecube_core.dir/constraint_builder.cpp.o" "gcc" "src/core/CMakeFiles/icecube_core.dir/constraint_builder.cpp.o.d"
+  "/root/repo/src/core/cutset.cpp" "src/core/CMakeFiles/icecube_core.dir/cutset.cpp.o" "gcc" "src/core/CMakeFiles/icecube_core.dir/cutset.cpp.o.d"
+  "/root/repo/src/core/cycles.cpp" "src/core/CMakeFiles/icecube_core.dir/cycles.cpp.o" "gcc" "src/core/CMakeFiles/icecube_core.dir/cycles.cpp.o.d"
+  "/root/repo/src/core/graphviz.cpp" "src/core/CMakeFiles/icecube_core.dir/graphviz.cpp.o" "gcc" "src/core/CMakeFiles/icecube_core.dir/graphviz.cpp.o.d"
+  "/root/repo/src/core/incremental.cpp" "src/core/CMakeFiles/icecube_core.dir/incremental.cpp.o" "gcc" "src/core/CMakeFiles/icecube_core.dir/incremental.cpp.o.d"
+  "/root/repo/src/core/reconciler.cpp" "src/core/CMakeFiles/icecube_core.dir/reconciler.cpp.o" "gcc" "src/core/CMakeFiles/icecube_core.dir/reconciler.cpp.o.d"
+  "/root/repo/src/core/relations.cpp" "src/core/CMakeFiles/icecube_core.dir/relations.cpp.o" "gcc" "src/core/CMakeFiles/icecube_core.dir/relations.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/core/CMakeFiles/icecube_core.dir/scheduler.cpp.o" "gcc" "src/core/CMakeFiles/icecube_core.dir/scheduler.cpp.o.d"
+  "/root/repo/src/core/selection.cpp" "src/core/CMakeFiles/icecube_core.dir/selection.cpp.o" "gcc" "src/core/CMakeFiles/icecube_core.dir/selection.cpp.o.d"
+  "/root/repo/src/core/simulator.cpp" "src/core/CMakeFiles/icecube_core.dir/simulator.cpp.o" "gcc" "src/core/CMakeFiles/icecube_core.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icecube_core.dir/conflict_report.cpp.o"
+  "CMakeFiles/icecube_core.dir/conflict_report.cpp.o.d"
+  "CMakeFiles/icecube_core.dir/constraint_builder.cpp.o"
+  "CMakeFiles/icecube_core.dir/constraint_builder.cpp.o.d"
+  "CMakeFiles/icecube_core.dir/cutset.cpp.o"
+  "CMakeFiles/icecube_core.dir/cutset.cpp.o.d"
+  "CMakeFiles/icecube_core.dir/cycles.cpp.o"
+  "CMakeFiles/icecube_core.dir/cycles.cpp.o.d"
+  "CMakeFiles/icecube_core.dir/graphviz.cpp.o"
+  "CMakeFiles/icecube_core.dir/graphviz.cpp.o.d"
+  "CMakeFiles/icecube_core.dir/incremental.cpp.o"
+  "CMakeFiles/icecube_core.dir/incremental.cpp.o.d"
+  "CMakeFiles/icecube_core.dir/reconciler.cpp.o"
+  "CMakeFiles/icecube_core.dir/reconciler.cpp.o.d"
+  "CMakeFiles/icecube_core.dir/relations.cpp.o"
+  "CMakeFiles/icecube_core.dir/relations.cpp.o.d"
+  "CMakeFiles/icecube_core.dir/scheduler.cpp.o"
+  "CMakeFiles/icecube_core.dir/scheduler.cpp.o.d"
+  "CMakeFiles/icecube_core.dir/selection.cpp.o"
+  "CMakeFiles/icecube_core.dir/selection.cpp.o.d"
+  "CMakeFiles/icecube_core.dir/simulator.cpp.o"
+  "CMakeFiles/icecube_core.dir/simulator.cpp.o.d"
+  "libicecube_core.a"
+  "libicecube_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icecube_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

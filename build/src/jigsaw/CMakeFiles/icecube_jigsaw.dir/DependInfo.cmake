@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jigsaw/actions.cpp" "src/jigsaw/CMakeFiles/icecube_jigsaw.dir/actions.cpp.o" "gcc" "src/jigsaw/CMakeFiles/icecube_jigsaw.dir/actions.cpp.o.d"
+  "/root/repo/src/jigsaw/board.cpp" "src/jigsaw/CMakeFiles/icecube_jigsaw.dir/board.cpp.o" "gcc" "src/jigsaw/CMakeFiles/icecube_jigsaw.dir/board.cpp.o.d"
+  "/root/repo/src/jigsaw/experiment.cpp" "src/jigsaw/CMakeFiles/icecube_jigsaw.dir/experiment.cpp.o" "gcc" "src/jigsaw/CMakeFiles/icecube_jigsaw.dir/experiment.cpp.o.d"
+  "/root/repo/src/jigsaw/order.cpp" "src/jigsaw/CMakeFiles/icecube_jigsaw.dir/order.cpp.o" "gcc" "src/jigsaw/CMakeFiles/icecube_jigsaw.dir/order.cpp.o.d"
+  "/root/repo/src/jigsaw/scenario.cpp" "src/jigsaw/CMakeFiles/icecube_jigsaw.dir/scenario.cpp.o" "gcc" "src/jigsaw/CMakeFiles/icecube_jigsaw.dir/scenario.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/icecube_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icecube_jigsaw.dir/actions.cpp.o"
+  "CMakeFiles/icecube_jigsaw.dir/actions.cpp.o.d"
+  "CMakeFiles/icecube_jigsaw.dir/board.cpp.o"
+  "CMakeFiles/icecube_jigsaw.dir/board.cpp.o.d"
+  "CMakeFiles/icecube_jigsaw.dir/experiment.cpp.o"
+  "CMakeFiles/icecube_jigsaw.dir/experiment.cpp.o.d"
+  "CMakeFiles/icecube_jigsaw.dir/order.cpp.o"
+  "CMakeFiles/icecube_jigsaw.dir/order.cpp.o.d"
+  "CMakeFiles/icecube_jigsaw.dir/scenario.cpp.o"
+  "CMakeFiles/icecube_jigsaw.dir/scenario.cpp.o.d"
+  "libicecube_jigsaw.a"
+  "libicecube_jigsaw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icecube_jigsaw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icecube_logclean.dir/cleaner.cpp.o"
+  "CMakeFiles/icecube_logclean.dir/cleaner.cpp.o.d"
+  "libicecube_logclean.a"
+  "libicecube_logclean.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icecube_logclean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

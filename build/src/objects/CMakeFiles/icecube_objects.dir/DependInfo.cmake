@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/objects/calendar.cpp" "src/objects/CMakeFiles/icecube_objects.dir/calendar.cpp.o" "gcc" "src/objects/CMakeFiles/icecube_objects.dir/calendar.cpp.o.d"
+  "/root/repo/src/objects/counter.cpp" "src/objects/CMakeFiles/icecube_objects.dir/counter.cpp.o" "gcc" "src/objects/CMakeFiles/icecube_objects.dir/counter.cpp.o.d"
+  "/root/repo/src/objects/file_system.cpp" "src/objects/CMakeFiles/icecube_objects.dir/file_system.cpp.o" "gcc" "src/objects/CMakeFiles/icecube_objects.dir/file_system.cpp.o.d"
+  "/root/repo/src/objects/line_file.cpp" "src/objects/CMakeFiles/icecube_objects.dir/line_file.cpp.o" "gcc" "src/objects/CMakeFiles/icecube_objects.dir/line_file.cpp.o.d"
+  "/root/repo/src/objects/rw_register.cpp" "src/objects/CMakeFiles/icecube_objects.dir/rw_register.cpp.o" "gcc" "src/objects/CMakeFiles/icecube_objects.dir/rw_register.cpp.o.d"
+  "/root/repo/src/objects/sysadmin.cpp" "src/objects/CMakeFiles/icecube_objects.dir/sysadmin.cpp.o" "gcc" "src/objects/CMakeFiles/icecube_objects.dir/sysadmin.cpp.o.d"
+  "/root/repo/src/objects/text.cpp" "src/objects/CMakeFiles/icecube_objects.dir/text.cpp.o" "gcc" "src/objects/CMakeFiles/icecube_objects.dir/text.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/icecube_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

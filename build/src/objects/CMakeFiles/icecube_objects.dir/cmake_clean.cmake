@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icecube_objects.dir/calendar.cpp.o"
+  "CMakeFiles/icecube_objects.dir/calendar.cpp.o.d"
+  "CMakeFiles/icecube_objects.dir/counter.cpp.o"
+  "CMakeFiles/icecube_objects.dir/counter.cpp.o.d"
+  "CMakeFiles/icecube_objects.dir/file_system.cpp.o"
+  "CMakeFiles/icecube_objects.dir/file_system.cpp.o.d"
+  "CMakeFiles/icecube_objects.dir/line_file.cpp.o"
+  "CMakeFiles/icecube_objects.dir/line_file.cpp.o.d"
+  "CMakeFiles/icecube_objects.dir/rw_register.cpp.o"
+  "CMakeFiles/icecube_objects.dir/rw_register.cpp.o.d"
+  "CMakeFiles/icecube_objects.dir/sysadmin.cpp.o"
+  "CMakeFiles/icecube_objects.dir/sysadmin.cpp.o.d"
+  "CMakeFiles/icecube_objects.dir/text.cpp.o"
+  "CMakeFiles/icecube_objects.dir/text.cpp.o.d"
+  "libicecube_objects.a"
+  "libicecube_objects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icecube_objects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libicecube_objects.a"
+)

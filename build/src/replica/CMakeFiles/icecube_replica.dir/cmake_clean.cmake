@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icecube_replica.dir/sync.cpp.o"
+  "CMakeFiles/icecube_replica.dir/sync.cpp.o.d"
+  "libicecube_replica.a"
+  "libicecube_replica.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icecube_replica.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

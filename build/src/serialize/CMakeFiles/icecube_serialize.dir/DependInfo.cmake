@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/serialize/log_codec.cpp" "src/serialize/CMakeFiles/icecube_serialize.dir/log_codec.cpp.o" "gcc" "src/serialize/CMakeFiles/icecube_serialize.dir/log_codec.cpp.o.d"
+  "/root/repo/src/serialize/universe_codec.cpp" "src/serialize/CMakeFiles/icecube_serialize.dir/universe_codec.cpp.o" "gcc" "src/serialize/CMakeFiles/icecube_serialize.dir/universe_codec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/icecube_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/objects/CMakeFiles/icecube_objects.dir/DependInfo.cmake"
+  "/root/repo/build/src/jigsaw/CMakeFiles/icecube_jigsaw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icecube_serialize.dir/log_codec.cpp.o"
+  "CMakeFiles/icecube_serialize.dir/log_codec.cpp.o.d"
+  "CMakeFiles/icecube_serialize.dir/universe_codec.cpp.o"
+  "CMakeFiles/icecube_serialize.dir/universe_codec.cpp.o.d"
+  "libicecube_serialize.a"
+  "libicecube_serialize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icecube_serialize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icecube_workload.dir/generators.cpp.o"
+  "CMakeFiles/icecube_workload.dir/generators.cpp.o.d"
+  "libicecube_workload.a"
+  "libicecube_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icecube_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_conflict_report.dir/conflict_report_test.cpp.o"
+  "CMakeFiles/test_conflict_report.dir/conflict_report_test.cpp.o.d"
+  "test_conflict_report"
+  "test_conflict_report.pdb"
+  "test_conflict_report[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_conflict_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_cutsets.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_filesystem.dir/filesystem_test.cpp.o"
+  "CMakeFiles/test_filesystem.dir/filesystem_test.cpp.o.d"
+  "test_filesystem"
+  "test_filesystem.pdb"
+  "test_filesystem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_filesystem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jigsaw.dir/jigsaw_test.cpp.o"
+  "CMakeFiles/test_jigsaw.dir/jigsaw_test.cpp.o.d"
+  "test_jigsaw"
+  "test_jigsaw.pdb"
+  "test_jigsaw[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jigsaw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jigsaw_reconcile.dir/jigsaw_reconcile_test.cpp.o"
+  "CMakeFiles/test_jigsaw_reconcile.dir/jigsaw_reconcile_test.cpp.o.d"
+  "test_jigsaw_reconcile"
+  "test_jigsaw_reconcile.pdb"
+  "test_jigsaw_reconcile[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jigsaw_reconcile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jigsaw_sweep.dir/jigsaw_sweep_test.cpp.o"
+  "CMakeFiles/test_jigsaw_sweep.dir/jigsaw_sweep_test.cpp.o.d"
+  "test_jigsaw_sweep"
+  "test_jigsaw_sweep.pdb"
+  "test_jigsaw_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jigsaw_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_line_file.dir/line_file_test.cpp.o"
+  "CMakeFiles/test_line_file.dir/line_file_test.cpp.o.d"
+  "test_line_file"
+  "test_line_file.pdb"
+  "test_line_file[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_line_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

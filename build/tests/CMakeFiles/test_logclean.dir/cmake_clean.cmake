@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_logclean.dir/logclean_test.cpp.o"
+  "CMakeFiles/test_logclean.dir/logclean_test.cpp.o.d"
+  "test_logclean"
+  "test_logclean.pdb"
+  "test_logclean[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_logclean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_objects.dir/objects_test.cpp.o"
+  "CMakeFiles/test_objects.dir/objects_test.cpp.o.d"
+  "test_objects"
+  "test_objects.pdb"
+  "test_objects[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_objects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reconciler.dir/reconciler_test.cpp.o"
+  "CMakeFiles/test_reconciler.dir/reconciler_test.cpp.o.d"
+  "test_reconciler"
+  "test_reconciler.pdb"
+  "test_reconciler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reconciler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

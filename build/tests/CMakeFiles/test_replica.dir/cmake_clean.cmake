@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_replica.dir/replica_test.cpp.o"
+  "CMakeFiles/test_replica.dir/replica_test.cpp.o.d"
+  "test_replica"
+  "test_replica.pdb"
+  "test_replica[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_replica.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/simulator_test.cpp" "tests/CMakeFiles/test_simulator.dir/simulator_test.cpp.o" "gcc" "tests/CMakeFiles/test_simulator.dir/simulator_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/icecube_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/objects/CMakeFiles/icecube_objects.dir/DependInfo.cmake"
+  "/root/repo/build/src/jigsaw/CMakeFiles/icecube_jigsaw.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/icecube_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/replica/CMakeFiles/icecube_replica.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/icecube_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/serialize/CMakeFiles/icecube_serialize.dir/DependInfo.cmake"
+  "/root/repo/build/src/cli/CMakeFiles/icecube_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/logclean/CMakeFiles/icecube_logclean.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

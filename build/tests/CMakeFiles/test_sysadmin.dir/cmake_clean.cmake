@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sysadmin.dir/sysadmin_test.cpp.o"
+  "CMakeFiles/test_sysadmin.dir/sysadmin_test.cpp.o.d"
+  "test_sysadmin"
+  "test_sysadmin.pdb"
+  "test_sysadmin[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sysadmin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_universe_codec.dir/universe_codec_test.cpp.o"
+  "CMakeFiles/test_universe_codec.dir/universe_codec_test.cpp.o.d"
+  "test_universe_codec"
+  "test_universe_codec.pdb"
+  "test_universe_codec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_universe_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/icecube_tool.cpp" "tools/CMakeFiles/icecube_tool.dir/icecube_tool.cpp.o" "gcc" "tools/CMakeFiles/icecube_tool.dir/icecube_tool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cli/CMakeFiles/icecube_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/serialize/CMakeFiles/icecube_serialize.dir/DependInfo.cmake"
+  "/root/repo/build/src/objects/CMakeFiles/icecube_objects.dir/DependInfo.cmake"
+  "/root/repo/build/src/jigsaw/CMakeFiles/icecube_jigsaw.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/icecube_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

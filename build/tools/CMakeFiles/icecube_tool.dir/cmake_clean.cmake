@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icecube_tool.dir/icecube_tool.cpp.o"
+  "CMakeFiles/icecube_tool.dir/icecube_tool.cpp.o.d"
+  "icecube_tool"
+  "icecube_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icecube_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
