@@ -67,6 +67,51 @@ void proportionality_table() {
   }
 }
 
+void degraded_mode_table() {
+  // Deadline-bounded degradation: when the budget dies before any complete
+  // schedule is found, the reconciler answers with the greedy-insertion
+  // fallback instead of nothing. This prices that answer: the fallback's
+  // latency against the full search it replaces.
+  const Problem p = game(true);
+  JigsawPolicy policy(p.board_id);
+  std::printf("\n%-34s %12s %12s %10s %9s\n", "degraded mode", "schedules",
+              "time(s)", "degraded", "dropped");
+  for (const bool exhausted : {false, true}) {
+    auto opts =
+        bench::options(Heuristic::kAll, FailureMode::kAbortBranch, 100000);
+    opts.record_partial_outcomes = false;
+    if (exhausted) opts.limits.max_steps = 1;  // budget gone: pure fallback
+    Reconciler r(p.initial, p.logs, opts, &policy);
+    const ReconcileResult result = r.run();
+    std::printf("%-34s %12llu %12.4f %10s %9zu\n",
+                exhausted ? "greedy fallback (budget=1 step)"
+                          : "full search (cap=100000)",
+                static_cast<unsigned long long>(
+                    result.stats.schedules_explored()),
+                result.stats.elapsed_seconds,
+                result.degraded ? "yes" : "no",
+                result.degraded_dropped.size());
+  }
+}
+
+void degraded_fallback(benchmark::State& state) {
+  // Cost of a budget-exhausted run: constraint setup plus one greedy
+  // insertion pass — the floor a `--deadline` caller pays when the search
+  // contributes nothing.
+  const Problem p = game(true);
+  JigsawPolicy policy(p.board_id);
+  auto opts =
+      bench::options(Heuristic::kAll, FailureMode::kAbortBranch, 100000);
+  opts.record_partial_outcomes = false;
+  opts.limits.max_steps = 1;
+  for (auto _ : state) {
+    Reconciler r(p.initial, p.logs, opts, &policy);
+    const ReconcileResult result = r.run();
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(degraded_fallback)->Unit(benchmark::kMillisecond);
+
 void search_10k(benchmark::State& state) {
   const bool constrained = state.range(0) != 0;
   const Problem p = game(constrained);
@@ -99,6 +144,7 @@ BENCHMARK(constraint_setup)->Unit(benchmark::kMicrosecond);
 int main(int argc, char** argv) {
   std::printf("=== E5: overhead of static constraints ===\n\n");
   proportionality_table();
+  degraded_mode_table();
   std::printf(
       "\nShape: time is proportional to the number of simulated schedules in\n"
       "both modes (us/schedule roughly constant down each column), matching\n"

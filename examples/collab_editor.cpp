@@ -38,7 +38,7 @@ int main() {
 
   const SyncResult result = synchronise({&alice, &bob});
   if (!result.adopted) {
-    std::printf("sync failed: %s\n", result.error.c_str());
+    std::printf("sync failed: %s\n", result.error.message().c_str());
     return 1;
   }
   std::printf("merged:        \"%s\"\n",

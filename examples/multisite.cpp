@@ -61,7 +61,7 @@ int main(int argc, char** argv) {
     opts.failure_mode = FailureMode::kSkipAction;
     const SyncResult result = synchronise(group, opts);
     if (!result.adopted) {
-      std::printf("  sync failed: %s\n", result.error.c_str());
+      std::printf("  sync failed: %s\n", result.error.message().c_str());
       return 1;
     }
     std::printf(

@@ -1,16 +1,19 @@
 #include "cli/cli.hpp"
 
+#include <cstdint>
 #include <fstream>
 #include <memory>
 #include <optional>
 #include <ostream>
 #include <sstream>
+#include <stdexcept>
 
 #include "core/graphviz.hpp"
 #include "core/reconciler.hpp"
 #include "objects/counter.hpp"
 #include "objects/file_system.hpp"
 #include "objects/sysadmin.hpp"
+#include "serialize/framing.hpp"
 #include "serialize/log_codec.hpp"
 #include "serialize/universe_codec.hpp"
 
@@ -46,8 +49,8 @@ int usage(std::ostream& err) {
          "  icecube demo <bank|sysadmin|files>\n"
          "  icecube reconcile <universe> <log>... [--heuristic "
          "all|safe|strict]\n"
-         "           [--skip-failed] [--max-schedules N] [--save FILE] "
-         "[--dot]\n"
+         "           [--skip-failed] [--max-schedules N] [--deadline S]\n"
+         "           [--save FILE] [--dot]\n"
          "  icecube show <universe-file|log-file>\n";
   return 2;
 }
@@ -133,7 +136,24 @@ int cmd_reconcile(const std::vector<std::string>& args, std::ostream& out,
       options.failure_mode = FailureMode::kSkipAction;
     } else if (arg == "--max-schedules") {
       if (++i >= args.size()) return usage(err);
-      options.limits.max_schedules = std::stoull(args[i]);
+      const auto cap = serialize_detail::parse_number<std::uint64_t>(args[i]);
+      if (!cap) {
+        err << "error: --max-schedules expects a count, got '" << args[i]
+            << "'\n";
+        return 2;
+      }
+      options.limits.max_schedules = *cap;
+    } else if (arg == "--deadline") {
+      if (++i >= args.size()) return usage(err);
+      try {
+        std::size_t consumed = 0;
+        options.limits.max_seconds = std::stod(args[i], &consumed);
+        if (consumed != args[i].size()) throw std::invalid_argument(args[i]);
+      } catch (const std::exception&) {
+        err << "error: --deadline expects seconds, got '" << args[i]
+            << "'\n";
+        return 2;
+      }
     } else if (arg == "--save") {
       if (++i >= args.size()) return usage(err);
       save_path = args[i];
@@ -167,6 +187,19 @@ int cmd_reconcile(const std::vector<std::string>& args, std::ostream& out,
       err << "error: " << files[i] << ": " << decoded.error << '\n';
       return 1;
     }
+    // A well-formed log can still target objects this universe does not
+    // have; the constraint builder must never see such an action.
+    for (const auto& action : *decoded.log) {
+      for (ObjectId target : action->targets()) {
+        if (target.index() >= universe.universe->size()) {
+          err << "error: " << files[i] << ": action '"
+              << action->describe() << "' targets object "
+              << target.value() << ", but the universe has only "
+              << universe.universe->size() << " object(s)\n";
+          return 1;
+        }
+      }
+    }
     logs.push_back(std::move(*decoded.log));
   }
 
@@ -182,14 +215,21 @@ int cmd_reconcile(const std::vector<std::string>& args, std::ostream& out,
     return 1;
   }
   const Outcome& best = result.best();
-  out << "schedule (" << (best.complete ? "complete" : "partial") << ", "
-      << best.schedule.size() << " executed, " << best.skipped.size()
+  out << "schedule ("
+      << (best.degraded ? "degraded"
+                        : best.complete ? "complete" : "partial")
+      << ", " << best.schedule.size() << " executed, " << best.skipped.size()
       << " dropped, " << best.cutset.size() << " cut):\n"
       << reconciler.describe_schedule(best.schedule);
   out << "final state:\n" << best.final_state.describe();
   out << "search: " << result.stats.schedules_explored()
       << " schedules explored in " << result.stats.elapsed_seconds << "s"
       << (result.stats.hit_limit ? " (limit hit)" : "") << '\n';
+  if (result.degraded) {
+    out << "degraded: budget exhausted with no complete schedule; greedy "
+           "fallback ran, "
+        << result.degraded_dropped.size() << " action(s) dropped\n";
+  }
 
   if (!save_path.empty()) {
     const auto encoded = encode_universe(best.final_state,

@@ -11,6 +11,10 @@
 //         --skip-failed                   drop failing actions (default:
 //                                         abort the branch)
 //         --max-schedules N               search cap (default 100000)
+//         --deadline SECONDS              wall-clock budget; if it expires
+//                                         with no complete schedule the
+//                                         result degrades to the greedy
+//                                         fallback (marked "degraded")
 //         --save <file>                   write the merged universe
 //         --dot                           print the relations graph instead
 //                                         of searching

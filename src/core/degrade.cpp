@@ -1,0 +1,65 @@
+#include "core/degrade.hpp"
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace icecube {
+
+namespace {
+
+/// Replays `schedule` (indices into `records`) from `initial`. Returns the
+/// final state, or nullopt if any action fails.
+std::optional<Universe> replay(const Universe& initial,
+                               const std::vector<ActionRecord>& records,
+                               const std::vector<std::size_t>& schedule) {
+  Universe state = initial;
+  for (std::size_t idx : schedule) {
+    const Action& action = *records[idx].action;
+    if (!action.precondition(state)) return std::nullopt;
+    if (!action.execute(state)) return std::nullopt;
+  }
+  return state;
+}
+
+}  // namespace
+
+Outcome greedy_degraded_outcome(const Universe& initial,
+                                const std::vector<ActionRecord>& records) {
+  std::vector<std::size_t> schedule;
+  Outcome outcome;
+  outcome.degraded = true;
+
+  for (std::size_t idx = 0; idx < records.size(); ++idx) {
+    // Respect log order: never insert before an already-placed action of
+    // the same log (flatten order guarantees that action has a lower idx).
+    std::size_t floor = 0;
+    for (std::size_t pos = 0; pos < schedule.size(); ++pos) {
+      if (records[schedule[pos]].same_log(records[idx])) floor = pos + 1;
+    }
+
+    bool placed = false;
+    for (std::size_t pos = floor; pos <= schedule.size(); ++pos) {
+      std::vector<std::size_t> candidate = schedule;
+      candidate.insert(candidate.begin() + static_cast<std::ptrdiff_t>(pos),
+                       idx);
+      if (replay(initial, records, candidate)) {
+        schedule = std::move(candidate);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) outcome.skipped.push_back(ActionId(idx));
+  }
+
+  outcome.schedule.reserve(schedule.size());
+  for (std::size_t idx : schedule) outcome.schedule.push_back(ActionId(idx));
+  auto final_state = replay(initial, records, schedule);
+  outcome.final_state = final_state ? std::move(*final_state) : initial;
+  // Complete in the engine's sense only if nothing was dropped; the
+  // degraded flag still marks it as a fallback, not a search result.
+  outcome.complete = outcome.skipped.empty();
+  return outcome;
+}
+
+}  // namespace icecube

@@ -1,0 +1,29 @@
+// Budget-exhaustion fallback: anytime degradation to greedy insertion.
+//
+// The paper caps runs at 100,000 simulations; a capped search can exhaust
+// its budget with nothing but dead-end prefixes in hand. Following the
+// anytime-reconciliation reading of CLP-vs-local-search comparisons, the
+// engine then degrades to the cheap baseline rather than returning nothing:
+// a greedy insertion pass (the §5 Phatak & Badrinath shape, mirrored from
+// src/baseline/greedy_insertion, re-implemented here because core cannot
+// link against baseline) builds a best-effort schedule over the surviving
+// action set. The result is a *valid* schedule — it replays from the
+// initial state — but carries no optimality claim and is marked
+// `Outcome::degraded`.
+#pragma once
+
+#include "core/log.hpp"
+#include "core/outcome.hpp"
+#include "core/universe.hpp"
+
+namespace icecube {
+
+/// Builds a best-effort outcome by greedy insertion: actions are taken in
+/// flatten order and inserted at the first position (respecting their log's
+/// internal order) where the whole schedule still replays; actions with no
+/// working position are reported in `skipped`. The returned outcome has
+/// `degraded = true`, `complete = false`, and a replayed `final_state`.
+[[nodiscard]] Outcome greedy_degraded_outcome(
+    const Universe& initial, const std::vector<ActionRecord>& records);
+
+}  // namespace icecube

@@ -81,6 +81,13 @@ struct ReconcilerOptions {
   /// Stop the whole search as soon as the first complete schedule is found.
   bool stop_at_first_complete = false;
 
+  /// Anytime degradation: when `limits` exhaust without any complete
+  /// schedule, fall back to a greedy-insertion pass over the action set and
+  /// offer its (valid, non-optimal) schedule alongside whatever partial
+  /// outcomes the search retained. The reconcile result is then marked
+  /// `degraded`. See core/degrade.hpp.
+  bool degrade_on_exhaustion = true;
+
   /// Static-equivalence pruning (§2: "recognises that other solutions are
   /// statically equivalent and do not need to be evaluated"). Schedules that
   /// differ only by transpositions of adjacent fully-commuting actions

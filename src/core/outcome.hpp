@@ -27,6 +27,10 @@ struct Outcome {
   bool complete = false;
   /// Cost assigned by the selection stage; lower is better.
   double cost = 0.0;
+  /// True iff this outcome was produced by the budget-exhaustion fallback
+  /// (greedy insertion) rather than the search — valid, but with no
+  /// optimality claim. See core/degrade.hpp.
+  bool degraded = false;
 };
 
 /// Why a dynamic constraint failed.

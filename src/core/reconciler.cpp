@@ -1,7 +1,9 @@
 #include "core/reconciler.hpp"
 
+#include <algorithm>
 #include <sstream>
 
+#include "core/degrade.hpp"
 #include "core/selection.hpp"
 #include "core/simulator.hpp"
 #include "util/timer.hpp"
@@ -49,6 +51,21 @@ ReconcileResult Reconciler::run() {
     Simulator simulator(records_, *active, options_, *policy_, selection,
                         result.stats, clock);
     if (!simulator.run(cutset, initial_)) break;
+  }
+
+  // Graceful degradation (anytime behaviour): a budget-exhausted search
+  // with no complete schedule still owes the caller a valid result. The
+  // greedy fallback always terminates and is offered through the same
+  // selection, so a better partial search result still wins on cost.
+  const bool any_complete =
+      std::any_of(selection.outcomes().begin(), selection.outcomes().end(),
+                  [](const Outcome& o) { return o.complete; });
+  if (options_.degrade_on_exhaustion && result.stats.hit_limit &&
+      !any_complete && !records_.empty()) {
+    Outcome fallback = greedy_degraded_outcome(initial_, records_);
+    result.degraded = true;
+    result.degraded_dropped = fallback.skipped;
+    (void)selection.offer(std::move(fallback));
   }
 
   result.stats.elapsed_seconds = clock.seconds();

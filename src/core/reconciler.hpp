@@ -30,6 +30,13 @@ struct ReconcileResult {
   SearchStats stats;
   /// The proper cutsets that were searched (usually just the empty one).
   std::vector<Cutset> cutsets;
+  /// True iff the search exhausted its limits with no complete schedule and
+  /// the greedy fallback ran (ReconcilerOptions::degrade_on_exhaustion).
+  /// The fallback's own outcome carries `Outcome::degraded`.
+  bool degraded = false;
+  /// Actions the degraded fallback could not place anywhere (empty unless
+  /// `degraded`). These are what graceful degradation dropped.
+  std::vector<ActionId> degraded_dropped;
 
   [[nodiscard]] const Outcome& best() const { return outcomes.front(); }
   [[nodiscard]] bool found_any() const { return !outcomes.empty(); }

@@ -1,0 +1,95 @@
+#include "fault/fault_plan.hpp"
+
+#include "util/rng.hpp"
+
+namespace icecube {
+
+namespace {
+
+/// FNV-1a over the key material; folded with the plan seed through
+/// SplitMix64 so distinct seeds give unrelated decision streams.
+std::uint64_t fnv1a(std::uint64_t h, std::string_view s) {
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFFu;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t FaultPlan::key(FaultPoint point, std::string_view subject,
+                             std::size_t round, std::uint64_t salt) const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  h = fnv1a(h, static_cast<std::uint64_t>(point));
+  h = fnv1a(h, subject);
+  h = fnv1a(h, static_cast<std::uint64_t>(round));
+  h = fnv1a(h, salt);
+  std::uint64_t mix = seed_ ^ h;
+  return splitmix64(mix);
+}
+
+bool FaultPlan::roll(double p, FaultPoint point, std::string_view subject,
+                     std::size_t round, std::uint64_t salt) const {
+  if (p <= 0.0) return false;
+  Rng rng(key(point, subject, round, salt));
+  return rng.chance(p);
+}
+
+bool FaultPlan::site_down(std::string_view site, std::size_t round) {
+  if (!roll(spec_.site_down, FaultPoint::kSiteCrash, site, round, 1)) {
+    return false;
+  }
+  injected_.push_back(
+      {FaultPoint::kSiteCrash, "drop", std::string(site), round});
+  return true;
+}
+
+bool FaultPlan::delivery_fails(std::string_view payload_id,
+                               std::size_t round) {
+  if (!roll(spec_.lose, FaultPoint::kDelivery, payload_id, round, 2)) {
+    return false;
+  }
+  injected_.push_back(
+      {FaultPoint::kDelivery, "lose", std::string(payload_id), round});
+  return true;
+}
+
+std::string FaultPlan::ship(FaultPoint point, std::string_view subject,
+                            std::size_t round, std::string payload) {
+  if (payload.empty()) return payload;
+
+  if (roll(spec_.truncate, point, subject, round, 3)) {
+    Rng rng(key(point, subject, round, 4));
+    // Cut to a strict prefix (possibly empty) — always shorter.
+    payload.resize(rng.below(payload.size()));
+    injected_.push_back({point, "truncate", std::string(subject), round});
+    return payload;
+  }
+
+  if (roll(spec_.corrupt, point, subject, round, 5)) {
+    Rng rng(key(point, subject, round, 6));
+    const std::size_t bound =
+        spec_.max_corrupt_bytes == 0 ? 1 : spec_.max_corrupt_bytes;
+    const std::size_t flips = 1 + rng.below(bound);
+    for (std::size_t i = 0; i < flips; ++i) {
+      const std::size_t pos = rng.below(payload.size());
+      // XOR with a nonzero mask: the byte is guaranteed to change.
+      const auto mask = static_cast<unsigned char>(1 + rng.below(255));
+      payload[pos] = static_cast<char>(
+          static_cast<unsigned char>(payload[pos]) ^ mask);
+    }
+    injected_.push_back({point, "corrupt", std::string(subject), round});
+  }
+  return payload;
+}
+
+}  // namespace icecube

@@ -1,0 +1,113 @@
+// Deterministic, seed-driven fault injection for distributed-sync tests.
+//
+// Reconciliation is distributed in practice: logs are shipped between
+// sites, sites crash mid-round, deliveries are lost. Reproducing those
+// failures in tests requires *determinism* — a failing seed must replay the
+// identical scenario. A `FaultPlan` is a pure function of (seed, injection
+// point, subject, round): every decision is derived from a keyed hash, so
+// the answer does not depend on the order in which callers ask, and an
+// entire multi-round synchronisation is reproducible from one integer.
+//
+// Injection points:
+//   - `site_down`        — the site is unreachable this round (crash model)
+//   - `delivery_fails`   — a shipped payload is lost outright
+//   - `ship`             — a payload arrives, possibly corrupted/truncated
+//
+// Every injected fault is recorded (`injected()`), so tests can assert that
+// the codec detected exactly the payloads the plan damaged.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace icecube {
+
+/// Where in the sync protocol a fault fires.
+enum class FaultPoint : std::uint8_t {
+  kShipLog,       ///< log payload in transit to the reconciler
+  kShipUniverse,  ///< state-transfer payload in transit
+  kDelivery,      ///< payload delivery (loss, not damage)
+  kSiteCrash,     ///< site unavailable for the round
+};
+
+[[nodiscard]] constexpr std::string_view to_string(FaultPoint point) {
+  switch (point) {
+    case FaultPoint::kShipLog:
+      return "ship-log";
+    case FaultPoint::kShipUniverse:
+      return "ship-universe";
+    case FaultPoint::kDelivery:
+      return "delivery";
+    case FaultPoint::kSiteCrash:
+      return "site-crash";
+  }
+  return "?";
+}
+
+/// Per-scenario fault probabilities. All default to 0 (a perfect network).
+struct FaultSpec {
+  double corrupt = 0.0;   ///< P(shipped payload has bytes flipped)
+  double truncate = 0.0;  ///< P(shipped payload is cut short)
+  double site_down = 0.0; ///< P(site unreachable in a given round)
+  double lose = 0.0;      ///< P(delivery fails outright)
+  /// Upper bound on flipped bytes per corruption (>= 1).
+  std::size_t max_corrupt_bytes = 4;
+};
+
+/// One fault the plan actually injected, for test introspection.
+struct InjectedFault {
+  FaultPoint point;
+  std::string kind;     ///< "corrupt" | "truncate" | "drop" | "lose"
+  std::string subject;  ///< site or payload name
+  std::size_t round = 0;
+};
+
+/// Deterministic fault oracle; see file comment.
+class FaultPlan {
+ public:
+  /// A plan that never injects anything (useful as a default).
+  FaultPlan() = default;
+  FaultPlan(std::uint64_t seed, FaultSpec spec) : seed_(seed), spec_(spec) {}
+
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+  [[nodiscard]] const FaultSpec& spec() const { return spec_; }
+
+  /// True iff `site` is unreachable in `round`. Records a "drop" fault.
+  [[nodiscard]] bool site_down(std::string_view site, std::size_t round);
+
+  /// True iff the delivery of `payload_id` fails in `round` ("lose").
+  [[nodiscard]] bool delivery_fails(std::string_view payload_id,
+                                    std::size_t round);
+
+  /// Passes `payload` through the faulty channel: returns it unchanged, or
+  /// with deterministically chosen bytes flipped (corruption) or a prefix
+  /// cut (truncation). Any damage is guaranteed to alter the bytes and is
+  /// recorded.
+  [[nodiscard]] std::string ship(FaultPoint point, std::string_view subject,
+                                 std::size_t round, std::string payload);
+
+  /// Everything injected so far, in call order.
+  [[nodiscard]] const std::vector<InjectedFault>& injected() const {
+    return injected_;
+  }
+  void clear_injected() { injected_.clear(); }
+
+ private:
+  /// 64-bit decision stream keyed by (point, subject, round, salt);
+  /// independent of call order.
+  [[nodiscard]] std::uint64_t key(FaultPoint point, std::string_view subject,
+                                  std::size_t round,
+                                  std::uint64_t salt) const;
+  [[nodiscard]] bool roll(double p, FaultPoint point,
+                          std::string_view subject, std::size_t round,
+                          std::uint64_t salt) const;
+
+  std::uint64_t seed_ = 0;
+  FaultSpec spec_;
+  std::vector<InjectedFault> injected_;
+};
+
+}  // namespace icecube

@@ -1,21 +1,28 @@
 #include "replica/sync.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <utility>
+
+#include "serialize/log_codec.hpp"
 
 namespace icecube {
 
 SyncResult synchronise(const std::vector<Site*>& sites,
                        const ReconcilerOptions& options, Policy* policy) {
   SyncResult out;
-  assert(!sites.empty());
+  if (sites.empty()) {
+    out.error = {SyncErrorKind::kNoSites, {}, {}};
+    return out;
+  }
 
   // Log-based reconciliation replays merged logs against the common initial
   // state; a divergent committed state means a previous round was missed.
   const std::string reference = sites.front()->committed().fingerprint();
   for (const Site* site : sites) {
     if (site->committed().fingerprint() != reference) {
-      out.error = "sites '" + sites.front()->name() + "' and '" +
-                  site->name() + "' do not share a committed state";
+      out.error = {SyncErrorKind::kDivergentState, site->name(),
+                   "does not match site '" + sites.front()->name() + "'"};
       return out;
     }
   }
@@ -28,7 +35,7 @@ SyncResult synchronise(const std::vector<Site*>& sites,
                         policy);
   out.reconcile = reconciler.run();
   if (!out.reconcile.found_any()) {
-    out.error = "reconciliation produced no outcome";
+    out.error = {SyncErrorKind::kNoOutcome, {}, {}};
     return out;
   }
 
@@ -36,6 +43,195 @@ SyncResult synchronise(const std::vector<Site*>& sites,
   for (Site* site : sites) site->adopt(merged);
   out.adopted = true;
   return out;
+}
+
+namespace {
+
+/// Protocol-internal bookkeeping for one site.
+struct SiteState {
+  Site* site = nullptr;
+  SiteReport report;
+  bool synced = false;
+  bool permanent = false;        ///< non-retryable (divergent state)
+  std::size_t next_attempt = 0;  ///< earliest round allowed to retry
+  std::size_t backoff = 1;       ///< current wait, in rounds
+};
+
+/// A decoded log may carry targets outside the universe — hostile or stale
+/// input the constraint builder must never see.
+std::optional<std::string> out_of_range_target(const Log& log,
+                                               std::size_t universe_size) {
+  for (const auto& action : log) {
+    for (ObjectId target : action->targets()) {
+      if (target.index() >= universe_size) {
+        return "target " + std::to_string(target.value()) +
+               " outside universe of size " + std::to_string(universe_size);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+SyncReport synchronise_resilient(const std::vector<Site*>& sites,
+                                 const ReconcilerOptions& options,
+                                 Policy* policy, FaultPlan* faults,
+                                 const SyncConfig& config) {
+  SyncReport report;
+  if (sites.empty()) {
+    report.errors.push_back({SyncErrorKind::kNoSites, {}, {}});
+    return report;
+  }
+
+  // The protocol's anchor: the common committed state at entry. Every
+  // reconciliation replays from here, with already-adopted actions carried
+  // forward in `history`, so late-recovering sites stay mergeable.
+  const Universe base = sites.front()->committed();
+  const std::string reference = base.fingerprint();
+
+  std::vector<SiteState> states(sites.size());
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    states[i].site = sites[i];
+    states[i].report.site = sites[i]->name();
+    states[i].backoff = std::max<std::size_t>(1, config.base_backoff_rounds);
+    if (sites[i]->committed().fingerprint() != reference) {
+      // Not retryable: its log replays from a different state.
+      states[i].permanent = true;
+      states[i].report.last_error = {
+          SyncErrorKind::kDivergentState, sites[i]->name(),
+          "does not match site '" + sites.front()->name() + "'"};
+      report.errors.push_back(states[i].report.last_error);
+    }
+  }
+
+  const ActionRegistry registry = ActionRegistry::with_builtins();
+  Log history("history");
+  std::vector<Site*> adopters;
+
+  const auto quarantine = [&](SiteState& state, std::size_t round,
+                              SyncErrorKind kind, std::string detail) {
+    state.report.quarantines += 1;
+    state.report.last_error = {kind, state.site->name(), std::move(detail)};
+    report.errors.push_back(state.report.last_error);
+    state.next_attempt = round + 1 + state.backoff;
+    state.backoff = std::min(state.backoff * 2,
+                             std::max<std::size_t>(1, config.max_backoff_rounds));
+  };
+
+  const std::size_t max_rounds = std::max<std::size_t>(1, config.max_rounds);
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    const bool any_pending =
+        std::any_of(states.begin(), states.end(), [](const SiteState& s) {
+          return !s.synced && !s.permanent;
+        });
+    if (!any_pending) break;
+    report.rounds = round + 1;
+
+    // Gather this round's participants: ship, validate, quarantine.
+    std::vector<SiteState*> participants;
+    std::vector<Log> shipped;
+    for (SiteState& state : states) {
+      if (state.synced || state.permanent || state.next_attempt > round) {
+        continue;
+      }
+      state.report.attempts += 1;
+      const std::string& name = state.site->name();
+
+      if (faults != nullptr && faults->site_down(name, round)) {
+        quarantine(state, round, SyncErrorKind::kUnreachable, {});
+        continue;
+      }
+
+      if (!config.ship_logs) {
+        participants.push_back(&state);
+        shipped.push_back(state.site->log());
+        continue;
+      }
+
+      std::string payload = encode_log(state.site->log());
+      if (faults != nullptr) {
+        if (faults->delivery_fails(name, round)) {
+          quarantine(state, round, SyncErrorKind::kDeliveryFailed, {});
+          continue;
+        }
+        payload = faults->ship(FaultPoint::kShipLog, name, round,
+                               std::move(payload));
+      }
+      DecodedLog decoded = decode_log(payload, registry);
+      if (!decoded.ok()) {
+        quarantine(state, round, SyncErrorKind::kDecodeFailed,
+                   decoded.error.message());
+        continue;
+      }
+      if (auto bad = out_of_range_target(*decoded.log, base.size())) {
+        quarantine(state, round, SyncErrorKind::kDecodeFailed,
+                   std::move(*bad));
+        continue;
+      }
+      participants.push_back(&state);
+      shipped.push_back(std::move(*decoded.log));
+    }
+
+    if (participants.empty()) continue;
+
+    // Reconcile history + the healthy subset from the anchor state.
+    std::vector<Log> logs;
+    logs.reserve(shipped.size() + 1);
+    if (!history.empty()) logs.push_back(history);
+    for (Log& log : shipped) logs.push_back(std::move(log));
+
+    Reconciler reconciler(base, std::move(logs), options, policy);
+    ReconcileResult result = reconciler.run();
+    if (!result.found_any()) {
+      // Group-level failure: every participant retries under backoff.
+      for (SiteState* state : participants) {
+        quarantine(*state, round, SyncErrorKind::kNoOutcome, {});
+      }
+      continue;
+    }
+
+    const Outcome& best = result.best();
+    const Universe merged = best.final_state;
+
+    // The adopted schedule becomes the new history (replayable from base).
+    Log new_history("history");
+    for (ActionId id : best.schedule) {
+      new_history.append(reconciler.records()[id.index()].action);
+    }
+    history = std::move(new_history);
+
+    report.degraded = report.degraded || result.degraded;
+    report.adopted = true;
+    report.reconcile = std::move(result);
+
+    for (SiteState* state : participants) {
+      state->site->adopt(merged);
+      state->synced = true;
+      state->report.synced = true;
+    }
+    for (Site* site : adopters) site->adopt(merged);
+    for (SiteState* state : participants) adopters.push_back(state->site);
+  }
+
+  report.all_synced = true;
+  for (SiteState& state : states) {
+    if (!state.synced) {
+      report.all_synced = false;
+      if (!state.permanent) {
+        state.report.last_error = {SyncErrorKind::kRoundsExhausted,
+                                   state.site->name(),
+                                   state.report.last_error.ok()
+                                       ? std::string{}
+                                       : "last: " +
+                                             state.report.last_error
+                                                 .message()};
+        report.errors.push_back(state.report.last_error);
+      }
+    }
+    report.sites.push_back(std::move(state.report));
+  }
+  return report;
 }
 
 bool converged(const std::vector<Site*>& sites) {

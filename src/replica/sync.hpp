@@ -1,41 +1,118 @@
-// The reconciliation phase across sites (§2.1).
+// The reconciliation phase across sites (§2.1), hardened for real networks.
 //
 // "During the reconciliation phase, the logs of two or more replicas are
 // merged to bring the replicas to a consistent state."
 //
-// `synchronise` gathers the logs of a group of sites that share a committed
-// state, runs one IceCube reconciliation over them, and — on success — has
-// every participant adopt the best outcome. Log-based reconciliation is
-// only meaningful from a *common* initial state, so the group's committed
-// fingerprints are verified first.
-//
 // The paper deliberately ignores distribution ("this paper focuses on our
 // approach to reconciliation at a single site"); this module supplies the
-// minimal group-synchronisation workflow a deployment needs on top, and
-// documents its one structural requirement (common committed state) rather
-// than hiding it.
+// group-synchronisation workflow a deployment needs on top. Two entry
+// points:
+//
+//  - `synchronise` — the original single-round primitive: gather the logs
+//    of a group of sites sharing a committed state, reconcile once, have
+//    every participant adopt the best outcome.
+//
+//  - `synchronise_resilient` — a multi-round protocol for unreliable
+//    conditions. Each round, every unsynced site *ships* its log through
+//    the serialise codec (optionally through a fault-injecting channel);
+//    sites whose payloads fail to decode, fail CRC validation, carry
+//    out-of-range targets, or whose committed fingerprint diverges are
+//    *quarantined* with a structured `SyncError` and retried later under
+//    capped exponential backoff. The healthy subset reconciles and adopts;
+//    adopted actions accumulate in a history log so late-recovering sites
+//    can still be merged against the original common state. If the search
+//    budget exhausts, the reconciler's degraded fallback keeps the round
+//    productive (`SyncReport::degraded`).
 #pragma once
 
+#include <cstdint>
+#include <optional>
+#include <ostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/options.hpp"
 #include "core/policy.hpp"
 #include "core/reconciler.hpp"
+#include "fault/fault_plan.hpp"
 #include "replica/site.hpp"
 
 namespace icecube {
 
-/// Result of one group synchronisation round.
+/// Why a site (or a whole round) could not synchronise.
+enum class SyncErrorKind : std::uint8_t {
+  kNone,            ///< no error
+  kNoSites,         ///< empty group
+  kDivergentState,  ///< committed fingerprint differs from the group's
+  kUnreachable,     ///< site down for the round (crash fault)
+  kDeliveryFailed,  ///< log payload lost in transit
+  kDecodeFailed,    ///< payload arrived but failed decode/validation
+  kNoOutcome,       ///< reconciliation produced no outcome at all
+  kRoundsExhausted, ///< retry budget ran out with sites still unsynced
+};
+
+[[nodiscard]] constexpr std::string_view to_string(SyncErrorKind kind) {
+  switch (kind) {
+    case SyncErrorKind::kNone:
+      return "ok";
+    case SyncErrorKind::kNoSites:
+      return "no sites";
+    case SyncErrorKind::kDivergentState:
+      return "divergent committed state";
+    case SyncErrorKind::kUnreachable:
+      return "site unreachable";
+    case SyncErrorKind::kDeliveryFailed:
+      return "delivery failed";
+    case SyncErrorKind::kDecodeFailed:
+      return "log decode failed";
+    case SyncErrorKind::kNoOutcome:
+      return "reconciliation produced no outcome";
+    case SyncErrorKind::kRoundsExhausted:
+      return "retry rounds exhausted";
+  }
+  return "?";
+}
+
+/// One structured failure: what, which site, and detail (e.g. the decode
+/// error message). Replaces the previous bare `std::string error`.
+struct SyncError {
+  SyncErrorKind kind = SyncErrorKind::kNone;
+  std::string site;    ///< offending site; empty for group-level errors
+  std::string detail;  ///< human-readable specifics
+
+  [[nodiscard]] bool ok() const { return kind == SyncErrorKind::kNone; }
+  /// Mirrors the old string convention: empty iff no error.
+  [[nodiscard]] bool empty() const { return ok(); }
+  /// Transport-level faults are retryable; semantic divergence is not.
+  [[nodiscard]] bool transient() const {
+    return kind == SyncErrorKind::kUnreachable ||
+           kind == SyncErrorKind::kDeliveryFailed ||
+           kind == SyncErrorKind::kDecodeFailed;
+  }
+
+  [[nodiscard]] std::string message() const {
+    std::string out{to_string(kind)};
+    if (!site.empty()) out += " [site '" + site + "']";
+    if (!detail.empty()) out += ": " + detail;
+    return out;
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const SyncError& error) {
+  return os << error.message();
+}
+
+/// Result of one group synchronisation round (legacy single-round API).
 struct SyncResult {
   /// Full reconciliation output (outcomes, stats, cutsets). Unset fields if
   /// the round was rejected before searching (`error` non-empty).
   ReconcileResult reconcile;
   /// True iff a best outcome existed and all sites adopted it.
   bool adopted = false;
-  /// Non-empty when the round could not run (e.g. divergent committed
+  /// kind != kNone when the round could not run (e.g. divergent committed
   /// states).
-  std::string error;
+  SyncError error;
 };
 
 /// Reconciles the logs of `sites` from their shared committed state and, if
@@ -45,6 +122,61 @@ struct SyncResult {
 [[nodiscard]] SyncResult synchronise(const std::vector<Site*>& sites,
                                      const ReconcilerOptions& options = {},
                                      Policy* policy = nullptr);
+
+/// Retry/backoff knobs for the multi-round protocol.
+struct SyncConfig {
+  /// Hard cap on protocol rounds (>= 1).
+  std::size_t max_rounds = 8;
+  /// First retry waits this many rounds; each further failure doubles the
+  /// wait, capped at `max_backoff_rounds`.
+  std::size_t base_backoff_rounds = 1;
+  std::size_t max_backoff_rounds = 4;
+  /// Ship logs through the serialise codec (CRC validation, fault channel).
+  /// With false, logs are taken by reference — no transport, no transport
+  /// faults.
+  bool ship_logs = true;
+};
+
+/// Per-site record of how the protocol treated one site.
+struct SiteReport {
+  std::string site;
+  bool synced = false;          ///< merged and adopted in some round
+  std::size_t attempts = 0;     ///< rounds in which a merge was attempted
+  std::size_t quarantines = 0;  ///< times the site was quarantined
+  SyncError last_error;         ///< kind == kNone if it never failed
+};
+
+/// Result of a full multi-round synchronisation.
+struct SyncReport {
+  /// Output of the last reconciliation that ran (the final merged state).
+  ReconcileResult reconcile;
+  /// True iff at least one round reconciled and its participants adopted.
+  bool adopted = false;
+  /// True iff every site ended the protocol synced.
+  bool all_synced = false;
+  /// True iff any round's reconciliation degraded to the greedy fallback.
+  bool degraded = false;
+  std::size_t rounds = 0;  ///< rounds actually executed
+  std::vector<SiteReport> sites;
+  /// Every failure observed, in order (quarantines, losses, exhaustion).
+  std::vector<SyncError> errors;
+
+  /// The report for `site`, or nullptr.
+  [[nodiscard]] const SiteReport* site_report(std::string_view site) const {
+    for (const auto& s : sites) {
+      if (s.site == site) return &s;
+    }
+    return nullptr;
+  }
+};
+
+/// Multi-round fault-tolerant synchronisation; see file comment. `faults`
+/// may be null (perfect network). Sites left unsynced keep their committed
+/// state and pending log untouched — safe to retry with a later call.
+[[nodiscard]] SyncReport synchronise_resilient(
+    const std::vector<Site*>& sites, const ReconcilerOptions& options = {},
+    Policy* policy = nullptr, FaultPlan* faults = nullptr,
+    const SyncConfig& config = {});
 
 /// True iff all sites currently report the same tentative state.
 [[nodiscard]] bool converged(const std::vector<Site*>& sites);

@@ -1,0 +1,97 @@
+// Structured decode failures for the shipping codecs.
+//
+// A site receiving a log or universe over an unreliable channel needs to
+// know *why* a decode failed, not just that it did: truncation and checksum
+// corruption are transport faults worth a retry, while an unknown op or a
+// bad payload is a version/compatibility problem that a retransmission will
+// not fix. `DecodeError` carries that taxonomy plus the 1-based line number
+// and the offending token, replacing the codecs' earlier bare strings.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace icecube {
+
+/// Why a decode failed. `kNone` means success.
+enum class DecodeErrorKind : std::uint8_t {
+  kNone,
+  kEmptyInput,          ///< nothing to decode at all
+  kBadHeader,           ///< first line is not a recognised header
+  kUnsupportedVersion,  ///< recognised format, version we cannot read
+  kTruncated,           ///< v2 payload ends before its CRC trailer
+  kCorrupted,           ///< CRC trailer present but does not match
+  kBadSyntax,           ///< line structure wrong (field count, shape)
+  kBadNumber,           ///< numeric field failed to parse
+  kBadEscape,           ///< %-escape sequence malformed
+  kUnknownOp,           ///< op / object type not in the registry
+  kBadOperands,         ///< known op, but the factory rejected the data
+};
+
+[[nodiscard]] constexpr std::string_view to_string(DecodeErrorKind kind) {
+  switch (kind) {
+    case DecodeErrorKind::kNone:
+      return "ok";
+    case DecodeErrorKind::kEmptyInput:
+      return "empty input";
+    case DecodeErrorKind::kBadHeader:
+      return "bad header";
+    case DecodeErrorKind::kUnsupportedVersion:
+      return "unsupported version";
+    case DecodeErrorKind::kTruncated:
+      return "truncated payload";
+    case DecodeErrorKind::kCorrupted:
+      return "corrupted payload";
+    case DecodeErrorKind::kBadSyntax:
+      return "bad syntax";
+    case DecodeErrorKind::kBadNumber:
+      return "bad number";
+    case DecodeErrorKind::kBadEscape:
+      return "bad escape";
+    case DecodeErrorKind::kUnknownOp:
+      return "unknown op";
+    case DecodeErrorKind::kBadOperands:
+      return "bad operands";
+  }
+  return "?";
+}
+
+/// One decode failure: what kind, where, and the offending text.
+struct DecodeError {
+  DecodeErrorKind kind = DecodeErrorKind::kNone;
+  std::size_t line = 0;  ///< 1-based line number; 0 when not line-specific
+  std::string context;   ///< offending token or short explanation
+
+  [[nodiscard]] bool ok() const { return kind == DecodeErrorKind::kNone; }
+  /// Mirrors the old `std::string error` convention: empty iff no error.
+  [[nodiscard]] bool empty() const { return ok(); }
+
+  [[nodiscard]] std::string message() const {
+    std::string out{to_string(kind)};
+    if (line != 0) out += " at line " + std::to_string(line);
+    if (!context.empty()) out += ": " + context;
+    return out;
+  }
+
+  /// Transport faults are worth a retransmission; format/content faults
+  /// are not.
+  [[nodiscard]] bool transient() const {
+    return kind == DecodeErrorKind::kTruncated ||
+           kind == DecodeErrorKind::kCorrupted ||
+           kind == DecodeErrorKind::kEmptyInput;
+  }
+
+  [[nodiscard]] static DecodeError at(DecodeErrorKind kind, std::size_t line,
+                                      std::string context = {}) {
+    return DecodeError{kind, line, std::move(context)};
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const DecodeError& error) {
+  return os << error.message();
+}
+
+}  // namespace icecube

@@ -12,13 +12,15 @@
 #include "objects/rw_register.hpp"
 #include "objects/sysadmin.hpp"
 #include "objects/text.hpp"
+#include "serialize/framing.hpp"
 
 namespace icecube {
 
 namespace {
 
+using serialize_detail::parse_number;
+
 constexpr char kHeader[] = "icecube-log";
-constexpr int kVersion = 1;
 
 bool needs_escape(char c) {
   return c == '%' || c == ' ' || c == '\n' || c == '\r' || c == '\t' ||
@@ -97,7 +99,8 @@ std::optional<std::string> unescape_field(const std::string& escaped) {
 
 std::string encode_log(const Log& log) {
   std::ostringstream os;
-  os << kHeader << ' ' << kVersion << ' ' << escape_field(log.name()) << '\n';
+  os << kHeader << ' ' << serialize_detail::kWireVersion << ' '
+     << escape_field(log.name()) << '\n';
   for (const auto& action : log) {
     const Tag& tag = action->tag();
     os << escape_field(tag.op) << " |";
@@ -108,7 +111,9 @@ std::string encode_log(const Log& log) {
     for (const auto& s : tag.str_params) os << ' ' << escape_field(s);
     os << '\n';
   }
-  return os.str();
+  std::string body = os.str();
+  body += serialize_detail::crc_trailer(body);
+  return body;
 }
 
 ActionPtr ActionRegistry::make(const std::vector<ObjectId>& targets,
@@ -124,74 +129,81 @@ ActionPtr ActionRegistry::make(const std::vector<ObjectId>& targets,
 
 DecodedLog decode_log(const std::string& text, const ActionRegistry& registry) {
   DecodedLog result;
-  std::istringstream is(text);
-  std::string line;
-
-  if (!std::getline(is, line)) {
-    result.error = "empty input";
+  const auto frame = serialize_detail::parse_frame(text, kHeader);
+  if (!frame.ok()) {
+    result.error = frame.error;
     return result;
   }
-  const auto header = split_ws(line);
-  if (header.size() != 3 || header[0] != kHeader ||
-      header[1] != std::to_string(kVersion)) {
-    result.error = "bad header: " + line;
+
+  const auto header = split_ws(frame.header);
+  if (header.size() != 3) {
+    result.error = {DecodeErrorKind::kBadHeader, 1, frame.header};
     return result;
   }
   const auto name = unescape_field(header[2]);
   if (!name) {
-    result.error = "bad log name";
+    result.error = {DecodeErrorKind::kBadEscape, 1, header[2]};
     return result;
   }
 
   Log log(*name);
-  std::size_t line_no = 1;
-  while (std::getline(is, line)) {
-    ++line_no;
+  for (std::size_t i = 0; i < frame.lines.size(); ++i) {
+    const std::string& line = frame.lines[i];
+    const std::size_t line_no = i + 2;  // 1-based; header is line 1
     if (line.empty()) continue;
     const auto groups = split_groups(line);
     if (!groups) {
-      result.error = "line " + std::to_string(line_no) + ": expected 4 fields";
+      result.error = {DecodeErrorKind::kBadSyntax, line_no,
+                      "expected 4 '|'-separated fields"};
       return result;
     }
     const auto op_tokens = split_ws((*groups)[0]);
     if (op_tokens.size() != 1) {
-      result.error = "line " + std::to_string(line_no) + ": bad op";
+      result.error = {DecodeErrorKind::kBadSyntax, line_no,
+                      "expected one op token"};
       return result;
     }
     const auto op = unescape_field(op_tokens[0]);
     if (!op) {
-      result.error = "line " + std::to_string(line_no) + ": bad op escape";
+      result.error = {DecodeErrorKind::kBadEscape, line_no, op_tokens[0]};
       return result;
     }
 
     std::vector<ObjectId> targets;
     std::vector<std::int64_t> params;
     std::vector<std::string> strs;
-    try {
-      for (const auto& t : split_ws((*groups)[1])) {
-        targets.push_back(ObjectId(std::stoul(t)));
+    for (const auto& t : split_ws((*groups)[1])) {
+      const auto value = parse_number<std::uint32_t>(t);
+      if (!value) {
+        result.error = {DecodeErrorKind::kBadNumber, line_no, t};
+        return result;
       }
-      for (const auto& p : split_ws((*groups)[2])) {
-        params.push_back(std::stoll(p));
+      targets.push_back(ObjectId(*value));
+    }
+    for (const auto& p : split_ws((*groups)[2])) {
+      const auto value = parse_number<std::int64_t>(p);
+      if (!value) {
+        result.error = {DecodeErrorKind::kBadNumber, line_no, p};
+        return result;
       }
-    } catch (const std::exception&) {
-      result.error = "line " + std::to_string(line_no) + ": bad number";
-      return result;
+      params.push_back(*value);
     }
     for (const auto& s : split_ws((*groups)[3])) {
       const auto unescaped = unescape_field(s);
       if (!unescaped) {
-        result.error = "line " + std::to_string(line_no) + ": bad escape";
+        result.error = {DecodeErrorKind::kBadEscape, line_no, s};
         return result;
       }
       strs.push_back(*unescaped);
     }
 
+    if (!registry.knows(*op)) {
+      result.error = {DecodeErrorKind::kUnknownOp, line_no, *op};
+      return result;
+    }
     ActionPtr action = registry.make(targets, Tag(*op, params, strs));
     if (action == nullptr) {
-      result.error =
-          "line " + std::to_string(line_no) + ": cannot decode op '" + *op +
-          "'";
+      result.error = {DecodeErrorKind::kBadOperands, line_no, *op};
       return result;
     }
     log.append(std::move(action));

@@ -5,16 +5,24 @@
 // writes logs to a line-oriented text format and reconstructs them through
 // a registry of per-operation factories.
 //
-// Format (one action per line, after a header):
+// Format version 2 (current; one action per line, between header and
+// trailer):
 //
-//   icecube-log 1 <escaped-name>
+//   icecube-log 2 <escaped-name>
 //   <op> | <target ids> | <int params> | <escaped string params>
+//   #crc32 <8-hex digest of everything above>
 //
 // Example:
 //
-//   icecube-log 1 alice
+//   icecube-log 2 alice
 //   increment | 0 | 100 |
 //   fswrite | 1 | | /dir/file content
+//   #crc32 9ae0daaf
+//
+// The CRC-32 trailer is what makes shipping safe over unreliable channels:
+// a missing trailer is reported as truncation, a mismatching one as
+// corruption — before any content is trusted. Version-1 payloads (no
+// trailer) remain decodable for compatibility with stored logs.
 //
 // Strings are %-escaped (%, space, newline, '|'), so the format is
 // whitespace-delimited and diff-friendly. Every action type in this
@@ -31,6 +39,7 @@
 
 #include "core/action.hpp"
 #include "core/log.hpp"
+#include "serialize/decode_error.hpp"
 
 namespace icecube {
 
@@ -58,18 +67,20 @@ class ActionRegistry {
   std::map<std::string, Factory> factories_;
 };
 
-/// Serialises `log` to the text format above.
+/// Serialises `log` to the version-2 text format above (CRC trailer
+/// included).
 [[nodiscard]] std::string encode_log(const Log& log);
 
-/// Result of decoding: the log, or an error description with line number.
+/// Result of decoding: the log, or a structured error (see DecodeError).
 struct DecodedLog {
   std::optional<Log> log;
-  std::string error;  ///< non-empty iff decoding failed
+  DecodeError error;  ///< kind == kNone iff decoding succeeded
 
   [[nodiscard]] bool ok() const { return log.has_value(); }
 };
 
-/// Parses a serialised log, reconstructing actions via `registry`.
+/// Parses a serialised log, reconstructing actions via `registry`. Accepts
+/// versions 1 (legacy, no trailer) and 2 (CRC-verified).
 [[nodiscard]] DecodedLog decode_log(const std::string& text,
                                     const ActionRegistry& registry);
 

@@ -12,6 +12,7 @@
 #include "objects/rw_register.hpp"
 #include "objects/sysadmin.hpp"
 #include "objects/text.hpp"
+#include "serialize/framing.hpp"
 #include "serialize/log_codec.hpp"  // escape_field / unescape_field
 
 namespace icecube {
@@ -19,7 +20,6 @@ namespace icecube {
 namespace {
 
 constexpr char kHeader[] = "icecube-universe";
-constexpr int kVersion = 1;
 
 std::vector<std::string> tokens_of(const std::string& s) {
   std::vector<std::string> out;
@@ -68,39 +68,42 @@ std::unique_ptr<SharedObject> ObjectRegistry::decode(
 std::optional<std::string> encode_universe(const Universe& universe,
                                            const ObjectRegistry& registry) {
   std::ostringstream os;
-  os << kHeader << ' ' << kVersion << '\n';
+  os << kHeader << ' ' << serialize_detail::kWireVersion << '\n';
   for (std::size_t i = 0; i < universe.size(); ++i) {
     const SharedObject& object = universe.at(ObjectId(i));
     const std::string type = registry.type_of(object);
     if (type.empty()) return std::nullopt;
     os << type << ' ' << registry.encode(type, object) << '\n';
   }
-  return os.str();
+  std::string body = os.str();
+  body += serialize_detail::crc_trailer(body);
+  return body;
 }
 
 DecodedUniverse decode_universe(const std::string& text,
                                 const ObjectRegistry& registry) {
   DecodedUniverse result;
-  std::istringstream is(text);
-  std::string line;
-  if (!std::getline(is, line) ||
-      line != std::string(kHeader) + " " + std::to_string(kVersion)) {
-    result.error = "bad header";
+  const auto frame = serialize_detail::parse_frame(text, kHeader);
+  if (!frame.ok()) {
+    result.error = frame.error;
     return result;
   }
   Universe universe;
-  std::size_t line_no = 1;
-  while (std::getline(is, line)) {
-    ++line_no;
+  for (std::size_t i = 0; i < frame.lines.size(); ++i) {
+    const std::string& line = frame.lines[i];
+    const std::size_t line_no = i + 2;  // 1-based; header is line 1
     if (line.empty()) continue;
     const auto space = line.find(' ');
     const std::string type = line.substr(0, space);
     const std::string payload =
         space == std::string::npos ? "" : line.substr(space + 1);
+    if (!registry.knows(type)) {
+      result.error = {DecodeErrorKind::kUnknownOp, line_no, type};
+      return result;
+    }
     auto object = registry.decode(type, payload);
     if (object == nullptr) {
-      result.error = "line " + std::to_string(line_no) +
-                     ": cannot decode object of type '" + type + "'";
+      result.error = {DecodeErrorKind::kBadOperands, line_no, type};
       return result;
     }
     (void)universe.add(std::move(object));

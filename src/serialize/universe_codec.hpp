@@ -6,14 +6,18 @@
 // `Universe` of built-in substrate objects to a line-oriented text format
 // and restores it through a registry of per-type state factories.
 //
-// Format:
+// Format version 2 (current):
 //
-//   icecube-universe 1
+//   icecube-universe 2
 //   <type-name> <escaped state payload>
+//   #crc32 <8-hex digest of everything above>
 //
 // Object ids are implicit (line order), matching `Universe::add` order.
-// Each substrate defines its own payload encoding; applications register
-// custom types with `ObjectRegistry::register_type`.
+// The CRC-32 trailer lets a receiving site classify transport damage
+// (truncation vs corruption) before trusting the payload; version-1 files
+// (no trailer) remain decodable. Each substrate defines its own payload
+// encoding; applications register custom types with
+// `ObjectRegistry::register_type`.
 #pragma once
 
 #include <functional>
@@ -23,6 +27,7 @@
 #include <string>
 
 #include "core/universe.hpp"
+#include "serialize/decode_error.hpp"
 
 namespace icecube {
 
@@ -46,6 +51,9 @@ class ObjectRegistry {
                                std::move(factory)};
   }
 
+  [[nodiscard]] bool knows(const std::string& type) const {
+    return types_.contains(type);
+  }
   /// Type name used for `object` when encoding, empty if unknown.
   [[nodiscard]] std::string type_of(const SharedObject& object) const;
   [[nodiscard]] std::string encode(const std::string& type,
@@ -69,11 +77,13 @@ class ObjectRegistry {
 
 struct DecodedUniverse {
   std::optional<Universe> universe;
-  std::string error;
+  DecodeError error;  ///< kind == kNone iff decoding succeeded
 
   [[nodiscard]] bool ok() const { return universe.has_value(); }
 };
 
+/// Parses a serialised universe. Accepts versions 1 (legacy, no trailer)
+/// and 2 (CRC-verified).
 [[nodiscard]] DecodedUniverse decode_universe(const std::string& text,
                                               const ObjectRegistry& registry);
 

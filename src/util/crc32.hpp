@@ -1,0 +1,71 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320), table-driven and
+// constexpr-friendly.
+//
+// Shipped payloads (logs, universes) carry a CRC trailer so the receiving
+// site can distinguish transport corruption from a merely unparseable file
+// before it trusts a decode result. The table is computed at compile time;
+// checksums of string literals are usable in static_asserts.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace icecube {
+
+namespace detail {
+
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table =
+    make_crc32_table();
+
+}  // namespace detail
+
+/// Incremental CRC-32 accumulator.
+///
+/// ```
+/// Crc32 crc;
+/// crc.update(chunk1);
+/// crc.update(chunk2);
+/// std::uint32_t digest = crc.value();
+/// ```
+class Crc32 {
+ public:
+  constexpr void update(std::string_view data) {
+    for (char c : data) {
+      const auto byte = static_cast<unsigned char>(c);
+      state_ = (state_ >> 8) ^ detail::kCrc32Table[(state_ ^ byte) & 0xFFu];
+    }
+  }
+
+  /// The digest of everything fed so far. `update` may continue afterwards.
+  [[nodiscard]] constexpr std::uint32_t value() const { return ~state_; }
+
+  /// One-shot convenience: `Crc32::of("123456789") == 0xCBF43926`.
+  [[nodiscard]] static constexpr std::uint32_t of(std::string_view data) {
+    Crc32 crc;
+    crc.update(data);
+    return crc.value();
+  }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+static_assert(Crc32::of("123456789") == 0xCBF43926u,
+              "CRC-32 check value (IEEE)");
+static_assert(Crc32::of("") == 0u);
+
+}  // namespace icecube

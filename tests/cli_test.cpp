@@ -56,7 +56,7 @@ TEST_F(CliTest, UnknownCommandFails) {
 
 TEST_F(CliTest, DemoBankEmitsUniverse) {
   ASSERT_EQ(run({"demo", "bank"}), 0);
-  EXPECT_NE(out_.str().find("icecube-universe 1"), std::string::npos);
+  EXPECT_NE(out_.str().find("icecube-universe 2"), std::string::npos);
   EXPECT_NE(out_.str().find("counter 100"), std::string::npos);
 }
 
@@ -149,6 +149,30 @@ TEST_F(CliTest, ReconcileRejectsCorruptLog) {
   write("bad.txt", "icecube-log 1 a\nwat | | |\n");
   EXPECT_NE(run({"reconcile", path("u.txt"), path("bad.txt")}), 0);
   EXPECT_NE(err_.str().find("wat"), std::string::npos);
+}
+
+TEST_F(CliTest, ReconcileRejectsOutOfRangeTarget) {
+  // A well-formed log aimed at an object the universe does not have must
+  // fail cleanly, not crash inside the constraint builder.
+  ASSERT_EQ(run({"demo", "bank"}), 0);
+  write("u.txt", out_.str());
+  write("a.txt", "icecube-log 1 a\nincrement | 7 | 5 |\n");
+  EXPECT_NE(run({"reconcile", path("u.txt"), path("a.txt")}), 0);
+  EXPECT_NE(err_.str().find("targets object 7"), std::string::npos);
+}
+
+TEST_F(CliTest, ReconcileRejectsMalformedLimitFlags) {
+  ASSERT_EQ(run({"demo", "bank"}), 0);
+  write("u.txt", out_.str());
+  write("a.txt", "icecube-log 1 a\nincrement | 0 | 5 |\n");
+  EXPECT_NE(run({"reconcile", path("u.txt"), path("a.txt"), "--deadline",
+                 "abc"}),
+            0);
+  EXPECT_NE(err_.str().find("--deadline"), std::string::npos);
+  EXPECT_NE(run({"reconcile", path("u.txt"), path("a.txt"),
+                 "--max-schedules", "10x"}),
+            0);
+  EXPECT_NE(err_.str().find("--max-schedules"), std::string::npos);
 }
 
 TEST_F(CliTest, ReconcileMaxSchedulesIsHonoured) {

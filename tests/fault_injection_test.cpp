@@ -1,0 +1,490 @@
+// Deterministic fault-injection scenarios for the sync protocol: seeded
+// sweeps assert that damaged payloads are never silently mis-decoded, that
+// the healthy subset of a group still converges, and that budget-exhausted
+// searches degrade to valid (replayable) schedules.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/reconciler.hpp"
+#include "fault/fault_plan.hpp"
+#include "objects/counter.hpp"
+#include "replica/site.hpp"
+#include "replica/sync.hpp"
+#include "serialize/log_codec.hpp"
+#include "util/rng.hpp"
+
+namespace icecube {
+namespace {
+
+constexpr ObjectId kCounter{0};
+
+Universe counter_universe(std::int64_t initial) {
+  Universe u;
+  u.add(std::make_unique<Counter>(initial));
+  return u;
+}
+
+Log sample_log() {
+  Log log("sample");
+  log.append(std::make_shared<IncrementAction>(kCounter, 100));
+  log.append(std::make_shared<DecrementAction>(kCounter, 30));
+  log.append(std::make_shared<IncrementAction>(kCounter, 7));
+  return log;
+}
+
+/// Seeds some random counter work at every site in `group`.
+void perform_random_work(const std::vector<Site*>& group, std::uint64_t seed) {
+  Rng rng(seed);
+  for (Site* site : group) {
+    const std::size_t n = 1 + rng.below(4);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto amount = static_cast<std::int64_t>(rng.below(9)) + 1;
+      if (rng.chance(0.7)) {
+        (void)site->perform(std::make_shared<IncrementAction>(kCounter,
+                                                              amount));
+      } else {
+        (void)site->perform(std::make_shared<DecrementAction>(kCounter,
+                                                              amount));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FaultPlan: the oracle itself.
+
+TEST(FaultPlan, IdenticalSeedsGiveIdenticalDecisions) {
+  FaultSpec spec;
+  spec.corrupt = 0.3;
+  spec.truncate = 0.2;
+  spec.site_down = 0.25;
+  spec.lose = 0.15;
+  FaultPlan a(99, spec), b(99, spec);
+  const std::string payload = encode_log(sample_log());
+  for (std::size_t round = 0; round < 6; ++round) {
+    for (const char* site : {"alpha", "beta", "gamma"}) {
+      EXPECT_EQ(a.site_down(site, round), b.site_down(site, round));
+      EXPECT_EQ(a.delivery_fails(site, round), b.delivery_fails(site, round));
+      EXPECT_EQ(a.ship(FaultPoint::kShipLog, site, round, payload),
+                b.ship(FaultPoint::kShipLog, site, round, payload));
+    }
+  }
+  ASSERT_EQ(a.injected().size(), b.injected().size());
+  for (std::size_t i = 0; i < a.injected().size(); ++i) {
+    EXPECT_EQ(a.injected()[i].kind, b.injected()[i].kind);
+    EXPECT_EQ(a.injected()[i].subject, b.injected()[i].subject);
+    EXPECT_EQ(a.injected()[i].round, b.injected()[i].round);
+  }
+}
+
+TEST(FaultPlan, DecisionsAreCallOrderIndependent) {
+  FaultSpec spec;
+  spec.site_down = 0.4;
+  FaultPlan forward(7, spec), backward(7, spec);
+  std::vector<bool> fwd, bwd;
+  for (std::size_t r = 0; r < 16; ++r) {
+    fwd.push_back(forward.site_down("s", r));
+  }
+  for (std::size_t r = 16; r-- > 0;) {
+    bwd.push_back(backward.site_down("s", r));
+  }
+  std::reverse(bwd.begin(), bwd.end());
+  EXPECT_EQ(fwd, bwd);
+}
+
+TEST(FaultPlan, DifferentSeedsGiveDifferentStreams) {
+  FaultSpec spec;
+  spec.site_down = 0.5;
+  FaultPlan a(1, spec), b(2, spec);
+  std::size_t same = 0;
+  for (std::size_t r = 0; r < 64; ++r) {
+    if (a.site_down("s", r) == b.site_down("s", r)) ++same;
+  }
+  EXPECT_LT(same, 64u);  // identical streams would mean the seed is ignored
+}
+
+TEST(FaultPlan, DefaultSpecNeverInjects) {
+  FaultPlan plan(123, FaultSpec{});
+  const std::string payload = encode_log(sample_log());
+  for (std::size_t round = 0; round < 8; ++round) {
+    EXPECT_FALSE(plan.site_down("a", round));
+    EXPECT_FALSE(plan.delivery_fails("a", round));
+    EXPECT_EQ(plan.ship(FaultPoint::kShipLog, "a", round, payload), payload);
+  }
+  EXPECT_TRUE(plan.injected().empty());
+}
+
+TEST(FaultPlan, TruncationAlwaysShortens) {
+  FaultSpec spec;
+  spec.truncate = 1.0;
+  const std::string payload = encode_log(sample_log());
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    FaultPlan plan(seed, spec);
+    const std::string out =
+        plan.ship(FaultPoint::kShipLog, "p", 0, payload);
+    EXPECT_LT(out.size(), payload.size()) << "seed " << seed;
+    EXPECT_EQ(out, payload.substr(0, out.size())) << "seed " << seed;
+    ASSERT_EQ(plan.injected().size(), 1u);
+    EXPECT_EQ(plan.injected().front().kind, "truncate");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Codec under fire: a seeded sweep across the faulty channel. The safety
+// property is "no wrong decode": a damaged payload either fails decode with
+// a structured error or — in the rare case the damage was semantically
+// harmless (e.g. the trailing newline cut off) — decodes to exactly the
+// original log.
+
+TEST(FaultSweep, DamagedShipmentsNeverDecodeWrong) {
+  const Log log = sample_log();
+  const std::string clean = encode_log(log);
+  const ActionRegistry registry = ActionRegistry::with_builtins();
+
+  FaultSpec spec;
+  spec.corrupt = 0.45;
+  spec.truncate = 0.35;
+
+  std::size_t damaged = 0, detected = 0;
+  for (std::uint64_t seed = 0; seed < 160; ++seed) {
+    FaultPlan plan(seed, spec);
+    const std::string arrived =
+        plan.ship(FaultPoint::kShipLog, "payload", seed % 5, clean);
+    const DecodedLog decoded = decode_log(arrived, registry);
+    if (arrived == clean) {
+      EXPECT_TRUE(decoded.ok()) << "seed " << seed << ": " << decoded.error;
+      continue;
+    }
+    ++damaged;
+    if (decoded.ok()) {
+      // Accepted damage must be byte-identical on re-encode.
+      EXPECT_EQ(encode_log(*decoded.log), clean) << "seed " << seed;
+    } else {
+      ++detected;
+      EXPECT_NE(decoded.error.kind, DecodeErrorKind::kNone);
+    }
+  }
+  // The sweep must actually have exercised the failure paths.
+  EXPECT_GT(damaged, 60u);
+  EXPECT_GT(detected, 50u);
+}
+
+// ---------------------------------------------------------------------------
+// The multi-round protocol under a lossy, corrupting network: a >= 100-seed
+// sweep. Invariants per seed:
+//   - no crash (the sweep itself);
+//   - sites reported synced all share one committed state and have empty
+//     logs;
+//   - unsynced sites keep their committed state and pending log untouched;
+//   - the report's bookkeeping is consistent with the sites' actual state.
+
+TEST(FaultSweep, HundredSeedSyncScenariosFailSafe) {
+  FaultSpec spec;
+  spec.corrupt = 0.2;
+  spec.truncate = 0.1;
+  spec.site_down = 0.2;
+  spec.lose = 0.1;
+
+  std::size_t fully_synced = 0, faulted = 0, recovered = 0;
+  for (std::uint64_t seed = 0; seed < 120; ++seed) {
+    const Universe initial = counter_universe(50);
+    Site a("a", initial), b("b", initial), c("c", initial), d("d", initial);
+    const std::vector<Site*> group{&a, &b, &c, &d};
+    perform_random_work(group, seed * 0x9E3779B97F4A7C15ULL + 1);
+    const std::string entry_fingerprint = initial.fingerprint();
+
+    FaultPlan plan(seed, spec);
+    SyncConfig config;
+    config.max_rounds = 12;
+    const SyncReport report =
+        synchronise_resilient(group, {}, nullptr, &plan, config);
+
+    if (!plan.injected().empty()) ++faulted;
+
+    ASSERT_EQ(report.sites.size(), group.size()) << "seed " << seed;
+    std::string adopted_fingerprint;
+    bool saw_unsynced = false;
+    for (Site* site : group) {
+      const SiteReport* sr = report.site_report(site->name());
+      ASSERT_NE(sr, nullptr) << "seed " << seed;
+      if (sr->synced) {
+        // Synced sites agree on one merged state and start a fresh log.
+        if (adopted_fingerprint.empty()) {
+          adopted_fingerprint = site->committed().fingerprint();
+        }
+        EXPECT_EQ(site->committed().fingerprint(), adopted_fingerprint)
+            << "seed " << seed << " site " << site->name();
+        EXPECT_FALSE(site->has_local_updates())
+            << "seed " << seed << " site " << site->name();
+        if (sr->quarantines > 0) ++recovered;
+      } else {
+        // Unsynced sites are untouched: same committed state, log intact.
+        saw_unsynced = true;
+        EXPECT_EQ(site->committed().fingerprint(), entry_fingerprint)
+            << "seed " << seed << " site " << site->name();
+        EXPECT_NE(sr->last_error.kind, SyncErrorKind::kNone)
+            << "seed " << seed << " site " << site->name();
+      }
+    }
+    EXPECT_EQ(report.all_synced, !saw_unsynced) << "seed " << seed;
+    EXPECT_EQ(report.adopted, !adopted_fingerprint.empty())
+        << "seed " << seed;
+    if (report.all_synced) {
+      ++fully_synced;
+      EXPECT_TRUE(converged(group)) << "seed " << seed;
+    }
+
+    // Loss bookkeeping is exact: every crash/loss the plan injected is a
+    // recorded error of the matching kind, one to one.
+    const auto count_injected = [&plan](const char* kind) {
+      return std::count_if(
+          plan.injected().begin(), plan.injected().end(),
+          [kind](const InjectedFault& f) { return f.kind == kind; });
+    };
+    const auto count_errors = [&report](SyncErrorKind kind) {
+      return std::count_if(
+          report.errors.begin(), report.errors.end(),
+          [kind](const SyncError& e) { return e.kind == kind; });
+    };
+    EXPECT_EQ(count_injected("drop"),
+              count_errors(SyncErrorKind::kUnreachable))
+        << "seed " << seed;
+    EXPECT_EQ(count_injected("lose"),
+              count_errors(SyncErrorKind::kDeliveryFailed))
+        << "seed " << seed;
+  }
+  // The sweep must cover the interesting regions of the space.
+  EXPECT_GT(fully_synced, 20u);  // many groups still converge
+  EXPECT_GT(faulted, 100u);      // nearly every seed injected something
+  EXPECT_GT(recovered, 10u);     // quarantined sites do come back
+}
+
+// ---------------------------------------------------------------------------
+// Targeted protocol scenarios.
+
+TEST(ResilientSync, PerfectNetworkMatchesLegacySynchronise) {
+  const Universe initial = counter_universe(10);
+  Site a1("a", initial), b1("b", initial);
+  Site a2("a", initial), b2("b", initial);
+  for (Site* site : {&a1, &a2}) {
+    ASSERT_TRUE(site->perform(std::make_shared<IncrementAction>(kCounter, 5)));
+  }
+  for (Site* site : {&b1, &b2}) {
+    ASSERT_TRUE(site->perform(std::make_shared<DecrementAction>(kCounter, 3)));
+  }
+
+  const SyncResult legacy = synchronise({&a1, &b1});
+  ASSERT_TRUE(legacy.adopted) << legacy.error;
+  const SyncReport resilient = synchronise_resilient({&a2, &b2});
+  ASSERT_TRUE(resilient.adopted);
+  EXPECT_TRUE(resilient.all_synced);
+  EXPECT_EQ(resilient.rounds, 1u);
+  EXPECT_TRUE(resilient.errors.empty());
+  EXPECT_EQ(a2.committed().fingerprint(), a1.committed().fingerprint());
+}
+
+TEST(ResilientSync, DivergentSiteQuarantinedHealthyRestConverges) {
+  const Universe initial = counter_universe(10);
+  Site a("a", initial), b("b", initial);
+  Site rogue("rogue", counter_universe(999));
+  ASSERT_TRUE(a.perform(std::make_shared<IncrementAction>(kCounter, 5)));
+  ASSERT_TRUE(b.perform(std::make_shared<DecrementAction>(kCounter, 2)));
+  ASSERT_TRUE(
+      rogue.perform(std::make_shared<IncrementAction>(kCounter, 1)));
+
+  const SyncReport report = synchronise_resilient({&a, &b, &rogue});
+  EXPECT_TRUE(report.adopted);
+  EXPECT_FALSE(report.all_synced);
+  EXPECT_TRUE(converged({&a, &b}));
+  EXPECT_EQ(a.committed().as<Counter>(kCounter).value(), 10 + 5 - 2);
+
+  const SiteReport* rr = report.site_report("rogue");
+  ASSERT_NE(rr, nullptr);
+  EXPECT_FALSE(rr->synced);
+  EXPECT_EQ(rr->last_error.kind, SyncErrorKind::kDivergentState);
+  // The rogue site is untouched: its state and pending log survive.
+  EXPECT_EQ(rogue.committed().as<Counter>(kCounter).value(), 999);
+  EXPECT_TRUE(rogue.has_local_updates());
+}
+
+TEST(ResilientSync, TotalOutageFailsSafeWithoutCrash) {
+  FaultSpec spec;
+  spec.site_down = 1.0;
+  FaultPlan plan(5, spec);
+
+  const Universe initial = counter_universe(0);
+  Site a("a", initial), b("b", initial);
+  ASSERT_TRUE(a.perform(std::make_shared<IncrementAction>(kCounter, 1)));
+  ASSERT_TRUE(b.perform(std::make_shared<IncrementAction>(kCounter, 2)));
+
+  SyncConfig config;
+  config.max_rounds = 4;
+  const SyncReport report =
+      synchronise_resilient({&a, &b}, {}, nullptr, &plan, config);
+  EXPECT_FALSE(report.adopted);
+  EXPECT_FALSE(report.all_synced);
+  EXPECT_EQ(report.rounds, 4u);
+  for (const SiteReport& sr : report.sites) {
+    EXPECT_FALSE(sr.synced);
+    EXPECT_GE(sr.quarantines, 1u);
+    EXPECT_EQ(sr.last_error.kind, SyncErrorKind::kRoundsExhausted);
+  }
+  // Both sites keep their pending work for a later attempt.
+  EXPECT_TRUE(a.has_local_updates());
+  EXPECT_TRUE(b.has_local_updates());
+}
+
+TEST(ResilientSync, EmptyGroupReportsNoSites) {
+  const SyncReport report = synchronise_resilient({});
+  EXPECT_FALSE(report.adopted);
+  EXPECT_FALSE(report.all_synced);
+  ASSERT_EQ(report.errors.size(), 1u);
+  EXPECT_EQ(report.errors.front().kind, SyncErrorKind::kNoSites);
+}
+
+TEST(ResilientSync, BackoffDelaysRetriesExponentially) {
+  // With the network fully down, a site is quarantined in round 0 and must
+  // wait out its backoff: with base 1 and 4 rounds it gets exactly two
+  // attempts (rounds 0 and 2), not four.
+  FaultSpec spec;
+  spec.site_down = 1.0;
+  FaultPlan plan(9, spec);
+  const Universe initial = counter_universe(0);
+  Site a("a", initial), b("b", initial);
+  ASSERT_TRUE(a.perform(std::make_shared<IncrementAction>(kCounter, 1)));
+
+  SyncConfig config;
+  config.max_rounds = 4;
+  const SyncReport report =
+      synchronise_resilient({&a, &b}, {}, nullptr, &plan, config);
+  for (const SiteReport& sr : report.sites) {
+    EXPECT_EQ(sr.attempts, 2u) << sr.site;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Deadline-bounded degradation: exhausting the search budget yields a
+// valid, replayable schedule marked degraded — never an empty hand.
+
+/// Replays `outcome.schedule` from `initial` and checks it reaches
+/// `outcome.final_state`.
+void expect_replayable(const Universe& initial, const Outcome& outcome,
+                       const std::vector<ActionRecord>& records) {
+  Universe replay = initial;
+  for (ActionId id : outcome.schedule) {
+    const auto& action = records[id.index()].action;
+    ASSERT_TRUE(action->precondition(replay)) << action->describe();
+    ASSERT_TRUE(action->execute(replay)) << action->describe();
+  }
+  EXPECT_EQ(replay.fingerprint(), outcome.final_state.fingerprint());
+}
+
+TEST(Degradation, ExhaustedSearchFallsBackToValidSchedule) {
+  Log a("a"), b("b");
+  a.append(std::make_shared<IncrementAction>(kCounter, 5));
+  a.append(std::make_shared<DecrementAction>(kCounter, 3));
+  b.append(std::make_shared<DecrementAction>(kCounter, 8));
+  b.append(std::make_shared<IncrementAction>(kCounter, 2));
+
+  ReconcilerOptions options;
+  options.limits.max_steps = 1;  // exhaust before anything completes
+  Reconciler reconciler(counter_universe(10), {a, b}, options);
+  const ReconcileResult result = reconciler.run();
+
+  ASSERT_TRUE(result.found_any());
+  EXPECT_TRUE(result.stats.hit_limit);
+  ASSERT_TRUE(result.degraded);
+
+  const auto it = std::find_if(result.outcomes.begin(), result.outcomes.end(),
+                               [](const Outcome& o) { return o.degraded; });
+  ASSERT_NE(it, result.outcomes.end());
+  // Every action is accounted for: scheduled or reported dropped.
+  EXPECT_EQ(it->schedule.size() + it->skipped.size(),
+            reconciler.records().size());
+  EXPECT_EQ(it->skipped, result.degraded_dropped);
+  expect_replayable(reconciler.initial_state(), *it, reconciler.records());
+}
+
+TEST(Degradation, DisabledFlagLeavesOnlySearchOutcomes) {
+  Log a("a");
+  a.append(std::make_shared<IncrementAction>(kCounter, 5));
+  a.append(std::make_shared<DecrementAction>(kCounter, 3));
+
+  ReconcilerOptions options;
+  options.limits.max_steps = 1;
+  options.degrade_on_exhaustion = false;
+  Reconciler reconciler(counter_universe(10), {a}, options);
+  const ReconcileResult result = reconciler.run();
+  EXPECT_FALSE(result.degraded);
+  for (const Outcome& outcome : result.outcomes) {
+    EXPECT_FALSE(outcome.degraded);
+  }
+}
+
+TEST(Degradation, NotTriggeredWhenSearchCompletes) {
+  Log a("a");
+  a.append(std::make_shared<IncrementAction>(kCounter, 5));
+  Reconciler reconciler(counter_universe(10), {a}, {});
+  const ReconcileResult result = reconciler.run();
+  ASSERT_TRUE(result.found_any());
+  EXPECT_FALSE(result.degraded);
+  EXPECT_TRUE(result.best().complete);
+  EXPECT_FALSE(result.best().degraded);
+}
+
+TEST(Degradation, SeededSweepYieldsValidDegradedSchedules) {
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    Rng rng(seed + 17);
+    std::vector<Log> logs;
+    for (int l = 0; l < 3; ++l) {
+      Log log("log" + std::to_string(l));
+      const std::size_t n = 2 + rng.below(3);
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto amount = static_cast<std::int64_t>(rng.below(20)) + 1;
+        if (rng.chance(0.5)) {
+          log.append(std::make_shared<IncrementAction>(kCounter, amount));
+        } else {
+          log.append(std::make_shared<DecrementAction>(kCounter, amount));
+        }
+      }
+      logs.push_back(std::move(log));
+    }
+
+    ReconcilerOptions options;
+    options.limits.max_steps = 2;
+    Reconciler reconciler(counter_universe(5), logs, options);
+    const ReconcileResult result = reconciler.run();
+    ASSERT_TRUE(result.found_any()) << "seed " << seed;
+    if (!result.degraded) continue;  // search finished within two steps
+    const auto it =
+        std::find_if(result.outcomes.begin(), result.outcomes.end(),
+                     [](const Outcome& o) { return o.degraded; });
+    ASSERT_NE(it, result.outcomes.end()) << "seed " << seed;
+    expect_replayable(reconciler.initial_state(), *it, reconciler.records());
+  }
+}
+
+// End to end: faults, retries and degradation in one protocol run.
+TEST(ResilientSync, DegradedRoundStillConvergesTheGroup) {
+  const Universe initial = counter_universe(100);
+  Site a("a", initial), b("b", initial);
+  ASSERT_TRUE(a.perform(std::make_shared<IncrementAction>(kCounter, 5)));
+  ASSERT_TRUE(a.perform(std::make_shared<DecrementAction>(kCounter, 30)));
+  ASSERT_TRUE(b.perform(std::make_shared<DecrementAction>(kCounter, 20)));
+
+  ReconcilerOptions options;
+  options.limits.max_steps = 1;  // force every round into the fallback
+  const SyncReport report = synchronise_resilient({&a, &b}, options);
+  ASSERT_TRUE(report.adopted);
+  EXPECT_TRUE(report.all_synced);
+  EXPECT_TRUE(report.degraded);
+  EXPECT_TRUE(converged({&a, &b}));
+}
+
+}  // namespace
+}  // namespace icecube

@@ -2,7 +2,10 @@
 // replay equivalence, malformed-input handling.
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <memory>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "jigsaw/actions.hpp"
@@ -16,6 +19,7 @@
 #include "objects/text.hpp"
 #include "serialize/log_codec.hpp"
 #include "test_helpers.hpp"
+#include "util/crc32.hpp"
 #include "workload/generators.hpp"
 
 namespace icecube {
@@ -131,9 +135,12 @@ TEST(LogCodec, EmptyLogRoundTrips) {
 
 TEST(LogCodec, RejectsBadHeader) {
   const ActionRegistry registry = ActionRegistry::with_builtins();
-  EXPECT_FALSE(decode_log("", registry).ok());
-  EXPECT_FALSE(decode_log("not-a-log 1 x\n", registry).ok());
-  EXPECT_FALSE(decode_log("icecube-log 99 x\n", registry).ok());
+  EXPECT_EQ(decode_log("", registry).error.kind,
+            DecodeErrorKind::kEmptyInput);
+  EXPECT_EQ(decode_log("not-a-log 1 x\n", registry).error.kind,
+            DecodeErrorKind::kBadHeader);
+  EXPECT_EQ(decode_log("icecube-log 99 x\n", registry).error.kind,
+            DecodeErrorKind::kUnsupportedVersion);
 }
 
 TEST(LogCodec, RejectsUnknownOp) {
@@ -141,21 +148,183 @@ TEST(LogCodec, RejectsUnknownOp) {
   const DecodedLog decoded =
       decode_log("icecube-log 1 x\nfrobnicate | 0 | 1 |\n", registry);
   EXPECT_FALSE(decoded.ok());
-  EXPECT_NE(decoded.error.find("frobnicate"), std::string::npos);
+  EXPECT_EQ(decoded.error.kind, DecodeErrorKind::kUnknownOp);
+  EXPECT_EQ(decoded.error.line, 2u);
+  EXPECT_NE(decoded.error.message().find("frobnicate"), std::string::npos);
 }
 
 TEST(LogCodec, RejectsMalformedLines) {
   const ActionRegistry registry = ActionRegistry::with_builtins();
   // Too few fields.
-  EXPECT_FALSE(decode_log("icecube-log 1 x\nincrement | 0 | 1\n", registry)
-                   .ok());
+  EXPECT_EQ(decode_log("icecube-log 1 x\nincrement | 0 | 1\n", registry)
+                .error.kind,
+            DecodeErrorKind::kBadSyntax);
   // Bad number.
-  EXPECT_FALSE(
-      decode_log("icecube-log 1 x\nincrement | zero | 1 |\n", registry).ok());
+  EXPECT_EQ(
+      decode_log("icecube-log 1 x\nincrement | zero | 1 |\n", registry)
+          .error.kind,
+      DecodeErrorKind::kBadNumber);
   // Missing params for the op.
-  EXPECT_FALSE(
-      decode_log("icecube-log 1 x\nincrement | 0 | |\n", registry).ok());
+  EXPECT_EQ(decode_log("icecube-log 1 x\nincrement | 0 | |\n", registry)
+                .error.kind,
+            DecodeErrorKind::kBadOperands);
 }
+
+TEST(LogCodec, StrictNumbersRejectTrailingGarbageAndSigns) {
+  // std::stoul-style prefix parsing would silently accept these; the
+  // hardened decoder must not.
+  const ActionRegistry registry = ActionRegistry::with_builtins();
+  EXPECT_EQ(decode_log("icecube-log 1 x\nincrement | 0x | 1 |\n", registry)
+                .error.kind,
+            DecodeErrorKind::kBadNumber);
+  EXPECT_EQ(decode_log("icecube-log 1 x\nincrement | -1 | 1 |\n", registry)
+                .error.kind,
+            DecodeErrorKind::kBadNumber);
+  EXPECT_EQ(decode_log("icecube-log 1 x\nincrement | 0 | 1z |\n", registry)
+                .error.kind,
+            DecodeErrorKind::kBadNumber);
+}
+
+// ---------------------------------------------------------------------------
+// CRC framing (format v2).
+
+TEST(LogCodecCrc, EncodeCarriesVerifiableTrailer) {
+  const Log log = make_log(
+      "bank", {std::make_shared<IncrementAction>(ObjectId(0), 100)});
+  const std::string encoded = encode_log(log);
+  ASSERT_TRUE(encoded.starts_with("icecube-log 2 "));
+  const auto trailer = encoded.rfind("#crc32 ");
+  ASSERT_NE(trailer, std::string::npos);
+  EXPECT_EQ(Crc32::of(std::string_view(encoded).substr(0, trailer)),
+            std::stoul(encoded.substr(trailer + 7, 8), nullptr, 16));
+}
+
+TEST(LogCodecCrc, DetectsSingleFlippedByteAsCorruption) {
+  const Log log = make_log(
+      "bank", {std::make_shared<IncrementAction>(ObjectId(0), 100),
+               std::make_shared<DecrementAction>(ObjectId(0), 30)});
+  const ActionRegistry registry = ActionRegistry::with_builtins();
+  const std::string encoded = encode_log(log);
+  // Flip every byte above the trailer in turn: all must be caught, and as
+  // transport faults, never as content errors.
+  const std::size_t trailer = encoded.rfind("#crc32 ");
+  for (std::size_t i = 0; i < trailer; ++i) {
+    std::string damaged = encoded;
+    damaged[i] = static_cast<char>(damaged[i] ^ 0x20);
+    const DecodedLog decoded = decode_log(damaged, registry);
+    ASSERT_FALSE(decoded.ok()) << "byte " << i;
+    ASSERT_TRUE(decoded.error.transient() ||
+                decoded.error.kind == DecodeErrorKind::kBadHeader ||
+                decoded.error.kind == DecodeErrorKind::kUnsupportedVersion)
+        << "byte " << i << ": " << decoded.error;
+  }
+}
+
+TEST(LogCodecCrc, DetectsTruncation) {
+  const Log log = make_log(
+      "bank", {std::make_shared<IncrementAction>(ObjectId(0), 100),
+               std::make_shared<DecrementAction>(ObjectId(0), 30)});
+  const ActionRegistry registry = ActionRegistry::with_builtins();
+  const std::string encoded = encode_log(log);
+  // Cut at every length: never a crash, never a *wrong* decode. A cut that
+  // only loses the final newline leaves the trailer verifiable — it may
+  // decode, but only to exactly the original log; any other cut must fail
+  // as transport damage (or an unusable frame), never as a content error.
+  for (std::size_t len = 0; len < encoded.size(); ++len) {
+    const DecodedLog decoded = decode_log(encoded.substr(0, len), registry);
+    if (decoded.ok()) {
+      EXPECT_EQ(encode_log(*decoded.log), encoded) << "length " << len;
+      continue;
+    }
+    ASSERT_TRUE(decoded.error.transient() ||
+                decoded.error.kind == DecodeErrorKind::kBadHeader)
+        << "length " << len << ": " << decoded.error;
+  }
+}
+
+TEST(LogCodecCrc, LegacyV1StillDecodesWithoutTrailer) {
+  const ActionRegistry registry = ActionRegistry::with_builtins();
+  const DecodedLog decoded =
+      decode_log("icecube-log 1 old\nincrement | 0 | 5 |\n", registry);
+  ASSERT_TRUE(decoded.ok()) << decoded.error;
+  EXPECT_EQ(decoded.log->size(), 1u);
+}
+
+TEST(LogCodecCrc, V2WithoutTrailerIsTruncated) {
+  const ActionRegistry registry = ActionRegistry::with_builtins();
+  const DecodedLog decoded =
+      decode_log("icecube-log 2 x\nincrement | 0 | 5 |\n", registry);
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error.kind, DecodeErrorKind::kTruncated);
+}
+
+// ---------------------------------------------------------------------------
+// Malformed-input coverage for every builtin factory: wrong arity (missing
+// targets), missing/bad int params, missing string params. Each case must
+// decode to a structured kBadOperands (never crash, never nullptr-deref).
+
+struct FactoryCase {
+  const char* name;
+  const char* line;  // malformed action line (4 '|' groups)
+};
+
+class BuiltinFactoryMalformed : public ::testing::TestWithParam<FactoryCase> {
+};
+
+TEST_P(BuiltinFactoryMalformed, RejectsStructurally) {
+  const ActionRegistry registry = ActionRegistry::with_builtins();
+  const std::string text =
+      std::string("icecube-log 1 x\n") + GetParam().line + "\n";
+  const DecodedLog decoded = decode_log(text, registry);
+  ASSERT_FALSE(decoded.ok()) << GetParam().line;
+  EXPECT_EQ(decoded.error.kind, DecodeErrorKind::kBadOperands)
+      << GetParam().line << " -> " << decoded.error;
+  EXPECT_EQ(decoded.error.line, 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBuiltins, BuiltinFactoryMalformed,
+    ::testing::Values(
+        // Counter: empty targets / missing amount.
+        FactoryCase{"increment_no_target", "increment | | 1 |"},
+        FactoryCase{"increment_no_amount", "increment | 0 | |"},
+        FactoryCase{"decrement_no_target", "decrement | | 1 |"},
+        FactoryCase{"decrement_no_amount", "decrement | 0 | |"},
+        // Register.
+        FactoryCase{"write_no_target", "write | | 1 |"},
+        FactoryCase{"write_no_value", "write | 0 | |"},
+        FactoryCase{"read_no_target", "read | | |"},
+        // File system: missing path / content.
+        FactoryCase{"mkdir_no_target", "mkdir | | | /d"},
+        FactoryCase{"mkdir_no_path", "mkdir | 0 | |"},
+        FactoryCase{"fswrite_no_content", "fswrite | 0 | | /f"},
+        FactoryCase{"fsdelete_no_path", "fsdelete | 0 | |"},
+        // Calendar: 'request' needs two targets, two ints, one string.
+        FactoryCase{"request_one_target", "request | 0 | 9 11 | label"},
+        FactoryCase{"request_no_hours", "request | 0 1 | | label"},
+        FactoryCase{"request_no_label", "request | 0 1 | 9 11 |"},
+        FactoryCase{"cancel_no_hour", "cancel | 0 | |"},
+        // Sys-admin.
+        FactoryCase{"upgrade_one_param", "upgrade | 0 | 1 |"},
+        FactoryCase{"buy_one_target", "buy | 0 | 1 2 |"},
+        FactoryCase{"buy_no_params", "buy | 0 1 | |"},
+        FactoryCase{"install_one_param", "install | 0 | 1 |"},
+        FactoryCase{"fund_no_amount", "fund | 0 | |"},
+        // Jigsaw.
+        FactoryCase{"insert_no_piece", "insert | 0 | |"},
+        FactoryCase{"insert_strict_no_piece", "insert! | 0 | |"},
+        FactoryCase{"join_three_params", "join | 0 | 1 2 3 |"},
+        FactoryCase{"remove_no_piece", "remove | 0 | |"},
+        // OT text.
+        FactoryCase{"tins_no_text", "tins | 0 | 1 5 |"},
+        FactoryCase{"tins_one_param", "tins | 0 | 1 | hi"},
+        FactoryCase{"tdel_two_params", "tdel | 0 | 1 5 |"},
+        // Line file: needs a position and two strings.
+        FactoryCase{"setline_one_string", "setline | 0 | 7 | old"},
+        FactoryCase{"setline_no_pos", "setline | 0 | | old new"}),
+    [](const ::testing::TestParamInfo<FactoryCase>& info) {
+      return info.param.name;
+    });
 
 TEST(LogCodec, CustomOpsCanBeRegistered) {
   ActionRegistry registry;  // empty: even built-ins are unknown

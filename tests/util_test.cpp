@@ -1,10 +1,13 @@
-// Unit tests for the utility layer: strong ids, bitsets, RNG, stopwatch.
+// Unit tests for the utility layer: strong ids, bitsets, RNG, CRC,
+// stopwatch.
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
 #include <unordered_set>
 
 #include "util/bitset.hpp"
+#include "util/crc32.hpp"
 #include "util/ids.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
@@ -164,6 +167,40 @@ TEST(Rng, UnitInHalfOpenInterval) {
     EXPECT_GE(u, 0.0);
     EXPECT_LT(u, 1.0);
   }
+}
+
+TEST(Crc32, MatchesIeeeCheckValue) {
+  // The standard check value for CRC-32/ISO-HDLC.
+  EXPECT_EQ(Crc32::of("123456789"), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyInputIsZero) { EXPECT_EQ(Crc32::of(""), 0u); }
+
+TEST(Crc32, IncrementalEqualsOneShot) {
+  const std::string text = "icecube-log 2 bank\nincrement | 0 | 100 |\n";
+  Crc32 crc;
+  for (std::size_t i = 0; i < text.size(); i += 7) {
+    crc.update(std::string_view(text).substr(i, 7));
+  }
+  EXPECT_EQ(crc.value(), Crc32::of(text));
+}
+
+TEST(Crc32, SensitiveToSingleBitFlips) {
+  std::string text = "the quick brown fox";
+  const std::uint32_t clean = Crc32::of(text);
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string damaged = text;
+      damaged[i] = static_cast<char>(damaged[i] ^ (1 << bit));
+      EXPECT_NE(Crc32::of(damaged), clean) << "byte " << i << " bit " << bit;
+    }
+  }
+}
+
+TEST(Crc32, UsableAtCompileTime) {
+  static_assert(Crc32::of("123456789") == 0xCBF43926u);
+  static_assert(Crc32::of("") == 0u);
+  SUCCEED();
 }
 
 TEST(Stopwatch, MeasuresNonNegativeElapsed) {
