@@ -1,11 +1,88 @@
 // Shared helpers for the experiment benches.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "jigsaw/experiment.hpp"
 
 namespace bench {
+
+/// Machine-readable sink for bench results. Every bench accepts
+/// `--json <path>`; when present, one record per measured run is collected
+/// and the whole batch is written as a JSON array when the sink goes out of
+/// scope. Without the flag the sink is inert, so benches stay plain
+/// table-printing binaries by default.
+class JsonSink {
+ public:
+  JsonSink(int argc, char** argv) {
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::string(argv[i]) == "--json") path_ = argv[i + 1];
+    }
+  }
+
+  JsonSink(const JsonSink&) = delete;
+  JsonSink& operator=(const JsonSink&) = delete;
+
+  ~JsonSink() { flush(); }
+
+  [[nodiscard]] bool active() const { return !path_.empty(); }
+
+  void record(std::string workload, std::size_t n_actions,
+              std::size_t threads, double wall_seconds,
+              std::uint64_t schedules_explored) {
+    if (!active()) return;
+    records_.push_back(Record{std::move(workload), n_actions, threads,
+                              wall_seconds, schedules_explored});
+  }
+
+  /// Writes the collected records; called automatically on destruction.
+  void flush() {
+    if (!active() || records_.empty()) return;
+    std::ofstream out(path_);
+    if (!out) {
+      std::fprintf(stderr, "warning: cannot write JSON to '%s'\n",
+                   path_.c_str());
+      return;
+    }
+    out << "[\n";
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const Record& r = records_[i];
+      out << "  {\"workload\": \"" << escaped(r.workload)
+          << "\", \"n_actions\": " << r.n_actions
+          << ", \"threads\": " << r.threads
+          << ", \"wall_seconds\": " << r.wall_seconds
+          << ", \"schedules_explored\": " << r.schedules_explored << "}"
+          << (i + 1 < records_.size() ? "," : "") << "\n";
+    }
+    out << "]\n";
+    records_.clear();
+  }
+
+ private:
+  struct Record {
+    std::string workload;
+    std::size_t n_actions;
+    std::size_t threads;
+    double wall_seconds;
+    std::uint64_t schedules_explored;
+  };
+
+  static std::string escaped(const std::string& s) {
+    std::string out;
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string path_;
+  std::vector<Record> records_;
+};
 
 inline void print_header() {
   std::printf("%-52s %8s %7s %7s %9s %10s %11s %9s %6s\n", "configuration",

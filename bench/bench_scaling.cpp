@@ -18,9 +18,20 @@ using namespace icecube;
 using namespace icecube::jigsaw;
 using K = PlayerSpec::Kind;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonSink json(argc, argv);
   std::printf("=== E4: scaling with log size (cap = 100,000 schedules) ===\n\n");
   bench::print_header();
+
+  const auto measure = [&json](const char* name, const Problem& problem,
+                               const icecube::ReconcilerOptions& opts) {
+    std::size_t n_actions = 0;
+    for (const auto& log : problem.logs) n_actions += log.size();
+    const auto r = run_experiment(problem, opts);
+    bench::print_row(name, r);
+    json.record(name, n_actions, /*threads=*/1, r.stats.elapsed_seconds,
+                r.stats.schedules_explored());
+  };
 
   for (const int side : {4, 6, 8, 10}) {
     const int pieces = side * side;
@@ -38,22 +49,16 @@ int main() {
     char name[96];
     std::snprintf(name, sizeof name, "%dx%d %d+%d acts, Case2 H=Safe", side,
                   side, per_player, per_player);
-    bench::print_row(name,
-                     run_experiment(strong, bench::options(
-                                                Heuristic::kSafe,
-                                                FailureMode::kAbortBranch)));
+    measure(name, strong,
+            bench::options(Heuristic::kSafe, FailureMode::kAbortBranch));
     std::snprintf(name, sizeof name, "%dx%d %d+%d acts, Case3 H=All", side,
                   side, per_player, per_player);
-    bench::print_row(name,
-                     run_experiment(weak, bench::options(
-                                              Heuristic::kAll,
-                                              FailureMode::kAbortBranch)));
+    measure(name, weak,
+            bench::options(Heuristic::kAll, FailureMode::kAbortBranch));
     std::snprintf(name, sizeof name, "%dx%d %d+%d acts, no static constr.",
                   side, side, per_player, per_player);
-    bench::print_row(name,
-                     run_experiment(none, bench::options(
-                                              Heuristic::kAll,
-                                              FailureMode::kAbortBranch)));
+    measure(name, none,
+            bench::options(Heuristic::kAll, FailureMode::kAbortBranch));
   }
 
   std::printf(

@@ -50,7 +50,7 @@ int usage(std::ostream& err) {
          "  icecube reconcile <universe> <log>... [--heuristic "
          "all|safe|strict]\n"
          "           [--skip-failed] [--max-schedules N] [--deadline S]\n"
-         "           [--save FILE] [--dot]\n"
+         "           [--threads N] [--save FILE] [--dot]\n"
          "  icecube show <universe-file|log-file>\n";
   return 2;
 }
@@ -154,6 +154,15 @@ int cmd_reconcile(const std::vector<std::string>& args, std::ostream& out,
             << "'\n";
         return 2;
       }
+    } else if (arg == "--threads") {
+      if (++i >= args.size()) return usage(err);
+      const auto lanes = serialize_detail::parse_number<std::size_t>(args[i]);
+      if (!lanes) {
+        err << "error: --threads expects a count (0 = all cores), got '"
+            << args[i] << "'\n";
+        return 2;
+      }
+      options.threads = *lanes;
     } else if (arg == "--save") {
       if (++i >= args.size()) return usage(err);
       save_path = args[i];

@@ -1,8 +1,12 @@
 #include "core/constraint_builder.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <iomanip>
 #include <sstream>
+#include <utility>
+
+#include "util/thread_pool.hpp"
 
 namespace icecube {
 
@@ -22,21 +26,35 @@ std::vector<ObjectId> common_targets(const Action& a, const Action& b) {
   return out;
 }
 
-}  // namespace
+/// Allocation-free variant over pre-fetched target lists, writing into a
+/// caller-owned scratch vector (reused across pairs by the sparse builder).
+void common_targets_into(const std::vector<ObjectId>& ta,
+                         const std::vector<ObjectId>& tb,
+                         std::vector<ObjectId>& out) {
+  out.clear();
+  for (ObjectId x : ta) {
+    if (std::find(tb.begin(), tb.end(), x) != tb.end() &&
+        std::find(out.begin(), out.end(), x) == out.end()) {
+      out.push_back(x);
+    }
+  }
+}
 
-Constraint evaluate_constraint(const Universe& universe, const ActionRecord& a,
-                               const ActionRecord& b) {
-  const auto shared = common_targets(*a.action, *b.action);
-  // Rule 1: disjoint targets ⇒ independent and commutative.
+/// Rules 2–3 of §2.3 for the direction "a before b", given the shared-target
+/// set (rule 1 is the caller's: empty `shared` ⇒ safe). The iteration order
+/// of `shared` does not affect the result — `most_constraining` is a
+/// commutative max — so one set serves both directions of a pair.
+Constraint evaluate_direction(const Universe& universe, const ActionRecord& a,
+                              const ActionRecord& b,
+                              const std::vector<ObjectId>& shared,
+                              std::uint64_t& order_calls) {
   if (shared.empty()) return Constraint::kSafe;
-  // Rule 2: the recorded order of a log is safe by default (user intent).
   if (a.before_in_log(b)) return Constraint::kSafe;
-  // Rule 3: ask each common target's order method; keep the most
-  // constraining answer.
   const LogRelation rel =
       a.same_log(b) ? LogRelation::kSameLog : LogRelation::kAcrossLogs;
   Constraint result = Constraint::kSafe;
   for (ObjectId target : shared) {
+    ++order_calls;
     result = most_constraining(
         result, universe.at(target).order(*a.action, *b.action, rel));
     if (result == Constraint::kUnsafe) break;  // cannot get worse
@@ -44,15 +62,118 @@ Constraint evaluate_constraint(const Universe& universe, const ActionRecord& a,
   return result;
 }
 
-ConstraintMatrix build_constraints(const Universe& universe,
-                                   const std::vector<ActionRecord>& records) {
+}  // namespace
+
+Constraint evaluate_constraint(const Universe& universe, const ActionRecord& a,
+                               const ActionRecord& b) {
+  std::uint64_t order_calls = 0;
+  return evaluate_direction(universe, a, b,
+                            common_targets(*a.action, *b.action), order_calls);
+}
+
+ConstraintMatrix build_constraints_dense(
+    const Universe& universe, const std::vector<ActionRecord>& records,
+    ConstraintBuildStats* stats) {
+  ConstraintBuildStats local;
   ConstraintMatrix matrix(records.size());
   for (std::size_t i = 0; i < records.size(); ++i) {
     for (std::size_t j = 0; j < records.size(); ++j) {
       if (i == j) continue;  // diagonal is meaningless; left safe
+      ++local.pairs_evaluated;
+      ++local.target_set_builds;
+      const auto shared =
+          common_targets(*records[i].action, *records[j].action);
       matrix.set(ActionId(i), ActionId(j),
-                 evaluate_constraint(universe, records[i], records[j]));
+                 evaluate_direction(universe, records[i], records[j], shared,
+                                    local.order_calls));
     }
+  }
+  if (stats != nullptr) *stats = local;
+  return matrix;
+}
+
+ConstraintMatrix build_constraints(const Universe& universe,
+                                   const std::vector<ActionRecord>& records,
+                                   const ConstraintBuildOptions& options) {
+  const std::size_t n = records.size();
+  ConstraintMatrix matrix(n);
+
+  // Fetch every action's target list once: Action::targets() is a virtual
+  // call returning a fresh vector, far too expensive per pair.
+  std::vector<std::vector<ObjectId>> targets(n);
+  std::size_t max_target = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    targets[i] = records[i].action->targets();
+    for (ObjectId t : targets[i]) {
+      max_target = std::max(max_target, t.index() + 1);
+    }
+  }
+
+  // Inverted index: target → actions touching it, in ascending id order.
+  std::vector<std::vector<std::uint32_t>> by_target(max_target);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (ObjectId t : targets[i]) {
+      by_target[t.index()].push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+
+  // Unordered pairs sharing at least one target. Every other pair is `safe`
+  // in both directions (§2.3 rule 1) — exactly the matrix default.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  std::vector<std::uint32_t> nbrs;
+  for (std::size_t a = 0; a < n; ++a) {
+    nbrs.clear();
+    for (ObjectId t : targets[a]) {
+      for (std::uint32_t b : by_target[t.index()]) {
+        if (b > a) nbrs.push_back(b);
+      }
+    }
+    std::sort(nbrs.begin(), nbrs.end());
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+    for (std::uint32_t b : nbrs) {
+      pairs.emplace_back(static_cast<std::uint32_t>(a), b);
+    }
+  }
+
+  // Evaluate each unordered pair once for both directions, sharded across
+  // the pool in contiguous chunks. Chunks write disjoint matrix cells and
+  // pair values are independent, so the result (and the stats totals) are
+  // identical for any shard count.
+  std::atomic<std::uint64_t> order_calls{0};
+  const std::size_t lanes =
+      options.pool != nullptr ? options.pool->size() + 1 : 1;
+  const std::size_t chunk_size =
+      std::max<std::size_t>(1, pairs.size() / (lanes * 8) + 1);
+  const std::size_t chunks = (pairs.size() + chunk_size - 1) / chunk_size;
+
+  parallel_for_each(
+      options.pool, chunks,
+      [&universe, &records, &targets, &pairs, &matrix, &order_calls,
+       chunk_size](std::size_t c) {
+        std::uint64_t local_order_calls = 0;
+        std::vector<ObjectId> shared;  // scratch, reused across the chunk
+        const std::size_t begin = c * chunk_size;
+        const std::size_t end = std::min(begin + chunk_size, pairs.size());
+        for (std::size_t p = begin; p < end; ++p) {
+          const ActionId a(pairs[p].first);
+          const ActionId b(pairs[p].second);
+          common_targets_into(targets[a.index()], targets[b.index()], shared);
+          matrix.set(a, b,
+                     evaluate_direction(universe, records[a.index()],
+                                        records[b.index()], shared,
+                                        local_order_calls));
+          matrix.set(b, a,
+                     evaluate_direction(universe, records[b.index()],
+                                        records[a.index()], shared,
+                                        local_order_calls));
+        }
+        order_calls.fetch_add(local_order_calls, std::memory_order_relaxed);
+      });
+
+  if (options.stats != nullptr) {
+    options.stats->pairs_evaluated = 2 * pairs.size();
+    options.stats->target_set_builds = pairs.size();
+    options.stats->order_calls = order_calls.load(std::memory_order_relaxed);
   }
   return matrix;
 }

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -16,6 +17,8 @@
 #include "util/ids.hpp"
 
 namespace icecube {
+
+class ThreadPool;
 
 /// Dense N×N matrix of `Constraint` values over a flattened action set.
 class ConstraintMatrix {
@@ -52,9 +55,48 @@ class ConstraintMatrix {
                                              const ActionRecord& a,
                                              const ActionRecord& b);
 
-/// Builds the full matrix over `records`.
+/// Work counters for one matrix construction. The sparse builder's whole
+/// point is doing strictly less of this than the dense all-pairs scan, so
+/// both builders count and the equivalence tests compare.
+struct ConstraintBuildStats {
+  /// Ordered (a, b) pairs for which an evaluation ran. The dense builder
+  /// evaluates all n·(n−1); the sparse builder only the directions of pairs
+  /// sharing at least one target.
+  std::uint64_t pairs_evaluated = 0;
+  /// Shared-target set computations. The dense builder recomputes the set
+  /// for (a, b) and again for (b, a); the sparse builder computes it once
+  /// per unordered pair.
+  std::uint64_t target_set_builds = 0;
+  /// `SharedObject::order` invocations.
+  std::uint64_t order_calls = 0;
+};
+
+/// Knobs for the sparse builder.
+struct ConstraintBuildOptions {
+  /// Shard pair evaluation across this pool (the calling thread
+  /// participates). Null = evaluate on the calling thread only. Results are
+  /// identical either way: shards write disjoint matrix cells and the value
+  /// of a pair never depends on any other pair.
+  ThreadPool* pool = nullptr;
+  /// Filled with the work counters when non-null.
+  ConstraintBuildStats* stats = nullptr;
+};
+
+/// Builds the full matrix over `records` via the target→actions inverted
+/// index: only pairs sharing at least one target are evaluated (everything
+/// else is `safe` by §2.3 rule 1), the shared-target set is computed once
+/// per unordered pair and reused for both directions, and evaluation is
+/// optionally sharded across a thread pool. Produces a matrix identical to
+/// `build_constraints_dense`.
 [[nodiscard]] ConstraintMatrix build_constraints(
-    const Universe& universe, const std::vector<ActionRecord>& records);
+    const Universe& universe, const std::vector<ActionRecord>& records,
+    const ConstraintBuildOptions& options = {});
+
+/// The original O(n²) all-pairs reference builder. Kept as the oracle for
+/// the sparse/dense equivalence tests and for complexity comparisons.
+[[nodiscard]] ConstraintMatrix build_constraints_dense(
+    const Universe& universe, const std::vector<ActionRecord>& records,
+    ConstraintBuildStats* stats = nullptr);
 
 /// Renders the matrix as an aligned text table (used by the figure benches
 /// and handy in test failures).

@@ -15,6 +15,7 @@ IncrementalReconciler::IncrementalReconciler(Universe initial,
                        : (default_policy_ = std::make_unique<Policy>()).get()),
                  options.keep_outcomes) {
   if (policy_ == nullptr) policy_ = default_policy_.get();
+  deadline_ = Deadline::after_seconds(options_.limits.max_seconds);
   records_ = flatten(logs_);
   matrix_ = build_constraints(initial_, records_);
   relations_ = Relations::from_constraints(matrix_);
@@ -42,7 +43,7 @@ bool IncrementalReconciler::open_next_cutset() {
       working_ = relations_.restricted(removed);
     }
     simulator_.emplace(records_, working_, options_, *policy_, selection_,
-                       stats_, clock_);
+                       stats_, clock_, deadline_);
     simulator_->start(cutset, initial_);
     return true;
   }

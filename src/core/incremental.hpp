@@ -89,6 +89,7 @@ class IncrementalReconciler {
   Relations working_;  ///< cutset-restricted relations the simulator reads
 
   Stopwatch clock_;
+  Deadline deadline_;
   SearchStats stats_;
   Selection selection_;
   std::optional<Simulator> simulator_;

@@ -115,6 +115,22 @@ struct ReconcilerOptions {
   /// candidate (deterministic) is taken, otherwise a seeded pseudo-random
   /// member.
   std::uint64_t strict_pick_seed = 0;
+
+  /// Worker threads for the parallel engine. Independent cutsets' schedule
+  /// searches run concurrently and static-constraint pairs are sharded
+  /// across the same pool; results are merged in cutset order with budgets
+  /// carved from `limits`, so outcomes, schedule orderings and (non-timing)
+  /// stats are bit-for-bit identical for every thread count.
+  ///
+  ///   1 — fully sequential (default; the pre-parallel engine, no pool)
+  ///   0 — one lane per hardware thread
+  ///   N — N lanes
+  ///
+  /// With threads != 1 the attached Policy's hooks are invoked from worker
+  /// threads concurrently and must be thread-safe; stateless policies (the
+  /// default Policy, JigsawPolicy, ...) qualify as-is. Policies that
+  /// accumulate state across outcomes or cutsets should stay at threads=1.
+  std::size_t threads = 1;
 };
 
 }  // namespace icecube

@@ -52,6 +52,13 @@ struct SearchStats {
   bool cutsets_truncated = false;   ///< cycle/cutset caps were reached
   std::size_t cutset_count = 0;     ///< number of proper cutsets searched
 
+  /// Static-constraint construction work, copied from the builder's
+  /// ConstraintBuildStats: ordered pair evaluations and SharedObject::order
+  /// calls. The sparse builder's savings over the dense all-pairs scan show
+  /// up here.
+  std::uint64_t constraint_pairs_evaluated = 0;
+  std::uint64_t constraint_order_calls = 0;
+
   double elapsed_seconds = 0.0;
   /// Seconds from search start until the incumbent best outcome was found
   /// (unset if no outcome was recorded).
@@ -63,6 +70,34 @@ struct SearchStats {
   [[nodiscard]] std::uint64_t schedules_explored() const {
     return schedules_completed + dead_ends;
   }
+
+  /// Folds the per-cutset counters of `other` into this (used by the
+  /// parallel driver when merging worker-local stats in cutset order).
+  /// Timing fields and the constraint/cutset bookkeeping are left alone —
+  /// they describe the whole run, not one cutset's search.
+  void accumulate(const SearchStats& other) {
+    schedules_completed += other.schedules_completed;
+    dead_ends += other.dead_ends;
+    sim_steps += other.sim_steps;
+    precondition_failures += other.precondition_failures;
+    execution_failures += other.execution_failures;
+    memoized_failures += other.memoized_failures;
+    prefix_prunes += other.prefix_prunes;
+    state_clones += other.state_clones;
+    hit_limit = hit_limit || other.hit_limit;
+  }
+};
+
+/// One "new incumbent best" moment inside a single cutset's search, in
+/// worker-local terms: just enough to replay the sequential engine's
+/// best-so-far bookkeeping (Selection's ranking fields plus the local
+/// schedule count) during the deterministic merge.
+struct ImprovementEvent {
+  double cost = 0.0;
+  bool complete = false;
+  std::size_t skipped = 0;
+  std::uint64_t schedules_explored = 0;  ///< local terminals when found
+  double seconds = 0.0;                  ///< wall seconds when found
 };
 
 }  // namespace icecube

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "core/degrade.hpp"
+#include "core/parallel_driver.hpp"
 #include "core/selection.hpp"
 #include "core/simulator.hpp"
 #include "util/timer.hpp"
@@ -20,14 +21,21 @@ Reconciler::Reconciler(Universe initial, std::vector<Log> logs,
     default_policy_ = std::make_unique<Policy>();
     policy_ = default_policy_.get();
   }
+  const std::size_t lanes =
+      options_.threads == 1 ? 1 : ThreadPool::resolve(options_.threads);
+  // The calling thread is always one lane, so a pool of lanes-1 workers.
+  if (lanes > 1) pool_ = std::make_unique<ThreadPool>(lanes - 1);
   records_ = flatten(logs_);
-  matrix_ = build_constraints(initial_, records_);
+  matrix_ =
+      build_constraints(initial_, records_, {pool_.get(), &build_stats_});
   relations_ = Relations::from_constraints(matrix_);
 }
 
 ReconcileResult Reconciler::run() {
   ReconcileResult result;
   Stopwatch clock;
+  const Deadline deadline =
+      Deadline::after_seconds(options_.limits.max_seconds);
 
   CutsetAnalysis cuts = find_proper_cutsets(relations_, options_.max_cycles,
                                             options_.max_cutsets);
@@ -35,22 +43,32 @@ ReconcileResult Reconciler::run() {
   policy_->select_cutsets(cuts.cutsets);
   result.stats.cutset_count = cuts.cutsets.size();
   result.cutsets = cuts.cutsets;
+  result.stats.constraint_pairs_evaluated = build_stats_.pairs_evaluated;
+  result.stats.constraint_order_calls = build_stats_.order_calls;
 
   Selection selection(*policy_, options_.keep_outcomes);
-  for (const Cutset& cutset : cuts.cutsets) {
-    // Under a non-empty cutset the dependence closure must be recomputed
-    // with the cut vertices' edges removed (see Relations::restricted).
-    Relations working;
-    const Relations* active = &relations_;
-    if (!cutset.empty()) {
-      Bitset removed(records_.size());
-      for (ActionId a : cutset.actions) removed.set(a.index());
-      working = relations_.restricted(removed);
-      active = &working;
+  if (pool_ != nullptr && cuts.cutsets.size() > 1) {
+    // Independent cutsets are independent search problems: fan them out
+    // across the pool and merge deterministically (see parallel_driver.hpp).
+    run_cutsets_parallel(records_, relations_, initial_, options_, *policy_,
+                         cuts.cutsets, deadline, clock, *pool_, selection,
+                         result.stats);
+  } else {
+    for (const Cutset& cutset : cuts.cutsets) {
+      // Under a non-empty cutset the dependence closure must be recomputed
+      // with the cut vertices' edges removed (see Relations::restricted).
+      Relations working;
+      const Relations* active = &relations_;
+      if (!cutset.empty()) {
+        Bitset removed(records_.size());
+        for (ActionId a : cutset.actions) removed.set(a.index());
+        working = relations_.restricted(removed);
+        active = &working;
+      }
+      Simulator simulator(records_, *active, options_, *policy_, selection,
+                          result.stats, clock, deadline);
+      if (!simulator.run(cutset, initial_)) break;
     }
-    Simulator simulator(records_, *active, options_, *policy_, selection,
-                        result.stats, clock);
-    if (!simulator.run(cutset, initial_)) break;
   }
 
   // Graceful degradation (anytime behaviour): a budget-exhausted search

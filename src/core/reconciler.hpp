@@ -18,6 +18,7 @@
 #include "core/policy.hpp"
 #include "core/relations.hpp"
 #include "core/universe.hpp"
+#include "util/thread_pool.hpp"
 
 namespace icecube {
 
@@ -68,6 +69,10 @@ class Reconciler {
   [[nodiscard]] const ConstraintMatrix& constraints() const { return matrix_; }
   [[nodiscard]] const Relations& relations() const { return relations_; }
   [[nodiscard]] const Universe& initial_state() const { return initial_; }
+  /// Work counters of the (sparse) constraint construction.
+  [[nodiscard]] const ConstraintBuildStats& build_stats() const {
+    return build_stats_;
+  }
 
   /// Formats a schedule as "log:pos op(...)" lines for demos.
   [[nodiscard]] std::string describe_schedule(
@@ -82,7 +87,12 @@ class Reconciler {
 
   std::vector<ActionRecord> records_;
   ConstraintMatrix matrix_;
+  ConstraintBuildStats build_stats_;
   Relations relations_;
+  /// Worker pool behind ReconcilerOptions::threads — created once (threads
+  /// != 1), shared by the constraint build and every run(). Null means
+  /// fully sequential.
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace icecube

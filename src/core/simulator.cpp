@@ -19,7 +19,7 @@ Simulator::Simulator(const std::vector<ActionRecord>& records,
                      const Relations& relations,
                      const ReconcilerOptions& options, Policy& policy,
                      Selection& selection, SearchStats& stats,
-                     const Stopwatch& clock)
+                     const Stopwatch& clock, Deadline deadline)
     : records_(records),
       relations_(relations),
       options_(options),
@@ -27,6 +27,7 @@ Simulator::Simulator(const std::vector<ActionRecord>& records,
       selection_(selection),
       stats_(stats),
       clock_(clock),
+      deadline_(deadline),
       done_(records.size()) {
   if (options.strict_pick_seed != 0) {
     strict_rng_.emplace(options.strict_pick_seed);
@@ -124,8 +125,7 @@ void Simulator::pop_node() {
 bool Simulator::step(std::uint64_t schedule_budget) {
   std::uint64_t terminals = 0;
   while (!stack_.empty() && !stop_ && terminals < schedule_budget) {
-    if (options_.limits.max_seconds > 0 &&
-        clock_.seconds() > options_.limits.max_seconds) {
+    if (deadline_.expired()) {
       stats_.hit_limit = true;
       stop_ = true;
       break;
@@ -238,9 +238,16 @@ void Simulator::record_outcome(const Universe& state) {
     outcome.cost = policy_.cost(outcome);
 
     if (!policy_.on_outcome(outcome)) stop_ = true;
+    const double cost = outcome.cost;
+    const std::size_t n_skipped = outcome.skipped.size();
     if (selection_.offer(std::move(outcome))) {
       stats_.time_to_best = clock_.seconds();
       stats_.schedules_to_best = stats_.schedules_explored();
+      if (improvements_ != nullptr) {
+        improvements_->push_back({cost, complete, n_skipped,
+                                  stats_.schedules_explored(),
+                                  clock_.seconds()});
+      }
     }
   }
 

@@ -39,11 +39,21 @@ class Simulator {
  public:
   /// `relations` must already be restricted to the cutset (see
   /// `Relations::restricted`); `clock` is the whole-run stopwatch used for
-  /// wall-clock limits and time-to-best reporting.
+  /// time-to-best reporting, `deadline` the fixed point at which the search
+  /// must stop (capture it once per run with `Deadline::after_seconds`).
+  /// The deadline is immutable, so worker threads of the parallel driver
+  /// can share one instance and poll it without synchronisation.
   Simulator(const std::vector<ActionRecord>& records,
             const Relations& relations, const ReconcilerOptions& options,
             Policy& policy, Selection& selection, SearchStats& stats,
-            const Stopwatch& clock);
+            const Stopwatch& clock, Deadline deadline);
+
+  /// Mirrors every "new incumbent best" into `log` (see ImprovementEvent);
+  /// the parallel driver uses this to reconstruct the sequential engine's
+  /// best-so-far bookkeeping during the merge. Null disables (default).
+  void set_improvement_log(std::vector<ImprovementEvent>* log) {
+    improvements_ = log;
+  }
 
   /// Explores all schedules for `cutset` from `initial`. Returns false when
   /// the global search must stop (limit reached or policy said stop).
@@ -98,6 +108,8 @@ class Simulator {
   Selection& selection_;
   SearchStats& stats_;
   const Stopwatch& clock_;
+  Deadline deadline_;
+  std::vector<ImprovementEvent>* improvements_ = nullptr;
 
   std::optional<CandidateScheduler> scheduler_;  // created per start()
   std::optional<Rng> strict_rng_;

@@ -1,0 +1,130 @@
+// A small reusable worker pool for the parallel reconciliation engine.
+//
+// The engine's parallel units — per-cutset schedule searches and constraint-
+// matrix shards — are coarse, independent and deterministic, so the pool is
+// deliberately minimal: a fixed set of workers draining one FIFO task queue.
+// All ordering decisions that affect results live in the callers (the
+// parallel driver merges per-cutset results in cutset order; the constraint
+// builder writes disjoint matrix cells), never in the pool.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace icecube {
+
+/// Fixed-size worker pool. Tasks must not throw; they are run exactly once,
+/// in FIFO submission order (per-worker interleaving is unspecified).
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t threads) {
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    wake_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  void submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.push_back(std::move(task));
+    }
+    wake_.notify_one();
+  }
+
+  /// Sensible worker count for `requested` (0 = use the hardware).
+  [[nodiscard]] static std::size_t resolve(std::size_t requested) {
+    if (requested != 0) return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping_, queue drained
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs `fn(i)` for every i in [0, n), work-stealing over an atomic index.
+/// The calling thread participates, so a pool of P workers gives P+1 lanes.
+/// Blocks until every index has been processed. With a null/empty pool the
+/// loop degenerates to a plain sequential for — callers need no special
+/// casing for the `threads=1` configuration.
+template <typename Fn>
+void parallel_for_each(ThreadPool* pool, std::size_t n, Fn&& fn) {
+  if (pool == nullptr || pool->size() == 0 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  struct Shared {
+    std::atomic<std::size_t> next{0};
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    std::size_t helpers_done = 0;
+  } shared;
+
+  auto drain = [&shared, &fn, n] {
+    for (std::size_t i; (i = shared.next.fetch_add(
+                             1, std::memory_order_relaxed)) < n;) {
+      fn(i);
+    }
+  };
+
+  const std::size_t helpers = std::min(pool->size(), n - 1);
+  for (std::size_t h = 0; h < helpers; ++h) {
+    pool->submit([&shared, &drain] {
+      drain();
+      // Notify while holding the lock: `shared` lives on the caller's
+      // stack, and the caller may destroy it the moment the predicate
+      // holds. Signalling under the mutex means this helper has fully
+      // released everything before the waiter can wake and return.
+      std::lock_guard<std::mutex> lock(shared.mutex);
+      ++shared.helpers_done;
+      shared.done_cv.notify_one();
+    });
+  }
+  drain();
+  std::unique_lock<std::mutex> lock(shared.mutex);
+  shared.done_cv.wait(lock,
+                      [&shared, helpers] { return shared.helpers_done == helpers; });
+}
+
+}  // namespace icecube

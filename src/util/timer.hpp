@@ -21,4 +21,38 @@ class Stopwatch {
   Clock::time_point start_;
 };
 
+/// A fixed point in time against which search limits are checked.
+///
+/// Captured once when a search starts and immutable afterwards, so any
+/// number of worker threads can poll `expired()` without synchronisation —
+/// unlike re-deriving elapsed time from a shared, restartable Stopwatch,
+/// whose start point is a plain (non-atomic) field.
+class Deadline {
+ public:
+  /// Default: no deadline; `expired()` is always false.
+  Deadline() = default;
+
+  /// Deadline `seconds` from now; `seconds <= 0` disables it (mirroring
+  /// SearchLimits::max_seconds).
+  [[nodiscard]] static Deadline after_seconds(double seconds) {
+    Deadline d;
+    if (seconds > 0.0) {
+      d.enabled_ = true;
+      d.at_ = std::chrono::steady_clock::now() +
+              std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(seconds));
+    }
+    return d;
+  }
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+  [[nodiscard]] bool expired() const {
+    return enabled_ && std::chrono::steady_clock::now() > at_;
+  }
+
+ private:
+  bool enabled_ = false;
+  std::chrono::steady_clock::time_point at_{};
+};
+
 }  // namespace icecube
