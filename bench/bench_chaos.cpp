@@ -1,0 +1,105 @@
+// M4: chaos convergence — epidemic reconciliation cost under faults.
+//
+// Measures, for growing group sizes and fault intensities, how long the
+// asynchronous gossip protocol takes to reach byte-identical committed
+// states on the simulated network: wall-clock per run, simulated steps to
+// convergence, and the protocol work done (merges, state transfers,
+// quarantines). Every run also executes the full invariant suite; a
+// violation or non-convergence fails the bench loudly, so this doubles as
+// a smoke-level chaos gate in CI bench runs.
+//
+// JsonSink schema note: the sink's fixed record is
+// (workload, n_actions, threads, wall_seconds, schedules_explored); this
+// bench maps group size into `threads` and simulated steps-to-convergence
+// into `schedules_explored` — the closest "work performed" analogue.
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_common.hpp"
+#include "simnet/chaos.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace icecube;
+
+struct Scenario {
+  const char* name;
+  double lose;
+  double corrupt;
+  double duplicate;
+  double partition;
+  double site_down;
+};
+
+constexpr Scenario kScenarios[] = {
+    {"clean", 0.0, 0.0, 0.0, 0.0, 0.0},
+    {"lossy", 0.10, 0.0, 0.05, 0.0, 0.0},
+    {"hostile", 0.08, 0.08, 0.05, 0.05, 0.05},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::JsonSink json(argc, argv);
+  const std::size_t seeds_per_cell = 5;
+
+  std::printf("%-10s %6s %6s %8s %8s %8s %8s %9s %9s\n", "scenario",
+              "sites", "seeds", "steps", "time", "merges", "xfers",
+              "quarant.", "wall(s)");
+
+  for (const Scenario& scenario : kScenarios) {
+    for (const std::size_t sites : {4u, 6u, 8u}) {
+      ChaosSpec spec;
+      spec.sites = sites;
+      spec.actions_per_site = 6;
+      spec.faults.lose = scenario.lose;
+      spec.faults.corrupt = scenario.corrupt;
+      spec.faults.duplicate = scenario.duplicate;
+      spec.faults.partition = scenario.partition;
+      spec.faults.site_down = scenario.site_down;
+      spec.faults.delay_max = 3;
+      spec.faults.reorder = scenario.lose > 0 ? 0.05 : 0.0;
+      spec.deep_replay = false;  // measured runs: protocol cost only
+      spec.keep_trace = false;
+
+      std::size_t total_steps = 0;
+      std::size_t total_time = 0;
+      std::size_t total_merges = 0;
+      std::size_t total_transfers = 0;
+      std::size_t total_quarantines = 0;
+      Stopwatch timer;
+      for (std::size_t s = 0; s < seeds_per_cell; ++s) {
+        spec.seed = 1000 + s;
+        const ChaosReport report = run_chaos(spec);
+        if (!report.ok()) {
+          std::fprintf(stderr,
+                       "FATAL: scenario %s sites=%zu seed %llu failed "
+                       "(converged=%d, %zu violations)\n",
+                       scenario.name, sites,
+                       static_cast<unsigned long long>(report.seed),
+                       report.converged ? 1 : 0, report.violations.size());
+          return 1;
+        }
+        total_steps += report.steps;
+        total_time += report.converged_at;
+        total_merges += report.totals.merges;
+        total_transfers += report.totals.transfers;
+        total_quarantines += report.totals.quarantines;
+      }
+      const double wall = timer.seconds();
+
+      std::printf("%-10s %6zu %6zu %8zu %8zu %8zu %8zu %9zu %9.3f\n",
+                  scenario.name, sites, seeds_per_cell,
+                  total_steps / seeds_per_cell,
+                  total_time / seeds_per_cell,
+                  total_merges / seeds_per_cell,
+                  total_transfers / seeds_per_cell,
+                  total_quarantines / seeds_per_cell, wall);
+      json.record(std::string("chaos/") + scenario.name,
+                  sites * 6 /* workload actions */, sites, wall,
+                  total_steps / seeds_per_cell);
+    }
+  }
+  return 0;
+}

@@ -63,6 +63,44 @@ bool FaultPlan::delivery_fails(std::string_view payload_id,
   return true;
 }
 
+std::size_t FaultPlan::delay(std::string_view payload_id, std::size_t time) {
+  std::size_t extra = 0;
+  if (spec_.delay_max > 0) {
+    Rng rng(key(FaultPoint::kDelivery, payload_id, time, 7));
+    extra = rng.below(spec_.delay_max + 1);
+  }
+  if (roll(spec_.reorder, FaultPoint::kDelivery, payload_id, time, 8)) {
+    Rng rng(key(FaultPoint::kDelivery, payload_id, time, 9));
+    const std::size_t bound = spec_.reorder_max == 0 ? 1 : spec_.reorder_max;
+    extra += 1 + rng.below(bound);
+    injected_.push_back(
+        {FaultPoint::kDelivery, "reorder", std::string(payload_id), time});
+  }
+  return extra;
+}
+
+bool FaultPlan::duplicates(std::string_view payload_id, std::size_t time) {
+  if (!roll(spec_.duplicate, FaultPoint::kDelivery, payload_id, time, 10)) {
+    return false;
+  }
+  injected_.push_back(
+      {FaultPoint::kDelivery, "duplicate", std::string(payload_id), time});
+  return true;
+}
+
+bool FaultPlan::link_cut(std::string_view a, std::string_view b,
+                         std::size_t window) {
+  // Canonicalise the undirected link so cut(a, b) == cut(b, a).
+  std::string link = a < b ? std::string(a) + "|" + std::string(b)
+                           : std::string(b) + "|" + std::string(a);
+  if (!roll(spec_.partition, FaultPoint::kDelivery, link, window, 11)) {
+    return false;
+  }
+  injected_.push_back(
+      {FaultPoint::kDelivery, "partition", std::move(link), window});
+  return true;
+}
+
 std::string FaultPlan::ship(FaultPoint point, std::string_view subject,
                             std::size_t round, std::string payload) {
   if (payload.empty()) return payload;

@@ -55,13 +55,28 @@ struct FaultSpec {
   double lose = 0.0;      ///< P(delivery fails outright)
   /// Upper bound on flipped bytes per corruption (>= 1).
   std::size_t max_corrupt_bytes = 4;
+
+  // --- asynchronous-network knobs (used by simnet's discrete-event model;
+  // all default to "no effect" so the synchronous protocol is unchanged) ---
+  /// Maximum *extra* delivery delay in logical ticks; every message gets a
+  /// uniform extra delay in [0, delay_max] on top of the base latency.
+  std::size_t delay_max = 0;
+  /// P(a message additionally gets a reordering bump of up to
+  /// `reorder_max` extra ticks, overtaking later traffic).
+  double reorder = 0.0;
+  std::size_t reorder_max = 8;
+  /// P(a delivered message arrives twice, the copy independently delayed).
+  double duplicate = 0.0;
+  /// P(a given undirected link is cut for a given partition window).
+  double partition = 0.0;
 };
 
 /// One fault the plan actually injected, for test introspection.
 struct InjectedFault {
   FaultPoint point;
-  std::string kind;     ///< "corrupt" | "truncate" | "drop" | "lose"
-  std::string subject;  ///< site or payload name
+  std::string kind;     ///< "corrupt" | "truncate" | "drop" | "lose" |
+                        ///< "reorder" | "duplicate" | "partition"
+  std::string subject;  ///< site, link or payload name
   std::size_t round = 0;
 };
 
@@ -88,6 +103,23 @@ class FaultPlan {
   /// recorded.
   [[nodiscard]] std::string ship(FaultPoint point, std::string_view subject,
                                  std::size_t round, std::string payload);
+
+  /// Extra delivery delay (in ticks) for `payload_id` sent at `time`:
+  /// uniform in [0, delay_max], plus — with probability `reorder` — a
+  /// reordering bump in [1, reorder_max] (recorded as "reorder"). Plain
+  /// delay is not recorded; it is the network's normal behaviour.
+  [[nodiscard]] std::size_t delay(std::string_view payload_id,
+                                  std::size_t time);
+
+  /// True iff `payload_id` is delivered twice ("duplicate").
+  [[nodiscard]] bool duplicates(std::string_view payload_id,
+                                std::size_t time);
+
+  /// True iff the undirected link `a`<->`b` is cut during partition
+  /// `window` ("partition"). Symmetric in its site arguments. Callers
+  /// should memoise per (link, window): every `true` call records.
+  [[nodiscard]] bool link_cut(std::string_view a, std::string_view b,
+                              std::size_t window);
 
   /// Everything injected so far, in call order.
   [[nodiscard]] const std::vector<InjectedFault>& injected() const {

@@ -40,8 +40,13 @@
 #include "baseline/temporal_merge.hpp"
 #include "jigsaw/experiment.hpp"
 #include "logclean/cleaner.hpp"
+#include "replica/gossip.hpp"
 #include "replica/site.hpp"
 #include "replica/sync.hpp"
+#include "serialize/gossip_codec.hpp"
 #include "serialize/log_codec.hpp"
 #include "serialize/universe_codec.hpp"
+#include "simnet/chaos.hpp"
+#include "simnet/invariants.hpp"
+#include "simnet/simnet.hpp"
 #include "workload/generators.hpp"

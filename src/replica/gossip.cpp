@@ -1,0 +1,323 @@
+#include "replica/gossip.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+#include "core/reconciler.hpp"
+
+namespace icecube {
+
+namespace {
+
+/// The commitment total order: lineage length first, then the canonical
+/// state rendering as an arbitrary-but-global tie break.
+bool dominates(std::uint64_t epoch_a, const std::string& fp_a,
+               std::uint64_t epoch_b, const std::string& fp_b) {
+  if (epoch_a != epoch_b) return epoch_a > epoch_b;
+  return fp_a > fp_b;
+}
+
+bool targets_in_range(const Action& action, std::size_t universe_size) {
+  for (ObjectId target : action.targets()) {
+    if (target.index() >= universe_size) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+GossipNode::GossipNode(std::string name, Universe genesis,
+                       GossipOptions options)
+    : name_(std::move(name)),
+      options_(std::move(options)),
+      genesis_(std::move(genesis)),
+      committed_(genesis_),
+      tentative_(genesis_),
+      actions_(ActionRegistry::with_builtins()),
+      objects_(ObjectRegistry::with_builtins()) {}
+
+bool GossipNode::perform(ActionPtr action) {
+  if (action == nullptr) return false;
+  if (!targets_in_range(*action, tentative_.size())) return false;
+  if (!action->precondition(tentative_)) return false;
+  Universe shadow = tentative_;
+  if (!action->execute(shadow)) return false;
+  tentative_ = std::move(shadow);
+  pending_uids_.push_back(name_ + ":" + std::to_string(next_seq_++));
+  pending_.push_back(std::move(action));
+  ++stats_.performs;
+  return true;
+}
+
+std::string GossipNode::make_message(FaultPlan* faults,
+                                     std::size_t time) const {
+  Log history("history");
+  for (const ActionPtr& action : history_) history.append(action);
+  Log pending(name_);
+  for (const ActionPtr& action : pending_) pending.append(action);
+
+  GossipFrame frame;
+  frame.site = name_;
+  frame.epoch = epoch_;
+  frame.history_uids = history_uids_;
+  frame.pending_uids = pending_uids_;
+  frame.history_bytes = encode_log(history);
+  frame.pending_bytes = encode_log(pending);
+  if (auto encoded = encode_universe(committed_, objects_)) {
+    frame.universe_bytes = std::move(*encoded);
+  }
+  if (faults != nullptr) {
+    frame.history_bytes =
+        faults->ship(FaultPoint::kShipLog, name_ + "/history", time,
+                     std::move(frame.history_bytes));
+    frame.pending_bytes =
+        faults->ship(FaultPoint::kShipLog, name_ + "/pending", time,
+                     std::move(frame.pending_bytes));
+    frame.universe_bytes =
+        faults->ship(FaultPoint::kShipUniverse, name_ + "/state", time,
+                     std::move(frame.universe_bytes));
+  }
+  return encode_gossip_frame(frame);
+}
+
+GossipReceipt GossipNode::receive(const std::string& message) {
+  GossipReceipt receipt;
+  const auto quarantine = [&](GossipReject why, DecodeError error = {}) {
+    receipt.quarantined = true;
+    receipt.reject = why;
+    receipt.error = std::move(error);
+    ++stats_.quarantines;
+    return receipt;
+  };
+
+  auto decoded = decode_gossip_frame(message);
+  if (!decoded.ok()) {
+    return quarantine(GossipReject::kFrameError, decoded.error);
+  }
+  GossipFrame& frame = *decoded.frame;
+
+  auto their_history = decode_log(frame.history_bytes, actions_);
+  if (!their_history.ok()) {
+    return quarantine(GossipReject::kHistoryError, their_history.error);
+  }
+  auto their_pending = decode_log(frame.pending_bytes, actions_);
+  if (!their_pending.ok()) {
+    return quarantine(GossipReject::kPendingError, their_pending.error);
+  }
+  // The state-transfer payload is decoded unconditionally: its fingerprint
+  // is what tells same-state exchanges from divergent ones, so a damaged
+  // universe section always quarantines the whole message.
+  auto their_state = decode_universe(frame.universe_bytes, objects_);
+  if (!their_state.ok()) {
+    return quarantine(GossipReject::kUniverseError, their_state.error);
+  }
+
+  // Envelope consistency: one uid per action, all uids distinct.
+  if (their_history.log->size() != frame.history_uids.size() ||
+      their_pending.log->size() != frame.pending_uids.size()) {
+    return quarantine(GossipReject::kUidMismatch);
+  }
+  {
+    std::unordered_set<std::string> seen;
+    for (const std::string& uid : frame.history_uids) {
+      if (!seen.insert(uid).second) {
+        return quarantine(GossipReject::kUidMismatch);
+      }
+    }
+    for (const std::string& uid : frame.pending_uids) {
+      if (!seen.insert(uid).second) {
+        return quarantine(GossipReject::kUidMismatch);
+      }
+    }
+  }
+
+  // Shape checks: the sender must live in the same genesis-shaped universe
+  // and every shipped action must target objects inside it.
+  if (their_state.universe->size() != genesis_.size()) {
+    return quarantine(GossipReject::kBadTarget);
+  }
+  for (const ActionPtr& action : *their_history.log) {
+    if (!targets_in_range(*action, genesis_.size())) {
+      return quarantine(GossipReject::kBadTarget);
+    }
+  }
+  for (const ActionPtr& action : *their_pending.log) {
+    if (!targets_in_range(*action, genesis_.size())) {
+      return quarantine(GossipReject::kBadTarget);
+    }
+  }
+
+  const std::string my_fp = committed_.fingerprint();
+  const std::string their_fp = their_state.universe->fingerprint();
+
+  if (their_fp == my_fp) {
+    // --- same committed state: pairwise merge of the pending logs. ---
+    // Drop remote pending actions this node already accounts for (its own
+    // copy wins), so nothing is reconciled twice.
+    Log remote(frame.site);
+    std::vector<std::string> remote_uids;
+    for (std::size_t i = 0; i < their_pending.log->size(); ++i) {
+      if (uid_known(frame.pending_uids[i])) continue;
+      remote.append(their_pending.log->ptr(i));
+      remote_uids.push_back(frame.pending_uids[i]);
+    }
+    Log mine(name_);
+    for (const ActionPtr& action : pending_) mine.append(action);
+
+    if (mine.empty() && remote.empty()) {
+      ++stats_.merge_noops;
+      return receipt;
+    }
+
+    // Canonical input order (by log name) so two nodes merging each
+    // other's crossing messages solve the identical problem and adopt
+    // bit-identical results.
+    std::vector<Log> logs;
+    std::vector<const std::vector<std::string>*> uid_columns;
+    if (name_ <= frame.site) {
+      logs = {std::move(mine), std::move(remote)};
+      uid_columns = {&pending_uids_, &remote_uids};
+    } else {
+      logs = {std::move(remote), std::move(mine)};
+      uid_columns = {&remote_uids, &pending_uids_};
+    }
+
+    Reconciler reconciler(committed_, std::move(logs), options_.reconcile);
+    ReconcileResult result = reconciler.run();
+    if (!result.found_any() || result.best().schedule.empty()) {
+      ++stats_.merge_noops;
+      return receipt;
+    }
+
+    const Outcome& best = result.best();
+    std::vector<ActionPtr> schedule;
+    std::vector<std::string> schedule_uids;
+    schedule.reserve(best.schedule.size());
+    schedule_uids.reserve(best.schedule.size());
+    for (ActionId id : best.schedule) {
+      const ActionRecord& record = reconciler.records()[id.index()];
+      schedule.push_back(record.action);
+      schedule_uids.push_back(
+          uid_columns[record.log.index()]->at(record.position));
+    }
+    receipt.merged = true;
+    receipt.merged_actions = schedule.size();
+    adopt_merge(best.final_state, std::move(schedule),
+                std::move(schedule_uids), frame.epoch);
+    return receipt;
+  }
+
+  // --- divergent committed states: commitment arbitration. ---
+  if (!dominates(frame.epoch, their_fp, epoch_, my_fp)) {
+    receipt.sender_stale = true;
+    ++stats_.stale_heard;
+    return receipt;
+  }
+
+  // The sender dominates: adopt its committed lineage wholesale (state
+  // transfer), after checking the shipped history really replays from
+  // genesis to the shipped state.
+  if (options_.verify_transfers) {
+    Universe replay = genesis_;
+    bool replays = true;
+    for (const ActionPtr& action : *their_history.log) {
+      if (!action->precondition(replay) || !action->execute(replay)) {
+        replays = false;
+        break;
+      }
+    }
+    if (!replays || replay.fingerprint() != their_fp) {
+      return quarantine(GossipReject::kReplayMismatch);
+    }
+  }
+
+  // Demote, never drop: committed actions of this node that the adopted
+  // history does not contain go back to pending, ahead of the surviving
+  // local pending actions, and get re-reconciled into a later epoch.
+  std::unordered_set<std::string> adopted_uids(frame.history_uids.begin(),
+                                               frame.history_uids.end());
+  std::vector<ActionPtr> new_pending;
+  std::vector<std::string> new_pending_uids;
+  for (std::size_t i = 0; i < history_.size(); ++i) {
+    if (adopted_uids.contains(history_uids_[i])) continue;
+    new_pending.push_back(history_[i]);
+    new_pending_uids.push_back(history_uids_[i]);
+  }
+  receipt.demoted = new_pending.size();
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    if (adopted_uids.contains(pending_uids_[i])) continue;
+    new_pending.push_back(pending_[i]);
+    new_pending_uids.push_back(pending_uids_[i]);
+  }
+
+  committed_ = std::move(*their_state.universe);
+  epoch_ = frame.epoch;
+  history_.assign(their_history.log->begin(), their_history.log->end());
+  history_uids_ = frame.history_uids;
+  pending_ = std::move(new_pending);
+  pending_uids_ = std::move(new_pending_uids);
+  rebuild_tentative();
+
+  receipt.state_transfer = true;
+  ++stats_.transfers;
+  stats_.demotions += receipt.demoted;
+  return receipt;
+}
+
+void GossipNode::adopt_merge(Universe merged, std::vector<ActionPtr> schedule,
+                             std::vector<std::string> schedule_uids,
+                             std::uint64_t sender_epoch) {
+  committed_ = std::move(merged);
+  epoch_ = std::max(epoch_, sender_epoch) + 1;
+
+  std::unordered_set<std::string> committed_uids(schedule_uids.begin(),
+                                                 schedule_uids.end());
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    history_.push_back(std::move(schedule[i]));
+    history_uids_.push_back(std::move(schedule_uids[i]));
+  }
+
+  // Locally pending actions the merge committed leave the pending log;
+  // ones the search dropped stay pending and are re-offered later.
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    if (committed_uids.contains(pending_uids_[i])) continue;
+    pending_[kept] = std::move(pending_[i]);
+    pending_uids_[kept] = std::move(pending_uids_[i]);
+    ++kept;
+  }
+  pending_.resize(kept);
+  pending_uids_.resize(kept);
+
+  rebuild_tentative();
+  ++stats_.merges;
+}
+
+void GossipNode::rebuild_tentative() {
+  tentative_ = committed_;
+  for (const ActionPtr& action : pending_) {
+    if (!action->precondition(tentative_)) continue;
+    Universe shadow = tentative_;
+    if (action->execute(shadow)) tentative_ = std::move(shadow);
+  }
+}
+
+bool GossipNode::uid_known(const std::string& uid) const {
+  return std::find(history_uids_.begin(), history_uids_.end(), uid) !=
+             history_uids_.end() ||
+         std::find(pending_uids_.begin(), pending_uids_.end(), uid) !=
+             pending_uids_.end();
+}
+
+bool gossip_converged(const std::vector<GossipNode>& nodes) {
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    if (nodes[i].committed_fingerprint() !=
+        nodes[0].committed_fingerprint()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace icecube

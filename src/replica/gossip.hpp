@@ -1,0 +1,205 @@
+// Asynchronous anti-entropy reconciliation (the distributed step §2.1
+// leaves open).
+//
+// The paper reconciles "at a single site"; replica/sync.hpp added a
+// synchronous group round. This module drops the round entirely: sites
+// exchange their logs pairwise and epidemically, in the style of Sutra &
+// Shapiro's asynchronous decentralised commitment — no coordinator, no
+// barrier, arbitrary latency. Each `GossipNode` keeps
+//
+//   - a *committed* universe — the result of replaying its committed
+//     history from the shared genesis state,
+//   - a *history* — the ordered, replayable log of committed actions since
+//     genesis, each carrying a globally unique id ("site:seq"),
+//   - a *pending* log — locally performed (or demoted, see below) actions
+//     not yet committed, and
+//   - an *epoch* — the length of its commitment lineage.
+//
+// One gossip exchange, receiver side:
+//
+//   same committed state  — pairwise IceCube reconciliation of the two
+//     pending logs from the committed state; the best schedule is adopted
+//     as the next epoch (epoch = max(epochs) + 1). Pending actions the
+//     search dropped stay pending and are re-offered later.
+//
+//   divergent committed state — commitment is arbitrated by the total
+//     order (epoch, fingerprint): the dominated side adopts the dominating
+//     side's committed universe (the state-transfer payload, shipped
+//     through FaultPoint::kShipUniverse) and history wholesale, after
+//     re-validating that the history replays from genesis to exactly that
+//     state. Committed actions of the dominated side missing from the
+//     adopted history are *demoted* to pending — never silently dropped —
+//     and re-reconciled into a later epoch.
+//
+// Every payload travels through the serialise codecs; a message whose
+// frame or any section fails to decode is quarantined (counted, ignored),
+// never partially applied. All decisions are deterministic, so two sites
+// that merge the same pair of states compute bit-identical results.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/action.hpp"
+#include "core/log.hpp"
+#include "core/options.hpp"
+#include "core/universe.hpp"
+#include "fault/fault_plan.hpp"
+#include "serialize/decode_error.hpp"
+#include "serialize/gossip_codec.hpp"
+#include "serialize/log_codec.hpp"
+#include "serialize/universe_codec.hpp"
+
+namespace icecube {
+
+/// Knobs for one node's merge behaviour.
+struct GossipOptions {
+  /// Options for the pairwise reconciliations. Keep limits modest: merges
+  /// run once per exchange.
+  ReconcilerOptions reconcile;
+  /// Replay a dominating history from genesis before adopting it, and
+  /// reject the transfer if the replay does not reproduce the shipped
+  /// committed state. Cheap insurance against logically-inconsistent
+  /// payloads that happen to pass every CRC.
+  bool verify_transfers = true;
+};
+
+/// Why a received message was quarantined.
+enum class GossipReject : std::uint8_t {
+  kNone,
+  kFrameError,     ///< envelope failed to parse
+  kHistoryError,   ///< history section failed to decode
+  kPendingError,   ///< pending section failed to decode
+  kUniverseError,  ///< state-transfer section failed to decode
+  kUidMismatch,    ///< uid lists inconsistent with the decoded logs
+  kBadTarget,      ///< an action targets an object outside the universe
+  kReplayMismatch, ///< history does not replay to the shipped state
+};
+
+[[nodiscard]] constexpr std::string_view to_string(GossipReject reject) {
+  switch (reject) {
+    case GossipReject::kNone:
+      return "ok";
+    case GossipReject::kFrameError:
+      return "frame error";
+    case GossipReject::kHistoryError:
+      return "history decode failed";
+    case GossipReject::kPendingError:
+      return "pending decode failed";
+    case GossipReject::kUniverseError:
+      return "universe decode failed";
+    case GossipReject::kUidMismatch:
+      return "uid mismatch";
+    case GossipReject::kBadTarget:
+      return "target out of range";
+    case GossipReject::kReplayMismatch:
+      return "history replay mismatch";
+  }
+  return "?";
+}
+
+/// What one received message did to the node.
+struct GossipReceipt {
+  bool merged = false;          ///< pairwise merge adopted a new epoch
+  bool state_transfer = false;  ///< adopted the sender's dominating state
+  bool quarantined = false;     ///< message rejected, node untouched
+  bool sender_stale = false;    ///< sender is strictly behind this node
+  GossipReject reject = GossipReject::kNone;
+  DecodeError error;            ///< decode detail when quarantined
+  std::size_t demoted = 0;      ///< committed actions demoted to pending
+  std::size_t merged_actions = 0;  ///< actions committed by this exchange
+
+  [[nodiscard]] bool adopted() const { return merged || state_transfer; }
+  /// True iff the sender would learn something from an immediate reply.
+  [[nodiscard]] bool reply_advised() const {
+    return adopted() || sender_stale;
+  }
+};
+
+/// Lifetime counters, for reports and benches.
+struct GossipStats {
+  std::size_t performs = 0;       ///< local isolated-execution actions
+  std::size_t merges = 0;         ///< pairwise merges adopted
+  std::size_t merge_noops = 0;    ///< exchanges with nothing to commit
+  std::size_t transfers = 0;      ///< dominating states adopted
+  std::size_t demotions = 0;      ///< committed actions demoted to pending
+  std::size_t quarantines = 0;    ///< messages rejected
+  std::size_t stale_heard = 0;    ///< messages from strictly-behind senders
+};
+
+/// One replica running the asynchronous protocol; see file comment.
+class GossipNode {
+ public:
+  /// All nodes of a group must be constructed with the same `genesis`.
+  GossipNode(std::string name, Universe genesis, GossipOptions options = {});
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+  [[nodiscard]] const Universe& genesis() const { return genesis_; }
+  [[nodiscard]] const Universe& committed() const { return committed_; }
+  /// Committed state plus whatever pending actions currently replay.
+  [[nodiscard]] const Universe& tentative() const { return tentative_; }
+  [[nodiscard]] const GossipStats& stats() const { return stats_; }
+
+  [[nodiscard]] const std::vector<ActionPtr>& history() const {
+    return history_;
+  }
+  [[nodiscard]] const std::vector<std::string>& history_uids() const {
+    return history_uids_;
+  }
+  [[nodiscard]] const std::vector<ActionPtr>& pending() const {
+    return pending_;
+  }
+  [[nodiscard]] const std::vector<std::string>& pending_uids() const {
+    return pending_uids_;
+  }
+  [[nodiscard]] std::string committed_fingerprint() const {
+    return committed_.fingerprint();
+  }
+
+  /// Isolated execution: runs `action` against the tentative state and
+  /// records it as pending on success (assigning it a fresh uid). Returns
+  /// false, state unchanged, if the precondition or execution fails.
+  bool perform(ActionPtr action);
+
+  /// Builds this node's gossip message. With `faults`, each section is
+  /// passed through the faulty channel: logs via FaultPoint::kShipLog,
+  /// the state-transfer payload via FaultPoint::kShipUniverse, keyed by
+  /// (section subject, time) so a failing scenario replays exactly.
+  [[nodiscard]] std::string make_message(FaultPlan* faults = nullptr,
+                                         std::size_t time = 0) const;
+
+  /// Processes one received gossip message; see file comment for the
+  /// protocol. Quarantined messages leave the node untouched.
+  GossipReceipt receive(const std::string& message);
+
+ private:
+  void adopt_merge(Universe merged, std::vector<ActionPtr> schedule,
+                   std::vector<std::string> schedule_uids,
+                   std::uint64_t sender_epoch);
+  void rebuild_tentative();
+  [[nodiscard]] bool uid_known(const std::string& uid) const;
+
+  std::string name_;
+  GossipOptions options_;
+  Universe genesis_;
+  Universe committed_;
+  Universe tentative_;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t next_seq_ = 0;
+
+  std::vector<ActionPtr> history_;
+  std::vector<std::string> history_uids_;
+  std::vector<ActionPtr> pending_;
+  std::vector<std::string> pending_uids_;
+
+  ActionRegistry actions_;
+  ObjectRegistry objects_;
+  GossipStats stats_;
+};
+
+/// True iff all nodes report byte-identical committed fingerprints.
+[[nodiscard]] bool gossip_converged(const std::vector<GossipNode>& nodes);
+
+}  // namespace icecube

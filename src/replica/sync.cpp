@@ -15,6 +15,13 @@ SyncResult synchronise(const std::vector<Site*>& sites,
     out.error = {SyncErrorKind::kNoSites, {}, {}};
     return out;
   }
+  // A group of one has nobody to reconcile with; reporting success would
+  // let callers mistake a no-op for a completed round.
+  if (sites.size() < 2) {
+    out.error = {SyncErrorKind::kNoSites, sites.front()->name(),
+                 "group needs at least two sites"};
+    return out;
+  }
 
   // Log-based reconciliation replays merged logs against the common initial
   // state; a divergent committed state means a previous round was missed.
@@ -81,6 +88,13 @@ SyncReport synchronise_resilient(const std::vector<Site*>& sites,
   SyncReport report;
   if (sites.empty()) {
     report.errors.push_back({SyncErrorKind::kNoSites, {}, {}});
+    return report;
+  }
+  if (sites.size() < 2) {
+    report.errors.push_back({SyncErrorKind::kNoSites, sites.front()->name(),
+                             "group needs at least two sites"});
+    report.sites.push_back(
+        {sites.front()->name(), false, 0, 0, report.errors.back()});
     return report;
   }
 

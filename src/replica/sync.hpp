@@ -117,8 +117,9 @@ struct SyncResult {
 
 /// Reconciles the logs of `sites` from their shared committed state and, if
 /// an outcome was found, installs its final state at every site (clearing
-/// their logs). `sites` must be non-empty; sites without local updates
-/// simply adopt the merged result.
+/// their logs). `sites` needs at least two members (a group of one has
+/// nothing to reconcile with — reported as kNoSites, never as silent
+/// success); sites without local updates simply adopt the merged result.
 [[nodiscard]] SyncResult synchronise(const std::vector<Site*>& sites,
                                      const ReconcilerOptions& options = {},
                                      Policy* policy = nullptr);
@@ -171,14 +172,19 @@ struct SyncReport {
 };
 
 /// Multi-round fault-tolerant synchronisation; see file comment. `faults`
-/// may be null (perfect network). Sites left unsynced keep their committed
-/// state and pending log untouched — safe to retry with a later call.
+/// may be null (perfect network). Needs at least two sites (kNoSites
+/// otherwise); a run whose every round finds all sites crashed ends with a
+/// structured kRoundsExhausted error per site, not a silent success. Sites
+/// left unsynced keep their committed state and pending log untouched —
+/// safe to retry with a later call.
 [[nodiscard]] SyncReport synchronise_resilient(
     const std::vector<Site*>& sites, const ReconcilerOptions& options = {},
     Policy* policy = nullptr, FaultPlan* faults = nullptr,
     const SyncConfig& config = {});
 
 /// True iff all sites currently report the same tentative state.
+/// Vacuously true for empty and single-site groups — callers that need
+/// "the group actually synchronised" must check SyncReport::all_synced.
 [[nodiscard]] bool converged(const std::vector<Site*>& sites);
 
 }  // namespace icecube

@@ -1,0 +1,211 @@
+#include "serialize/gossip_codec.hpp"
+
+#include <string_view>
+
+#include "serialize/framing.hpp"
+#include "serialize/log_codec.hpp"
+
+namespace icecube {
+
+namespace {
+
+using serialize_detail::parse_number;
+
+constexpr std::string_view kMagic = "icecube-gossip";
+constexpr int kVersion = 1;
+constexpr std::string_view kEndMarker = "#gossip-end";
+/// Caps against absurd allocations from hostile or mangled headers.
+constexpr std::size_t kMaxUids = 1u << 20;
+constexpr std::size_t kMaxSectionBytes = 1u << 28;
+
+/// Reads one '\n'-terminated line starting at `pos`; advances `pos` past
+/// the newline. Returns nullopt at end of input.
+std::optional<std::string> take_line(const std::string& text,
+                                     std::size_t& pos, std::size_t& line_no) {
+  if (pos >= text.size()) return std::nullopt;
+  const std::size_t nl = text.find('\n', pos);
+  const std::size_t end = nl == std::string::npos ? text.size() : nl;
+  std::string out = text.substr(pos, end - pos);
+  pos = nl == std::string::npos ? text.size() : nl + 1;
+  ++line_no;
+  return out;
+}
+
+std::vector<std::string> split_tokens(const std::string& line) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= line.size(); ++i) {
+    if (i == line.size() || line[i] == ' ') {
+      if (i > start) out.push_back(line.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+/// Parses one "@<name> <len>" section tag plus its byte body.
+bool take_section(const std::string& text, std::size_t& pos,
+                  std::size_t& line_no, std::string_view name,
+                  std::string& out, DecodeError& error) {
+  const std::size_t tag_line = line_no + 1;
+  auto tag = take_line(text, pos, line_no);
+  if (!tag) {
+    error = {DecodeErrorKind::kTruncated, tag_line,
+             "missing @" + std::string(name) + " section"};
+    return false;
+  }
+  const std::vector<std::string> tokens = split_tokens(*tag);
+  if (tokens.size() != 2 || tokens[0] != "@" + std::string(name)) {
+    error = {DecodeErrorKind::kBadSyntax, tag_line, *tag};
+    return false;
+  }
+  const auto length = parse_number<std::size_t>(tokens[1]);
+  if (!length || *length > kMaxSectionBytes) {
+    error = {DecodeErrorKind::kBadNumber, tag_line, tokens[1]};
+    return false;
+  }
+  if (pos + *length > text.size()) {
+    error = {DecodeErrorKind::kTruncated, tag_line,
+             "@" + std::string(name) + " section cut short"};
+    return false;
+  }
+  out = text.substr(pos, *length);
+  pos += *length;
+  // The section body is followed by a separating newline.
+  if (pos >= text.size() || text[pos] != '\n') {
+    error = {DecodeErrorKind::kTruncated, tag_line,
+             "@" + std::string(name) + " section unterminated"};
+    return false;
+  }
+  ++pos;
+  return true;
+}
+
+}  // namespace
+
+std::string encode_gossip_frame(const GossipFrame& frame) {
+  std::string out{kMagic};
+  out += " " + std::to_string(kVersion);
+  out += " " + escape_field(frame.site);
+  out += " " + std::to_string(frame.epoch);
+  out += " " + std::to_string(frame.history_uids.size());
+  out += " " + std::to_string(frame.pending_uids.size());
+  out += "\n";
+  for (const std::string& uid : frame.history_uids) {
+    out += escape_field(uid) + "\n";
+  }
+  for (const std::string& uid : frame.pending_uids) {
+    out += escape_field(uid) + "\n";
+  }
+  const auto section = [&out](std::string_view name,
+                              const std::string& bytes) {
+    out += "@" + std::string(name) + " " + std::to_string(bytes.size()) +
+           "\n";
+    out += bytes;
+    out += "\n";
+  };
+  section("history", frame.history_bytes);
+  section("pending", frame.pending_bytes);
+  section("universe", frame.universe_bytes);
+  out += kEndMarker;
+  out += "\n";
+  return out;
+}
+
+DecodedGossipFrame decode_gossip_frame(const std::string& text) {
+  DecodedGossipFrame out;
+  if (text.empty()) {
+    out.error = {DecodeErrorKind::kEmptyInput, 0, {}};
+    return out;
+  }
+
+  std::size_t pos = 0;
+  std::size_t line_no = 0;
+  auto header = take_line(text, pos, line_no);
+  if (!header) {
+    out.error = {DecodeErrorKind::kEmptyInput, 0, {}};
+    return out;
+  }
+  const std::vector<std::string> tokens = split_tokens(*header);
+  if (tokens.size() != 6 || tokens[0] != kMagic) {
+    out.error = {DecodeErrorKind::kBadHeader, 1, *header};
+    return out;
+  }
+  const auto version = parse_number<int>(tokens[1]);
+  if (!version) {
+    out.error = {DecodeErrorKind::kBadHeader, 1, *header};
+    return out;
+  }
+  if (*version != kVersion) {
+    out.error = {DecodeErrorKind::kUnsupportedVersion, 1,
+                 "version " + tokens[1]};
+    return out;
+  }
+
+  GossipFrame frame;
+  auto site = unescape_field(tokens[2]);
+  if (!site) {
+    out.error = {DecodeErrorKind::kBadEscape, 1, tokens[2]};
+    return out;
+  }
+  frame.site = std::move(*site);
+  const auto epoch = parse_number<std::uint64_t>(tokens[3]);
+  const auto n_history = parse_number<std::size_t>(tokens[4]);
+  const auto n_pending = parse_number<std::size_t>(tokens[5]);
+  if (!epoch || !n_history || !n_pending || *n_history > kMaxUids ||
+      *n_pending > kMaxUids) {
+    out.error = {DecodeErrorKind::kBadNumber, 1, *header};
+    return out;
+  }
+  frame.epoch = *epoch;
+
+  const auto take_uids = [&](std::size_t count,
+                             std::vector<std::string>& uids) -> bool {
+    uids.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t uid_line = line_no + 1;
+      auto raw = take_line(text, pos, line_no);
+      if (!raw) {
+        out.error = {DecodeErrorKind::kTruncated, uid_line,
+                     "uid list cut short"};
+        return false;
+      }
+      auto uid = unescape_field(*raw);
+      if (!uid || uid->empty()) {
+        out.error = {DecodeErrorKind::kBadEscape, uid_line, *raw};
+        return false;
+      }
+      uids.push_back(std::move(*uid));
+    }
+    return true;
+  };
+  if (!take_uids(*n_history, frame.history_uids)) return out;
+  if (!take_uids(*n_pending, frame.pending_uids)) return out;
+
+  if (!take_section(text, pos, line_no, "history", frame.history_bytes,
+                    out.error) ||
+      !take_section(text, pos, line_no, "pending", frame.pending_bytes,
+                    out.error) ||
+      !take_section(text, pos, line_no, "universe", frame.universe_bytes,
+                    out.error)) {
+    return out;
+  }
+
+  const std::size_t end_line = line_no + 1;
+  auto marker = take_line(text, pos, line_no);
+  if (!marker || *marker != kEndMarker || text.back() != '\n') {
+    out.error = {DecodeErrorKind::kTruncated, end_line,
+                 "missing end marker"};
+    return out;
+  }
+  if (pos != text.size()) {
+    out.error = {DecodeErrorKind::kBadSyntax, end_line,
+                 "trailing bytes after end marker"};
+    return out;
+  }
+
+  out.frame = std::move(frame);
+  return out;
+}
+
+}  // namespace icecube

@@ -1,0 +1,67 @@
+// Gossip frame — the wire format of one anti-entropy exchange.
+//
+// The asynchronous protocol (replica/gossip.hpp) ships three payloads per
+// message: the sender's committed history, its pending log, and — the
+// state-transfer path — its committed universe. Each sub-payload is encoded
+// by the existing codecs (log_codec, universe_codec) and keeps its own CRC
+// trailer, so transport damage to any one section is classified by that
+// section's decoder. The frame adds the envelope: who is speaking, at which
+// commitment epoch, and the per-action uids that let a receiver match
+// actions across histories without relying on tags.
+//
+// Format version 1 (byte-oriented; sections carry their exact byte length
+// so embedded newlines never confuse the parser):
+//
+//   icecube-gossip 1 <escaped-site> <epoch> <n-history> <n-pending>
+//   <escaped uid>                      x n-history
+//   <escaped uid>                      x n-pending
+//   @history <byte-length>
+//   <bytes of encode_log(history)>
+//   @pending <byte-length>
+//   <bytes of encode_log(pending)>
+//   @universe <byte-length>
+//   <bytes of encode_universe(committed)>
+//   #gossip-end
+//
+// A truncated frame (a section length overrunning the buffer, or a missing
+// end marker) is reported as kTruncated before any section is trusted;
+// the fault-injection sweeps rely on that ordering.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serialize/decode_error.hpp"
+
+namespace icecube {
+
+/// One gossip message, envelope plus still-encoded sections. The gossip
+/// layer decodes the sections with the log/universe codecs (and their
+/// registries); the frame codec only handles the envelope.
+struct GossipFrame {
+  std::string site;          ///< sender name
+  std::uint64_t epoch = 0;   ///< sender's commitment epoch
+  std::vector<std::string> history_uids;  ///< one per history action
+  std::vector<std::string> pending_uids;  ///< one per pending action
+  std::string history_bytes;   ///< encode_log(history) output
+  std::string pending_bytes;   ///< encode_log(pending) output
+  std::string universe_bytes;  ///< encode_universe(committed) output
+};
+
+/// Serialises `frame` to the version-1 byte format above.
+[[nodiscard]] std::string encode_gossip_frame(const GossipFrame& frame);
+
+struct DecodedGossipFrame {
+  std::optional<GossipFrame> frame;
+  DecodeError error;  ///< kind == kNone iff decoding succeeded
+
+  [[nodiscard]] bool ok() const { return frame.has_value(); }
+};
+
+/// Parses a gossip frame envelope. Section bytes are returned verbatim;
+/// decode them with decode_log / decode_universe.
+[[nodiscard]] DecodedGossipFrame decode_gossip_frame(const std::string& text);
+
+}  // namespace icecube

@@ -1,0 +1,290 @@
+#include "simnet/chaos.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "objects/counter.hpp"
+#include "util/rng.hpp"
+
+namespace icecube {
+
+namespace {
+
+/// Decision streams for the runner itself (workload content, partner
+/// choice), independent of the FaultPlan's streams.
+std::uint64_t mix(std::uint64_t seed, std::uint64_t salt, std::uint64_t a,
+                  std::uint64_t b) {
+  std::uint64_t s = seed ^ (salt * 0x9E3779B97F4A7C15ULL);
+  s ^= (a + 1) * 0xBF58476D1CE4E5B9ULL;
+  s ^= (b + 1) * 0x94D049BB133111EBULL;
+  return s;
+}
+
+std::string json_escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xF];
+          out += kHex[c & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string hex32(std::uint32_t v) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out(8, '0');
+  for (int i = 7; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHex[v & 0xFu];
+    v >>= 4;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string chaos_site_name(std::size_t index) {
+  return "s" + std::to_string(index);
+}
+
+ChaosReport run_chaos(const ChaosSpec& spec) {
+  // Gossip needs a partner; the interval must advance the clock.
+  const std::size_t n = std::max<std::size_t>(spec.sites, 2);
+  const std::size_t interval = std::max<std::size_t>(spec.gossip_interval, 1);
+
+  ChaosReport report;
+  report.seed = spec.seed;
+  report.sites = n;
+
+  // The workload object: a single budget counter with a floor high enough
+  // that decrements never fail their dynamic constraint at this scale —
+  // every performed action stays committable, so full convergence drains
+  // every pending log.
+  Universe genesis;
+  genesis.add(std::make_unique<Counter>(10000));
+
+  std::vector<std::string> names;
+  names.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) names.push_back(chaos_site_name(i));
+
+  GossipOptions gossip_options;
+  gossip_options.reconcile = spec.reconcile;
+  std::vector<GossipNode> nodes;
+  nodes.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    nodes.emplace_back(names[i], genesis, gossip_options);
+  }
+
+  SimNet net(spec.seed, spec.faults);
+  net.set_fault_horizon(spec.fault_horizon);
+  net.set_partition_window(spec.partition_window);
+  net.set_trace_retention(spec.keep_trace);
+  for (const std::string& name : names) net.add_site(name);
+  // Stagger the first ticks so sites never move in lockstep.
+  for (std::size_t i = 0; i < n; ++i) net.schedule_timer(names[i], 1 + i);
+
+  // Convergence is only demanded once every disruption is over.
+  std::size_t quiet_time = spec.fault_horizon;
+
+  for (const ChaosPartition& p : spec.partitions) {
+    if (!net.has_site(p.a) || !net.has_site(p.b) || p.heal_at <= p.at) {
+      continue;
+    }
+    net.schedule_partition(p.a, p.b, p.at, p.heal_at);
+    quiet_time = std::max(quiet_time, p.heal_at);
+  }
+  for (const ChaosCrash& c : spec.crashes) {
+    if (!net.has_site(c.site) || c.restart_at <= c.at) continue;
+    net.schedule_crash(c.site, c.at);
+    net.schedule_restart(c.site, c.restart_at);
+    quiet_time = std::max(quiet_time, c.restart_at);
+  }
+
+  // Random crash/recovery cycles drawn from FaultSpec::site_down, one
+  // decision per crash window per site, always with a restart.
+  const std::size_t crash_len = std::max<std::size_t>(spec.crash_length, 1);
+  const std::size_t crash_window = crash_len * 2;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t w = 0; w * crash_window < spec.fault_horizon; ++w) {
+      if (!net.faults().site_down(names[i], w)) continue;
+      const std::size_t at = w * crash_window + 1;
+      net.schedule_crash(names[i], at);
+      net.schedule_restart(names[i], at + crash_len);
+      quiet_time = std::max(quiet_time, at + crash_len);
+    }
+  }
+
+  InvariantChecker checker(spec.deep_replay);
+  for (std::size_t i = 0; i < n; ++i) checker.observe(nodes[i], 0);
+
+  std::vector<std::size_t> remaining(n, spec.actions_per_site);
+  std::vector<std::uint64_t> workload_seq(n, 0);
+  const auto site_index = [&](const std::string& name) {
+    return static_cast<std::size_t>(
+        std::find(names.begin(), names.end(), name) - names.begin());
+  };
+
+  while (report.steps < spec.step_budget) {
+    auto event = net.step();
+    if (!event) break;
+    ++report.steps;
+    const std::size_t i = site_index(event->site);
+    GossipNode& node = nodes[i];
+
+    if (event->kind == SimEvent::Kind::kTimer) {
+      if (net.is_up(event->site)) {
+        if (remaining[i] > 0) {
+          Rng rng(mix(spec.seed, 0xA5, i, workload_seq[i]++));
+          ActionPtr action;
+          if (rng.below(4) == 0) {
+            action = std::make_shared<DecrementAction>(
+                ObjectId(0), static_cast<std::int64_t>(1 + rng.below(3)));
+          } else {
+            action = std::make_shared<IncrementAction>(
+                ObjectId(0), static_cast<std::int64_t>(1 + rng.below(5)));
+          }
+          --remaining[i];
+          if (node.perform(std::move(action))) ++report.total_actions;
+        }
+        Rng partner_rng(mix(spec.seed, 0xB7, i, net.now()));
+        std::size_t partner = partner_rng.below(n - 1);
+        if (partner >= i) ++partner;
+        net.send(event->site, names[partner],
+                 node.make_message(&net.faults(), net.now()));
+      }
+      net.schedule_timer(event->site, net.now() + interval);
+    } else {
+      const GossipReceipt receipt = node.receive(event->payload);
+      if (receipt.reply_advised() && net.is_up(event->from)) {
+        net.send(event->site, event->from,
+                 node.make_message(&net.faults(), net.now()));
+      }
+    }
+
+    checker.observe(node, net.now());
+
+    if (net.now() >= quiet_time) {
+      const bool workload_done =
+          std::all_of(remaining.begin(), remaining.end(),
+                      [](std::size_t r) { return r == 0; });
+      const bool all_up = std::all_of(
+          names.begin(), names.end(),
+          [&](const std::string& s) { return net.is_up(s); });
+      const bool drained = std::all_of(
+          nodes.begin(), nodes.end(),
+          [](const GossipNode& g) { return g.pending().empty(); });
+      if (workload_done && all_up && drained && gossip_converged(nodes)) {
+        report.converged = true;
+        report.converged_at = net.now();
+        break;
+      }
+    }
+  }
+
+  report.final_time = net.now();
+  if (!report.converged) checker.check_converged(nodes, net.now());
+  report.violations = checker.violations();
+  report.observations = checker.observations();
+  for (const GossipNode& node : nodes) {
+    report.totals.performs += node.stats().performs;
+    report.totals.merges += node.stats().merges;
+    report.totals.merge_noops += node.stats().merge_noops;
+    report.totals.transfers += node.stats().transfers;
+    report.totals.demotions += node.stats().demotions;
+    report.totals.quarantines += node.stats().quarantines;
+    report.totals.stale_heard += node.stats().stale_heard;
+    report.max_epoch = std::max(report.max_epoch, node.epoch());
+  }
+  if (report.converged) {
+    report.final_fingerprint = nodes.front().committed_fingerprint();
+  }
+  report.net = net.counters();
+  report.injected_faults = net.faults().injected().size();
+  report.trace_crc = net.trace_crc();
+  if (spec.keep_trace) report.trace = net.trace();
+  return report;
+}
+
+std::string ChaosReport::to_json() const {
+  std::string out = "{";
+  const auto field = [&out](const std::string& key, const std::string& value,
+                            bool quote) {
+    if (out.size() > 1) out += ",";
+    out += "\"" + key + "\":";
+    if (quote) {
+      out += "\"" + value + "\"";
+    } else {
+      out += value;
+    }
+  };
+  field("seed", std::to_string(seed), false);
+  field("sites", std::to_string(sites), false);
+  field("converged", converged ? "true" : "false", false);
+  field("converged_at", std::to_string(converged_at), false);
+  field("steps", std::to_string(steps), false);
+  field("final_time", std::to_string(final_time), false);
+  field("total_actions", std::to_string(total_actions), false);
+  field("max_epoch", std::to_string(max_epoch), false);
+  field("observations", std::to_string(observations), false);
+  field("injected_faults", std::to_string(injected_faults), false);
+  field("trace_crc", hex32(trace_crc), true);
+  field("final_fingerprint", json_escape(final_fingerprint), true);
+
+  std::string violations_json = "[";
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    if (i > 0) violations_json += ",";
+    const Violation& v = violations[i];
+    violations_json += "{\"kind\":\"" + json_escape(v.kind) +
+                       "\",\"site\":\"" + json_escape(v.site) +
+                       "\",\"detail\":\"" + json_escape(v.detail) +
+                       "\",\"time\":" + std::to_string(v.time) + "}";
+  }
+  violations_json += "]";
+  field("violations", violations_json, false);
+
+  field("stats",
+        "{\"performs\":" + std::to_string(totals.performs) +
+            ",\"merges\":" + std::to_string(totals.merges) +
+            ",\"merge_noops\":" + std::to_string(totals.merge_noops) +
+            ",\"transfers\":" + std::to_string(totals.transfers) +
+            ",\"demotions\":" + std::to_string(totals.demotions) +
+            ",\"quarantines\":" + std::to_string(totals.quarantines) +
+            ",\"stale_heard\":" + std::to_string(totals.stale_heard) + "}",
+        false);
+  field("net",
+        "{\"sent\":" + std::to_string(net.sent) +
+            ",\"delivered\":" + std::to_string(net.delivered) +
+            ",\"lost\":" + std::to_string(net.lost) +
+            ",\"duplicated\":" + std::to_string(net.duplicated) +
+            ",\"delayed\":" + std::to_string(net.delayed) +
+            ",\"dropped_partition\":" +
+            std::to_string(net.dropped_partition) +
+            ",\"dropped_down\":" + std::to_string(net.dropped_down) +
+            ",\"timers\":" + std::to_string(net.timers) + "}",
+        false);
+  out += "}";
+  return out;
+}
+
+}  // namespace icecube

@@ -1,0 +1,98 @@
+// Chaos harness: gossip nodes on the simulated network, under fire.
+//
+// One `run_chaos` call wires a group of `GossipNode`s (replica/gossip.hpp)
+// onto a `SimNet` (simnet/simnet.hpp), drives a seeded workload of counter
+// updates through seed-chosen gossip partners, injects the full fault
+// menu — message loss, delay, reordering, duplication, payload corruption
+// and truncation, random and scheduled link partitions, site crashes with
+// restarts — and checks the `InvariantChecker` contract after every event.
+//
+// The run converges when, after the fault horizon and every scheduled
+// heal/restart, all sites are up, the whole workload is committed
+// everywhere (no pending actions anywhere) and every committed fingerprint
+// is byte-identical. A run that exhausts its step budget first reports
+// the divergence as a violation. Because every decision derives from the
+// seed, a failing (seed, spec) pair replays its exact event sequence —
+// compare `ChaosReport::trace_crc` across runs to prove it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/options.hpp"
+#include "fault/fault_plan.hpp"
+#include "replica/gossip.hpp"
+#include "simnet/invariants.hpp"
+#include "simnet/simnet.hpp"
+
+namespace icecube {
+
+/// A scheduled link cut with its heal time.
+struct ChaosPartition {
+  std::string a;
+  std::string b;
+  std::size_t at = 0;
+  std::size_t heal_at = 0;
+};
+
+/// A scheduled crash with its restart time.
+struct ChaosCrash {
+  std::string site;
+  std::size_t at = 0;
+  std::size_t restart_at = 0;
+};
+
+/// Everything one chaos run depends on. Same spec, same report.
+struct ChaosSpec {
+  std::uint64_t seed = 1;
+  std::size_t sites = 4;  ///< clamped to >= 2 (gossip needs a partner)
+  /// Counter updates each site performs, one per gossip tick.
+  std::size_t actions_per_site = 6;
+  std::size_t gossip_interval = 4;  ///< ticks between a site's timers
+  std::size_t step_budget = 50000;  ///< external events before giving up
+  /// Sim-time after which random faults stop (see SimNet); scheduled
+  /// partitions/crashes should fit below it too for convergence runs.
+  std::size_t fault_horizon = 400;
+  std::size_t partition_window = 16;  ///< random link cut window width
+  std::size_t crash_length = 24;      ///< duration of random crashes
+  bool deep_replay = true;  ///< replay-validate every commit (see checker)
+  bool keep_trace = true;   ///< retain trace lines (CRC always computed)
+  FaultSpec faults;         ///< loss/corrupt/.../partition probabilities
+  std::vector<ChaosPartition> partitions;  ///< scheduled cuts
+  std::vector<ChaosCrash> crashes;         ///< scheduled crashes
+  ReconcilerOptions reconcile;  ///< forwarded to every node's merges
+};
+
+/// What one run did and found.
+struct ChaosReport {
+  std::uint64_t seed = 0;
+  std::size_t sites = 0;
+  bool converged = false;
+  std::size_t converged_at = 0;  ///< sim time of convergence (if any)
+  std::size_t steps = 0;         ///< external events processed
+  std::size_t final_time = 0;    ///< clock when the run ended
+  std::size_t total_actions = 0;  ///< workload actions performed
+  std::uint64_t max_epoch = 0;
+  std::string final_fingerprint;  ///< set iff converged
+  std::vector<Violation> violations;
+  GossipStats totals;  ///< summed over all nodes
+  SimCounters net;
+  std::size_t injected_faults = 0;  ///< FaultPlan records
+  std::size_t observations = 0;     ///< invariant checks performed
+  std::uint32_t trace_crc = 0;      ///< replay-determinism witness
+  /// Full event trace (only with ChaosSpec::keep_trace).
+  std::vector<std::string> trace;
+
+  [[nodiscard]] bool ok() const { return converged && violations.empty(); }
+  /// Machine-readable rendering of the whole report (one JSON object).
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Site names are "s0", "s1", ... — use this in ChaosSpec schedules.
+[[nodiscard]] std::string chaos_site_name(std::size_t index);
+
+/// Runs one chaos scenario; see file comment.
+[[nodiscard]] ChaosReport run_chaos(const ChaosSpec& spec);
+
+}  // namespace icecube

@@ -1,0 +1,123 @@
+#include "simnet/invariants.hpp"
+
+#include <utility>
+
+namespace icecube {
+
+namespace {
+
+/// The protocol's commitment total order (mirrors replica/gossip.cpp).
+bool commit_dominates(std::uint64_t epoch_a, const std::string& fp_a,
+                      std::uint64_t epoch_b, const std::string& fp_b) {
+  if (epoch_a != epoch_b) return epoch_a > epoch_b;
+  return fp_a > fp_b;
+}
+
+}  // namespace
+
+void InvariantChecker::flag(std::string kind, const std::string& site,
+                            std::string detail, std::size_t time) {
+  violations_.push_back(
+      {std::move(kind), site, std::move(detail), time});
+}
+
+void InvariantChecker::observe(const GossipNode& node, std::size_t time) {
+  ++observations_;
+  const std::string fp = node.committed_fingerprint();
+
+  // uid-unique: no action counted twice, in either log or across them.
+  std::set<std::string> accounted;
+  for (const std::string& uid : node.history_uids()) {
+    if (!accounted.insert(uid).second) {
+      flag("uid-unique", node.name(), "duplicate history uid " + uid, time);
+    }
+  }
+  for (const std::string& uid : node.pending_uids()) {
+    if (!accounted.insert(uid).second) {
+      flag("uid-unique", node.name(),
+           "pending uid also committed: " + uid, time);
+    }
+  }
+  if (node.history_uids().size() != node.history().size() ||
+      node.pending_uids().size() != node.pending().size()) {
+    flag("uid-unique", node.name(), "uid/action count mismatch", time);
+  }
+
+  auto [it, first_sight] = tracks_.try_emplace(node.name());
+  Track& track = it->second;
+  if (first_sight) {
+    track.epoch = node.epoch();
+    track.fingerprint = fp;
+    track.accounted = std::move(accounted);
+    return;
+  }
+
+  // epoch-monotone.
+  if (node.epoch() < track.epoch) {
+    flag("epoch-monotone", node.name(),
+         "epoch went " + std::to_string(track.epoch) + " -> " +
+             std::to_string(node.epoch()),
+         time);
+  }
+
+  // commit-order: any committed-state change must move strictly up the
+  // commitment order.
+  const bool changed =
+      node.epoch() != track.epoch || fp != track.fingerprint;
+  if (changed && !commit_dominates(node.epoch(), fp, track.epoch,
+                                   track.fingerprint)) {
+    flag("commit-order", node.name(),
+         "new (epoch " + std::to_string(node.epoch()) +
+             ") does not dominate old (epoch " +
+             std::to_string(track.epoch) + ")",
+         time);
+  }
+
+  // conservation: everything previously accounted for is still there.
+  for (const std::string& uid : track.accounted) {
+    if (!accounted.contains(uid)) {
+      flag("conservation", node.name(), "lost action " + uid, time);
+    }
+  }
+
+  // replay: the committed history really produces the committed state.
+  if (changed && deep_replay_) {
+    Universe replay = node.genesis();
+    bool valid = true;
+    std::size_t at = 0;
+    for (const ActionPtr& action : node.history()) {
+      if (!action->precondition(replay) || !action->execute(replay)) {
+        valid = false;
+        break;
+      }
+      ++at;
+    }
+    if (!valid) {
+      flag("replay", node.name(),
+           "history action " + std::to_string(at) +
+               " fails to replay from genesis",
+           time);
+    } else if (replay.fingerprint() != fp) {
+      flag("replay", node.name(),
+           "replayed fingerprint differs from committed state", time);
+    }
+  }
+
+  track.epoch = node.epoch();
+  track.fingerprint = fp;
+  track.accounted = std::move(accounted);
+}
+
+void InvariantChecker::check_converged(const std::vector<GossipNode>& nodes,
+                                       std::size_t time) {
+  if (nodes.empty()) return;
+  const std::string fp = nodes.front().committed_fingerprint();
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    if (nodes[i].committed_fingerprint() != fp) {
+      flag("convergence", nodes[i].name(),
+           "committed state differs from " + nodes.front().name(), time);
+    }
+  }
+}
+
+}  // namespace icecube

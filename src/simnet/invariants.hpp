@@ -1,0 +1,100 @@
+// Convergence invariants, checked after every simulated event.
+//
+// The chaos harness is only as strong as what it asserts. This checker
+// watches every `GossipNode` between events and enforces the protocol's
+// safety contract:
+//
+//   conservation   — the set of actions a site accounts for (committed
+//                    history ∪ pending log, by uid) never shrinks. An
+//                    action may be demoted from committed back to pending
+//                    during a state transfer, but it can never silently
+//                    vanish. "No committed action is ever lost."
+//   epoch-monotone — a site's commitment epoch never decreases.
+//   commit-order   — whenever a site's committed state changes, the new
+//                    (epoch, fingerprint) pair strictly dominates the old
+//                    one in the protocol's commitment total order; merges
+//                    strictly grow the epoch, transfers only move *up* the
+//                    order. Together with epoch-monotone this rules out
+//                    commitment cycles (A adopts B adopts A ...).
+//   uid-unique     — history and pending uids are duplicate-free and
+//                    mutually disjoint: no action is counted twice.
+//   replay         — (optional, deep) after every committed-state change
+//                    the site's history, replayed from genesis, reproduces
+//                    its committed fingerprint exactly: adopted schedules
+//                    are valid, not just claimed.
+//
+// and, at the end of a run,
+//
+//   convergence    — all sites report byte-identical committed
+//                    fingerprints (checked by the runner once the network
+//                    is quiet and every partition has healed).
+//
+// Violations are collected, not thrown, so one run reports everything it
+// finds along with the simulated time of each offence.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "replica/gossip.hpp"
+
+namespace icecube {
+
+/// One invariant offence, with enough context to locate it in the trace.
+struct Violation {
+  std::string kind;    ///< "conservation", "epoch-monotone", ...
+  std::string site;    ///< offending site; empty for group-level checks
+  std::string detail;  ///< human-readable specifics
+  std::size_t time = 0;  ///< simulated time of the observation
+
+  [[nodiscard]] std::string message() const {
+    std::string out = kind;
+    if (!site.empty()) out += " [site '" + site + "']";
+    if (!detail.empty()) out += ": " + detail;
+    return out + " @t" + std::to_string(time);
+  }
+};
+
+/// Observes nodes between events; see file comment.
+class InvariantChecker {
+ public:
+  /// With `deep_replay`, every committed-state change triggers a full
+  /// history replay from genesis (quadratic over a run, fine at test
+  /// scale; switch off for long benches).
+  explicit InvariantChecker(bool deep_replay = true)
+      : deep_replay_(deep_replay) {}
+
+  /// Call after any event that may have touched `node`.
+  void observe(const GossipNode& node, std::size_t time);
+
+  /// Final check: all nodes on byte-identical committed fingerprints.
+  void check_converged(const std::vector<GossipNode>& nodes,
+                       std::size_t time);
+
+  [[nodiscard]] const std::vector<Violation>& violations() const {
+    return violations_;
+  }
+  [[nodiscard]] bool ok() const { return violations_.empty(); }
+  /// Number of observe() calls, for reports.
+  [[nodiscard]] std::size_t observations() const { return observations_; }
+
+ private:
+  struct Track {
+    std::uint64_t epoch = 0;
+    std::string fingerprint;
+    std::set<std::string> accounted;  ///< history ∪ pending uids
+  };
+
+  void flag(std::string kind, const std::string& site, std::string detail,
+            std::size_t time);
+
+  bool deep_replay_;
+  std::size_t observations_ = 0;
+  std::map<std::string, Track> tracks_;
+  std::vector<Violation> violations_;
+};
+
+}  // namespace icecube

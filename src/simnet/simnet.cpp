@@ -1,0 +1,175 @@
+#include "simnet/simnet.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace icecube {
+
+SimNet::SimNet(std::uint64_t seed, FaultSpec spec)
+    : faults_(seed, std::move(spec)) {}
+
+void SimNet::add_site(const std::string& name) {
+  assert(!name.empty());
+  up_.emplace(name, true);
+}
+
+bool SimNet::has_site(const std::string& name) const {
+  return up_.contains(name);
+}
+
+bool SimNet::is_up(const std::string& name) const {
+  const auto it = up_.find(name);
+  return it != up_.end() && it->second;
+}
+
+void SimNet::push(Event event) {
+  event.seq = next_seq_++;
+  queue_.push(std::move(event));
+}
+
+void SimNet::note(const std::string& line) {
+  trace_crc_.update(line);
+  trace_crc_.update("\n");
+  if (keep_trace_) trace_.push_back(line);
+}
+
+std::string SimNet::link_key(const std::string& a, const std::string& b) {
+  return a < b ? a + "|" + b : b + "|" + a;
+}
+
+void SimNet::schedule_timer(const std::string& site, std::size_t at) {
+  assert(has_site(site));
+  push({EventKind::kTimer, at, 0, site, {}, {}, 0});
+}
+
+void SimNet::schedule_crash(const std::string& site, std::size_t at) {
+  assert(has_site(site));
+  push({EventKind::kCrash, at, 0, site, {}, {}, 0});
+}
+
+void SimNet::schedule_restart(const std::string& site, std::size_t at) {
+  assert(has_site(site));
+  push({EventKind::kRestart, at, 0, site, {}, {}, 0});
+}
+
+void SimNet::schedule_partition(const std::string& a, const std::string& b,
+                                std::size_t at, std::size_t heal_at) {
+  assert(has_site(a) && has_site(b));
+  assert(at < heal_at);
+  push({EventKind::kCut, at, 0, a, b, {}, 0});
+  push({EventKind::kHeal, heal_at, 0, a, b, {}, 0});
+}
+
+bool SimNet::link_open(const std::string& a, const std::string& b) {
+  const std::string key = link_key(a, b);
+  if (cut_links_.contains(key)) return false;
+  if (!random_faults_active()) return true;
+  const std::size_t window = now_ / partition_window_;
+  const std::string memo = key + "@" + std::to_string(window);
+  auto it = window_cuts_.find(memo);
+  if (it == window_cuts_.end()) {
+    it = window_cuts_.emplace(memo, faults_.link_cut(a, b, window)).first;
+  }
+  return !it->second;
+}
+
+std::uint64_t SimNet::send(const std::string& from, const std::string& to,
+                           std::string payload) {
+  assert(has_site(from) && has_site(to));
+  const std::uint64_t id = ++next_msg_;
+  const std::string pid =
+      from + ">" + to + "#" + std::to_string(id);
+  ++counters_.sent;
+
+  if (!link_open(from, to)) {
+    ++counters_.dropped_partition;
+    note("t" + std::to_string(now_) + " cut-drop " + pid);
+    return id;
+  }
+  if (random_faults_active() && faults_.delivery_fails(pid, now_)) {
+    ++counters_.lost;
+    note("t" + std::to_string(now_) + " lose " + pid);
+    return id;
+  }
+
+  std::size_t extra = 0;
+  if (random_faults_active()) {
+    extra = faults_.delay(pid, now_);
+    if (extra > 0) ++counters_.delayed;
+  }
+  note("t" + std::to_string(now_) + " send " + pid + " +" +
+       std::to_string(extra));
+  push({EventKind::kDeliver, now_ + 1 + extra, 0, to, from, payload, id});
+
+  if (random_faults_active() && faults_.duplicates(pid, now_)) {
+    ++counters_.duplicated;
+    // The copy draws its own delay, so the two deliveries interleave
+    // independently with other traffic.
+    const std::size_t copy_extra = faults_.delay(pid + "'", now_);
+    note("t" + std::to_string(now_) + " dup " + pid + " +" +
+         std::to_string(copy_extra));
+    push({EventKind::kDeliver, now_ + 1 + copy_extra, 0, to, from,
+          std::move(payload), id});
+  }
+  return id;
+}
+
+std::optional<SimEvent> SimNet::step() {
+  while (!queue_.empty()) {
+    Event event = queue_.top();
+    queue_.pop();
+    if (event.time > now_) now_ = event.time;
+
+    switch (event.kind) {
+      case EventKind::kCrash:
+        if (is_up(event.site)) {
+          up_[event.site] = false;
+          note("t" + std::to_string(now_) + " crash " + event.site);
+        }
+        continue;
+      case EventKind::kRestart:
+        if (has_site(event.site) && !is_up(event.site)) {
+          up_[event.site] = true;
+          note("t" + std::to_string(now_) + " restart " + event.site);
+        }
+        continue;
+      case EventKind::kCut:
+        cut_links_.insert(link_key(event.site, event.peer));
+        note("t" + std::to_string(now_) + " cut " +
+             link_key(event.site, event.peer));
+        continue;
+      case EventKind::kHeal:
+        cut_links_.erase(link_key(event.site, event.peer));
+        note("t" + std::to_string(now_) + " heal " +
+             link_key(event.site, event.peer));
+        continue;
+      case EventKind::kTimer:
+        ++counters_.timers;
+        note("t" + std::to_string(now_) + " timer " + event.site);
+        return SimEvent{SimEvent::Kind::kTimer, now_, event.site, {}, {}, 0};
+      case EventKind::kDeliver: {
+        const std::string pid = event.peer + ">" + event.site + "#" +
+                                std::to_string(event.id);
+        if (!is_up(event.site)) {
+          ++counters_.dropped_down;
+          note("t" + std::to_string(now_) + " down-drop " + pid);
+          continue;
+        }
+        // Partitions cut in-flight traffic too: the link must be open at
+        // delivery time, not just at send time.
+        if (!link_open(event.peer, event.site)) {
+          ++counters_.dropped_partition;
+          note("t" + std::to_string(now_) + " cut-drop " + pid);
+          continue;
+        }
+        ++counters_.delivered;
+        note("t" + std::to_string(now_) + " deliver " + pid);
+        return SimEvent{SimEvent::Kind::kDeliver, now_, event.site,
+                        event.peer, std::move(event.payload), event.id};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace icecube

@@ -1,0 +1,172 @@
+// A deterministic discrete-event network simulator.
+//
+// The asynchronous protocol (replica/gossip.hpp) makes no timing
+// assumptions, which means no real network can exercise its interesting
+// interleavings on demand. This simulator can: it owns a logical clock and
+// an event queue ordered by (time, sequence), so a (seed, topology, fault
+// spec) triple replays the exact same event sequence every run — a failing
+// chaos seed is a unit test, not a flake.
+//
+// The runner drives the loop: `step()` pops the next *external* event — a
+// site timer or a message delivery — and hands it back; control events
+// (crashes, restarts, partition cuts and heals) are applied internally on
+// the way. Messages submitted with `send` pass through the fault plan:
+// they may be lost, delayed, reordered (an extra delay that lets later
+// messages overtake), duplicated, or blocked by a partition. Partitions
+// come in two forms: *scheduled* cuts with explicit heal times, and
+// *random* per-window link cuts drawn from FaultSpec::partition. Random
+// faults stop at the fault horizon so convergence-after-heal is a testable
+// property rather than a race against the fault process.
+//
+// Crash model: a down site receives nothing (messages to it are dropped at
+// delivery time) but keeps its durable replica state; timers still fire
+// and are returned to the runner, which checks `is_up` — that keeps the
+// timer chain alive across a crash so the site resumes gossiping after
+// restart.
+//
+// Every decision is appended to an event trace (and folded into a running
+// CRC) so tests can assert two runs of the same seed are byte-identical.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <queue>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fault/fault_plan.hpp"
+#include "util/crc32.hpp"
+
+namespace icecube {
+
+/// One external event handed to the runner.
+struct SimEvent {
+  enum class Kind : std::uint8_t { kTimer, kDeliver };
+  Kind kind = Kind::kTimer;
+  std::size_t time = 0;
+  std::string site;     ///< timer owner, or message destination
+  std::string from;     ///< message sender (kDeliver only)
+  std::string payload;  ///< message bytes (kDeliver only)
+  std::uint64_t id = 0; ///< message id (kDeliver only)
+};
+
+/// Delivery accounting, for reports and assertions.
+struct SimCounters {
+  std::size_t sent = 0;
+  std::size_t delivered = 0;
+  std::size_t lost = 0;               ///< dropped by FaultSpec::lose
+  std::size_t duplicated = 0;         ///< extra copies injected
+  std::size_t delayed = 0;            ///< messages given extra latency
+  std::size_t dropped_partition = 0;  ///< blocked by a cut link
+  std::size_t dropped_down = 0;       ///< destination down at delivery
+  std::size_t timers = 0;             ///< timer events returned
+};
+
+/// The simulator; see file comment. All site names must be registered with
+/// `add_site` before use.
+class SimNet {
+ public:
+  SimNet(std::uint64_t seed, FaultSpec spec);
+
+  void add_site(const std::string& name);
+  [[nodiscard]] bool has_site(const std::string& name) const;
+  [[nodiscard]] bool is_up(const std::string& name) const;
+  [[nodiscard]] std::size_t now() const { return now_; }
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+  [[nodiscard]] FaultPlan& faults() { return faults_; }
+  [[nodiscard]] const SimCounters& counters() const { return counters_; }
+
+  /// Sim-time after which the random fault processes (loss, delay,
+  /// duplication, random link cuts) go quiet. Scheduled cuts/crashes are
+  /// unaffected. Default: never.
+  void set_fault_horizon(std::size_t time) { fault_horizon_ = time; }
+  [[nodiscard]] std::size_t fault_horizon() const { return fault_horizon_; }
+  /// Width of the random-link-cut windows (a cut link stays cut for the
+  /// rest of its window, then heals). Default 16 ticks.
+  void set_partition_window(std::size_t w) { partition_window_ = w ? w : 1; }
+  /// Disable trace *retention* (the CRC keeps accumulating) for long
+  /// sweeps that only compare trace_crc().
+  void set_trace_retention(bool keep) { keep_trace_ = keep; }
+
+  /// Schedules a timer tick for `site` at absolute time `at`.
+  void schedule_timer(const std::string& site, std::size_t at);
+  /// Submits a message; it is queued, delayed, duplicated, lost or blocked
+  /// per the fault plan. Returns the message id.
+  std::uint64_t send(const std::string& from, const std::string& to,
+                     std::string payload);
+
+  void schedule_crash(const std::string& site, std::size_t at);
+  void schedule_restart(const std::string& site, std::size_t at);
+  /// Cuts the (undirected) link a—b at `at` and heals it at `heal_at`.
+  void schedule_partition(const std::string& a, const std::string& b,
+                          std::size_t at, std::size_t heal_at);
+
+  /// True iff the link is currently usable: not explicitly cut and not
+  /// randomly cut in the current fault window. Random-cut decisions are
+  /// memoised per (link, window), so querying is repeatable and each cut
+  /// is recorded in the fault plan exactly once.
+  [[nodiscard]] bool link_open(const std::string& a, const std::string& b);
+
+  /// Pops the next external event, applying any control events on the way
+  /// and advancing the clock. Returns nullopt when the queue is empty.
+  [[nodiscard]] std::optional<SimEvent> step();
+
+  [[nodiscard]] const std::vector<std::string>& trace() const {
+    return trace_;
+  }
+  /// CRC over every trace line emitted so far (independent of retention).
+  [[nodiscard]] std::uint32_t trace_crc() const { return trace_crc_.value(); }
+
+ private:
+  enum class EventKind : std::uint8_t {
+    kTimer,
+    kDeliver,
+    kCrash,
+    kRestart,
+    kCut,
+    kHeal,
+  };
+  struct Event {
+    EventKind kind;
+    std::size_t time;
+    std::uint64_t seq;  ///< global tie-break: FIFO among same-time events
+    std::string site;   ///< timer owner / destination / crash target
+    std::string peer;   ///< sender (kDeliver) or link peer (kCut/kHeal)
+    std::string payload;
+    std::uint64_t id = 0;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void push(Event event);
+  void note(const std::string& line);
+  [[nodiscard]] static std::string link_key(const std::string& a,
+                                            const std::string& b);
+  [[nodiscard]] bool random_faults_active() const {
+    return now_ < fault_horizon_;
+  }
+
+  FaultPlan faults_;
+  std::size_t now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_msg_ = 0;
+  std::size_t fault_horizon_ = static_cast<std::size_t>(-1);
+  std::size_t partition_window_ = 16;
+  bool keep_trace_ = true;
+
+  std::map<std::string, bool> up_;        ///< site -> currently up
+  std::set<std::string> cut_links_;       ///< explicitly cut link keys
+  std::map<std::string, bool> window_cuts_;  ///< memoised "link@window"
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimCounters counters_;
+  std::vector<std::string> trace_;
+  Crc32 trace_crc_;
+};
+
+}  // namespace icecube

@@ -469,6 +469,159 @@ TEST(Degradation, SeededSweepYieldsValidDegradedSchedules) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Degenerate groups: empty and single-site rounds are structured errors,
+// never silent successes.
+
+TEST(SyncEdgeCases, EmptyGroupSynchroniseIsNoSites) {
+  const SyncResult result = synchronise({});
+  EXPECT_FALSE(result.adopted);
+  EXPECT_EQ(result.error.kind, SyncErrorKind::kNoSites);
+}
+
+TEST(SyncEdgeCases, SingleSiteSynchroniseIsNoSitesNotSilentSuccess) {
+  Site a("a", counter_universe(10));
+  ASSERT_TRUE(a.perform(std::make_shared<IncrementAction>(kCounter, 5)));
+  const SyncResult result = synchronise({&a});
+  EXPECT_FALSE(result.adopted);
+  EXPECT_EQ(result.error.kind, SyncErrorKind::kNoSites);
+  EXPECT_EQ(result.error.site, "a");
+  // The site is untouched: nothing committed, log intact.
+  EXPECT_TRUE(a.has_local_updates());
+  EXPECT_EQ(a.committed().as<Counter>(kCounter).value(), 10);
+}
+
+TEST(SyncEdgeCases, SingleSiteResilientReportsNoSitesWithSiteRow) {
+  Site a("a", counter_universe(10));
+  const SyncReport report = synchronise_resilient({&a});
+  EXPECT_FALSE(report.adopted);
+  EXPECT_FALSE(report.all_synced);
+  ASSERT_EQ(report.errors.size(), 1u);
+  EXPECT_EQ(report.errors.front().kind, SyncErrorKind::kNoSites);
+  // The accounting still carries a row for the site that showed up.
+  const SiteReport* sr = report.site_report("a");
+  ASSERT_NE(sr, nullptr);
+  EXPECT_FALSE(sr->synced);
+  EXPECT_EQ(sr->attempts, 0u);
+  EXPECT_EQ(sr->last_error.kind, SyncErrorKind::kNoSites);
+}
+
+TEST(SyncEdgeCases, ConvergedIsVacuousForDegenerateGroups) {
+  // Documented footgun: converged() answers "do these tentative states
+  // agree", which is vacuously yes for zero or one site. Callers needing
+  // "the group synchronised" must consult SyncReport::all_synced.
+  Site a("a", counter_universe(10));
+  EXPECT_TRUE(converged({}));
+  EXPECT_TRUE(converged({&a}));
+}
+
+TEST(SyncEdgeCases, AllSitesCrashedEveryRoundIsRoundsExhausted) {
+  FaultSpec spec;
+  spec.site_down = 1.0;
+  FaultPlan plan(31, spec);
+  const Universe initial = counter_universe(5);
+  Site a("a", initial), b("b", initial), c("c", initial);
+  ASSERT_TRUE(a.perform(std::make_shared<IncrementAction>(kCounter, 1)));
+
+  SyncConfig config;
+  config.max_rounds = 3;
+  const SyncReport report =
+      synchronise_resilient({&a, &b, &c}, {}, nullptr, &plan, config);
+  EXPECT_FALSE(report.adopted);
+  EXPECT_FALSE(report.all_synced);
+  ASSERT_FALSE(report.errors.empty());
+  // The tail of the error list is exactly one kRoundsExhausted per site,
+  // in group order; everything before it is the per-round quarantines.
+  ASSERT_GE(report.errors.size(), 3u);
+  const std::size_t tail = report.errors.size() - 3;
+  for (std::size_t i = 0; i < tail; ++i) {
+    EXPECT_EQ(report.errors[i].kind, SyncErrorKind::kUnreachable) << i;
+  }
+  const char* expected_order[] = {"a", "b", "c"};
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(report.errors[tail + i].kind, SyncErrorKind::kRoundsExhausted);
+    EXPECT_EQ(report.errors[tail + i].site, expected_order[i]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SyncReport accounting under a wide seeded sweep: the counters must be
+// arithmetically consistent with the error list and the round count, for
+// every seed, not just the happy path.
+
+TEST(FaultSweep, HundredSeedReportAccountingIsConsistent) {
+  FaultSpec spec;
+  spec.corrupt = 0.25;
+  spec.truncate = 0.1;
+  spec.site_down = 0.25;
+  spec.lose = 0.15;
+
+  const auto is_quarantine = [](SyncErrorKind kind) {
+    return kind == SyncErrorKind::kUnreachable ||
+           kind == SyncErrorKind::kDeliveryFailed ||
+           kind == SyncErrorKind::kDecodeFailed ||
+           kind == SyncErrorKind::kNoOutcome;
+  };
+
+  for (std::uint64_t seed = 0; seed < 110; ++seed) {
+    const Universe initial = counter_universe(40);
+    Site a("a", initial), b("b", initial), c("c", initial);
+    const std::vector<Site*> group{&a, &b, &c};
+    perform_random_work(group, seed ^ 0xC0FFEE);
+
+    FaultPlan plan(seed, spec);
+    SyncConfig config;
+    config.max_rounds = 10;
+    const SyncReport report =
+        synchronise_resilient(group, {}, nullptr, &plan, config);
+
+    EXPECT_LE(report.rounds, config.max_rounds) << "seed " << seed;
+    ASSERT_EQ(report.sites.size(), group.size()) << "seed " << seed;
+
+    std::size_t total_quarantines = 0;
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      // Rows come back in group order and are addressable by name.
+      EXPECT_EQ(report.sites[i].site, group[i]->name()) << "seed " << seed;
+      const SiteReport* sr = report.site_report(group[i]->name());
+      ASSERT_EQ(sr, &report.sites[i]) << "seed " << seed;
+
+      // A site is attempted at most once per round, and each quarantine
+      // consumed one attempt.
+      EXPECT_LE(sr->attempts, report.rounds) << "seed " << seed;
+      EXPECT_LE(sr->quarantines, sr->attempts) << "seed " << seed;
+      if (sr->synced) {
+        EXPECT_GE(sr->attempts, 1u) << "seed " << seed;
+      } else {
+        EXPECT_EQ(sr->last_error.kind, SyncErrorKind::kRoundsExhausted)
+            << "seed " << seed << " site " << sr->site;
+      }
+      total_quarantines += sr->quarantines;
+    }
+    EXPECT_EQ(report.site_report("no-such-site"), nullptr);
+
+    // Every quarantine produced exactly one error record, and once the
+    // first kRoundsExhausted appears the rest of the list is exhaustion
+    // verdicts only (they are emitted after the retry loop ends).
+    std::size_t quarantine_errors = 0, exhausted_errors = 0;
+    bool saw_exhausted = false;
+    for (const SyncError& error : report.errors) {
+      if (is_quarantine(error.kind)) {
+        ++quarantine_errors;
+        EXPECT_FALSE(saw_exhausted) << "seed " << seed;
+      } else if (error.kind == SyncErrorKind::kRoundsExhausted) {
+        ++exhausted_errors;
+        saw_exhausted = true;
+      }
+    }
+    EXPECT_EQ(quarantine_errors, total_quarantines) << "seed " << seed;
+    const std::size_t unsynced = static_cast<std::size_t>(std::count_if(
+        report.sites.begin(), report.sites.end(),
+        [](const SiteReport& sr) { return !sr.synced; }));
+    EXPECT_EQ(exhausted_errors, unsynced) << "seed " << seed;
+    EXPECT_EQ(report.all_synced, unsynced == 0) << "seed " << seed;
+  }
+}
+
 // End to end: faults, retries and degradation in one protocol run.
 TEST(ResilientSync, DegradedRoundStillConvergesTheGroup) {
   const Universe initial = counter_universe(100);

@@ -1,0 +1,385 @@
+// Gossip frame codec + asynchronous anti-entropy protocol semantics.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "fault/fault_plan.hpp"
+#include "objects/counter.hpp"
+#include "replica/gossip.hpp"
+#include "serialize/gossip_codec.hpp"
+#include "simnet/invariants.hpp"
+
+namespace icecube {
+namespace {
+
+Universe counter_genesis(std::int64_t initial = 100) {
+  Universe u;
+  u.add(std::make_unique<Counter>(initial));
+  return u;
+}
+
+ActionPtr inc(std::int64_t amount) {
+  return std::make_shared<IncrementAction>(ObjectId(0), amount);
+}
+ActionPtr dec(std::int64_t amount) {
+  return std::make_shared<DecrementAction>(ObjectId(0), amount);
+}
+
+// --- frame codec ---
+
+GossipFrame sample_frame() {
+  GossipFrame frame;
+  frame.site = "site with spaces";
+  frame.epoch = 42;
+  frame.history_uids = {"a:0", "b:1"};
+  frame.pending_uids = {"c:2"};
+  frame.history_bytes = "history\npayload\n";
+  frame.pending_bytes = "pending bytes";
+  frame.universe_bytes = "universe\n#crc32 etc\n";
+  return frame;
+}
+
+TEST(GossipCodec, RoundTrip) {
+  const GossipFrame frame = sample_frame();
+  const auto decoded = decode_gossip_frame(encode_gossip_frame(frame));
+  ASSERT_TRUE(decoded.ok()) << decoded.error.message();
+  EXPECT_EQ(decoded.frame->site, frame.site);
+  EXPECT_EQ(decoded.frame->epoch, frame.epoch);
+  EXPECT_EQ(decoded.frame->history_uids, frame.history_uids);
+  EXPECT_EQ(decoded.frame->pending_uids, frame.pending_uids);
+  EXPECT_EQ(decoded.frame->history_bytes, frame.history_bytes);
+  EXPECT_EQ(decoded.frame->pending_bytes, frame.pending_bytes);
+  EXPECT_EQ(decoded.frame->universe_bytes, frame.universe_bytes);
+}
+
+TEST(GossipCodec, RoundTripEmptySections) {
+  GossipFrame frame;
+  frame.site = "s";
+  const auto decoded = decode_gossip_frame(encode_gossip_frame(frame));
+  ASSERT_TRUE(decoded.ok()) << decoded.error.message();
+  EXPECT_TRUE(decoded.frame->history_uids.empty());
+  EXPECT_TRUE(decoded.frame->universe_bytes.empty());
+}
+
+TEST(GossipCodec, EmptyInput) {
+  EXPECT_EQ(decode_gossip_frame("").error.kind,
+            DecodeErrorKind::kEmptyInput);
+}
+
+TEST(GossipCodec, BadMagicIsBadHeader) {
+  EXPECT_EQ(decode_gossip_frame("not-a-frame 1 s 0 0 0\n").error.kind,
+            DecodeErrorKind::kBadHeader);
+}
+
+TEST(GossipCodec, FutureVersionIsUnsupported) {
+  EXPECT_EQ(decode_gossip_frame("icecube-gossip 9 s 0 0 0\n").error.kind,
+            DecodeErrorKind::kUnsupportedVersion);
+}
+
+TEST(GossipCodec, EveryTruncationDetected) {
+  const std::string whole = encode_gossip_frame(sample_frame());
+  for (std::size_t cut = 0; cut < whole.size(); ++cut) {
+    const auto decoded = decode_gossip_frame(whole.substr(0, cut));
+    EXPECT_FALSE(decoded.ok()) << "prefix of " << cut << " bytes accepted";
+  }
+}
+
+TEST(GossipCodec, AbsurdUidCountRejected) {
+  // A corrupted count must not trigger a giant allocation.
+  const auto decoded =
+      decode_gossip_frame("icecube-gossip 1 s 0 99999999999 0\n");
+  EXPECT_EQ(decoded.error.kind, DecodeErrorKind::kBadNumber);
+}
+
+// --- protocol: merge path ---
+
+TEST(Gossip, PairwiseExchangeConverges) {
+  GossipNode a("a", counter_genesis());
+  GossipNode b("b", counter_genesis());
+  ASSERT_TRUE(a.perform(inc(5)));
+  ASSERT_TRUE(b.perform(inc(7)));
+
+  const GossipReceipt at_b = b.receive(a.make_message());
+  EXPECT_TRUE(at_b.merged);
+  EXPECT_EQ(at_b.merged_actions, 2u);
+  EXPECT_TRUE(at_b.reply_advised());
+  EXPECT_EQ(b.epoch(), 1u);
+  EXPECT_TRUE(b.pending().empty());
+  EXPECT_EQ(b.history().size(), 2u);
+
+  const GossipReceipt at_a = a.receive(b.make_message());
+  EXPECT_TRUE(at_a.state_transfer);
+  EXPECT_EQ(at_a.demoted, 0u);
+  EXPECT_EQ(a.committed_fingerprint(), b.committed_fingerprint());
+  EXPECT_TRUE(a.pending().empty());
+  EXPECT_EQ(a.committed().as<Counter>(ObjectId(0)).value(), 112);
+}
+
+TEST(Gossip, CrossingMergesProduceIdenticalStates) {
+  GossipNode a("a", counter_genesis());
+  GossipNode b("b", counter_genesis());
+  ASSERT_TRUE(a.perform(inc(3)));
+  ASSERT_TRUE(a.perform(dec(1)));
+  ASSERT_TRUE(b.perform(inc(9)));
+
+  // Both messages are built from the pre-exchange state — they cross on
+  // the wire — and each side merges the other's.
+  const std::string from_a = a.make_message();
+  const std::string from_b = b.make_message();
+  EXPECT_TRUE(b.receive(from_a).merged);
+  EXPECT_TRUE(a.receive(from_b).merged);
+
+  // The canonicalised merge problem is identical on both sides, so the
+  // results are bit-identical: same epoch, same fingerprint — converged
+  // with no further traffic.
+  EXPECT_EQ(a.epoch(), b.epoch());
+  EXPECT_EQ(a.committed_fingerprint(), b.committed_fingerprint());
+}
+
+TEST(Gossip, DuplicateDeliveryIsIdempotent) {
+  GossipNode a("a", counter_genesis());
+  GossipNode b("b", counter_genesis());
+  ASSERT_TRUE(a.perform(inc(5)));
+
+  const std::string message = a.make_message();
+  EXPECT_TRUE(b.receive(message).merged);
+  const std::string fp = b.committed_fingerprint();
+
+  // The copy arrives after the merge: the sender is now behind, nothing
+  // is applied twice.
+  const GossipReceipt again = b.receive(message);
+  EXPECT_FALSE(again.adopted());
+  EXPECT_TRUE(again.sender_stale);
+  EXPECT_EQ(b.committed_fingerprint(), fp);
+  EXPECT_EQ(b.committed().as<Counter>(ObjectId(0)).value(), 105);
+}
+
+TEST(Gossip, EmptyExchangeIsNoop) {
+  GossipNode a("a", counter_genesis());
+  GossipNode b("b", counter_genesis());
+  const GossipReceipt receipt = b.receive(a.make_message());
+  EXPECT_FALSE(receipt.adopted());
+  EXPECT_FALSE(receipt.quarantined);
+  EXPECT_FALSE(receipt.reply_advised());
+  EXPECT_EQ(b.epoch(), 0u);
+}
+
+// --- protocol: divergence and state transfer ---
+
+TEST(Gossip, DominatedSiteAdoptsAndDemotes) {
+  // a+b commit {a1, b1} at epoch 1; c+d race ahead to epoch 2 with
+  // {c1, c2}. When a hears d, it must adopt d's lineage and demote its
+  // own committed actions — not lose them.
+  GossipNode a("a", counter_genesis());
+  GossipNode b("b", counter_genesis());
+  GossipNode c("c", counter_genesis());
+  GossipNode d("d", counter_genesis());
+
+  ASSERT_TRUE(a.perform(inc(1)));
+  ASSERT_TRUE(b.perform(inc(2)));
+  ASSERT_TRUE(b.receive(a.make_message()).merged);    // b: epoch 1
+  ASSERT_TRUE(a.receive(b.make_message()).adopted()); // a: epoch 1
+
+  ASSERT_TRUE(c.perform(inc(10)));
+  ASSERT_TRUE(d.receive(c.make_message()).merged);    // d: epoch 1
+  ASSERT_TRUE(c.receive(d.make_message()).adopted());
+  ASSERT_TRUE(c.perform(inc(20)));
+  ASSERT_TRUE(d.receive(c.make_message()).merged);    // d: epoch 2
+
+  const std::size_t before = a.history().size();
+  ASSERT_EQ(before, 2u);
+  const GossipReceipt receipt = a.receive(d.make_message());
+  EXPECT_TRUE(receipt.state_transfer);
+  EXPECT_EQ(receipt.demoted, 2u);
+  EXPECT_EQ(a.epoch(), d.epoch());
+  EXPECT_EQ(a.committed_fingerprint(), d.committed_fingerprint());
+  // Conservation: a's actions are pending again, not gone.
+  EXPECT_EQ(a.pending().size(), 2u);
+  // And the next exchange merges them back in on top of the new lineage.
+  GossipNode& winner = d;
+  ASSERT_TRUE(winner.receive(a.make_message()).merged);
+  EXPECT_EQ(winner.committed().as<Counter>(ObjectId(0)).value(),
+            100 + 1 + 2 + 10 + 20);
+}
+
+TEST(Gossip, StaleSenderTriggersAdvisedReplyOnly) {
+  GossipNode a("a", counter_genesis());
+  GossipNode b("b", counter_genesis());
+  ASSERT_TRUE(a.perform(inc(4)));
+  const std::string old_message = a.make_message();
+  ASSERT_TRUE(b.receive(old_message).merged);
+
+  // b replays a's old message to itself-as-receiver again — a's state in
+  // that frame is now strictly behind b's.
+  const GossipReceipt receipt = b.receive(old_message);
+  EXPECT_TRUE(receipt.sender_stale);
+  EXPECT_TRUE(receipt.reply_advised());
+  EXPECT_FALSE(receipt.adopted());
+  EXPECT_EQ(b.stats().stale_heard, 1u);
+}
+
+// --- quarantine: damaged payloads are detected, never adopted ---
+
+TEST(Gossip, CorruptUniverseSectionQuarantined) {
+  GossipNode a("a", counter_genesis());
+  GossipNode b("b", counter_genesis());
+  ASSERT_TRUE(a.perform(inc(5)));
+
+  auto decoded = decode_gossip_frame(a.make_message());
+  ASSERT_TRUE(decoded.ok());
+  // Damage the state-transfer payload only; the envelope stays valid.
+  ASSERT_GT(decoded.frame->universe_bytes.size(), 10u);
+  decoded.frame->universe_bytes[10] =
+      static_cast<char>(decoded.frame->universe_bytes[10] ^ 0x5A);
+
+  const std::string fp_before = b.committed_fingerprint();
+  const GossipReceipt receipt =
+      b.receive(encode_gossip_frame(*decoded.frame));
+  EXPECT_TRUE(receipt.quarantined);
+  EXPECT_EQ(receipt.reject, GossipReject::kUniverseError);
+  EXPECT_NE(receipt.error.kind, DecodeErrorKind::kNone);
+  // Untouched: nothing adopted, nothing merged.
+  EXPECT_EQ(b.committed_fingerprint(), fp_before);
+  EXPECT_EQ(b.epoch(), 0u);
+  EXPECT_EQ(b.stats().quarantines, 1u);
+}
+
+TEST(Gossip, ShipUniverseFaultChannelUsedAndDetected) {
+  // The state-transfer payload travels through FaultPoint::kShipUniverse:
+  // a plan that corrupts everything must record a ship-universe fault and
+  // the receiver must quarantine the message.
+  FaultSpec spec;
+  spec.corrupt = 1.0;
+  FaultPlan plan(9, spec);
+
+  GossipNode a("a", counter_genesis());
+  GossipNode b("b", counter_genesis());
+  ASSERT_TRUE(a.perform(inc(5)));
+
+  const GossipReceipt receipt = b.receive(a.make_message(&plan, 3));
+  EXPECT_TRUE(receipt.quarantined);
+  EXPECT_EQ(b.epoch(), 0u);
+
+  bool universe_fault = false;
+  for (const InjectedFault& fault : plan.injected()) {
+    if (fault.point == FaultPoint::kShipUniverse) {
+      universe_fault = true;
+      EXPECT_EQ(fault.subject, "a/state");
+      EXPECT_EQ(fault.round, 3u);
+    }
+  }
+  EXPECT_TRUE(universe_fault);
+}
+
+TEST(Gossip, TruncatedHistorySectionQuarantined) {
+  FaultSpec spec;
+  spec.truncate = 1.0;
+  FaultPlan plan(4, spec);
+
+  GossipNode a("a", counter_genesis());
+  GossipNode b("b", counter_genesis());
+  ASSERT_TRUE(a.perform(inc(5)));
+
+  const GossipReceipt receipt = b.receive(a.make_message(&plan, 0));
+  EXPECT_TRUE(receipt.quarantined);
+  EXPECT_FALSE(receipt.adopted());
+  EXPECT_EQ(b.stats().quarantines, 1u);
+}
+
+TEST(Gossip, UidCountMismatchQuarantined) {
+  GossipNode a("a", counter_genesis());
+  GossipNode b("b", counter_genesis());
+  ASSERT_TRUE(a.perform(inc(5)));
+
+  auto decoded = decode_gossip_frame(a.make_message());
+  ASSERT_TRUE(decoded.ok());
+  decoded.frame->pending_uids.push_back("ghost:9");
+  const GossipReceipt receipt =
+      b.receive(encode_gossip_frame(*decoded.frame));
+  EXPECT_TRUE(receipt.quarantined);
+  EXPECT_EQ(receipt.reject, GossipReject::kUidMismatch);
+}
+
+TEST(Gossip, ForeignUniverseShapeQuarantined) {
+  Universe bigger;
+  bigger.add(std::make_unique<Counter>(100));
+  bigger.add(std::make_unique<Counter>(50));
+  GossipNode alien("alien", std::move(bigger));
+  ASSERT_TRUE(alien.perform(
+      std::make_shared<IncrementAction>(ObjectId(1), 5)));
+
+  GossipNode b("b", counter_genesis());
+  const GossipReceipt receipt = b.receive(alien.make_message());
+  EXPECT_TRUE(receipt.quarantined);
+  EXPECT_EQ(receipt.reject, GossipReject::kBadTarget);
+  EXPECT_EQ(b.epoch(), 0u);
+}
+
+TEST(Gossip, ForgedStateFailsReplayVerification) {
+  // A frame whose history does not replay to its shipped universe must be
+  // rejected even though every CRC is intact.
+  GossipNode a("a", counter_genesis());
+  GossipNode b("b", counter_genesis());
+  ASSERT_TRUE(a.perform(inc(5)));
+  GossipNode helper("h", counter_genesis());
+  ASSERT_TRUE(helper.receive(a.make_message()).merged);  // helper: epoch 1
+
+  auto decoded = decode_gossip_frame(helper.make_message());
+  ASSERT_TRUE(decoded.ok());
+  // Swap in a perfectly valid encoding of the WRONG state.
+  const Universe forged = counter_genesis(999);
+  const ObjectRegistry registry = ObjectRegistry::with_builtins();
+  decoded.frame->universe_bytes = *encode_universe(forged, registry);
+
+  const GossipReceipt receipt =
+      b.receive(encode_gossip_frame(*decoded.frame));
+  EXPECT_TRUE(receipt.quarantined);
+  EXPECT_EQ(receipt.reject, GossipReject::kReplayMismatch);
+  EXPECT_EQ(b.epoch(), 0u);
+}
+
+// --- invariant checker sanity: it actually catches violations ---
+
+TEST(Invariants, CleanExchangeProducesNoViolations) {
+  GossipNode a("a", counter_genesis());
+  GossipNode b("b", counter_genesis());
+  InvariantChecker checker(/*deep_replay=*/true);
+  checker.observe(a, 0);
+  checker.observe(b, 0);
+  ASSERT_TRUE(a.perform(inc(5)));
+  checker.observe(a, 1);
+  ASSERT_TRUE(b.receive(a.make_message()).merged);
+  checker.observe(b, 2);
+  ASSERT_TRUE(a.receive(b.make_message()).adopted());
+  checker.observe(a, 3);
+  EXPECT_TRUE(checker.ok()) << checker.violations().front().message();
+}
+
+TEST(Invariants, DetectsEpochRollbackAndLostActions) {
+  GossipNode advanced("x", counter_genesis());
+  GossipNode partner("p", counter_genesis());
+  ASSERT_TRUE(advanced.perform(inc(5)));
+  ASSERT_TRUE(partner.receive(advanced.make_message()).merged);
+  ASSERT_TRUE(advanced.receive(partner.make_message()).adopted());
+
+  InvariantChecker checker;
+  checker.observe(advanced, 0);
+  // A fresh node under the same name looks like a site that rolled back
+  // its epoch and dropped its committed action.
+  GossipNode impostor("x", counter_genesis());
+  checker.observe(impostor, 1);
+
+  ASSERT_FALSE(checker.ok());
+  bool epoch_violation = false;
+  bool conservation_violation = false;
+  for (const Violation& v : checker.violations()) {
+    if (v.kind == "epoch-monotone") epoch_violation = true;
+    if (v.kind == "conservation") conservation_violation = true;
+  }
+  EXPECT_TRUE(epoch_violation);
+  EXPECT_TRUE(conservation_violation);
+}
+
+}  // namespace
+}  // namespace icecube

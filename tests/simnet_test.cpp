@@ -1,0 +1,254 @@
+// SimNet: deterministic discrete-event network semantics.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "simnet/simnet.hpp"
+
+namespace icecube {
+namespace {
+
+std::vector<SimEvent> drain(SimNet& net, std::size_t cap = 10000) {
+  std::vector<SimEvent> out;
+  while (out.size() < cap) {
+    auto event = net.step();
+    if (!event) break;
+    out.push_back(std::move(*event));
+  }
+  return out;
+}
+
+TEST(SimNet, DeliversInTimeOrderWithFifoTieBreak) {
+  SimNet net(1, {});
+  net.add_site("a");
+  net.add_site("b");
+  net.schedule_timer("a", 5);
+  net.schedule_timer("b", 2);
+  net.schedule_timer("a", 2);  // same time as b's: FIFO by submission
+
+  auto events = drain(net);
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].site, "b");
+  EXPECT_EQ(events[0].time, 2u);
+  EXPECT_EQ(events[1].site, "a");
+  EXPECT_EQ(events[1].time, 2u);
+  EXPECT_EQ(events[2].time, 5u);
+}
+
+TEST(SimNet, MessageArrivesAfterBaseLatency) {
+  SimNet net(1, {});
+  net.add_site("a");
+  net.add_site("b");
+  net.send("a", "b", "hello");
+  auto events = drain(net);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, SimEvent::Kind::kDeliver);
+  EXPECT_EQ(events[0].site, "b");
+  EXPECT_EQ(events[0].from, "a");
+  EXPECT_EQ(events[0].payload, "hello");
+  EXPECT_EQ(events[0].time, 1u);
+  EXPECT_EQ(net.counters().delivered, 1u);
+}
+
+TEST(SimNet, SameSeedSameTrace) {
+  FaultSpec spec;
+  spec.lose = 0.2;
+  spec.duplicate = 0.2;
+  spec.delay_max = 5;
+  spec.reorder = 0.2;
+
+  const auto run = [&spec] {
+    SimNet net(42, spec);
+    net.add_site("a");
+    net.add_site("b");
+    net.add_site("c");
+    for (std::size_t i = 0; i < 30; ++i) {
+      net.send("a", "b", "m" + std::to_string(i));
+      net.send("b", "c", "n" + std::to_string(i));
+    }
+    drain(net);
+    return net.trace_crc();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(SimNet, DifferentSeedsDiverge) {
+  FaultSpec spec;
+  spec.lose = 0.3;
+  spec.delay_max = 6;
+  const auto run = [&spec](std::uint64_t seed) {
+    SimNet net(seed, spec);
+    net.add_site("a");
+    net.add_site("b");
+    for (std::size_t i = 0; i < 40; ++i) {
+      net.send("a", "b", "m" + std::to_string(i));
+    }
+    drain(net);
+    return net.trace_crc();
+  };
+  EXPECT_NE(run(1), run(2));
+}
+
+TEST(SimNet, ScheduledPartitionBlocksUntilHeal) {
+  SimNet net(1, {});
+  net.add_site("a");
+  net.add_site("b");
+  net.schedule_partition("a", "b", 0, 100);
+  // Force the control events to apply by advancing past t=0.
+  net.schedule_timer("a", 1);
+  auto first = net.step();  // timer at t=1; the cut applied on the way
+  ASSERT_TRUE(first.has_value());
+
+  net.send("a", "b", "blocked");
+  EXPECT_EQ(net.counters().dropped_partition, 1u);
+  EXPECT_FALSE(net.link_open("a", "b"));
+  EXPECT_FALSE(net.link_open("b", "a"));  // undirected
+
+  // After the heal the same link carries traffic again.
+  net.schedule_timer("a", 101);
+  ASSERT_TRUE(net.step().has_value());  // heal applied, timer returned
+  EXPECT_TRUE(net.link_open("a", "b"));
+  net.send("a", "b", "through");
+  auto events = drain(net);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].payload, "through");
+}
+
+TEST(SimNet, PartitionCutsInFlightMessages) {
+  SimNet net(1, {});
+  net.add_site("a");
+  net.add_site("b");
+  net.send("a", "b", "in-flight");  // would deliver at t=1
+  net.schedule_partition("a", "b", 0, 50);
+  // The cut (t=0) is applied before the delivery (t=1), so the message
+  // dies on the wire.
+  auto events = drain(net);
+  EXPECT_TRUE(events.empty());
+  EXPECT_EQ(net.counters().dropped_partition, 1u);
+}
+
+TEST(SimNet, CrashDropsDeliveriesButTimersSurvive) {
+  SimNet net(1, {});
+  net.add_site("a");
+  net.add_site("b");
+  net.schedule_crash("b", 0);
+  net.schedule_restart("b", 10);
+  net.schedule_timer("b", 5);   // fires while down — runner sees it
+  net.send("a", "b", "lost-to-crash");
+
+  auto first = net.step();
+  ASSERT_TRUE(first.has_value());  // the timer; the delivery was dropped
+  EXPECT_EQ(first->kind, SimEvent::Kind::kTimer);
+  EXPECT_FALSE(net.is_up("b"));
+  EXPECT_EQ(net.counters().dropped_down, 1u);
+
+  // After restart, messages flow again.
+  net.schedule_timer("a", 11);
+  ASSERT_TRUE(net.step().has_value());
+  EXPECT_TRUE(net.is_up("b"));
+  net.send("a", "b", "after-restart");
+  auto events = drain(net);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].payload, "after-restart");
+}
+
+TEST(SimNet, DuplicateDeliversTwice) {
+  FaultSpec spec;
+  spec.duplicate = 1.0;
+  SimNet net(7, spec);
+  net.add_site("a");
+  net.add_site("b");
+  net.send("a", "b", "twice");
+  auto events = drain(net);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].payload, "twice");
+  EXPECT_EQ(events[1].payload, "twice");
+  EXPECT_EQ(events[0].id, events[1].id);
+  EXPECT_EQ(net.counters().duplicated, 1u);
+  EXPECT_EQ(net.counters().delivered, 2u);
+}
+
+TEST(SimNet, LossAccountedAndRecorded) {
+  FaultSpec spec;
+  spec.lose = 1.0;
+  SimNet net(7, spec);
+  net.add_site("a");
+  net.add_site("b");
+  net.send("a", "b", "gone");
+  EXPECT_TRUE(drain(net).empty());
+  EXPECT_EQ(net.counters().lost, 1u);
+  ASSERT_FALSE(net.faults().injected().empty());
+  EXPECT_EQ(net.faults().injected().front().kind, "lose");
+}
+
+TEST(SimNet, DelayBoundedBySpec) {
+  FaultSpec spec;
+  spec.delay_max = 4;
+  SimNet net(11, spec);
+  net.add_site("a");
+  net.add_site("b");
+  for (std::size_t i = 0; i < 50; ++i) net.send("a", "b", "x");
+  auto events = drain(net);
+  ASSERT_EQ(events.size(), 50u);
+  for (const SimEvent& e : events) {
+    EXPECT_GE(e.time, 1u);
+    EXPECT_LE(e.time, 1u + spec.delay_max);
+  }
+}
+
+TEST(SimNet, FaultHorizonSilencesRandomFaults) {
+  FaultSpec spec;
+  spec.lose = 1.0;
+  SimNet net(3, spec);
+  net.add_site("a");
+  net.add_site("b");
+  net.set_fault_horizon(5);
+  // Advance the clock past the horizon.
+  net.schedule_timer("a", 10);
+  ASSERT_TRUE(net.step().has_value());
+  net.send("a", "b", "safe-now");
+  auto events = drain(net);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(net.counters().lost, 0u);
+}
+
+TEST(SimNet, ReorderLetsLaterMessageOvertake) {
+  // With a deterministic seed sweep, some seed must produce an overtake;
+  // assert the mechanism rather than one magic seed.
+  FaultSpec spec;
+  spec.reorder = 0.5;
+  spec.reorder_max = 10;
+  bool overtaken = false;
+  for (std::uint64_t seed = 0; seed < 20 && !overtaken; ++seed) {
+    SimNet net(seed, spec);
+    net.add_site("a");
+    net.add_site("b");
+    for (std::size_t i = 0; i < 10; ++i) {
+      net.send("a", "b", std::to_string(i));
+    }
+    auto events = drain(net);
+    for (std::size_t i = 1; i < events.size(); ++i) {
+      if (events[i].payload < events[i - 1].payload) overtaken = true;
+    }
+  }
+  EXPECT_TRUE(overtaken);
+}
+
+TEST(SimNet, TraceRetentionOffStillUpdatesCrc) {
+  SimNet a(5, {});
+  SimNet b(5, {});
+  b.set_trace_retention(false);
+  for (SimNet* net : {&a, &b}) {
+    net->add_site("x");
+    net->add_site("y");
+    net->send("x", "y", "payload");
+    drain(*net);
+  }
+  EXPECT_FALSE(a.trace().empty());
+  EXPECT_TRUE(b.trace().empty());
+  EXPECT_EQ(a.trace_crc(), b.trace_crc());
+}
+
+}  // namespace
+}  // namespace icecube

@@ -1,0 +1,235 @@
+// chaos — run deterministic network-chaos scenarios against the gossip
+// protocol and report convergence + invariant results.
+//
+// Examples:
+//
+//   # one seed, defaults (4 sites, light workload, perfect network)
+//   chaos --seed 7
+//
+//   # a 500-seed sweep under loss, corruption, duplication, random
+//   # partitions and crash/recovery; machine-readable output
+//   chaos --seeds 500 --sites 6 --lose 0.05 --corrupt 0.05 \
+//         --duplicate 0.05 --partition 0.05 --site-down 0.05 \
+//         --json chaos.json
+//
+//   # a scheduled partition that isolates s0+s1 from s2+s3 until t=120,
+//   # plus a crash/restart of s3
+//   chaos --sites 4 --cut s0 s2 10 120 --cut s0 s3 10 120 \
+//         --cut s1 s2 10 120 --cut s1 s3 10 120 --crash s3 30 80
+//
+// Exit status is 0 iff every run converged with zero invariant
+// violations; a failing seed prints its spec so the identical event
+// sequence can be replayed (same seed + flags => same trace CRC).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "simnet/chaos.hpp"
+
+namespace {
+
+using namespace icecube;
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --seed N          first seed (default 1)\n"
+      "  --seeds N         number of consecutive seeds to run (default 1)\n"
+      "  --sites N         group size, >= 2 (default 4)\n"
+      "  --actions N       workload actions per site (default 6)\n"
+      "  --interval N      ticks between a site's gossip timers (default 4)\n"
+      "  --budget N        step budget per run (default 50000)\n"
+      "  --horizon N       sim-time when random faults stop (default 400)\n"
+      "  --lose P          P(message lost)\n"
+      "  --corrupt P       P(payload section corrupted)\n"
+      "  --truncate P      P(payload section truncated)\n"
+      "  --duplicate P     P(message duplicated)\n"
+      "  --reorder P       P(message reordered past later traffic)\n"
+      "  --delay-max N     max extra delivery delay in ticks\n"
+      "  --partition P     P(random link cut per window)\n"
+      "  --site-down P     P(random crash per crash window)\n"
+      "  --cut A B AT HEAL cut link A-B at AT, heal at HEAL (repeatable)\n"
+      "  --crash S AT RST  crash site S at AT, restart at RST (repeatable)\n"
+      "  --no-deep-replay  skip per-commit history replay validation\n"
+      "  --trace           print the full event trace of each run\n"
+      "  --json PATH       write a JSON array of per-run reports\n",
+      argv0);
+}
+
+bool parse_u64(const char* s, std::uint64_t& out) {
+  char* end = nullptr;
+  out = std::strtoull(s, &end, 10);
+  return end != nullptr && *end == '\0' && end != s;
+}
+
+bool parse_size(const char* s, std::size_t& out) {
+  std::uint64_t v = 0;
+  if (!parse_u64(s, v)) return false;
+  out = static_cast<std::size_t>(v);
+  return true;
+}
+
+bool parse_prob(const char* s, double& out) {
+  char* end = nullptr;
+  out = std::strtod(s, &end);
+  return end != nullptr && *end == '\0' && end != s && out >= 0.0 &&
+         out <= 1.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ChaosSpec spec;
+  std::size_t runs = 1;
+  bool print_trace = false;
+  std::string json_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto need = [&](int count) {
+      if (i + count >= argc) {
+        std::fprintf(stderr, "%s needs %d argument(s)\n", arg.c_str(),
+                     count);
+        std::exit(2);
+      }
+    };
+    bool ok = true;
+    if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (arg == "--seed") {
+      need(1);
+      ok = parse_u64(argv[++i], spec.seed);
+    } else if (arg == "--seeds") {
+      need(1);
+      ok = parse_size(argv[++i], runs) && runs > 0;
+    } else if (arg == "--sites") {
+      need(1);
+      ok = parse_size(argv[++i], spec.sites) && spec.sites >= 2;
+    } else if (arg == "--actions") {
+      need(1);
+      ok = parse_size(argv[++i], spec.actions_per_site);
+    } else if (arg == "--interval") {
+      need(1);
+      ok = parse_size(argv[++i], spec.gossip_interval);
+    } else if (arg == "--budget") {
+      need(1);
+      ok = parse_size(argv[++i], spec.step_budget);
+    } else if (arg == "--horizon") {
+      need(1);
+      ok = parse_size(argv[++i], spec.fault_horizon);
+    } else if (arg == "--lose") {
+      need(1);
+      ok = parse_prob(argv[++i], spec.faults.lose);
+    } else if (arg == "--corrupt") {
+      need(1);
+      ok = parse_prob(argv[++i], spec.faults.corrupt);
+    } else if (arg == "--truncate") {
+      need(1);
+      ok = parse_prob(argv[++i], spec.faults.truncate);
+    } else if (arg == "--duplicate") {
+      need(1);
+      ok = parse_prob(argv[++i], spec.faults.duplicate);
+    } else if (arg == "--reorder") {
+      need(1);
+      ok = parse_prob(argv[++i], spec.faults.reorder);
+    } else if (arg == "--delay-max") {
+      need(1);
+      ok = parse_size(argv[++i], spec.faults.delay_max);
+    } else if (arg == "--partition") {
+      need(1);
+      ok = parse_prob(argv[++i], spec.faults.partition);
+    } else if (arg == "--site-down") {
+      need(1);
+      ok = parse_prob(argv[++i], spec.faults.site_down);
+    } else if (arg == "--cut") {
+      need(4);
+      ChaosPartition p;
+      p.a = argv[++i];
+      p.b = argv[++i];
+      ok = parse_size(argv[++i], p.at) && parse_size(argv[++i], p.heal_at) &&
+           p.at < p.heal_at;
+      spec.partitions.push_back(std::move(p));
+    } else if (arg == "--crash") {
+      need(3);
+      ChaosCrash c;
+      c.site = argv[++i];
+      ok = parse_size(argv[++i], c.at) &&
+           parse_size(argv[++i], c.restart_at) && c.at < c.restart_at;
+      spec.crashes.push_back(std::move(c));
+    } else if (arg == "--no-deep-replay") {
+      spec.deep_replay = false;
+    } else if (arg == "--trace") {
+      print_trace = true;
+    } else if (arg == "--json") {
+      need(1);
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+    if (!ok) {
+      std::fprintf(stderr, "bad value for %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  spec.keep_trace = print_trace;
+
+  std::vector<std::string> json_reports;
+  std::size_t failures = 0;
+  const std::uint64_t first_seed = spec.seed;
+
+  std::printf("%8s %6s %6s %10s %8s %6s %6s %9s %10s %6s\n", "seed",
+              "sites", "steps", "converged", "epoch", "merges", "xfers",
+              "quarant.", "trace", "viol");
+  for (std::size_t r = 0; r < runs; ++r) {
+    spec.seed = first_seed + r;
+    const ChaosReport report = run_chaos(spec);
+    std::printf("%8llu %6zu %6zu %10s %8llu %6zu %6zu %9zu   %08x %6zu\n",
+                static_cast<unsigned long long>(report.seed), report.sites,
+                report.steps,
+                report.converged
+                    ? ("t=" + std::to_string(report.converged_at)).c_str()
+                    : "NO",
+                static_cast<unsigned long long>(report.max_epoch),
+                report.totals.merges, report.totals.transfers,
+                report.totals.quarantines, report.trace_crc,
+                report.violations.size());
+    for (const Violation& v : report.violations) {
+      std::printf("    violation: %s\n", v.message().c_str());
+    }
+    if (print_trace) {
+      for (const std::string& line : report.trace) {
+        std::printf("    %s\n", line.c_str());
+      }
+    }
+    if (!report.ok()) {
+      ++failures;
+      std::printf("    replay: --seed %llu (plus the flags of this run)\n",
+                  static_cast<unsigned long long>(report.seed));
+    }
+    json_reports.push_back(report.to_json());
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write '%s'\n", json_path.c_str());
+      return 2;
+    }
+    out << "[\n";
+    for (std::size_t i = 0; i < json_reports.size(); ++i) {
+      out << "  " << json_reports[i]
+          << (i + 1 < json_reports.size() ? "," : "") << "\n";
+    }
+    out << "]\n";
+  }
+
+  std::printf("\n%zu/%zu runs converged with zero violations\n",
+              runs - failures, runs);
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,32 @@
+#!/usr/bin/env sh
+# Runs the machine-readable bench suite and drops BENCH_*.json at the repo
+# root. Usage:
+#
+#   tools/run_benches.sh [build-dir]
+#
+# The build dir defaults to ./build and must already contain the bench
+# binaries (cmake --build <dir>). Each bench still prints its human table;
+# the JSON files are the artifact a CI job archives or a notebook ingests.
+set -eu
+
+BUILD_DIR="${1:-build}"
+ROOT_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+
+run() {
+  name="$1"
+  bin="$ROOT_DIR/$BUILD_DIR/bench/$name"
+  if [ ! -x "$bin" ]; then
+    echo "error: $bin not built (cmake --build $BUILD_DIR first)" >&2
+    exit 1
+  fi
+  echo "== $name =="
+  "$bin" --json "$ROOT_DIR/BENCH_$name.json"
+  echo
+}
+
+run bench_parallel
+run bench_scaling
+run bench_chaos
+
+echo "wrote:"
+ls -l "$ROOT_DIR"/BENCH_*.json
