@@ -36,7 +36,21 @@ class JsonSink {
               std::uint64_t schedules_explored) {
     if (!active()) return;
     records_.push_back(Record{std::move(workload), n_actions, threads,
-                              wall_seconds, schedules_explored});
+                              wall_seconds, schedules_explored, 0, 0, 0});
+  }
+
+  /// Overload carrying the state-management clone counters (see
+  /// SearchStats::object_clones); benches that exercise the copy-on-write
+  /// universe report them, the older benches keep the short form (their
+  /// rows emit zeros for the three fields).
+  void record(std::string workload, std::size_t n_actions,
+              std::size_t threads, double wall_seconds,
+              std::uint64_t schedules_explored, std::uint64_t object_clones,
+              std::uint64_t clones_avoided, std::uint64_t bytes_cloned) {
+    if (!active()) return;
+    records_.push_back(Record{std::move(workload), n_actions, threads,
+                              wall_seconds, schedules_explored, object_clones,
+                              clones_avoided, bytes_cloned});
   }
 
   /// Writes the collected records; called automatically on destruction.
@@ -55,7 +69,10 @@ class JsonSink {
           << "\", \"n_actions\": " << r.n_actions
           << ", \"threads\": " << r.threads
           << ", \"wall_seconds\": " << r.wall_seconds
-          << ", \"schedules_explored\": " << r.schedules_explored << "}"
+          << ", \"schedules_explored\": " << r.schedules_explored
+          << ", \"object_clones\": " << r.object_clones
+          << ", \"clones_avoided\": " << r.clones_avoided
+          << ", \"bytes_cloned\": " << r.bytes_cloned << "}"
           << (i + 1 < records_.size() ? "," : "") << "\n";
     }
     out << "]\n";
@@ -69,6 +86,9 @@ class JsonSink {
     std::size_t threads;
     double wall_seconds;
     std::uint64_t schedules_explored;
+    std::uint64_t object_clones;
+    std::uint64_t clones_avoided;
+    std::uint64_t bytes_cloned;
   };
 
   static std::string escaped(const std::string& s) {

@@ -1,0 +1,161 @@
+// State-management bench: copy-on-write universe vs the eager deep-copy
+// oracle (ReconcilerOptions::eager_state_copies) over a universe-size ×
+// action-locality grid.
+//
+// Each cell reconciles two divergent logs of counter increments over a
+// universe of `objects` counters, with every action targeting one object
+// drawn from a window of `touched` objects — the locality knob. The search
+// is identical in both modes (asserted per cell via best-outcome
+// fingerprints and the schedules-explored counter); what changes is what a
+// shadow copy costs: the eager oracle deep-clones all `objects` slots per
+// copy, the COW universe clones only the slots writes actually detach
+// (~1 per simulated action here). The headline row — 64 actions over 32
+// objects — must show at least a 5x reduction in cloned objects, and the
+// binary exits non-zero if equivalence or that floor is violated, so the CI
+// bench smoke enforces both.
+//
+// `--json <path>` writes the grid machine-readably (see JsonSink), clone
+// counters included.
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/reconciler.hpp"
+#include "objects/counter.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace icecube;
+
+struct Cell {
+  std::size_t objects;  ///< universe size
+  std::size_t touched;  ///< distinct objects the actions target (locality)
+  std::size_t actions;  ///< total actions across the two logs
+};
+
+/// Two divergent increment logs over `objects` counters; targets cycle
+/// pseudo-randomly through the first `touched` objects.
+struct Problem {
+  Universe initial;
+  std::vector<Log> logs;
+};
+
+Problem make_problem(const Cell& cell, std::uint64_t seed) {
+  Problem p;
+  for (std::size_t i = 0; i < cell.objects; ++i) {
+    (void)p.initial.add(std::make_unique<Counter>(0));
+  }
+  std::uint64_t state = seed;
+  for (int replica = 0; replica < 2; ++replica) {
+    Log log(replica == 0 ? "a" : "b");
+    for (std::size_t i = 0; i < cell.actions / 2; ++i) {
+      const ObjectId target(splitmix64(state) % cell.touched);
+      const auto amount =
+          static_cast<std::int64_t>(1 + splitmix64(state) % 9);
+      log.append(std::make_shared<IncrementAction>(target, amount));
+    }
+    p.logs.push_back(std::move(log));
+  }
+  return p;
+}
+
+struct Run {
+  SearchStats stats;
+  std::string best_fingerprint;
+  double wall = 0.0;
+};
+
+Run run(const Problem& problem, bool eager, std::uint64_t cap) {
+  ReconcilerOptions options;
+  options.limits.max_schedules = cap;
+  options.eager_state_copies = eager;
+  Stopwatch clock;
+  Reconciler reconciler(problem.initial, problem.logs, options);
+  const ReconcileResult result = reconciler.run();
+  Run out;
+  out.wall = clock.seconds();
+  out.stats = result.stats;
+  if (result.found_any()) {
+    out.best_fingerprint = result.best().final_state.fingerprint();
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::JsonSink json(argc, argv);
+  constexpr std::uint64_t kCap = 2000;
+  constexpr std::uint64_t kSeed = 42;
+
+  const std::vector<Cell> grid = {
+      {8, 8, 16},    {8, 2, 16},     // small universe, full/narrow locality
+      {32, 32, 64},  {32, 8, 64},    // the headline 64-action/32-object row
+      {128, 128, 64}, {128, 16, 64},  // copies dominated by universe size
+  };
+
+  std::printf("%-26s %10s %13s %13s %13s %12s %9s %7s\n", "configuration",
+              "schedules", "clones(cow)", "clones(eager)", "avoided(cow)",
+              "bytes(cow)", "reduction", "equiv");
+  bool ok = true;
+  double headline_reduction = 0.0;
+  for (const Cell& cell : grid) {
+    const Problem problem = make_problem(cell, kSeed);
+    const Run cow = run(problem, /*eager=*/false, kCap);
+    const Run eager = run(problem, /*eager=*/true, kCap);
+
+    const bool equivalent =
+        cow.best_fingerprint == eager.best_fingerprint &&
+        cow.stats.schedules_explored() == eager.stats.schedules_explored() &&
+        cow.stats.state_clones == eager.stats.state_clones;
+    ok = ok && equivalent;
+
+    const double reduction =
+        cow.stats.object_clones == 0
+            ? 0.0
+            : static_cast<double>(eager.stats.object_clones) /
+                  static_cast<double>(cow.stats.object_clones);
+    if (cell.objects == 32 && cell.touched == 32 && cell.actions == 64) {
+      headline_reduction = reduction;
+    }
+
+    char name[64];
+    std::snprintf(name, sizeof name, "n%zu/touch%zu/a%zu", cell.objects,
+                  cell.touched, cell.actions);
+    std::printf("%-26s %10llu %13llu %13llu %13llu %12llu %8.1fx %7s\n", name,
+                static_cast<unsigned long long>(
+                    cow.stats.schedules_explored()),
+                static_cast<unsigned long long>(cow.stats.object_clones),
+                static_cast<unsigned long long>(eager.stats.object_clones),
+                static_cast<unsigned long long>(cow.stats.clones_avoided),
+                static_cast<unsigned long long>(cow.stats.bytes_cloned),
+                reduction, equivalent ? "ok" : "FAIL");
+
+    json.record(std::string("state/") + name + "/cow", cell.actions, 1,
+                cow.wall, cow.stats.schedules_explored(),
+                cow.stats.object_clones, cow.stats.clones_avoided,
+                cow.stats.bytes_cloned);
+    json.record(std::string("state/") + name + "/eager", cell.actions, 1,
+                eager.wall, eager.stats.schedules_explored(),
+                eager.stats.object_clones, eager.stats.clones_avoided,
+                eager.stats.bytes_cloned);
+  }
+
+  std::printf("\nheadline (64 actions / 32 objects): %.1fx fewer cloned "
+              "objects under copy-on-write\n", headline_reduction);
+  if (!ok) {
+    std::fprintf(stderr, "FAIL: COW and eager runs diverged\n");
+    return 1;
+  }
+  if (headline_reduction < 5.0) {
+    std::fprintf(stderr, "FAIL: headline reduction %.1fx below the 5x floor\n",
+                 headline_reduction);
+    return 1;
+  }
+  return 0;
+}

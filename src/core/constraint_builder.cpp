@@ -178,6 +178,44 @@ ConstraintMatrix build_constraints(const Universe& universe,
   return matrix;
 }
 
+std::vector<Bitset> build_target_overlap(
+    const std::vector<ActionRecord>& records) {
+  const std::size_t n = records.size();
+  std::vector<Bitset> overlap(n, Bitset(n));
+
+  std::vector<std::vector<ObjectId>> targets(n);
+  std::size_t max_target = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    targets[i] = records[i].action->targets();
+    for (ObjectId t : targets[i]) {
+      max_target = std::max(max_target, t.index() + 1);
+    }
+  }
+
+  std::vector<std::vector<std::uint32_t>> by_target(max_target);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (ObjectId t : targets[i]) {
+      auto& group = by_target[t.index()];
+      // An action listing a target twice must appear in the group once
+      // (overlap is a relation between *distinct* actions).
+      if (group.empty() || group.back() != i) {
+        group.push_back(static_cast<std::uint32_t>(i));
+      }
+    }
+  }
+
+  for (const auto& group : by_target) {
+    for (std::size_t x = 0; x < group.size(); ++x) {
+      for (std::size_t y = x + 1; y < group.size(); ++y) {
+        if (group[x] == group[y]) continue;
+        overlap[group[x]].set(group[y]);
+        overlap[group[y]].set(group[x]);
+      }
+    }
+  }
+  return overlap;
+}
+
 std::string render_matrix(const ConstraintMatrix& matrix,
                           const std::vector<std::string>& labels) {
   std::size_t width = 6;  // at least "unsafe"

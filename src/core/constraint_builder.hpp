@@ -14,6 +14,7 @@
 #include "core/constraint.hpp"
 #include "core/log.hpp"
 #include "core/universe.hpp"
+#include "util/bitset.hpp"
 #include "util/ids.hpp"
 
 namespace icecube {
@@ -97,6 +98,14 @@ struct ConstraintBuildOptions {
 [[nodiscard]] ConstraintMatrix build_constraints_dense(
     const Universe& universe, const std::vector<ActionRecord>& records,
     ConstraintBuildStats* stats = nullptr);
+
+/// Per-action bitsets of the *other* actions sharing at least one target,
+/// built through the same target→actions inverted index the sparse matrix
+/// builder uses — O(Σ per-target group²) bit sets instead of the all-pairs
+/// O(n²·t²) scan. The §6 failure-memoization causal keys consume this; the
+/// reconcilers build it once and share it across every cutset's simulator.
+[[nodiscard]] std::vector<Bitset> build_target_overlap(
+    const std::vector<ActionRecord>& records);
 
 /// Renders the matrix as an aligned text table (used by the figure benches
 /// and handy in test failures).

@@ -15,10 +15,16 @@ IncrementalReconciler::IncrementalReconciler(Universe initial,
                        : (default_policy_ = std::make_unique<Policy>()).get()),
                  options.keep_outcomes) {
   if (policy_ == nullptr) policy_ = default_policy_.get();
+  initial_.set_copy_mode(options_.eager_state_copies
+                             ? Universe::CopyMode::kEager
+                             : Universe::CopyMode::kCopyOnWrite);
   deadline_ = Deadline::after_seconds(options_.limits.max_seconds);
   records_ = flatten(logs_);
   matrix_ = build_constraints(initial_, records_);
   relations_ = Relations::from_constraints(matrix_);
+  if (options_.memoize_failures) {
+    target_overlap_ = build_target_overlap(records_);
+  }
 
   CutsetAnalysis cuts =
       find_proper_cutsets(relations_, options_.max_cycles, options_.max_cutsets);
@@ -43,7 +49,8 @@ bool IncrementalReconciler::open_next_cutset() {
       working_ = relations_.restricted(removed);
     }
     simulator_.emplace(records_, working_, options_, *policy_, selection_,
-                       stats_, clock_, deadline_);
+                       stats_, clock_, deadline_,
+                       options_.memoize_failures ? &target_overlap_ : nullptr);
     simulator_->start(cutset, initial_);
     return true;
   }

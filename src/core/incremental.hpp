@@ -83,6 +83,9 @@ class IncrementalReconciler {
   std::vector<ActionRecord> records_;
   ConstraintMatrix matrix_;
   Relations relations_;
+  /// Shared §6 overlap index (see build_target_overlap); built once, handed
+  /// to every cutset's simulator. Empty when memoization is off.
+  std::vector<Bitset> target_overlap_;
 
   std::vector<Cutset> cutsets_;
   std::size_t next_cutset_ = 0;

@@ -107,6 +107,15 @@ struct ReconcilerOptions {
   /// declared targets (true of every substrate in this repository).
   bool memoize_failures = false;
 
+  /// Oracle switch for the state-management layer: when set, every universe
+  /// copy in the search deep-clones every object (the pre-COW behaviour)
+  /// instead of sharing copy-on-write slots. Results are bit-for-bit
+  /// identical in both modes — only the `object_clones` / `clones_avoided` /
+  /// `bytes_cloned` counters (and the wall clock) differ. Kept, like the
+  /// dense constraint builder, as the reference the equivalence tests and
+  /// `bench_state` measure the COW path against.
+  bool eager_state_copies = false;
+
   /// Caps for the cycle/cutset analysis.
   std::size_t max_cycles = 10000;
   std::size_t max_cutsets = 64;

@@ -47,7 +47,17 @@ struct SearchStats {
   /// (only with ReconcilerOptions::memoize_failures).
   std::uint64_t memoized_failures = 0;
   std::uint64_t prefix_prunes = 0;  ///< prefixes abandoned by policy
-  std::uint64_t state_clones = 0;   ///< shadow copies taken
+  std::uint64_t state_clones = 0;   ///< shadow universe copies taken
+
+  /// Object-level clone accounting from the copy-on-write universe (see
+  /// Universe::CloneCounters): deep SharedObject clones actually performed,
+  /// slot copies served by pointer sharing, and the approximate bytes the
+  /// performed clones copied. Under `eager_state_copies` every slot of every
+  /// shadow copy lands in `object_clones` — the ratio against the COW run
+  /// is the headline `bench_state` reports.
+  std::uint64_t object_clones = 0;
+  std::uint64_t clones_avoided = 0;
+  std::uint64_t bytes_cloned = 0;
   bool hit_limit = false;           ///< a SearchLimits bound was reached
   bool cutsets_truncated = false;   ///< cycle/cutset caps were reached
   std::size_t cutset_count = 0;     ///< number of proper cutsets searched
@@ -84,6 +94,9 @@ struct SearchStats {
     memoized_failures += other.memoized_failures;
     prefix_prunes += other.prefix_prunes;
     state_clones += other.state_clones;
+    object_clones += other.object_clones;
+    clones_avoided += other.clones_avoided;
+    bytes_cloned += other.bytes_cloned;
     hit_limit = hit_limit || other.hit_limit;
   }
 };

@@ -40,7 +40,8 @@ CutsetRun search_cutset(const std::vector<ActionRecord>& records,
                         const ReconcilerOptions& options, Policy& policy,
                         const Cutset& cutset, const Deadline& deadline,
                         const Stopwatch& clock,
-                        std::atomic<std::size_t>* stop_index, std::size_t k) {
+                        std::atomic<std::size_t>* stop_index, std::size_t k,
+                        const std::vector<Bitset>* target_overlap) {
   CutsetRun run;
   Relations working;
   const Relations* active = &relations;
@@ -52,7 +53,7 @@ CutsetRun search_cutset(const std::vector<ActionRecord>& records,
   }
   Selection local(policy, options.keep_outcomes);
   Simulator simulator(records, *active, options, policy, local, run.stats,
-                      clock, deadline);
+                      clock, deadline, target_overlap);
   simulator.set_improvement_log(&run.events);
   simulator.start(cutset, initial);
   constexpr std::uint64_t kPollChunk = 512;  // cancellation poll granularity
@@ -84,13 +85,15 @@ void run_cutsets_parallel(const std::vector<ActionRecord>& records,
                           const std::vector<Cutset>& cutsets,
                           const Deadline& deadline, const Stopwatch& clock,
                           ThreadPool& pool, Selection& selection,
-                          SearchStats& stats) {
+                          SearchStats& stats,
+                          const std::vector<Bitset>* target_overlap) {
   const std::size_t count = cutsets.size();
   std::vector<CutsetRun> runs(count);
   std::atomic<std::size_t> stop_index{count};
   parallel_for_each(&pool, count, [&](std::size_t k) {
     runs[k] = search_cutset(records, relations, initial, options, policy,
-                            cutsets[k], deadline, clock, &stop_index, k);
+                            cutsets[k], deadline, clock, &stop_index, k,
+                            target_overlap);
     if (runs[k].stopped) fetch_min(stop_index, k);
   });
 
@@ -123,7 +126,8 @@ void run_cutsets_parallel(const std::vector<ActionRecord>& records,
       carved.limits.max_schedules = budget_schedules;
       carved.limits.max_steps = budget_steps;
       rerun = search_cutset(records, relations, initial, carved, policy,
-                            cutsets[k], deadline, clock, nullptr, k);
+                            cutsets[k], deadline, clock, nullptr, k,
+                            target_overlap);
       run = &rerun;
     }
 

@@ -12,6 +12,13 @@
 // exact carved limits, so outcomes, schedule orderings and non-timing stats
 // are bit-for-bit identical to `threads=1` for every thread count. See
 // DESIGN.md §8.
+//
+// One deliberate exception: the clone counters (SearchStats::object_clones /
+// clones_avoided / bytes_cloned). Workers gate final-state materialisation
+// against a *local* keep-K (the shared one does not exist yet), so a worker
+// may materialise a state the sequential loop would have skipped. Outcomes
+// and every search counter are still identical — only the clone accounting
+// may differ across thread counts.
 #pragma once
 
 #include <vector>
@@ -24,6 +31,7 @@
 #include "core/relations.hpp"
 #include "core/selection.hpp"
 #include "core/universe.hpp"
+#include "util/bitset.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -36,13 +44,15 @@ namespace icecube {
 /// `policy` hooks are invoked from worker threads concurrently and must be
 /// thread-safe (see ReconcilerOptions::threads). `deadline` must be the
 /// run's shared deadline; `clock` the run stopwatch (used only for timing
-/// stats).
+/// stats). `target_overlap` is the shared §6 overlap index (see
+/// build_target_overlap) — null when failure memoization is off.
 void run_cutsets_parallel(const std::vector<ActionRecord>& records,
                           const Relations& relations, const Universe& initial,
                           const ReconcilerOptions& options, Policy& policy,
                           const std::vector<Cutset>& cutsets,
                           const Deadline& deadline, const Stopwatch& clock,
                           ThreadPool& pool, Selection& selection,
-                          SearchStats& stats);
+                          SearchStats& stats,
+                          const std::vector<Bitset>* target_overlap = nullptr);
 
 }  // namespace icecube

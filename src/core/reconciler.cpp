@@ -21,6 +21,9 @@ Reconciler::Reconciler(Universe initial, std::vector<Log> logs,
     default_policy_ = std::make_unique<Policy>();
     policy_ = default_policy_.get();
   }
+  initial_.set_copy_mode(options_.eager_state_copies
+                             ? Universe::CopyMode::kEager
+                             : Universe::CopyMode::kCopyOnWrite);
   const std::size_t lanes =
       options_.threads == 1 ? 1 : ThreadPool::resolve(options_.threads);
   // The calling thread is always one lane, so a pool of lanes-1 workers.
@@ -29,6 +32,9 @@ Reconciler::Reconciler(Universe initial, std::vector<Log> logs,
   matrix_ =
       build_constraints(initial_, records_, {pool_.get(), &build_stats_});
   relations_ = Relations::from_constraints(matrix_);
+  if (options_.memoize_failures) {
+    target_overlap_ = build_target_overlap(records_);
+  }
 }
 
 ReconcileResult Reconciler::run() {
@@ -52,7 +58,9 @@ ReconcileResult Reconciler::run() {
     // across the pool and merge deterministically (see parallel_driver.hpp).
     run_cutsets_parallel(records_, relations_, initial_, options_, *policy_,
                          cuts.cutsets, deadline, clock, *pool_, selection,
-                         result.stats);
+                         result.stats,
+                         options_.memoize_failures ? &target_overlap_
+                                                   : nullptr);
   } else {
     for (const Cutset& cutset : cuts.cutsets) {
       // Under a non-empty cutset the dependence closure must be recomputed
@@ -66,7 +74,9 @@ ReconcileResult Reconciler::run() {
         active = &working;
       }
       Simulator simulator(records_, *active, options_, *policy_, selection,
-                          result.stats, clock, deadline);
+                          result.stats, clock, deadline,
+                          options_.memoize_failures ? &target_overlap_
+                                                    : nullptr);
       if (!simulator.run(cutset, initial_)) break;
     }
   }

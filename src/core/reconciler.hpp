@@ -89,6 +89,10 @@ class Reconciler {
   ConstraintMatrix matrix_;
   ConstraintBuildStats build_stats_;
   Relations relations_;
+  /// Shared target→actions overlap index for the §6 causal keys, built once
+  /// here and handed to every cutset's simulator (empty when failure
+  /// memoization is off).
+  std::vector<Bitset> target_overlap_;
   /// Worker pool behind ReconcilerOptions::threads — created once (threads
   /// != 1), shared by the constraint build and every run(). Null means
   /// fully sequential.

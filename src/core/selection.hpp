@@ -20,6 +20,15 @@ class Selection {
   /// Scores and files `outcome`. Returns true iff it became the new best.
   bool offer(Outcome&& outcome);
 
+  /// Would `offer` retain an outcome with these ranking fields? The
+  /// simulator asks before materialising an outcome's final state; the
+  /// answer must agree exactly with `offer`'s insert-or-drop decision
+  /// (`outcome.cost` must already hold the policy cost).
+  [[nodiscard]] bool would_keep(const Outcome& outcome) const {
+    if (kept_.size() < keep_) return true;
+    return better(outcome, kept_.back());
+  }
+
   [[nodiscard]] bool empty() const { return kept_.empty(); }
   [[nodiscard]] double best_cost() const;
   [[nodiscard]] const Outcome& best() const { return kept_.front(); }

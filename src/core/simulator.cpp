@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "core/constraint_builder.hpp"
+
 namespace icecube {
 
 namespace {
@@ -19,7 +21,8 @@ Simulator::Simulator(const std::vector<ActionRecord>& records,
                      const Relations& relations,
                      const ReconcilerOptions& options, Policy& policy,
                      Selection& selection, SearchStats& stats,
-                     const Stopwatch& clock, Deadline deadline)
+                     const Stopwatch& clock, Deadline deadline,
+                     const std::vector<Bitset>* target_overlap)
     : records_(records),
       relations_(relations),
       options_(options),
@@ -28,6 +31,7 @@ Simulator::Simulator(const std::vector<ActionRecord>& records,
       stats_(stats),
       clock_(clock),
       deadline_(deadline),
+      overlap_(target_overlap),
       done_(records.size()) {
   if (options.strict_pick_seed != 0) {
     strict_rng_.emplace(options.strict_pick_seed);
@@ -37,7 +41,7 @@ Simulator::Simulator(const std::vector<ActionRecord>& records,
 std::uint64_t Simulator::causal_key(ActionId action) const {
   std::uint64_t state = 0x9d3f5ca1b7e42681ULL ^ action.value();
   std::uint64_t hash = splitmix64(state);
-  const Bitset& overlap = target_overlap_[action.index()];
+  const Bitset& overlap = (*overlap_)[action.index()];
   for (ActionId executed : prefix_) {
     if (overlap.test(executed.index())) {
       state ^= (hash << 1) ^ executed.value();
@@ -49,21 +53,13 @@ std::uint64_t Simulator::causal_key(ActionId action) const {
 
 void Simulator::start(const Cutset& cutset, const Universe& initial) {
   assert(records_.size() == relations_.size());
-  if (options_.memoize_failures && target_overlap_.empty()) {
-    target_overlap_.assign(records_.size(), Bitset(records_.size()));
-    for (std::size_t a = 0; a < records_.size(); ++a) {
-      const auto ta = records_[a].action->targets();
-      for (std::size_t b = 0; b < records_.size(); ++b) {
-        if (a == b) continue;
-        for (ObjectId t : records_[b].action->targets()) {
-          if (std::find(ta.begin(), ta.end(), t) != ta.end()) {
-            target_overlap_[a].set(b);
-            break;
-          }
-        }
-      }
-    }
+  if (options_.memoize_failures && overlap_ == nullptr) {
+    // No shared index was handed in: build our own once (reused across
+    // start() calls — the overlap relation depends only on the action set).
+    owned_overlap_ = build_target_overlap(records_);
+    overlap_ = &owned_overlap_;
   }
+  clone_mark_ = Universe::thread_counters();
   known_failures_.clear();  // keys are relative to this cutset's searches
   const Bitset excluded = cutset_bits(cutset, records_.size());
   scheduler_.emplace(relations_, options_.heuristic, options_.b_rule,
@@ -94,13 +90,33 @@ void Simulator::fill_candidates(Frame& frame) {
   frame.next = 0;
 }
 
+Simulator::Frame Simulator::acquire_frame() {
+  if (spare_frames_.empty()) {
+    Frame frame;
+    frame.tried = Bitset(records_.size());
+    return frame;
+  }
+  Frame frame = std::move(spare_frames_.back());
+  spare_frames_.pop_back();
+  // Vectors keep their capacity and the bitset its words: in steady state
+  // a recycled frame needs no heap allocation at all.
+  frame.candidates.clear();
+  frame.extra_deps.clear();
+  frame.tried.clear();
+  frame.next = 0;
+  frame.skips = 0;
+  frame.explored_child = false;
+  frame.recompute = false;
+  frame.via = ActionId();
+  return frame;
+}
+
 bool Simulator::push_node(Universe state, ActionId via) {
   const PrefixView view{prefix_, skipped_};
   if (!policy_.keep_prefix(view, state)) return false;
-  Frame frame;
+  Frame frame = acquire_frame();
   frame.state = std::move(state);
   frame.via = via;
-  frame.tried = Bitset(records_.size());
   policy_.extra_dependencies(view, frame.extra_deps);
   fill_candidates(frame);
   policy_.order_candidates(view, frame.candidates);
@@ -119,7 +135,20 @@ void Simulator::pop_node() {
     prefix_.pop_back();
     done_.reset(frame.via.index());
   }
+  Frame spare = std::move(stack_.back());
   stack_.pop_back();
+  // Release the universe before parking the frame: a spare frame keeping
+  // slot references alive would force detach-clones in live ancestors.
+  spare.state = Universe();
+  spare_frames_.push_back(std::move(spare));
+}
+
+void Simulator::flush_clone_counters() {
+  const Universe::CloneCounters& now = Universe::thread_counters();
+  stats_.object_clones += now.object_clones - clone_mark_.object_clones;
+  stats_.clones_avoided += now.clones_avoided - clone_mark_.clones_avoided;
+  stats_.bytes_cloned += now.bytes_cloned - clone_mark_.bytes_cloned;
+  clone_mark_ = now;
 }
 
 bool Simulator::step(std::uint64_t schedule_budget) {
@@ -216,6 +245,7 @@ bool Simulator::step(std::uint64_t schedule_budget) {
       done_.reset(cand.index());
     }
   }
+  flush_clone_counters();
   return !stack_.empty() && !stop_;
 }
 
@@ -233,20 +263,26 @@ void Simulator::record_outcome(const Universe& state) {
     outcome.schedule = prefix_;
     outcome.skipped = skipped_;
     outcome.cutset = cut_actions_;
-    outcome.final_state = state;  // deep copy
+    // Borrowed view: the policy cost function may read the final state, but
+    // the keep-K gate below rejects most outcomes — the real (per-mode)
+    // state copy is materialised only for survivors.
+    outcome.final_state = state.snapshot();
     outcome.complete = complete;
     outcome.cost = policy_.cost(outcome);
 
     if (!policy_.on_outcome(outcome)) stop_ = true;
     const double cost = outcome.cost;
     const std::size_t n_skipped = outcome.skipped.size();
-    if (selection_.offer(std::move(outcome))) {
-      stats_.time_to_best = clock_.seconds();
-      stats_.schedules_to_best = stats_.schedules_explored();
-      if (improvements_ != nullptr) {
-        improvements_->push_back({cost, complete, n_skipped,
-                                  stats_.schedules_explored(),
-                                  clock_.seconds()});
+    if (selection_.would_keep(outcome)) {
+      outcome.final_state = state;
+      if (selection_.offer(std::move(outcome))) {
+        stats_.time_to_best = clock_.seconds();
+        stats_.schedules_to_best = stats_.schedules_explored();
+        if (improvements_ != nullptr) {
+          improvements_->push_back({cost, complete, n_skipped,
+                                    stats_.schedules_explored(),
+                                    clock_.seconds()});
+        }
       }
     }
   }

@@ -43,10 +43,17 @@ class Simulator {
   /// must stop (capture it once per run with `Deadline::after_seconds`).
   /// The deadline is immutable, so worker threads of the parallel driver
   /// can share one instance and poll it without synchronisation.
+  ///
+  /// `target_overlap` (per action: the other actions sharing a target, as
+  /// built by `build_target_overlap`) feeds the §6 causal keys; the
+  /// reconcilers build it once over the full action set and share it across
+  /// every cutset's simulator. Null makes the simulator build its own on
+  /// first use (only if `memoize_failures` is on).
   Simulator(const std::vector<ActionRecord>& records,
             const Relations& relations, const ReconcilerOptions& options,
             Policy& policy, Selection& selection, SearchStats& stats,
-            const Stopwatch& clock, Deadline deadline);
+            const Stopwatch& clock, Deadline deadline,
+            const std::vector<Bitset>* target_overlap = nullptr);
 
   /// Mirrors every "new incumbent best" into `log` (see ImprovementEvent);
   /// the parallel driver uses this to reconstruct the sequential engine's
@@ -92,6 +99,13 @@ class Simulator {
   void pop_node();
   void fill_candidates(Frame& frame);
   void record_outcome(const Universe& state);
+  /// A blank frame, reusing storage recycled by `pop_node` when available
+  /// (steady-state search then does no per-node heap allocation beyond what
+  /// the universe copy itself needs).
+  [[nodiscard]] Frame acquire_frame();
+  /// Folds the thread-local universe clone counters accrued since the last
+  /// flush into `stats_`.
+  void flush_clone_counters();
   [[nodiscard]] ActionId last_scheduled() const {
     return prefix_.empty() ? ActionId() : prefix_.back();
   }
@@ -119,10 +133,16 @@ class Simulator {
   std::vector<ActionId> skipped_;      // dropped actions (skip mode)
   std::vector<ActionId> cut_actions_;  // the active cutset
   std::vector<Frame> stack_;
+  std::vector<Frame> spare_frames_;  // recycled frame storage (free-list)
   bool stop_ = false;
 
+  // Baseline for flush_clone_counters (thread-local counters are monotonic;
+  // the simulator accounts the delta it caused).
+  Universe::CloneCounters clone_mark_;
+
   // Failure memoization (ReconcilerOptions::memoize_failures).
-  std::vector<Bitset> target_overlap_;  // per action: actions sharing a target
+  const std::vector<Bitset>* overlap_;  // per action: actions sharing a target
+  std::vector<Bitset> owned_overlap_;   // backing store when none was shared
   std::unordered_map<std::uint64_t, FailureKind> known_failures_;
 };
 

@@ -2,18 +2,38 @@
 //
 // During isolated execution a site runs applications against a local replica
 // of the shared objects — the *object universe*. The simulator replays
-// candidate schedules against *shadow copies* of the universe, which is why
-// every shared object must be deep-cloneable.
+// candidate schedules against *shadow copies* of the universe (§3.4), so the
+// cost of taking a shadow copy sits directly on the search hot path.
+//
+// The universe is therefore *copy-on-write*: each slot holds a shared,
+// conceptually-immutable object pointer, so copying a universe is O(n)
+// pointer copies, and only a mutable access (`at`/`as` on a non-const
+// universe) *detaches* the touched slot — cloning the object iff some other
+// universe still shares it. Executing an action against a shadow copy thus
+// clones O(|action.targets()|) objects instead of O(|universe|).
+//
+// Invariant every caller must respect: a mutable reference obtained from
+// `at`/`as` is invalidated by copying the universe — re-fetch it after any
+// copy, or the write leaks into the snapshot. (All engine code mutates
+// immediately after the access; see Action::execute.)
+//
+// The pre-COW behaviour — every copy deep-clones every object — is kept
+// alive as `CopyMode::kEager`, the oracle the equivalence tests and benches
+// run against (see ReconcilerOptions::eager_state_copies).
 #pragma once
 
+#include <atomic>
 #include <cassert>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <typeinfo>
 #include <vector>
 
 #include "core/constraint.hpp"
+#include "util/crc32.hpp"
 #include "util/ids.hpp"
+#include "util/rng.hpp"
 
 namespace icecube {
 
@@ -36,7 +56,8 @@ class SharedObject {
   SharedObject& operator=(SharedObject&&) = default;
   virtual ~SharedObject() = default;
 
-  /// Deep copy, used to create shadow universes for simulation.
+  /// Deep copy, used when a copy-on-write slot detaches (and for every slot
+  /// of an eager-mode universe copy).
   [[nodiscard]] virtual std::unique_ptr<SharedObject> clone() const = 0;
 
   /// Static-constraint bridge: is ordering `a` before `b` safe / maybe /
@@ -57,18 +78,44 @@ class SharedObject {
   /// equivalence (log cleaning, determinism tests). Defaults to
   /// `describe()`; override when `describe()` is only a summary.
   [[nodiscard]] virtual std::string fingerprint() const { return describe(); }
+
+  /// Rough in-memory footprint, feeding the `bytes_cloned` accounting.
+  /// Override for objects with dynamic payloads; precision is not required —
+  /// the counter ranks clone cost, it does not meter an allocator.
+  [[nodiscard]] virtual std::size_t approx_bytes() const { return 64; }
 };
 
-/// An indexed collection of shared objects. Copyable: copying a universe
-/// deep-clones every object (a shadow copy in the paper's terms).
+/// An indexed collection of shared objects, copy-on-write by default (see
+/// file comment).
 class Universe {
  public:
+  /// How copies of this universe behave. The mode is inherited by copies.
+  enum class CopyMode : std::uint8_t {
+    kCopyOnWrite,  ///< copy shares slots; mutable access detaches (default)
+    kEager         ///< copy deep-clones every object (the pre-COW oracle)
+  };
+
+  /// Thread-local clone accounting (see `thread_counters`). Monotonic;
+  /// consumers record a mark and subtract.
+  struct CloneCounters {
+    std::uint64_t object_clones = 0;   ///< SharedObject::clone invocations
+    std::uint64_t clones_avoided = 0;  ///< slot copies served by sharing
+    std::uint64_t bytes_cloned = 0;    ///< approx_bytes of cloned objects
+  };
+
+  /// The calling thread's clone counters. Thread-local so the parallel
+  /// driver's workers account their own searches without synchronisation.
+  [[nodiscard]] static CloneCounters& thread_counters() {
+    thread_local CloneCounters counters;
+    return counters;
+  }
+
   Universe() = default;
 
   Universe(const Universe& other) { copy_from(other); }
   Universe& operator=(const Universe& other) {
     if (this != &other) {
-      objects_.clear();
+      slots_.clear();
       copy_from(other);
     }
     return *this;
@@ -76,22 +123,33 @@ class Universe {
   Universe(Universe&&) noexcept = default;
   Universe& operator=(Universe&&) noexcept = default;
 
+  [[nodiscard]] CopyMode copy_mode() const { return mode_; }
+  /// Sets how *future* copies of this universe (and their copies) behave.
+  void set_copy_mode(CopyMode mode) { mode_ = mode; }
+
   /// Adds an object and returns its id. Ids are dense and stable.
   ObjectId add(std::unique_ptr<SharedObject> obj) {
     assert(obj != nullptr);
-    objects_.push_back(std::move(obj));
-    return ObjectId(objects_.size() - 1);
+    slots_.push_back(Slot{std::shared_ptr<SharedObject>(std::move(obj)),
+                          nullptr, 0});
+    return ObjectId(slots_.size() - 1);
   }
 
-  [[nodiscard]] std::size_t size() const { return objects_.size(); }
+  [[nodiscard]] std::size_t size() const { return slots_.size(); }
 
+  /// Mutable access: detaches the slot (clones the object iff it is still
+  /// shared with another universe), bumps its version and invalidates its
+  /// cached fingerprint hash. The reference is valid until the universe is
+  /// copied or destroyed.
   [[nodiscard]] SharedObject& at(ObjectId id) {
-    assert(id.index() < objects_.size());
-    return *objects_[id.index()];
+    assert(id.index() < slots_.size());
+    Slot& slot = slots_[id.index()];
+    detach(slot);
+    return *slot.object;
   }
   [[nodiscard]] const SharedObject& at(ObjectId id) const {
-    assert(id.index() < objects_.size());
-    return *objects_[id.index()];
+    assert(id.index() < slots_.size());
+    return *slots_[id.index()].object;
   }
 
   /// Typed accessor; asserts on type mismatch in debug builds.
@@ -110,28 +168,137 @@ class Universe {
 
   [[nodiscard]] std::string describe() const {
     std::string out;
-    for (std::size_t i = 0; i < objects_.size(); ++i) {
-      out += "[" + std::to_string(i) + "] " + objects_[i]->describe() + "\n";
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      out += "[" + std::to_string(i) + "] " + slots_[i].object->describe() +
+             "\n";
     }
     return out;
   }
 
   /// Canonical rendering of the full state (see SharedObject::fingerprint).
+  /// Two universes are in the same state iff their fingerprints are equal.
   [[nodiscard]] std::string fingerprint() const {
     std::string out;
-    for (std::size_t i = 0; i < objects_.size(); ++i) {
-      out += "[" + std::to_string(i) + "] " + objects_[i]->fingerprint() + "\n";
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      out += "[" + std::to_string(i) + "] " + slots_[i].object->fingerprint() +
+             "\n";
     }
     return out;
   }
 
- private:
-  void copy_from(const Universe& other) {
-    objects_.reserve(other.objects_.size());
-    for (const auto& obj : other.objects_) objects_.push_back(obj->clone());
+  /// 64-bit digest of `fingerprint()`, assembled from per-slot hashes that
+  /// are cached on the slot (and shared with every universe sharing the
+  /// object) until the slot detaches. Equality of hashes is equality of
+  /// states up to a ~2^-64 collision — the convergence, log-cleaning and
+  /// replay checks accept that in exchange for skipping the full string
+  /// concatenation of `fingerprint()`.
+  [[nodiscard]] std::uint64_t fingerprint_hash() const {
+    std::uint64_t state = 0x1cecbe0ULL ^ slots_.size();
+    std::uint64_t h = splitmix64(state);
+    for (const Slot& slot : slots_) {
+      state ^= slot_fingerprint_hash(slot);
+      h ^= splitmix64(state);
+    }
+    return h;
   }
 
-  std::vector<std::unique_ptr<SharedObject>> objects_;
+  /// The slot's detach count — bumped by every mutable access. Snapshot it
+  /// to detect writes (the detach-semantics tests rely on this).
+  [[nodiscard]] std::uint64_t slot_version(ObjectId id) const {
+    assert(id.index() < slots_.size());
+    return slots_[id.index()].version;
+  }
+
+  /// Identity of the stored object, for aliasing assertions: two universes
+  /// share a slot iff the addresses are equal.
+  [[nodiscard]] const SharedObject* object_address(ObjectId id) const {
+    assert(id.index() < slots_.size());
+    return slots_[id.index()].object.get();
+  }
+
+  /// Zero-clone aliasing copy, regardless of copy mode, with no counter
+  /// attribution. For transient read-only views (e.g. handing a terminal
+  /// state to the policy cost function before the keep-K gate decides
+  /// whether a real copy is warranted). The snapshot is still safe to
+  /// mutate — detach protects it — but such writes defeat its purpose.
+  [[nodiscard]] Universe snapshot() const {
+    Universe out;
+    out.mode_ = mode_;
+    out.slots_ = slots_;
+    return out;
+  }
+
+ private:
+  /// One object slot. `fp_cache` memoises the object's fingerprint hash
+  /// (null until first computed; 0 inside means "unset"); it travels with
+  /// the object pointer on copy so shared slots share the cached hash, and
+  /// is dropped — not cleared — on detach, leaving other universes' caches
+  /// intact. Atomic because two universes sharing a slot may race to fill
+  /// the cache from different threads (same value either way).
+  struct Slot {
+    std::shared_ptr<SharedObject> object;
+    mutable std::shared_ptr<std::atomic<std::uint64_t>> fp_cache;
+    std::uint64_t version = 0;
+  };
+
+  void detach(Slot& slot) {
+    if (slot.object.use_count() > 1) {
+      CloneCounters& counters = thread_counters();
+      ++counters.object_clones;
+      counters.bytes_cloned += slot.object->approx_bytes();
+      slot.object = std::shared_ptr<SharedObject>(slot.object->clone());
+    }
+    slot.fp_cache.reset();
+    ++slot.version;
+  }
+
+  [[nodiscard]] static std::uint64_t slot_fingerprint_hash(const Slot& slot) {
+    if (slot.fp_cache != nullptr) {
+      const std::uint64_t cached =
+          slot.fp_cache->load(std::memory_order_relaxed);
+      if (cached != 0) return cached;
+    }
+    const std::string fp = slot.object->fingerprint();
+    // CRC-32 of the content plus an FNV-1a fold: two independent passes'
+    // worth of mixing from one scan, then SplitMix64 to spread the bits.
+    Crc32 crc;
+    crc.update(fp);
+    std::uint64_t fnv = 0xcbf29ce484222325ULL;
+    for (const char c : fp) {
+      fnv = (fnv ^ static_cast<unsigned char>(c)) * 0x100000001b3ULL;
+    }
+    std::uint64_t state =
+        fnv ^ (static_cast<std::uint64_t>(crc.value()) << 32) ^ fp.size();
+    std::uint64_t h = splitmix64(state);
+    if (h == 0) h = 1;  // 0 is the "unset" sentinel
+    if (slot.fp_cache == nullptr) {
+      slot.fp_cache = std::make_shared<std::atomic<std::uint64_t>>(h);
+    } else {
+      slot.fp_cache->store(h, std::memory_order_relaxed);
+    }
+    return h;
+  }
+
+  void copy_from(const Universe& other) {
+    mode_ = other.mode_;
+    CloneCounters& counters = thread_counters();
+    slots_.reserve(other.slots_.size());
+    if (mode_ == CopyMode::kEager) {
+      for (const Slot& slot : other.slots_) {
+        ++counters.object_clones;
+        counters.bytes_cloned += slot.object->approx_bytes();
+        slots_.push_back(Slot{
+            std::shared_ptr<SharedObject>(slot.object->clone()),
+            slot.fp_cache, slot.version});
+      }
+    } else {
+      counters.clones_avoided += other.slots_.size();
+      slots_ = other.slots_;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  CopyMode mode_ = CopyMode::kCopyOnWrite;
 };
 
 }  // namespace icecube

@@ -129,6 +129,10 @@ class Board final : public SharedObject {
   [[nodiscard]] std::unique_ptr<SharedObject> clone() const override {
     return std::make_unique<Board>(*this);
   }
+  [[nodiscard]] std::size_t approx_bytes() const override {
+    return sizeof(Board) + position_.size() * sizeof(position_[0]) +
+           occupancy_.size() * (sizeof(Cell) + sizeof(int));
+  }
   [[nodiscard]] Constraint order(const Action& a, const Action& b,
                                  LogRelation rel) const override;
   [[nodiscard]] std::string describe() const override;

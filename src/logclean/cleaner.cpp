@@ -1,5 +1,6 @@
 #include "logclean/cleaner.hpp"
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -8,17 +9,18 @@ namespace icecube {
 
 namespace {
 
-/// Replays `actions` against a copy of `initial`. Returns the final
-/// fingerprint, or nullopt if any action fails (a clean log must replay in
-/// full).
-std::optional<std::string> replay_fingerprint(
+/// Replays `actions` against a copy of `initial`. Returns the final state's
+/// cached 64-bit fingerprint digest (Universe::fingerprint_hash — local
+/// equality only, collisions ~2⁻⁶⁴, accepted), or nullopt if any action
+/// fails (a clean log must replay in full).
+std::optional<std::uint64_t> replay_fingerprint(
     const Universe& initial, const std::vector<ActionPtr>& actions) {
   Universe state = initial;
   for (const auto& action : actions) {
     if (!action->precondition(state)) return std::nullopt;
     if (!action->execute(state)) return std::nullopt;
   }
-  return state.fingerprint();
+  return state.fingerprint_hash();
 }
 
 /// Generic generate-and-verify cleaner: repeatedly tries to drop candidate

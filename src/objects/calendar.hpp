@@ -41,6 +41,13 @@ class Calendar final : public SharedObject {
   [[nodiscard]] std::unique_ptr<SharedObject> clone() const override {
     return std::make_unique<Calendar>(*this);
   }
+  [[nodiscard]] std::size_t approx_bytes() const override {
+    std::size_t bytes = sizeof(Calendar) + owner_.size();
+    for (const auto& [hour, label] : slots_) {
+      bytes += sizeof(hour) + sizeof(label) + label.size();
+    }
+    return bytes;
+  }
   [[nodiscard]] Constraint order(const Action& a, const Action& b,
                                  LogRelation rel) const override;
   [[nodiscard]] std::string describe() const override;

@@ -35,6 +35,9 @@ class Counter final : public SharedObject {
   [[nodiscard]] std::unique_ptr<SharedObject> clone() const override {
     return std::make_unique<Counter>(*this);
   }
+  [[nodiscard]] std::size_t approx_bytes() const override {
+    return sizeof(Counter);
+  }
   [[nodiscard]] Constraint order(const Action& a, const Action& b,
                                  LogRelation rel) const override;
   [[nodiscard]] std::string describe() const override {

@@ -50,6 +50,13 @@ class FileSystem final : public SharedObject {
   [[nodiscard]] std::unique_ptr<SharedObject> clone() const override {
     return std::make_unique<FileSystem>(*this);
   }
+  [[nodiscard]] std::size_t approx_bytes() const override {
+    std::size_t bytes = sizeof(FileSystem);
+    for (const auto& [path, node] : nodes_) {
+      bytes += sizeof(node) + path.size() + node.content.size();
+    }
+    return bytes;
+  }
   [[nodiscard]] Constraint order(const Action& a, const Action& b,
                                  LogRelation rel) const override;
   [[nodiscard]] std::string describe() const override;

@@ -48,6 +48,11 @@ class LineFile final : public SharedObject {
   [[nodiscard]] std::unique_ptr<SharedObject> clone() const override {
     return std::make_unique<LineFile>(*this);
   }
+  [[nodiscard]] std::size_t approx_bytes() const override {
+    std::size_t bytes = sizeof(LineFile);
+    for (const auto& l : lines_) bytes += sizeof(l) + l.size();
+    return bytes;
+  }
   [[nodiscard]] Constraint order(const Action& a, const Action& b,
                                  LogRelation rel) const override;
   [[nodiscard]] std::string describe() const override {

@@ -32,6 +32,9 @@ class RwRegister final : public SharedObject {
   [[nodiscard]] std::unique_ptr<SharedObject> clone() const override {
     return std::make_unique<RwRegister>(*this);
   }
+  [[nodiscard]] std::size_t approx_bytes() const override {
+    return sizeof(RwRegister);
+  }
   [[nodiscard]] Constraint order(const Action& a, const Action& b,
                                  LogRelation rel) const override;
   [[nodiscard]] std::string describe() const override {

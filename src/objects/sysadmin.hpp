@@ -49,6 +49,10 @@ class OsSystem final : public SharedObject {
   [[nodiscard]] std::unique_ptr<SharedObject> clone() const override {
     return std::make_unique<OsSystem>(*this);
   }
+  [[nodiscard]] std::size_t approx_bytes() const override {
+    return sizeof(OsSystem) + devices_.size() * sizeof(int) +
+           drivers_.size() * 2 * sizeof(int);
+  }
   [[nodiscard]] Constraint order(const Action& a, const Action& b,
                                  LogRelation rel) const override;
   [[nodiscard]] std::string describe() const override;
@@ -76,6 +80,9 @@ class SysBudget final : public SharedObject {
 
   [[nodiscard]] std::unique_ptr<SharedObject> clone() const override {
     return std::make_unique<SysBudget>(*this);
+  }
+  [[nodiscard]] std::size_t approx_bytes() const override {
+    return sizeof(SysBudget);
   }
   [[nodiscard]] Constraint order(const Action& a, const Action& b,
                                  LogRelation rel) const override;

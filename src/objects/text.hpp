@@ -110,6 +110,10 @@ class TextBuffer final : public SharedObject {
   [[nodiscard]] std::unique_ptr<SharedObject> clone() const override {
     return std::make_unique<TextBuffer>(*this);
   }
+  [[nodiscard]] std::size_t approx_bytes() const override {
+    return sizeof(TextBuffer) + text_.size() +
+           history_.size() * sizeof(TextEdit);
+  }
   [[nodiscard]] Constraint order(const Action& a, const Action& b,
                                  LogRelation rel) const override;
   [[nodiscard]] std::string describe() const override {

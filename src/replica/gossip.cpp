@@ -312,8 +312,8 @@ bool GossipNode::uid_known(const std::string& uid) const {
 
 bool gossip_converged(const std::vector<GossipNode>& nodes) {
   for (std::size_t i = 1; i < nodes.size(); ++i) {
-    if (nodes[i].committed_fingerprint() !=
-        nodes[0].committed_fingerprint()) {
+    if (nodes[i].committed_fingerprint_hash() !=
+        nodes[0].committed_fingerprint_hash()) {
       return false;
     }
   }

@@ -157,6 +157,13 @@ class GossipNode {
   [[nodiscard]] std::string committed_fingerprint() const {
     return committed_.fingerprint();
   }
+  /// Cached 64-bit digest of the committed state — what local equality
+  /// checks (convergence, invariant tracking) compare instead of building
+  /// the full fingerprint string. Wire payloads and the commitment total
+  /// order keep the string form.
+  [[nodiscard]] std::uint64_t committed_fingerprint_hash() const {
+    return committed_.fingerprint_hash();
+  }
 
   /// Isolated execution: runs `action` against the tentative state and
   /// records it as pending on success (assigning it a fresh uid). Returns

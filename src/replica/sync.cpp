@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdint>
 #include <utility>
 
 #include "serialize/log_codec.hpp"
@@ -25,9 +26,12 @@ SyncResult synchronise(const std::vector<Site*>& sites,
 
   // Log-based reconciliation replays merged logs against the common initial
   // state; a divergent committed state means a previous round was missed.
-  const std::string reference = sites.front()->committed().fingerprint();
+  // Local equality check: the cached 64-bit digest stands in for the full
+  // fingerprint string (collisions ~2⁻⁶⁴, accepted).
+  const std::uint64_t reference =
+      sites.front()->committed().fingerprint_hash();
   for (const Site* site : sites) {
-    if (site->committed().fingerprint() != reference) {
+    if (site->committed().fingerprint_hash() != reference) {
       out.error = {SyncErrorKind::kDivergentState, site->name(),
                    "does not match site '" + sites.front()->name() + "'"};
       return out;
@@ -102,14 +106,14 @@ SyncReport synchronise_resilient(const std::vector<Site*>& sites,
   // reconciliation replays from here, with already-adopted actions carried
   // forward in `history`, so late-recovering sites stay mergeable.
   const Universe base = sites.front()->committed();
-  const std::string reference = base.fingerprint();
+  const std::uint64_t reference = base.fingerprint_hash();
 
   std::vector<SiteState> states(sites.size());
   for (std::size_t i = 0; i < sites.size(); ++i) {
     states[i].site = sites[i];
     states[i].report.site = sites[i]->name();
     states[i].backoff = std::max<std::size_t>(1, config.base_backoff_rounds);
-    if (sites[i]->committed().fingerprint() != reference) {
+    if (sites[i]->committed().fingerprint_hash() != reference) {
       // Not retryable: its log replays from a different state.
       states[i].permanent = true;
       states[i].report.last_error = {
@@ -250,9 +254,9 @@ SyncReport synchronise_resilient(const std::vector<Site*>& sites,
 
 bool converged(const std::vector<Site*>& sites) {
   if (sites.empty()) return true;
-  const std::string reference = sites.front()->tentative().fingerprint();
+  const std::uint64_t reference = sites.front()->tentative().fingerprint_hash();
   for (const Site* site : sites) {
-    if (site->tentative().fingerprint() != reference) return false;
+    if (site->tentative().fingerprint_hash() != reference) return false;
   }
   return true;
 }

@@ -23,7 +23,10 @@ void InvariantChecker::flag(std::string kind, const std::string& site,
 
 void InvariantChecker::observe(const GossipNode& node, std::size_t time) {
   ++observations_;
-  const std::string fp = node.committed_fingerprint();
+  // Change detection runs on the cached 64-bit digest; the fingerprint
+  // string (an O(universe) concatenation) is only built below when the
+  // committed state actually moved.
+  const std::uint64_t fp_hash = node.committed_fingerprint_hash();
 
   // uid-unique: no action counted twice, in either log or across them.
   std::set<std::string> accounted;
@@ -47,7 +50,8 @@ void InvariantChecker::observe(const GossipNode& node, std::size_t time) {
   Track& track = it->second;
   if (first_sight) {
     track.epoch = node.epoch();
-    track.fingerprint = fp;
+    track.fp_hash = fp_hash;
+    track.fingerprint = node.committed_fingerprint();
     track.accounted = std::move(accounted);
     return;
   }
@@ -61,9 +65,13 @@ void InvariantChecker::observe(const GossipNode& node, std::size_t time) {
   }
 
   // commit-order: any committed-state change must move strictly up the
-  // commitment order.
+  // commitment order. The dominance tiebreak is the protocol's
+  // lexicographic fingerprint order, so the string is materialised here —
+  // but only for actual changes.
   const bool changed =
-      node.epoch() != track.epoch || fp != track.fingerprint;
+      node.epoch() != track.epoch || fp_hash != track.fp_hash;
+  const std::string fp =
+      changed ? node.committed_fingerprint() : track.fingerprint;
   if (changed && !commit_dominates(node.epoch(), fp, track.epoch,
                                    track.fingerprint)) {
     flag("commit-order", node.name(),
@@ -97,13 +105,14 @@ void InvariantChecker::observe(const GossipNode& node, std::size_t time) {
            "history action " + std::to_string(at) +
                " fails to replay from genesis",
            time);
-    } else if (replay.fingerprint() != fp) {
+    } else if (replay.fingerprint_hash() != fp_hash) {
       flag("replay", node.name(),
            "replayed fingerprint differs from committed state", time);
     }
   }
 
   track.epoch = node.epoch();
+  track.fp_hash = fp_hash;
   track.fingerprint = fp;
   track.accounted = std::move(accounted);
 }
@@ -111,9 +120,9 @@ void InvariantChecker::observe(const GossipNode& node, std::size_t time) {
 void InvariantChecker::check_converged(const std::vector<GossipNode>& nodes,
                                        std::size_t time) {
   if (nodes.empty()) return;
-  const std::string fp = nodes.front().committed_fingerprint();
+  const std::uint64_t fp = nodes.front().committed_fingerprint_hash();
   for (std::size_t i = 1; i < nodes.size(); ++i) {
-    if (nodes[i].committed_fingerprint() != fp) {
+    if (nodes[i].committed_fingerprint_hash() != fp) {
       flag("convergence", nodes[i].name(),
            "committed state differs from " + nodes.front().name(), time);
     }

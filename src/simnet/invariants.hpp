@@ -84,6 +84,12 @@ class InvariantChecker {
  private:
   struct Track {
     std::uint64_t epoch = 0;
+    /// Cached 64-bit digest: change detection and the deep-replay compare
+    /// run on this (Universe::fingerprint_hash — collisions ~2⁻⁶⁴,
+    /// accepted). The string form is only materialised when the state
+    /// actually changed, for the commit-order dominance tiebreak, which is
+    /// protocol-semantic and stays on the full fingerprint.
+    std::uint64_t fp_hash = 0;
     std::string fingerprint;
     std::set<std::string> accounted;  ///< history ∪ pending uids
   };

@@ -1,0 +1,176 @@
+// COW vs eager oracle equivalence (ReconcilerOptions::eager_state_copies).
+//
+// The copy-on-write universe must be a pure performance change: for the
+// same problem, every reconciliation result — schedules, skipped and cut
+// sets, costs, final-state fingerprints, search counters, best-so-far
+// bookkeeping — is bit-for-bit identical whether shadow copies share slots
+// or deep-clone every object. The sweep crosses generated workloads with
+// thread counts {1, 8} and both failure modes; only the clone counters (the
+// whole point of the change) are allowed to differ, and the COW side must
+// actually avoid clones.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/reconciler.hpp"
+#include "workload/generators.hpp"
+
+namespace icecube {
+namespace {
+
+std::vector<std::size_t> indices(const std::vector<ActionId>& ids) {
+  std::vector<std::size_t> out;
+  out.reserve(ids.size());
+  for (ActionId id : ids) out.push_back(id.index());
+  return out;
+}
+
+ReconcileResult run(const workload::Generated& problem,
+                    ReconcilerOptions options, bool eager) {
+  options.eager_state_copies = eager;
+  Reconciler reconciler(problem.initial, problem.logs, options);
+  return reconciler.run();
+}
+
+/// Everything except wall-clock fields and the clone counters must match.
+void expect_equivalent(const ReconcileResult& cow,
+                       const ReconcileResult& eager,
+                       const std::string& label) {
+  SCOPED_TRACE(label);
+  ASSERT_EQ(cow.outcomes.size(), eager.outcomes.size());
+  for (std::size_t i = 0; i < cow.outcomes.size(); ++i) {
+    SCOPED_TRACE("outcome " + std::to_string(i));
+    const Outcome& a = cow.outcomes[i];
+    const Outcome& b = eager.outcomes[i];
+    EXPECT_EQ(indices(a.schedule), indices(b.schedule));
+    EXPECT_EQ(indices(a.skipped), indices(b.skipped));
+    EXPECT_EQ(indices(a.cutset), indices(b.cutset));
+    EXPECT_EQ(a.complete, b.complete);
+    EXPECT_EQ(a.cost, b.cost);
+    EXPECT_EQ(a.degraded, b.degraded);
+    EXPECT_EQ(a.final_state.fingerprint(), b.final_state.fingerprint());
+    EXPECT_EQ(a.final_state.fingerprint_hash(),
+              b.final_state.fingerprint_hash());
+  }
+  EXPECT_EQ(cow.degraded, eager.degraded);
+  EXPECT_EQ(cow.stats.schedules_explored(), eager.stats.schedules_explored());
+  EXPECT_EQ(cow.stats.schedules_completed, eager.stats.schedules_completed);
+  EXPECT_EQ(cow.stats.dead_ends, eager.stats.dead_ends);
+  EXPECT_EQ(cow.stats.sim_steps, eager.stats.sim_steps);
+  EXPECT_EQ(cow.stats.state_clones, eager.stats.state_clones);
+  EXPECT_EQ(cow.stats.precondition_failures,
+            eager.stats.precondition_failures);
+  EXPECT_EQ(cow.stats.execution_failures, eager.stats.execution_failures);
+  EXPECT_EQ(cow.stats.memoized_failures, eager.stats.memoized_failures);
+  EXPECT_EQ(cow.stats.prefix_prunes, eager.stats.prefix_prunes);
+  EXPECT_EQ(cow.stats.hit_limit, eager.stats.hit_limit);
+  EXPECT_EQ(cow.stats.schedules_to_best, eager.stats.schedules_to_best);
+  EXPECT_EQ(cow.stats.cutset_count, eager.stats.cutset_count);
+}
+
+/// One problem through the whole grid: failure modes × thread counts, COW
+/// against the eager oracle each time, plus COW thread-invariance.
+void sweep(const workload::Generated& problem, const std::string& name,
+           bool expect_sharing = true) {
+  for (const FailureMode mode :
+       {FailureMode::kAbortBranch, FailureMode::kSkipAction}) {
+    ReconcilerOptions options;
+    options.failure_mode = mode;
+    options.limits.max_schedules = 3000;
+
+    options.threads = 1;
+    const ReconcileResult cow1 = run(problem, options, /*eager=*/false);
+    const ReconcileResult eager1 = run(problem, options, /*eager=*/true);
+    expect_equivalent(cow1, eager1,
+                      name + "/" + std::string(to_string(mode)) + "/t1");
+
+    options.threads = 8;
+    const ReconcileResult cow8 = run(problem, options, /*eager=*/false);
+    const ReconcileResult eager8 = run(problem, options, /*eager=*/true);
+    expect_equivalent(cow8, eager8,
+                      name + "/" + std::string(to_string(mode)) + "/t8");
+    expect_equivalent(cow1, cow8,
+                      name + "/" + std::string(to_string(mode)) + "/t1-vs-t8");
+
+    if (expect_sharing) {
+      // The COW run must actually share. Both modes take the same universe
+      // copies, so every deep slot clone the eager oracle pays at copy time
+      // is a pointer-shared slot on the COW side — exactly clones_avoided.
+      // COW then re-clones only the slots writes actually detach, which is
+      // strictly less than cloning everything up front.
+      EXPECT_GT(cow1.stats.clones_avoided, 0u) << name;
+      EXPECT_EQ(cow1.stats.clones_avoided, eager1.stats.object_clones) << name;
+      EXPECT_LT(cow1.stats.object_clones, eager1.stats.object_clones) << name;
+    }
+  }
+}
+
+TEST(CowEquivalence, CounterWorkload) {
+  workload::CounterSpec spec;
+  spec.replicas = 3;
+  spec.actions_per_replica = 4;
+  spec.seed = 11;
+  sweep(workload::counter_workload(spec), "counter");
+}
+
+TEST(CowEquivalence, FsWorkload) {
+  workload::FsSpec spec;
+  spec.replicas = 2;
+  spec.actions_per_replica = 5;
+  spec.seed = 7;
+  sweep(workload::fs_workload(spec), "fs");
+}
+
+TEST(CowEquivalence, CalendarWorkload) {
+  workload::CalendarSpec spec;
+  spec.users = 3;
+  spec.actions_per_user = 3;
+  spec.seed = 3;
+  sweep(workload::calendar_workload(spec), "calendar");
+}
+
+TEST(CowEquivalence, TextWorkload) {
+  workload::TextSpec spec;
+  spec.replicas = 2;
+  spec.actions_per_replica = 4;
+  spec.seed = 5;
+  sweep(workload::text_workload(spec), "text");
+}
+
+TEST(CowEquivalence, LineWorkloadWithMemoization) {
+  workload::LineSpec spec;
+  spec.replicas = 2;
+  spec.actions_per_replica = 4;
+  spec.seed = 9;
+  workload::Generated problem = workload::line_workload(spec);
+  for (const bool memoize : {false, true}) {
+    ReconcilerOptions options;
+    options.memoize_failures = memoize;
+    options.limits.max_schedules = 3000;
+    const ReconcileResult cow = run(problem, options, /*eager=*/false);
+    const ReconcileResult eager = run(problem, options, /*eager=*/true);
+    expect_equivalent(cow, eager,
+                      memoize ? "line/memoize" : "line/plain");
+  }
+}
+
+// Tight budgets exercise the degrade fallback and limit bookkeeping under
+// both modes.
+TEST(CowEquivalence, BudgetExhaustionAndDegrade) {
+  workload::CounterSpec spec;
+  spec.replicas = 3;
+  spec.actions_per_replica = 5;
+  spec.seed = 21;
+  const workload::Generated problem = workload::counter_workload(spec);
+  ReconcilerOptions options;
+  options.limits.max_schedules = 10;
+  options.degrade_on_exhaustion = true;
+  const ReconcileResult cow = run(problem, options, /*eager=*/false);
+  const ReconcileResult eager = run(problem, options, /*eager=*/true);
+  expect_equivalent(cow, eager, "degrade");
+}
+
+}  // namespace
+}  // namespace icecube

@@ -1,0 +1,158 @@
+// Slot-level semantics of the copy-on-write universe (see
+// core/universe.hpp): copies alias, mutable access detaches exactly the
+// touched slot, versions count writes, and the cached fingerprint hash is
+// dropped on detach without disturbing other universes' caches.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/universe.hpp"
+#include "objects/counter.hpp"
+
+namespace icecube {
+namespace {
+
+Universe two_counters(std::int64_t a, std::int64_t b) {
+  Universe u;
+  (void)u.add(std::make_unique<Counter>(a));
+  (void)u.add(std::make_unique<Counter>(b));
+  return u;
+}
+
+TEST(CowUniverse, CopyAliasesEverySlotAndCountsAvoidedClones) {
+  const Universe original = two_counters(1, 2);
+  const Universe::CloneCounters before = Universe::thread_counters();
+
+  const Universe copy = original;
+
+  const Universe::CloneCounters after = Universe::thread_counters();
+  EXPECT_EQ(after.object_clones, before.object_clones);
+  EXPECT_EQ(after.clones_avoided, before.clones_avoided + 2);
+  EXPECT_EQ(copy.object_address(ObjectId(0)),
+            original.object_address(ObjectId(0)));
+  EXPECT_EQ(copy.object_address(ObjectId(1)),
+            original.object_address(ObjectId(1)));
+}
+
+TEST(CowUniverse, MutableAccessDetachesOnlyTheTouchedSlot) {
+  Universe original = two_counters(10, 20);
+  Universe copy = original;
+
+  const Universe::CloneCounters before = Universe::thread_counters();
+  ASSERT_TRUE(copy.as<Counter>(ObjectId(0)).apply(5));
+  const Universe::CloneCounters after = Universe::thread_counters();
+
+  // Exactly one deep clone: the written slot. The untouched slot still
+  // aliases the original.
+  EXPECT_EQ(after.object_clones, before.object_clones + 1);
+  EXPECT_GE(after.bytes_cloned, before.bytes_cloned + sizeof(Counter));
+  EXPECT_NE(copy.object_address(ObjectId(0)),
+            original.object_address(ObjectId(0)));
+  EXPECT_EQ(copy.object_address(ObjectId(1)),
+            original.object_address(ObjectId(1)));
+
+  // The write is invisible through the original.
+  EXPECT_EQ(copy.as<Counter>(ObjectId(0)).value(), 15);
+  const Universe& const_original = original;
+  EXPECT_EQ(const_original.as<Counter>(ObjectId(0)).value(), 10);
+}
+
+TEST(CowUniverse, ConstAccessNeverDetaches) {
+  Universe original = two_counters(1, 2);
+  const Universe copy = original;
+
+  const std::uint64_t version = copy.slot_version(ObjectId(0));
+  EXPECT_EQ(copy.as<Counter>(ObjectId(0)).value(), 1);  // const path
+  EXPECT_EQ(copy.slot_version(ObjectId(0)), version);
+  EXPECT_EQ(copy.object_address(ObjectId(0)),
+            original.object_address(ObjectId(0)));
+}
+
+TEST(CowUniverse, UnsharedMutableAccessBumpsVersionWithoutCloning) {
+  Universe solo = two_counters(1, 2);
+  const std::uint64_t version = solo.slot_version(ObjectId(0));
+  const Universe::CloneCounters before = Universe::thread_counters();
+
+  ASSERT_TRUE(solo.as<Counter>(ObjectId(0)).apply(1));
+
+  const Universe::CloneCounters after = Universe::thread_counters();
+  EXPECT_EQ(after.object_clones, before.object_clones);
+  EXPECT_EQ(solo.slot_version(ObjectId(0)), version + 1);
+}
+
+TEST(CowUniverse, EagerModeDeepCopiesEverySlot) {
+  Universe original = two_counters(1, 2);
+  original.set_copy_mode(Universe::CopyMode::kEager);
+
+  const Universe::CloneCounters before = Universe::thread_counters();
+  const Universe copy = original;
+  const Universe::CloneCounters after = Universe::thread_counters();
+
+  EXPECT_EQ(after.object_clones, before.object_clones + 2);
+  EXPECT_EQ(after.clones_avoided, before.clones_avoided);
+  EXPECT_NE(copy.object_address(ObjectId(0)),
+            original.object_address(ObjectId(0)));
+  EXPECT_NE(copy.object_address(ObjectId(1)),
+            original.object_address(ObjectId(1)));
+  // The mode is inherited by copies.
+  EXPECT_EQ(copy.copy_mode(), Universe::CopyMode::kEager);
+  // Contents and canonical rendering are unaffected by the mode.
+  EXPECT_EQ(copy.fingerprint(), original.fingerprint());
+  EXPECT_EQ(copy.fingerprint_hash(), original.fingerprint_hash());
+}
+
+TEST(CowUniverse, SnapshotAliasesWithoutCounterAttribution) {
+  Universe original = two_counters(7, 8);
+  const Universe::CloneCounters before = Universe::thread_counters();
+  const Universe view = original.snapshot();
+  const Universe::CloneCounters after = Universe::thread_counters();
+
+  EXPECT_EQ(after.object_clones, before.object_clones);
+  EXPECT_EQ(after.clones_avoided, before.clones_avoided);
+  EXPECT_EQ(view.object_address(ObjectId(0)),
+            original.object_address(ObjectId(0)));
+  EXPECT_EQ(view.fingerprint(), original.fingerprint());
+}
+
+TEST(CowUniverse, FingerprintHashTracksStateNotIdentity) {
+  const Universe a = two_counters(10, 20);
+  const Universe b = two_counters(10, 20);  // independent, same state
+  const Universe c = two_counters(10, 21);
+
+  EXPECT_EQ(a.fingerprint_hash(), b.fingerprint_hash());
+  EXPECT_NE(a.fingerprint_hash(), c.fingerprint_hash());
+  // The digest really stands in for the canonical rendering.
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  EXPECT_NE(a.fingerprint(), c.fingerprint());
+}
+
+TEST(CowUniverse, DetachInvalidatesOnlyTheWritersCachedHash) {
+  Universe original = two_counters(10, 20);
+  Universe copy = original;
+
+  // Prime both caches (they share the per-slot cache cells at this point).
+  const std::uint64_t before = original.fingerprint_hash();
+  ASSERT_EQ(copy.fingerprint_hash(), before);
+
+  // Write through the copy: its slot cache is dropped and recomputed; the
+  // original's cached hash must remain intact and correct.
+  ASSERT_TRUE(copy.as<Counter>(ObjectId(0)).apply(5));
+  EXPECT_NE(copy.fingerprint_hash(), before);
+  EXPECT_EQ(original.fingerprint_hash(), before);
+
+  // And the recomputed digest matches a from-scratch universe in the same
+  // state.
+  EXPECT_EQ(copy.fingerprint_hash(), two_counters(15, 20).fingerprint_hash());
+}
+
+TEST(CowUniverse, VersionCountsEveryMutableAccess) {
+  Universe u = two_counters(0, 0);
+  const std::uint64_t v0 = u.slot_version(ObjectId(0));
+  (void)u.at(ObjectId(0));
+  (void)u.at(ObjectId(0));
+  EXPECT_EQ(u.slot_version(ObjectId(0)), v0 + 2);
+  EXPECT_EQ(u.slot_version(ObjectId(1)), 0u);
+}
+
+}  // namespace
+}  // namespace icecube

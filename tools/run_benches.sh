@@ -26,6 +26,7 @@ run() {
 
 run bench_parallel
 run bench_scaling
+run bench_state
 run bench_chaos
 
 echo "wrote:"
