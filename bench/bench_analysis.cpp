@@ -1,0 +1,82 @@
+// Analysis-cost bench: what does proving order() honest cost per shipped
+// type? One row per audit subject (plus an all-subjects total) reporting
+// the auditor's work counters — pairs checked, states sampled, order()
+// calls, execution probes — next to the wall time, so regressions in the
+// static-analysis pass itself show up in the bench artifact.
+//
+// The binary doubles as a gate: it exits non-zero if any shipped type
+// produces an error-level finding, mirroring `tools/analyze --fail-on
+// error`, so the CI bench smoke re-checks soundness on every run.
+//
+// `--json <path>` writes one record per row (see JsonSink). Field mapping
+// for this bench: n_actions carries pairs_checked and schedules_explored
+// carries execution probes (the dominant cost term); the clone counters
+// stay zero.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.hpp"
+#include "bench_common.hpp"
+#include "core/audit.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace icecube;
+  bench::JsonSink json(argc, argv);
+
+  const std::vector<AuditSubject> subjects =
+      analysis::shipped_audit_subjects();
+  const analysis::AnalyzerOptions options;
+
+  std::printf("%-18s %8s %8s %8s %12s %12s %9s %9s\n", "subject", "pairs",
+              "states", "findings", "order_calls", "executions", "err",
+              "time(s)");
+
+  analysis::AnalysisStats total;
+  std::size_t total_findings = 0;
+  std::size_t total_errors = 0;
+  double total_wall = 0.0;
+  for (const AuditSubject& subject : subjects) {
+    Stopwatch clock;
+    const analysis::AnalysisReport report =
+        analysis::analyze_subjects({subject}, options);
+    const double wall = clock.seconds();
+
+    const std::size_t errors =
+        report.count_at_least(analysis::Severity::kError);
+    std::printf("%-18s %8llu %8llu %8zu %12llu %12llu %9zu %9.3f\n",
+                subject.name.c_str(),
+                static_cast<unsigned long long>(report.stats.pairs_checked),
+                static_cast<unsigned long long>(report.stats.states_sampled),
+                report.diagnostics.size(),
+                static_cast<unsigned long long>(report.stats.order_calls),
+                static_cast<unsigned long long>(report.stats.executions),
+                errors, wall);
+
+    json.record("analysis/" + subject.name, report.stats.pairs_checked, 1,
+                wall, report.stats.executions);
+    total.merge(report.stats);
+    total_findings += report.diagnostics.size();
+    total_errors += errors;
+    total_wall += wall;
+  }
+
+  std::printf("%-18s %8llu %8llu %8zu %12llu %12llu %9zu %9.3f\n", "total",
+              static_cast<unsigned long long>(total.pairs_checked),
+              static_cast<unsigned long long>(total.states_sampled),
+              total_findings,
+              static_cast<unsigned long long>(total.order_calls),
+              static_cast<unsigned long long>(total.executions), total_errors,
+              total_wall);
+  json.record("analysis/total", total.pairs_checked, 1, total_wall,
+              total.executions);
+
+  if (total_errors != 0) {
+    std::fprintf(stderr,
+                 "FAIL: %zu error-level finding(s) in shipped types\n",
+                 total_errors);
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,38 @@
+#include "analysis/analyzer.hpp"
+
+#include <utility>
+
+#include "jigsaw/introspect.hpp"
+#include "objects/introspect.hpp"
+
+namespace icecube::analysis {
+
+std::vector<AuditSubject> shipped_audit_subjects() {
+  std::vector<AuditSubject> subjects = object_audit_subjects();
+  subjects.push_back(jigsaw::board_audit_subject());
+  return subjects;
+}
+
+AnalysisReport analyze_subjects(const std::vector<AuditSubject>& subjects,
+                                const AnalyzerOptions& options) {
+  AnalysisReport report;
+  for (const AuditSubject& subject : subjects) {
+    report.merge(audit_subject(subject, options.relation));
+    report.merge(lint_subject(subject, options.graph));
+  }
+  return report;
+}
+
+AnalysisReport analyze_shipped(const AnalyzerOptions& options,
+                               const std::string& name_filter) {
+  std::vector<AuditSubject> selected;
+  for (AuditSubject& subject : shipped_audit_subjects()) {
+    if (name_filter.empty() ||
+        subject.name.find(name_filter) != std::string::npos) {
+      selected.push_back(std::move(subject));
+    }
+  }
+  return analyze_subjects(selected, options);
+}
+
+}  // namespace icecube::analysis

@@ -1,0 +1,44 @@
+// Pass 3 — orchestration: runs the relation auditor and the graph linter
+// over every shipped object type (src/objects and the jigsaw board) and
+// merges the findings into one gateable report. `tools/analyze` and the
+// `icecube lint` subcommand are thin wrappers over this.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "analysis/graph_lint.hpp"
+#include "analysis/relation_audit.hpp"
+#include "core/audit.hpp"
+
+namespace icecube::analysis {
+
+struct AnalyzerOptions {
+  RelationAuditOptions relation;
+  GraphLintOptions graph;
+
+  /// Applies one seed to both passes.
+  void set_seed(std::uint64_t seed) {
+    relation.seed = seed;
+    graph.seed = seed;
+  }
+};
+
+/// Every shipped auditable type: the seven src/objects subjects plus the
+/// jigsaw board under its semantic order policy (the only policy that makes
+/// honesty claims — the pedagogical Figure 7 variants deliberately mangle
+/// the relation).
+[[nodiscard]] std::vector<AuditSubject> shipped_audit_subjects();
+
+/// Runs both passes over `subjects` and merges the reports.
+[[nodiscard]] AnalysisReport analyze_subjects(
+    const std::vector<AuditSubject>& subjects,
+    const AnalyzerOptions& options = {});
+
+/// `analyze_subjects` over `shipped_audit_subjects()`, optionally filtered
+/// to subjects whose name contains `name_filter` (empty = all).
+[[nodiscard]] AnalysisReport analyze_shipped(
+    const AnalyzerOptions& options = {}, const std::string& name_filter = {});
+
+}  // namespace icecube::analysis

@@ -1,0 +1,183 @@
+#include "analysis/diagnostics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <iterator>
+#include <sstream>
+
+namespace icecube::analysis {
+
+const char* to_string(Rule rule) {
+  switch (rule) {
+    case Rule::kUnsoundSafe:
+      return "UNSOUND_SAFE";
+    case Rule::kOverconservativeUnsafe:
+      return "OVERCONSERVATIVE_UNSAFE";
+    case Rule::kAsymmetry:
+      return "ASYMMETRY";
+    case Rule::kNondeterminism:
+      return "NONDETERMINISM";
+    case Rule::kDCycle:
+      return "D_CYCLE";
+    case Rule::kRedundantDEdge:
+      return "REDUNDANT_D_EDGE";
+    case Rule::kDeadAction:
+      return "DEAD_ACTION";
+    case Rule::kMaybeDegenerate:
+      return "MAYBE_DEGENERATE";
+  }
+  return "?";
+}
+
+const char* to_string(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo:
+      return "info";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+Severity default_severity(Rule rule) {
+  switch (rule) {
+    case Rule::kUnsoundSafe:
+    case Rule::kNondeterminism:
+      return Severity::kError;
+    case Rule::kOverconservativeUnsafe:
+    case Rule::kAsymmetry:
+    case Rule::kDCycle:
+    case Rule::kDeadAction:
+    case Rule::kMaybeDegenerate:
+      return Severity::kWarning;
+    case Rule::kRedundantDEdge:
+      return Severity::kInfo;
+  }
+  return Severity::kWarning;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string Diagnostic::render() const {
+  std::ostringstream os;
+  os << to_string(severity) << ": [" << to_string(rule) << "] " << subject
+     << ": " << message;
+  if (!witness_actions.empty()) {
+    os << " [witness:";
+    for (const auto& a : witness_actions) os << ' ' << a;
+    os << ']';
+  }
+  if (!witness_state.empty()) os << " [state: " << witness_state << ']';
+  return os.str();
+}
+
+std::string Diagnostic::to_json() const {
+  std::ostringstream os;
+  os << "{\"rule\": \"" << to_string(rule) << "\", \"severity\": \""
+     << to_string(severity) << "\", \"pass\": \"" << json_escape(pass)
+     << "\", \"subject\": \"" << json_escape(subject) << "\", \"message\": \""
+     << json_escape(message) << "\", \"witness_actions\": [";
+  for (std::size_t i = 0; i < witness_actions.size(); ++i) {
+    os << (i ? ", " : "") << '"' << json_escape(witness_actions[i]) << '"';
+  }
+  os << "], \"witness_state\": \"" << json_escape(witness_state) << "\"}";
+  return os.str();
+}
+
+void AnalysisStats::merge(const AnalysisStats& other) {
+  pairs_checked += other.pairs_checked;
+  states_sampled += other.states_sampled;
+  order_calls += other.order_calls;
+  executions += other.executions;
+}
+
+void AnalysisReport::merge(AnalysisReport other) {
+  diagnostics.insert(diagnostics.end(),
+                     std::make_move_iterator(other.diagnostics.begin()),
+                     std::make_move_iterator(other.diagnostics.end()));
+  stats.merge(other.stats);
+}
+
+std::size_t AnalysisReport::count_at_least(Severity severity) const {
+  return static_cast<std::size_t>(
+      std::count_if(diagnostics.begin(), diagnostics.end(),
+                    [severity](const Diagnostic& d) {
+                      return d.severity >= severity;
+                    }));
+}
+
+Severity AnalysisReport::worst_severity() const {
+  Severity worst = Severity::kInfo;
+  for (const auto& d : diagnostics) worst = std::max(worst, d.severity);
+  return worst;
+}
+
+std::string AnalysisReport::render(Severity min_severity) const {
+  std::ostringstream os;
+  std::size_t shown = 0;
+  for (const auto& d : diagnostics) {
+    if (d.severity < min_severity) continue;
+    os << d.render() << '\n';
+    ++shown;
+  }
+  os << shown << " finding(s) at or above " << to_string(min_severity) << " ("
+     << diagnostics.size() << " total); " << stats.pairs_checked
+     << " pair(s), " << stats.states_sampled << " state(s), "
+     << stats.order_calls << " order call(s), " << stats.executions
+     << " execution probe(s)\n";
+  return os.str();
+}
+
+std::string AnalysisReport::to_json() const {
+  std::ostringstream os;
+  os << "{\n  \"findings\": [\n";
+  for (std::size_t i = 0; i < diagnostics.size(); ++i) {
+    os << "    " << diagnostics[i].to_json()
+       << (i + 1 < diagnostics.size() ? "," : "") << '\n';
+  }
+  os << "  ],\n  \"counts\": {\"error\": " << count_at_least(Severity::kError)
+     << ", \"warning\": "
+     << count_at_least(Severity::kWarning) - count_at_least(Severity::kError)
+     << ", \"total\": " << diagnostics.size() << "},\n"
+     << "  \"stats\": {\"pairs_checked\": " << stats.pairs_checked
+     << ", \"states_sampled\": " << stats.states_sampled
+     << ", \"order_calls\": " << stats.order_calls
+     << ", \"executions\": " << stats.executions << "}\n}\n";
+  return os.str();
+}
+
+}  // namespace icecube::analysis

@@ -1,0 +1,88 @@
+// Structured diagnostics for the static-analysis passes.
+//
+// Every finding carries a machine-readable rule id, a severity, the subject
+// it was found in, the witness (actions, state fingerprint) that proves it,
+// and a human sentence. Reports render either as text or as JSON, and gate
+// CI through `worst_severity()` — error-level findings fail the build.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace icecube::analysis {
+
+/// Audit/lint rules. The first four come from the relation auditor (does
+/// `order()` honour §2.3's promises?), the rest from the graph linter
+/// (pre-search smells over a built constraint graph, §3.1/§3.2).
+enum class Rule : std::uint8_t {
+  kUnsoundSafe = 0,          ///< static safe, dynamic failure witnessed
+  kOverconservativeUnsafe,   ///< static unsafe, both orders succeed everywhere
+  kAsymmetry,                ///< mutual unsafe yet one order works dynamically
+  kNondeterminism,           ///< same inputs, different verdicts
+  kDCycle,                   ///< dependence cycle (minimal witness per SCC)
+  kRedundantDEdge,           ///< raw D edge implied by the transitive closure
+  kDeadAction,               ///< precondition fails in every sampled state
+  kMaybeDegenerate,          ///< order() never returned anything but maybe
+};
+
+enum class Severity : std::uint8_t { kInfo = 0, kWarning = 1, kError = 2 };
+
+[[nodiscard]] const char* to_string(Rule rule);
+[[nodiscard]] const char* to_string(Severity severity);
+
+/// The severity a rule fires at. UNSOUND_SAFE and NONDETERMINISM are errors
+/// (they break the search contract); the rest are warnings or info — an
+/// over-constraining verdict can encode deliberate intent (the paper's
+/// write/delete example is "contrary to mathematical intuition" on purpose,
+/// and §4.4 embraces some spurious static conflicts).
+[[nodiscard]] Severity default_severity(Rule rule);
+
+/// One finding.
+struct Diagnostic {
+  Rule rule = Rule::kUnsoundSafe;
+  Severity severity = Severity::kError;
+  std::string pass;     ///< "relation_audit" | "graph_lint"
+  std::string subject;  ///< audited type or problem name
+  std::string message;  ///< one human sentence
+  /// Witness: the actions involved (described tags, in the order that
+  /// exhibits the finding) and, where a dynamic run is part of the proof,
+  /// the fingerprint of the state it ran from.
+  std::vector<std::string> witness_actions;
+  std::string witness_state;
+
+  [[nodiscard]] std::string render() const;
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Work counters for one analysis run; the analysis-cost bench reports
+/// these next to the wall time.
+struct AnalysisStats {
+  std::uint64_t pairs_checked = 0;
+  std::uint64_t states_sampled = 0;
+  std::uint64_t order_calls = 0;
+  std::uint64_t executions = 0;  ///< precondition/execute probes
+
+  void merge(const AnalysisStats& other);
+};
+
+/// A batch of findings plus the work that produced them.
+struct AnalysisReport {
+  std::vector<Diagnostic> diagnostics;
+  AnalysisStats stats;
+
+  void merge(AnalysisReport other);
+  [[nodiscard]] std::size_t count_at_least(Severity severity) const;
+  [[nodiscard]] Severity worst_severity() const;  ///< kInfo when empty
+
+  /// Multi-line human report of findings at or above `min_severity`.
+  [[nodiscard]] std::string render(Severity min_severity) const;
+  /// Whole report as one JSON object (findings + counters).
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Minimal JSON string escaping (quotes, backslashes, control bytes).
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+}  // namespace icecube::analysis

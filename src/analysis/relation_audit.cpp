@@ -1,0 +1,329 @@
+#include "analysis/relation_audit.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "core/constraint.hpp"
+
+namespace icecube::analysis {
+
+namespace {
+
+constexpr const char* kPass = "relation_audit";
+/// Minimum dynamically-runnable states before OVERCONSERVATIVE_UNSAFE may
+/// fire: with fewer, "succeeded everywhere sampled" is weak evidence.
+constexpr std::size_t kMinOverconservativeEvidence = 3;
+/// Minimum consulted verdicts before MAYBE_DEGENERATE may fire.
+constexpr std::size_t kMinDegenerateEvidence = 10;
+
+/// Runs one action's full dynamic gate (precondition, then execute) against
+/// `u`, mutating it on success exactly as the simulator does.
+bool run_action(Universe& u, const Action& action, AnalysisStats& stats) {
+  ++stats.executions;
+  if (!action.precondition(u)) return false;
+  return action.execute(u);
+}
+
+/// One-line human rendering of a universe state for witnesses.
+std::string state_label(const Universe& u) {
+  std::string out = u.describe();
+  std::replace(out.begin(), out.end(), '\n', ' ');
+  while (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+/// The verdict the engine would use for "a before b": the most-constraining
+/// `order` value over the pair's shared targets (§2.3/§2.4). Returns
+/// nullopt when the actions share no target — `order` is never consulted
+/// for such pairs, so there is nothing to audit.
+std::optional<Constraint> combined_order(const Universe& u, const Action& a,
+                                         const Action& b, LogRelation rel,
+                                         AnalysisStats& stats) {
+  const auto ta = a.targets();
+  const auto tb = b.targets();
+  std::optional<Constraint> result;
+  std::vector<ObjectId> seen;
+  for (ObjectId t : ta) {
+    if (std::find(tb.begin(), tb.end(), t) == tb.end()) continue;
+    if (std::find(seen.begin(), seen.end(), t) != seen.end()) continue;
+    seen.push_back(t);
+    ++stats.order_calls;
+    const Constraint c = u.at(t).order(a, b, rel);
+    result = result ? most_constraining(*result, c) : c;
+  }
+  return result;
+}
+
+/// Reachable-state pool: the initial universe plus `state_samples` states
+/// produced by executing random successful prefixes of sampled actions.
+std::vector<Universe> sample_states(const AuditSubject& subject, Rng& rng,
+                                    const RelationAuditOptions& options,
+                                    AnalysisStats& stats) {
+  std::vector<Universe> states;
+  const Universe initial = subject.make_universe();
+  states.push_back(initial);
+  for (std::size_t i = 0; i < options.state_samples; ++i) {
+    Universe u = initial;
+    const std::size_t len = rng.below(options.max_prefix + 1);
+    for (std::size_t j = 0; j < len; ++j) {
+      const ActionPtr action = subject.sample_action(u, rng);
+      (void)run_action(u, *action, stats);  // failed draws simply don't fire
+    }
+    states.push_back(std::move(u));
+  }
+  stats.states_sampled += states.size();
+  return states;
+}
+
+/// Distinct-tag action pool.
+std::vector<ActionPtr> sample_actions(const AuditSubject& subject,
+                                      const Universe& initial, Rng& rng,
+                                      const RelationAuditOptions& options) {
+  std::vector<ActionPtr> pool;
+  // Draw a bounded multiple of the requested pool size so heavily-colliding
+  // samplers still terminate.
+  const std::size_t draws = options.action_samples * 4;
+  for (std::size_t i = 0; i < draws && pool.size() < options.action_samples;
+       ++i) {
+    ActionPtr candidate = subject.sample_action(initial, rng);
+    const std::string key = candidate->tag().describe();
+    const bool duplicate =
+        std::any_of(pool.begin(), pool.end(), [&key](const ActionPtr& p) {
+          return p->tag().describe() == key;
+        });
+    if (!duplicate) pool.push_back(std::move(candidate));
+  }
+  return pool;
+}
+
+/// Dynamic evidence about one ordered chain [a, b] gathered from the state
+/// pool.
+struct PairEvidence {
+  /// States where `b` succeeded alone and `a` succeeded as chain head.
+  std::size_t runnable = 0;
+  /// Of those, states where a-then-b ran failure-free.
+  std::size_t chain_ok = 0;
+  /// First state witnessing "b alone succeeds, a succeeds, then b fails".
+  std::optional<std::string> broken_chain_state;
+};
+
+PairEvidence probe_pair(const std::vector<Universe>& states, const Action& a,
+                        const Action& b, AnalysisStats& stats) {
+  PairEvidence ev;
+  for (const Universe& s : states) {
+    Universe b_alone = s;
+    if (!run_action(b_alone, b, stats)) continue;
+    Universe chain = s;
+    if (!run_action(chain, a, stats)) continue;
+    ++ev.runnable;
+    if (run_action(chain, b, stats)) {
+      ++ev.chain_ok;
+    } else if (!ev.broken_chain_state) {
+      ev.broken_chain_state = state_label(s);
+    }
+  }
+  return ev;
+}
+
+struct SubjectAuditor {
+  const AuditSubject& subject;
+  const RelationAuditOptions& options;
+  AnalysisReport report;
+  std::map<Constraint, std::uint64_t> verdict_histogram;
+  std::uint64_t verdicts_consulted = 0;
+
+  void emit(Rule rule, std::string message,
+            std::vector<std::string> witness_actions,
+            std::string witness_state = {}) {
+    Diagnostic d;
+    d.rule = rule;
+    d.severity = default_severity(rule);
+    d.pass = kPass;
+    d.subject = subject.name;
+    d.message = std::move(message);
+    d.witness_actions = std::move(witness_actions);
+    d.witness_state = std::move(witness_state);
+    report.diagnostics.push_back(std::move(d));
+  }
+
+  /// Consults the combined verdict, running the determinism and
+  /// state-independence checks on the way (the contract says `order` is a
+  /// pure function of the tags — never of object state).
+  std::optional<Constraint> verdict(const std::vector<Universe>& states,
+                                    const Action& a, const Action& b,
+                                    LogRelation rel) {
+    const auto first = combined_order(states[0], a, b, rel, report.stats);
+    if (!first) return std::nullopt;
+    ++verdicts_consulted;
+    ++verdict_histogram[*first];
+    const char* rel_name =
+        rel == LogRelation::kSameLog ? "same-log" : "across-logs";
+    for (std::size_t r = 1; r < options.determinism_repeats; ++r) {
+      const auto again = combined_order(states[0], a, b, rel, report.stats);
+      if (again != first) {
+        emit(Rule::kNondeterminism,
+             std::string("repeated ") + rel_name +
+                 " order(a, b) calls on identical inputs returned '" +
+                 std::string(to_string(*first)) + "' then '" +
+                 (again ? std::string(to_string(*again)) : "unconsulted") +
+                 "'",
+             {a.tag().describe(), b.tag().describe()});
+        return first;
+      }
+    }
+    // Two spot checks against mutated states catch order methods that peek
+    // at object state instead of tags.
+    for (std::size_t s = 1; s < states.size() && s <= 2; ++s) {
+      const auto elsewhere =
+          combined_order(states[s], a, b, rel, report.stats);
+      if (elsewhere != first) {
+        emit(Rule::kNondeterminism,
+             std::string(rel_name) + " order(a, b) verdict changed with "
+                 "object state ('" + std::string(to_string(*first)) +
+                 "' vs '" +
+                 (elsewhere ? std::string(to_string(*elsewhere))
+                            : "unconsulted") +
+                 "'); order must depend only on tags",
+             {a.tag().describe(), b.tag().describe()},
+             state_label(states[s]));
+        return first;
+      }
+    }
+    return first;
+  }
+
+  /// Audits the ordered direction (a, b). The mutual-unsafe (ASYMMETRY)
+  /// check is symmetric, so the caller enables it for one direction only.
+  void audit_pair(const std::vector<Universe>& states, const Action& a,
+                  const Action& b, bool check_mutual) {
+    ++report.stats.pairs_checked;
+    const auto across = verdict(states, a, b, LogRelation::kAcrossLogs);
+    if (!across) return;  // no shared target: order is never consulted
+
+    // Across-logs probe: does "a immediately followed by b" honour the
+    // static verdict (§2.3: safe ⇒ the chain cannot fail where b alone
+    // would have succeeded)?
+    const PairEvidence forward = probe_pair(states, a, b, report.stats);
+    if (*across == Constraint::kSafe && forward.broken_chain_state) {
+      emit(Rule::kUnsoundSafe,
+           "across-logs safe, but b fails when chained immediately after a "
+           "in a reachable state (b alone succeeds there)",
+           {a.tag().describe(), b.tag().describe()},
+           *forward.broken_chain_state);
+    }
+    if (*across == Constraint::kUnsafe &&
+        forward.runnable >= kMinOverconservativeEvidence &&
+        forward.chain_ok == forward.runnable) {
+      const PairEvidence reverse = probe_pair(states, b, a, report.stats);
+      if (reverse.runnable >= kMinOverconservativeEvidence &&
+          reverse.chain_ok == reverse.runnable) {
+        emit(Rule::kOverconservativeUnsafe,
+             "across-logs unsafe, yet both orders ran failure-free in every "
+             "sampled state (" + std::to_string(forward.runnable) + "/" +
+                 std::to_string(reverse.runnable) +
+                 " forward/reverse probes); the D edge prunes schedules it "
+                 "never needed to",
+             {a.tag().describe(), b.tag().describe()});
+      }
+    }
+
+    // ASYMMETRY: mutual unsafe maps to D edges both ways, excluding every
+    // schedule containing the pair. If a sampled state runs one order
+    // successfully, a dynamically-valid reconciliation is being silently
+    // discarded (§4.4's spurious-conflict class).
+    if (check_mutual && *across == Constraint::kUnsafe) {
+      const auto reverse_verdict = combined_order(
+          states[0], b, a, LogRelation::kAcrossLogs, report.stats);
+      if (reverse_verdict == Constraint::kUnsafe) {
+        const PairEvidence reverse = probe_pair(states, b, a, report.stats);
+        const std::size_t ok = forward.chain_ok + reverse.chain_ok;
+        if (ok > 0) {
+          emit(Rule::kAsymmetry,
+               "mutually unsafe (no schedule may contain both), yet " +
+                   std::to_string(ok) +
+                   " sampled chain(s) ran failure-free; dynamically-valid "
+                   "schedules are statically discarded",
+               {a.tag().describe(), b.tag().describe()});
+        }
+      }
+    }
+
+    // Same-log probe, following the engine's calling convention: order(a, b,
+    // kSameLog) is only ever asked for the *reversing* direction — "the log
+    // holds b before a; may they swap?". Safe claims the swap cannot fail
+    // where the log order succeeded.
+    const auto same = verdict(states, a, b, LogRelation::kSameLog);
+    if (same == Constraint::kSafe) {
+      for (const Universe& s : states) {
+        Universe log_order = s;
+        if (!run_action(log_order, b, report.stats) ||
+            !run_action(log_order, a, report.stats)) {
+          continue;  // the log could not have recorded [b, a] here
+        }
+        Universe swapped = s;
+        if (!run_action(swapped, a, report.stats) ||
+            !run_action(swapped, b, report.stats)) {
+          emit(Rule::kUnsoundSafe,
+               "same-log safe (swap allowed), but the swapped order [a, b] "
+               "fails in a reachable state where the log order [b, a] "
+               "succeeds",
+               {a.tag().describe(), b.tag().describe()}, state_label(s));
+          break;
+        }
+      }
+    }
+  }
+
+  AnalysisReport run() {
+    Rng rng(options.seed);
+    const std::vector<Universe> states =
+        sample_states(subject, rng, options, report.stats);
+    const std::vector<ActionPtr> pool =
+        sample_actions(subject, states[0], rng, options);
+
+    std::size_t pairs = 0;
+    for (std::size_t i = 0; i < pool.size() && pairs < options.max_pairs;
+         ++i) {
+      for (std::size_t j = i + 1;
+           j < pool.size() && pairs < options.max_pairs; ++j) {
+        audit_pair(states, *pool[i], *pool[j], /*check_mutual=*/true);
+        audit_pair(states, *pool[j], *pool[i], /*check_mutual=*/false);
+        pairs += 2;
+      }
+    }
+
+    if (verdicts_consulted >= kMinDegenerateEvidence &&
+        verdict_histogram.size() == 1 &&
+        verdict_histogram.begin()->first == Constraint::kMaybe) {
+      emit(Rule::kMaybeDegenerate,
+           "order() returned 'maybe' for all " +
+               std::to_string(verdicts_consulted) +
+               " consulted verdicts: the type contributes no static "
+               "information to the search (§3.1)",
+           {});
+    }
+    return std::move(report);
+  }
+};
+
+}  // namespace
+
+AnalysisReport audit_subject(const AuditSubject& subject,
+                             const RelationAuditOptions& options) {
+  SubjectAuditor auditor{subject, options, {}, {}, 0};
+  return auditor.run();
+}
+
+AnalysisReport audit_subjects(const std::vector<AuditSubject>& subjects,
+                              const RelationAuditOptions& options) {
+  AnalysisReport merged;
+  for (const AuditSubject& subject : subjects) {
+    merged.merge(audit_subject(subject, options));
+  }
+  return merged;
+}
+
+}  // namespace icecube::analysis

@@ -1,0 +1,70 @@
+// Pass 1 — the relation auditor: proves `order()` honest against the
+// dynamic simulator (ISSUE: §2.3 soundness).
+//
+// For an audit subject (core/audit.hpp) the auditor samples a pool of
+// actions and a pool of *reachable* states (random successful prefixes of
+// sampled actions from the subject's initial universe), then replays both
+// two-action orders of every distinct tag pair through the real
+// precondition/execute machinery and compares the dynamic evidence with the
+// static verdict the engine would use (the most-constraining `order` value
+// over the pair's shared targets — exactly `evaluate_constraint`'s rule):
+//
+//  UNSOUND_SAFE            static safe, but a state exists where `b` alone
+//                          succeeds and `a` immediately followed by `b`
+//                          fails — the promise of §2.3 broken. For same-log
+//                          pairs the probe follows the engine's calling
+//                          convention (the reversing direction): the log
+//                          order [b, a] succeeds but the swap [a, b] fails.
+//  OVERCONSERVATIVE_UNSAFE static unsafe, yet both orders ran failure-free
+//                          in every sampled state that could run them —
+//                          the constraint prunes schedules it never needed
+//                          to (search waste; possibly deliberate intent).
+//  ASYMMETRY               both directions unsafe (the D-mapping then
+//                          excludes every schedule containing the pair)
+//                          while some sampled state runs one order
+//                          successfully — a dynamically-valid
+//                          reconciliation is silently discarded (the §4.4
+//                          "spurious conflict" class).
+//  NONDETERMINISM          repeated calls with identical inputs returned
+//                          different verdicts; every constraint consumer
+//                          assumes `order` is a pure function of the tags.
+//  MAYBE_DEGENERATE        every consulted verdict was `maybe`: the type
+//                          gives the search no static information (§3.1).
+//
+// All sampling is seeded; findings are reproducible from the options.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "core/audit.hpp"
+
+namespace icecube::analysis {
+
+struct RelationAuditOptions {
+  std::uint64_t seed = 0x1cecbe0ULL;
+  /// Reachable states sampled per subject (the initial state is always
+  /// included on top of these).
+  std::size_t state_samples = 24;
+  /// Longest random action prefix executed to reach a sampled state.
+  std::size_t max_prefix = 6;
+  /// Actions drawn for the tag pool (deduplicated by tag).
+  std::size_t action_samples = 32;
+  /// Cap on audited ordered pairs, so pathological pools stay bounded.
+  std::size_t max_pairs = 4000;
+  /// Repeated `order` calls per direction for the determinism check.
+  std::size_t determinism_repeats = 3;
+};
+
+/// Audits one subject; diagnostics carry `pass = "relation_audit"`.
+[[nodiscard]] AnalysisReport audit_subject(
+    const AuditSubject& subject, const RelationAuditOptions& options = {});
+
+/// Audits every subject and merges the reports.
+[[nodiscard]] AnalysisReport audit_subjects(
+    const std::vector<AuditSubject>& subjects,
+    const RelationAuditOptions& options = {});
+
+}  // namespace icecube::analysis

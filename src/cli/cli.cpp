@@ -8,6 +8,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "analysis/graph_lint.hpp"
 #include "core/graphviz.hpp"
 #include "core/reconciler.hpp"
 #include "objects/counter.hpp"
@@ -51,7 +52,8 @@ int usage(std::ostream& err) {
          "all|safe|strict]\n"
          "           [--skip-failed] [--max-schedules N] [--deadline S]\n"
          "           [--threads N] [--save FILE] [--dot]\n"
-         "  icecube show <universe-file|log-file>\n";
+         "  icecube show <universe-file|log-file>\n"
+         "  icecube lint <universe> <log>... [--json]\n";
   return 2;
 }
 
@@ -253,6 +255,69 @@ int cmd_reconcile(const std::vector<std::string>& args, std::ostream& out,
   return 0;
 }
 
+// Runs the graph linter (src/analysis) over a concrete problem instance:
+// decodes the universe and logs exactly as `reconcile` does, builds the
+// constraint graph, and reports D-cycles, redundant D edges, dead actions
+// and degenerate relations. Exit status 1 iff an error-level finding fired.
+int cmd_lint(const std::vector<std::string>& args, std::ostream& out,
+             std::ostream& err) {
+  std::vector<std::string> files;
+  bool json = false;
+  for (const std::string& arg : args) {
+    if (arg == "--json") {
+      json = true;
+    } else if (arg.starts_with("--")) {
+      err << "error: unknown option '" << arg << "'\n";
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.size() < 2) return usage(err);
+
+  const auto universe_text = read_file(files[0], err);
+  if (!universe_text) return 1;
+  const auto universe =
+      decode_universe(*universe_text, ObjectRegistry::with_builtins());
+  if (!universe.ok()) {
+    err << "error: " << files[0] << ": " << universe.error << '\n';
+    return 1;
+  }
+
+  std::vector<Log> logs;
+  const ActionRegistry actions = ActionRegistry::with_builtins();
+  for (std::size_t i = 1; i < files.size(); ++i) {
+    const auto log_text = read_file(files[i], err);
+    if (!log_text) return 1;
+    auto decoded = decode_log(*log_text, actions);
+    if (!decoded.ok()) {
+      err << "error: " << files[i] << ": " << decoded.error << '\n';
+      return 1;
+    }
+    for (const auto& action : *decoded.log) {
+      for (ObjectId target : action->targets()) {
+        if (target.index() >= universe.universe->size()) {
+          err << "error: " << files[i] << ": action '"
+              << action->describe() << "' targets object "
+              << target.value() << ", but the universe has only "
+              << universe.universe->size() << " object(s)\n";
+          return 1;
+        }
+      }
+    }
+    logs.push_back(std::move(*decoded.log));
+  }
+
+  const analysis::AnalysisReport report =
+      analysis::lint_problem(*universe.universe, logs, files[0]);
+  if (json) {
+    out << report.to_json();
+  } else {
+    out << report.render(analysis::Severity::kInfo);
+  }
+  return report.worst_severity() >= analysis::Severity::kError ? 1 : 0;
+}
+
 }  // namespace
 
 int run(const std::vector<std::string>& args, std::ostream& out,
@@ -264,6 +329,7 @@ int run(const std::vector<std::string>& args, std::ostream& out,
     if (command == "demo") return cmd_demo(rest, out, err);
     if (command == "show") return cmd_show(rest, out, err);
     if (command == "reconcile") return cmd_reconcile(rest, out, err);
+    if (command == "lint") return cmd_lint(rest, out, err);
   } catch (const std::exception& e) {
     err << "error: " << e.what() << '\n';
     return 1;

@@ -20,6 +20,11 @@
 //                                         of searching
 //   icecube show <universe-file|log-file>
 //       Pretty-print a serialised universe or log.
+//   icecube lint <universe-file> <log-file>... [--json]
+//       Run the constraint-graph linter (src/analysis) over the problem:
+//       reports dependence cycles (with minimal witnesses), redundant D
+//       edges, dead actions and degenerate relations. Exit 1 iff an
+//       error-level finding fired.
 //
 // The entry point takes explicit streams so tests can drive it without a
 // process boundary; `tools/icecube_tool.cpp` wires it to main().

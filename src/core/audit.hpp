@@ -1,0 +1,37 @@
+// Introspection hook for the constraint soundness auditor (src/analysis).
+//
+// The static constraint relation (§2.3) is only useful if every object
+// type's `order` method is *honest* about the dynamic preconditions it
+// summarises: `safe` promises "a immediately followed by b is likely
+// failure-free" and `unsafe` forces `b D a`. The auditor checks those
+// promises against the real simulator, but it can only do so for types it
+// knows how to instantiate and exercise — which is what an `AuditSubject`
+// provides: a fresh universe holding the type and a deterministic sampler
+// of plausible actions against it.
+//
+// The struct lives in core (below both src/objects and src/jigsaw) so any
+// substrate can describe itself without depending on the analysis library.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/action.hpp"
+#include "core/universe.hpp"
+#include "util/rng.hpp"
+
+namespace icecube {
+
+/// One auditable shared-object type. `make_universe` returns the type's
+/// canonical initial state (the auditor derives further reachable states by
+/// executing sampled action prefixes); `sample_action` draws one action
+/// whose targets are valid in that universe. Both must be deterministic in
+/// the rng draw so audit findings are reproducible from a seed.
+struct AuditSubject {
+  std::string name;
+  std::function<Universe()> make_universe;
+  std::function<ActionPtr(const Universe&, Rng&)> sample_action;
+};
+
+}  // namespace icecube

@@ -1,0 +1,63 @@
+#include "jigsaw/introspect.hpp"
+
+#include <memory>
+#include <string>
+
+#include "jigsaw/actions.hpp"
+
+namespace icecube::jigsaw {
+
+namespace {
+
+std::string case_name(Board::OrderCase c) {
+  switch (c) {
+    case Board::OrderCase::kUnconstrained:
+      return "jigsaw_unconstrained";
+    case Board::OrderCase::kSemantic:
+      return "jigsaw_semantic";
+    case Board::OrderCase::kKeepLogOrder:
+      return "jigsaw_keep_log_order";
+    case Board::OrderCase::kKeepJoinOrder:
+      return "jigsaw_keep_join_order";
+    case Board::OrderCase::kAdjacency:
+      return "jigsaw_adjacency";
+  }
+  return "jigsaw";
+}
+
+}  // namespace
+
+AuditSubject board_audit_subject(Board::OrderCase order_case, int rows,
+                                 int cols) {
+  AuditSubject s;
+  s.name = case_name(order_case);
+  s.make_universe = [rows, cols, order_case] {
+    Universe u;
+    (void)u.add(std::make_unique<Board>(rows, cols, order_case));
+    return u;
+  };
+  // Joins are sampled over arbitrary piece/edge combinations, so the pool
+  // contains both legal connections and physically impossible ones — the
+  // distinction Figure 7's join/join row turns on.
+  const int pieces = rows * cols;
+  s.sample_action = [pieces](const Universe&, Rng& rng) -> ActionPtr {
+    const int p = static_cast<int>(rng.below(static_cast<std::uint64_t>(pieces)));
+    switch (rng.below(3)) {
+      case 0:
+        return std::make_shared<InsertAction>(ObjectId(0), p);
+      case 1:
+        return std::make_shared<RemoveAction>(ObjectId(0), p);
+      default: {
+        int q = static_cast<int>(rng.below(static_cast<std::uint64_t>(pieces)));
+        if (q == p) q = (q + 1) % pieces;
+        const auto ei = static_cast<Edge>(rng.below(4));
+        const auto ej = rng.chance(0.75) ? opposite(ei)
+                                         : static_cast<Edge>(rng.below(4));
+        return std::make_shared<JoinAction>(ObjectId(0), p, ei, q, ej);
+      }
+    }
+  };
+  return s;
+}
+
+}  // namespace icecube::jigsaw

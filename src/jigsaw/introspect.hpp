@@ -1,0 +1,20 @@
+// Audit subject for the jigsaw substrate (see core/audit.hpp).
+//
+// Only the *semantic* order method (Case 1, Figures 7–8) makes honesty
+// claims the auditor can hold it to; Cases 2–4 are policy regimes whose
+// verdicts encode user preference, not dynamic safety, so they are not
+// shipped as audit subjects (auditing Case 4's adjacency preference, for
+// instance, would correctly flag its deliberate "likely safe" heuristic).
+#pragma once
+
+#include "core/audit.hpp"
+#include "jigsaw/board.hpp"
+
+namespace icecube::jigsaw {
+
+/// Subject exercising a rows×cols board under the given order case.
+[[nodiscard]] AuditSubject board_audit_subject(
+    Board::OrderCase order_case = Board::OrderCase::kSemantic, int rows = 2,
+    int cols = 2);
+
+}  // namespace icecube::jigsaw

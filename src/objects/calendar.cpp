@@ -17,8 +17,13 @@ Constraint Calendar::order(const Action& a, const Action& b,
                                       : Constraint::kSafe;
   }
   if (a_cancel && !b_cancel) {
-    // Freeing a slot before a booking can only help the booking.
-    return Constraint::kSafe;
+    // Across logs, freeing a slot before a booking can only help the
+    // booking. Within a log the swap may lift the cancel above the very
+    // request that booked its slot (auditor witness: [request(12..),
+    // cancel(12)] succeeds, the swapped order fails on the empty slot) —
+    // the dynamic check must decide.
+    return rel == LogRelation::kSameLog ? Constraint::kMaybe
+                                        : Constraint::kSafe;
   }
   if (!a_cancel && b_cancel) {
     // Booking first might grab the slot being cancelled — check dynamically.

@@ -13,9 +13,12 @@ Constraint Counter::order(const Action& a, const Action& b,
     if (a_dec && !b_dec) return Constraint::kUnsafe;
     return Constraint::kSafe;
   }
-  // Figure 3 (across logs): increments first; decrement-before-increment is
-  // possible but must clear the dynamic non-negativity check.
-  if (a_dec && !b_dec) return Constraint::kMaybe;
+  // Figure 3 (across logs): increments first; any pair headed by a
+  // decrement must clear the dynamic non-negativity check. That includes
+  // decrement/decrement: each may succeed alone, yet jointly overdraw
+  // (value=5: dec(3) then dec(5) fails where dec(5) alone succeeds), so
+  // `safe`'s §2.3 promise cannot be made for it.
+  if (a_dec) return Constraint::kMaybe;
   return Constraint::kSafe;
 }
 

@@ -1,0 +1,214 @@
+#include "objects/introspect.hpp"
+
+#include <memory>
+#include <string>
+
+#include "objects/calendar.hpp"
+#include "objects/counter.hpp"
+#include "objects/file_system.hpp"
+#include "objects/line_file.hpp"
+#include "objects/rw_register.hpp"
+#include "objects/sysadmin.hpp"
+#include "objects/text.hpp"
+
+namespace icecube {
+
+namespace {
+
+AuditSubject counter_subject() {
+  AuditSubject s;
+  s.name = "counter";
+  s.make_universe = [] {
+    Universe u;
+    (void)u.add(std::make_unique<Counter>(5));
+    return u;
+  };
+  // Amounts 0..6 straddle the initial balance, so sampled prefixes reach
+  // states where a decrement is exactly affordable — the boundary the
+  // non-negativity invariant guards.
+  s.sample_action = [](const Universe&, Rng& rng) -> ActionPtr {
+    const auto amount = static_cast<std::int64_t>(rng.below(7));
+    if (rng.chance(0.5)) {
+      return std::make_shared<IncrementAction>(ObjectId(0), amount);
+    }
+    return std::make_shared<DecrementAction>(ObjectId(0), amount);
+  };
+  return s;
+}
+
+AuditSubject rw_register_subject() {
+  AuditSubject s;
+  s.name = "rw_register";
+  s.make_universe = [] {
+    Universe u;
+    (void)u.add(std::make_unique<RwRegister>(0));
+    return u;
+  };
+  s.sample_action = [](const Universe&, Rng& rng) -> ActionPtr {
+    const auto value = static_cast<std::int64_t>(rng.below(4));
+    if (rng.chance(0.5)) {
+      return std::make_shared<WriteAction>(ObjectId(0), value);
+    }
+    // Half the reads pin the value they expect to observe (the paper's
+    // "more flexibly than a database lock"), half are unconditional.
+    if (rng.chance(0.5)) {
+      return std::make_shared<ReadAction>(ObjectId(0), value);
+    }
+    return std::make_shared<ReadAction>(ObjectId(0));
+  };
+  return s;
+}
+
+AuditSubject calendar_subject() {
+  AuditSubject s;
+  s.name = "calendar";
+  s.make_universe = [] {
+    Universe u;
+    (void)u.add(std::make_unique<Calendar>("alice"));
+    (void)u.add(std::make_unique<Calendar>("bob"));
+    return u;
+  };
+  // A narrow 4-hour day keeps the two calendars contended, so bookings and
+  // cancellations genuinely compete for slots.
+  s.sample_action = [](const Universe&, Rng& rng) -> ActionPtr {
+    const int hour = 9 + static_cast<int>(rng.below(4));
+    if (rng.chance(0.4)) {
+      return std::make_shared<CancelAppointmentAction>(
+          ObjectId(rng.below(2)), hour);
+    }
+    const int latest = hour + static_cast<int>(rng.below(3));
+    return std::make_shared<RequestAppointmentAction>(
+        ObjectId(0), ObjectId(1), hour, latest,
+        "m" + std::to_string(rng.below(4)));
+  };
+  return s;
+}
+
+AuditSubject line_file_subject() {
+  AuditSubject s;
+  s.name = "line_file";
+  s.make_universe = [] {
+    Universe u;
+    (void)u.add(std::make_unique<LineFile>(
+        std::vector<std::string>{"l0", "l1", "l2"}));
+    return u;
+  };
+  // Expected-content values drawn from both the base lines and the
+  // replacement pool: edits chain (expected = an earlier replacement) and
+  // conflict (expected no longer matches) in the sampled states.
+  s.sample_action = [](const Universe&, Rng& rng) -> ActionPtr {
+    static const char* kPool[] = {"l0", "l1", "l2", "x", "y", "z"};
+    const auto line = rng.below(3);
+    const std::string expected = kPool[rng.below(6)];
+    const std::string replacement = kPool[3 + rng.below(3)];
+    return std::make_shared<SetLineAction>(ObjectId(0), line, expected,
+                                           replacement);
+  };
+  return s;
+}
+
+AuditSubject file_system_subject() {
+  AuditSubject s;
+  s.name = "file_system";
+  s.make_universe = [] {
+    Universe u;
+    auto fs = std::make_unique<FileSystem>();
+    (void)fs->mkdir("/a");
+    (void)fs->write("/a/f", "seed");
+    (void)u.add(std::move(fs));
+    return u;
+  };
+  // The path pool nests ("/a" covers "/a/f" and "/a/g"), so sampled pairs
+  // hit every branch of the cover-based order method, including the paper's
+  // write-under-deleted-directory case.
+  s.sample_action = [](const Universe&, Rng& rng) -> ActionPtr {
+    static const char* kPaths[] = {"/a", "/a/f", "/a/g", "/b", "/b/h"};
+    const std::string path = kPaths[rng.below(5)];
+    switch (rng.below(3)) {
+      case 0:
+        return std::make_shared<MkdirAction>(ObjectId(0), path);
+      case 1:
+        return std::make_shared<WriteFileAction>(
+            ObjectId(0), path, "c" + std::to_string(rng.below(3)));
+      default:
+        return std::make_shared<DeleteAction>(ObjectId(0), path);
+    }
+  };
+  return s;
+}
+
+AuditSubject text_subject() {
+  AuditSubject s;
+  s.name = "text";
+  s.make_universe = [] {
+    Universe u;
+    (void)u.add(std::make_unique<TextBuffer>("hello world"));
+    return u;
+  };
+  s.sample_action = [](const Universe&, Rng& rng) -> ActionPtr {
+    const int site = 1 + static_cast<int>(rng.below(2));
+    const std::size_t pos = rng.below(9);
+    if (rng.chance(0.6)) {
+      static const char* kText[] = {"a", "bb", "ccc"};
+      return std::make_shared<InsertTextAction>(ObjectId(0), site, pos,
+                                                kText[rng.below(3)]);
+    }
+    return std::make_shared<DeleteTextAction>(ObjectId(0), site, pos,
+                                              1 + rng.below(3));
+  };
+  return s;
+}
+
+AuditSubject sysadmin_subject() {
+  AuditSubject s;
+  s.name = "sysadmin";
+  s.make_universe = [] {
+    Universe u;
+    (void)u.add(std::make_unique<OsSystem>(4));
+    (void)u.add(std::make_unique<SysBudget>(1000));
+    return u;
+  };
+  // Costs straddle the initial budget (two purchases can jointly overdraw
+  // it) and driver versions straddle the upgrade, mirroring the paper's
+  // motivating example.
+  s.sample_action = [](const Universe&, Rng& rng) -> ActionPtr {
+    switch (rng.below(4)) {
+      case 0: {
+        const int from = 4 + static_cast<int>(rng.below(2));
+        return std::make_shared<UpgradeOsAction>(ObjectId(0), from, from + 1);
+      }
+      case 1: {
+        const int device = 1 + static_cast<int>(rng.below(3));
+        const auto cost = static_cast<std::int64_t>(400 * (1 + rng.below(3)));
+        return std::make_shared<BuyDeviceAction>(ObjectId(0), ObjectId(1),
+                                                 device, cost);
+      }
+      case 2: {
+        const int device = 1 + static_cast<int>(rng.below(3));
+        const int version = 4 + static_cast<int>(rng.below(2));
+        return std::make_shared<InstallDriverAction>(ObjectId(0), device,
+                                                     version);
+      }
+      default:
+        return std::make_shared<FundBudgetAction>(
+            ObjectId(1), static_cast<std::int64_t>(500));
+    }
+  };
+  return s;
+}
+
+}  // namespace
+
+std::vector<AuditSubject> object_audit_subjects() {
+  std::vector<AuditSubject> subjects;
+  subjects.push_back(counter_subject());
+  subjects.push_back(rw_register_subject());
+  subjects.push_back(calendar_subject());
+  subjects.push_back(line_file_subject());
+  subjects.push_back(file_system_subject());
+  subjects.push_back(text_subject());
+  subjects.push_back(sysadmin_subject());
+  return subjects;
+}
+
+}  // namespace icecube

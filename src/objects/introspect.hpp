@@ -1,0 +1,20 @@
+// Audit subjects for the shipped object types (see core/audit.hpp).
+//
+// Each subject pairs a canonical initial universe with a deterministic
+// action sampler whose tag parameters deliberately straddle the type's
+// dynamic constraints (amounts around the counter balance, paths inside and
+// outside deleted subtrees, ...) so the auditor's sampled states actually
+// exercise the failure boundaries the `order` methods summarise.
+#pragma once
+
+#include <vector>
+
+#include "core/audit.hpp"
+
+namespace icecube {
+
+/// Subjects for the object types under src/objects: counter, rw_register,
+/// calendar, line_file, file_system, text and sysadmin (OS + budget).
+[[nodiscard]] std::vector<AuditSubject> object_audit_subjects();
+
+}  // namespace icecube

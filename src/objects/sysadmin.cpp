@@ -60,7 +60,11 @@ Constraint SysBudget::order(const Action& a, const Action& b,
     if (a_spend && !b_spend) return Constraint::kUnsafe;
     return Constraint::kSafe;
   }
-  if (a_spend && !b_spend) return Constraint::kMaybe;
+  // Across logs any spend-headed pair is budget-dependent — including
+  // buy/buy, where two purchases that each fit the balance alone can
+  // jointly overdraw it (balance=1000: buy(800) then buy(400) fails where
+  // buy(400) alone succeeds).
+  if (a_spend) return Constraint::kMaybe;
   return Constraint::kSafe;
 }
 

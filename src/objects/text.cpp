@@ -112,14 +112,20 @@ bool TextBuffer::apply(const TextEdit& edit) {
 
 Constraint TextBuffer::order(const Action& a, const Action& b,
                              LogRelation rel) const {
-  (void)a;
-  (void)b;
   if (rel == LogRelation::kSameLog) {
     // Positions within a log refer to the session's own evolving text;
     // never reorder them.
     return Constraint::kUnsafe;
   }
-  // Transformation makes concurrent edits commute: either order converges.
+  // Transformation makes *concurrent* — different-site — edits commute:
+  // either order converges. Same-site edits are each other's generation
+  // context and are deliberately never transformed against one another (see
+  // apply()), so a cross-log pairing of them gets no such protection: a
+  // delete can shrink the buffer out from under a later same-site edit's
+  // coordinates (auditor witness: "hel world", tdel(2,1,2) then tins(2,8,…)
+  // fails where the insert alone succeeds). Leave those to the dynamic
+  // check.
+  if (a.tag().param(0) == b.tag().param(0)) return Constraint::kMaybe;
   return Constraint::kSafe;
 }
 

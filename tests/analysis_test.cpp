@@ -1,0 +1,345 @@
+// Tests for the constraint soundness auditor (src/analysis).
+//
+// Strategy: feed the auditor deliberately-broken toy types — one whose
+// order() lies `safe` over a real dynamic conflict, one that declares
+// spurious mutual conflicts, one that only ever says `maybe`, one that
+// flickers between verdicts — and assert each audit rule fires with the
+// right witness. Then the other direction: the shipped object types, after
+// this PR's fixes, must produce zero error-level findings (the same gate CI
+// runs through tools/analyze).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+
+#include "analysis/analyzer.hpp"
+#include "analysis/graph_lint.hpp"
+#include "analysis/relation_audit.hpp"
+#include "test_helpers.hpp"
+
+namespace icecube {
+namespace {
+
+using analysis::AnalysisReport;
+using analysis::Rule;
+using analysis::Severity;
+using testing::NopAction;
+using testing::ScriptedObject;
+using testing::make_log;
+
+// ---------------------------------------------------------------------------
+// Toy fixtures.
+
+/// A token pool whose order() always claims `safe` — the canonical
+/// unsound-safe fixture: two takes that each fit the pool alone can jointly
+/// overdraw it, which `safe` promises cannot happen.
+class LyingPool final : public SharedObject {
+ public:
+  explicit LyingPool(std::int64_t tokens) : tokens_(tokens) {}
+
+  [[nodiscard]] std::unique_ptr<SharedObject> clone() const override {
+    return std::make_unique<LyingPool>(*this);
+  }
+  [[nodiscard]] Constraint order(const Action&, const Action&,
+                                 LogRelation) const override {
+    return Constraint::kSafe;
+  }
+  [[nodiscard]] std::string describe() const override {
+    return "pool=" + std::to_string(tokens_);
+  }
+
+  [[nodiscard]] std::int64_t tokens() const { return tokens_; }
+  bool take(std::int64_t n) {
+    if (tokens_ < n) return false;
+    tokens_ -= n;
+    return true;
+  }
+
+ private:
+  std::int64_t tokens_;
+};
+
+class TakeAction final : public SimpleAction {
+ public:
+  TakeAction(ObjectId pool, std::int64_t n)
+      : SimpleAction(Tag("take", {n}), {pool}), pool_(pool), n_(n) {}
+
+  [[nodiscard]] bool precondition(const Universe& u) const override {
+    return u.as<LyingPool>(pool_).tokens() >= n_;
+  }
+  bool execute(Universe& u) const override {
+    return u.as<LyingPool>(pool_).take(n_);
+  }
+
+ private:
+  ObjectId pool_;
+  std::int64_t n_;
+};
+
+/// Audit subject around a ScriptedObject with always-succeeding actions:
+/// the dynamic layer is totally permissive, so whatever the scripted
+/// order() claims is judged purely on its own merits.
+AuditSubject scripted_subject(std::string name, ScriptedObject::OrderFn fn) {
+  AuditSubject s;
+  s.name = std::move(name);
+  s.make_universe = [fn] {
+    Universe u;
+    (void)u.add(std::make_unique<ScriptedObject>(fn));
+    return u;
+  };
+  s.sample_action = [](const Universe&, Rng& rng) -> ActionPtr {
+    return std::make_shared<NopAction>("nop" + std::to_string(rng.below(8)),
+                                       std::vector<ObjectId>{ObjectId(0)});
+  };
+  return s;
+}
+
+bool has_rule(const AnalysisReport& report, Rule rule) {
+  return std::any_of(
+      report.diagnostics.begin(), report.diagnostics.end(),
+      [rule](const analysis::Diagnostic& d) { return d.rule == rule; });
+}
+
+const analysis::Diagnostic& first_with_rule(const AnalysisReport& report,
+                                            Rule rule) {
+  for (const auto& d : report.diagnostics) {
+    if (d.rule == rule) return d;
+  }
+  ADD_FAILURE() << "no diagnostic with rule " << analysis::to_string(rule);
+  static const analysis::Diagnostic kEmpty{};
+  return kEmpty;
+}
+
+// ---------------------------------------------------------------------------
+// Relation auditor: each rule fires on its fixture, with the right witness.
+
+TEST(RelationAudit, UnsoundSafeFiresOnLyingPool) {
+  AuditSubject s;
+  s.name = "lying_pool";
+  s.make_universe = [] {
+    Universe u;
+    (void)u.add(std::make_unique<LyingPool>(5));
+    return u;
+  };
+  s.sample_action = [](const Universe&, Rng& rng) -> ActionPtr {
+    return std::make_shared<TakeAction>(
+        ObjectId(0), static_cast<std::int64_t>(1 + rng.below(5)));
+  };
+
+  const AnalysisReport report = analysis::audit_subject(s);
+  ASSERT_TRUE(has_rule(report, Rule::kUnsoundSafe)) << report.render(
+      Severity::kInfo);
+  const auto& d = first_with_rule(report, Rule::kUnsoundSafe);
+  EXPECT_EQ(d.severity, Severity::kError);
+  EXPECT_EQ(d.pass, "relation_audit");
+  EXPECT_EQ(d.subject, "lying_pool");
+  // The witness is a pair of takes plus the state they jointly overdraw.
+  ASSERT_EQ(d.witness_actions.size(), 2u);
+  EXPECT_TRUE(d.witness_actions[0].starts_with("take("));
+  EXPECT_TRUE(d.witness_actions[1].starts_with("take("));
+  EXPECT_FALSE(d.witness_state.empty());
+  EXPECT_EQ(report.worst_severity(), Severity::kError);
+}
+
+TEST(RelationAudit, AsymmetryFiresOnSpuriousMutualConflict) {
+  // Everything mutually unsafe, yet every action always succeeds: the
+  // §4.4 spurious-conflict class.
+  const AnalysisReport report = analysis::audit_subject(scripted_subject(
+      "always_unsafe",
+      [](const Action&, const Action&, LogRelation) {
+        return Constraint::kUnsafe;
+      }));
+  ASSERT_TRUE(has_rule(report, Rule::kAsymmetry)) << report.render(
+      Severity::kInfo);
+  const auto& d = first_with_rule(report, Rule::kAsymmetry);
+  EXPECT_EQ(d.severity, Severity::kWarning);
+  EXPECT_EQ(d.witness_actions.size(), 2u);
+  // Spurious conflicts also read as overconservative, but never as unsound.
+  EXPECT_TRUE(has_rule(report, Rule::kOverconservativeUnsafe));
+  EXPECT_FALSE(has_rule(report, Rule::kUnsoundSafe));
+  EXPECT_EQ(report.worst_severity(), Severity::kWarning);
+}
+
+TEST(RelationAudit, MaybeDegenerateFiresOnAllMaybe) {
+  const AnalysisReport report = analysis::audit_subject(scripted_subject(
+      "all_maybe", [](const Action&, const Action&, LogRelation) {
+        return Constraint::kMaybe;
+      }));
+  ASSERT_TRUE(has_rule(report, Rule::kMaybeDegenerate)) << report.render(
+      Severity::kInfo);
+  EXPECT_EQ(first_with_rule(report, Rule::kMaybeDegenerate).severity,
+            Severity::kWarning);
+  // `maybe` makes no static promise, so nothing else can fire.
+  EXPECT_EQ(report.diagnostics.size(), 1u);
+}
+
+TEST(RelationAudit, NondeterminismFiresOnFlickeringOrder) {
+  // Mutable call counter smuggled in via shared state: identical inputs,
+  // alternating verdicts.
+  auto counter = std::make_shared<int>(0);
+  const AnalysisReport report = analysis::audit_subject(scripted_subject(
+      "flicker",
+      [counter](const Action&, const Action&, LogRelation) {
+        return (++*counter % 2 == 0) ? Constraint::kSafe : Constraint::kMaybe;
+      }));
+  ASSERT_TRUE(has_rule(report, Rule::kNondeterminism)) << report.render(
+      Severity::kInfo);
+  const auto& d = first_with_rule(report, Rule::kNondeterminism);
+  EXPECT_EQ(d.severity, Severity::kError);
+  EXPECT_EQ(d.witness_actions.size(), 2u);
+}
+
+TEST(RelationAudit, CleanTypeProducesNoFindings) {
+  // An honest relation over always-succeeding actions: `maybe` everywhere
+  // would be degenerate, so script the true verdict — everything commutes.
+  const AnalysisReport report = analysis::audit_subject(scripted_subject(
+      "all_safe", [](const Action&, const Action&, LogRelation) {
+        return Constraint::kSafe;
+      }));
+  EXPECT_TRUE(report.diagnostics.empty()) << report.render(Severity::kInfo);
+  EXPECT_GT(report.stats.pairs_checked, 0u);
+  EXPECT_GT(report.stats.executions, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Graph linter.
+
+TEST(GraphLint, DCycleFiresWithMinimalWitness) {
+  // constraint(a, b) = unsafe means b must precede a; scripting everything
+  // unsafe makes every pair mutually dependent — one SCC, minimal cycle 2.
+  const AnalysisReport report = analysis::lint_subject(scripted_subject(
+      "all_unsafe", [](const Action&, const Action&, LogRelation) {
+        return Constraint::kUnsafe;
+      }));
+  ASSERT_TRUE(has_rule(report, Rule::kDCycle)) << report.render(
+      Severity::kInfo);
+  const auto& d = first_with_rule(report, Rule::kDCycle);
+  EXPECT_EQ(d.pass, "graph_lint");
+  EXPECT_EQ(d.witness_actions.size(), 2u);  // minimal cycle through the SCC
+}
+
+TEST(GraphLint, RedundantDEdgeFiresOnTransitiveChain) {
+  // Want raw D edges 1→2, 2→3 and the redundant 1→3. Edge x→y ("x must
+  // precede y") comes from constraint(y, x) = unsafe.
+  Universe u;
+  const ObjectId obj = u.add(std::make_unique<ScriptedObject>(
+      [](const Action& a, const Action& b, LogRelation) {
+        const std::string& pa = a.tag().op;
+        const std::string& pb = b.tag().op;
+        const bool unsafe = (pa == "n2" && pb == "n1") ||
+                            (pa == "n3" && pb == "n2") ||
+                            (pa == "n3" && pb == "n1");
+        return unsafe ? Constraint::kUnsafe : Constraint::kMaybe;
+      }));
+  std::vector<Log> logs;
+  logs.push_back(make_log("l1", {std::make_shared<NopAction>(
+                                    "n1", std::vector<ObjectId>{obj})}));
+  logs.push_back(make_log("l2", {std::make_shared<NopAction>(
+                                    "n2", std::vector<ObjectId>{obj})}));
+  logs.push_back(make_log("l3", {std::make_shared<NopAction>(
+                                    "n3", std::vector<ObjectId>{obj})}));
+
+  const AnalysisReport report = analysis::lint_problem(u, logs, "chain");
+  ASSERT_TRUE(has_rule(report, Rule::kRedundantDEdge)) << report.render(
+      Severity::kInfo);
+  const auto& d = first_with_rule(report, Rule::kRedundantDEdge);
+  EXPECT_EQ(d.severity, Severity::kInfo);
+  // Witness: the redundant edge (n1 → n3) and the third action proving it.
+  ASSERT_EQ(d.witness_actions.size(), 3u);
+  EXPECT_EQ(d.witness_actions[0], "n1()");
+  EXPECT_EQ(d.witness_actions[1], "n3()");
+  EXPECT_EQ(d.witness_actions[2], "n2()");
+  EXPECT_FALSE(has_rule(report, Rule::kDCycle));
+}
+
+TEST(GraphLint, DeadActionFiresOnUnsatisfiablePrecondition) {
+  // A take larger than the pool can ever hold (no action adds tokens).
+  Universe u;
+  const ObjectId pool = u.add(std::make_unique<LyingPool>(5));
+  std::vector<Log> logs;
+  logs.push_back(
+      make_log("l1", {std::make_shared<TakeAction>(pool, 2),
+                      std::make_shared<TakeAction>(pool, 100)}));
+
+  const AnalysisReport report = analysis::lint_problem(u, logs, "dead");
+  ASSERT_TRUE(has_rule(report, Rule::kDeadAction)) << report.render(
+      Severity::kInfo);
+  const auto& d = first_with_rule(report, Rule::kDeadAction);
+  ASSERT_EQ(d.witness_actions.size(), 1u);
+  EXPECT_EQ(d.witness_actions[0], "take(100)");
+}
+
+TEST(GraphLint, MaybeDegenerateFiresOnInformationFreeGraph) {
+  const AnalysisReport report = analysis::lint_subject(scripted_subject(
+      "all_maybe", [](const Action&, const Action&, LogRelation) {
+        return Constraint::kMaybe;
+      }));
+  ASSERT_TRUE(has_rule(report, Rule::kMaybeDegenerate)) << report.render(
+      Severity::kInfo);
+}
+
+// ---------------------------------------------------------------------------
+// Reporting plumbing.
+
+TEST(Diagnostics, SeverityAccounting) {
+  const AnalysisReport report = analysis::audit_subject(scripted_subject(
+      "always_unsafe", [](const Action&, const Action&, LogRelation) {
+        return Constraint::kUnsafe;
+      }));
+  ASSERT_FALSE(report.diagnostics.empty());
+  EXPECT_EQ(report.count_at_least(Severity::kError), 0u);
+  EXPECT_GT(report.count_at_least(Severity::kWarning), 0u);
+  EXPECT_EQ(report.count_at_least(Severity::kInfo),
+            report.diagnostics.size());
+  // The text report honours the threshold.
+  EXPECT_EQ(report.render(Severity::kError).find("ASYMMETRY"),
+            std::string::npos);
+  EXPECT_NE(report.render(Severity::kWarning).find("ASYMMETRY"),
+            std::string::npos);
+}
+
+TEST(Diagnostics, JsonReportCarriesFindingsAndStats) {
+  const AnalysisReport report = analysis::audit_subject(scripted_subject(
+      "all_maybe", [](const Action&, const Action&, LogRelation) {
+        return Constraint::kMaybe;
+      }));
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"findings\""), std::string::npos);
+  EXPECT_NE(json.find("\"MAYBE_DEGENERATE\""), std::string::npos);
+  EXPECT_NE(json.find("\"stats\""), std::string::npos);
+  EXPECT_NE(json.find("\"pairs_checked\""), std::string::npos);
+}
+
+TEST(Diagnostics, JsonEscapesControlCharacters) {
+  EXPECT_EQ(analysis::json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(analysis::json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+// ---------------------------------------------------------------------------
+// The gate: shipped types are clean at error level.
+
+TEST(ShippedTypes, AuditorFindsNoErrorLevelFindings) {
+  const AnalysisReport report = analysis::analyze_shipped();
+  EXPECT_EQ(report.count_at_least(Severity::kError), 0u)
+      << report.render(Severity::kError);
+  // Every shipped subject was actually exercised.
+  EXPECT_GT(report.stats.pairs_checked, 1000u);
+  EXPECT_GT(report.stats.executions, 10000u);
+}
+
+TEST(ShippedTypes, SubjectRosterIsComplete) {
+  const auto subjects = analysis::shipped_audit_subjects();
+  std::vector<std::string> names;
+  names.reserve(subjects.size());
+  for (const auto& s : subjects) names.push_back(s.name);
+  for (const char* expected :
+       {"counter", "rw_register", "calendar", "line_file", "file_system",
+        "text", "sysadmin", "jigsaw_semantic"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << "missing audit subject: " << expected;
+  }
+}
+
+}  // namespace
+}  // namespace icecube

@@ -70,6 +70,31 @@ TEST(CalendarOrder, CancelBeforeRequestIsSafe) {
             Constraint::kMaybe);
 }
 
+// Regression for the witness the constraint soundness auditor found
+// (UNSOUND_SAFE, same-log): a log recording [request, cancel] may have
+// cancelled the very slot the request booked — the swapped order
+// [cancel, request] then fails on the empty slot, so the same-log swap must
+// not claim `safe`.
+TEST(CalendarOrder, CancelBeforeRequestWithinLogIsNotSafe) {
+  Universe u;
+  const ObjectId a = u.add(std::make_unique<Calendar>("A"));
+  const ObjectId b = u.add(std::make_unique<Calendar>("B"));
+  const auto& cal = u.as<Calendar>(a);
+  const RequestAppointmentAction req(a, b, 9, 9, "AB");
+  const CancelAppointmentAction cancel(a, 9);
+  // The log order [request, cancel] succeeds from the empty calendars...
+  Universe log_order = u;
+  ASSERT_TRUE(req.precondition(log_order));
+  ASSERT_TRUE(req.execute(log_order));
+  ASSERT_TRUE(cancel.precondition(log_order));
+  ASSERT_TRUE(cancel.execute(log_order));
+  // ...but the swapped order fails immediately.
+  Universe swapped = u;
+  EXPECT_FALSE(cancel.precondition(swapped));
+  EXPECT_EQ(cal.order(cancel, req, LogRelation::kSameLog),
+            Constraint::kMaybe);
+}
+
 TEST(CalendarOrder, ConcurrentRequestsAreMaybe) {
   Universe u;
   const ObjectId a = u.add(std::make_unique<Calendar>("A"));

@@ -154,9 +154,12 @@ INSTANTIATE_TEST_SUITE_P(
         // a decrement may precede an increment modulo the dynamic check
         CounterOrderCase{"dec", "inc", LogRelation::kAcrossLogs,
                          Constraint::kMaybe},
-        // "decrements commute ... subject to the dynamic constraint"
+        // "decrements commute ... subject to the dynamic constraint" — the
+        // dynamic check means `maybe`, not `safe`: two decrements that each
+        // fit the balance alone can jointly overdraw it (see
+        // DecDecAcrossLogsIsNotSafe below for the witness the auditor found)
         CounterOrderCase{"dec", "dec", LogRelation::kAcrossLogs,
-                         Constraint::kSafe}));
+                         Constraint::kMaybe}));
 
 INSTANTIATE_TEST_SUITE_P(
     Figure5WithinLog, CounterOrderTest,
@@ -170,6 +173,25 @@ INSTANTIATE_TEST_SUITE_P(
                          Constraint::kUnsafe},
         CounterOrderCase{"dec", "dec", LogRelation::kSameLog,
                          Constraint::kSafe}));
+
+// Regression for the witness the constraint soundness auditor found
+// (UNSOUND_SAFE): decrements that each fit the value alone can jointly
+// overdraw it, so dec/dec across logs must not claim `safe`. Witness:
+// value=5 — dec(5) alone succeeds, but dec(3) immediately followed by
+// dec(5) fails.
+TEST(Counter, DecDecAcrossLogsIsNotSafe) {
+  Universe u;
+  const ObjectId c = u.add(std::make_unique<Counter>(5));
+  const DecrementAction a(c, 3);
+  const DecrementAction b(c, 5);
+  EXPECT_TRUE(b.precondition(u));  // b alone succeeds from the witness state
+  Universe chain = u;
+  ASSERT_TRUE(a.precondition(chain));
+  ASSERT_TRUE(a.execute(chain));
+  EXPECT_FALSE(b.precondition(chain));  // the chain a-then-b fails
+  EXPECT_EQ(u.as<Counter>(c).order(a, b, LogRelation::kAcrossLogs),
+            Constraint::kMaybe);
+}
 
 TEST(Counter, CloneIsDeep) {
   Counter c(4);

@@ -94,6 +94,26 @@ TEST(SysAdminOrder, BudgetOrdersFundingBeforeSpending) {
   EXPECT_EQ(budget.order(fund, buy, LogRelation::kSameLog), Constraint::kSafe);
 }
 
+// Regression for the witness the constraint soundness auditor found
+// (UNSOUND_SAFE): two purchases that each fit the balance alone can jointly
+// overdraw it, so buy/buy across logs must not claim `safe`. Witness:
+// balance=1000 — buy(400) alone succeeds, but buy(800) immediately followed
+// by buy(400) fails.
+TEST(SysAdminOrder, BuyBuyAcrossLogsIsNotSafe) {
+  Universe u;
+  const ObjectId os_id = u.add(std::make_unique<OsSystem>(4));
+  const ObjectId budget_id = u.add(std::make_unique<SysBudget>(1000));
+  const BuyDeviceAction a(os_id, budget_id, 1, 800);
+  const BuyDeviceAction b(os_id, budget_id, 2, 400);
+  EXPECT_TRUE(b.precondition(u));  // b alone succeeds from the witness state
+  Universe chain = u;
+  ASSERT_TRUE(a.precondition(chain));
+  ASSERT_TRUE(a.execute(chain));
+  EXPECT_FALSE(b.precondition(chain));  // the chain a-then-b fails
+  EXPECT_EQ(u.as<SysBudget>(budget_id).order(a, b, LogRelation::kAcrossLogs),
+            Constraint::kMaybe);
+}
+
 // ---------------------------------------------------------------------------
 // The full motivating example.
 

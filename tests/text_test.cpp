@@ -213,6 +213,32 @@ TEST(TextReconcile, CrossLogEditsAreIndependent) {
   EXPECT_TRUE(r.relations().independent(ActionId(1), ActionId(0)));
 }
 
+// Regression for the witness the constraint soundness auditor found
+// (UNSOUND_SAFE): the OT commutation argument only covers *concurrent* —
+// different-site — edits; same-site edits are never transformed against
+// each other (they are each other's generation context), so pairing them
+// across logs must not claim `safe`. Witness: "hel world" — the insert at
+// position 8 succeeds alone, but fails after a same-site delete shrinks the
+// buffer beneath its coordinates.
+TEST(TextOrder, SameSiteEditsAcrossLogsAreNotSafe) {
+  Universe u;
+  const ObjectId buf = u.add(std::make_unique<TextBuffer>("hel world"));
+  const DeleteTextAction a(buf, 2, 1, 2);
+  const InsertTextAction b(buf, 2, 8, "bb");
+  Universe alone = u;
+  EXPECT_TRUE(b.execute(alone));  // b alone succeeds from the witness state
+  Universe chain = u;
+  ASSERT_TRUE(a.execute(chain));
+  EXPECT_FALSE(b.execute(chain));  // the chain a-then-b fails
+  EXPECT_EQ(u.as<TextBuffer>(buf).order(a, b, LogRelation::kAcrossLogs),
+            Constraint::kMaybe);
+  // Different sites keep the transformed guarantee.
+  const InsertTextAction other_site(buf, 1, 8, "bb");
+  EXPECT_EQ(
+      u.as<TextBuffer>(buf).order(a, other_site, LogRelation::kAcrossLogs),
+      Constraint::kSafe);
+}
+
 TEST(TextReconcile, BothChainOrdersYieldSameTextOnDisjointRegions) {
   // When the two sessions edit disjoint regions, whole-log chains commute
   // exactly; verify on the reconciler outcomes. (Overlapping-region chains

@@ -1,0 +1,129 @@
+// Standalone driver for the constraint soundness auditor (src/analysis).
+//
+// Runs the relation auditor and the graph linter over every shipped object
+// type (or a name-filtered subset), prints the findings, optionally writes
+// the JSON report, and gates via the exit status. CI runs
+// `analyze --json - --fail-on error` as the soundness gate.
+//
+//   analyze [--type NAME] [--seed N] [--json FILE|-]
+//           [--min-severity info|warning|error] [--fail-on error|warning|never]
+//           [--list]
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.hpp"
+
+namespace {
+
+int usage(std::ostream& err) {
+  err << "usage: analyze [options]\n"
+         "  --type NAME            only subjects whose name contains NAME\n"
+         "  --seed N               sampling seed (default 0x1cecbe0)\n"
+         "  --json FILE|-          write the JSON report to FILE ('-' = "
+         "stdout)\n"
+         "  --min-severity LEVEL   text report threshold: info|warning|error"
+         " (default info)\n"
+         "  --fail-on LEVEL        exit non-zero on findings at or above "
+         "LEVEL: error|warning|never (default error)\n"
+         "  --list                 print the shipped subject names and exit\n";
+  return 2;
+}
+
+bool parse_severity(const std::string& text,
+                    icecube::analysis::Severity* severity) {
+  using icecube::analysis::Severity;
+  if (text == "info") {
+    *severity = Severity::kInfo;
+  } else if (text == "warning") {
+    *severity = Severity::kWarning;
+  } else if (text == "error") {
+    *severity = Severity::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using icecube::analysis::Severity;
+
+  std::string type_filter;
+  std::string json_path;
+  Severity min_severity = Severity::kInfo;
+  Severity fail_on = Severity::kError;
+  bool fail_never = false;
+  bool list_only = false;
+  icecube::analysis::AnalyzerOptions options;
+
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--type") {
+      if (++i >= args.size()) return usage(std::cerr);
+      type_filter = args[i];
+    } else if (arg == "--seed") {
+      if (++i >= args.size()) return usage(std::cerr);
+      char* end = nullptr;
+      const unsigned long long seed = std::strtoull(args[i].c_str(), &end, 0);
+      if (end == nullptr || *end != '\0') {
+        std::cerr << "error: --seed expects a number, got '" << args[i]
+                  << "'\n";
+        return 2;
+      }
+      options.set_seed(static_cast<std::uint64_t>(seed));
+    } else if (arg == "--json") {
+      if (++i >= args.size()) return usage(std::cerr);
+      json_path = args[i];
+    } else if (arg == "--min-severity") {
+      if (++i >= args.size() || !parse_severity(args[i], &min_severity)) {
+        return usage(std::cerr);
+      }
+    } else if (arg == "--fail-on") {
+      if (++i >= args.size()) return usage(std::cerr);
+      if (args[i] == "never") {
+        fail_never = true;
+      } else if (!parse_severity(args[i], &fail_on)) {
+        return usage(std::cerr);
+      }
+    } else if (arg == "--list") {
+      list_only = true;
+    } else {
+      std::cerr << "error: unknown option '" << arg << "'\n";
+      return usage(std::cerr);
+    }
+  }
+
+  if (list_only) {
+    for (const auto& subject : icecube::analysis::shipped_audit_subjects()) {
+      std::cout << subject.name << '\n';
+    }
+    return 0;
+  }
+
+  const icecube::analysis::AnalysisReport report =
+      icecube::analysis::analyze_shipped(options, type_filter);
+
+  if (json_path == "-") {
+    std::cout << report.to_json();
+  } else {
+    std::cout << report.render(min_severity);
+    if (!json_path.empty()) {
+      std::ofstream out(json_path, std::ios::binary);
+      if (!out) {
+        std::cerr << "error: cannot write '" << json_path << "'\n";
+        return 1;
+      }
+      out << report.to_json();
+      std::cout << "JSON report written to " << json_path << '\n';
+    }
+  }
+
+  if (!fail_never && report.count_at_least(fail_on) > 0) return 1;
+  return 0;
+}

@@ -28,6 +28,14 @@ run bench_parallel
 run bench_scaling
 run bench_state
 run bench_chaos
+run bench_analysis
+
+# The soundness auditor's full report rides along with the bench artifacts:
+# ANALYSIS_REPORT.json is the machine-readable record of every finding the
+# static passes raised against the shipped types (error-level ones fail here).
+echo "== analyze =="
+"$ROOT_DIR/$BUILD_DIR/tools/analyze" --json "$ROOT_DIR/ANALYSIS_REPORT.json"
+echo
 
 echo "wrote:"
-ls -l "$ROOT_DIR"/BENCH_*.json
+ls -l "$ROOT_DIR"/BENCH_*.json "$ROOT_DIR"/ANALYSIS_REPORT.json
