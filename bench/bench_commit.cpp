@@ -1,0 +1,124 @@
+// M5: decentralised commitment — agreement latency vs. site count and
+// fault rate.
+//
+// Measures, for growing cluster sizes, how long the election-based
+// commitment protocol (replica/commit.hpp) takes to make the whole
+// workload *irrevocable* everywhere on the simulated network: simulated
+// time to full stability, elections decided, rebases performed, and
+// wall-clock per run. Every run executes both invariant suites (gossip +
+// commitment); a violation or non-convergence fails the bench loudly.
+//
+// JsonSink schema note: the sink's fixed record is
+// (workload, n_actions, threads, wall_seconds, schedules_explored); this
+// bench maps cluster size into `threads` and simulated time-to-stability
+// into `schedules_explored` — the closest "work performed" analogue.
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_common.hpp"
+#include "simnet/chaos.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace icecube;
+
+struct Scenario {
+  const char* name;
+  double lose;
+  double duplicate;
+  double partition;
+  double site_down;
+  double drop_vote;
+  std::size_t fault_horizon;
+};
+
+// Kept milder than bench_chaos's hostile cell: the commitment layer has
+// to finish *elections* after the faults stop, and the point here is the
+// latency trend across cluster sizes, not survival (the chaos tests and
+// the CI seed sweep cover survival at full hostility).
+//
+// The fault horizon doubles as the convergence floor (stability is only
+// evaluated once faults stop), so the clean scenario uses horizon 0 —
+// its stable_t is the protocol's raw agreement latency — while the
+// faulty scenarios report recovery latency after a 150-tick fault
+// window.
+constexpr Scenario kScenarios[] = {
+    {"clean", 0.0, 0.0, 0.0, 0.0, 0.0, 0},
+    {"lossy", 0.08, 0.04, 0.0, 0.0, 0.05, 150},
+    {"hostile", 0.05, 0.03, 0.02, 0.02, 0.05, 150},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::JsonSink json(argc, argv);
+
+  std::printf("%-10s %6s %6s %8s %9s %9s %8s %8s %9s\n", "scenario",
+              "sites", "seeds", "stable_t", "decisions", "runoffs",
+              "rebases", "steps", "wall(s)");
+
+  for (const Scenario& scenario : kScenarios) {
+    for (const std::size_t sites : {3u, 9u, 27u, 81u}) {
+      // Larger clusters get fewer seeds, a lighter workload, a wider
+      // gossip interval, and a bigger event budget: commitment frames
+      // carry every proposal's full history, so per-frame cost grows
+      // roughly with sites * history and the 81-site cells would
+      // otherwise dominate the bench's wall-clock.
+      const std::size_t seeds_per_cell = sites <= 9 ? 3 : sites <= 27 ? 2 : 1;
+      ChaosSpec spec;
+      spec.sites = sites;
+      spec.actions_per_site = sites <= 9 ? 3 : sites <= 27 ? 2 : 1;
+      spec.gossip_interval = sites >= 81 ? 8 : 4;
+      spec.fault_horizon = scenario.fault_horizon;
+      spec.step_budget = 100000 + sites * 4000;
+      spec.faults.lose = scenario.lose;
+      spec.faults.duplicate = scenario.duplicate;
+      spec.faults.partition = scenario.partition;
+      spec.faults.site_down = scenario.site_down;
+      spec.faults.drop_vote = scenario.drop_vote;
+      spec.faults.delay_max = 3;
+      spec.faults.reorder = scenario.lose > 0 ? 0.05 : 0.0;
+      spec.deep_replay = false;  // measured runs: protocol cost only
+      spec.keep_trace = false;
+
+      std::size_t total_stable_t = 0;
+      std::size_t total_steps = 0;
+      std::size_t total_decisions = 0;
+      std::size_t total_runoffs = 0;
+      std::size_t total_rebases = 0;
+      Stopwatch timer;
+      for (std::size_t s = 0; s < seeds_per_cell; ++s) {
+        spec.seed = 2000 + s;
+        const ChaosReport report = run_chaos(spec);
+        if (!report.ok()) {
+          std::fprintf(stderr,
+                       "FATAL: scenario %s sites=%zu seed %llu failed "
+                       "(converged=%d, %zu violations)\n",
+                       scenario.name, sites,
+                       static_cast<unsigned long long>(report.seed),
+                       report.converged ? 1 : 0, report.violations.size());
+          return 1;
+        }
+        total_stable_t += report.converged_at;
+        total_steps += report.steps;
+        total_decisions += report.commit_totals.decisions;
+        total_runoffs += report.commit_totals.runoff_votes;
+        total_rebases += report.commit_totals.rebases;
+      }
+      const double wall = timer.seconds();
+
+      std::printf("%-10s %6zu %6zu %8zu %9zu %9zu %8zu %8zu %9.3f\n",
+                  scenario.name, sites, seeds_per_cell,
+                  total_stable_t / seeds_per_cell,
+                  total_decisions / seeds_per_cell,
+                  total_runoffs / seeds_per_cell,
+                  total_rebases / seeds_per_cell,
+                  total_steps / seeds_per_cell, wall);
+      json.record(std::string("commit/") + scenario.name,
+                  sites * spec.actions_per_site, sites, wall,
+                  total_stable_t / seeds_per_cell);
+    }
+  }
+  return 0;
+}

@@ -101,6 +101,24 @@ bool FaultPlan::link_cut(std::string_view a, std::string_view b,
   return true;
 }
 
+bool FaultPlan::vote_dropped(std::string_view site, std::size_t time) {
+  if (!roll(spec_.drop_vote, FaultPoint::kDropVote, site, time, 12)) {
+    return false;
+  }
+  injected_.push_back(
+      {FaultPoint::kDropVote, "drop", std::string(site), time});
+  return true;
+}
+
+bool FaultPlan::vote_stale(std::string_view site, std::size_t time) {
+  if (!roll(spec_.stale_vote, FaultPoint::kStaleVote, site, time, 13)) {
+    return false;
+  }
+  injected_.push_back(
+      {FaultPoint::kStaleVote, "stale", std::string(site), time});
+  return true;
+}
+
 std::string FaultPlan::ship(FaultPoint point, std::string_view subject,
                             std::size_t round, std::string payload) {
   if (payload.empty()) return payload;

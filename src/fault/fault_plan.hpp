@@ -31,6 +31,9 @@ enum class FaultPoint : std::uint8_t {
   kShipUniverse,  ///< state-transfer payload in transit
   kDelivery,      ///< payload delivery (loss, not damage)
   kSiteCrash,     ///< site unavailable for the round
+  kShipCommit,    ///< commitment frame in transit
+  kDropVote,      ///< commitment frame withheld by the sender
+  kStaleVote,     ///< sender announces outdated commitment knowledge
 };
 
 [[nodiscard]] constexpr std::string_view to_string(FaultPoint point) {
@@ -43,6 +46,12 @@ enum class FaultPoint : std::uint8_t {
       return "delivery";
     case FaultPoint::kSiteCrash:
       return "site-crash";
+    case FaultPoint::kShipCommit:
+      return "ship-commit";
+    case FaultPoint::kDropVote:
+      return "drop-vote";
+    case FaultPoint::kStaleVote:
+      return "stale-vote";
   }
   return "?";
 }
@@ -69,6 +78,13 @@ struct FaultSpec {
   double duplicate = 0.0;
   /// P(a given undirected link is cut for a given partition window).
   double partition = 0.0;
+
+  // --- commitment-protocol knobs (used by the commit engine) ---
+  /// P(a site withholds its commitment frame for a given send slot).
+  double drop_vote = 0.0;
+  /// P(a site announces stale knowledge — its frame omits the records of
+  /// the election currently in progress, as a lagging replica would).
+  double stale_vote = 0.0;
 };
 
 /// One fault the plan actually injected, for test introspection.
@@ -120,6 +136,14 @@ class FaultPlan {
   /// should memoise per (link, window): every `true` call records.
   [[nodiscard]] bool link_cut(std::string_view a, std::string_view b,
                               std::size_t window);
+
+  /// True iff `site` withholds its commitment frame at `time`
+  /// ("drop-vote").
+  [[nodiscard]] bool vote_dropped(std::string_view site, std::size_t time);
+
+  /// True iff `site` should announce stale commitment knowledge at `time`
+  /// ("stale-vote").
+  [[nodiscard]] bool vote_stale(std::string_view site, std::size_t time);
 
   /// Everything injected so far, in call order.
   [[nodiscard]] const std::vector<InjectedFault>& injected() const {

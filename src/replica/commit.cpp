@@ -1,0 +1,380 @@
+#include "replica/commit.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+#include "serialize/log_codec.hpp"
+
+namespace icecube {
+
+CommitEngine::CommitEngine(GossipNode& node, std::size_t members,
+                           CommitOptions options)
+    : node_(node),
+      members_(members < 1 ? 1 : members),
+      options_(options),
+      actions_(ActionRegistry::with_builtins()) {}
+
+CommitEngine::Tally CommitEngine::tally(std::uint64_t election,
+                                        std::uint32_t runoff) const {
+  Tally t;
+  auto it = votes_.lower_bound({election, runoff, {}});
+  for (; it != votes_.end() && it->first.election == election &&
+         it->first.runoff == runoff;
+       ++it) {
+    if (it->second.empty()) continue;
+    ++t.heard;
+    // An equivocating voter (more than one id in the slot) tallies as the
+    // minimal id — deterministic, and the invariant layer flags it.
+    ++t.counts[*it->second.begin()];
+  }
+  t.unheard = t.heard >= members_ ? 0 : members_ - t.heard;
+  return t;
+}
+
+std::string CommitEngine::winner(const Tally& t) const {
+  for (const auto& [id, count] : t.counts) {
+    if (count <= t.unheard) continue;
+    bool dominates = true;
+    for (const auto& [other, other_count] : t.counts) {
+      if (other == id) continue;
+      if (count <= other_count + t.unheard) {
+        dominates = false;
+        break;
+      }
+    }
+    // At most one id can dominate every competitor plus the unheard
+    // votes, so the first hit is the only possible hit.
+    if (dominates) return id;
+  }
+  return {};
+}
+
+bool CommitEngine::stuck(const Tally& t) const {
+  // Provable stuckness: the tally is complete (every member voted) and no
+  // strict-plurality winner exists. Complete tallies are immutable, so
+  // this fact is global and permanent — mutually exclusive with any site
+  // ever deciding this runoff.
+  return t.heard >= members_ && t.unheard == 0 && winner(t).empty();
+}
+
+bool CommitEngine::proposal_valid(CommitProposalEntry& entry) {
+  if (entry.valid >= 0) return entry.valid == 1;
+  const CommitProposal& p = entry.proposal;
+  bool ok = entry.decodable && p.election == decided_.size() &&
+            p.uids.size() > stable_uids_.size();
+  // Elections strictly extend the previously decided prefix.
+  for (std::size_t i = 0; ok && i < stable_uids_.size(); ++i) {
+    ok = p.uids[i] == stable_uids_[i];
+  }
+  if (ok) {
+    std::unordered_set<std::string> seen;
+    for (const std::string& uid : p.uids) {
+      if (uid.empty() || !seen.insert(uid).second) {
+        ok = false;
+        break;
+      }
+    }
+  }
+  if (ok && options_.verify_proposals) {
+    Universe replay = node_.genesis();
+    for (const ActionPtr& action : entry.actions) {
+      if (action == nullptr || !action->precondition(replay)) {
+        ok = false;
+        break;
+      }
+      Universe shadow = replay;
+      if (!action->execute(shadow)) {
+        ok = false;
+        break;
+      }
+      replay = std::move(shadow);
+    }
+    ok = ok && replay.fingerprint() == p.fingerprint;
+  }
+  entry.valid = ok ? 1 : 0;
+  return ok;
+}
+
+void CommitEngine::apply_decision(const CommitProposalEntry& entry) {
+  stable_uids_ = entry.proposal.uids;
+
+  // Fast path: the node's history already carries the decided prefix —
+  // just mark it irrevocable.
+  const std::vector<std::string>& hist = node_.history_uids();
+  if (hist.size() >= stable_uids_.size() &&
+      std::equal(stable_uids_.begin(), stable_uids_.end(), hist.begin())) {
+    node_.set_stable_prefix(stable_uids_.size());
+    ++stats_.fast_forwards;
+    return;
+  }
+
+  // Divergent: rebase the node onto the decided prefix (its own committed
+  // work outside the prefix is demoted to pending, never dropped).
+  if (node_.rebase(entry.actions, entry.proposal.uids)) {
+    ++stats_.rebases;
+  } else {
+    // Only reachable with verify_proposals off and a fingerprint liar
+    // winning; the decision stands, the node keeps its state, and the
+    // stable-prefix invariant will surface the gap.
+    ++stats_.rebase_failures;
+  }
+}
+
+std::size_t CommitEngine::derive_decisions() {
+  std::size_t made = 0;
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    const std::uint64_t election = decided_.size();
+    for (std::uint32_t runoff = 0;; ++runoff) {
+      const Tally t = tally(election, runoff);
+      if (t.heard == 0) break;  // no votes here, none beyond
+      const std::string id = winner(t);
+      if (!id.empty()) {
+        auto it = proposals_.find(id);
+        // A tally winner can only be adopted once its content is known
+        // and valid; until then we wait for gossip (the decision is
+        // monotone — more knowledge cannot overturn it).
+        if (it == proposals_.end() || !proposal_valid(it->second)) break;
+        decided_.push_back(id);
+        apply_decision(it->second);
+        ++stats_.decisions;
+        ++made;
+        cache_dirty_ = true;
+        progressed = true;
+        break;  // next election
+      }
+      if (!stuck(t)) break;  // undecidable for now; votes may still arrive
+    }
+  }
+  return made;
+}
+
+std::size_t CommitEngine::tick() {
+  std::size_t made = derive_decisions();
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    const std::uint64_t election = decided_.size();
+
+    // Propose: the node has committed beyond the stable prefix and this
+    // site has not yet offered that lineage at the frontier election.
+    if (node_.history().size() > stable_uids_.size()) {
+      bool have_own = false;
+      for (const auto& [id, entry] : proposals_) {
+        if (entry.proposal.election == election &&
+            entry.proposal.proposer == node_.name()) {
+          have_own = true;
+          break;
+        }
+      }
+      if (!have_own) {
+        CommitProposalEntry entry;
+        CommitProposal& p = entry.proposal;
+        p.election = election;
+        p.proposer = node_.name();
+        p.fingerprint = node_.committed_fingerprint();
+        p.uids = node_.history_uids();
+        Log log("history");
+        for (const ActionPtr& action : node_.history()) log.append(action);
+        p.log_bytes = encode_log(log);
+        p.hash = commit_proposal_hash(p);
+        entry.actions.assign(node_.history().begin(), node_.history().end());
+        entry.decodable = true;
+        proposals_.emplace(p.id(), std::move(entry));
+        ++stats_.proposals_made;
+        cache_dirty_ = true;
+        progressed = true;
+      }
+    }
+
+    // Vote: find the active runoff (past every provably stuck one) and
+    // fill this site's slot if the rules allow.
+    std::uint32_t runoff = 0;
+    while (stuck(tally(election, runoff))) ++runoff;
+    const CommitVoteKey own_key{election, runoff, node_.name()};
+    if (!votes_.contains(own_key)) {
+      std::string choice;
+      if (runoff == 0) {
+        // First round: endorse the best valid proposal known. Votes
+        // already heard in this runoff weigh first — a late voter joins
+        // the heaviest existing tally instead of splitting the round
+        // across content-equal proposals from different proposers (any
+        // vote is safe; the decision rule alone guards agreement). Ties
+        // break by longest prefix, then fingerprint, then id.
+        const Tally current = tally(election, runoff);
+        const auto tallied = [&current](const std::string& id) {
+          const auto it = current.counts.find(id);
+          return it == current.counts.end() ? std::size_t{0} : it->second;
+        };
+        for (auto& [id, entry] : proposals_) {
+          if (entry.proposal.election != election) continue;
+          if (!proposal_valid(entry)) continue;
+          if (choice.empty()) {
+            choice = id;
+            continue;
+          }
+          const CommitProposal& best = proposals_.at(choice).proposal;
+          const CommitProposal& cand = entry.proposal;
+          bool better;
+          if (tallied(id) != tallied(choice)) {
+            better = tallied(id) > tallied(choice);
+          } else if (cand.uids.size() != best.uids.size()) {
+            better = cand.uids.size() > best.uids.size();
+          } else if (cand.fingerprint != best.fingerprint) {
+            better = cand.fingerprint > best.fingerprint;
+          } else {
+            better = id > choice;
+          }
+          if (better) choice = id;
+        }
+      } else {
+        // Runoff: the previous round is provably stuck, so its complete
+        // vote set is global; everyone picks the same (tally, id) maximum
+        // and the runoff is unanimous.
+        const Tally prev = tally(election, runoff - 1);
+        std::size_t best_count = 0;
+        for (const auto& [id, count] : prev.counts) {
+          if (choice.empty() || count > best_count ||
+              (count == best_count && id > choice)) {
+            choice = id;
+            best_count = count;
+          }
+        }
+      }
+      if (!choice.empty()) {
+        add_own_vote(election, runoff, choice);
+        progressed = true;
+      }
+    }
+
+    if (progressed) made += derive_decisions();
+  }
+  return made;
+}
+
+void CommitEngine::add_own_vote(std::uint64_t election, std::uint32_t runoff,
+                                const std::string& proposal_id) {
+  votes_[{election, runoff, node_.name()}].insert(proposal_id);
+  ++stats_.votes_cast;
+  if (runoff >= 1) ++stats_.runoff_votes;
+  cache_dirty_ = true;
+}
+
+std::string CommitEngine::make_message(FaultPlan* faults, std::size_t time) {
+  const bool stale =
+      faults != nullptr && faults->vote_stale(node_.name(), time);
+  const std::uint64_t frontier = decided_.size();
+
+  const auto encode = [&](bool skip_frontier) {
+    CommitFrame frame;
+    frame.site = node_.name();
+    frame.members = members_;
+    frame.stable_height = decided_.size();
+    for (const auto& [id, entry] : proposals_) {
+      if (skip_frontier && entry.proposal.election == frontier) continue;
+      frame.proposals.push_back(entry.proposal);
+    }
+    for (const auto& [key, ids] : votes_) {
+      if (skip_frontier && key.election == frontier) continue;
+      for (const std::string& id : ids) {
+        frame.votes.push_back({key.election, key.runoff, key.voter, id});
+      }
+    }
+    return encode_commit_frame(frame, options_.auth_seed);
+  };
+
+  std::string payload;
+  if (stale) {
+    payload = encode(true);
+  } else {
+    if (cache_dirty_) {
+      cached_frame_ = encode(false);
+      cache_dirty_ = false;
+    }
+    payload = cached_frame_;
+  }
+  if (faults != nullptr) {
+    payload = faults->ship(FaultPoint::kShipCommit,
+                           node_.name() + "/commit", time,
+                           std::move(payload));
+  }
+  return payload;
+}
+
+CommitReceipt CommitEngine::receive(const std::string& message) {
+  CommitReceipt receipt;
+  ++stats_.frames_received;
+
+  auto decoded = decode_commit_frame(message, options_.auth_seed);
+  if (!decoded.ok()) {
+    receipt.quarantined = true;
+    receipt.error = decoded.error;
+    ++stats_.quarantines;
+    return receipt;
+  }
+  CommitFrame& frame = *decoded.frame;
+  if (frame.members != members_) {
+    receipt.quarantined = true;
+    receipt.error = {DecodeErrorKind::kBadOperands, 1,
+                     "member count mismatch: frame says " +
+                         std::to_string(frame.members) + ", cluster has " +
+                         std::to_string(members_)};
+    ++stats_.quarantines;
+    return receipt;
+  }
+
+  // Knowledge union — immutable records, grow-only sets, so duplicates
+  // and reordering are no-ops by construction.
+  for (CommitProposal& p : frame.proposals) {
+    std::string id = p.id();
+    if (proposals_.contains(id)) continue;
+    CommitProposalEntry entry;
+    entry.proposal = std::move(p);
+    DecodedLog log = decode_log(entry.proposal.log_bytes, actions_);
+    if (log.ok() && log.log->size() == entry.proposal.uids.size()) {
+      entry.actions.assign(log.log->begin(), log.log->end());
+      entry.decodable = true;
+    }
+    proposals_.emplace(std::move(id), std::move(entry));
+    ++receipt.new_proposals;
+  }
+  for (const CommitVote& v : frame.votes) {
+    if (votes_[{v.election, v.runoff, v.voter}].insert(v.proposal_id)
+            .second) {
+      ++receipt.new_votes;
+    }
+  }
+  stats_.records_learned += receipt.new_proposals + receipt.new_votes;
+  if (receipt.learned()) cache_dirty_ = true;
+
+  receipt.new_decisions = tick();
+
+  // Frames carry the sender's whole knowledge, so after the union a
+  // strictly larger local record count proves the sender is missing
+  // something — an immediate reply teaches it.
+  std::size_t local_records = proposals_.size();
+  for (const auto& [key, ids] : votes_) local_records += ids.size();
+  receipt.reply_advised =
+      frame.stable_height < decided_.size() ||
+      local_records > frame.proposals.size() + frame.votes.size();
+  return receipt;
+}
+
+bool commit_converged(const std::vector<CommitEngine>& engines) {
+  if (engines.empty()) return true;
+  const std::vector<std::string>& reference = engines.front().decided();
+  for (const CommitEngine& engine : engines) {
+    if (engine.decided() != reference) return false;
+    const std::vector<std::string>& stable = engine.stable_uids();
+    const std::vector<std::string>& hist = engine.node().history_uids();
+    if (hist.size() < stable.size() ||
+        !std::equal(stable.begin(), stable.end(), hist.begin())) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace icecube

@@ -1,0 +1,238 @@
+// Decentralised asynchronous commitment — agreement without a primary.
+//
+// The gossip layer (replica/gossip.hpp) makes replicas *share* state: its
+// epoch-chain dominance is a total order any site can win, so nothing is
+// ever irrevocable — a partitioned majority can be overturned later by a
+// longer lineage, and the (implicit) leading site is a single point of
+// failure, exactly the primary-commit flavour IceCube inherited. This
+// module adds the missing property, in the style of Sutra & Shapiro's
+// asynchronous decentralised commitment: schedule prefixes become *stable*
+// (irrevocable, everywhere, forever) by election, with no site whose
+// failure can block or revoke a decision.
+//
+// Protocol sketch. Commitment *knowledge* is a grow-only set of two
+// immutable record kinds:
+//
+//   proposal — a site's full committed history from genesis (uids +
+//     encoded actions + claimed fingerprint), content-addressed by hash;
+//   vote — "<voter> endorses <proposal-id> in (election, runoff)". A
+//     correct site casts at most one vote per (election, runoff), keeps it
+//     durably, and re-announces it wholesale after a crash.
+//
+// Frames carry a site's entire knowledge, so receiving one is a set
+// union: message loss, reordering and duplication are harmless, and any
+// two sites that exchange frames end with the same knowledge. Elections
+// are sequential (election k picks the k-th decided prefix, which must
+// strictly extend the (k-1)-th). Within an election:
+//
+//   decide X at runoff r  iff  among the runoff-r votes heard,
+//       tally(X) > tally(Y) + unheard   for every competing Y, and
+//       tally(X) > unheard
+//   where unheard = members - voters heard. Any X that satisfies this
+//   wins a strict plurality of the *complete* runoff-r tally no matter
+//   how the unheard sites voted — so two sites can never derive different
+//   decisions for the same election, and more knowledge can only confirm
+//   a decision, never retract it (decisions are monotone in knowledge).
+//
+//   runoff r+1 opens only on *provable* stuckness: all `members` votes at
+//   runoff r are heard and no strict-plurality winner exists — a global,
+//   permanent fact, mutually exclusive with any decision at r. The
+//   runoff-(r+1) vote is a deterministic function of the complete
+//   runoff-r vote set (max by (tally, id)), identical at every site, so
+//   the next runoff is unanimous and decides.
+//
+// A decision is applied to the gossip node underneath: if the node's
+// history already extends the decided prefix it is simply marked stable
+// (GossipNode::set_stable_prefix); otherwise the node *rebases* — replays
+// the decided prefix from genesis, demotes its divergent committed work
+// to pending (never dropped), and continues from there. The gossip
+// stable-prefix guard (GossipReject::kStableConflict) then refuses any
+// state transfer that would rewrite a decided prefix, closing the loop:
+// dominance arbitrates *tentative* lineages, elections make them
+// *irrevocable*.
+//
+// Failure model: crash/recovery, arbitrary partitions, message loss,
+// reordering, duplication, and corruption (rejected whole by the codec's
+// CRC + seed-keyed auth + content hashes). Not Byzantine: a site that
+// *equivocates* (two votes in one runoff) is outside the model and is
+// what the vote-uniqueness invariant (simnet/invariants.hpp) detects.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/action.hpp"
+#include "fault/fault_plan.hpp"
+#include "replica/gossip.hpp"
+#include "serialize/commit_codec.hpp"
+#include "serialize/decode_error.hpp"
+
+namespace icecube {
+
+/// Knobs for one site's commitment engine.
+struct CommitOptions {
+  /// Replay every candidate proposal from genesis before voting for or
+  /// deciding on it, rejecting fingerprint liars. Cheap insurance, same
+  /// spirit as GossipOptions::verify_transfers.
+  bool verify_proposals = true;
+  /// Cluster authentication seed; frames from a different seed fail
+  /// decode (see commit_codec.hpp).
+  std::uint64_t auth_seed = 0;
+};
+
+/// Lifetime counters, for reports and benches.
+struct CommitStats {
+  std::size_t proposals_made = 0;  ///< own proposals added to knowledge
+  std::size_t votes_cast = 0;      ///< own votes (all runoffs)
+  std::size_t runoff_votes = 0;    ///< own votes at runoff >= 1
+  std::size_t decisions = 0;       ///< elections decided locally
+  std::size_t fast_forwards = 0;   ///< decisions applied by marking stable
+  std::size_t rebases = 0;         ///< decisions applied by rebasing
+  std::size_t rebase_failures = 0; ///< decided prefix failed to replay
+  std::size_t frames_received = 0;
+  std::size_t quarantines = 0;     ///< frames rejected whole
+  std::size_t records_learned = 0; ///< proposals + votes unioned in
+};
+
+/// What one received commitment frame did to the engine.
+struct CommitReceipt {
+  bool quarantined = false;  ///< frame rejected, engine untouched
+  DecodeError error;         ///< decode detail when quarantined
+  std::size_t new_proposals = 0;
+  std::size_t new_votes = 0;
+  std::size_t new_decisions = 0;  ///< elections decided by this frame
+  /// True iff the sender is missing knowledge or decisions this engine
+  /// has — an immediate reply would teach it something.
+  bool reply_advised = false;
+
+  [[nodiscard]] bool learned() const {
+    return new_proposals + new_votes > 0;
+  }
+};
+
+/// Identifies one vote slot; a correct voter fills it at most once.
+struct CommitVoteKey {
+  std::uint64_t election = 0;
+  std::uint32_t runoff = 0;
+  std::string voter;
+
+  [[nodiscard]] bool operator<(const CommitVoteKey& other) const {
+    if (election != other.election) return election < other.election;
+    if (runoff != other.runoff) return runoff < other.runoff;
+    return voter < other.voter;
+  }
+};
+
+/// One known proposal with its decoded actions and cached validity.
+struct CommitProposalEntry {
+  CommitProposal proposal;
+  std::vector<ActionPtr> actions;  ///< decoded log (empty if undecodable)
+  bool decodable = false;          ///< log decoded and matches uid count
+  /// Validity for its election: -1 unevaluated, 0 invalid, 1 valid.
+  /// Evaluated only once the previous election is decided (the context
+  /// is then immutable), so the cache never goes stale.
+  int valid = -1;
+};
+
+/// The per-site commitment engine; see file comment. Owns no replica
+/// state of its own beyond knowledge and decisions — the schedule lives
+/// in the `GossipNode` it drives, which must outlive the engine.
+class CommitEngine {
+ public:
+  CommitEngine(GossipNode& node, std::size_t members,
+               CommitOptions options = {});
+
+  [[nodiscard]] const std::string& site() const { return node_.name(); }
+  [[nodiscard]] const GossipNode& node() const { return node_; }
+  [[nodiscard]] std::size_t members() const { return members_; }
+  [[nodiscard]] const CommitStats& stats() const { return stats_; }
+
+  /// Number of elections decided (the frame's `stable_height`).
+  [[nodiscard]] std::uint64_t stable_height() const {
+    return decided_.size();
+  }
+  /// Decided proposal ids, in election order.
+  [[nodiscard]] const std::vector<std::string>& decided() const {
+    return decided_;
+  }
+  /// The uids of the latest decided prefix — the irrevocable schedule.
+  [[nodiscard]] const std::vector<std::string>& stable_uids() const {
+    return stable_uids_;
+  }
+
+  /// Full knowledge, for invariant checkers and tests.
+  [[nodiscard]] const std::map<std::string, CommitProposalEntry>& proposals()
+      const {
+    return proposals_;
+  }
+  /// Votes heard, keyed by slot. A slot set with more than one id is an
+  /// equivocation — kept (grow-only), tallied as the minimal id, and
+  /// flagged by the vote-uniqueness invariant.
+  [[nodiscard]] const std::map<CommitVoteKey, std::set<std::string>>& votes()
+      const {
+    return votes_;
+  }
+
+  /// Drives the engine one step: derives any decisions the current
+  /// knowledge supports, applies them to the node, proposes the node's
+  /// uncommitted-beyond-stable history at the frontier election, and
+  /// casts any vote the rules allow. Returns the number of elections
+  /// decided by this call. Idempotent once knowledge is exhausted.
+  std::size_t tick();
+
+  /// Builds this site's commitment frame (its whole knowledge). With
+  /// `faults`, the payload travels FaultPoint::kShipCommit, and a
+  /// stale-vote fault (FaultPoint::kStaleVote) sends outdated knowledge —
+  /// the frame omits every frontier-election record, as a lagging replica
+  /// would. The full-knowledge encoding is cached until knowledge grows.
+  [[nodiscard]] std::string make_message(FaultPlan* faults = nullptr,
+                                         std::size_t time = 0);
+
+  /// Unions one received frame into knowledge (rejected whole on any
+  /// decode/auth failure or a member-count mismatch) and ticks.
+  CommitReceipt receive(const std::string& message);
+
+ private:
+  struct Tally {
+    std::map<std::string, std::size_t> counts;  ///< proposal id -> votes
+    std::size_t heard = 0;    ///< distinct voters seen in this runoff
+    std::size_t unheard = 0;  ///< members - heard
+  };
+
+  [[nodiscard]] Tally tally(std::uint64_t election,
+                            std::uint32_t runoff) const;
+  /// The decision rule; empty if no proposal dominates yet.
+  [[nodiscard]] std::string winner(const Tally& t) const;
+  /// True iff the runoff is provably stuck (complete and winnerless).
+  [[nodiscard]] bool stuck(const Tally& t) const;
+  /// Lazily evaluates (and caches) validity for a frontier proposal.
+  [[nodiscard]] bool proposal_valid(CommitProposalEntry& entry);
+  /// Derives and applies every decision knowledge supports.
+  std::size_t derive_decisions();
+  void apply_decision(const CommitProposalEntry& entry);
+  void add_own_vote(std::uint64_t election, std::uint32_t runoff,
+                    const std::string& proposal_id);
+
+  GossipNode& node_;
+  std::size_t members_;
+  CommitOptions options_;
+  ActionRegistry actions_;
+
+  std::map<std::string, CommitProposalEntry> proposals_;
+  std::map<CommitVoteKey, std::set<std::string>> votes_;
+  std::vector<std::string> decided_;     ///< winning ids, election order
+  std::vector<std::string> stable_uids_; ///< uids of the last decision
+  CommitStats stats_;
+
+  std::string cached_frame_;  ///< encoded full knowledge
+  bool cache_dirty_ = true;
+};
+
+/// True iff every engine derived the same decisions and every node's
+/// history carries its engine's full stable prefix.
+[[nodiscard]] bool commit_converged(const std::vector<CommitEngine>& engines);
+
+}  // namespace icecube

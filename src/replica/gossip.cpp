@@ -166,6 +166,7 @@ GossipReceipt GossipNode::receive(const std::string& message) {
     for (const ActionPtr& action : pending_) mine.append(action);
 
     if (mine.empty() && remote.empty()) {
+      receipt.reject = GossipReject::kNothingToMerge;
       ++stats_.merge_noops;
       return receipt;
     }
@@ -186,7 +187,12 @@ GossipReceipt GossipNode::receive(const std::string& message) {
     Reconciler reconciler(committed_, std::move(logs), options_.reconcile);
     ReconcileResult result = reconciler.run();
     if (!result.found_any() || result.best().schedule.empty()) {
-      ++stats_.merge_noops;
+      // Actions were offered, yet the best schedule commits none of them:
+      // every candidate aborted. Distinct from an idle exchange — this is
+      // the signature of a semantic stall (e.g. mutually-infeasible
+      // actions) and the thing a commitment diagnosis needs to see.
+      receipt.reject = GossipReject::kAllAborted;
+      ++stats_.merge_aborted;
       return receipt;
     }
 
@@ -213,6 +219,23 @@ GossipReceipt GossipNode::receive(const std::string& message) {
     receipt.sender_stale = true;
     ++stats_.stale_heard;
     return receipt;
+  }
+
+  // Irrevocability guard: a transfer may extend or re-derive the stable
+  // prefix the commitment protocol decided, but never rewrite it. Refusing
+  // here (rather than quarantining the sender as damaged) keeps the node
+  // talking: the reply carries this node's dominating decided lineage.
+  if (stable_ > 0) {
+    bool preserves = frame.history_uids.size() >= stable_;
+    for (std::size_t i = 0; preserves && i < stable_; ++i) {
+      preserves = frame.history_uids[i] == history_uids_[i];
+    }
+    if (!preserves) {
+      receipt.reject = GossipReject::kStableConflict;
+      receipt.sender_stale = true;  // the reply teaches the sender
+      ++stats_.stable_conflicts;
+      return receipt;
+    }
   }
 
   // The sender dominates: adopt its committed lineage wholesale (state
@@ -263,6 +286,61 @@ GossipReceipt GossipNode::receive(const std::string& message) {
   ++stats_.transfers;
   stats_.demotions += receipt.demoted;
   return receipt;
+}
+
+void GossipNode::set_stable_prefix(std::size_t length) {
+  if (length > history_uids_.size()) length = history_uids_.size();
+  if (length > stable_) stable_ = length;
+}
+
+bool GossipNode::rebase(const std::vector<ActionPtr>& actions,
+                        const std::vector<std::string>& uids) {
+  if (actions.size() != uids.size()) return false;
+
+  // The decided prefix must replay cleanly from genesis; a prefix that
+  // does not is a protocol-level inconsistency and is refused outright.
+  Universe replay = genesis_;
+  for (const ActionPtr& action : actions) {
+    if (action == nullptr || !targets_in_range(*action, replay.size()) ||
+        !action->precondition(replay)) {
+      return false;
+    }
+    Universe shadow = replay;
+    if (!action->execute(shadow)) return false;
+    replay = std::move(shadow);
+  }
+
+  // Demote, never drop: committed actions outside the decided prefix go
+  // back to pending; pending actions inside it are absorbed.
+  std::unordered_set<std::string> decided(uids.begin(), uids.end());
+  std::vector<ActionPtr> new_pending;
+  std::vector<std::string> new_pending_uids;
+  std::size_t demoted = 0;
+  for (std::size_t i = 0; i < history_.size(); ++i) {
+    if (decided.contains(history_uids_[i])) continue;
+    new_pending.push_back(history_[i]);
+    new_pending_uids.push_back(history_uids_[i]);
+    ++demoted;
+  }
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    if (decided.contains(pending_uids_[i])) continue;
+    new_pending.push_back(pending_[i]);
+    new_pending_uids.push_back(pending_uids_[i]);
+  }
+
+  committed_ = std::move(replay);
+  // Bump past the current epoch so the decided lineage dominates whatever
+  // this node gossips next; the commitment layer keeps all deciders
+  // consistent, so competing bumps converge on the same prefix.
+  epoch_ += 1;
+  history_.assign(actions.begin(), actions.end());
+  history_uids_ = uids;
+  pending_ = std::move(new_pending);
+  pending_uids_ = std::move(new_pending_uids);
+  stable_ = history_uids_.size();
+  stats_.demotions += demoted;
+  rebuild_tentative();
+  return true;
 }
 
 void GossipNode::adopt_merge(Universe merged, std::vector<ActionPtr> schedule,

@@ -65,7 +65,8 @@ struct GossipOptions {
   bool verify_transfers = true;
 };
 
-/// Why a received message was quarantined.
+/// Why a received message was quarantined — or, for the non-quarantine
+/// kinds at the bottom, why an exchange committed nothing.
 enum class GossipReject : std::uint8_t {
   kNone,
   kFrameError,     ///< envelope failed to parse
@@ -75,6 +76,11 @@ enum class GossipReject : std::uint8_t {
   kUidMismatch,    ///< uid lists inconsistent with the decoded logs
   kBadTarget,      ///< an action targets an object outside the universe
   kReplayMismatch, ///< history does not replay to the shipped state
+  // Non-quarantine outcomes (the node may still be healthy):
+  kNothingToMerge, ///< both pending logs empty — nothing offered at all
+  kAllAborted,     ///< actions were offered but every schedule aborted all
+                   ///< of them — a semantic stall, not an idle exchange
+  kStableConflict, ///< transfer rewrites a locally-committed stable prefix
 };
 
 [[nodiscard]] constexpr std::string_view to_string(GossipReject reject) {
@@ -95,6 +101,12 @@ enum class GossipReject : std::uint8_t {
       return "target out of range";
     case GossipReject::kReplayMismatch:
       return "history replay mismatch";
+    case GossipReject::kNothingToMerge:
+      return "nothing to merge";
+    case GossipReject::kAllAborted:
+      return "all candidate actions aborted";
+    case GossipReject::kStableConflict:
+      return "transfer conflicts with stable prefix";
   }
   return "?";
 }
@@ -121,11 +133,13 @@ struct GossipReceipt {
 struct GossipStats {
   std::size_t performs = 0;       ///< local isolated-execution actions
   std::size_t merges = 0;         ///< pairwise merges adopted
-  std::size_t merge_noops = 0;    ///< exchanges with nothing to commit
+  std::size_t merge_noops = 0;    ///< exchanges with nothing offered
+  std::size_t merge_aborted = 0;  ///< exchanges where every offer aborted
   std::size_t transfers = 0;      ///< dominating states adopted
   std::size_t demotions = 0;      ///< committed actions demoted to pending
   std::size_t quarantines = 0;    ///< messages rejected
   std::size_t stale_heard = 0;    ///< messages from strictly-behind senders
+  std::size_t stable_conflicts = 0;  ///< transfers refused: stable prefix
 };
 
 /// One replica running the asynchronous protocol; see file comment.
@@ -181,6 +195,27 @@ class GossipNode {
   /// protocol. Quarantined messages leave the node untouched.
   GossipReceipt receive(const std::string& message);
 
+  // --- decentralised-commitment hooks (driven by replica/commit.hpp) ---
+
+  /// Length of the *stable* (irrevocably committed) history prefix. The
+  /// stable prefix is decided by the commitment protocol; gossip state
+  /// transfers that would rewrite it are refused (kStableConflict), so a
+  /// decision can never be revoked by later anti-entropy.
+  [[nodiscard]] std::size_t stable_length() const { return stable_; }
+
+  /// Marks the first `length` history entries stable. `length` must not
+  /// exceed the history; the stable prefix only ever grows.
+  void set_stable_prefix(std::size_t length);
+
+  /// Adopts `actions`/`uids` (a decided prefix that replays from genesis)
+  /// as the new committed history: local committed actions missing from it
+  /// are demoted to pending, pending actions it contains are absorbed, the
+  /// epoch bumps past the current one so the rebased lineage dominates,
+  /// and the whole prefix becomes stable. Returns false — node untouched —
+  /// if the prefix does not replay cleanly from genesis.
+  bool rebase(const std::vector<ActionPtr>& actions,
+              const std::vector<std::string>& uids);
+
  private:
   void adopt_merge(Universe merged, std::vector<ActionPtr> schedule,
                    std::vector<std::string> schedule_uids,
@@ -195,6 +230,7 @@ class GossipNode {
   Universe tentative_;
   std::uint64_t epoch_ = 0;
   std::uint64_t next_seq_ = 0;
+  std::size_t stable_ = 0;
 
   std::vector<ActionPtr> history_;
   std::vector<std::string> history_uids_;

@@ -50,6 +50,18 @@ SyncResult synchronise(const std::vector<Site*>& sites,
     return out;
   }
 
+  // An empty best schedule with non-empty inputs means every offered
+  // action aborted — flag it so callers can tell a semantic stall from an
+  // idle round with genuinely nothing to merge.
+  if (out.reconcile.best().schedule.empty()) {
+    for (const Site* site : sites) {
+      if (!site->log().empty()) {
+        out.all_aborted = true;
+        break;
+      }
+    }
+  }
+
   const Universe& merged = out.reconcile.best().final_state;
   for (Site* site : sites) site->adopt(merged);
   out.adopted = true;
@@ -211,6 +223,14 @@ SyncReport synchronise_resilient(const std::vector<Site*>& sites,
 
     const Outcome& best = result.best();
     const Universe merged = best.final_state;
+
+    // Same distinction as the single-round API: actions offered, none
+    // committed — record the stall instead of letting it read as idle.
+    if (best.schedule.empty() && !reconciler.records().empty()) {
+      report.all_aborted = true;
+      report.errors.push_back({SyncErrorKind::kAllAborted, {},
+                               "round " + std::to_string(round)});
+    }
 
     // The adopted schedule becomes the new history (replayable from base).
     Log new_history("history");

@@ -50,6 +50,7 @@ enum class SyncErrorKind : std::uint8_t {
   kDecodeFailed,    ///< payload arrived but failed decode/validation
   kNoOutcome,       ///< reconciliation produced no outcome at all
   kRoundsExhausted, ///< retry budget ran out with sites still unsynced
+  kAllAborted,      ///< outcomes existed, but the best aborted every action
 };
 
 [[nodiscard]] constexpr std::string_view to_string(SyncErrorKind kind) {
@@ -70,6 +71,8 @@ enum class SyncErrorKind : std::uint8_t {
       return "reconciliation produced no outcome";
     case SyncErrorKind::kRoundsExhausted:
       return "retry rounds exhausted";
+    case SyncErrorKind::kAllAborted:
+      return "best schedule aborted every action";
   }
   return "?";
 }
@@ -110,6 +113,10 @@ struct SyncResult {
   ReconcileResult reconcile;
   /// True iff a best outcome existed and all sites adopted it.
   bool adopted = false;
+  /// True iff actions were offered but the adopted best schedule committed
+  /// none of them — every candidate aborted. Distinct from an idle round
+  /// (empty logs): this is a semantic stall worth surfacing, not a no-op.
+  bool all_aborted = false;
   /// kind != kNone when the round could not run (e.g. divergent committed
   /// states).
   SyncError error;
@@ -157,6 +164,10 @@ struct SyncReport {
   bool all_synced = false;
   /// True iff any round's reconciliation degraded to the greedy fallback.
   bool degraded = false;
+  /// True iff any round offered actions yet adopted an empty schedule
+  /// (every candidate aborted); each such round also records a
+  /// kAllAborted entry in `errors`.
+  bool all_aborted = false;
   std::size_t rounds = 0;  ///< rounds actually executed
   std::vector<SiteReport> sites;
   /// Every failure observed, in order (quarantines, losses, exhaustion).

@@ -1,0 +1,111 @@
+// Commitment frame — the wire format of the decentralised commitment
+// protocol (replica/commit.hpp).
+//
+// One frame carries a site's entire commitment *knowledge*: every proposal
+// and every vote it has heard of. Knowledge records are immutable and the
+// set is grow-only, so receiving a frame is a set union — loss, reordering
+// and duplication are harmless, and a crashed site re-announces its durable
+// record wholesale on recovery.
+//
+// Format version 2 (line-oriented, strict):
+//
+//   icecube-commit 2 <site> <members> <stable-height> <n-props> <n-votes> <auth>
+//   P <election> <proposer> <fingerprint> <n-uids> <uids-blob> <log-blob> <hash>
+//   ...                                   x n-props
+//   V <election> <runoff> <voter> <proposal-id>
+//   ...                                   x n-votes
+//   #crc32 <8-hex digest of every byte above>
+//
+// Every variable field travels %-escaped (log_codec rules), so blobs with
+// embedded newlines collapse to a single token and the frame stays strictly
+// line-parseable. Three integrity layers, outermost first:
+//
+//   - the CRC trailer covers the whole frame; any transport damage —
+//     truncation, a single flipped bit anywhere — is classified as
+//     kTruncated/kCorrupted before any content is trusted;
+//   - <auth> is a seed-keyed digest over the content ("signed by seed"):
+//     frames from a different cluster seed, or frames whose records were
+//     re-assembled by something not holding the seed, fail authentication;
+//   - each proposal carries a content hash; a record whose hash does not
+//     match its fields is rejected (kBadOperands), so proposal ids are
+//     content-addressed and votes cannot be re-pointed at altered content.
+//
+// A frame that fails any layer is rejected whole — never partially merged.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serialize/decode_error.hpp"
+
+namespace icecube {
+
+/// One candidate stable prefix: the proposer's full committed history from
+/// genesis (uids + encoded actions) and the state it claims to reach.
+struct CommitProposal {
+  std::uint64_t election = 0;  ///< stable height this proposal extends to
+  std::string proposer;
+  std::string fingerprint;          ///< claimed replay result
+  std::vector<std::string> uids;    ///< full uid prefix, genesis onward
+  std::string log_bytes;            ///< encode_log of the same actions
+  std::uint32_t hash = 0;           ///< content hash (see commit_codec.cpp)
+
+  /// Content-addressed identity: proposer, election and content hash.
+  [[nodiscard]] std::string id() const;
+};
+
+/// Computes the content hash a well-formed proposal must carry.
+[[nodiscard]] std::uint32_t commit_proposal_hash(const CommitProposal& p);
+
+/// One immutable vote: `voter` endorses `proposal_id` in the given
+/// election runoff. A correct site casts at most one per (election, runoff).
+struct CommitVote {
+  std::uint64_t election = 0;
+  std::uint32_t runoff = 0;
+  std::string voter;
+  std::string proposal_id;
+
+  [[nodiscard]] bool operator<(const CommitVote& other) const {
+    if (election != other.election) return election < other.election;
+    if (runoff != other.runoff) return runoff < other.runoff;
+    if (voter != other.voter) return voter < other.voter;
+    return proposal_id < other.proposal_id;
+  }
+  [[nodiscard]] bool operator==(const CommitVote& other) const = default;
+};
+
+/// One commitment message: the sender's whole knowledge.
+struct CommitFrame {
+  std::string site;
+  std::uint64_t members = 0;        ///< cluster size the sender assumes
+  std::uint64_t stable_height = 0;  ///< decisions the sender has derived
+  std::vector<CommitProposal> proposals;
+  std::vector<CommitVote> votes;
+};
+
+/// True iff `payload` looks like a commitment frame (magic prefix); used to
+/// dispatch mixed gossip/commit traffic. A true result says nothing about
+/// validity — decode still applies every check.
+[[nodiscard]] bool is_commit_frame(std::string_view payload);
+
+/// Serialises `frame`, signing the content with `auth_seed`.
+[[nodiscard]] std::string encode_commit_frame(const CommitFrame& frame,
+                                              std::uint64_t auth_seed);
+
+struct DecodedCommitFrame {
+  std::optional<CommitFrame> frame;
+  DecodeError error;  ///< kind == kNone iff decoding succeeded
+
+  [[nodiscard]] bool ok() const { return frame.has_value(); }
+};
+
+/// Parses and authenticates a commitment frame. Any integrity failure
+/// (CRC, auth, per-proposal hash, malformed record) rejects the whole
+/// frame with a structured error.
+[[nodiscard]] DecodedCommitFrame decode_commit_frame(const std::string& text,
+                                                     std::uint64_t auth_seed);
+
+}  // namespace icecube

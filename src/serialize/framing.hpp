@@ -122,6 +122,13 @@ struct Frame {
 
   std::size_t content_end = lines.size();
   if (frame.version >= 2) {
+    // v2 frames end with a newline-terminated trailer line; a payload cut
+    // anywhere — including one byte short — is truncation, not a frame.
+    if (text.back() != '\n') {
+      frame.error = {DecodeErrorKind::kTruncated, lines.size(),
+                     "unterminated trailer"};
+      return frame;
+    }
     // The trailer must be the last non-empty line.
     std::size_t last = lines.size();
     while (last > 1 && lines[last - 1].empty()) --last;

@@ -4,6 +4,7 @@
 
 #include "serialize/framing.hpp"
 #include "serialize/log_codec.hpp"
+#include "util/crc32.hpp"
 
 namespace icecube {
 
@@ -12,7 +13,7 @@ namespace {
 using serialize_detail::parse_number;
 
 constexpr std::string_view kMagic = "icecube-gossip";
-constexpr int kVersion = 1;
+constexpr int kVersion = 2;
 constexpr std::string_view kEndMarker = "#gossip-end";
 /// Caps against absurd allocations from hostile or mangled headers.
 constexpr std::size_t kMaxUids = 1u << 20;
@@ -109,6 +110,10 @@ std::string encode_gossip_frame(const GossipFrame& frame) {
   section("universe", frame.universe_bytes);
   out += kEndMarker;
   out += "\n";
+  // v2: a whole-frame CRC trailer. The sections carry their own CRCs, but
+  // the envelope (site, epoch, uid lists) was previously unprotected — a
+  // single flipped uid byte would decode silently to different content.
+  out += serialize_detail::crc_trailer(out);
   return out;
 }
 
@@ -119,9 +124,61 @@ DecodedGossipFrame decode_gossip_frame(const std::string& text) {
     return out;
   }
 
+  // Peek the claimed version: a v2 frame must end with a valid whole-frame
+  // CRC trailer, verified before any content is trusted so transport damage
+  // is classified as kTruncated/kCorrupted rather than a syntax error.
+  std::string body = text;
+  {
+    const std::size_t first_nl = text.find('\n');
+    const std::string first_line =
+        text.substr(0, first_nl == std::string::npos ? text.size() : first_nl);
+    const std::vector<std::string> peek = split_tokens(first_line);
+    if (peek.size() >= 2 && peek[0] == kMagic && peek[1] == "2") {
+      if (text.back() != '\n') {
+        out.error = {DecodeErrorKind::kTruncated, 0, "missing crc trailer"};
+        return out;
+      }
+      const std::size_t prev_nl = text.rfind('\n', text.size() - 2);
+      const std::size_t trailer_start =
+          prev_nl == std::string::npos ? 0 : prev_nl + 1;
+      const std::string_view trailer =
+          std::string_view(text).substr(trailer_start,
+                                        text.size() - trailer_start - 1);
+      const std::string_view prefix = serialize_detail::kCrcPrefix;
+      if (trailer.substr(0, prefix.size()) != prefix) {
+        out.error = {DecodeErrorKind::kTruncated, 0, "missing crc trailer"};
+        return out;
+      }
+      const std::string_view digest_hex = trailer.substr(prefix.size());
+      std::uint32_t expected = 0;
+      bool hex_ok = digest_hex.size() == 8;
+      for (char c : digest_hex) {
+        const int v = c >= '0' && c <= '9'   ? c - '0'
+                      : c >= 'a' && c <= 'f' ? c - 'a' + 10
+                      : c >= 'A' && c <= 'F' ? c - 'A' + 10
+                                             : -1;
+        if (v < 0) {
+          hex_ok = false;
+          break;
+        }
+        expected = (expected << 4) | static_cast<std::uint32_t>(v);
+      }
+      if (!hex_ok) {
+        out.error = {DecodeErrorKind::kCorrupted, 0, "bad crc trailer"};
+        return out;
+      }
+      if (Crc32::of(std::string_view(text).substr(0, trailer_start)) !=
+          expected) {
+        out.error = {DecodeErrorKind::kCorrupted, 0, "crc mismatch"};
+        return out;
+      }
+      body = text.substr(0, trailer_start);
+    }
+  }
+
   std::size_t pos = 0;
   std::size_t line_no = 0;
-  auto header = take_line(text, pos, line_no);
+  auto header = take_line(body, pos, line_no);
   if (!header) {
     out.error = {DecodeErrorKind::kEmptyInput, 0, {}};
     return out;
@@ -136,7 +193,9 @@ DecodedGossipFrame decode_gossip_frame(const std::string& text) {
     out.error = {DecodeErrorKind::kBadHeader, 1, *header};
     return out;
   }
-  if (*version != kVersion) {
+  // v1 frames (pre-CRC) are still accepted; v2 frames reached this point
+  // only after their trailer verified.
+  if (*version != 1 && *version != kVersion) {
     out.error = {DecodeErrorKind::kUnsupportedVersion, 1,
                  "version " + tokens[1]};
     return out;
@@ -164,7 +223,7 @@ DecodedGossipFrame decode_gossip_frame(const std::string& text) {
     uids.reserve(count);
     for (std::size_t i = 0; i < count; ++i) {
       const std::size_t uid_line = line_no + 1;
-      auto raw = take_line(text, pos, line_no);
+      auto raw = take_line(body, pos, line_no);
       if (!raw) {
         out.error = {DecodeErrorKind::kTruncated, uid_line,
                      "uid list cut short"};
@@ -182,23 +241,23 @@ DecodedGossipFrame decode_gossip_frame(const std::string& text) {
   if (!take_uids(*n_history, frame.history_uids)) return out;
   if (!take_uids(*n_pending, frame.pending_uids)) return out;
 
-  if (!take_section(text, pos, line_no, "history", frame.history_bytes,
+  if (!take_section(body, pos, line_no, "history", frame.history_bytes,
                     out.error) ||
-      !take_section(text, pos, line_no, "pending", frame.pending_bytes,
+      !take_section(body, pos, line_no, "pending", frame.pending_bytes,
                     out.error) ||
-      !take_section(text, pos, line_no, "universe", frame.universe_bytes,
+      !take_section(body, pos, line_no, "universe", frame.universe_bytes,
                     out.error)) {
     return out;
   }
 
   const std::size_t end_line = line_no + 1;
-  auto marker = take_line(text, pos, line_no);
-  if (!marker || *marker != kEndMarker || text.back() != '\n') {
+  auto marker = take_line(body, pos, line_no);
+  if (!marker || *marker != kEndMarker || body.back() != '\n') {
     out.error = {DecodeErrorKind::kTruncated, end_line,
                  "missing end marker"};
     return out;
   }
-  if (pos != text.size()) {
+  if (pos != body.size()) {
     out.error = {DecodeErrorKind::kBadSyntax, end_line,
                  "trailing bytes after end marker"};
     return out;

@@ -96,6 +96,19 @@ ChaosReport run_chaos(const ChaosSpec& spec) {
     nodes.emplace_back(names[i], genesis, gossip_options);
   }
 
+  // The commitment layer rides along: one engine per node, frames on the
+  // same simulated network. `nodes` must not reallocate from here on
+  // (each engine holds a reference).
+  std::vector<CommitEngine> engines;
+  if (spec.commitment) {
+    CommitOptions commit_options;
+    commit_options.auth_seed = spec.seed;
+    engines.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      engines.emplace_back(nodes[i], n, commit_options);
+    }
+  }
+
   SimNet net(spec.seed, spec.faults);
   net.set_fault_horizon(spec.fault_horizon);
   net.set_partition_window(spec.partition_window);
@@ -136,7 +149,11 @@ ChaosReport run_chaos(const ChaosSpec& spec) {
   }
 
   InvariantChecker checker(spec.deep_replay);
-  for (std::size_t i = 0; i < n; ++i) checker.observe(nodes[i], 0);
+  CommitInvariantChecker commit_checker;
+  for (std::size_t i = 0; i < n; ++i) {
+    checker.observe(nodes[i], 0);
+    if (spec.commitment) commit_checker.observe(engines[i], 0);
+  }
 
   std::vector<std::size_t> remaining(n, spec.actions_per_site);
   std::vector<std::uint64_t> workload_seq(n, 0);
@@ -172,8 +189,23 @@ ChaosReport run_chaos(const ChaosSpec& spec) {
         if (partner >= i) ++partner;
         net.send(event->site, names[partner],
                  node.make_message(&net.faults(), net.now()));
+        if (spec.commitment) {
+          engines[i].tick();
+          // A drop-vote fault withholds this slot's commitment frame —
+          // the knowledge is durable and re-announced next tick.
+          if (!net.faults().vote_dropped(event->site, net.now())) {
+            net.send(event->site, names[partner],
+                     engines[i].make_message(&net.faults(), net.now()));
+          }
+        }
       }
       net.schedule_timer(event->site, net.now() + interval);
+    } else if (spec.commitment && is_commit_frame(event->payload)) {
+      const CommitReceipt receipt = engines[i].receive(event->payload);
+      if (receipt.reply_advised && net.is_up(event->from)) {
+        net.send(event->site, event->from,
+                 engines[i].make_message(&net.faults(), net.now()));
+      }
     } else {
       const GossipReceipt receipt = node.receive(event->payload);
       if (receipt.reply_advised() && net.is_up(event->from)) {
@@ -183,6 +215,7 @@ ChaosReport run_chaos(const ChaosSpec& spec) {
     }
 
     checker.observe(node, net.now());
+    if (spec.commitment) commit_checker.observe(engines[i], net.now());
 
     if (net.now() >= quiet_time) {
       const bool workload_done =
@@ -194,7 +227,18 @@ ChaosReport run_chaos(const ChaosSpec& spec) {
       const bool drained = std::all_of(
           nodes.begin(), nodes.end(),
           [](const GossipNode& g) { return g.pending().empty(); });
-      if (workload_done && all_up && drained && gossip_converged(nodes)) {
+      // With commitment on, sharing state is not enough: every committed
+      // action must also have become irrevocable at every site.
+      const bool all_stable =
+          !spec.commitment ||
+          (commit_converged(engines) &&
+           std::all_of(engines.begin(), engines.end(),
+                       [](const CommitEngine& e) {
+                         return e.stable_uids().size() ==
+                                e.node().history().size();
+                       }));
+      if (workload_done && all_up && drained && all_stable &&
+          gossip_converged(nodes)) {
         report.converged = true;
         report.converged_at = net.now();
         break;
@@ -203,18 +247,46 @@ ChaosReport run_chaos(const ChaosSpec& spec) {
   }
 
   report.final_time = net.now();
-  if (!report.converged) checker.check_converged(nodes, net.now());
+  if (!report.converged) {
+    checker.check_converged(nodes, net.now());
+    if (spec.commitment) {
+      commit_checker.check_commit_converged(engines, net.now());
+    }
+  }
   report.violations = checker.violations();
-  report.observations = checker.observations();
+  report.violations.insert(report.violations.end(),
+                           commit_checker.violations().begin(),
+                           commit_checker.violations().end());
+  report.observations =
+      checker.observations() + commit_checker.observations();
   for (const GossipNode& node : nodes) {
     report.totals.performs += node.stats().performs;
     report.totals.merges += node.stats().merges;
     report.totals.merge_noops += node.stats().merge_noops;
+    report.totals.merge_aborted += node.stats().merge_aborted;
     report.totals.transfers += node.stats().transfers;
     report.totals.demotions += node.stats().demotions;
     report.totals.quarantines += node.stats().quarantines;
     report.totals.stale_heard += node.stats().stale_heard;
+    report.totals.stable_conflicts += node.stats().stable_conflicts;
     report.max_epoch = std::max(report.max_epoch, node.epoch());
+  }
+  for (const CommitEngine& engine : engines) {
+    const CommitStats& s = engine.stats();
+    report.commit_totals.proposals_made += s.proposals_made;
+    report.commit_totals.votes_cast += s.votes_cast;
+    report.commit_totals.runoff_votes += s.runoff_votes;
+    report.commit_totals.decisions += s.decisions;
+    report.commit_totals.fast_forwards += s.fast_forwards;
+    report.commit_totals.rebases += s.rebases;
+    report.commit_totals.rebase_failures += s.rebase_failures;
+    report.commit_totals.frames_received += s.frames_received;
+    report.commit_totals.quarantines += s.quarantines;
+    report.commit_totals.records_learned += s.records_learned;
+    report.stable_height =
+        std::max(report.stable_height, engine.stable_height());
+    report.stable_actions =
+        std::max(report.stable_actions, engine.stable_uids().size());
   }
   if (report.converged) {
     report.final_fingerprint = nodes.front().committed_fingerprint();
@@ -267,10 +339,31 @@ std::string ChaosReport::to_json() const {
         "{\"performs\":" + std::to_string(totals.performs) +
             ",\"merges\":" + std::to_string(totals.merges) +
             ",\"merge_noops\":" + std::to_string(totals.merge_noops) +
+            ",\"merge_aborted\":" + std::to_string(totals.merge_aborted) +
             ",\"transfers\":" + std::to_string(totals.transfers) +
             ",\"demotions\":" + std::to_string(totals.demotions) +
             ",\"quarantines\":" + std::to_string(totals.quarantines) +
-            ",\"stale_heard\":" + std::to_string(totals.stale_heard) + "}",
+            ",\"stale_heard\":" + std::to_string(totals.stale_heard) +
+            ",\"stable_conflicts\":" +
+            std::to_string(totals.stable_conflicts) + "}",
+        false);
+  field("commit",
+        "{\"stable_height\":" + std::to_string(stable_height) +
+            ",\"stable_actions\":" + std::to_string(stable_actions) +
+            ",\"proposals\":" +
+            std::to_string(commit_totals.proposals_made) +
+            ",\"votes\":" + std::to_string(commit_totals.votes_cast) +
+            ",\"runoff_votes\":" +
+            std::to_string(commit_totals.runoff_votes) +
+            ",\"decisions\":" + std::to_string(commit_totals.decisions) +
+            ",\"fast_forwards\":" +
+            std::to_string(commit_totals.fast_forwards) +
+            ",\"rebases\":" + std::to_string(commit_totals.rebases) +
+            ",\"rebase_failures\":" +
+            std::to_string(commit_totals.rebase_failures) +
+            ",\"frames\":" + std::to_string(commit_totals.frames_received) +
+            ",\"quarantines\":" +
+            std::to_string(commit_totals.quarantines) + "}",
         false);
   field("net",
         "{\"sent\":" + std::to_string(net.sent) +

@@ -22,6 +22,7 @@
 
 #include "core/options.hpp"
 #include "fault/fault_plan.hpp"
+#include "replica/commit.hpp"
 #include "replica/gossip.hpp"
 #include "simnet/invariants.hpp"
 #include "simnet/simnet.hpp"
@@ -58,6 +59,13 @@ struct ChaosSpec {
   std::size_t crash_length = 24;      ///< duration of random crashes
   bool deep_replay = true;  ///< replay-validate every commit (see checker)
   bool keep_trace = true;   ///< retain trace lines (CRC always computed)
+  /// Run the decentralised commitment protocol (replica/commit.hpp) on
+  /// top of gossip: every site drives a CommitEngine, commit frames ride
+  /// the same simulated network (with FaultSpec::drop_vote /
+  /// stale_vote), the commitment invariants are checked after every
+  /// event, and convergence additionally demands that every committed
+  /// action became *stable* (irrevocable) everywhere.
+  bool commitment = true;
   FaultSpec faults;         ///< loss/corrupt/.../partition probabilities
   std::vector<ChaosPartition> partitions;  ///< scheduled cuts
   std::vector<ChaosCrash> crashes;         ///< scheduled crashes
@@ -77,6 +85,9 @@ struct ChaosReport {
   std::string final_fingerprint;  ///< set iff converged
   std::vector<Violation> violations;
   GossipStats totals;  ///< summed over all nodes
+  CommitStats commit_totals;  ///< summed over all engines (if commitment)
+  std::uint64_t stable_height = 0;  ///< max elections decided at any site
+  std::size_t stable_actions = 0;   ///< irrevocable actions at run end
   SimCounters net;
   std::size_t injected_faults = 0;  ///< FaultPlan records
   std::size_t observations = 0;     ///< invariant checks performed

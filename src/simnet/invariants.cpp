@@ -1,5 +1,6 @@
 #include "simnet/invariants.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace icecube {
@@ -115,6 +116,97 @@ void InvariantChecker::observe(const GossipNode& node, std::size_t time) {
   track.fp_hash = fp_hash;
   track.fingerprint = fp;
   track.accounted = std::move(accounted);
+}
+
+void CommitInvariantChecker::flag(std::string kind, const std::string& site,
+                                  std::string detail, std::size_t time) {
+  violations_.push_back({std::move(kind), site, std::move(detail), time});
+}
+
+namespace {
+
+/// True iff `a` is a prefix of `b` or vice versa.
+bool prefix_ordered(const std::vector<std::string>& a,
+                    const std::vector<std::string>& b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void CommitInvariantChecker::observe(const CommitEngine& engine,
+                                     std::size_t time) {
+  ++observations_;
+  const std::string& site = engine.site();
+
+  // vote-unique: one slot, one id. The engine keeps equivocated votes
+  // (knowledge is grow-only), so the offence stays visible; report it
+  // once per slot, not once per observation.
+  for (const auto& [key, ids] : engine.votes()) {
+    if (ids.size() <= 1) continue;
+    const std::string slot = key.voter + "/" + std::to_string(key.election) +
+                             "/" + std::to_string(key.runoff);
+    if (!flagged_slots_.insert(slot).second) continue;
+    flag("vote-unique", site,
+         "voter '" + key.voter + "' cast " + std::to_string(ids.size()) +
+             " different votes in election " + std::to_string(key.election) +
+             " runoff " + std::to_string(key.runoff),
+         time);
+  }
+
+  // commit-irrevocable: the decided sequence only extends.
+  const std::vector<std::string>& decided = engine.decided();
+  Track& track = tracks_[site];
+  if (decided.size() < track.decided.size() ||
+      !std::equal(track.decided.begin(), track.decided.end(),
+                  decided.begin())) {
+    flag("commit-irrevocable", site,
+         "decided sequence shrank or changed (was " +
+             std::to_string(track.decided.size()) + " decisions, now " +
+             std::to_string(decided.size()) + ")",
+         time);
+  }
+  track.decided = decided;
+
+  // stable-prefix: the agreed schedule is what the node executes.
+  const std::vector<std::string>& stable = engine.stable_uids();
+  const std::vector<std::string>& hist = engine.node().history_uids();
+  if (hist.size() < stable.size() ||
+      !std::equal(stable.begin(), stable.end(), hist.begin())) {
+    flag("stable-prefix", site,
+         "node history does not carry the decided prefix (stable " +
+             std::to_string(stable.size()) + " uids, history " +
+             std::to_string(hist.size()) + ")",
+         time);
+  }
+
+  // commit-divergence: globally, all decided sequences are prefix-ordered.
+  if (!prefix_ordered(decided, champion_)) {
+    flag("commit-divergence", site,
+         "decided sequence conflicts with site '" + champion_site_ + "'",
+         time);
+  } else if (decided.size() > champion_.size()) {
+    champion_ = decided;
+    champion_site_ = site;
+  }
+}
+
+void CommitInvariantChecker::check_commit_converged(
+    const std::vector<CommitEngine>& engines, std::size_t time) {
+  if (engines.empty()) return;
+  const std::vector<std::string>& reference = engines.front().decided();
+  for (std::size_t i = 1; i < engines.size(); ++i) {
+    if (engines[i].decided() != reference) {
+      flag("commit-convergence", engines[i].site(),
+           "decided " + std::to_string(engines[i].decided().size()) +
+               " elections, site '" + engines.front().site() + "' decided " +
+               std::to_string(reference.size()),
+           time);
+    }
+  }
 }
 
 void InvariantChecker::check_converged(const std::vector<GossipNode>& nodes,

@@ -39,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "replica/commit.hpp"
 #include "replica/gossip.hpp"
 
 namespace icecube {
@@ -100,6 +101,62 @@ class InvariantChecker {
   bool deep_replay_;
   std::size_t observations_ = 0;
   std::map<std::string, Track> tracks_;
+  std::vector<Violation> violations_;
+};
+
+/// Safety contract of the decentralised commitment layer
+/// (replica/commit.hpp), observed engine by engine between events:
+///
+///   vote-unique        — no voter fills one (election, runoff) slot with
+///                        two different proposal ids (equivocation is
+///                        outside the crash/partition failure model).
+///   commit-irrevocable — an engine's decided sequence only ever extends;
+///                        a decision, once derived, is never revoked or
+///                        replaced.
+///   stable-prefix      — the engine's decided stable prefix is carried
+///                        verbatim at the front of its node's committed
+///                        history: what was agreed is what is executed.
+///   commit-divergence  — across *all* engines, any two decided sequences
+///                        are prefix-ordered: no two sites ever commit
+///                        divergent prefixes, even transiently, even
+///                        mid-partition.
+///
+/// and, at the end of a run,
+///
+///   commit-convergence — every engine derived the identical decision
+///                        sequence and every node carries it.
+class CommitInvariantChecker {
+ public:
+  /// Call after any event that may have touched `engine` (or its node).
+  void observe(const CommitEngine& engine, std::size_t time);
+
+  /// Final check; see class comment.
+  void check_commit_converged(const std::vector<CommitEngine>& engines,
+                              std::size_t time);
+
+  [[nodiscard]] const std::vector<Violation>& violations() const {
+    return violations_;
+  }
+  [[nodiscard]] bool ok() const { return violations_.empty(); }
+  [[nodiscard]] std::size_t observations() const { return observations_; }
+
+ private:
+  struct Track {
+    std::vector<std::string> decided;  ///< last decided sequence seen
+  };
+
+  void flag(std::string kind, const std::string& site, std::string detail,
+            std::size_t time);
+
+  std::size_t observations_ = 0;
+  std::map<std::string, Track> tracks_;
+  /// The longest decided sequence seen anywhere, and who produced it —
+  /// every other sequence must be prefix-comparable against it.
+  std::vector<std::string> champion_;
+  std::string champion_site_;
+  /// Equivocations already reported (slot key), so one faulty vote pair
+  /// does not flood the report once it gossips everywhere.
+  std::set<std::string> flagged_slots_;
   std::vector<Violation> violations_;
 };
 

@@ -1,0 +1,141 @@
+// Chaos coverage for the decentralised commitment layer: hostile seed
+// sweeps where every committed action must also become irrevocable, a
+// 50+-site partition storm, the vote-withholding fault knobs, and replay
+// determinism of commitment traffic.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "simnet/chaos.hpp"
+
+namespace icecube {
+namespace {
+
+std::string failure_detail(const ChaosReport& report) {
+  std::string out = "seed " + std::to_string(report.seed) + ": converged=" +
+                    (report.converged ? "yes" : "no") +
+                    " steps=" + std::to_string(report.steps) +
+                    " stable=" + std::to_string(report.stable_actions) + "/" +
+                    std::to_string(report.total_actions);
+  for (const Violation& v : report.violations) {
+    out += "\n  " + v.message();
+  }
+  out += "\n  replay: tools/chaos --seed " + std::to_string(report.seed);
+  return out;
+}
+
+ChaosSpec hostile_commit_spec(std::uint64_t seed) {
+  ChaosSpec spec;
+  spec.seed = seed;
+  spec.sites = 4 + seed % 4;  // 4..7 sites
+  spec.actions_per_site = 3;
+  spec.fault_horizon = 250;
+  spec.step_budget = 80000;
+  spec.faults.lose = 0.08;
+  spec.faults.corrupt = 0.05;
+  spec.faults.truncate = 0.04;
+  spec.faults.duplicate = 0.08;
+  spec.faults.reorder = 0.10;
+  spec.faults.delay_max = 3;
+  spec.faults.partition = 0.04;
+  spec.faults.site_down = 0.04;
+  spec.faults.drop_vote = 0.10;
+  spec.faults.stale_vote = 0.10;
+  spec.deep_replay = false;
+  spec.keep_trace = false;
+  return spec;
+}
+
+TEST(CommitChaos, HostileSweepStabilisesEveryAction) {
+  // The big 200-seed sweep (chaos_test.cpp) already runs commitment by
+  // default; this one adds the vote-withholding faults and asserts the
+  // stronger postcondition explicitly: every workload action ends
+  // irrevocable at every site, with at least one election decided.
+  for (std::uint64_t seed = 1000; seed < 1030; ++seed) {
+    const ChaosReport report = run_chaos(hostile_commit_spec(seed));
+    ASSERT_TRUE(report.ok()) << failure_detail(report);
+    EXPECT_EQ(report.stable_actions, report.total_actions)
+        << failure_detail(report);
+    EXPECT_GE(report.commit_totals.decisions, 1u);
+    EXPECT_GE(report.stable_height, 1u);
+  }
+}
+
+TEST(CommitChaos, FiftySitePartitionStorm) {
+  // 54 sites, cleaved into three blocks of 18 for a long stretch while
+  // two sites crash, then healed. Each block keeps gossiping and
+  // campaigning internally; no block is a majority, so nothing may be
+  // decided before the heal — and everything must be decided after it.
+  ChaosSpec spec;
+  spec.seed = 4242;
+  spec.sites = 54;
+  spec.actions_per_site = 2;
+  spec.fault_horizon = 0;  // scheduled faults only
+  spec.step_budget = 400000;
+  spec.deep_replay = false;
+  spec.keep_trace = false;
+  const std::size_t block = spec.sites / 3;
+  for (std::size_t i = 0; i < spec.sites; ++i) {
+    for (std::size_t j = i + 1; j < spec.sites; ++j) {
+      if (i / block != j / block) {
+        spec.partitions.push_back(
+            {chaos_site_name(i), chaos_site_name(j), 5, 160});
+      }
+    }
+  }
+  spec.crashes.push_back({chaos_site_name(0), 20, 200});
+  spec.crashes.push_back({chaos_site_name(30), 40, 180});
+
+  const ChaosReport report = run_chaos(spec);
+  ASSERT_TRUE(report.ok()) << failure_detail(report);
+  // No block of 18 could dominate 36 unheard voters: every decision
+  // post-dates the heal, and still every action became stable everywhere.
+  EXPECT_GE(report.converged_at, 160u);
+  EXPECT_EQ(report.stable_actions, report.total_actions);
+  EXPECT_EQ(report.total_actions, 54u * 2u);
+  EXPECT_GT(report.net.dropped_partition, 0u);
+  EXPECT_GE(report.commit_totals.decisions, spec.sites);  // >=1 per engine
+}
+
+TEST(CommitChaos, VoteWithholdingKnobsStillLive) {
+  // Even with a third of commitment frames withheld and a third sent
+  // stale, elections terminate once the faults stop — progress only needs
+  // the network to eventually deliver knowledge.
+  for (std::uint64_t seed = 2000; seed < 2010; ++seed) {
+    ChaosSpec spec;
+    spec.seed = seed;
+    spec.sites = 5;
+    spec.actions_per_site = 3;
+    spec.fault_horizon = 200;
+    spec.faults.drop_vote = 0.33;
+    spec.faults.stale_vote = 0.33;
+    spec.deep_replay = false;
+    spec.keep_trace = false;
+    const ChaosReport report = run_chaos(spec);
+    ASSERT_TRUE(report.ok()) << failure_detail(report);
+    EXPECT_EQ(report.stable_actions, report.total_actions);
+  }
+}
+
+TEST(CommitChaos, CommitmentTrafficReplaysDeterministically) {
+  ChaosSpec spec = hostile_commit_spec(77);
+  spec.keep_trace = true;
+  const ChaosReport first = run_chaos(spec);
+  const ChaosReport second = run_chaos(spec);
+  EXPECT_EQ(first.trace_crc, second.trace_crc);
+  EXPECT_EQ(first.trace, second.trace);
+  EXPECT_EQ(first.to_json(), second.to_json());
+  ASSERT_FALSE(first.trace.empty());
+}
+
+TEST(CommitChaos, OptOutRunsGossipOnly) {
+  ChaosSpec spec = hostile_commit_spec(5);
+  spec.commitment = false;
+  const ChaosReport report = run_chaos(spec);
+  ASSERT_TRUE(report.ok()) << failure_detail(report);
+  EXPECT_EQ(report.commit_totals.frames_received, 0u);
+  EXPECT_EQ(report.stable_actions, 0u);
+}
+
+}  // namespace
+}  // namespace icecube

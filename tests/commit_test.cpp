@@ -1,0 +1,526 @@
+// Decentralised commitment: frame codec, election protocol semantics,
+// negative fixtures for every commitment invariant, and the empty-vs-
+// all-aborted schedule distinction in gossip and sync.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "objects/counter.hpp"
+#include "replica/commit.hpp"
+#include "replica/gossip.hpp"
+#include "replica/sync.hpp"
+#include "serialize/commit_codec.hpp"
+#include "serialize/gossip_codec.hpp"
+#include "serialize/log_codec.hpp"
+#include "serialize/universe_codec.hpp"
+#include "simnet/invariants.hpp"
+
+namespace icecube {
+namespace {
+
+Universe counter_genesis(std::int64_t initial = 100) {
+  Universe u;
+  u.add(std::make_unique<Counter>(initial));
+  return u;
+}
+
+ActionPtr inc(std::int64_t amount) {
+  return std::make_shared<IncrementAction>(ObjectId(0), amount);
+}
+ActionPtr dec(std::int64_t amount) {
+  return std::make_shared<DecrementAction>(ObjectId(0), amount);
+}
+
+CommitProposal sample_proposal(const std::string& proposer,
+                               std::uint64_t election = 0) {
+  Log log("history");
+  log.append(inc(5));
+  log.append(dec(3));
+  CommitProposal p;
+  p.election = election;
+  p.proposer = proposer;
+  p.fingerprint = "fp of " + proposer;
+  p.uids = {proposer + ":0", proposer + ":1"};
+  p.log_bytes = encode_log(log);
+  p.hash = commit_proposal_hash(p);
+  return p;
+}
+
+CommitFrame sample_commit_frame() {
+  CommitFrame frame;
+  frame.site = "site with spaces";
+  frame.members = 3;
+  frame.stable_height = 1;
+  frame.proposals = {sample_proposal("a"), sample_proposal("b", 1)};
+  frame.votes = {{0, 0, "a", frame.proposals[0].id()},
+                 {0, 1, "b votes", frame.proposals[1].id()}};
+  return frame;
+}
+
+// --- frame codec ---
+
+TEST(CommitCodec, RoundTrip) {
+  const CommitFrame frame = sample_commit_frame();
+  const auto decoded = decode_commit_frame(encode_commit_frame(frame, 7), 7);
+  ASSERT_TRUE(decoded.ok()) << decoded.error.message();
+  EXPECT_EQ(decoded.frame->site, frame.site);
+  EXPECT_EQ(decoded.frame->members, frame.members);
+  EXPECT_EQ(decoded.frame->stable_height, frame.stable_height);
+  ASSERT_EQ(decoded.frame->proposals.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(decoded.frame->proposals[i].id(), frame.proposals[i].id());
+    EXPECT_EQ(decoded.frame->proposals[i].uids, frame.proposals[i].uids);
+    EXPECT_EQ(decoded.frame->proposals[i].log_bytes,
+              frame.proposals[i].log_bytes);
+    EXPECT_EQ(decoded.frame->proposals[i].fingerprint,
+              frame.proposals[i].fingerprint);
+  }
+  EXPECT_EQ(decoded.frame->votes, frame.votes);
+}
+
+TEST(CommitCodec, IsCommitFrameDispatch) {
+  EXPECT_TRUE(is_commit_frame(encode_commit_frame(sample_commit_frame(), 0)));
+  GossipFrame gossip;
+  gossip.site = "s";
+  EXPECT_FALSE(is_commit_frame(encode_gossip_frame(gossip)));
+  EXPECT_FALSE(is_commit_frame(""));
+  EXPECT_FALSE(is_commit_frame("icecube-log 2 x\n"));
+}
+
+TEST(CommitCodec, WrongAuthSeedRejectedWhole) {
+  const std::string wire = encode_commit_frame(sample_commit_frame(), 7);
+  const auto decoded = decode_commit_frame(wire, 8);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error.kind, DecodeErrorKind::kCorrupted);
+}
+
+TEST(CommitCodec, TamperedProposalHashRejected) {
+  // The hash field lies about the content: CRC and auth both pass (they
+  // cover the bytes as written), the content-address layer must catch it.
+  CommitFrame frame = sample_commit_frame();
+  frame.proposals[0].hash ^= 0xdeadbeef;
+  const auto decoded = decode_commit_frame(encode_commit_frame(frame, 7), 7);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error.kind, DecodeErrorKind::kBadOperands);
+}
+
+TEST(CommitCodec, TruncationAndBitFlipRejected) {
+  const std::string wire = encode_commit_frame(sample_commit_frame(), 7);
+  const auto truncated =
+      decode_commit_frame(wire.substr(0, wire.size() - 5), 7);
+  ASSERT_FALSE(truncated.ok());
+  std::string flipped = wire;
+  flipped[flipped.size() / 2] ^= 0x20;
+  const auto corrupted = decode_commit_frame(flipped, 7);
+  ASSERT_FALSE(corrupted.ok());
+}
+
+// --- protocol semantics (in-memory frame exchange, no simulated net) ---
+
+std::vector<GossipNode> make_nodes(std::size_t n) {
+  std::vector<GossipNode> nodes;
+  nodes.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    nodes.emplace_back("s" + std::to_string(i), counter_genesis());
+  }
+  return nodes;
+}
+
+std::vector<CommitEngine> make_engines(std::vector<GossipNode>& nodes) {
+  std::vector<CommitEngine> engines;
+  engines.reserve(nodes.size());
+  for (GossipNode& node : nodes) {
+    engines.emplace_back(node, nodes.size());
+  }
+  return engines;
+}
+
+// All-pairs gossip within `group` (indices), one round.
+void gossip_round(std::vector<GossipNode>& nodes,
+                  const std::vector<std::size_t>& group) {
+  for (std::size_t i : group) {
+    for (std::size_t j : group) {
+      if (i != j) nodes[j].receive(nodes[i].make_message());
+    }
+  }
+}
+
+// All-pairs commitment exchange within `group`, observing invariants.
+void commit_round(std::vector<CommitEngine>& engines,
+                  const std::vector<std::size_t>& group,
+                  CommitInvariantChecker& checker) {
+  for (std::size_t i : group) {
+    for (std::size_t j : group) {
+      if (i != j) engines[j].receive(engines[i].make_message());
+      checker.observe(engines[j], 0);
+    }
+  }
+}
+
+[[nodiscard]] bool fully_stable(const std::vector<CommitEngine>& engines) {
+  if (!commit_converged(engines)) return false;
+  for (const CommitEngine& e : engines) {
+    if (e.stable_uids().size() != e.node().history().size()) return false;
+    if (e.node().pending().size() != 0) return false;
+  }
+  return true;
+}
+
+// Interleaves gossip and commitment rounds until every action everywhere
+// is stable; asserts it happens within `limit` rounds.
+void pump_until_stable(std::vector<GossipNode>& nodes,
+                       std::vector<CommitEngine>& engines,
+                       CommitInvariantChecker& checker,
+                       std::size_t limit = 50) {
+  std::vector<std::size_t> all;
+  for (std::size_t i = 0; i < nodes.size(); ++i) all.push_back(i);
+  for (std::size_t round = 0; round < limit; ++round) {
+    gossip_round(nodes, all);
+    commit_round(engines, all, checker);
+    if (fully_stable(engines)) return;
+  }
+  FAIL() << "group never became fully stable";
+}
+
+TEST(CommitEngine, ThreeSitesCommitEverything) {
+  std::vector<GossipNode> nodes = make_nodes(3);
+  std::vector<CommitEngine> engines = make_engines(nodes);
+  for (std::size_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(nodes[i].perform(inc(static_cast<std::int64_t>(i) + 1)));
+  }
+  CommitInvariantChecker checker;
+  pump_until_stable(nodes, engines, checker);
+  checker.check_commit_converged(engines, 0);
+  EXPECT_TRUE(checker.ok()) << checker.violations().front().message();
+
+  EXPECT_GE(engines[0].stable_height(), 1u);
+  for (const CommitEngine& e : engines) {
+    EXPECT_EQ(e.decided(), engines[0].decided());
+    EXPECT_EQ(e.stable_uids().size(), 3u);
+    EXPECT_EQ(e.node().stable_length(), 3u);
+    EXPECT_GE(e.stats().decisions, 1u);
+    EXPECT_GE(e.stats().votes_cast, 1u);
+  }
+}
+
+TEST(CommitEngine, MinorityCannotDecideMajorityCan) {
+  std::vector<GossipNode> nodes = make_nodes(3);
+  std::vector<CommitEngine> engines = make_engines(nodes);
+  ASSERT_TRUE(nodes[0].perform(inc(1)));
+  // Commit s0's action via one gossip exchange with s1 only.
+  nodes[1].receive(nodes[0].make_message());
+  nodes[0].receive(nodes[1].make_message());
+  ASSERT_GE(nodes[0].history().size(), 1u);
+
+  // Alone, s0 proposes and votes for itself: one vote among three members
+  // never dominates the two unheard votes.
+  engines[0].tick();
+  (void)engines[0].make_message();
+  engines[0].tick();
+  EXPECT_EQ(engines[0].stable_height(), 0u);
+  EXPECT_GE(engines[0].stats().proposals_made, 1u);
+  EXPECT_GE(engines[0].stats().votes_cast, 1u);
+
+  // Two of three are a strict majority: s1 hears s0's vote, adds its own,
+  // and 2 > 1 unheard decides no matter how s2 voted.
+  engines[1].receive(engines[0].make_message());
+  EXPECT_EQ(engines[1].stable_height(), 1u);
+  EXPECT_EQ(engines[0].stable_height(), 0u);  // s0 has not heard back yet
+
+  engines[0].receive(engines[1].make_message());
+  EXPECT_EQ(engines[0].stable_height(), 1u);
+  EXPECT_EQ(engines[0].decided(), engines[1].decided());
+}
+
+TEST(CommitEngine, PartitionedHalvesHealViaRunoff) {
+  std::vector<GossipNode> nodes = make_nodes(4);
+  std::vector<CommitEngine> engines = make_engines(nodes);
+  for (std::size_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(nodes[i].perform(inc(static_cast<std::int64_t>(i) + 1)));
+  }
+  CommitInvariantChecker checker;
+
+  // Partition {s0,s1} | {s2,s3}: each half commits its own pair of
+  // actions and campaigns for it, but two votes among four members can
+  // never dominate the two unheard — nothing is decided mid-partition.
+  const std::vector<std::size_t> left{0, 1}, right{2, 3};
+  for (int round = 0; round < 4; ++round) {
+    gossip_round(nodes, left);
+    gossip_round(nodes, right);
+    commit_round(engines, left, checker);
+    commit_round(engines, right, checker);
+  }
+  ASSERT_TRUE(checker.ok()) << checker.violations().front().message();
+  for (const CommitEngine& e : engines) {
+    EXPECT_EQ(e.stable_height(), 0u);
+    EXPECT_GE(e.stats().votes_cast, 1u);
+  }
+
+  // Heal, commitment traffic first (before any anti-entropy unifies the
+  // histories): the complete runoff-0 tally is a permanent 2-2 tie, so
+  // every site derives stuckness, casts the identical deterministic
+  // runoff-1 vote, and the losing half — whose nodes still hold the
+  // divergent lineage — must rebase onto the winner, not be dropped.
+  const std::vector<std::size_t> all{0, 1, 2, 3};
+  for (int round = 0; round < 3; ++round) {
+    commit_round(engines, all, checker);
+  }
+  pump_until_stable(nodes, engines, checker);
+  checker.check_commit_converged(engines, 1);
+  EXPECT_TRUE(checker.ok()) << checker.violations().front().message();
+
+  std::size_t runoff_votes = 0, rebases = 0;
+  for (const CommitEngine& e : engines) {
+    EXPECT_EQ(e.decided(), engines[0].decided());
+    EXPECT_EQ(e.stable_uids().size(), 4u);
+    runoff_votes += e.stats().runoff_votes;
+    rebases += e.stats().rebases;
+  }
+  EXPECT_GE(runoff_votes, 1u) << "a 2-2 tie must resolve via a runoff";
+  EXPECT_GE(rebases, 1u) << "the losing half must rebase, not be dropped";
+}
+
+TEST(CommitEngine, DecisionsRederivableFromKnowledgeAfterCrash) {
+  std::vector<GossipNode> nodes = make_nodes(3);
+  std::vector<CommitEngine> engines = make_engines(nodes);
+  for (std::size_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(nodes[i].perform(inc(static_cast<std::int64_t>(i) + 1)));
+  }
+  CommitInvariantChecker checker;
+  pump_until_stable(nodes, engines, checker);
+  ASSERT_GE(engines[0].stable_height(), 1u);
+
+  // s0 crashes and loses its replica state but not the cluster's
+  // knowledge: a re-announced frame from any peer lets a fresh engine
+  // re-derive the identical decision sequence and rebase its empty node
+  // onto the stable prefix. Decisions are a function of knowledge alone.
+  GossipNode reborn("s0", counter_genesis());
+  CommitEngine revived(reborn, 3);
+  const CommitReceipt receipt = revived.receive(engines[1].make_message());
+  EXPECT_FALSE(receipt.quarantined);
+  EXPECT_EQ(revived.decided(), engines[1].decided());
+  EXPECT_EQ(revived.stable_uids(), engines[1].stable_uids());
+  EXPECT_EQ(reborn.history_uids().size(), revived.stable_uids().size());
+  EXPECT_GE(revived.stats().rebases, 1u);
+}
+
+TEST(CommitEngine, MemberCountMismatchQuarantined) {
+  std::vector<GossipNode> nodes = make_nodes(2);
+  std::vector<CommitEngine> engines = make_engines(nodes);
+  GossipNode other("s9", counter_genesis());
+  CommitEngine stranger(other, 5);  // believes in a 5-member cluster
+  const CommitReceipt receipt = engines[0].receive(stranger.make_message());
+  EXPECT_TRUE(receipt.quarantined);
+  EXPECT_EQ(engines[0].stats().quarantines, 1u);
+  EXPECT_FALSE(receipt.learned());
+}
+
+// --- negative fixtures: each commitment invariant must actually fire ---
+
+[[nodiscard]] bool has_violation(const CommitInvariantChecker& checker,
+                                 const std::string& kind) {
+  for (const Violation& v : checker.violations()) {
+    if (v.kind == kind) return true;
+  }
+  return false;
+}
+
+TEST(CommitInvariants, DoubleVoteFlagged) {
+  std::vector<GossipNode> nodes = make_nodes(2);
+  std::vector<CommitEngine> engines = make_engines(nodes);
+
+  // A forged (but correctly signed) frame in which "evil" fills one
+  // (election, runoff) slot twice. The engine unions it — knowledge is
+  // grow-only — and the vote-uniqueness invariant reports the equivocation.
+  CommitFrame forged;
+  forged.site = "evil";
+  forged.members = 2;
+  forged.votes = {{0, 0, "evil", "proposal-one"},
+                  {0, 0, "evil", "proposal-two"}};
+  const CommitReceipt receipt =
+      engines[0].receive(encode_commit_frame(forged, 0));
+  EXPECT_FALSE(receipt.quarantined);
+  EXPECT_EQ(receipt.new_votes, 2u);
+
+  CommitInvariantChecker checker;
+  checker.observe(engines[0], 3);
+  EXPECT_TRUE(has_violation(checker, "vote-unique"));
+}
+
+// Builds a single-member engine that has decided its own one-action
+// history (a one-member election is its own quorum), by committing the
+// action through a throwaway gossip peer first.
+void decide_alone(GossipNode& node, CommitEngine& engine, ActionPtr action) {
+  ASSERT_TRUE(node.perform(std::move(action)));
+  GossipNode peer("peer-" + node.name(), counter_genesis());
+  node.receive(peer.make_message());  // commits the pending action
+  ASSERT_GE(node.history().size(), 1u);
+  engine.tick();
+  ASSERT_EQ(engine.stable_height(), 1u);
+}
+
+TEST(CommitInvariants, DivergentCommittedPrefixesFlagged) {
+  std::vector<GossipNode> nodes = make_nodes(2);
+  std::vector<CommitEngine> engines;
+  engines.reserve(2);
+  engines.emplace_back(nodes[0], 1);
+  engines.emplace_back(nodes[1], 1);
+  decide_alone(nodes[0], engines[0], inc(1));
+  decide_alone(nodes[1], engines[1], inc(2));
+
+  // Two "clusters of one" each decided a different prefix. A checker
+  // watching both must reject the pair: decided sequences anywhere in a
+  // group have to be prefix-ordered.
+  CommitInvariantChecker checker;
+  checker.observe(engines[0], 1);
+  checker.observe(engines[1], 2);
+  EXPECT_TRUE(has_violation(checker, "commit-divergence"));
+
+  CommitInvariantChecker convergence;
+  convergence.check_commit_converged(engines, 3);
+  EXPECT_TRUE(has_violation(convergence, "commit-convergence"));
+}
+
+TEST(CommitInvariants, RevokedCommitFlagged) {
+  // Two engines impersonating the same site with different decisions: to
+  // the checker this is one site whose decided sequence changed without
+  // extending — a revoked commitment.
+  std::vector<GossipNode> nodes;
+  nodes.reserve(2);
+  nodes.emplace_back("s", counter_genesis());
+  nodes.emplace_back("s", counter_genesis());
+  std::vector<CommitEngine> engines;
+  engines.reserve(2);
+  engines.emplace_back(nodes[0], 1);
+  engines.emplace_back(nodes[1], 1);
+  decide_alone(nodes[0], engines[0], inc(1));
+  decide_alone(nodes[1], engines[1], inc(2));
+
+  CommitInvariantChecker checker;
+  checker.observe(engines[0], 1);
+  checker.observe(engines[1], 2);
+  EXPECT_TRUE(has_violation(checker, "commit-irrevocable"));
+}
+
+TEST(CommitInvariants, StablePrefixRewriteFlagged) {
+  std::vector<GossipNode> nodes;
+  nodes.reserve(1);
+  nodes.emplace_back("s", counter_genesis());
+  std::vector<CommitEngine> engines;
+  engines.reserve(1);
+  engines.emplace_back(nodes[0], 1);
+  decide_alone(nodes[0], engines[0], inc(1));
+
+  CommitInvariantChecker checker;
+  checker.observe(engines[0], 1);
+  ASSERT_TRUE(checker.ok());
+
+  // Something rewrites the node's history underneath the engine (here: a
+  // forced rebase onto a different prefix). The decided prefix is no
+  // longer what the node executes — the stable-prefix invariant fires.
+  ASSERT_TRUE(nodes[0].rebase({inc(9)}, {"z:0"}));
+  checker.observe(engines[0], 2);
+  EXPECT_TRUE(has_violation(checker, "stable-prefix"));
+}
+
+// --- empty vs all-aborted schedules (gossip + sync reporting) ---
+
+TEST(GossipAllAborted, IdleExchangeIsNothingToMerge) {
+  std::vector<GossipNode> nodes = make_nodes(2);
+  const GossipReceipt receipt = nodes[0].receive(nodes[1].make_message());
+  EXPECT_EQ(receipt.reject, GossipReject::kNothingToMerge);
+  EXPECT_FALSE(receipt.quarantined);
+  EXPECT_EQ(nodes[0].stats().merge_noops, 1u);
+  EXPECT_EQ(nodes[0].stats().merge_aborted, 0u);
+}
+
+TEST(GossipAllAborted, SemanticStallIsAllAborted) {
+  // The peer offers an action that cannot replay from the shared committed
+  // state (a decrement below zero): actions were offered, every candidate
+  // schedule aborted all of them. That must be distinguishable from the
+  // idle exchange above — and it is not a quarantine either.
+  GossipNode node("a", counter_genesis(2));
+  const ObjectRegistry registry = ObjectRegistry::with_builtins();
+
+  Log offered("b");
+  offered.append(dec(5));
+  GossipFrame frame;
+  frame.site = "b";
+  frame.epoch = 0;
+  frame.history_bytes = encode_log(Log("b"));
+  frame.pending_uids = {"b:0"};
+  frame.pending_bytes = encode_log(offered);
+  frame.universe_bytes = *encode_universe(node.committed(), registry);
+
+  const GossipReceipt receipt = node.receive(encode_gossip_frame(frame));
+  EXPECT_EQ(receipt.reject, GossipReject::kAllAborted);
+  EXPECT_FALSE(receipt.quarantined);
+  EXPECT_FALSE(receipt.merged);
+  EXPECT_EQ(node.stats().merge_aborted, 1u);
+  EXPECT_EQ(node.stats().merge_noops, 0u);
+  EXPECT_TRUE(node.history().empty());
+}
+
+/// Valid while the shared valve is open (during local perform), aborts on
+/// every later replay — the honest way to make a reconciliation commit
+/// nothing although actions were offered.
+class ValveAction final : public SimpleAction {
+ public:
+  explicit ValveAction(std::shared_ptr<bool> open)
+      : SimpleAction(Tag("valve"), {}), open_(std::move(open)) {}
+
+  [[nodiscard]] bool precondition(const Universe&) const override {
+    return *open_;
+  }
+  bool execute(Universe&) const override { return *open_; }
+
+ private:
+  std::shared_ptr<bool> open_;
+};
+
+TEST(SyncAllAborted, SingleRoundReportsAllAborted) {
+  auto open = std::make_shared<bool>(true);
+  Site a("a", counter_genesis()), b("b", counter_genesis());
+  ASSERT_TRUE(a.perform(std::make_shared<ValveAction>(open)));
+  ASSERT_TRUE(b.perform(std::make_shared<ValveAction>(open)));
+  *open = false;
+
+  const SyncResult result = synchronise({&a, &b});
+  EXPECT_TRUE(result.adopted);
+  EXPECT_TRUE(result.all_aborted);
+  EXPECT_TRUE(result.reconcile.best().schedule.empty());
+}
+
+TEST(SyncAllAborted, IdleRoundIsNotAllAborted) {
+  Site a("a", counter_genesis()), b("b", counter_genesis());
+  ASSERT_TRUE(a.perform(inc(1)));
+  const SyncResult result = synchronise({&a, &b});
+  EXPECT_TRUE(result.adopted);
+  EXPECT_FALSE(result.all_aborted);
+}
+
+TEST(SyncAllAborted, ResilientprotocolRecordsStall) {
+  auto open = std::make_shared<bool>(true);
+  Site a("a", counter_genesis()), b("b", counter_genesis());
+  ASSERT_TRUE(a.perform(std::make_shared<ValveAction>(open)));
+  ASSERT_TRUE(b.perform(std::make_shared<ValveAction>(open)));
+  *open = false;
+
+  SyncConfig config;
+  config.ship_logs = false;  // ValveAction is not registered for shipping
+  const SyncReport report =
+      synchronise_resilient({&a, &b}, {}, nullptr, nullptr, config);
+  EXPECT_TRUE(report.all_aborted);
+  bool recorded = false;
+  for (const SyncError& error : report.errors) {
+    if (error.kind == SyncErrorKind::kAllAborted) recorded = true;
+  }
+  EXPECT_TRUE(recorded);
+  const SyncError stall{SyncErrorKind::kAllAborted, {}, {}};
+  EXPECT_FALSE(stall.transient());  // a retry will not fix a semantic stall
+}
+
+}  // namespace
+}  // namespace icecube

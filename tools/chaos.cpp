@@ -8,13 +8,13 @@
 //
 //   # a 500-seed sweep under loss, corruption, duplication, random
 //   # partitions and crash/recovery; machine-readable output
-//   chaos --seeds 500 --sites 6 --lose 0.05 --corrupt 0.05 \
-//         --duplicate 0.05 --partition 0.05 --site-down 0.05 \
+//   chaos --seeds 500 --sites 6 --lose 0.05 --corrupt 0.05
+//         --duplicate 0.05 --partition 0.05 --site-down 0.05
 //         --json chaos.json
 //
 //   # a scheduled partition that isolates s0+s1 from s2+s3 until t=120,
 //   # plus a crash/restart of s3
-//   chaos --sites 4 --cut s0 s2 10 120 --cut s0 s3 10 120 \
+//   chaos --sites 4 --cut s0 s2 10 120 --cut s0 s3 10 120
 //         --cut s1 s2 10 120 --cut s1 s3 10 120 --crash s3 30 80
 //
 // Exit status is 0 iff every run converged with zero invariant
@@ -54,8 +54,12 @@ void usage(const char* argv0) {
       "  --cut A B AT HEAL cut link A-B at AT, heal at HEAL (repeatable)\n"
       "  --crash S AT RST  crash site S at AT, restart at RST (repeatable)\n"
       "  --no-deep-replay  skip per-commit history replay validation\n"
+      "  --no-commit       disable the decentralised commitment layer\n"
+      "  --drop-vote P     P(site withholds its commitment frame per slot)\n"
+      "  --stale-vote P    P(site announces stale commitment knowledge)\n"
       "  --trace           print the full event trace of each run\n"
-      "  --json PATH       write a JSON array of per-run reports\n",
+      "  --json PATH       write a JSON array of per-run reports\n"
+      "  --failures DIR    write failing runs' reports + traces into DIR\n",
       argv0);
 }
 
@@ -86,6 +90,7 @@ int main(int argc, char** argv) {
   std::size_t runs = 1;
   bool print_trace = false;
   std::string json_path;
+  std::string failures_dir;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -162,11 +167,22 @@ int main(int argc, char** argv) {
       spec.crashes.push_back(std::move(c));
     } else if (arg == "--no-deep-replay") {
       spec.deep_replay = false;
+    } else if (arg == "--no-commit") {
+      spec.commitment = false;
+    } else if (arg == "--drop-vote") {
+      need(1);
+      ok = parse_prob(argv[++i], spec.faults.drop_vote);
+    } else if (arg == "--stale-vote") {
+      need(1);
+      ok = parse_prob(argv[++i], spec.faults.stale_vote);
     } else if (arg == "--trace") {
       print_trace = true;
     } else if (arg == "--json") {
       need(1);
       json_path = argv[++i];
+    } else if (arg == "--failures") {
+      need(1);
+      failures_dir = argv[++i];
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       usage(argv[0]);
@@ -177,28 +193,29 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  spec.keep_trace = print_trace;
+  spec.keep_trace = print_trace || !failures_dir.empty();
 
   std::vector<std::string> json_reports;
   std::size_t failures = 0;
   const std::uint64_t first_seed = spec.seed;
 
-  std::printf("%8s %6s %6s %10s %8s %6s %6s %9s %10s %6s\n", "seed",
+  std::printf("%8s %6s %6s %10s %8s %6s %6s %9s %7s %10s %6s\n", "seed",
               "sites", "steps", "converged", "epoch", "merges", "xfers",
-              "quarant.", "trace", "viol");
+              "quarant.", "stable", "trace", "viol");
   for (std::size_t r = 0; r < runs; ++r) {
     spec.seed = first_seed + r;
     const ChaosReport report = run_chaos(spec);
-    std::printf("%8llu %6zu %6zu %10s %8llu %6zu %6zu %9zu   %08x %6zu\n",
-                static_cast<unsigned long long>(report.seed), report.sites,
-                report.steps,
-                report.converged
-                    ? ("t=" + std::to_string(report.converged_at)).c_str()
-                    : "NO",
-                static_cast<unsigned long long>(report.max_epoch),
-                report.totals.merges, report.totals.transfers,
-                report.totals.quarantines, report.trace_crc,
-                report.violations.size());
+    std::printf(
+        "%8llu %6zu %6zu %10s %8llu %6zu %6zu %9zu %7zu   %08x %6zu\n",
+        static_cast<unsigned long long>(report.seed), report.sites,
+        report.steps,
+        report.converged
+            ? ("t=" + std::to_string(report.converged_at)).c_str()
+            : "NO",
+        static_cast<unsigned long long>(report.max_epoch),
+        report.totals.merges, report.totals.transfers,
+        report.totals.quarantines + report.commit_totals.quarantines,
+        report.stable_actions, report.trace_crc, report.violations.size());
     for (const Violation& v : report.violations) {
       std::printf("    violation: %s\n", v.message().c_str());
     }
@@ -211,6 +228,24 @@ int main(int argc, char** argv) {
       ++failures;
       std::printf("    replay: --seed %llu (plus the flags of this run)\n",
                   static_cast<unsigned long long>(report.seed));
+      if (!failures_dir.empty()) {
+        // One report + one trace file per failing seed, for CI artifacts.
+        const std::string base = failures_dir + "/seed-" +
+                                 std::to_string(report.seed);
+        std::ofstream rep(base + ".json");
+        if (rep) rep << report.to_json() << "\n";
+        std::ofstream trc(base + ".trace");
+        if (trc) {
+          for (const Violation& v : report.violations) {
+            trc << "violation: " << v.message() << "\n";
+          }
+          for (const std::string& line : report.trace) trc << line << "\n";
+        }
+        if (!rep || !trc) {
+          std::fprintf(stderr, "cannot write failure artifacts under '%s'\n",
+                       failures_dir.c_str());
+        }
+      }
     }
     json_reports.push_back(report.to_json());
   }

@@ -28,6 +28,7 @@ run bench_parallel
 run bench_scaling
 run bench_state
 run bench_chaos
+run bench_commit
 run bench_analysis
 
 # The soundness auditor's full report rides along with the bench artifacts:
