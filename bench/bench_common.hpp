@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "core/outcome.hpp"
 #include "jigsaw/experiment.hpp"
 
 namespace bench {
@@ -35,8 +36,13 @@ class JsonSink {
               std::size_t threads, double wall_seconds,
               std::uint64_t schedules_explored) {
     if (!active()) return;
-    records_.push_back(Record{std::move(workload), n_actions, threads,
-                              wall_seconds, schedules_explored, 0, 0, 0});
+    Record r;
+    r.workload = std::move(workload);
+    r.n_actions = n_actions;
+    r.threads = threads;
+    r.wall_seconds = wall_seconds;
+    r.schedules_explored = schedules_explored;
+    records_.push_back(std::move(r));
   }
 
   /// Overload carrying the state-management clone counters (see
@@ -48,9 +54,46 @@ class JsonSink {
               std::uint64_t schedules_explored, std::uint64_t object_clones,
               std::uint64_t clones_avoided, std::uint64_t bytes_cloned) {
     if (!active()) return;
-    records_.push_back(Record{std::move(workload), n_actions, threads,
-                              wall_seconds, schedules_explored, object_clones,
-                              clones_avoided, bytes_cloned});
+    Record r;
+    r.workload = std::move(workload);
+    r.n_actions = n_actions;
+    r.threads = threads;
+    r.wall_seconds = wall_seconds;
+    r.schedules_explored = schedules_explored;
+    r.object_clones = object_clones;
+    r.clones_avoided = clones_avoided;
+    r.bytes_cloned = bytes_cloned;
+    records_.push_back(std::move(r));
+  }
+
+  /// Overload taking a whole SearchStats: tags the row with the backend
+  /// name and the local-search move counters, so every bench that runs a
+  /// Reconciler reports which solver produced its numbers. `best_cost` is
+  /// the policy cost of the best outcome; `dfs_gap` is the relative cost
+  /// gap versus the DFS optimum on the same problem (negative = DFS
+  /// reference unavailable); `finished = false` marks a run killed by its
+  /// wall budget (its other numbers describe the partial run).
+  void record(std::string workload, std::size_t n_actions,
+              std::size_t threads, double wall_seconds,
+              const icecube::SearchStats& stats, double best_cost = 0.0,
+              double dfs_gap = -1.0, bool finished = true) {
+    if (!active()) return;
+    Record r;
+    r.workload = std::move(workload);
+    r.n_actions = n_actions;
+    r.threads = threads;
+    r.wall_seconds = wall_seconds;
+    r.schedules_explored = stats.schedules_explored();
+    r.object_clones = stats.object_clones;
+    r.clones_avoided = stats.clones_avoided;
+    r.bytes_cloned = stats.bytes_cloned;
+    r.backend = stats.backend;
+    r.moves_proposed = stats.moves_proposed;
+    r.moves_accepted = stats.moves_accepted;
+    r.best_cost = best_cost;
+    r.dfs_gap = dfs_gap;
+    r.finished = finished;
+    records_.push_back(std::move(r));
   }
 
   /// Writes the collected records; called automatically on destruction.
@@ -72,7 +115,13 @@ class JsonSink {
           << ", \"schedules_explored\": " << r.schedules_explored
           << ", \"object_clones\": " << r.object_clones
           << ", \"clones_avoided\": " << r.clones_avoided
-          << ", \"bytes_cloned\": " << r.bytes_cloned << "}"
+          << ", \"bytes_cloned\": " << r.bytes_cloned
+          << ", \"backend\": \"" << escaped(r.backend)
+          << "\", \"moves_proposed\": " << r.moves_proposed
+          << ", \"moves_accepted\": " << r.moves_accepted
+          << ", \"best_cost\": " << r.best_cost
+          << ", \"dfs_gap\": " << r.dfs_gap
+          << ", \"finished\": " << (r.finished ? "true" : "false") << "}"
           << (i + 1 < records_.size() ? "," : "") << "\n";
     }
     out << "]\n";
@@ -82,13 +131,19 @@ class JsonSink {
  private:
   struct Record {
     std::string workload;
-    std::size_t n_actions;
-    std::size_t threads;
-    double wall_seconds;
-    std::uint64_t schedules_explored;
-    std::uint64_t object_clones;
-    std::uint64_t clones_avoided;
-    std::uint64_t bytes_cloned;
+    std::size_t n_actions = 0;
+    std::size_t threads = 1;
+    double wall_seconds = 0.0;
+    std::uint64_t schedules_explored = 0;
+    std::uint64_t object_clones = 0;
+    std::uint64_t clones_avoided = 0;
+    std::uint64_t bytes_cloned = 0;
+    std::string backend = "dfs";
+    std::uint64_t moves_proposed = 0;
+    std::uint64_t moves_accepted = 0;
+    double best_cost = 0.0;
+    double dfs_gap = -1.0;  ///< negative: no DFS reference for this row
+    bool finished = true;
   };
 
   static std::string escaped(const std::string& s) {

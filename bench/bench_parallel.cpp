@@ -102,6 +102,7 @@ struct Measured {
   std::size_t cutsets = 0;
   double best_cost = 0.0;
   std::string best_schedule;
+  SearchStats stats;
 };
 
 Measured run_once(const Workload& w, std::size_t threads) {
@@ -120,6 +121,7 @@ Measured run_once(const Workload& w, std::size_t threads) {
   m.cutsets = result.cutsets.size();
   m.best_cost = result.best().cost;
   m.best_schedule = r.describe_schedule(result.best().schedule);
+  m.stats = result.stats;
   for (ActionId skip : result.best().skipped) {
     m.best_schedule += " -" + std::to_string(skip.index());
   }
@@ -160,7 +162,7 @@ int main(int argc, char** argv) {
                   w.n_actions, threads, m.cutsets,
                   static_cast<unsigned long long>(m.schedules), m.wall,
                   base_wall > 0 ? base_wall / m.wall : 0.0);
-      json.record(name, w.n_actions, threads, m.wall, m.schedules);
+      json.record(name, w.n_actions, threads, m.wall, m.stats, m.best_cost);
     }
     std::printf("\n");
   }

@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
     const auto r = run_experiment(problem, opts);
     bench::print_row(name, r);
     json.record(name, n_actions, /*threads=*/1, r.stats.elapsed_seconds,
-                r.stats.schedules_explored());
+                r.stats, r.best.actions > 0 ? -r.best.actions : 0.0);
   };
 
   for (const int side : {4, 6, 8, 10}) {

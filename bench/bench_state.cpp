@@ -137,13 +137,9 @@ int main(int argc, char** argv) {
                 reduction, equivalent ? "ok" : "FAIL");
 
     json.record(std::string("state/") + name + "/cow", cell.actions, 1,
-                cow.wall, cow.stats.schedules_explored(),
-                cow.stats.object_clones, cow.stats.clones_avoided,
-                cow.stats.bytes_cloned);
+                cow.wall, cow.stats);
     json.record(std::string("state/") + name + "/eager", cell.actions, 1,
-                eager.wall, eager.stats.schedules_explored(),
-                eager.stats.object_clones, eager.stats.clones_avoided,
-                eager.stats.bytes_cloned);
+                eager.wall, eager.stats);
   }
 
   std::printf("\nheadline (64 actions / 32 objects): %.1fx fewer cloned "

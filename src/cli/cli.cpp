@@ -48,7 +48,9 @@ bool write_file(const std::string& path, const std::string& content,
 int usage(std::ostream& err) {
   err << "usage:\n"
          "  icecube demo <bank|sysadmin|files>\n"
-         "  icecube reconcile <universe> <log>... [--heuristic "
+         "  icecube reconcile <universe> <log>... "
+         "[--backend dfs|greedy|ls|auto]\n"
+         "           [--ls-seed N] [--ls-moves N] [--heuristic "
          "all|safe|strict]\n"
          "           [--skip-failed] [--max-schedules N] [--deadline S]\n"
          "           [--threads N] [--save FILE] [--dot]\n"
@@ -134,6 +136,37 @@ int cmd_reconcile(const std::vector<std::string>& args, std::ostream& out,
         err << "error: unknown heuristic '" << args[i] << "'\n";
         return 2;
       }
+    } else if (arg == "--backend") {
+      if (++i >= args.size()) return usage(err);
+      if (args[i] == "dfs") {
+        options.backend = SolverKind::kDfs;
+      } else if (args[i] == "greedy") {
+        options.backend = SolverKind::kGreedy;
+      } else if (args[i] == "ls") {
+        options.backend = SolverKind::kLocalSearch;
+      } else if (args[i] == "auto") {
+        options.backend = SolverKind::kAuto;
+      } else {
+        err << "error: unknown backend '" << args[i]
+            << "' (expected dfs|greedy|ls|auto)\n";
+        return 2;
+      }
+    } else if (arg == "--ls-seed") {
+      if (++i >= args.size()) return usage(err);
+      const auto seed = serialize_detail::parse_number<std::uint64_t>(args[i]);
+      if (!seed) {
+        err << "error: --ls-seed expects a number, got '" << args[i] << "'\n";
+        return 2;
+      }
+      options.local_search.seed = *seed;
+    } else if (arg == "--ls-moves") {
+      if (++i >= args.size()) return usage(err);
+      const auto moves = serialize_detail::parse_number<std::uint64_t>(args[i]);
+      if (!moves) {
+        err << "error: --ls-moves expects a count, got '" << args[i] << "'\n";
+        return 2;
+      }
+      options.local_search.max_moves = *moves;
     } else if (arg == "--skip-failed") {
       options.failure_mode = FailureMode::kSkipAction;
     } else if (arg == "--max-schedules") {
@@ -214,6 +247,13 @@ int cmd_reconcile(const std::vector<std::string>& args, std::ostream& out,
     logs.push_back(std::move(*decoded.log));
   }
 
+  if (dot && (options.backend == SolverKind::kGreedy ||
+              options.backend == SolverKind::kLocalSearch)) {
+    // The DOT rendering walks the dense relations, which the sparse
+    // greedy/local-search path never builds.
+    err << "error: --dot requires --backend dfs or auto\n";
+    return 2;
+  }
   Reconciler reconciler(*universe.universe, std::move(logs), options);
   if (dot) {
     out << to_dot(reconciler.records(), reconciler.relations());
@@ -235,7 +275,12 @@ int cmd_reconcile(const std::vector<std::string>& args, std::ostream& out,
   out << "final state:\n" << best.final_state.describe();
   out << "search: " << result.stats.schedules_explored()
       << " schedules explored in " << result.stats.elapsed_seconds << "s"
+      << " [" << result.stats.backend << " backend]"
       << (result.stats.hit_limit ? " (limit hit)" : "") << '\n';
+  if (result.stats.moves_proposed > 0) {
+    out << "local search: " << result.stats.moves_proposed << " moves proposed, "
+        << result.stats.moves_accepted << " accepted\n";
+  }
   if (result.degraded) {
     out << "degraded: budget exhausted with no complete schedule; greedy "
            "fallback ran, "

@@ -53,6 +53,69 @@ enum class BRule : std::uint8_t {
   kLookahead      ///< B = {b ∈ S : ∃c ∈ S \ {b}, c I b}
 };
 
+/// Which search engine turns a cutset sub-problem into outcomes. See
+/// src/solver/backend.hpp and DESIGN.md §13.
+enum class SolverKind : std::uint8_t {
+  kDfs,          ///< exhaustive cutset DFS (the paper's search; optimal)
+  kGreedy,       ///< one topological construction + replay-with-skip
+  kLocalSearch,  ///< seeded SA/tabu over permutations, incremental eval
+  kAuto          ///< DFS on small cutsets, local search on large ones
+};
+
+[[nodiscard]] constexpr std::string_view to_string(SolverKind k) {
+  switch (k) {
+    case SolverKind::kDfs:
+      return "dfs";
+    case SolverKind::kGreedy:
+      return "greedy";
+    case SolverKind::kLocalSearch:
+      return "ls";
+    case SolverKind::kAuto:
+      return "auto";
+  }
+  return "?";
+}
+
+/// Knobs for the local-search backend (SolverKind::kLocalSearch). The walk
+/// is fully determined by `seed` and these parameters — identical runs give
+/// identical schedules regardless of thread count.
+struct LocalSearchOptions {
+  std::uint64_t seed = 0x1cecbe0ULL;
+  /// Move proposals before stopping (each proposal may or may not be
+  /// evaluated; infeasible proposals count so the loop always terminates).
+  std::uint64_t max_moves = 20000;
+  /// Stop after this many consecutive proposals without a new incumbent.
+  std::uint64_t stall_moves = 5000;
+  /// Simulated-annealing temperature schedule: T starts at
+  /// `initial_temperature` and is multiplied by `cooling` per proposal,
+  /// floored at `min_temperature`. Uphill moves of cost delta d are accepted
+  /// with probability exp(-d / T).
+  double initial_temperature = 1.5;
+  double cooling = 0.9995;
+  double min_temperature = 0.01;
+  /// Recently-moved actions may not move again for this many accepted moves
+  /// (aspiration: a move that improves the incumbent ignores tabu). 0
+  /// disables the tabu list.
+  std::size_t tabu_tenure = 24;
+  /// Maximum distance an action travels in one reinsert/rescue move.
+  std::size_t reinsert_window = 96;
+  /// Cap on how far back (in schedule positions) a rescue move may hop a
+  /// failed action to land in front of its executed conflict partner
+  /// (widened to at least 16 checkpoint intervals). 0 = unlimited: a far
+  /// hop re-simulates a long suffix, so unlimited reach is best paired
+  /// with a wall-clock budget.
+  std::size_t rescue_scan = 0;
+  /// Move-mix weights (normalised internally): target-overlap-guided rescue
+  /// of failed actions, windowed reinsertion, adjacent swap, drop-flip.
+  double w_rescue = 0.40;
+  double w_reinsert = 0.30;
+  double w_swap = 0.25;
+  double w_flip = 0.05;
+  /// COW snapshot checkpoint spacing for suffix re-simulation; 0 derives
+  /// max(16, n/128) capped at 512 from the cutset size.
+  std::size_t checkpoint_interval = 0;
+};
+
 /// Hard bounds on the search. The paper caps runs at 100,000 simulations;
 /// we additionally support wall-clock and step budgets.
 struct SearchLimits {
@@ -71,6 +134,23 @@ struct ReconcilerOptions {
   FailureMode failure_mode = FailureMode::kAbortBranch;
   BRule b_rule = BRule::kLookahead;
   SearchLimits limits;
+
+  /// Which solver backend runs each cutset sub-problem (DESIGN.md §13).
+  /// kDfs preserves the historical engine bit-for-bit; kGreedy and
+  /// kLocalSearch scale to logs the DFS cannot finish; kAuto keeps DFS as
+  /// the optimality oracle on cutsets no larger than `auto_dfs_max_actions`
+  /// and hands the rest to local search.
+  SolverKind backend = SolverKind::kDfs;
+  LocalSearchOptions local_search;
+  /// kAuto: sub-problems with at most this many schedulable actions go to
+  /// DFS, larger ones to local search.
+  std::size_t auto_dfs_max_actions = 32;
+  /// Above this action count the greedy/local-search backends skip the
+  /// dense constraint matrix, transitive closure and cutset analysis
+  /// entirely and build a sparse constraint graph instead (the dense
+  /// structures are Θ(n²) and wall off 10k+-action logs). DFS always uses
+  /// the dense path — it needs the closed relations.
+  std::size_t dense_graph_limit = 4096;
 
   /// How many best outcomes to retain (ranked by the policy cost).
   std::size_t keep_outcomes = 8;

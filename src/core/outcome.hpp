@@ -62,6 +62,14 @@ struct SearchStats {
   bool cutsets_truncated = false;   ///< cycle/cutset caps were reached
   std::size_t cutset_count = 0;     ///< number of proper cutsets searched
 
+  /// Which solver backend produced this run ("dfs", "greedy", "ls",
+  /// "auto"); benches tag every JSON row with it.
+  std::string backend = "dfs";
+  /// Local-search move accounting (zero for DFS/greedy): proposals
+  /// generated and proposals accepted into the walk.
+  std::uint64_t moves_proposed = 0;
+  std::uint64_t moves_accepted = 0;
+
   /// Static-constraint construction work, copied from the builder's
   /// ConstraintBuildStats: ordered pair evaluations and SharedObject::order
   /// calls. The sparse builder's savings over the dense all-pairs scan show
@@ -97,6 +105,8 @@ struct SearchStats {
     object_clones += other.object_clones;
     clones_avoided += other.clones_avoided;
     bytes_cloned += other.bytes_cloned;
+    moves_proposed += other.moves_proposed;
+    moves_accepted += other.moves_accepted;
     hit_limit = hit_limit || other.hit_limit;
   }
 };

@@ -4,9 +4,8 @@
 #include <sstream>
 
 #include "core/degrade.hpp"
-#include "core/parallel_driver.hpp"
 #include "core/selection.hpp"
-#include "core/simulator.hpp"
+#include "solver/backend.hpp"
 #include "util/timer.hpp"
 
 namespace icecube {
@@ -29,11 +28,29 @@ Reconciler::Reconciler(Universe initial, std::vector<Log> logs,
   // The calling thread is always one lane, so a pool of lanes-1 workers.
   if (lanes > 1) pool_ = std::make_unique<ThreadPool>(lanes - 1);
   records_ = flatten(logs_);
-  matrix_ =
-      build_constraints(initial_, records_, {pool_.get(), &build_stats_});
-  relations_ = Relations::from_constraints(matrix_);
-  if (options_.memoize_failures) {
-    target_overlap_ = build_target_overlap(records_);
+
+  // Backend resolution (DESIGN.md §13): DFS (and auto, while the problem is
+  // small enough) runs on the dense matrix/closure path; the greedy and
+  // local-search backends always run on the sparse adjacency path — the
+  // dense structures are Θ(n²) and would wall off exactly the log sizes
+  // those backends exist for. Auto on an oversized problem degenerates to
+  // pure local search.
+  resolved_backend_ = options_.backend;
+  if (resolved_backend_ == SolverKind::kAuto &&
+      records_.size() > options_.dense_graph_limit) {
+    resolved_backend_ = SolverKind::kLocalSearch;
+  }
+  sparse_ = resolved_backend_ == SolverKind::kGreedy ||
+            resolved_backend_ == SolverKind::kLocalSearch;
+  if (sparse_) {
+    graph_ = build_solver_graph(initial_, records_, &build_stats_);
+  } else {
+    matrix_ =
+        build_constraints(initial_, records_, {pool_.get(), &build_stats_});
+    relations_ = Relations::from_constraints(matrix_);
+    if (options_.memoize_failures) {
+      target_overlap_ = build_target_overlap(records_);
+    }
   }
 }
 
@@ -42,44 +59,40 @@ ReconcileResult Reconciler::run() {
   Stopwatch clock;
   const Deadline deadline =
       Deadline::after_seconds(options_.limits.max_seconds);
+  result.stats.backend = std::string(to_string(resolved_backend_));
 
-  CutsetAnalysis cuts = find_proper_cutsets(relations_, options_.max_cycles,
-                                            options_.max_cutsets);
-  result.stats.cutsets_truncated = cuts.truncated;
-  policy_->select_cutsets(cuts.cutsets);
-  result.stats.cutset_count = cuts.cutsets.size();
-  result.cutsets = cuts.cutsets;
+  std::vector<Cutset> cutsets;
+  SolveContext ctx;
+  ctx.records = &records_;
+  ctx.initial = &initial_;
+  ctx.options = &options_;
+  ctx.policy = policy_;
+  ctx.deadline = &deadline;
+  ctx.clock = &clock;
+  ctx.pool = pool_.get();
+  if (sparse_) {
+    // One implicit sub-problem; dependence cycles are handled inside the
+    // engine (cycle members are frozen out), so no cutset analysis runs.
+    cutsets.push_back(Cutset{});
+    ctx.graph = &graph_;
+  } else {
+    CutsetAnalysis cuts = find_proper_cutsets(relations_, options_.max_cycles,
+                                              options_.max_cutsets);
+    result.stats.cutsets_truncated = cuts.truncated;
+    policy_->select_cutsets(cuts.cutsets);
+    cutsets = std::move(cuts.cutsets);
+    ctx.relations = &relations_;
+    ctx.target_overlap =
+        options_.memoize_failures ? &target_overlap_ : nullptr;
+  }
+  ctx.cutsets = &cutsets;
+  result.stats.cutset_count = cutsets.size();
+  result.cutsets = cutsets;
   result.stats.constraint_pairs_evaluated = build_stats_.pairs_evaluated;
   result.stats.constraint_order_calls = build_stats_.order_calls;
 
   Selection selection(*policy_, options_.keep_outcomes);
-  if (pool_ != nullptr && cuts.cutsets.size() > 1) {
-    // Independent cutsets are independent search problems: fan them out
-    // across the pool and merge deterministically (see parallel_driver.hpp).
-    run_cutsets_parallel(records_, relations_, initial_, options_, *policy_,
-                         cuts.cutsets, deadline, clock, *pool_, selection,
-                         result.stats,
-                         options_.memoize_failures ? &target_overlap_
-                                                   : nullptr);
-  } else {
-    for (const Cutset& cutset : cuts.cutsets) {
-      // Under a non-empty cutset the dependence closure must be recomputed
-      // with the cut vertices' edges removed (see Relations::restricted).
-      Relations working;
-      const Relations* active = &relations_;
-      if (!cutset.empty()) {
-        Bitset removed(records_.size());
-        for (ActionId a : cutset.actions) removed.set(a.index());
-        working = relations_.restricted(removed);
-        active = &working;
-      }
-      Simulator simulator(records_, *active, options_, *policy_, selection,
-                          result.stats, clock, deadline,
-                          options_.memoize_failures ? &target_overlap_
-                                                    : nullptr);
-      if (!simulator.run(cutset, initial_)) break;
-    }
-  }
+  make_solver_backend(resolved_backend_)->solve(ctx, selection, result.stats);
 
   // Graceful degradation (anytime behaviour): a budget-exhausted search
   // with no complete schedule still owes the caller a valid result. The

@@ -18,6 +18,7 @@
 #include "core/policy.hpp"
 #include "core/relations.hpp"
 #include "core/universe.hpp"
+#include "solver/graph.hpp"
 #include "util/thread_pool.hpp"
 
 namespace icecube {
@@ -63,11 +64,21 @@ class Reconciler {
   [[nodiscard]] ReconcileResult run();
 
   /// Introspection for tests, benches and demos — valid after construction.
+  /// `constraints()`/`relations()` are populated on the dense path only
+  /// (backend dfs, or auto within `dense_graph_limit`); the greedy and
+  /// local-search backends build `solver_graph()` instead and leave the
+  /// dense structures empty.
   [[nodiscard]] const std::vector<ActionRecord>& records() const {
     return records_;
   }
   [[nodiscard]] const ConstraintMatrix& constraints() const { return matrix_; }
   [[nodiscard]] const Relations& relations() const { return relations_; }
+  [[nodiscard]] const SolverGraph& solver_graph() const { return graph_; }
+  /// The backend the options resolved to (auto on an oversized problem
+  /// degenerates to local search).
+  [[nodiscard]] SolverKind resolved_backend() const {
+    return resolved_backend_;
+  }
   [[nodiscard]] const Universe& initial_state() const { return initial_; }
   /// Work counters of the (sparse) constraint construction.
   [[nodiscard]] const ConstraintBuildStats& build_stats() const {
@@ -89,6 +100,10 @@ class Reconciler {
   ConstraintMatrix matrix_;
   ConstraintBuildStats build_stats_;
   Relations relations_;
+  /// Sparse adjacency graph (greedy/local-search path only).
+  SolverGraph graph_;
+  SolverKind resolved_backend_ = SolverKind::kDfs;
+  bool sparse_ = false;
   /// Shared target→actions overlap index for the §6 causal keys, built once
   /// here and handed to every cutset's simulator (empty when failure
   /// memoization is off).

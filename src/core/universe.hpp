@@ -202,6 +202,15 @@ class Universe {
     return h;
   }
 
+  /// Per-slot 64-bit fingerprint hash (cached on the slot; see
+  /// `fingerprint_hash`). The local-search backend maintains an incremental
+  /// XOR digest of these across suffix re-simulations instead of hashing the
+  /// whole universe after every move.
+  [[nodiscard]] std::uint64_t slot_fingerprint(ObjectId id) const {
+    assert(id.index() < slots_.size());
+    return slot_fingerprint_hash(slots_[id.index()]);
+  }
+
   /// The slot's detach count — bumped by every mutable access. Snapshot it
   /// to detect writes (the detach-semantics tests rely on this).
   [[nodiscard]] std::uint64_t slot_version(ObjectId id) const {

@@ -1,0 +1,63 @@
+#include "solver/backend.hpp"
+
+#include "solver/dfs_backend.hpp"
+#include "solver/local_search.hpp"
+
+namespace icecube {
+
+namespace {
+
+/// DFS where it is affordable, local search where it is not. Runs on the
+/// dense path only (it needs the relations and the cutset analysis): each
+/// proper cutset whose schedulable remainder fits under
+/// `auto_dfs_max_actions` is searched exhaustively — the optimality oracle —
+/// and the rest go to the annealer.
+class AutoBackend final : public SolverBackend {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "auto"; }
+
+  void solve(const SolveContext& ctx, Selection& selection,
+             SearchStats& stats) override {
+    const std::size_t n = ctx.records->size();
+    std::vector<Cutset> small;
+    std::vector<Cutset> large;
+    for (const Cutset& cutset : *ctx.cutsets) {
+      const std::size_t schedulable = n - cutset.size();
+      if (schedulable <= ctx.options->auto_dfs_max_actions) {
+        small.push_back(cutset);
+      } else {
+        large.push_back(cutset);
+      }
+    }
+    if (!small.empty()) {
+      SolveContext sub = ctx;
+      sub.cutsets = &small;
+      DfsBackend dfs;
+      dfs.solve(sub, selection, stats);
+    }
+    if (!large.empty()) {
+      SolveContext sub = ctx;
+      sub.cutsets = &large;
+      LocalSearchBackend annealer;
+      annealer.solve(sub, selection, stats);
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<SolverBackend> make_solver_backend(SolverKind kind) {
+  switch (kind) {
+    case SolverKind::kDfs:
+      return std::make_unique<DfsBackend>();
+    case SolverKind::kGreedy:
+      return std::make_unique<GreedyBackend>();
+    case SolverKind::kLocalSearch:
+      return std::make_unique<LocalSearchBackend>();
+    case SolverKind::kAuto:
+      return std::make_unique<AutoBackend>();
+  }
+  return std::make_unique<DfsBackend>();
+}
+
+}  // namespace icecube

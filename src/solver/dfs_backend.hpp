@@ -1,0 +1,21 @@
+// The exhaustive cutset DFS behind the SolverBackend interface.
+//
+// This is the paper's search engine, moved verbatim out of Reconciler::run:
+// one CandidateScheduler/Simulator search per proper cutset, sequential or
+// fanned out across the pool with the deterministic budget-carving merge
+// (parallel_driver.hpp). Schedules, outcomes and non-timing stats are
+// bit-for-bit identical to the pre-backend engine for any thread count.
+#pragma once
+
+#include "solver/backend.hpp"
+
+namespace icecube {
+
+class DfsBackend final : public SolverBackend {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "dfs"; }
+  void solve(const SolveContext& ctx, Selection& selection,
+             SearchStats& stats) override;
+};
+
+}  // namespace icecube

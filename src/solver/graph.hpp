@@ -1,0 +1,74 @@
+// Sparse constraint graph for the scalable solver backends (DESIGN.md §13).
+//
+// The DFS engine consumes the dense ConstraintMatrix and the Warshall-closed
+// Relations — both Θ(n²) (the closure Θ(n³/64)), which walls off 10k+-action
+// logs long before the search itself does. The greedy and local-search
+// backends only ever ask two questions:
+//
+//   * which actions must precede action a (the raw D edges), and
+//   * which actions share a target with a (the conflict neighbourhood),
+//
+// so they run against this adjacency-list form instead. Both questions stay
+// answerable without the transitive closure because those backends maintain
+// a *topological* permutation invariant: a permutation respects the closed
+// relation iff it respects every raw edge.
+//
+// Two constructions are provided: `build_solver_graph` builds the lists
+// directly from the target-inverted index (never materialising a matrix —
+// the sparse path for large n), and `graph_from_relations` converts an
+// already-built dense Relations (used when the auto backend hands an
+// individual cutset to local search mid-run).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/constraint_builder.hpp"
+#include "core/log.hpp"
+#include "core/relations.hpp"
+#include "core/universe.hpp"
+#include "util/bitset.hpp"
+#include "util/ids.hpp"
+
+namespace icecube {
+
+/// Adjacency-list view of the dependence relation and the target-overlap
+/// neighbourhoods. All lists are sorted by action id.
+struct SolverGraph {
+  std::size_t n = 0;
+  /// preds[b] = every a with a raw D edge a → b ("a must precede b").
+  std::vector<std::vector<ActionId>> preds;
+  /// succs[a] = every b with a raw D edge a → b.
+  std::vector<std::vector<ActionId>> succs;
+
+  /// Target-overlap neighbourhoods: exactly one representation is populated.
+  /// The sparse build fills `overlap_lists`; the Relations conversion reuses
+  /// the dense per-action bitsets (`overlap_bits`) when the caller has them.
+  std::vector<std::vector<ActionId>> overlap_lists;
+  std::vector<Bitset> overlap_bits;
+
+  [[nodiscard]] bool has_edge(ActionId a, ActionId b) const;
+  [[nodiscard]] bool overlaps(ActionId a, ActionId b) const;
+  [[nodiscard]] std::size_t edge_count() const;
+};
+
+/// Builds the graph straight from the target→actions inverted index: only
+/// pairs sharing at least one target are evaluated (disjoint-target pairs
+/// are `safe` in both directions by §2.3 rule 1 and contribute nothing).
+/// Produces exactly the raw D edges `Relations::from_constraints` would
+/// derive from the full matrix, at O(Σ per-target group²) pair evaluations
+/// instead of Θ(n²) cells. Workloads funnelling every action through one
+/// object defeat that bound — their constraint graph genuinely is dense —
+/// so keep single-hot-object inputs on the DFS path sizes.
+[[nodiscard]] SolverGraph build_solver_graph(
+    const Universe& universe, const std::vector<ActionRecord>& records,
+    ConstraintBuildStats* stats = nullptr);
+
+/// Converts an existing dense Relations (raw edges only) plus the §6 overlap
+/// bitsets into the adjacency form. `overlap` may be empty when the caller
+/// only needs the dependence lists (the greedy backend).
+[[nodiscard]] SolverGraph graph_from_relations(const Relations& relations,
+                                               std::vector<Bitset> overlap);
+
+}  // namespace icecube

@@ -1,0 +1,612 @@
+#include "solver/local_search.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <utility>
+
+#include "core/constraint_builder.hpp"
+
+namespace icecube {
+
+namespace {
+
+constexpr std::size_t kNoPos = std::numeric_limits<std::size_t>::max();
+
+/// Slot-keyed mixing of a per-slot fingerprint hash into the state digest.
+/// XOR of these over the touched slots changes iff some slot's state
+/// changed (up to the usual 2^-64 hash-collision allowance).
+std::uint64_t slot_mix(std::size_t slot, std::uint64_t fp) {
+  std::uint64_t state = fp ^ (0x9e3779b97f4a7c15ULL * (slot + 1));
+  return splitmix64(state);
+}
+
+}  // namespace
+
+LocalSearchEngine::LocalSearchEngine(const std::vector<ActionRecord>& records,
+                                     const SolverGraph& graph,
+                                     const Universe& initial, Bitset excluded,
+                                     const LocalSearchOptions& opts)
+    : records_(records),
+      graph_(graph),
+      initial_(initial),
+      opts_(opts),
+      excluded_(std::move(excluded)),
+      rng_(opts.seed),
+      temperature_(opts.initial_temperature) {
+  const std::size_t n = records_.size();
+  if (excluded_.size() != n) excluded_ = Bitset(n);
+  dropped_ = Bitset(n);
+  frozen_ = Bitset(n);
+  pos_.assign(n, kNoPos);
+  tabu_until_.assign(n, 0);
+  targets_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!excluded_.test(i)) targets_[i] = records_[i].action->targets();
+  }
+
+  // Greedy construction: min-id topological order (Kahn) over the raw D
+  // edges among schedulable actions. Cycle members never become ready; they
+  // are frozen at the tail as permanently dropped — the sparse path's
+  // counterpart of cutting them.
+  std::vector<std::size_t> indegree(n, 0);
+  for (std::size_t b = 0; b < n; ++b) {
+    if (excluded_.test(b)) continue;
+    for (ActionId a : graph_.preds[b]) {
+      if (!excluded_.test(a.index())) ++indegree[b];
+    }
+  }
+  std::priority_queue<std::uint32_t, std::vector<std::uint32_t>,
+                      std::greater<>>
+      ready;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!excluded_.test(i) && indegree[i] == 0) {
+      ready.push(static_cast<std::uint32_t>(i));
+    }
+  }
+  sched_.reserve(n);
+  while (!ready.empty()) {
+    const ActionId id(ready.top());
+    ready.pop();
+    pos_[id.index()] = sched_.size();
+    sched_.push_back(id);
+    for (ActionId s : graph_.succs[id.index()]) {
+      if (!excluded_.test(s.index()) && --indegree[s.index()] == 0) {
+        ready.push(s.value());
+      }
+    }
+  }
+  live_end_ = sched_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (excluded_.test(i) || pos_[i] != kNoPos) continue;
+    frozen_.set(i);
+    dropped_.set(i);
+    pos_[i] = sched_.size();
+    sched_.push_back(ActionId(i));
+  }
+
+  const std::size_t m = sched_.size();
+  status_.assign(m, PosStatus::kDropped);
+  dropped_count_ = m;
+
+  interval_ = opts_.checkpoint_interval != 0
+                  ? opts_.checkpoint_interval
+                  : std::clamp<std::size_t>(m / 128, 16, 512);
+  const std::size_t slabs = m == 0 ? 1 : (m - 1) / interval_ + 1;
+  checkpoints_.resize(slabs);
+  digests_.assign(slabs, 0);
+
+  // Absolute digest of the initial universe; maintained per mutation from
+  // here on, so digest equality is state equality (hash convention).
+  std::uint64_t digest0 = 0;
+  for (std::size_t s = 0; s < initial_.size(); ++s) {
+    digest0 ^= slot_mix(s, initial_.slot_fingerprint(ObjectId(s)));
+  }
+  checkpoints_[0] = initial_.snapshot();
+  ++snapshots_;
+  digests_[0] = digest0;
+
+  Undo scratch;
+  resimulate(0, m, scratch);
+
+  best_sched_ = sched_;
+  best_dropped_ = dropped_;
+  best_cost_ = current_cost();
+}
+
+double LocalSearchEngine::cost_of(std::size_t executed, std::size_t failed,
+                                  std::size_t dropped) const {
+  return -static_cast<double>(executed) +
+         0.25 * static_cast<double>(failed + dropped);
+}
+
+double LocalSearchEngine::current_cost() const {
+  return cost_of(executed_, failed_, dropped_count_);
+}
+
+bool LocalSearchEngine::is_tabu(ActionId id) const {
+  return tabu_until_[id.index()] > accepted_;
+}
+
+void LocalSearchEngine::note_acceptance(ActionId moved_a, ActionId moved_b) {
+  ++accepted_;
+  if (opts_.tabu_tenure == 0) return;
+  tabu_until_[moved_a.index()] = accepted_ + opts_.tabu_tenure;
+  tabu_until_[moved_b.index()] = accepted_ + opts_.tabu_tenure;
+}
+
+void LocalSearchEngine::replay_executed(Universe& state, std::uint64_t& digest,
+                                        ActionId id) {
+  const auto& targets = targets_[id.index()];
+  std::uint64_t delta = 0;
+  for (ObjectId t : targets) {
+    delta ^= slot_mix(t.index(), state.slot_fingerprint(t));
+  }
+  const bool ok = records_[id.index()].action->execute(state);
+  assert(ok && "replay of an executed action must succeed");
+  (void)ok;
+  for (ObjectId t : targets) {
+    delta ^= slot_mix(t.index(), state.slot_fingerprint(t));
+  }
+  digest ^= delta;
+}
+
+LocalSearchEngine::PosStatus LocalSearchEngine::simulate_at(
+    Universe& state, std::uint64_t& digest, std::size_t k, ActionId id) {
+  const Action& action = *records_[id.index()].action;
+  ++sim_steps_;
+  if (!action.precondition(state)) return PosStatus::kFailed;
+  const auto& targets = targets_[id.index()];
+  std::uint64_t delta = 0;
+  for (ObjectId t : targets) {
+    delta ^= slot_mix(t.index(), state.slot_fingerprint(t));
+  }
+  if (action.execute(state)) {
+    for (ObjectId t : targets) {
+      delta ^= slot_mix(t.index(), state.slot_fingerprint(t));
+    }
+    digest ^= delta;
+    return PosStatus::kExecuted;
+  }
+  // A failing execute may have partially mutated the state (the simulator
+  // discards its per-step shadow copy in this case; we owe the same clean
+  // semantics). Rebuild from the checkpoint below `k`: statuses for the
+  // already re-evaluated prefix of this pass are current, the rest are the
+  // still-valid previous ones.
+  const std::size_t c = std::min(k / interval_, checkpoints_.size() - 1);
+  state = checkpoints_[c].snapshot();
+  digest = digests_[c];
+  for (std::size_t p = c * interval_; p < k; ++p) {
+    if (status_[p] == PosStatus::kExecuted) {
+      replay_executed(state, digest, sched_[p]);
+    }
+  }
+  return PosStatus::kFailed;
+}
+
+void LocalSearchEngine::resimulate(std::size_t first_changed,
+                                   std::size_t changed_end, Undo& undo) {
+  undo.executed = executed_;
+  undo.failed = failed_;
+  undo.dropped = dropped_count_;
+  const std::size_t m = sched_.size();
+  ++evaluations_;
+  if (m == 0) return;
+  const std::size_t c0 =
+      std::min(first_changed / interval_, checkpoints_.size() - 1);
+  Universe state = checkpoints_[c0].snapshot();
+  std::uint64_t digest = digests_[c0];
+  for (std::size_t k = c0 * interval_; k < m; ++k) {
+    if (k % interval_ == 0) {
+      const std::size_t c = k / interval_;
+      if (c != c0) {
+        if (k >= changed_end && digest == digests_[c]) {
+          // The state entering this checkpoint is unchanged and so is the
+          // rest of the configuration: every later status replays
+          // identically. Converged.
+          return;
+        }
+        undo.checkpoints.emplace_back(c, std::move(checkpoints_[c]));
+        undo.digests.emplace_back(c, digests_[c]);
+        checkpoints_[c] = state.snapshot();
+        ++snapshots_;
+        digests_[c] = digest;
+      }
+    }
+    const ActionId id = sched_[k];
+    if (k < first_changed) {
+      if (status_[k] == PosStatus::kExecuted) {
+        replay_executed(state, digest, id);
+      }
+      continue;
+    }
+    PosStatus next;
+    if (dropped_.test(id.index())) {
+      next = PosStatus::kDropped;
+    } else {
+      next = simulate_at(state, digest, k, id);
+    }
+    if (next != status_[k]) {
+      undo.statuses.emplace_back(k, status_[k]);
+      switch (status_[k]) {
+        case PosStatus::kExecuted: --executed_; break;
+        case PosStatus::kFailed: --failed_; break;
+        case PosStatus::kDropped: --dropped_count_; break;
+      }
+      switch (next) {
+        case PosStatus::kExecuted: ++executed_; break;
+        case PosStatus::kFailed: ++failed_; break;
+        case PosStatus::kDropped: ++dropped_count_; break;
+      }
+      status_[k] = next;
+    }
+  }
+}
+
+void LocalSearchEngine::revert(Undo& undo) {
+  for (const auto& [k, st] : undo.statuses) status_[k] = st;
+  for (std::size_t i = 0; i < undo.checkpoints.size(); ++i) {
+    checkpoints_[undo.checkpoints[i].first] =
+        std::move(undo.checkpoints[i].second);
+    digests_[undo.digests[i].first] = undo.digests[i].second;
+  }
+  executed_ = undo.executed;
+  failed_ = undo.failed;
+  dropped_count_ = undo.dropped;
+}
+
+bool LocalSearchEngine::decide(double before, double after) {
+  const double delta = after - before;
+  if (delta < 0.0) return true;
+  const double temperature = std::max(temperature_, opts_.min_temperature);
+  return rng_.unit() < std::exp(-delta / temperature);
+}
+
+void LocalSearchEngine::commit(double after, ActionId moved_a,
+                               ActionId moved_b) {
+  note_acceptance(moved_a, moved_b);
+  if (after < best_cost_ - 1e-12) {
+    best_cost_ = after;
+    best_sched_ = sched_;
+    best_dropped_ = dropped_;
+    stall_ = 0;
+  }
+}
+
+bool LocalSearchEngine::edge_blocks_swap(ActionId first,
+                                         ActionId second) const {
+  return graph_.has_edge(first, second);
+}
+
+bool LocalSearchEngine::propose_swap(Undo& undo) {
+  if (live_end_ < 2) return false;
+  const std::size_t i = rng_.below(live_end_ - 1);
+  const ActionId a = sched_[i];
+  const ActionId b = sched_[i + 1];
+  if (edge_blocks_swap(a, b)) return false;
+  if (is_tabu(a) || is_tabu(b)) return false;
+  // Two adjacent actions with disjoint targets commute: the swap cannot
+  // change any status. Skip the evaluation entirely.
+  if (!graph_.overlaps(a, b)) return false;
+  const double before = current_cost();
+  std::swap(sched_[i], sched_[i + 1]);
+  pos_[a.index()] = i + 1;
+  pos_[b.index()] = i;
+  resimulate(i, i + 2, undo);
+  const double after = current_cost();
+  if (!decide(before, after)) {
+    revert(undo);
+    std::swap(sched_[i], sched_[i + 1]);
+    pos_[a.index()] = i;
+    pos_[b.index()] = i + 1;
+    return true;
+  }
+  commit(after, a, b);
+  return true;
+}
+
+bool LocalSearchEngine::apply_reinsert(std::size_t from, std::size_t to,
+                                       Undo& undo) {
+  const ActionId x = sched_[from];
+  const double before = current_cost();
+  const std::size_t lo = std::min(from, to);
+  const std::size_t hi = std::max(from, to);
+  auto shift = [this](std::size_t src, std::size_t dst) {
+    const ActionId moved = sched_[src];
+    if (src < dst) {
+      std::rotate(sched_.begin() + static_cast<std::ptrdiff_t>(src),
+                  sched_.begin() + static_cast<std::ptrdiff_t>(src) + 1,
+                  sched_.begin() + static_cast<std::ptrdiff_t>(dst) + 1);
+    } else {
+      std::rotate(sched_.begin() + static_cast<std::ptrdiff_t>(dst),
+                  sched_.begin() + static_cast<std::ptrdiff_t>(src),
+                  sched_.begin() + static_cast<std::ptrdiff_t>(src) + 1);
+    }
+    const std::size_t a = std::min(src, dst);
+    const std::size_t b = std::max(src, dst);
+    for (std::size_t k = a; k <= b; ++k) pos_[sched_[k].index()] = k;
+    (void)moved;
+  };
+  shift(from, to);
+  resimulate(lo, hi + 1, undo);
+  const double after = current_cost();
+  if (!decide(before, after)) {
+    revert(undo);
+    shift(to, from);
+    return true;
+  }
+  commit(after, x, x);
+  return true;
+}
+
+bool LocalSearchEngine::propose_reinsert(Undo& undo) {
+  if (live_end_ < 2) return false;
+  const std::size_t i = rng_.below(live_end_);
+  const ActionId x = sched_[i];
+  if (is_tabu(x)) return false;
+  const std::size_t window = std::max<std::size_t>(opts_.reinsert_window, 1);
+  const std::size_t dist = 1 + rng_.below(window);
+  const bool earlier = rng_.chance(0.5);
+  std::size_t j = earlier ? (i >= dist ? i - dist : 0)
+                          : std::min(i + dist, live_end_ - 1);
+  if (j == i) return false;
+  // Clamp the destination to the D-feasible range: no predecessor of x may
+  // end up after it, no successor before it.
+  if (j < i) {
+    for (ActionId p : graph_.preds[x.index()]) {
+      const std::size_t pp = pos_[p.index()];
+      if (pp != kNoPos && pp < i && pp >= j) j = std::max(j, pp + 1);
+    }
+  } else {
+    for (ActionId s : graph_.succs[x.index()]) {
+      const std::size_t sp = pos_[s.index()];
+      if (sp != kNoPos && sp > i && sp <= j) j = std::min(j, sp - 1);
+    }
+  }
+  if (j == i) return false;
+  return apply_reinsert(i, j, undo);
+}
+
+bool LocalSearchEngine::propose_rescue(Undo& undo) {
+  if (live_end_ < 2) return false;
+  // Probe a bounded window for a failed action, then hop it in front of the
+  // nearest earlier executed action it shares a target with — the likely
+  // winner of the resource it needed.
+  const std::size_t start = rng_.below(live_end_);
+  const std::size_t probes = std::min<std::size_t>(64, live_end_);
+  // Most failures on contended workloads are *cascades* — a dependency's
+  // token never appeared, so no hop can save the action and it has no
+  // executed conflict partner. Probe past those: keep scanning failed
+  // actions until one is a root loser, i.e. has an earlier *executed*
+  // overlap partner. Hop in front of the earliest such partner: for a
+  // capacity-limited cell that is the winner that starved it (a nearer
+  // partner may have executed, but it wasn't first to consume). Far hops
+  // re-simulate long suffixes — rescue_scan caps the distance when a
+  // caller needs per-move cost bounded; 0 leaves it to the wall budget.
+  std::size_t i = kNoPos;
+  std::size_t j = kNoPos;
+  for (std::size_t o = 0; o < probes && j == kNoPos; ++o) {
+    const std::size_t k = (start + o) % live_end_;
+    if (k == 0 || status_[k] != PosStatus::kFailed) continue;
+    const ActionId cand = sched_[k];
+    if (is_tabu(cand)) continue;
+    std::size_t lo = 0;
+    if (opts_.rescue_scan > 0) {
+      const std::size_t reach = std::max(opts_.rescue_scan, 16 * interval_);
+      lo = k > reach ? k - reach : 0;
+    }
+    for (ActionId ov : graph_.overlap_lists[cand.index()]) {
+      const std::size_t op = pos_[ov.index()];
+      if (op == kNoPos || op >= k || op < lo) continue;
+      if (status_[op] != PosStatus::kExecuted) continue;
+      if (j == kNoPos || op < j) j = op;
+    }
+    if (j != kNoPos) i = k;
+  }
+  if (i == kNoPos) return false;
+  const ActionId x = sched_[i];
+  for (ActionId p : graph_.preds[x.index()]) {
+    const std::size_t pp = pos_[p.index()];
+    if (pp != kNoPos && pp < i && pp >= j) j = std::max(j, pp + 1);
+  }
+  if (j == i) return false;
+  return apply_reinsert(i, j, undo);
+}
+
+bool LocalSearchEngine::propose_flip(Undo& undo) {
+  if (live_end_ == 0) return false;
+  const std::size_t i = rng_.below(live_end_);
+  const ActionId x = sched_[i];
+  if (is_tabu(x)) return false;
+  const double before = current_cost();
+  const bool was_dropped = dropped_.test(x.index());
+  if (was_dropped) {
+    dropped_.reset(x.index());
+  } else {
+    dropped_.set(x.index());
+  }
+  resimulate(i, i + 1, undo);
+  const double after = current_cost();
+  if (!decide(before, after)) {
+    revert(undo);
+    if (was_dropped) {
+      dropped_.set(x.index());
+    } else {
+      dropped_.reset(x.index());
+    }
+    return true;
+  }
+  commit(after, x, x);
+  return true;
+}
+
+bool LocalSearchEngine::step() {
+  if (opts_.stall_moves > 0 && stall_ >= opts_.stall_moves) return false;
+  ++proposals_;
+  ++stall_;
+  temperature_ = std::max(temperature_ * opts_.cooling, opts_.min_temperature);
+  double total = opts_.w_rescue + opts_.w_reinsert + opts_.w_swap + opts_.w_flip;
+  if (total <= 0.0) total = 1.0;
+  double pick = rng_.unit() * total;
+  Undo undo;
+  if ((pick -= opts_.w_rescue) < 0.0) {
+    (void)propose_rescue(undo);
+  } else if ((pick -= opts_.w_reinsert) < 0.0) {
+    (void)propose_reinsert(undo);
+  } else if ((pick -= opts_.w_swap) < 0.0) {
+    (void)propose_swap(undo);
+  } else {
+    (void)propose_flip(undo);
+  }
+  return true;
+}
+
+bool LocalSearchEngine::run(std::uint64_t max_proposals,
+                            const Deadline& deadline,
+                            std::uint64_t max_sim_steps) {
+  while (proposals_ < max_proposals) {
+    if (deadline.expired() || sim_steps_ >= max_sim_steps) return true;
+    if (!step()) return false;
+  }
+  return false;
+}
+
+namespace {
+
+/// Replays a (permutation, drop-set) configuration from `initial` without
+/// per-action snapshots — an O(n²) slot-copy cost at 50k actions. A
+/// precondition failure never mutates; the rare execute failure *after* a
+/// passing precondition may leave a partial mutation, so that path rebuilds
+/// the state by replaying the executed prefix (actions are deterministic,
+/// the replay cannot fail).
+void replay_config(const std::vector<ActionRecord>& records,
+                   const Universe& initial,
+                   const std::vector<ActionId>& sched, const Bitset& dropped,
+                   std::vector<ActionId>& executed,
+                   std::vector<ActionId>& skipped, Universe& final_state) {
+  Universe state = initial.snapshot();
+  for (ActionId id : sched) {
+    if (dropped.test(id.index())) {
+      skipped.push_back(id);
+      continue;
+    }
+    const Action& action = *records[id.index()].action;
+    if (!action.precondition(state)) {
+      skipped.push_back(id);
+      continue;
+    }
+    if (action.execute(state)) {
+      executed.push_back(id);
+      continue;
+    }
+    state = initial.snapshot();
+    for (ActionId e : executed) {
+      const Action& ea = *records[e.index()].action;
+      const bool ok = ea.precondition(state) && ea.execute(state);
+      assert(ok && "deterministic prefix replay failed");
+      (void)ok;
+    }
+    skipped.push_back(id);
+  }
+  final_state = std::move(state);
+}
+
+}  // namespace
+
+double LocalSearchEngine::full_replay_cost() const {
+  std::vector<ActionId> executed;
+  std::vector<ActionId> skipped;
+  Universe final_state;
+  replay_config(records_, initial_, sched_, dropped_, executed, skipped,
+                final_state);
+  return cost_of(executed.size(), skipped.size(), 0);
+}
+
+Outcome LocalSearchEngine::best_outcome() const {
+  Outcome out;
+  replay_config(records_, initial_, best_sched_, best_dropped_, out.schedule,
+                out.skipped, out.final_state);
+  out.complete = true;
+  return out;
+}
+
+namespace {
+
+/// Shared driver for the greedy and local-search backends: one engine per
+/// cutset, the incumbent best offered to the selection. `max_moves == 0` is
+/// the greedy backend (construction only).
+void solve_with_engine(const SolveContext& ctx, Selection& selection,
+                       SearchStats& stats, bool allow_moves) {
+  const std::vector<ActionRecord>& records = *ctx.records;
+  const ReconcilerOptions& options = *ctx.options;
+  const std::size_t n = records.size();
+
+  SolverGraph derived;
+  const SolverGraph* graph = ctx.graph;
+  if (graph == nullptr) {
+    // Auto path: the dense relations exist; flip them into adjacency form.
+    derived = graph_from_relations(*ctx.relations,
+                                   build_target_overlap(records));
+    graph = &derived;
+  }
+
+  const std::vector<Cutset> implicit{Cutset{}};
+  const std::vector<Cutset>& cutsets =
+      ctx.cutsets != nullptr ? *ctx.cutsets : implicit;
+
+  std::size_t cut_index = 0;
+  for (const Cutset& cutset : cutsets) {
+    Bitset excluded(n);
+    for (ActionId a : cutset.actions) excluded.set(a.index());
+    LocalSearchOptions ls = options.local_search;
+    // Per-cutset sub-streams keep multi-cutset runs deterministic without
+    // correlating the walks.
+    ls.seed += 0x9e3779b97f4a7c15ULL * cut_index;
+    ++cut_index;
+    LocalSearchEngine engine(records, *graph, *ctx.initial,
+                             std::move(excluded), ls);
+    if (allow_moves) {
+      const std::uint64_t budget =
+          std::min<std::uint64_t>(ls.max_moves, options.limits.max_schedules);
+      const std::uint64_t steps_left =
+          options.limits.max_steps > stats.sim_steps
+              ? options.limits.max_steps - stats.sim_steps
+              : 0;
+      stats.hit_limit |= engine.run(budget, *ctx.deadline, steps_left);
+    }
+    Outcome out = engine.best_outcome();
+    out.cutset = cutset.actions;
+    out.cost = ctx.policy->cost(out);
+    stats.schedules_completed += engine.evaluations();
+    stats.sim_steps += engine.sim_steps();
+    stats.moves_proposed += engine.proposals();
+    stats.moves_accepted += engine.accepted();
+    stats.state_clones += engine.snapshots_taken();
+    // The policy ranks (and may veto further work after) the final best of
+    // each sub-problem; intermediate walk configurations are internal and
+    // never surfaced. The walk itself always optimises the default
+    // objective -(executed) + 0.25·skipped.
+    const bool keep_going = ctx.policy->on_outcome(out);
+    if (selection.offer(std::move(out))) {
+      stats.time_to_best = ctx.clock->seconds();
+      stats.schedules_to_best = stats.schedules_completed;
+    }
+    if (!keep_going || ctx.deadline->expired()) break;
+  }
+}
+
+}  // namespace
+
+void LocalSearchBackend::solve(const SolveContext& ctx, Selection& selection,
+                               SearchStats& stats) {
+  solve_with_engine(ctx, selection, stats, /*allow_moves=*/true);
+}
+
+void GreedyBackend::solve(const SolveContext& ctx, Selection& selection,
+                          SearchStats& stats) {
+  solve_with_engine(ctx, selection, stats, /*allow_moves=*/false);
+}
+
+}  // namespace icecube

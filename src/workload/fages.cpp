@@ -1,0 +1,117 @@
+#include "workload/fages.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace icecube::workload {
+
+namespace {
+
+// Tag layout: params = [uid, n_consume, consumed cells..., produced cells...].
+constexpr std::size_t kCellsStart = 2;
+
+bool tag_lists_cell(const Tag& tag, ObjectId cell, bool in_consumes) {
+  const auto n_consume = static_cast<std::size_t>(tag.param(1));
+  const std::size_t lo = in_consumes ? kCellsStart : kCellsStart + n_consume;
+  const std::size_t hi = in_consumes ? kCellsStart + n_consume
+                                     : tag.params.size();
+  const auto needle = static_cast<std::int64_t>(cell.value());
+  for (std::size_t i = lo; i < hi; ++i) {
+    if (tag.params[i] == needle) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool fages_consumes(const Tag& tag, ObjectId cell) {
+  return tag_lists_cell(tag, cell, /*in_consumes=*/true);
+}
+
+bool fages_produces(const Tag& tag, ObjectId cell) {
+  return tag_lists_cell(tag, cell, /*in_consumes=*/false);
+}
+
+Constraint FagesCell::order(const Action& a, const Action& b,
+                            LogRelation rel) const {
+  const bool a_consumes = fages_consumes(a.tag(), self_);
+  const bool b_consumes = fages_consumes(b.tag(), self_);
+  if (rel == LogRelation::kSameLog) {
+    // Asked only for the log-reversing direction: b preceded a at the
+    // replica. Scheduling a first starves it of any token b fed it.
+    if (a_consumes && fages_produces(b.tag(), self_)) {
+      return Constraint::kUnsafe;
+    }
+    // Two consumers of one stock commute (both fit in isolation), and
+    // producing earlier only adds slack.
+    return Constraint::kSafe;
+  }
+  // Across logs the stock is contended: any consumer may dynamically fail
+  // depending on interleaving. Pure producers commute.
+  return (a_consumes || b_consumes) ? Constraint::kMaybe : Constraint::kSafe;
+}
+
+FagesTaskAction::FagesTaskAction(std::int64_t uid,
+                                 std::vector<ObjectId> consumes,
+                                 std::vector<ObjectId> produces)
+    : uid_(uid), consumes_(std::move(consumes)), produces_(std::move(produces)) {
+  targets_.reserve(consumes_.size() + produces_.size());
+  targets_.insert(targets_.end(), consumes_.begin(), consumes_.end());
+  targets_.insert(targets_.end(), produces_.begin(), produces_.end());
+  std::sort(targets_.begin(), targets_.end());
+  targets_.erase(std::unique(targets_.begin(), targets_.end()),
+                 targets_.end());
+  std::vector<std::int64_t> params;
+  params.reserve(2 + consumes_.size() + produces_.size());
+  params.push_back(uid_);
+  params.push_back(static_cast<std::int64_t>(consumes_.size()));
+  for (ObjectId c : consumes_) {
+    params.push_back(static_cast<std::int64_t>(c.value()));
+  }
+  for (ObjectId p : produces_) {
+    params.push_back(static_cast<std::int64_t>(p.value()));
+  }
+  tag_ = Tag("fages", std::move(params));
+}
+
+bool FagesTaskAction::precondition(const Universe& u) const {
+  // A cell consumed k times needs stock >= k; count multiplicities.
+  for (std::size_t i = 0; i < consumes_.size(); ++i) {
+    std::int64_t need = 1;
+    bool counted_earlier = false;
+    for (std::size_t j = 0; j < consumes_.size(); ++j) {
+      if (j == i || consumes_[j] != consumes_[i]) continue;
+      if (j < i) {
+        counted_earlier = true;
+        break;
+      }
+      ++need;
+    }
+    if (counted_earlier) continue;
+    if (u.as<FagesCell>(consumes_[i]).value() < need) return false;
+  }
+  return true;
+}
+
+bool FagesTaskAction::execute(Universe& u) const {
+  if (!precondition(u)) return false;  // check everything, then mutate
+  for (ObjectId c : consumes_) {
+    const bool ok = u.as<FagesCell>(c).apply(-1);
+    assert(ok && "fages consume failed after precondition passed");
+    (void)ok;
+  }
+  for (ObjectId p : produces_) {
+    (void)u.as<FagesCell>(p).apply(+1);
+  }
+  return true;
+}
+
+std::string FagesTaskAction::describe() const {
+  std::ostringstream os;
+  os << "task" << uid_ << "(-" << consumes_.size() << ",+" << produces_.size()
+     << ")";
+  return os.str();
+}
+
+}  // namespace icecube::workload

@@ -1,0 +1,108 @@
+// Fages-style reconciliation problem family (cs/0109033 §5).
+//
+// Fages evaluates complete search against local search on synthetic
+// log-reconciliation instances parameterised by dependency density and
+// conflict ratio. We reproduce that family on the IceCube substrate:
+//
+//  * token cells — per-task output counters. Task i produces one token per
+//    downstream dependent; each dependent consumes one. Intra-log
+//    dependencies therefore become *static* D edges (reversing a
+//    producer/consumer pair in the same log is `unsafe`).
+//  * claim cells — shared resources with a fixed capacity, consumed and
+//    never replenished. Tasks from different replicas race for them; the
+//    losers fail *dynamically* and their dependent subtrees cascade into
+//    skips. Which claimer wins is the scheduler's choice — that is the
+//    optimisation surface the solver benches measure.
+//
+// Every cell is a FagesCell (a non-negative integer); every task is one
+// FagesTaskAction that atomically consumes and produces a list of cells.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/action.hpp"
+#include "core/universe.hpp"
+
+namespace icecube::workload {
+
+/// Non-negative token/claim counter. `order` inspects only the two actions'
+/// tags (plus this cell's own id): reversing a same-log producer→consumer
+/// pair is unsafe; any cross-log pair touching a consumer is maybe (the
+/// dynamic token race); everything else commutes.
+class FagesCell final : public SharedObject {
+ public:
+  FagesCell(ObjectId self, std::int64_t value) : self_(self), value_(value) {}
+
+  [[nodiscard]] std::int64_t value() const { return value_; }
+
+  /// Applies a delta; refuses (no mutation) if the cell would go negative.
+  bool apply(std::int64_t delta) {
+    if (value_ + delta < 0) return false;
+    value_ += delta;
+    return true;
+  }
+
+  [[nodiscard]] std::unique_ptr<SharedObject> clone() const override {
+    return std::make_unique<FagesCell>(*this);
+  }
+  [[nodiscard]] std::size_t approx_bytes() const override {
+    return sizeof(FagesCell);
+  }
+  [[nodiscard]] Constraint order(const Action& a, const Action& b,
+                                 LogRelation rel) const override;
+  [[nodiscard]] std::string describe() const override {
+    return "cell" + std::to_string(self_.value()) + "=" +
+           std::to_string(value_);
+  }
+
+ private:
+  ObjectId self_;
+  std::int64_t value_;
+};
+
+/// One Fages task: consumes one token from every cell in `consumes` (claim
+/// cells included — a claim is just a consumption that nothing replenishes)
+/// and adds one token to every cell in `produces` (repeats allowed: a task
+/// with k dependents lists its output cell k times).
+///
+/// Tag: fages(uid, n_consume, consumed..., produced...) — everything the
+/// cells' `order` needs is in the tag, keeping the constraints static.
+class FagesTaskAction final : public Action {
+ public:
+  FagesTaskAction(std::int64_t uid, std::vector<ObjectId> consumes,
+                  std::vector<ObjectId> produces);
+
+  [[nodiscard]] std::vector<ObjectId> targets() const override {
+    return targets_;
+  }
+  [[nodiscard]] bool precondition(const Universe& u) const override;
+  /// Checks every consumed cell first, then applies all deltas — a failure
+  /// never leaves a partial mutation behind.
+  bool execute(Universe& u) const override;
+  [[nodiscard]] const Tag& tag() const override { return tag_; }
+  [[nodiscard]] std::string describe() const override;
+
+  [[nodiscard]] const std::vector<ObjectId>& consumed() const {
+    return consumes_;
+  }
+  [[nodiscard]] const std::vector<ObjectId>& produced() const {
+    return produces_;
+  }
+
+ private:
+  std::int64_t uid_;
+  std::vector<ObjectId> consumes_;
+  std::vector<ObjectId> produces_;
+  std::vector<ObjectId> targets_;  // deduplicated consumes ∪ produces
+  Tag tag_;
+};
+
+/// True iff the tagged task consumes (resp. produces) a token of `cell`.
+/// Exposed for tests; `FagesCell::order` is built on these.
+[[nodiscard]] bool fages_consumes(const Tag& tag, ObjectId cell);
+[[nodiscard]] bool fages_produces(const Tag& tag, ObjectId cell);
+
+}  // namespace icecube::workload

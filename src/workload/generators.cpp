@@ -1,5 +1,7 @@
 #include "workload/generators.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <memory>
 #include <string>
 
@@ -10,6 +12,7 @@
 #include "objects/text.hpp"
 #include "replica/site.hpp"
 #include "util/rng.hpp"
+#include "workload/fages.hpp"
 
 namespace icecube::workload {
 
@@ -185,6 +188,91 @@ Generated text_workload(const TextSpec& spec) {
           return std::make_shared<DeleteTextAction>(kPrimary, site_id, pos,
                                                     len);
         }));
+  }
+  return out;
+}
+
+Generated fages_workload(const FagesSpec& spec) {
+  Generated out;
+  const int replicas = std::max(1, spec.replicas);
+  const int tasks = std::max(1, spec.tasks_per_replica);
+  const int resources = std::max(1, spec.shared_resources);
+  const std::int64_t capacity = std::max<std::int64_t>(1, spec.resource_capacity);
+
+  // Claim cells first (ids 0..resources-1), then one token cell per task.
+  for (int s = 0; s < resources; ++s) {
+    (void)out.initial.add(std::make_unique<FagesCell>(
+        ObjectId{static_cast<std::uint32_t>(s)}, capacity));
+  }
+  const auto token_cell = [&](int replica, int task) {
+    return ObjectId{static_cast<std::uint32_t>(resources + replica * tasks +
+                                               task)};
+  };
+  for (int r = 0; r < replicas; ++r) {
+    for (int i = 0; i < tasks; ++i) {
+      (void)out.initial.add(std::make_unique<FagesCell>(token_cell(r, i), 0));
+    }
+  }
+
+  // Dependency count per task is uniform on [0, spread], whose mean is the
+  // requested density.
+  const auto spread = static_cast<std::uint64_t>(
+      std::max<std::int64_t>(1, std::llround(2.0 * spec.dependency_density)));
+
+  Rng rng(spec.seed);
+  for (int r = 0; r < replicas; ++r) {
+    const std::uint64_t replica_seed = rng();
+    Rng local(replica_seed);
+
+    std::vector<std::vector<int>> deps(static_cast<std::size_t>(tasks));
+    std::vector<int> claim(static_cast<std::size_t>(tasks), -1);
+    std::vector<int> outdeg(static_cast<std::size_t>(tasks), 0);
+    std::vector<std::int64_t> claimed(static_cast<std::size_t>(resources), 0);
+    for (int i = 0; i < tasks; ++i) {
+      auto& mine = deps[static_cast<std::size_t>(i)];
+      const int want = static_cast<int>(
+          std::min<std::uint64_t>(static_cast<std::uint64_t>(i),
+                                  local.below(spread + 1)));
+      int attempts = 4 * want;
+      while (static_cast<int>(mine.size()) < want && attempts-- > 0) {
+        const int j =
+            static_cast<int>(local.below(static_cast<std::uint64_t>(i)));
+        if (std::find(mine.begin(), mine.end(), j) != mine.end()) continue;
+        mine.push_back(j);
+        ++outdeg[static_cast<std::size_t>(j)];
+      }
+      std::sort(mine.begin(), mine.end());
+      if (local.chance(spec.conflict_ratio)) {
+        const int s =
+            static_cast<int>(local.below(static_cast<std::uint64_t>(resources)));
+        // Keep the log replayable in isolation: this replica's own claims
+        // on a cell never exceed its capacity.
+        if (claimed[static_cast<std::size_t>(s)] < capacity) {
+          ++claimed[static_cast<std::size_t>(s)];
+          claim[static_cast<std::size_t>(i)] = s;
+        }
+      }
+    }
+
+    Log log("r" + std::to_string(r));
+    for (int i = 0; i < tasks; ++i) {
+      std::vector<ObjectId> consumes;
+      for (int j : deps[static_cast<std::size_t>(i)]) {
+        consumes.push_back(token_cell(r, j));
+      }
+      if (claim[static_cast<std::size_t>(i)] >= 0) {
+        consumes.push_back(ObjectId{
+            static_cast<std::uint32_t>(claim[static_cast<std::size_t>(i)])});
+      }
+      // One token per dependent; at least one so every task has a target.
+      const int copies = std::max(1, outdeg[static_cast<std::size_t>(i)]);
+      std::vector<ObjectId> produces(static_cast<std::size_t>(copies),
+                                     token_cell(r, i));
+      log.append(std::make_shared<FagesTaskAction>(
+          static_cast<std::int64_t>(r) * tasks + i, std::move(consumes),
+          std::move(produces)));
+    }
+    out.logs.push_back(std::move(log));
   }
   return out;
 }

@@ -14,18 +14,22 @@ ROOT_DIR="$(cd "$(dirname "$0")/.." && pwd)"
 
 run() {
   name="$1"
+  shift
   bin="$ROOT_DIR/$BUILD_DIR/bench/$name"
   if [ ! -x "$bin" ]; then
     echo "error: $bin not built (cmake --build $BUILD_DIR first)" >&2
     exit 1
   fi
   echo "== $name =="
-  "$bin" --json "$ROOT_DIR/BENCH_$name.json"
+  # Artifact names drop the binary's bench_ prefix: bench_state writes
+  # BENCH_state.json, bench_solvers writes BENCH_solvers.json, ...
+  "$bin" --json "$ROOT_DIR/BENCH_${name#bench_}.json" "$@"
   echo
 }
 
 run bench_parallel
 run bench_scaling
+run bench_solvers
 run bench_state
 run bench_chaos
 run bench_commit
