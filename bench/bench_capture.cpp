@@ -1,0 +1,150 @@
+// M5: wire-capture overhead — what always-on incident recording costs.
+//
+// Runs the same chaos scenario bare, with an in-memory capture sink, and
+// through the durable writer under each durability policy, and reports
+// wall-clock per run, captured frames/second and bytes written. The
+// interval-durability disk row is the deployment configuration; the bench
+// fails loudly when its overhead versus the bare run exceeds 15% — the
+// acceptance bar for leaving capture enabled in every chaos sweep.
+//
+// JsonSink schema note: the sink's fixed record is (workload, n_actions,
+// threads, wall_seconds, schedules_explored); this bench maps captured
+// frames into `schedules_explored` and capture bytes into `n_actions` —
+// the closest "work performed" analogues.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "bench_common.hpp"
+#include "capture/replay_engine.hpp"
+#include "capture/wire_log_writer.hpp"
+#include "simnet/chaos.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace icecube;
+
+ChaosSpec scenario(std::uint64_t seed) {
+  ChaosSpec spec;
+  spec.seed = seed;
+  spec.sites = 4;
+  spec.actions_per_site = 5;
+  spec.faults.lose = 0.05;
+  spec.faults.duplicate = 0.03;
+  spec.faults.delay_max = 3;
+  spec.deep_replay = false;  // measured runs: protocol cost only
+  spec.keep_trace = false;
+  return spec;
+}
+
+struct Cell {
+  double wall = 0.0;          ///< best-of-repeats, seconds per run
+  std::size_t frames = 0;     ///< captured frames across the batch
+  std::size_t bytes = 0;      ///< capture bytes written across the batch
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::JsonSink json(argc, argv);
+  constexpr std::size_t kSeeds = 4;
+  constexpr std::size_t kRepeats = 3;
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("icecube-bench-capture-" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+
+  // One batch = `seeds` full runs under `mode`; best-of-`repeats`
+  // per-run wall. The per-frame-fsync row passes (1, 1): each of its runs
+  // costs thousands of fsyncs, and one run is plenty to document that.
+  const auto measure = [&](std::size_t seeds, std::size_t repeats,
+                           auto&& run_one) {
+    Cell cell;
+    for (std::size_t rep = 0; rep < repeats; ++rep) {
+      Cell attempt;
+      Stopwatch timer;
+      for (std::size_t s = 0; s < seeds; ++s) {
+        run_one(scenario(2000 + s), attempt);
+      }
+      attempt.wall = timer.seconds() / static_cast<double>(seeds);
+      if (rep == 0 || attempt.wall < cell.wall) cell = attempt;
+    }
+    return cell;
+  };
+
+  const auto fail = [&](const ChaosReport& report) {
+    std::fprintf(stderr, "FATAL: seed %llu failed (converged=%d)\n",
+                 static_cast<unsigned long long>(report.seed),
+                 report.converged ? 1 : 0);
+    std::filesystem::remove_all(dir);
+    std::exit(1);
+  };
+
+  const Cell bare = measure(kSeeds, kRepeats, [&](const ChaosSpec& spec,
+                                                  Cell&) {
+    const ChaosReport report = run_chaos(spec);
+    if (!report.ok()) fail(report);
+  });
+
+  const Cell memory = measure(kSeeds, kRepeats, [&](const ChaosSpec& spec,
+                                                    Cell& cell) {
+    MemoryCaptureSink sink;
+    const ChaosReport report = run_chaos_captured(spec, sink);
+    if (!report.ok()) fail(report);
+    cell.frames += sink.records().size();
+    for (const CaptureRecord& r : sink.records()) {
+      cell.bytes += kCaptureFrameOverhead + r.payload.size();
+    }
+  });
+
+  const auto disk_cell = [&](CaptureDurability durability,
+                             std::size_t seeds, std::size_t repeats) {
+    return measure(seeds, repeats, [&](const ChaosSpec& spec, Cell& cell) {
+      const std::string path =
+          (dir / ("run-" + std::to_string(spec.seed) + ".icap")).string();
+      CaptureWriterOptions options;
+      options.durability = durability;
+      WireLogWriter writer(path, options);
+      const ChaosReport report = run_chaos_captured(spec, writer);
+      writer.close();
+      if (!report.ok() || !writer.ok()) fail(report);
+      cell.frames += writer.stats().frames;
+      cell.bytes += writer.stats().bytes;
+    });
+  };
+  const Cell disk_none = disk_cell(CaptureDurability::kNone, kSeeds, kRepeats);
+  const Cell disk_interval =
+      disk_cell(CaptureDurability::kInterval, kSeeds, kRepeats);
+  const Cell disk_frame = disk_cell(CaptureDurability::kPerFrame, 1, 1);
+
+  std::printf("%-16s %9s %10s %10s %12s %9s\n", "mode", "wall(s)",
+              "overhead", "frames", "frames/s", "MiB");
+  const auto row = [&](const char* name, const Cell& cell) {
+    const double overhead = (cell.wall - bare.wall) / bare.wall * 100.0;
+    std::printf("%-16s %9.3f %9.1f%% %10zu %12.0f %9.2f\n", name, cell.wall,
+                overhead, cell.frames,
+                cell.wall > 0 ? cell.frames / cell.wall : 0.0,
+                cell.bytes / (1024.0 * 1024.0));
+    json.record(std::string("capture/") + name, cell.bytes, kSeeds,
+                cell.wall, cell.frames);
+  };
+  row("bare", bare);
+  row("memory", memory);
+  row("disk-none", disk_none);
+  row("disk-interval", disk_interval);
+  row("disk-frame", disk_frame);
+
+  std::filesystem::remove_all(dir);
+
+  const double overhead =
+      (disk_interval.wall - bare.wall) / bare.wall * 100.0;
+  if (overhead > 15.0) {
+    std::fprintf(stderr,
+                 "FATAL: interval-durability capture overhead %.1f%% "
+                 "exceeds the 15%% budget\n",
+                 overhead);
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Cross-site capture auditing: where did two records of "the same" history
+// first disagree?
+//
+// Two captures of the same (seed, spec) — taken on two machines, before
+// and after a code change, or from two sites that were supposed to see
+// the same reconciliation — must be frame-for-frame identical. When they
+// are not, the interesting fact is the *first* divergent frame: everything
+// before it is common history, everything after it is fallout. audit_diff
+// walks both frame streams in lockstep and reports that frame as a
+// structured witness (index, kinds, logical times, both payloads), plus
+// how each file ended (clean / recovered / unreadable) so a torn capture
+// is never mistaken for a short history.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "capture/capture_sink.hpp"
+#include "serialize/decode_error.hpp"
+
+namespace icecube {
+
+/// How one side of the diff was read.
+struct AuditSide {
+  DecodeError error;          ///< unreadable / recovery classification
+  std::size_t frames = 0;     ///< intact frames decoded
+  std::size_t quarantined_bytes = 0;
+  /// Readable = clean or recovered-with-intact-prefix.
+  [[nodiscard]] bool readable() const { return usable; }
+  bool usable = false;
+};
+
+/// The verdict; `first_divergent` is meaningful iff !identical && both
+/// sides readable.
+struct AuditDiff {
+  AuditSide a;
+  AuditSide b;
+  bool identical = false;
+  std::size_t first_divergent = 0;  ///< 0-based frame index
+  CaptureRecord a_frame;  ///< divergent frame from a (empty if a ended)
+  CaptureRecord b_frame;  ///< divergent frame from b (empty if b ended)
+
+  [[nodiscard]] bool readable() const {
+    return a.readable() && b.readable();
+  }
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Diffs two decoded captures' frame streams.
+[[nodiscard]] AuditDiff audit_diff(const std::string& a_bytes,
+                                   const std::string& b_bytes);
+
+/// Loads and diffs two capture files; unreadable files are reported per
+/// side, never treated as empty captures.
+[[nodiscard]] AuditDiff audit_diff_files(const std::string& a_path,
+                                         const std::string& b_path);
+
+}  // namespace icecube

@@ -1,0 +1,97 @@
+// The capture observation interface.
+//
+// A `CaptureSink` receives every observable record a chaos run produces —
+// the run's spec, each simnet decision, each ingested workload action,
+// every gossip/commit frame put on the wire, every invariant violation and
+// the end-of-run summary — as it happens. The interface lives here (pure
+// virtual, header-only) so the producers (simnet, the chaos runner) can
+// emit records without linking against the capture library; the durable
+// writer (wire_log_writer.hpp), the in-memory sink below and the replay
+// comparator all implement it.
+//
+// Records are totally ordered by emission; two runs of the same spec emit
+// byte-identical record streams (the property the replay engine checks).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace icecube {
+
+/// What one capture record describes. Values are the on-disk frame type
+/// bytes (wire_log_format.hpp) — do not renumber.
+enum class CaptureRecordKind : std::uint8_t {
+  kSpec = 1,         ///< serialized ChaosSpec (chaos_spec_codec.hpp)
+  kTrace = 2,        ///< one simnet decision line ("t12 deliver s0>s1#4")
+  kAction = 3,       ///< ingested workload action: "<site> <seq> <describe>"
+  kGossipFrame = 4,  ///< "<from>><to>\n" + gossip wire bytes as sent
+  kCommitFrame = 5,  ///< "<from>><to>\n" + commitment wire bytes as sent
+  kViolation = 6,    ///< invariant violation message
+  kSummary = 7,      ///< end-of-run digest (trace CRC, steps, convergence)
+};
+
+inline constexpr std::uint8_t kCaptureRecordKindMax = 7;
+
+[[nodiscard]] constexpr std::string_view to_string(CaptureRecordKind kind) {
+  switch (kind) {
+    case CaptureRecordKind::kSpec:
+      return "spec";
+    case CaptureRecordKind::kTrace:
+      return "trace";
+    case CaptureRecordKind::kAction:
+      return "action";
+    case CaptureRecordKind::kGossipFrame:
+      return "gossip-frame";
+    case CaptureRecordKind::kCommitFrame:
+      return "commit-frame";
+    case CaptureRecordKind::kViolation:
+      return "violation";
+    case CaptureRecordKind::kSummary:
+      return "summary";
+  }
+  return "?";
+}
+
+/// One captured observation: what kind, the logical time it happened, and
+/// the raw payload bytes (format depends on the kind; see the enum).
+struct CaptureRecord {
+  CaptureRecordKind kind = CaptureRecordKind::kTrace;
+  std::uint64_t time = 0;
+  std::string payload;
+
+  friend bool operator==(const CaptureRecord& a,
+                         const CaptureRecord& b) = default;
+};
+
+/// Receives records in emission order. Implementations must not throw out
+/// of `record` — a capture failure must never alter the run it observes.
+class CaptureSink {
+ public:
+  virtual ~CaptureSink() = default;
+  virtual void record(CaptureRecord record) = 0;
+};
+
+/// Retains every record in memory — the sink behind replay comparison and
+/// behind failure-triggered capture dumps (record always, write on
+/// violation).
+class MemoryCaptureSink : public CaptureSink {
+ public:
+  void record(CaptureRecord record) override {
+    records_.push_back(std::move(record));
+  }
+
+  [[nodiscard]] const std::vector<CaptureRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] std::vector<CaptureRecord> take() {
+    return std::move(records_);
+  }
+  void clear() { records_.clear(); }
+
+ private:
+  std::vector<CaptureRecord> records_;
+};
+
+}  // namespace icecube

@@ -1,0 +1,83 @@
+// Bit-exact incident replay from a capture file.
+//
+// run_chaos is a pure function of its spec, and a capture's first frame is
+// that spec — so replay is: decode the spec, re-drive the simulator, and
+// hold the regenerated record stream against the recorded one frame by
+// frame. A faithful replay matches every frame AND reproduces the recorded
+// trace CRC; the first mismatch is reported as a structured divergence
+// witness (frame index, logical times, both payloads), which is what an
+// incident bisection steps through (`stop_after` limits how much of the
+// capture is checked, so "replay to event N" is one call).
+//
+// Captures recovered from a torn write replay too: the comparison covers
+// the intact prefix and the CRC check is skipped when the summary frame
+// was lost — the result says so instead of guessing.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "capture/capture_sink.hpp"
+#include "serialize/decode_error.hpp"
+#include "simnet/chaos.hpp"
+
+namespace icecube {
+
+/// The first frame where the re-run stopped matching the capture.
+struct ReplayDivergence {
+  std::size_t frame = 0;  ///< 0-based index into the capture's event frames
+  CaptureRecord recorded;
+  CaptureRecord live;  ///< empty payload + kind kSummary when the re-run
+                       ///< emitted fewer frames than the capture holds
+  [[nodiscard]] std::string to_json() const;
+};
+
+struct ReplayOptions {
+  /// Compare only the first N event frames (spec frame excluded);
+  /// SIZE_MAX = the whole capture. The re-run itself always goes to
+  /// completion — determinism makes the prefix meaningful.
+  std::size_t stop_after = static_cast<std::size_t>(-1);
+  /// Retain the re-run's trace lines in `ReplayResult::report`.
+  bool keep_trace = false;
+};
+
+struct ReplayResult {
+  /// Why the capture could not be replayed at all (unreadable file, bad
+  /// header, no spec frame, spec undecodable). ok() here does NOT mean the
+  /// replay matched — see `faithful()`.
+  DecodeError error;
+  bool capture_recovered = false;     ///< capture had a quarantined tail
+  std::size_t quarantined_bytes = 0;
+  std::size_t recorded_frames = 0;    ///< event frames in the capture
+  std::size_t frames_compared = 0;
+  ChaosReport report;                 ///< the re-run's report
+  std::optional<ReplayDivergence> divergence;
+  bool crc_checked = false;   ///< capture held a summary frame
+  std::uint32_t recorded_crc = 0;
+  bool crc_match = false;
+
+  /// True iff the capture was replayed and every compared frame matched
+  /// (and, when checkable, the trace CRC too).
+  [[nodiscard]] bool faithful() const {
+    return error.ok() && !divergence && (!crc_checked || crc_match);
+  }
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Records the serialized spec, then runs the chaos scenario with `sink`
+/// attached — the canonical way to produce a self-describing capture.
+/// Restores `spec.capture` untouched semantics by taking a copy.
+[[nodiscard]] ChaosReport run_chaos_captured(ChaosSpec spec,
+                                             CaptureSink& sink);
+
+/// Replays the capture in `bytes`; see file comment.
+[[nodiscard]] ReplayResult replay_capture(const std::string& bytes,
+                                          const ReplayOptions& options = {});
+
+/// Loads `path` and replays it. A missing/unreadable file is a structured
+/// kEmptyInput error, never an empty (vacuously faithful) replay.
+[[nodiscard]] ReplayResult replay_capture_file(
+    const std::string& path, const ReplayOptions& options = {});
+
+}  // namespace icecube

@@ -1,0 +1,219 @@
+// On-disk layout of the binary capture log (version 1).
+//
+// A capture file is a 16-byte header followed by back-to-back frames, one
+// per CaptureRecord. Everything multi-byte is little-endian; the format is
+// binary because capture payloads (wire frames) are arbitrary bytes.
+//
+//   File header (16 bytes)
+//     0..7    magic  89 'I' 'C' 'E' 'C' 'A' 'P' 0A   (PNG-style: the high
+//             bit and the embedded newline catch text-mode mangling)
+//     8..9    u16  format version (currently 1)
+//     10..11  u16  flags (reserved, 0)
+//     12..15  u32  CRC-32 of bytes 0..11
+//
+//   Frame (21 + payload bytes)
+//     0..3    u32  sync marker 0x5AFEC0DE (re-synchronisation anchor)
+//     4       u8   record kind (CaptureRecordKind; 1..kCaptureRecordKindMax)
+//     5..12   u64  logical timestamp
+//     13..16  u32  payload length
+//     17..    payload bytes
+//     last 4  u32  CRC-32 of bytes 4 .. 17+len-1 (kind through payload —
+//             the sync marker is excluded so a damaged marker and a damaged
+//             body are distinguishable)
+//
+// Decode classification (the DecodeError taxonomy of serialize/):
+//   - fewer bytes than a full header/frame remain  -> kTruncated
+//   - sync marker or CRC mismatch                  -> kCorrupted
+//   - implausible payload length (> kMaxPayload)   -> kCorrupted
+//   - valid CRC but unknown record kind            -> kUnknownOp
+//
+// Torn-write recovery is the reader's job (wire_log_reader.hpp): scan
+// frames until the first classification failure, quarantine every byte
+// from there to EOF, and report the error alongside the intact prefix.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "capture/capture_sink.hpp"
+#include "serialize/decode_error.hpp"
+#include "util/crc32.hpp"
+
+namespace icecube {
+
+inline constexpr std::string_view kCaptureMagic = "\x89ICECAP\n";
+inline constexpr std::uint16_t kCaptureVersion = 1;
+inline constexpr std::size_t kCaptureHeaderSize = 16;
+inline constexpr std::uint32_t kCaptureFrameSync = 0x5AFEC0DEu;
+inline constexpr std::size_t kCaptureFrameOverhead = 21;  ///< header + CRC
+/// Upper bound on a single frame payload; a damaged length field must not
+/// turn into a multi-gigabyte allocation.
+inline constexpr std::size_t kCaptureMaxPayload = 1u << 28;
+
+namespace capture_detail {
+
+inline void put_u16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xFFu));
+  out.push_back(static_cast<char>((v >> 8) & 0xFFu));
+}
+
+inline void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+inline void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+[[nodiscard]] inline std::uint16_t get_u16(std::string_view bytes,
+                                           std::size_t at) {
+  return static_cast<std::uint16_t>(
+      static_cast<unsigned char>(bytes[at]) |
+      (static_cast<unsigned char>(bytes[at + 1]) << 8));
+}
+
+[[nodiscard]] inline std::uint32_t get_u32(std::string_view bytes,
+                                           std::size_t at) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) |
+        static_cast<unsigned char>(bytes[at + static_cast<std::size_t>(i)]);
+  }
+  return v;
+}
+
+[[nodiscard]] inline std::uint64_t get_u64(std::string_view bytes,
+                                           std::size_t at) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) |
+        static_cast<unsigned char>(bytes[at + static_cast<std::size_t>(i)]);
+  }
+  return v;
+}
+
+}  // namespace capture_detail
+
+/// Renders the 16-byte file header.
+[[nodiscard]] inline std::string encode_capture_header() {
+  std::string out{kCaptureMagic};
+  capture_detail::put_u16(out, kCaptureVersion);
+  capture_detail::put_u16(out, 0);  // flags
+  capture_detail::put_u32(out, Crc32::of(out));
+  return out;
+}
+
+/// Validates the file header; on success `version` is set. `bytes` is the
+/// whole file (only the first 16 bytes are inspected).
+[[nodiscard]] inline DecodeError decode_capture_header(std::string_view bytes,
+                                                       int& version) {
+  version = 0;
+  if (bytes.empty()) return {DecodeErrorKind::kEmptyInput, 0, {}};
+  if (bytes.size() < kCaptureHeaderSize) {
+    return {DecodeErrorKind::kTruncated, 0, "short file header"};
+  }
+  if (bytes.substr(0, kCaptureMagic.size()) != kCaptureMagic) {
+    return {DecodeErrorKind::kBadHeader, 0, "bad capture magic"};
+  }
+  if (Crc32::of(bytes.substr(0, 12)) != capture_detail::get_u32(bytes, 12)) {
+    return {DecodeErrorKind::kCorrupted, 0, "file header crc mismatch"};
+  }
+  const std::uint16_t v = capture_detail::get_u16(bytes, 8);
+  if (v < 1 || v > kCaptureVersion) {
+    return {DecodeErrorKind::kUnsupportedVersion, 0,
+            "capture version " + std::to_string(v)};
+  }
+  version = v;
+  return {};
+}
+
+/// Appends the frame encoding of `record` to `out`.
+inline void append_capture_frame(std::string& out,
+                                 const CaptureRecord& record) {
+  using namespace capture_detail;
+  const std::size_t body_start = out.size() + 4;
+  put_u32(out, kCaptureFrameSync);
+  out.push_back(static_cast<char>(record.kind));
+  put_u64(out, record.time);
+  put_u32(out, static_cast<std::uint32_t>(record.payload.size()));
+  out += record.payload;
+  put_u32(out, Crc32::of(std::string_view(out).substr(body_start)));
+}
+
+[[nodiscard]] inline std::string encode_capture_frame(
+    const CaptureRecord& record) {
+  std::string out;
+  out.reserve(kCaptureFrameOverhead + record.payload.size());
+  append_capture_frame(out, record);
+  return out;
+}
+
+/// Result of decoding one frame at a byte offset.
+struct CaptureFrameDecode {
+  CaptureRecord record;
+  std::size_t consumed = 0;  ///< bytes the frame occupied (when ok)
+  DecodeError error;
+  [[nodiscard]] bool ok() const { return error.ok(); }
+};
+
+/// Decodes the frame starting at `offset`. `frame_index` (1-based) is only
+/// used to fill DecodeError::line so recovery reports can say *which*
+/// frame died. Exactly-at-EOF is reported as kEmptyInput — the clean end.
+[[nodiscard]] inline CaptureFrameDecode decode_capture_frame(
+    std::string_view bytes, std::size_t offset, std::size_t frame_index) {
+  using namespace capture_detail;
+  CaptureFrameDecode out;
+  const std::size_t remaining = bytes.size() - offset;
+  if (remaining == 0) {
+    out.error = {DecodeErrorKind::kEmptyInput, frame_index, {}};
+    return out;
+  }
+  if (remaining < kCaptureFrameOverhead) {
+    out.error = {DecodeErrorKind::kTruncated, frame_index,
+                 "partial frame header"};
+    return out;
+  }
+  if (get_u32(bytes, offset) != kCaptureFrameSync) {
+    out.error = {DecodeErrorKind::kCorrupted, frame_index,
+                 "bad frame sync marker"};
+    return out;
+  }
+  const auto kind_byte = static_cast<std::uint8_t>(bytes[offset + 4]);
+  const std::uint64_t time = get_u64(bytes, offset + 5);
+  const std::size_t len = get_u32(bytes, offset + 13);
+  if (len > kCaptureMaxPayload) {
+    out.error = {DecodeErrorKind::kCorrupted, frame_index,
+                 "implausible payload length " + std::to_string(len)};
+    return out;
+  }
+  if (remaining < kCaptureFrameOverhead + len) {
+    out.error = {DecodeErrorKind::kTruncated, frame_index,
+                 "frame cut mid-payload"};
+    return out;
+  }
+  const std::string_view body = bytes.substr(offset + 4, 13 + len);
+  const std::uint32_t expected = get_u32(bytes, offset + 17 + len);
+  if (Crc32::of(body) != expected) {
+    out.error = {DecodeErrorKind::kCorrupted, frame_index,
+                 "frame crc mismatch"};
+    return out;
+  }
+  if (kind_byte < 1 || kind_byte > kCaptureRecordKindMax) {
+    out.error = {DecodeErrorKind::kUnknownOp, frame_index,
+                 "frame kind " + std::to_string(kind_byte)};
+    return out;
+  }
+  out.record.kind = static_cast<CaptureRecordKind>(kind_byte);
+  out.record.time = time;
+  out.record.payload = std::string(bytes.substr(offset + 17, len));
+  out.consumed = kCaptureFrameOverhead + len;
+  return out;
+}
+
+}  // namespace icecube

@@ -1,0 +1,63 @@
+#include "capture/wire_log_reader.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+namespace icecube {
+
+CaptureFile read_capture(const std::string& bytes) {
+  CaptureFile file;
+  file.error = decode_capture_header(bytes, file.version);
+  if (!file.error.ok()) {
+    file.quarantined_bytes = bytes.size();
+    return file;
+  }
+
+  std::size_t offset = kCaptureHeaderSize;
+  std::size_t index = 1;
+  while (true) {
+    CaptureFrameDecode frame = decode_capture_frame(bytes, offset, index);
+    if (!frame.ok()) {
+      if (frame.error.kind == DecodeErrorKind::kEmptyInput) break;  // clean
+      file.error = frame.error;
+      break;
+    }
+    file.records.push_back(std::move(frame.record));
+    offset += frame.consumed;
+    ++index;
+  }
+  file.intact_bytes = offset;
+  file.quarantined_bytes = bytes.size() - offset;
+  return file;
+}
+
+bool read_file_bytes(const std::string& path, std::string& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::string bytes;
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    bytes.append(buf, n);
+  }
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!ok) return false;
+  out = std::move(bytes);
+  return true;
+}
+
+CaptureFile read_capture_file(const std::string& path) {
+  std::string bytes;
+  if (!read_file_bytes(path, bytes)) {
+    CaptureFile file;
+    file.error = {DecodeErrorKind::kEmptyInput, 0,
+                  "cannot read '" + path + "': " + std::strerror(errno)};
+    return file;
+  }
+  return read_capture(bytes);
+}
+
+}  // namespace icecube

@@ -1,0 +1,53 @@
+// Reading a capture log back, with torn-write recovery.
+//
+// `read_capture` walks the frame sequence of wire_log_format.hpp from the
+// start. The first frame that fails to decode ends the scan: every frame
+// before it is returned intact, every byte from it to EOF is *quarantined*
+// (counted, never interpreted) and the failure is reported through the
+// DecodeError taxonomy. A file that ends exactly on a frame boundary is
+// clean; anything else is a recovery — which is still a usable capture
+// (a process that crashed mid-flush leaves exactly this shape), just one
+// whose tail is missing. The writer uses the same scan to resume appending
+// after a crash: truncate to `intact_bytes`, append from there.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "capture/capture_sink.hpp"
+#include "capture/wire_log_format.hpp"
+#include "serialize/decode_error.hpp"
+
+namespace icecube {
+
+/// A decoded capture file: the intact record prefix plus how it ended.
+struct CaptureFile {
+  int version = 0;
+  std::vector<CaptureRecord> records;
+  /// How the scan ended: ok() for a clean EOF at a frame boundary; the
+  /// classified failure otherwise. `line` is the 1-based index of the
+  /// frame that failed.
+  DecodeError error;
+  std::size_t intact_bytes = 0;       ///< prefix ending at the last intact frame
+  std::size_t quarantined_bytes = 0;  ///< trailing bytes never interpreted
+
+  [[nodiscard]] bool ok() const { return error.ok(); }
+  /// True when the header was valid but the frame sequence ended early —
+  /// the intact prefix is usable and a writer may resume at intact_bytes.
+  [[nodiscard]] bool recovered() const {
+    return !ok() && intact_bytes >= kCaptureHeaderSize;
+  }
+};
+
+/// Decodes `bytes` (a whole capture file) with recovery; see file comment.
+[[nodiscard]] CaptureFile read_capture(const std::string& bytes);
+
+/// Loads and decodes `path`. A missing or unreadable file is kEmptyInput
+/// with the failure in `context` — never an empty capture.
+[[nodiscard]] CaptureFile read_capture_file(const std::string& path);
+
+/// Slurps a file; false (and an untouched `out`) when it cannot be read.
+[[nodiscard]] bool read_file_bytes(const std::string& path, std::string& out);
+
+}  // namespace icecube

@@ -1,0 +1,164 @@
+#include "capture/wire_log_writer.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+#include "capture/wire_log_reader.hpp"
+
+namespace icecube {
+
+WireLogWriter::WireLogWriter(std::string path, CaptureWriterOptions options,
+                             Mode mode)
+    : path_(std::move(path)), options_(options) {
+  if (options_.ring_capacity < kCaptureFrameOverhead) {
+    options_.ring_capacity = kCaptureFrameOverhead;
+  }
+  ring_.reserve(options_.ring_capacity);
+
+  bool fresh = mode == Mode::kTruncate;
+  if (mode == Mode::kResume) {
+    std::string bytes;
+    if (!read_file_bytes(path_, bytes)) {
+      fresh = true;  // nothing to recover — start a new capture
+    } else {
+      const CaptureFile existing = read_capture(bytes);
+      if (!existing.ok() && !existing.recovered()) {
+        // A damaged header is not a capture; refuse to append garbage.
+        error_ = existing.error;
+        return;
+      }
+      if (existing.quarantined_bytes > 0) {
+        std::error_code ec;
+        std::filesystem::resize_file(path_, existing.intact_bytes, ec);
+        if (ec) {
+          error_ = {DecodeErrorKind::kTruncated, 0,
+                    "cannot truncate torn tail of '" + path_ + "'"};
+          return;
+        }
+        stats_.resumed_bytes = existing.quarantined_bytes;
+      }
+    }
+  }
+
+  file_ = std::fopen(path_.c_str(), fresh ? "wb" : "ab");
+  if (file_ == nullptr) {
+    error_ = {DecodeErrorKind::kEmptyInput, 0,
+              "cannot open '" + path_ + "': " + std::strerror(errno)};
+    return;
+  }
+  if (fresh) {
+    const std::string header = encode_capture_header();
+    if (std::fwrite(header.data(), 1, header.size(), file_) !=
+        header.size()) {
+      error_ = {DecodeErrorKind::kTruncated, 0,
+                "cannot write capture header to '" + path_ + "'"};
+      std::fclose(file_);
+      file_ = nullptr;
+    }
+  }
+}
+
+WireLogWriter::~WireLogWriter() { close(); }
+
+void WireLogWriter::record(CaptureRecord record) {
+  if (!ok() || file_ == nullptr) return;
+  const std::size_t need = kCaptureFrameOverhead + record.payload.size();
+  // The ring is drained whenever the next frame would wrap it, so a frame
+  // is always contiguous in the buffer (and an over-sized frame simply
+  // flows through an empty ring in one drain).
+  if (!ring_.empty() && ring_.size() + need > options_.ring_capacity) {
+    drain();
+    if (!ok()) return;
+  }
+  append_capture_frame(ring_, record);
+  ++stats_.frames;
+  stats_.bytes += need;
+  ++frames_since_flush_;
+
+  switch (options_.durability) {
+    case CaptureDurability::kNone:
+      if (ring_.size() >= options_.ring_capacity) drain();
+      break;
+    case CaptureDurability::kInterval:
+      if (ring_.size() >= options_.ring_capacity ||
+          frames_since_flush_ >= options_.flush_interval) {
+        drain();
+      }
+      break;
+    case CaptureDurability::kPerFrame:
+      drain();
+      break;
+  }
+}
+
+bool WireLogWriter::flush() {
+  if (!ok() || file_ == nullptr) return false;
+  drain();
+  return ok();
+}
+
+void WireLogWriter::drain() {
+  if (file_ == nullptr || ring_.empty()) return;
+  std::string batch = std::move(ring_);
+  ring_.clear();
+  ring_.reserve(options_.ring_capacity);
+  frames_since_flush_ = 0;
+  ++stats_.flushes;
+  const std::size_t flush = flush_index_++;
+
+  FaultPlan* faults = options_.faults;
+  if (faults != nullptr && faults->capture_crash(flush)) {
+    // The process dies mid-write: a prefix of the batch reaches the disk
+    // (possibly cutting a frame between header and body) and nothing else
+    // ever will. The writer stays dead, like its process.
+    const std::size_t cut = faults->capture_cut(flush, batch.size());
+    std::fwrite(batch.data(), 1, cut, file_);
+    std::fflush(file_);
+    ++stats_.torn_flushes;
+    crashed_ = true;
+    return;
+  }
+  if (faults != nullptr && faults->capture_short_write(flush)) {
+    // A lying disk: the tail of this batch is lost but the writer keeps
+    // appending afterwards. Recovery stops at the tear, so later frames
+    // are quarantined with it — "resume from the last intact frame" is
+    // the only promise a torn log can keep.
+    const std::size_t cut = faults->capture_cut(flush, batch.size());
+    batch.resize(cut);
+    ++stats_.torn_flushes;
+  } else if (faults != nullptr && faults->capture_bit_flip(flush)) {
+    if (!batch.empty()) {
+      const std::size_t pos = faults->capture_cut(flush + 0x5F, batch.size());
+      batch[pos] = static_cast<char>(
+          static_cast<unsigned char>(batch[pos]) ^ 0x40u);
+      ++stats_.torn_flushes;
+    }
+  }
+
+  if (std::fwrite(batch.data(), 1, batch.size(), file_) != batch.size()) {
+    error_ = {DecodeErrorKind::kTruncated, 0,
+              "short write to '" + path_ + "'"};
+    return;
+  }
+  if (std::fflush(file_) != 0) {
+    error_ = {DecodeErrorKind::kTruncated, 0,
+              "cannot flush '" + path_ + "'"};
+    return;
+  }
+  if (options_.durability == CaptureDurability::kPerFrame) {
+    ::fsync(fileno(file_));
+  }
+}
+
+void WireLogWriter::close() {
+  if (file_ == nullptr) return;
+  if (ok()) drain();
+  std::fclose(file_);
+  file_ = nullptr;
+}
+
+}  // namespace icecube

@@ -1,0 +1,105 @@
+// Durable capture writer: fixed ring buffer, explicit durability policy,
+// crash-mid-write fault injection, resume after torn writes.
+//
+// Frames are encoded into a fixed-size ring buffer and drained to the file
+// in batches; the durability policy decides when a drain happens beyond
+// "the ring is full":
+//
+//   kNone      — drain only when the ring wraps and once on close. Fastest;
+//                a crash can lose up to a ring of frames.
+//   kInterval  — additionally drain every `flush_interval` frames.
+//   kPerFrame  — drain (and fsync) after every frame. Slowest; a crash
+//                loses at most the frame being written.
+//
+// Every drain passes through the capture-write fault points
+// (FaultPlan::capture_crash / capture_short_write / capture_bit_flip), so
+// the torn files the reader must recover from are produced by the same
+// deterministic machinery as every other injected fault — a (seed, spec)
+// pair reproduces the exact tear. A crash fault writes a prefix of the
+// batch and permanently kills the writer (like the process dying); a
+// short-write fault silently loses the batch's tail but the writer keeps
+// going (like a lying disk); a bit-flip damages one byte in the batch.
+//
+// Opening with `kResume` runs the reader's recovery scan first: the file
+// is truncated back to its last intact frame and appending continues from
+// there, so a capture survives any number of crash/restart cycles with
+// only its quarantined tail lost.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "capture/capture_sink.hpp"
+#include "capture/wire_log_format.hpp"
+#include "fault/fault_plan.hpp"
+#include "serialize/decode_error.hpp"
+
+namespace icecube {
+
+/// When buffered frames reach the disk; see file comment.
+enum class CaptureDurability : std::uint8_t { kNone, kInterval, kPerFrame };
+
+struct CaptureWriterOptions {
+  CaptureDurability durability = CaptureDurability::kInterval;
+  std::size_t flush_interval = 64;      ///< frames per drain (kInterval)
+  std::size_t ring_capacity = 1 << 16;  ///< buffered bytes before a forced drain
+  /// Capture-write fault injection; nullptr = faithful disk. Not owned.
+  FaultPlan* faults = nullptr;
+};
+
+/// Cumulative writer accounting, for benches and tests.
+struct CaptureWriterStats {
+  std::size_t frames = 0;        ///< records accepted
+  std::size_t bytes = 0;         ///< encoded bytes handed to the ring
+  std::size_t flushes = 0;       ///< drains attempted
+  std::size_t resumed_bytes = 0; ///< quarantined tail truncated on resume
+  std::size_t torn_flushes = 0;  ///< drains damaged by an injected fault
+};
+
+/// The durable sink; see file comment. Not thread-safe (one run, one
+/// writer).
+class WireLogWriter : public CaptureSink {
+ public:
+  enum class Mode : std::uint8_t {
+    kTruncate,  ///< start a fresh capture (existing file overwritten)
+    kResume,    ///< recover an existing capture and append to it
+  };
+
+  WireLogWriter(std::string path, CaptureWriterOptions options = {},
+                Mode mode = Mode::kTruncate);
+  WireLogWriter(const WireLogWriter&) = delete;
+  WireLogWriter& operator=(const WireLogWriter&) = delete;
+  ~WireLogWriter() override;
+
+  /// False when the file could not be opened / recovered; `error()` says
+  /// why. Records sent to a failed writer are dropped.
+  [[nodiscard]] bool ok() const { return error_.ok() && !crashed_; }
+  [[nodiscard]] const DecodeError& error() const { return error_; }
+  /// True once an injected crash fault killed the writer.
+  [[nodiscard]] bool crashed() const { return crashed_; }
+  [[nodiscard]] const CaptureWriterStats& stats() const { return stats_; }
+
+  /// Encodes and buffers one record, draining per the durability policy.
+  void record(CaptureRecord record) override;
+
+  /// Drains the ring to disk now. Returns false if the writer is dead.
+  bool flush();
+
+  /// Final drain + close. Called by the destructor; safe to call twice.
+  void close();
+
+ private:
+  void drain();
+
+  std::string path_;
+  CaptureWriterOptions options_;
+  std::FILE* file_ = nullptr;
+  DecodeError error_;
+  bool crashed_ = false;
+  std::string ring_;
+  std::size_t frames_since_flush_ = 0;
+  std::size_t flush_index_ = 0;
+  CaptureWriterStats stats_;
+};
+
+}  // namespace icecube

@@ -119,6 +119,41 @@ bool FaultPlan::vote_stale(std::string_view site, std::size_t time) {
   return true;
 }
 
+bool FaultPlan::capture_crash(std::size_t flush) {
+  if (!roll(spec_.capture_crash, FaultPoint::kCaptureWrite, "capture", flush,
+            14)) {
+    return false;
+  }
+  injected_.push_back(
+      {FaultPoint::kCaptureWrite, "crash-write", "capture", flush});
+  return true;
+}
+
+bool FaultPlan::capture_short_write(std::size_t flush) {
+  if (!roll(spec_.capture_short, FaultPoint::kCaptureWrite, "capture", flush,
+            15)) {
+    return false;
+  }
+  injected_.push_back(
+      {FaultPoint::kCaptureWrite, "short-write", "capture", flush});
+  return true;
+}
+
+bool FaultPlan::capture_bit_flip(std::size_t flush) {
+  if (!roll(spec_.capture_flip, FaultPoint::kCaptureWrite, "capture", flush,
+            16)) {
+    return false;
+  }
+  injected_.push_back(
+      {FaultPoint::kCaptureWrite, "flip", "capture", flush});
+  return true;
+}
+
+std::size_t FaultPlan::capture_cut(std::size_t flush, std::size_t len) const {
+  Rng rng(key(FaultPoint::kCaptureWrite, "capture", flush, 17));
+  return rng.below(len);
+}
+
 std::string FaultPlan::ship(FaultPoint point, std::string_view subject,
                             std::size_t round, std::string payload) {
   if (payload.empty()) return payload;

@@ -34,6 +34,7 @@ enum class FaultPoint : std::uint8_t {
   kShipCommit,    ///< commitment frame in transit
   kDropVote,      ///< commitment frame withheld by the sender
   kStaleVote,     ///< sender announces outdated commitment knowledge
+  kCaptureWrite,  ///< capture-log flush torn by a crash / short write / flip
 };
 
 [[nodiscard]] constexpr std::string_view to_string(FaultPoint point) {
@@ -52,6 +53,8 @@ enum class FaultPoint : std::uint8_t {
       return "drop-vote";
     case FaultPoint::kStaleVote:
       return "stale-vote";
+    case FaultPoint::kCaptureWrite:
+      return "capture-write";
   }
   return "?";
 }
@@ -85,6 +88,15 @@ struct FaultSpec {
   /// P(a site announces stale knowledge — its frame omits the records of
   /// the election currently in progress, as a lagging replica would).
   double stale_vote = 0.0;
+
+  // --- capture-write knobs (used by the wire-log writer; see
+  // capture/wire_log_writer.hpp for the failure semantics of each) ---
+  /// P(a given capture flush crashes mid-write: prefix lands, writer dies).
+  double capture_crash = 0.0;
+  /// P(a given capture flush is cut short but the writer keeps going).
+  double capture_short = 0.0;
+  /// P(one byte of a given capture flush is bit-flipped on the way down).
+  double capture_flip = 0.0;
 };
 
 /// One fault the plan actually injected, for test introspection.
@@ -144,6 +156,25 @@ class FaultPlan {
   /// True iff `site` should announce stale commitment knowledge at `time`
   /// ("stale-vote").
   [[nodiscard]] bool vote_stale(std::string_view site, std::size_t time);
+
+  /// True iff capture flush number `flush` crashes mid-write
+  /// ("crash-write"). Mutually exclusive with the other capture faults by
+  /// the writer's ask order, not by construction.
+  [[nodiscard]] bool capture_crash(std::size_t flush);
+
+  /// True iff capture flush number `flush` is silently cut short
+  /// ("short-write").
+  [[nodiscard]] bool capture_short_write(std::size_t flush);
+
+  /// True iff one byte of capture flush number `flush` is flipped ("flip").
+  [[nodiscard]] bool capture_bit_flip(std::size_t flush);
+
+  /// Deterministic position in [0, len) at which a torn capture flush is
+  /// cut (or flipped); uniform, so header/body boundaries of every frame
+  /// in the batch are reachable. Not recorded (derived from a recorded
+  /// fault). `len` must be > 0.
+  [[nodiscard]] std::size_t capture_cut(std::size_t flush,
+                                        std::size_t len) const;
 
   /// Everything injected so far, in call order.
   [[nodiscard]] const std::vector<InjectedFault>& injected() const {

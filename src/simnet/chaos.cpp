@@ -113,6 +113,18 @@ ChaosReport run_chaos(const ChaosSpec& spec) {
   net.set_fault_horizon(spec.fault_horizon);
   net.set_partition_window(spec.partition_window);
   net.set_trace_retention(spec.keep_trace);
+  net.set_capture(spec.capture);
+  // Capture emission helpers; no-ops without a sink. Frames are recorded
+  // with the exact bytes handed to the network (post ship-faults), so a
+  // replay comparison is byte-for-byte.
+  const auto capture_frame = [&](CaptureRecordKind kind,
+                                 const std::string& from,
+                                 const std::string& to,
+                                 const std::string& payload) {
+    if (spec.capture == nullptr) return;
+    spec.capture->record(
+        {kind, net.now(), from + ">" + to + "\n" + payload});
+  };
   for (const std::string& name : names) net.add_site(name);
   // Stagger the first ticks so sites never move in lockstep.
   for (std::size_t i = 0; i < n; ++i) net.schedule_timer(names[i], 1 + i);
@@ -172,7 +184,8 @@ ChaosReport run_chaos(const ChaosSpec& spec) {
     if (event->kind == SimEvent::Kind::kTimer) {
       if (net.is_up(event->site)) {
         if (remaining[i] > 0) {
-          Rng rng(mix(spec.seed, 0xA5, i, workload_seq[i]++));
+          const std::uint64_t seq = workload_seq[i]++;
+          Rng rng(mix(spec.seed, 0xA5, i, seq));
           ActionPtr action;
           if (rng.below(4) == 0) {
             action = std::make_shared<DecrementAction>(
@@ -182,20 +195,32 @@ ChaosReport run_chaos(const ChaosSpec& spec) {
                 ObjectId(0), static_cast<std::int64_t>(1 + rng.below(5)));
           }
           --remaining[i];
+          if (spec.capture != nullptr) {
+            spec.capture->record({CaptureRecordKind::kAction, net.now(),
+                                  names[i] + " " + std::to_string(seq) +
+                                      " " + action->describe()});
+          }
           if (node.perform(std::move(action))) ++report.total_actions;
         }
         Rng partner_rng(mix(spec.seed, 0xB7, i, net.now()));
         std::size_t partner = partner_rng.below(n - 1);
         if (partner >= i) ++partner;
-        net.send(event->site, names[partner],
-                 node.make_message(&net.faults(), net.now()));
+        {
+          std::string payload = node.make_message(&net.faults(), net.now());
+          capture_frame(CaptureRecordKind::kGossipFrame, event->site,
+                        names[partner], payload);
+          net.send(event->site, names[partner], std::move(payload));
+        }
         if (spec.commitment) {
           engines[i].tick();
           // A drop-vote fault withholds this slot's commitment frame —
           // the knowledge is durable and re-announced next tick.
           if (!net.faults().vote_dropped(event->site, net.now())) {
-            net.send(event->site, names[partner],
-                     engines[i].make_message(&net.faults(), net.now()));
+            std::string payload =
+                engines[i].make_message(&net.faults(), net.now());
+            capture_frame(CaptureRecordKind::kCommitFrame, event->site,
+                          names[partner], payload);
+            net.send(event->site, names[partner], std::move(payload));
           }
         }
       }
@@ -203,14 +228,19 @@ ChaosReport run_chaos(const ChaosSpec& spec) {
     } else if (spec.commitment && is_commit_frame(event->payload)) {
       const CommitReceipt receipt = engines[i].receive(event->payload);
       if (receipt.reply_advised && net.is_up(event->from)) {
-        net.send(event->site, event->from,
-                 engines[i].make_message(&net.faults(), net.now()));
+        std::string payload =
+            engines[i].make_message(&net.faults(), net.now());
+        capture_frame(CaptureRecordKind::kCommitFrame, event->site,
+                      event->from, payload);
+        net.send(event->site, event->from, std::move(payload));
       }
     } else {
       const GossipReceipt receipt = node.receive(event->payload);
       if (receipt.reply_advised() && net.is_up(event->from)) {
-        net.send(event->site, event->from,
-                 node.make_message(&net.faults(), net.now()));
+        std::string payload = node.make_message(&net.faults(), net.now());
+        capture_frame(CaptureRecordKind::kGossipFrame, event->site,
+                      event->from, payload);
+        net.send(event->site, event->from, std::move(payload));
       }
     }
 
@@ -295,7 +325,30 @@ ChaosReport run_chaos(const ChaosSpec& spec) {
   report.injected_faults = net.faults().injected().size();
   report.trace_crc = net.trace_crc();
   if (spec.keep_trace) report.trace = net.trace();
+  if (spec.capture != nullptr) {
+    for (const Violation& v : report.violations) {
+      spec.capture->record(
+          {CaptureRecordKind::kViolation, v.time, v.message()});
+    }
+    spec.capture->record({CaptureRecordKind::kSummary, report.final_time,
+                          chaos_capture_summary(report)});
+  }
   return report;
+}
+
+std::string chaos_capture_summary(const ChaosReport& report) {
+  std::string out;
+  out += "crc " + hex32(report.trace_crc) + "\n";
+  out += "steps " + std::to_string(report.steps) + "\n";
+  out += "converged " + std::string(report.converged ? "1" : "0") + "\n";
+  out += "converged-at " + std::to_string(report.converged_at) + "\n";
+  out += "final-time " + std::to_string(report.final_time) + "\n";
+  out += "actions " + std::to_string(report.total_actions) + "\n";
+  out += "violations " + std::to_string(report.violations.size()) + "\n";
+  // Raw and last: the fingerprint may contain anything, including
+  // newlines; byte comparison is all a replay needs.
+  out += "fingerprint " + report.final_fingerprint;
+  return out;
 }
 
 std::string ChaosReport::to_json() const {

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "capture/capture_sink.hpp"
 #include "core/options.hpp"
 #include "fault/fault_plan.hpp"
 #include "replica/commit.hpp"
@@ -70,6 +71,15 @@ struct ChaosSpec {
   std::vector<ChaosPartition> partitions;  ///< scheduled cuts
   std::vector<ChaosCrash> crashes;         ///< scheduled crashes
   ReconcilerOptions reconcile;  ///< forwarded to every node's merges
+  /// Observation stream (capture/capture_sink.hpp): when set, the run
+  /// records every simnet decision, ingested action, gossip/commit frame
+  /// as sent, invariant violation and the end-of-run summary. A pure
+  /// observer — attaching one cannot change the event sequence — and NOT
+  /// part of the run's identity (two runs differing only here emit
+  /// identical traces). Not owned; callers wanting a self-describing
+  /// capture file record the serialized spec first (see
+  /// capture/replay_engine.hpp's run_chaos_captured).
+  CaptureSink* capture = nullptr;
 };
 
 /// What one run did and found.
@@ -102,6 +112,11 @@ struct ChaosReport {
 
 /// Site names are "s0", "s1", ... — use this in ChaosSpec schedules.
 [[nodiscard]] std::string chaos_site_name(std::size_t index);
+
+/// Payload of the kSummary capture record: the run's replay witnesses
+/// (trace CRC first) in "key value" lines, fingerprint last (raw, may span
+/// lines). Byte-stable for a given report.
+[[nodiscard]] std::string chaos_capture_summary(const ChaosReport& report);
 
 /// Runs one chaos scenario; see file comment.
 [[nodiscard]] ChaosReport run_chaos(const ChaosSpec& spec);

@@ -31,6 +31,9 @@ void SimNet::note(const std::string& line) {
   trace_crc_.update(line);
   trace_crc_.update("\n");
   if (keep_trace_) trace_.push_back(line);
+  if (capture_ != nullptr) {
+    capture_->record({CaptureRecordKind::kTrace, now_, line});
+  }
 }
 
 std::string SimNet::link_key(const std::string& a, const std::string& b) {

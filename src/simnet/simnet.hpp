@@ -36,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "capture/capture_sink.hpp"
 #include "fault/fault_plan.hpp"
 #include "util/crc32.hpp"
 
@@ -89,6 +90,10 @@ class SimNet {
   /// Disable trace *retention* (the CRC keeps accumulating) for long
   /// sweeps that only compare trace_crc().
   void set_trace_retention(bool keep) { keep_trace_ = keep; }
+  /// Streams every trace line (independent of retention) to `sink` as a
+  /// kTrace capture record. Pure observer: attaching one cannot change any
+  /// simulation decision. nullptr detaches. Not owned.
+  void set_capture(CaptureSink* sink) { capture_ = sink; }
 
   /// Schedules a timer tick for `site` at absolute time `at`.
   void schedule_timer(const std::string& site, std::size_t at);
@@ -159,6 +164,7 @@ class SimNet {
   std::size_t fault_horizon_ = static_cast<std::size_t>(-1);
   std::size_t partition_window_ = 16;
   bool keep_trace_ = true;
+  CaptureSink* capture_ = nullptr;
 
   std::map<std::string, bool> up_;        ///< site -> currently up
   std::set<std::string> cut_links_;       ///< explicitly cut link keys

@@ -1,0 +1,55 @@
+// Replays the checked-in incident corpus (tests/captures/*.icap) and
+// requires every capture to reproduce bit-for-bit. This is the regression
+// net for the wire format itself: if an encoder, the simulator's event
+// ordering, or the trace CRC ever drifts, these fixed files stop
+// replaying faithfully — which is exactly the signal we want, since old
+// incident captures in the field would stop replaying too. Regenerate the
+// corpus (see tests/captures/README.md) only for a deliberate,
+// version-bumped format change.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "capture/replay_engine.hpp"
+
+namespace icecube {
+namespace {
+
+std::vector<std::string> corpus_files() {
+  std::vector<std::string> files;
+  const std::filesystem::path dir = ICECUBE_CAPTURE_CORPUS_DIR;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".icap") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(CaptureCorpus, CorpusIsPresent) {
+  EXPECT_GE(corpus_files().size(), 2u)
+      << "corpus directory " << ICECUBE_CAPTURE_CORPUS_DIR
+      << " lost its .icap files";
+}
+
+TEST(CaptureCorpus, EveryCaptureReplaysBitExact) {
+  for (const std::string& file : corpus_files()) {
+    const ReplayResult replay = replay_capture_file(file);
+    ASSERT_TRUE(replay.error.ok())
+        << file << ": " << replay.error.message();
+    EXPECT_FALSE(replay.capture_recovered)
+        << file << " is torn; corpus files must be clean";
+    ASSERT_TRUE(replay.faithful()) << file << ": " << replay.to_json();
+    ASSERT_TRUE(replay.crc_checked)
+        << file << " has no summary frame; corpus files must be complete";
+    EXPECT_TRUE(replay.crc_match) << file;
+    EXPECT_GT(replay.frames_compared, 0u) << file;
+  }
+}
+
+}  // namespace
+}  // namespace icecube

@@ -1,0 +1,588 @@
+// Tests for the wire-capture subsystem: frame format round-trips, the
+// durable writer under every durability policy, torn-write recovery and
+// resume-append, spec codec stability, bit-exact replay across seeds,
+// divergence witnesses, audit-diff, and the injected capture-write faults.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "capture/audit_diff.hpp"
+#include "capture/capture_sink.hpp"
+#include "capture/chaos_spec_codec.hpp"
+#include "capture/replay_engine.hpp"
+#include "capture/wire_log_format.hpp"
+#include "capture/wire_log_reader.hpp"
+#include "capture/wire_log_writer.hpp"
+#include "simnet/chaos.hpp"
+
+namespace icecube {
+namespace {
+
+class CaptureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("icecube-capture-test-" + std::to_string(::getpid()) + "-" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  std::string slurp(const std::string& file_path) const {
+    std::string bytes;
+    EXPECT_TRUE(read_file_bytes(file_path, bytes)) << file_path;
+    return bytes;
+  }
+
+  void spill(const std::string& file_path, const std::string& bytes) const {
+    std::ofstream out(file_path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  std::filesystem::path dir_;
+};
+
+std::vector<CaptureRecord> sample_records() {
+  return {
+      {CaptureRecordKind::kTrace, 0, "t=0 boot"},
+      {CaptureRecordKind::kAction, 3, "s0 0 increment balance by 5"},
+      {CaptureRecordKind::kGossipFrame, 7,
+       std::string("s0>s1\ngossip 2\x00 binary\xff payload", 31)},
+      {CaptureRecordKind::kViolation, 9, "t=9 fingerprint mismatch"},
+      {CaptureRecordKind::kSummary, 12, "crc deadbeef\nsteps 4\n"},
+  };
+}
+
+std::string encode_capture(const std::vector<CaptureRecord>& records) {
+  std::string bytes = encode_capture_header();
+  for (const CaptureRecord& record : records) {
+    append_capture_frame(bytes, record);
+  }
+  return bytes;
+}
+
+/// A small scenario that converges in well under a second — the unit the
+/// replay sweeps below re-run a few hundred times.
+ChaosSpec small_spec(std::uint64_t seed, bool commitment) {
+  ChaosSpec spec;
+  spec.seed = seed;
+  spec.sites = 3;
+  spec.actions_per_site = 2;
+  spec.fault_horizon = 60;
+  spec.keep_trace = false;
+  spec.commitment = commitment;
+  spec.faults.lose = 0.02;
+  spec.faults.delay_max = 2;
+  spec.faults.duplicate = 0.02;
+  return spec;
+}
+
+// --- format ---------------------------------------------------------------
+
+TEST_F(CaptureTest, HeaderRoundTrips) {
+  const std::string header = encode_capture_header();
+  ASSERT_EQ(header.size(), kCaptureHeaderSize);
+  int version = 0;
+  EXPECT_TRUE(decode_capture_header(header, version).ok());
+  EXPECT_EQ(version, kCaptureVersion);
+}
+
+TEST_F(CaptureTest, HeaderRejectsDamage) {
+  int version = 0;
+  EXPECT_EQ(decode_capture_header("", version).kind,
+            DecodeErrorKind::kEmptyInput);
+  EXPECT_EQ(decode_capture_header("\x89ICE", version).kind,
+            DecodeErrorKind::kTruncated);
+
+  std::string bad_magic = encode_capture_header();
+  bad_magic[0] = 'P';
+  EXPECT_EQ(decode_capture_header(bad_magic, version).kind,
+            DecodeErrorKind::kBadHeader);
+
+  std::string bad_crc = encode_capture_header();
+  bad_crc[9] ^= 0x01;  // damage the version field; header CRC must notice
+  EXPECT_EQ(decode_capture_header(bad_crc, version).kind,
+            DecodeErrorKind::kCorrupted);
+
+  // A plausible future version with a correct CRC is refused, not guessed.
+  std::string future{kCaptureMagic};
+  capture_detail::put_u16(future, kCaptureVersion + 1);
+  capture_detail::put_u16(future, 0);
+  capture_detail::put_u32(future, Crc32::of(future));
+  EXPECT_EQ(decode_capture_header(future, version).kind,
+            DecodeErrorKind::kUnsupportedVersion);
+}
+
+TEST_F(CaptureTest, FrameRoundTripsBinaryPayloads) {
+  for (const CaptureRecord& record : sample_records()) {
+    const std::string wire = encode_capture_frame(record);
+    ASSERT_EQ(wire.size(), kCaptureFrameOverhead + record.payload.size());
+    const CaptureFrameDecode decoded = decode_capture_frame(wire, 0, 1);
+    ASSERT_TRUE(decoded.ok()) << decoded.error.message();
+    EXPECT_EQ(decoded.record, record);
+    EXPECT_EQ(decoded.consumed, wire.size());
+  }
+}
+
+TEST_F(CaptureTest, FrameDecodeClassifiesDamage) {
+  const std::string wire =
+      encode_capture_frame({CaptureRecordKind::kTrace, 5, "payload"});
+
+  EXPECT_EQ(decode_capture_frame(wire, wire.size(), 2).error.kind,
+            DecodeErrorKind::kEmptyInput);  // exactly at EOF: clean end
+  EXPECT_EQ(decode_capture_frame(wire.substr(0, 10), 0, 1).error.kind,
+            DecodeErrorKind::kTruncated);
+  EXPECT_EQ(decode_capture_frame(wire.substr(0, wire.size() - 6), 0, 1)
+                .error.kind,
+            DecodeErrorKind::kTruncated);
+
+  std::string bad_sync = wire;
+  bad_sync[1] ^= 0x10;
+  EXPECT_EQ(decode_capture_frame(bad_sync, 0, 1).error.kind,
+            DecodeErrorKind::kCorrupted);
+
+  std::string bad_body = wire;
+  bad_body[18] ^= 0x10;  // payload byte: CRC must notice
+  EXPECT_EQ(decode_capture_frame(bad_body, 0, 1).error.kind,
+            DecodeErrorKind::kCorrupted);
+
+  // A huge length field must be refused before any allocation happens.
+  std::string bad_len = wire;
+  bad_len[16] = '\x7f';
+  EXPECT_EQ(decode_capture_frame(bad_len, 0, 1).error.kind,
+            DecodeErrorKind::kCorrupted);
+
+  // Unknown kind with a *valid* CRC: a future record type, not damage.
+  const std::string unknown = encode_capture_frame(
+      {static_cast<CaptureRecordKind>(99), 5, "payload"});
+  EXPECT_EQ(decode_capture_frame(unknown, 0, 1).error.kind,
+            DecodeErrorKind::kUnknownOp);
+}
+
+// --- reader recovery ------------------------------------------------------
+
+TEST_F(CaptureTest, ReaderReturnsCleanCapture) {
+  const std::vector<CaptureRecord> records = sample_records();
+  const CaptureFile file = read_capture(encode_capture(records));
+  ASSERT_TRUE(file.ok()) << file.error.message();
+  EXPECT_EQ(file.version, kCaptureVersion);
+  EXPECT_EQ(file.records, records);
+  EXPECT_EQ(file.quarantined_bytes, 0u);
+}
+
+TEST_F(CaptureTest, ReaderQuarantinesTornTail) {
+  const std::vector<CaptureRecord> records = sample_records();
+  const std::string bytes = encode_capture(records);
+  // Cut mid-way through the final frame: the first four frames survive.
+  const std::string torn = bytes.substr(0, bytes.size() - 10);
+  const CaptureFile file = read_capture(torn);
+  EXPECT_FALSE(file.ok());
+  ASSERT_TRUE(file.recovered());
+  EXPECT_EQ(file.error.kind, DecodeErrorKind::kTruncated);
+  ASSERT_EQ(file.records.size(), records.size() - 1);
+  for (std::size_t i = 0; i + 1 < records.size(); ++i) {
+    EXPECT_EQ(file.records[i], records[i]);
+  }
+  EXPECT_EQ(file.intact_bytes + file.quarantined_bytes, torn.size());
+  EXPECT_GT(file.quarantined_bytes, 0u);
+}
+
+TEST_F(CaptureTest, ReaderRefusesDamagedHeader) {
+  std::string bytes = encode_capture(sample_records());
+  bytes[2] ^= 0x01;
+  const CaptureFile file = read_capture(bytes);
+  EXPECT_FALSE(file.ok());
+  EXPECT_FALSE(file.recovered());  // nothing usable before the header
+  EXPECT_TRUE(file.records.empty());
+}
+
+TEST_F(CaptureTest, MissingFileIsStructuredError) {
+  const CaptureFile file = read_capture_file(path("absent.icap"));
+  EXPECT_FALSE(file.ok());
+  EXPECT_EQ(file.error.kind, DecodeErrorKind::kEmptyInput);
+  EXPECT_NE(file.error.context.find("absent.icap"), std::string::npos);
+}
+
+// --- writer ---------------------------------------------------------------
+
+TEST_F(CaptureTest, WriterRoundTripsUnderEveryDurabilityPolicy) {
+  const std::vector<CaptureRecord> records = sample_records();
+  for (const CaptureDurability durability :
+       {CaptureDurability::kNone, CaptureDurability::kInterval,
+        CaptureDurability::kPerFrame}) {
+    const std::string file_path =
+        path("policy-" +
+             std::to_string(static_cast<int>(durability)) + ".icap");
+    CaptureWriterOptions options;
+    options.durability = durability;
+    options.flush_interval = 2;
+    {
+      WireLogWriter writer(file_path, options);
+      ASSERT_TRUE(writer.ok()) << writer.error().message();
+      for (const CaptureRecord& record : records) writer.record(record);
+      writer.close();
+      EXPECT_EQ(writer.stats().frames, records.size());
+    }
+    const CaptureFile file = read_capture_file(file_path);
+    ASSERT_TRUE(file.ok()) << file.error.message();
+    EXPECT_EQ(file.records, records);
+  }
+}
+
+TEST_F(CaptureTest, TinyRingForcesDrainsAndStillRoundTrips) {
+  CaptureWriterOptions options;
+  options.durability = CaptureDurability::kNone;
+  options.ring_capacity = 32;  // smaller than a single frame
+  const std::vector<CaptureRecord> records = sample_records();
+  WireLogWriter writer(path("tiny.icap"), options);
+  for (const CaptureRecord& record : records) writer.record(record);
+  writer.close();
+  EXPECT_GT(writer.stats().flushes, 1u);
+  const CaptureFile file = read_capture_file(path("tiny.icap"));
+  ASSERT_TRUE(file.ok()) << file.error.message();
+  EXPECT_EQ(file.records, records);
+}
+
+TEST_F(CaptureTest, ResumeAppendsAfterTornWrite) {
+  const std::vector<CaptureRecord> records = sample_records();
+  {
+    WireLogWriter writer(path("resume.icap"));
+    for (const CaptureRecord& record : records) writer.record(record);
+    writer.close();
+  }
+  // Tear the file mid-final-frame, as a crashed flush would.
+  const std::string bytes = slurp(path("resume.icap"));
+  spill(path("resume.icap"), bytes.substr(0, bytes.size() - 7));
+
+  const CaptureRecord extra{CaptureRecordKind::kTrace, 99, "after restart"};
+  {
+    WireLogWriter writer(path("resume.icap"), {}, WireLogWriter::Mode::kResume);
+    ASSERT_TRUE(writer.ok()) << writer.error().message();
+    EXPECT_GT(writer.stats().resumed_bytes, 0u);
+    writer.record(extra);
+    writer.close();
+  }
+  const CaptureFile file = read_capture_file(path("resume.icap"));
+  ASSERT_TRUE(file.ok()) << file.error.message();
+  ASSERT_EQ(file.records.size(), records.size());
+  EXPECT_EQ(file.records.back(), extra);  // quarantined frame replaced
+}
+
+TEST_F(CaptureTest, ResumeRefusesForeignFile) {
+  spill(path("foreign.icap"), "definitely not a capture file");
+  WireLogWriter writer(path("foreign.icap"), {}, WireLogWriter::Mode::kResume);
+  EXPECT_FALSE(writer.ok());
+  writer.record({CaptureRecordKind::kTrace, 0, "dropped"});
+  writer.close();
+  // The foreign bytes were not clobbered by the failed resume.
+  EXPECT_EQ(slurp(path("foreign.icap")), "definitely not a capture file");
+}
+
+// --- capture-write fault injection ---------------------------------------
+
+TEST_F(CaptureTest, CrashFaultTearsFileAndKillsWriter) {
+  FaultSpec fault_spec;
+  fault_spec.capture_crash = 1.0;  // first flush dies
+  FaultPlan faults(7, fault_spec);
+  CaptureWriterOptions options;
+  options.durability = CaptureDurability::kPerFrame;
+  options.faults = &faults;
+
+  WireLogWriter writer(path("crash.icap"), options);
+  for (const CaptureRecord& record : sample_records()) writer.record(record);
+  writer.close();
+  EXPECT_TRUE(writer.crashed());
+  EXPECT_FALSE(writer.ok());
+  EXPECT_EQ(writer.stats().torn_flushes, 1u);
+  ASSERT_FALSE(faults.injected().empty());
+  EXPECT_EQ(faults.injected().front().kind, "crash-write");
+
+  // Whatever landed is a recoverable prefix, never a reader crash.
+  const CaptureFile file = read_capture_file(path("crash.icap"));
+  EXPECT_TRUE(file.ok() || file.recovered() ||
+              file.error.kind == DecodeErrorKind::kTruncated)
+      << file.error.message();
+}
+
+TEST_F(CaptureTest, ShortWriteFaultLosesTailButKeepsWriterAlive) {
+  FaultSpec fault_spec;
+  fault_spec.capture_short = 1.0;
+  FaultPlan faults(11, fault_spec);
+  CaptureWriterOptions options;
+  options.durability = CaptureDurability::kPerFrame;
+  options.faults = &faults;
+
+  WireLogWriter writer(path("short.icap"), options);
+  for (const CaptureRecord& record : sample_records()) writer.record(record);
+  writer.close();
+  EXPECT_FALSE(writer.crashed());  // a lying disk, not a dead process
+  EXPECT_GT(writer.stats().torn_flushes, 0u);
+
+  const CaptureFile file = read_capture_file(path("short.icap"));
+  EXPECT_FALSE(file.ok());  // every flush lost bytes somewhere
+  EXPECT_TRUE(file.recovered() || file.records.empty());
+}
+
+TEST_F(CaptureTest, BitFlipFaultIsDetectedByFrameCrc) {
+  FaultSpec fault_spec;
+  fault_spec.capture_flip = 1.0;
+  FaultPlan faults(13, fault_spec);
+  CaptureWriterOptions options;
+  options.durability = CaptureDurability::kPerFrame;
+  options.faults = &faults;
+
+  WireLogWriter writer(path("flip.icap"), options);
+  for (const CaptureRecord& record : sample_records()) writer.record(record);
+  writer.close();
+  EXPECT_GT(writer.stats().torn_flushes, 0u);
+
+  const CaptureFile file = read_capture_file(path("flip.icap"));
+  EXPECT_FALSE(file.ok());
+  EXPECT_NE(file.error.kind, DecodeErrorKind::kNone);
+}
+
+TEST_F(CaptureTest, CaptureFaultsAreDeterministic) {
+  const auto run_once = [&](const std::string& name) {
+    FaultSpec fault_spec;
+    fault_spec.capture_crash = 0.2;
+    fault_spec.capture_short = 0.2;
+    FaultPlan faults(21, fault_spec);
+    CaptureWriterOptions options;
+    options.durability = CaptureDurability::kPerFrame;
+    options.faults = &faults;
+    WireLogWriter writer(path(name), options);
+    for (int i = 0; i < 32; ++i) {
+      writer.record({CaptureRecordKind::kTrace,
+                     static_cast<std::uint64_t>(i),
+                     "line " + std::to_string(i)});
+    }
+    writer.close();
+    return slurp(path(name));
+  };
+  EXPECT_EQ(run_once("det-a.icap"), run_once("det-b.icap"));
+}
+
+// --- spec codec -----------------------------------------------------------
+
+TEST_F(CaptureTest, SpecCodecRoundTripsByteForByte) {
+  ChaosSpec spec;
+  spec.seed = 0xdeadbeefcafeull;
+  spec.sites = 5;
+  spec.actions_per_site = 9;
+  spec.gossip_interval = 3;
+  spec.step_budget = 12345;
+  spec.fault_horizon = 777;
+  spec.partition_window = 8;
+  spec.crash_length = 31;
+  spec.deep_replay = false;
+  spec.commitment = true;
+  spec.faults.lose = 0.1;
+  spec.faults.corrupt = 1.0 / 3.0;  // needs all 17 digits
+  spec.faults.truncate = 0.015625;
+  spec.faults.site_down = 0.02;
+  spec.faults.max_corrupt_bytes = 7;
+  spec.faults.delay_max = 5;
+  spec.faults.reorder = 0.3;
+  spec.faults.reorder_max = 11;
+  spec.faults.duplicate = 0.25;
+  spec.faults.partition = 0.05;
+  spec.faults.drop_vote = 0.07;
+  spec.faults.stale_vote = 0.09;
+  spec.faults.capture_crash = 0.001;
+  spec.faults.capture_short = 0.002;
+  spec.faults.capture_flip = 0.003;
+  spec.partitions = {{"s0", "s1", 10, 120}, {"s2", "s4", 30, 60}};
+  spec.crashes = {{"s3", 40, 90}};
+
+  const std::string wire = encode_chaos_spec(spec);
+  const ChaosSpecDecode decoded = decode_chaos_spec(wire);
+  ASSERT_TRUE(decoded.ok()) << decoded.error.message();
+  // Byte-stable: re-encoding the decoded spec reproduces the wire exactly.
+  EXPECT_EQ(encode_chaos_spec(decoded.spec), wire);
+  EXPECT_EQ(decoded.spec.seed, spec.seed);
+  EXPECT_EQ(decoded.spec.partitions.size(), 2u);
+  EXPECT_EQ(decoded.spec.crashes.size(), 1u);
+  EXPECT_DOUBLE_EQ(decoded.spec.faults.corrupt, spec.faults.corrupt);
+}
+
+TEST_F(CaptureTest, SpecCodecRejectsDamage) {
+  EXPECT_EQ(decode_chaos_spec("").error.kind, DecodeErrorKind::kEmptyInput);
+  EXPECT_EQ(decode_chaos_spec("not-a-spec 1\n").error.kind,
+            DecodeErrorKind::kBadHeader);
+  EXPECT_EQ(decode_chaos_spec("chaos-spec 2\n").error.kind,
+            DecodeErrorKind::kUnsupportedVersion);
+  EXPECT_EQ(decode_chaos_spec("chaos-spec 1\nfrobnicate 3\n").error.kind,
+            DecodeErrorKind::kUnknownOp);
+  EXPECT_EQ(decode_chaos_spec("chaos-spec 1\nseed banana\n").error.kind,
+            DecodeErrorKind::kBadNumber);
+  EXPECT_EQ(decode_chaos_spec("chaos-spec 1\ncut s0 s1 10\n").error.kind,
+            DecodeErrorKind::kBadSyntax);
+}
+
+// --- replay ---------------------------------------------------------------
+
+TEST_F(CaptureTest, CaptureObserverDoesNotChangeTheRun) {
+  const ChaosSpec bare = small_spec(5, true);
+  const ChaosReport without = run_chaos(bare);
+  MemoryCaptureSink sink;
+  const ChaosReport with = run_chaos_captured(bare, sink);
+  EXPECT_EQ(without.trace_crc, with.trace_crc);
+  EXPECT_EQ(without.steps, with.steps);
+  ASSERT_FALSE(sink.records().empty());
+  EXPECT_EQ(sink.records().front().kind, CaptureRecordKind::kSpec);
+  EXPECT_EQ(sink.records().back().kind, CaptureRecordKind::kSummary);
+}
+
+TEST_F(CaptureTest, ReplayIsBitExactAcrossSeeds) {
+  // The bulk of the acceptance sweep: gossip-only runs for speed...
+  for (std::uint64_t seed = 1; seed <= 88; ++seed) {
+    MemoryCaptureSink sink;
+    (void)run_chaos_captured(small_spec(seed, false), sink);
+    const ReplayResult replay = replay_capture(encode_capture(sink.records()));
+    ASSERT_TRUE(replay.error.ok())
+        << "seed " << seed << ": " << replay.error.message();
+    ASSERT_TRUE(replay.faithful())
+        << "seed " << seed << " diverged at frame "
+        << (replay.divergence ? replay.divergence->frame : 0);
+    EXPECT_TRUE(replay.crc_checked);
+    EXPECT_EQ(replay.frames_compared, replay.recorded_frames);
+  }
+  // ...plus commitment runs under the full fault menu, the expensive shape.
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    ChaosSpec spec = small_spec(seed, true);
+    spec.faults.corrupt = 0.02;
+    spec.faults.reorder = 0.05;
+    spec.faults.drop_vote = 0.05;
+    spec.partitions = {{"s0", "s1", 10, 30}};
+    spec.crashes = {{"s2", 20, 40}};
+    MemoryCaptureSink sink;
+    (void)run_chaos_captured(spec, sink);
+    const ReplayResult replay = replay_capture(encode_capture(sink.records()));
+    ASSERT_TRUE(replay.faithful())
+        << "commit seed " << seed << ": " << replay.to_json();
+  }
+}
+
+TEST_F(CaptureTest, ReplayDetectsTamperedFrame) {
+  MemoryCaptureSink sink;
+  (void)run_chaos_captured(small_spec(3, false), sink);
+  std::vector<CaptureRecord> records = sink.take();
+  // Re-encode with one event frame's payload altered: a validly framed
+  // capture whose *content* lies. Replay must pinpoint exactly that frame.
+  const std::size_t victim = records.size() / 2;
+  records[victim].payload += " [tampered]";
+  const ReplayResult replay = replay_capture(encode_capture(records));
+  ASSERT_TRUE(replay.error.ok()) << replay.error.message();
+  EXPECT_FALSE(replay.faithful());
+  ASSERT_TRUE(replay.divergence.has_value());
+  EXPECT_EQ(replay.divergence->frame, victim - 1);  // spec frame excluded
+  EXPECT_NE(replay.divergence->recorded.payload.find("[tampered]"),
+            std::string::npos);
+}
+
+TEST_F(CaptureTest, ReplayStopAfterLimitsComparison) {
+  MemoryCaptureSink sink;
+  (void)run_chaos_captured(small_spec(4, false), sink);
+  const std::string bytes = encode_capture(sink.records());
+  ReplayOptions options;
+  options.stop_after = 10;
+  const ReplayResult replay = replay_capture(bytes, options);
+  ASSERT_TRUE(replay.error.ok()) << replay.error.message();
+  EXPECT_EQ(replay.frames_compared, 10u);
+  EXPECT_LT(replay.frames_compared, replay.recorded_frames);
+  EXPECT_TRUE(replay.faithful());
+}
+
+TEST_F(CaptureTest, ReplayOfTornCaptureCoversIntactPrefix) {
+  MemoryCaptureSink sink;
+  (void)run_chaos_captured(small_spec(6, false), sink);
+  const std::string bytes = encode_capture(sink.records());
+  const ReplayResult replay =
+      replay_capture(bytes.substr(0, bytes.size() - 30));
+  ASSERT_TRUE(replay.error.ok()) << replay.error.message();
+  EXPECT_TRUE(replay.capture_recovered);
+  EXPECT_GT(replay.quarantined_bytes, 0u);
+  EXPECT_FALSE(replay.crc_checked);  // summary frame was in the torn tail
+  EXPECT_TRUE(replay.faithful());
+}
+
+TEST_F(CaptureTest, ReplayRejectsCaptureWithoutSpecFrame) {
+  const ReplayResult replay = replay_capture(encode_capture(sample_records()));
+  EXPECT_FALSE(replay.error.ok());
+}
+
+TEST_F(CaptureTest, ReplayOfMissingFileIsStructuredError) {
+  const ReplayResult replay = replay_capture_file(path("absent.icap"));
+  EXPECT_FALSE(replay.error.ok());
+  EXPECT_EQ(replay.error.kind, DecodeErrorKind::kEmptyInput);
+  EXPECT_FALSE(replay.faithful());
+}
+
+// --- audit diff -----------------------------------------------------------
+
+TEST_F(CaptureTest, AuditDiffIdenticalCaptures) {
+  const std::string bytes = encode_capture(sample_records());
+  const AuditDiff diff = audit_diff(bytes, bytes);
+  ASSERT_TRUE(diff.readable());
+  EXPECT_TRUE(diff.identical);
+}
+
+TEST_F(CaptureTest, AuditDiffPinpointsFirstDivergentFrame) {
+  std::vector<CaptureRecord> a = sample_records();
+  std::vector<CaptureRecord> b = a;
+  b[2].payload = "different bytes";
+  const AuditDiff diff = audit_diff(encode_capture(a), encode_capture(b));
+  ASSERT_TRUE(diff.readable());
+  EXPECT_FALSE(diff.identical);
+  EXPECT_EQ(diff.first_divergent, 2u);
+  EXPECT_EQ(diff.a_frame, a[2]);
+  EXPECT_EQ(diff.b_frame, b[2]);
+  EXPECT_NE(diff.to_json().find("\"first_divergent\":2"), std::string::npos);
+}
+
+TEST_F(CaptureTest, AuditDiffPrefixEndedStream) {
+  std::vector<CaptureRecord> a = sample_records();
+  std::vector<CaptureRecord> b(a.begin(), a.begin() + 3);
+  const AuditDiff diff = audit_diff(encode_capture(a), encode_capture(b));
+  ASSERT_TRUE(diff.readable());
+  EXPECT_FALSE(diff.identical);
+  EXPECT_EQ(diff.first_divergent, 3u);
+  EXPECT_EQ(diff.b_frame.payload, "<no frame: stream ended>");
+}
+
+TEST_F(CaptureTest, AuditDiffReportsUnreadableSide) {
+  const std::string good = path("good.icap");
+  spill(good, encode_capture(sample_records()));
+  const AuditDiff diff = audit_diff_files(good, path("absent.icap"));
+  EXPECT_FALSE(diff.readable());
+  EXPECT_TRUE(diff.a.error.ok());
+  EXPECT_EQ(diff.b.error.kind, DecodeErrorKind::kEmptyInput);
+}
+
+// --- end to end through the durable writer --------------------------------
+
+TEST_F(CaptureTest, DiskCaptureReplaysBitExact) {
+  const std::string file_path = path("run.icap");
+  {
+    WireLogWriter writer(file_path);
+    ASSERT_TRUE(writer.ok()) << writer.error().message();
+    (void)run_chaos_captured(small_spec(17, true), writer);
+    writer.close();
+  }
+  const ReplayResult replay = replay_capture_file(file_path);
+  ASSERT_TRUE(replay.error.ok()) << replay.error.message();
+  EXPECT_TRUE(replay.faithful()) << replay.to_json();
+  EXPECT_TRUE(replay.crc_checked);
+  EXPECT_TRUE(replay.crc_match);
+}
+
+}  // namespace
+}  // namespace icecube

@@ -33,6 +33,7 @@ run bench_solvers
 run bench_state
 run bench_chaos
 run bench_commit
+run bench_capture
 run bench_analysis
 
 # The soundness auditor's full report rides along with the bench artifacts:
