@@ -96,6 +96,32 @@ class JsonSink {
     records_.push_back(std::move(r));
   }
 
+  /// Overload for the streaming daemon benches: rates and commit-latency
+  /// quantiles plus the incremental-graph work counters SearchStats
+  /// carries for streamed runs. Other benches leave these fields zero.
+  void record_stream(std::string workload, std::size_t n_actions,
+                     double wall_seconds, double ingest_rate, double p50_ms,
+                     double p99_ms, std::uint64_t fast_appends,
+                     std::uint64_t full_resolves,
+                     const icecube::SearchStats& stats) {
+    if (!active()) return;
+    Record r;
+    r.workload = std::move(workload);
+    r.n_actions = n_actions;
+    r.wall_seconds = wall_seconds;
+    r.backend = stats.backend;
+    r.ingest_rate = ingest_rate;
+    r.p50_commit_ms = p50_ms;
+    r.p99_commit_ms = p99_ms;
+    r.fast_appends = fast_appends;
+    r.full_resolves = full_resolves;
+    r.pairs_evaluated = stats.constraint_pairs_evaluated;
+    r.stream_epochs = stats.stream_epochs;
+    r.commit_violations = stats.commit_violations;
+    r.max_commit_lag = stats.max_commit_lag;
+    records_.push_back(std::move(r));
+  }
+
   /// Writes the collected records; called automatically on destruction.
   void flush() {
     if (!active() || records_.empty()) return;
@@ -121,6 +147,15 @@ class JsonSink {
           << ", \"moves_accepted\": " << r.moves_accepted
           << ", \"best_cost\": " << r.best_cost
           << ", \"dfs_gap\": " << r.dfs_gap
+          << ", \"ingest_rate\": " << r.ingest_rate
+          << ", \"p50_commit_ms\": " << r.p50_commit_ms
+          << ", \"p99_commit_ms\": " << r.p99_commit_ms
+          << ", \"fast_appends\": " << r.fast_appends
+          << ", \"full_resolves\": " << r.full_resolves
+          << ", \"pairs_evaluated\": " << r.pairs_evaluated
+          << ", \"stream_epochs\": " << r.stream_epochs
+          << ", \"commit_violations\": " << r.commit_violations
+          << ", \"max_commit_lag\": " << r.max_commit_lag
           << ", \"finished\": " << (r.finished ? "true" : "false") << "}"
           << (i + 1 < records_.size() ? "," : "") << "\n";
     }
@@ -143,6 +178,15 @@ class JsonSink {
     std::uint64_t moves_accepted = 0;
     double best_cost = 0.0;
     double dfs_gap = -1.0;  ///< negative: no DFS reference for this row
+    double ingest_rate = 0.0;   ///< streaming rows: sustained actions/sec
+    double p50_commit_ms = 0.0;
+    double p99_commit_ms = 0.0;
+    std::uint64_t fast_appends = 0;
+    std::uint64_t full_resolves = 0;
+    std::uint64_t pairs_evaluated = 0;
+    std::uint64_t stream_epochs = 0;
+    std::uint64_t commit_violations = 0;
+    std::uint64_t max_commit_lag = 0;
     bool finished = true;
   };
 

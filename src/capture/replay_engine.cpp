@@ -5,6 +5,7 @@
 
 #include "capture/chaos_spec_codec.hpp"
 #include "capture/wire_log_reader.hpp"
+#include "stream/stream_spec_codec.hpp"
 
 namespace icecube {
 
@@ -115,19 +116,36 @@ ReplayResult replay_capture(const std::string& bytes,
                     "capture does not start with a spec frame"};
     return result;
   }
-  ChaosSpecDecode spec = decode_chaos_spec(capture.records.front().payload);
-  if (!spec.ok()) {
-    result.error = spec.error;
-    result.error.context = "spec frame: " + result.error.context;
-    return result;
-  }
   result.recorded_frames = capture.records.size() - 1;
 
   // Re-drive the identical scenario, collecting the regenerated stream.
-  spec.spec.keep_trace = options.keep_trace;
+  // The spec header keyword says which engine recorded the capture: a
+  // "stream-spec" frame replays through the streaming daemon, anything
+  // else through the chaos harness.
   MemoryCaptureSink live;
-  spec.spec.capture = &live;
-  result.report = run_chaos(spec.spec);
+  const std::string& spec_payload = capture.records.front().payload;
+  if (spec_payload.rfind("stream-spec", 0) == 0) {
+    StreamSpecDecode spec = decode_stream_spec(spec_payload);
+    if (!spec.ok()) {
+      result.error = spec.error;
+      result.error.context = "spec frame: " + result.error.context;
+      return result;
+    }
+    const StreamRunReport stream_report = run_stream(spec.spec, &live);
+    // The summary-CRC check below reads report.trace_crc regardless of the
+    // engine; the stream run's CRC drops into the same slot.
+    result.report.trace_crc = stream_report.trace_crc;
+  } else {
+    ChaosSpecDecode spec = decode_chaos_spec(spec_payload);
+    if (!spec.ok()) {
+      result.error = spec.error;
+      result.error.context = "spec frame: " + result.error.context;
+      return result;
+    }
+    spec.spec.keep_trace = options.keep_trace;
+    spec.spec.capture = &live;
+    result.report = run_chaos(spec.spec);
+  }
 
   const std::vector<CaptureRecord>& got = live.records();
   const std::size_t limit =

@@ -71,6 +71,14 @@ Constraint evaluate_constraint(const Universe& universe, const ActionRecord& a,
                             common_targets(*a.action, *b.action), order_calls);
 }
 
+Constraint evaluate_constraint_over(const Universe& universe,
+                                    const ActionRecord& a,
+                                    const ActionRecord& b,
+                                    const std::vector<ObjectId>& shared,
+                                    std::uint64_t& order_calls) {
+  return evaluate_direction(universe, a, b, shared, order_calls);
+}
+
 ConstraintMatrix build_constraints_dense(
     const Universe& universe, const std::vector<ActionRecord>& records,
     ConstraintBuildStats* stats) {

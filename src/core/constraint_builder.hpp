@@ -56,6 +56,15 @@ class ConstraintMatrix {
                                              const ActionRecord& a,
                                              const ActionRecord& b);
 
+/// Same evaluation, but over a caller-supplied shared-target set, for callers
+/// (the incremental graph) that already know which objects a pair has in
+/// common and must not pay a fresh `targets()` extraction per direction. The
+/// iteration order of `shared` does not affect the result; `order_calls` is
+/// incremented once per object-order query, matching the batch builders.
+[[nodiscard]] Constraint evaluate_constraint_over(
+    const Universe& universe, const ActionRecord& a, const ActionRecord& b,
+    const std::vector<ObjectId>& shared, std::uint64_t& order_calls);
+
 /// Work counters for one matrix construction. The sparse builder's whole
 /// point is doing strictly less of this than the dense all-pairs scan, so
 /// both builders count and the equivalence tests compare.

@@ -25,9 +25,96 @@
 #include "core/selection.hpp"
 #include "core/simulator.hpp"
 #include "core/universe.hpp"
+#include "solver/graph.hpp"
 #include "util/timer.hpp"
 
 namespace icecube {
+
+/// Streaming-side constraint maintenance (DESIGN.md §15): the sparse
+/// target-inverted constraint graph of `build_solver_graph`, extended one
+/// action at a time. Each arrival evaluates only its pairs against
+/// already-known actions sharing a target — amortised O(overlap) per
+/// action, never touching the Θ(n²) matrix — and the resulting adjacency
+/// lists are element-for-element identical to a batch build over the same
+/// record sequence.
+///
+/// Alongside the graph it maintains the conflict-component partition
+/// (union–find, merged small-into-large) and a dirty set: the components
+/// touched by arrivals since the last `take_dirty_roots()`. The daemon
+/// re-solves exactly those.
+///
+/// Ids are assigned in arrival order; the canonical cross-replica identity
+/// of a record is its stream priority (solver/components.hpp), not its id.
+class IncrementalConstraintGraph {
+ public:
+  /// `universe` supplies the `order` methods and the object-id space; it
+  /// must outlive the graph. Actions may only target objects that already
+  /// exist in it.
+  explicit IncrementalConstraintGraph(const Universe& universe);
+
+  /// Appends one action and extends the graph. Returns the new id.
+  ActionId add_action(ActionPtr action, LogId log, std::size_t position);
+
+  [[nodiscard]] const std::vector<ActionRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] const SolverGraph& graph() const { return graph_; }
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+
+  /// Pair-evaluation work counters, comparable with the batch builder's.
+  [[nodiscard]] const ConstraintBuildStats& build_stats() const {
+    return stats_;
+  }
+
+  /// Union–find root of `id`'s component (path-halving; cheap).
+  [[nodiscard]] ActionId component_root(ActionId id);
+  /// Members (unsorted) of the component rooted at `root`, materialised
+  /// from the intrusive member chain into an internal scratch vector;
+  /// valid until the next call or add_action.
+  [[nodiscard]] const std::vector<ActionId>& component_members(ActionId root);
+  [[nodiscard]] std::size_t component_count() const { return components_; }
+
+  /// Current roots of every component touched since the last call
+  /// (deduplicated, in ascending root id); clears the dirty set.
+  [[nodiscard]] std::vector<ActionId> take_dirty_roots();
+
+ private:
+  static constexpr std::uint32_t kNoMember = 0xffffffffU;
+
+  [[nodiscard]] std::uint32_t find(std::uint32_t v);
+  void unite(std::uint32_t a, std::uint32_t b);
+
+  const Universe* universe_;
+  std::vector<ActionRecord> records_;
+  SolverGraph graph_;
+  ConstraintBuildStats stats_;
+
+  /// Target → action ids, the inverted index arrivals probe.
+  std::vector<std::vector<ActionId>> by_target_;
+  /// Per-existing-action stamp deduplicating multi-target pairs within one
+  /// add_action call (value = new id + 1).
+  std::vector<std::uint32_t> paired_stamp_;
+  /// Scratch for one add_action call: the deduplicated partners, the slot
+  /// each partner's shared-target set lives in (valid where the stamp
+  /// matches), and a pool of shared-target vectors whose capacity is reused
+  /// across arrivals.
+  std::vector<ActionId> pair_others_;
+  std::vector<std::uint32_t> pair_slot_;
+  std::vector<std::vector<ObjectId>> pair_targets_pool_;
+
+  std::vector<std::uint32_t> parent_;
+  /// Component membership as an intrusive singly-linked chain per root
+  /// (head/tail/size valid at roots only, next per id): unite splices in
+  /// O(1) with zero allocation, where vector-of-vectors merging cost one
+  /// heap singleton per arrival plus a copy per union.
+  std::vector<std::uint32_t> member_head_;
+  std::vector<std::uint32_t> member_tail_;
+  std::vector<std::uint32_t> member_next_;  ///< kNoMember ends a chain
+  std::vector<std::uint32_t> comp_size_;
+  std::vector<ActionId> members_scratch_;  ///< component_members() output
+  std::size_t components_ = 0;
+  std::vector<std::uint32_t> dirty_roots_;  ///< raw, pre-find, may repeat
+};
 
 /// Single-shot, sliceable reconciliation. Construct, call `step()` until
 /// `finished()`, then `take_result()` — or stop at any time and take what

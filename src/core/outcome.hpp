@@ -73,9 +73,18 @@ struct SearchStats {
   /// Static-constraint construction work, copied from the builder's
   /// ConstraintBuildStats: ordered pair evaluations and SharedObject::order
   /// calls. The sparse builder's savings over the dense all-pairs scan show
-  /// up here.
+  /// up here. The streaming daemon reuses `constraint_pairs_evaluated` for
+  /// its incremental graph extension (new-vs-existing pairs only).
   std::uint64_t constraint_pairs_evaluated = 0;
   std::uint64_t constraint_order_calls = 0;
+
+  /// Conflict-component decomposition and streaming-daemon accounting
+  /// (src/solver/components.hpp, src/stream/). Batch sparse runs fill
+  /// `components_resolved`; the commit fields stay zero outside the daemon.
+  std::uint64_t components_resolved = 0;  ///< sub-problems solved
+  std::uint64_t stream_epochs = 0;        ///< daemon solve/commit rounds
+  std::uint64_t commit_violations = 0;    ///< re-solves contradicting commits
+  std::uint64_t max_commit_lag = 0;       ///< peak ingested-minus-committed
 
   double elapsed_seconds = 0.0;
   /// Seconds from search start until the incumbent best outcome was found
@@ -107,6 +116,12 @@ struct SearchStats {
     bytes_cloned += other.bytes_cloned;
     moves_proposed += other.moves_proposed;
     moves_accepted += other.moves_accepted;
+    components_resolved += other.components_resolved;
+    stream_epochs += other.stream_epochs;
+    commit_violations += other.commit_violations;
+    if (other.max_commit_lag > max_commit_lag) {
+      max_commit_lag = other.max_commit_lag;
+    }
     hit_limit = hit_limit || other.hit_limit;
   }
 };

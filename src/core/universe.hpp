@@ -237,6 +237,16 @@ class Universe {
     return out;
   }
 
+  /// Re-aliases one slot to `other`'s current object for the same id
+  /// (shared, zero-clone — detach protects later writes). The streaming
+  /// daemon rewinds just the slots a dirty conflict component touches back
+  /// to the pristine initial state this way, instead of copying the whole
+  /// slot vector per re-solve.
+  void share_slot_from(const Universe& other, ObjectId id) {
+    assert(id.index() < slots_.size() && id.index() < other.slots_.size());
+    slots_[id.index()] = other.slots_[id.index()];
+  }
+
  private:
   /// One object slot. `fp_cache` memoises the object's fingerprint hash
   /// (null until first computed; 0 inside means "unset"); it travels with

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "core/constraint_builder.hpp"
+#include "solver/components.hpp"
 
 namespace icecube {
 
@@ -25,10 +26,19 @@ std::uint64_t slot_mix(std::size_t slot, std::uint64_t fp) {
 
 }  // namespace
 
+std::uint64_t universe_state_digest(const Universe& universe) {
+  std::uint64_t digest = 0;
+  for (std::size_t s = 0; s < universe.size(); ++s) {
+    digest ^= slot_mix(s, universe.slot_fingerprint(ObjectId(s)));
+  }
+  return digest;
+}
+
 LocalSearchEngine::LocalSearchEngine(const std::vector<ActionRecord>& records,
                                      const SolverGraph& graph,
                                      const Universe& initial, Bitset excluded,
-                                     const LocalSearchOptions& opts)
+                                     const LocalSearchOptions& opts,
+                                     const std::uint64_t* initial_digest)
     : records_(records),
       graph_(graph),
       initial_(initial),
@@ -100,10 +110,9 @@ LocalSearchEngine::LocalSearchEngine(const std::vector<ActionRecord>& records,
 
   // Absolute digest of the initial universe; maintained per mutation from
   // here on, so digest equality is state equality (hash convention).
-  std::uint64_t digest0 = 0;
-  for (std::size_t s = 0; s < initial_.size(); ++s) {
-    digest0 ^= slot_mix(s, initial_.slot_fingerprint(ObjectId(s)));
-  }
+  const std::uint64_t digest0 = initial_digest != nullptr
+                                    ? *initial_digest
+                                    : universe_state_digest(initial_);
   checkpoints_[0] = initial_.snapshot();
   ++snapshots_;
   digests_[0] = digest0;
@@ -534,14 +543,81 @@ Outcome LocalSearchEngine::best_outcome() const {
 
 namespace {
 
-/// Shared driver for the greedy and local-search backends: one engine per
-/// cutset, the incumbent best offered to the selection. `max_moves == 0` is
-/// the greedy backend (construction only).
+/// The sparse whole-problem path: decompose into conflict components, solve
+/// each independently (canonical seeds, compacted sub-problems), merge
+/// deterministically. This is also what makes the streaming daemon exact —
+/// it re-solves single components with the same code and merges to the same
+/// schedule (see solver/components.hpp).
+void solve_decomposed(const SolveContext& ctx, Selection& selection,
+                      SearchStats& stats, bool allow_moves,
+                      const Cutset& cutset) {
+  const std::vector<ActionRecord>& records = *ctx.records;
+  const ReconcilerOptions& options = *ctx.options;
+
+  const std::vector<std::vector<ActionId>> components =
+      conflict_components(records, *ctx.graph);
+  const std::uint64_t digest0 = universe_state_digest(*ctx.initial);
+
+  Universe working = ctx.initial->snapshot();
+  std::vector<ComponentSolution> solved;
+  solved.reserve(components.size());
+  for (const std::vector<ActionId>& members : components) {
+    // Past the deadline the remaining components degrade to their greedy
+    // construction — still a complete outcome, like the single-engine walk
+    // stopping mid-run.
+    const bool moves_now = allow_moves && !ctx.deadline->expired();
+    stats.hit_limit |= allow_moves && !moves_now;
+    const SubProblem sub = extract_subproblem(records, *ctx.graph, members);
+    solved.push_back(solve_component(sub, *ctx.initial, working, options,
+                                     moves_now, digest0, *ctx.deadline,
+                                     stats));
+  }
+
+  std::vector<const ComponentSolution*> parts;
+  parts.reserve(solved.size());
+  for (const ComponentSolution& s : solved) parts.push_back(&s);
+  std::vector<ActionId> sequence;
+  std::vector<RunStatus> status;
+  merge_solutions(parts, records, sequence, status);
+
+  Outcome out;
+  for (std::size_t k = 0; k < sequence.size(); ++k) {
+    if (status[k] == RunStatus::kExecuted) {
+      out.schedule.push_back(sequence[k]);
+    } else {
+      out.skipped.push_back(sequence[k]);
+    }
+  }
+  out.final_state = std::move(working);
+  out.complete = true;
+  out.cutset = cutset.actions;
+  out.cost = ctx.policy->cost(out);
+  ctx.policy->on_outcome(out);
+  if (selection.offer(std::move(out))) {
+    stats.time_to_best = ctx.clock->seconds();
+    stats.schedules_to_best = stats.schedules_completed;
+  }
+}
+
+/// Shared driver for the greedy and local-search backends. The sparse
+/// whole-problem case (one implicit empty cutset over a prebuilt graph)
+/// goes through the component decomposition; the auto path's real cutsets
+/// keep the one-engine-per-cutset loop.
 void solve_with_engine(const SolveContext& ctx, Selection& selection,
                        SearchStats& stats, bool allow_moves) {
   const std::vector<ActionRecord>& records = *ctx.records;
   const ReconcilerOptions& options = *ctx.options;
   const std::size_t n = records.size();
+
+  const std::vector<Cutset> implicit{Cutset{}};
+  const std::vector<Cutset>& cutsets =
+      ctx.cutsets != nullptr ? *ctx.cutsets : implicit;
+
+  if (ctx.graph != nullptr && cutsets.size() == 1 &&
+      cutsets.front().actions.empty() && n > 0) {
+    solve_decomposed(ctx, selection, stats, allow_moves, cutsets.front());
+    return;
+  }
 
   SolverGraph derived;
   const SolverGraph* graph = ctx.graph;
@@ -551,10 +627,6 @@ void solve_with_engine(const SolveContext& ctx, Selection& selection,
                                    build_target_overlap(records));
     graph = &derived;
   }
-
-  const std::vector<Cutset> implicit{Cutset{}};
-  const std::vector<Cutset>& cutsets =
-      ctx.cutsets != nullptr ? *ctx.cutsets : implicit;
 
   std::size_t cut_index = 0;
   for (const Cutset& cutset : cutsets) {

@@ -43,6 +43,12 @@
 
 namespace icecube {
 
+/// Absolute 64-bit state digest of a universe under the engine's slot-mix
+/// convention (XOR of keyed per-slot fingerprint hashes). Computing it
+/// walks every slot; callers solving many components against one initial
+/// universe compute it once and hand it to each engine.
+[[nodiscard]] std::uint64_t universe_state_digest(const Universe& universe);
+
 /// The annealing walk over one sub-problem. Exposed (rather than hidden in
 /// the backend) so the oracle test can drive single steps and compare the
 /// incremental cost against a full fresh replay.
@@ -53,10 +59,12 @@ class LocalSearchEngine {
   /// engine. Construction performs the greedy build: a min-id topological
   /// permutation (Kahn) replayed once with skip-on-failure — so the start
   /// configuration, and therefore the final result, is never worse than the
-  /// greedy backend's.
+  /// greedy backend's. `initial_digest`, when non-null, must equal
+  /// `universe_state_digest(initial)` and skips that O(slots) walk.
   LocalSearchEngine(const std::vector<ActionRecord>& records,
                     const SolverGraph& graph, const Universe& initial,
-                    Bitset excluded, const LocalSearchOptions& opts);
+                    Bitset excluded, const LocalSearchOptions& opts,
+                    const std::uint64_t* initial_digest = nullptr);
 
   /// Proposes (and maybe applies) one move. Returns false once the stall
   /// budget says stop. Does not check deadlines — `run` does.
@@ -81,6 +89,16 @@ class LocalSearchEngine {
   /// Materialises the incumbent-best configuration as a complete Outcome
   /// (costed by the caller's policy, not the internal objective).
   [[nodiscard]] Outcome best_outcome() const;
+
+  /// The incumbent-best configuration itself, for callers that replay it
+  /// externally (the component solver replays against a shared working
+  /// universe instead of a fresh snapshot). Positions >= live_end() are the
+  /// frozen cycle tail, in ascending id order — moves never touch it.
+  [[nodiscard]] const std::vector<ActionId>& best_schedule() const {
+    return best_sched_;
+  }
+  [[nodiscard]] const Bitset& best_dropped() const { return best_dropped_; }
+  [[nodiscard]] std::size_t live_end() const { return live_end_; }
 
   [[nodiscard]] std::uint64_t proposals() const { return proposals_; }
   [[nodiscard]] std::uint64_t evaluations() const { return evaluations_; }

@@ -1,0 +1,294 @@
+#include "stream/stream_spec_codec.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "serialize/framing.hpp"
+#include "util/rng.hpp"
+
+namespace icecube {
+
+namespace {
+
+constexpr std::string_view kSpecMagic = "stream-spec";
+constexpr int kSpecVersion = 1;
+
+std::string fmt_double(double v) {
+  char buf[64];
+  // 17 significant digits round-trip any double exactly.
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+void put(std::string& out, std::string_view key, const std::string& value) {
+  out += key;
+  out += ' ';
+  out += value;
+  out += '\n';
+}
+
+std::vector<std::string_view> split(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  std::size_t start = 0;
+  while (start < line.size()) {
+    const std::size_t end = line.find(' ', start);
+    if (end == std::string_view::npos) {
+      tokens.push_back(line.substr(start));
+      break;
+    }
+    if (end > start) tokens.push_back(line.substr(start, end - start));
+    start = end + 1;
+  }
+  return tokens;
+}
+
+bool parse_double(std::string_view token, double& out) {
+  const char* first = token.data();
+  const char* last = token.data() + token.size();
+  const auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc{} && ptr == last;
+}
+
+}  // namespace
+
+std::string encode_stream_spec(const StreamSpec& spec) {
+  std::string out;
+  out += kSpecMagic;
+  out += ' ';
+  out += std::to_string(kSpecVersion);
+  out += '\n';
+  const workload::FagesSpec& w = spec.workload;
+  put(out, "replicas", std::to_string(w.replicas));
+  put(out, "tasks", std::to_string(w.tasks_per_replica));
+  put(out, "density", fmt_double(w.dependency_density));
+  put(out, "conflict", fmt_double(w.conflict_ratio));
+  put(out, "resources", std::to_string(w.shared_resources));
+  put(out, "capacity", std::to_string(w.resource_capacity));
+  put(out, "seed", std::to_string(w.seed));
+  put(out, "backend",
+      std::string(spec.backend == SolverKind::kLocalSearch ? "ls"
+                                                           : "greedy"));
+  put(out, "arrival", std::string(to_string(spec.arrival)));
+  put(out, "arrival-seed", std::to_string(spec.arrival_seed));
+  put(out, "batch", std::to_string(spec.batch));
+  put(out, "quiescence", std::to_string(spec.commit_quiescence));
+  return out;
+}
+
+StreamSpecDecode decode_stream_spec(const std::string& text) {
+  using serialize_detail::parse_number;
+  StreamSpecDecode out;
+  if (text.empty()) {
+    out.error = {DecodeErrorKind::kEmptyInput, 0, {}};
+    return out;
+  }
+
+  std::vector<std::string_view> lines;
+  std::string_view rest = text;
+  while (!rest.empty()) {
+    const std::size_t nl = rest.find('\n');
+    lines.push_back(rest.substr(0, nl));
+    if (nl == std::string_view::npos) break;
+    rest.remove_prefix(nl + 1);
+  }
+  while (!lines.empty() && lines.back().empty()) lines.pop_back();
+  if (lines.empty()) {
+    out.error = {DecodeErrorKind::kEmptyInput, 0, {}};
+    return out;
+  }
+
+  const std::vector<std::string_view> head = split(lines.front());
+  if (head.size() != 2 || head[0] != kSpecMagic) {
+    out.error = {DecodeErrorKind::kBadHeader, 1, std::string(lines.front())};
+    return out;
+  }
+  const auto version = parse_number<int>(head[1]);
+  if (!version) {
+    out.error = {DecodeErrorKind::kBadHeader, 1, std::string(head[1])};
+    return out;
+  }
+  if (*version < 1 || *version > kSpecVersion) {
+    out.error = {DecodeErrorKind::kUnsupportedVersion, 1,
+                 "spec version " + std::to_string(*version)};
+    return out;
+  }
+
+  StreamSpec& spec = out.spec;
+  workload::FagesSpec& w = spec.workload;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const std::size_t line_no = i + 1;
+    const std::vector<std::string_view> tokens = split(lines[i]);
+    if (tokens.empty()) continue;
+    const std::string_view key = tokens.front();
+
+    const auto want = [&](std::size_t n) {
+      if (tokens.size() == n + 1) return true;
+      out.error = {DecodeErrorKind::kBadSyntax, line_no,
+                   std::string(lines[i])};
+      return false;
+    };
+    const auto num = [&](std::string_view token, auto& field) {
+      using T = std::remove_reference_t<decltype(field)>;
+      const auto v = parse_number<T>(token);
+      if (!v) {
+        out.error = {DecodeErrorKind::kBadNumber, line_no,
+                     std::string(token)};
+        return false;
+      }
+      field = *v;
+      return true;
+    };
+    const auto dbl = [&](std::string_view token, double& field) {
+      if (!parse_double(token, field)) {
+        out.error = {DecodeErrorKind::kBadNumber, line_no,
+                     std::string(token)};
+        return false;
+      }
+      return true;
+    };
+
+    bool handled = true;
+    if (key == "replicas") {
+      handled = want(1) && num(tokens[1], w.replicas);
+    } else if (key == "tasks") {
+      handled = want(1) && num(tokens[1], w.tasks_per_replica);
+    } else if (key == "density") {
+      handled = want(1) && dbl(tokens[1], w.dependency_density);
+    } else if (key == "conflict") {
+      handled = want(1) && dbl(tokens[1], w.conflict_ratio);
+    } else if (key == "resources") {
+      handled = want(1) && num(tokens[1], w.shared_resources);
+    } else if (key == "capacity") {
+      handled = want(1) && num(tokens[1], w.resource_capacity);
+    } else if (key == "seed") {
+      handled = want(1) && num(tokens[1], w.seed);
+    } else if (key == "backend") {
+      if (!want(1)) {
+        handled = false;
+      } else if (tokens[1] == "greedy") {
+        spec.backend = SolverKind::kGreedy;
+      } else if (tokens[1] == "ls") {
+        spec.backend = SolverKind::kLocalSearch;
+      } else {
+        out.error = {DecodeErrorKind::kBadSyntax, line_no,
+                     std::string(tokens[1])};
+        handled = false;
+      }
+    } else if (key == "arrival") {
+      if (!want(1)) {
+        handled = false;
+      } else if (tokens[1] == "flatten") {
+        spec.arrival = StreamArrival::kFlatten;
+      } else if (tokens[1] == "roundrobin") {
+        spec.arrival = StreamArrival::kRoundRobin;
+      } else if (tokens[1] == "shuffled") {
+        spec.arrival = StreamArrival::kShuffled;
+      } else {
+        out.error = {DecodeErrorKind::kBadSyntax, line_no,
+                     std::string(tokens[1])};
+        handled = false;
+      }
+    } else if (key == "arrival-seed") {
+      handled = want(1) && num(tokens[1], spec.arrival_seed);
+    } else if (key == "batch") {
+      handled = want(1) && num(tokens[1], spec.batch);
+    } else if (key == "quiescence") {
+      handled = want(1) && num(tokens[1], spec.commit_quiescence);
+    } else {
+      out.error = {DecodeErrorKind::kBadSyntax, line_no,
+                   std::string(lines[i])};
+      handled = false;
+    }
+    if (!handled) return out;
+  }
+  return out;
+}
+
+/// The arrival interleaving as (log, position) pairs, per-log order kept.
+static std::vector<std::pair<std::uint32_t, std::uint32_t>> arrival_order(
+    const StreamSpec& spec, const std::vector<Log>& logs) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> order;
+  std::size_t total = 0;
+  for (const Log& log : logs) total += log.size();
+  order.reserve(total);
+  switch (spec.arrival) {
+    case StreamArrival::kFlatten:
+      for (std::uint32_t l = 0; l < logs.size(); ++l) {
+        for (std::uint32_t p = 0; p < logs[l].size(); ++p) {
+          order.emplace_back(l, p);
+        }
+      }
+      break;
+    case StreamArrival::kRoundRobin: {
+      bool more = true;
+      for (std::uint32_t p = 0; more; ++p) {
+        more = false;
+        for (std::uint32_t l = 0; l < logs.size(); ++l) {
+          if (p < logs[l].size()) {
+            order.emplace_back(l, p);
+            more = true;
+          }
+        }
+      }
+      break;
+    }
+    case StreamArrival::kShuffled: {
+      Rng rng(spec.arrival_seed);
+      std::vector<std::uint32_t> next(logs.size(), 0);
+      std::size_t remaining = total;
+      while (remaining > 0) {
+        std::uint64_t r = rng.below(remaining);
+        for (std::uint32_t l = 0; l < logs.size(); ++l) {
+          const std::uint64_t left = logs[l].size() - next[l];
+          if (r < left) {
+            order.emplace_back(l, next[l]++);
+            break;
+          }
+          r -= left;
+        }
+        --remaining;
+      }
+      break;
+    }
+  }
+  return order;
+}
+
+StreamRunReport run_stream(const StreamSpec& spec, CaptureSink* sink) {
+  workload::Generated gen = workload::fages_workload(spec.workload);
+
+  StreamOptions options;
+  options.backend = spec.backend;
+  options.commit_quiescence = spec.commit_quiescence;
+  options.epoch_budget_us = 0;  // wall-clock degradation is not replayable
+
+  StreamReconciler core(std::move(gen.initial), options, sink);
+  const auto order = arrival_order(spec, gen.logs);
+  std::uint32_t since_epoch = 0;
+  for (const auto& [l, p] : order) {
+    core.ingest(LogId(l), gen.logs[l].ptr(p));
+    if (spec.batch > 0 && ++since_epoch >= spec.batch) {
+      core.run_epoch();
+      since_epoch = 0;
+    }
+  }
+  if (since_epoch > 0) core.run_epoch();
+
+  StreamRunReport report;
+  report.result = core.finish();
+  report.counters = core.counters();
+  report.stats = core.stats();
+  report.trace_crc = sink != nullptr ? core.trace_crc() : 0;
+  return report;
+}
+
+StreamRunReport run_stream_captured(const StreamSpec& spec,
+                                    CaptureSink& sink) {
+  sink.record({CaptureRecordKind::kSpec, 0, encode_stream_spec(spec)});
+  return run_stream(spec, &sink);
+}
+
+}  // namespace icecube

@@ -1,0 +1,132 @@
+// Chunked bump-pointer arena for ingested stream state.
+//
+// The streaming daemon allocates many small, identically-lived objects per
+// epoch (ingest envelopes, per-arrival scratch, trace strings). A general
+// allocator pays per-object malloc/free plus fragmentation; the arena pays
+// one pointer bump, and `reset()` returns every chunk to the pool in O(#
+// non-trivial objects) without releasing memory — the steady-state daemon
+// allocates nothing after warm-up.
+//
+// `make<T>` registers a destructor only when T needs one, so a reset over
+// trivially-destructible bulk data is a pointer swap. Not thread-safe by
+// design: each daemon thread owns its arena (the SPSC ring is the only
+// cross-thread edge).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace icecube {
+
+class Arena {
+ public:
+  explicit Arena(std::size_t chunk_bytes = 1 << 16)
+      : chunk_bytes_(chunk_bytes < 64 ? 64 : chunk_bytes) {}
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  ~Arena() { call_destructors(); }
+
+  /// Raw aligned storage; alignment must be a power of two.
+  [[nodiscard]] void* allocate(std::size_t bytes, std::size_t alignment) {
+    std::uintptr_t p = (cursor_ + (alignment - 1)) & ~(alignment - 1);
+    if (p + bytes > limit_) {
+      grow(bytes + alignment);
+      p = (cursor_ + (alignment - 1)) & ~(alignment - 1);
+    }
+    cursor_ = p + bytes;
+    bytes_allocated_ += bytes;
+    return reinterpret_cast<void*>(p);
+  }
+
+  /// Constructs a T in place. Non-trivially-destructible types are
+  /// registered so `reset()`/destruction run their destructors.
+  template <typename T, typename... Args>
+  [[nodiscard]] T* make(Args&&... args) {
+    void* p = allocate(sizeof(T), alignof(T));
+    T* obj = new (p) T(std::forward<Args>(args)...);
+    if constexpr (!std::is_trivially_destructible_v<T>) {
+      finalizers_.push_back(
+          {obj, [](void* q) { static_cast<T*>(q)->~T(); }});
+    }
+    return obj;
+  }
+
+  /// Destroys registered objects and rewinds every chunk for reuse. No
+  /// memory is returned to the system — the next fill is allocation-free.
+  void reset() {
+    call_destructors();
+    finalizers_.clear();
+    next_chunk_ = 0;
+    bytes_allocated_ = 0;
+    if (!chunks_.empty()) {
+      open_chunk(0);
+    } else {
+      cursor_ = 0;
+      limit_ = 0;
+    }
+  }
+
+  [[nodiscard]] std::size_t bytes_allocated() const {
+    return bytes_allocated_;
+  }
+  [[nodiscard]] std::size_t bytes_reserved() const {
+    std::size_t total = 0;
+    for (const Chunk& c : chunks_) total += c.size;
+    return total;
+  }
+  [[nodiscard]] std::size_t chunk_count() const { return chunks_.size(); }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+  struct Finalizer {
+    void* object;
+    void (*destroy)(void*);
+  };
+
+  void open_chunk(std::size_t index) {
+    cursor_ = reinterpret_cast<std::uintptr_t>(chunks_[index].data.get());
+    limit_ = cursor_ + chunks_[index].size;
+    next_chunk_ = index + 1;
+  }
+
+  void grow(std::size_t min_bytes) {
+    // Reuse a rewound chunk when one is large enough; otherwise append a
+    // new chunk of at least `chunk_bytes_`.
+    while (next_chunk_ < chunks_.size()) {
+      if (chunks_[next_chunk_].size >= min_bytes) {
+        open_chunk(next_chunk_);
+        return;
+      }
+      ++next_chunk_;
+    }
+    const std::size_t size =
+        min_bytes > chunk_bytes_ ? min_bytes : chunk_bytes_;
+    chunks_.push_back(Chunk{std::make_unique<std::byte[]>(size), size});
+    open_chunk(chunks_.size() - 1);
+  }
+
+  void call_destructors() {
+    // Reverse construction order, the conventional arena contract.
+    for (auto it = finalizers_.rbegin(); it != finalizers_.rend(); ++it) {
+      it->destroy(it->object);
+    }
+  }
+
+  std::size_t chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  std::size_t next_chunk_ = 0;
+  std::uintptr_t cursor_ = 0;
+  std::uintptr_t limit_ = 0;
+  std::size_t bytes_allocated_ = 0;
+  std::vector<Finalizer> finalizers_;
+};
+
+}  // namespace icecube

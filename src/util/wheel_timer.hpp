@@ -1,0 +1,138 @@
+// Hierarchical-free single-level timing wheel with an overflow list.
+//
+// The streaming daemon arms one deadline per ingest batch ("commit within
+// the latency budget or degrade to greedy") plus periodic housekeeping.
+// Those deadlines are dense and near-future, which is the case a timing
+// wheel serves in O(1) per schedule/cancel/expire — against a binary heap's
+// O(log n) and allocation churn.
+//
+// Ticks are caller-defined (the daemon uses microseconds). Timers further
+// out than one wheel revolution sit in an overflow vector that is re-filed
+// lazily as the wheel turns past their slot; with the daemon's budgets
+// (micro- to milliseconds) the overflow path is cold.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace icecube {
+
+class WheelTimer {
+ public:
+  using TimerId = std::uint64_t;
+
+  /// `slots` must be a power of two; the wheel spans `slots` ticks per
+  /// revolution.
+  explicit WheelTimer(std::uint64_t now_tick = 0, std::size_t slots = 256)
+      : slots_(slots), mask_(slots - 1), now_(now_tick), wheel_(slots) {}
+
+  /// Arms a timer at absolute tick `deadline`; past-or-present deadlines
+  /// fire on the next advance. Returns an id usable with `cancel`.
+  TimerId schedule(std::uint64_t deadline) {
+    const TimerId id = next_id_++;
+    if (deadline <= now_) deadline = now_ + 1;
+    file(Entry{id, deadline});
+    ++armed_;
+    return id;
+  }
+
+  /// Lazily disarms `id`; the entry is dropped when its slot is swept.
+  void cancel(TimerId id) {
+    if (id < next_id_) cancelled_.push_back(id);
+  }
+
+  /// Advances the wheel to `now_tick` and invokes `fn(id, deadline)` for
+  /// every expired, still-armed timer (insertion order within a tick).
+  template <typename Fn>
+  std::size_t advance(std::uint64_t now_tick, Fn&& fn) {
+    std::size_t fired = 0;
+    while (now_ < now_tick) {
+      if (armed_ == 0) {
+        // Nothing can fire: jump over the idle span instead of ticking
+        // through it (epoch gaps are unbounded; budgets are not).
+        now_ = now_tick;
+        cancelled_.clear();
+        break;
+      }
+      ++now_;
+      fired += sweep(wheel_[now_ & mask_], std::forward<Fn>(fn));
+      if ((now_ & mask_) == 0 && !overflow_.empty()) refile_overflow();
+    }
+    return fired;
+  }
+
+  [[nodiscard]] std::uint64_t now() const { return now_; }
+  [[nodiscard]] std::size_t armed() const { return armed_; }
+
+ private:
+  struct Entry {
+    TimerId id;
+    std::uint64_t deadline;
+  };
+
+  void file(Entry e) {
+    if (e.deadline >= now_ + slots_) {
+      overflow_.push_back(e);
+    } else {
+      wheel_[e.deadline & mask_].push_back(e);
+    }
+  }
+
+  [[nodiscard]] bool is_cancelled(TimerId id) {
+    for (std::size_t i = 0; i < cancelled_.size(); ++i) {
+      if (cancelled_[i] == id) {
+        cancelled_[i] = cancelled_.back();
+        cancelled_.pop_back();
+        return true;
+      }
+    }
+    return false;
+  }
+
+  template <typename Fn>
+  std::size_t sweep(std::vector<Entry>& slot, Fn&& fn) {
+    std::size_t fired = 0;
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < slot.size(); ++i) {
+      Entry e = slot[i];
+      if (e.deadline > now_) {
+        // A later revolution's timer sharing this slot; keep it filed.
+        slot[keep++] = e;
+        continue;
+      }
+      --armed_;
+      if (!is_cancelled(e.id)) {
+        fn(e.id, e.deadline);
+        ++fired;
+      }
+    }
+    slot.resize(keep);
+    return fired;
+  }
+
+  void refile_overflow() {
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < overflow_.size(); ++i) {
+      Entry e = overflow_[i];
+      if (e.deadline < now_ + slots_) {
+        wheel_[e.deadline & mask_].push_back(e);
+      } else {
+        overflow_[keep++] = e;
+      }
+    }
+    overflow_.resize(keep);
+  }
+
+  std::size_t slots_;
+  std::uint64_t mask_;
+  std::uint64_t now_;
+  std::vector<std::vector<Entry>> wheel_;
+  std::vector<Entry> overflow_;
+  std::vector<TimerId> cancelled_;
+  TimerId next_id_ = 1;
+  std::size_t armed_ = 0;
+};
+
+}  // namespace icecube

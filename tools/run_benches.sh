@@ -34,6 +34,7 @@ run bench_state
 run bench_chaos
 run bench_commit
 run bench_capture
+run bench_stream
 run bench_analysis
 
 # The soundness auditor's full report rides along with the bench artifacts:
