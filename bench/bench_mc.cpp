@@ -1,0 +1,102 @@
+// bench_mc — measure the model checker's partial-order reduction.
+//
+// Explores the same tiny configurations twice — plain bounded DFS vs
+// sleep sets + transposition table — and reports explored transitions,
+// distinct states, wall time and the reduction factor. Both runs are
+// given a budget large enough to exhaust the space, so the factor is a
+// true like-for-like count of work avoided, not a budget artifact.
+//
+// Hard gate: the flagship row must show at least a 5x reduction — the
+// property that makes exhaustive protocol checking affordable in CI.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "mc/explorer.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace icecube;
+
+struct Row {
+  const char* name;
+  mc::McConfig config;
+  std::size_t depth;
+  bool gated;  ///< the >=5x requirement applies to this row
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::JsonSink json(argc, argv);
+
+  const auto config = [](std::size_t sites, std::size_t actions) {
+    mc::McConfig c;
+    c.sites = sites;
+    c.actions = actions;
+    return c;
+  };
+
+  std::vector<Row> rows;
+  rows.push_back({"2s2a-d6", config(2, 2), 6, false});
+  rows.push_back({"2s2a-d7", config(2, 2), 7, true});  // flagship gate
+  rows.push_back({"2s3a-d6", config(2, 3), 6, false});
+  rows.push_back({"3s3a-d5", config(3, 3), 5, false});
+
+  std::printf("%-10s %6s %12s %12s %9s %9s %8s\n", "config", "depth",
+              "full-trans", "reduced", "tt-hits", "sleep", "factor");
+
+  bool gate_ok = true;
+  for (const Row& row : rows) {
+    mc::ExploreOptions options;
+    options.depth = row.depth;
+    options.states_budget = 20'000'000;  // large enough to exhaust
+
+    options.reduction = false;
+    Stopwatch full_timer;
+    const mc::McReport full = mc::explore(row.config, options);
+    const double full_wall = full_timer.seconds();
+
+    options.reduction = true;
+    Stopwatch reduced_timer;
+    const mc::McReport reduced = mc::explore(row.config, options);
+    const double reduced_wall = reduced_timer.seconds();
+
+    if (!full.complete || !reduced.complete || !full.clean() ||
+        !reduced.clean()) {
+      std::fprintf(stderr,
+                   "FATAL: %s did not explore cleanly to depth %zu "
+                   "(full complete=%d clean=%d, reduced complete=%d "
+                   "clean=%d)\n",
+                   row.name, row.depth, full.complete ? 1 : 0,
+                   full.clean() ? 1 : 0, reduced.complete ? 1 : 0,
+                   reduced.clean() ? 1 : 0);
+      return 1;
+    }
+
+    const double factor =
+        reduced.transitions > 0
+            ? static_cast<double>(full.transitions) /
+                  static_cast<double>(reduced.transitions)
+            : 0.0;
+    std::printf("%-10s %6zu %12zu %12zu %9zu %9zu %7.2fx\n", row.name,
+                row.depth, full.transitions, reduced.transitions,
+                reduced.tt_hits, reduced.sleep_skips, factor);
+
+    json.record(std::string("mc/full/") + row.name, row.config.actions,
+                row.config.sites, full_wall, full.transitions);
+    json.record(std::string("mc/reduced/") + row.name, row.config.actions,
+                row.config.sites, reduced_wall, reduced.transitions);
+
+    if (row.gated && reduced.transitions * 5 > full.transitions) {
+      gate_ok = false;
+      std::fprintf(stderr,
+                   "FATAL: %s reduction factor %.2fx is below the 5x "
+                   "budget\n",
+                   row.name, factor);
+    }
+  }
+  return gate_ok ? 0 : 1;
+}

@@ -4,12 +4,14 @@
 
 #include "jigsaw/introspect.hpp"
 #include "objects/introspect.hpp"
+#include "workload/introspect.hpp"
 
 namespace icecube::analysis {
 
 std::vector<AuditSubject> shipped_audit_subjects() {
   std::vector<AuditSubject> subjects = object_audit_subjects();
   subjects.push_back(jigsaw::board_audit_subject());
+  subjects.push_back(workload::fages_audit_subject());
   return subjects;
 }
 

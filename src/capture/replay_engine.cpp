@@ -5,6 +5,8 @@
 
 #include "capture/chaos_spec_codec.hpp"
 #include "capture/wire_log_reader.hpp"
+#include "capture/wire_log_writer.hpp"
+#include "mc/mc_spec_codec.hpp"
 #include "stream/stream_spec_codec.hpp"
 
 namespace icecube {
@@ -99,6 +101,22 @@ ChaosReport run_chaos_captured(ChaosSpec spec, CaptureSink& sink) {
   return run_chaos(spec);
 }
 
+bool write_mc_capture_file(const std::string& path,
+                           const mc::McConfig& config,
+                           const std::vector<mc::Choice>& schedule,
+                           std::string* error) {
+  MemoryCaptureSink sink;
+  (void)mc::run_mc_schedule_captured(config, schedule, sink);
+  WireLogWriter writer(path);
+  for (const CaptureRecord& record : sink.records()) writer.record(record);
+  writer.close();
+  if (!writer.error().ok()) {
+    if (error != nullptr) *error = writer.error().message();
+    return false;
+  }
+  return true;
+}
+
 ReplayResult replay_capture(const std::string& bytes,
                             const ReplayOptions& options) {
   ReplayResult result;
@@ -120,7 +138,8 @@ ReplayResult replay_capture(const std::string& bytes,
 
   // Re-drive the identical scenario, collecting the regenerated stream.
   // The spec header keyword says which engine recorded the capture: a
-  // "stream-spec" frame replays through the streaming daemon, anything
+  // "stream-spec" frame replays through the streaming daemon, an
+  // "mc-spec" frame through the model checker's schedule runner, anything
   // else through the chaos harness.
   MemoryCaptureSink live;
   const std::string& spec_payload = capture.records.front().payload;
@@ -135,6 +154,16 @@ ReplayResult replay_capture(const std::string& bytes,
     // The summary-CRC check below reads report.trace_crc regardless of the
     // engine; the stream run's CRC drops into the same slot.
     result.report.trace_crc = stream_report.trace_crc;
+  } else if (spec_payload.rfind("mc-spec", 0) == 0) {
+    mc::McSpecDecode spec = mc::decode_mc_spec(spec_payload);
+    if (!spec.ok()) {
+      result.error = spec.error;
+      result.error.context = "spec frame: " + result.error.context;
+      return result;
+    }
+    const mc::McRunResult mc_result =
+        mc::run_mc_schedule(spec.config, spec.schedule, &live);
+    result.report.trace_crc = mc_result.trace_crc;
   } else {
     ChaosSpecDecode spec = decode_chaos_spec(spec_payload);
     if (!spec.ok()) {

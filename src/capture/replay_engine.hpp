@@ -19,6 +19,7 @@
 #include <string>
 
 #include "capture/capture_sink.hpp"
+#include "mc/schedule.hpp"
 #include "serialize/decode_error.hpp"
 #include "simnet/chaos.hpp"
 
@@ -70,6 +71,15 @@ struct ReplayResult {
 /// Restores `spec.capture` untouched semantics by taking a copy.
 [[nodiscard]] ChaosReport run_chaos_captured(ChaosSpec spec,
                                              CaptureSink& sink);
+
+/// Writes a self-describing model-checker `.icap` capture of
+/// (config, schedule) to `path` — the spec frame plus every record the
+/// deterministic re-run emits. Returns false with `error` set on I/O
+/// failure. `replay_capture_file` reproduces it bit-exactly.
+bool write_mc_capture_file(const std::string& path,
+                           const mc::McConfig& config,
+                           const std::vector<mc::Choice>& schedule,
+                           std::string* error = nullptr);
 
 /// Replays the capture in `bytes`; see file comment.
 [[nodiscard]] ReplayResult replay_capture(const std::string& bytes,

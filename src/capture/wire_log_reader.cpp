@@ -2,7 +2,7 @@
 
 #include <cerrno>
 #include <cstdio>
-#include <cstring>
+#include <system_error>
 #include <utility>
 
 namespace icecube {
@@ -54,7 +54,7 @@ CaptureFile read_capture_file(const std::string& path) {
   if (!read_file_bytes(path, bytes)) {
     CaptureFile file;
     file.error = {DecodeErrorKind::kEmptyInput, 0,
-                  "cannot read '" + path + "': " + std::strerror(errno)};
+                  "cannot read '" + path + "': " + std::system_category().message(errno)};
     return file;
   }
   return read_capture(bytes);

@@ -3,8 +3,8 @@
 #include <unistd.h>
 
 #include <cerrno>
-#include <cstring>
 #include <filesystem>
+#include <system_error>
 #include <utility>
 
 #include "capture/wire_log_reader.hpp"
@@ -47,7 +47,7 @@ WireLogWriter::WireLogWriter(std::string path, CaptureWriterOptions options,
   file_ = std::fopen(path_.c_str(), fresh ? "wb" : "ab");
   if (file_ == nullptr) {
     error_ = {DecodeErrorKind::kEmptyInput, 0,
-              "cannot open '" + path_ + "': " + std::strerror(errno)};
+              "cannot open '" + path_ + "': " + std::system_category().message(errno)};
     return;
   }
   if (fresh) {

@@ -1,0 +1,103 @@
+// Test-only protocol mutation hooks for the model checker (src/mc).
+//
+// A model checker is only as credible as its ability to find bugs that
+// exist. Each `ProtocolMutant` re-introduces one historically-fixed (or
+// historically-plausible) protocol defect behind an always-compiled,
+// default-off switch, so the mutation tests can assert that bounded
+// exhaustive exploration *kills* every mutant — finds an invariant
+// violation within the CI state budget — while the shipped protocol
+// explores clean on the same configuration.
+//
+// The hooks are deliberately a single process-global toggle rather than a
+// per-instance option: the defects live deep inside `GossipNode::receive`
+// and `CommitEngine::winner`, which have no test-configuration channel, and
+// threading one through every constructor would put permanent API surface
+// around code whose only purpose is to be wrong. The toggle is not
+// thread-safe by design — the model checker and the mutation tests are
+// single-threaded drivers; concurrent reconciliation code never reads it
+// with a mutant active (the default `kNone` read is a benign constant).
+//
+// Always use the RAII guard in tests so a failing assertion cannot leak an
+// active mutant into later test cases.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace icecube {
+
+/// One seeded protocol defect. Values are stable identifiers — they appear
+/// in `mc-spec` capture frames (src/mc/mc_spec_codec.hpp) so a mutant
+/// counterexample replays bit-exactly; do not renumber.
+enum class ProtocolMutant : std::uint8_t {
+  kNone = 0,
+  /// CommitEngine::winner treats unheard voters as if they had abstained:
+  /// the plurality rule decides on partial tallies that the missing votes
+  /// could still overturn (the off-by-one the strict `> unheard` bound
+  /// exists to prevent). Kills via commit-divergence/commit-irrevocable.
+  kPluralityIgnoreUnheard = 1,
+  /// GossipNode::receive drops the dominated side's committed actions on a
+  /// state transfer instead of demoting them to pending ("demote, never
+  /// drop"). Kills via conservation.
+  kTransferDropDemoted = 2,
+  /// GossipNode::receive skips the stable-prefix guard, letting a
+  /// dominating gossip lineage rewrite an irrevocably decided prefix.
+  /// Kills via stable-prefix / conservation.
+  kStablePrefixRewrite = 3,
+  /// GossipNode::adopt_merge forgets the epoch bump: a merge adopts
+  /// max(epochs) instead of max(epochs) + 1, so the new committed state
+  /// need not dominate the old one. Kills via commit-order.
+  kMergeEpochNoBump = 4,
+  /// GossipNode::rebase drops demoted actions instead of re-pending them
+  /// when a commit decision rewrites local committed work. Kills via
+  /// conservation.
+  kRebaseDropDemoted = 5,
+};
+
+inline constexpr std::uint8_t kProtocolMutantMax = 5;
+
+[[nodiscard]] constexpr std::string_view to_string(ProtocolMutant m) {
+  switch (m) {
+    case ProtocolMutant::kNone:
+      return "none";
+    case ProtocolMutant::kPluralityIgnoreUnheard:
+      return "plurality-ignore-unheard";
+    case ProtocolMutant::kTransferDropDemoted:
+      return "transfer-drop-demoted";
+    case ProtocolMutant::kStablePrefixRewrite:
+      return "stable-prefix-rewrite";
+    case ProtocolMutant::kMergeEpochNoBump:
+      return "merge-epoch-no-bump";
+    case ProtocolMutant::kRebaseDropDemoted:
+      return "rebase-drop-demoted";
+  }
+  return "?";
+}
+
+/// The process-global toggle; see file comment for why it is global.
+inline ProtocolMutant& active_protocol_mutant() {
+  static ProtocolMutant active = ProtocolMutant::kNone;
+  return active;
+}
+
+/// The hook the protocol code calls. Reads a constant in production use.
+[[nodiscard]] inline bool mutant_enabled(ProtocolMutant m) {
+  return active_protocol_mutant() == m;
+}
+
+/// RAII activation — the only sanctioned way to switch a mutant on.
+class ScopedProtocolMutant {
+ public:
+  explicit ScopedProtocolMutant(ProtocolMutant m)
+      : previous_(active_protocol_mutant()) {
+    active_protocol_mutant() = m;
+  }
+  ~ScopedProtocolMutant() { active_protocol_mutant() = previous_; }
+  ScopedProtocolMutant(const ScopedProtocolMutant&) = delete;
+  ScopedProtocolMutant& operator=(const ScopedProtocolMutant&) = delete;
+
+ private:
+  ProtocolMutant previous_;
+};
+
+}  // namespace icecube

@@ -1,0 +1,67 @@
+// Bounded exhaustive exploration with sleep-set reduction.
+//
+// `explore` runs a depth-first search over choice sequences from the
+// genesis `McWorld`, visiting every reachable state up to `depth`
+// transitions deep (or until the state budget runs out), checking the
+// full invariant suite at every state and the algebraic merge laws at
+// every quiescent state. With `reduction` on, two techniques prune the
+// tree without losing any reachable *state*:
+//
+//   sleep sets — after exploring choice c from state s, sibling branches
+//     need not re-explore c first when it commutes with everything they
+//     start with; see explorer.cpp for the bookkeeping and the soundness
+//     argument.
+//   transposition table — states are deduplicated by their 64-bit
+//     protocol digest; a state is skipped only when it was already
+//     explored at least as deeply *and* under a sleep set no larger than
+//     the current one (so the earlier visit explored a superset of the
+//     continuations this visit would).
+//
+// `--no-reduction` (options.reduction = false) disables both, giving the
+// plain bounded DFS that bench_mc compares against.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mc/world.hpp"
+
+namespace icecube::mc {
+
+struct ExploreOptions {
+  std::size_t depth = 10;            ///< max choices per explored sequence
+  std::size_t states_budget = 200000;  ///< max transitions applied
+  bool reduction = true;             ///< sleep sets + transposition table
+};
+
+/// The first violating run found: the raw root-to-violation choice
+/// sequence (minimize it with minimize_trace) and what it violated.
+struct McCounterexample {
+  std::vector<Choice> trace;
+  std::vector<Violation> violations;
+};
+
+struct McReport {
+  McConfig config;
+  ExploreOptions options;
+  std::size_t transitions = 0;      ///< world transitions applied
+  std::size_t distinct_states = 0;  ///< transposition-table inserts
+  std::size_t tt_hits = 0;          ///< states skipped as already covered
+  std::size_t sleep_skips = 0;      ///< branches pruned by sleep sets
+  std::size_t max_frontier = 0;     ///< widest enabled-choice set seen
+  /// Every sequence to `depth` explored within budget, no violation.
+  bool complete = false;
+  bool budget_exhausted = false;
+  std::optional<McCounterexample> counterexample;
+
+  [[nodiscard]] bool clean() const { return !counterexample.has_value(); }
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// See file comment. Activates config.mutant for the whole run.
+[[nodiscard]] McReport explore(const McConfig& config,
+                               const ExploreOptions& options);
+
+}  // namespace icecube::mc

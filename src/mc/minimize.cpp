@@ -1,0 +1,60 @@
+#include "mc/minimize.hpp"
+
+#include <algorithm>
+
+namespace icecube::mc {
+
+bool schedule_reproduces(const McConfig& config,
+                         const std::vector<Choice>& schedule) {
+  ScopedProtocolMutant guard(config.mutant);
+  McWorld world(config);
+  for (const Choice& choice : schedule) {
+    if (!world.apply(choice)) return false;
+    if (world.violated()) return true;
+    if (config.algebra && world.quiescent() &&
+        world.check_algebra().has_value()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<Choice> minimize_trace(const McConfig& config,
+                                   const std::vector<Choice>& trace) {
+  if (!schedule_reproduces(config, trace)) return trace;
+
+  std::vector<Choice> current = trace;
+  std::size_t granularity = 2;
+  while (current.size() >= 2) {
+    const std::size_t chunk =
+        std::max<std::size_t>(1, current.size() / granularity);
+    bool reduced = false;
+    // Try removing each chunk-sized slice (the "complement" tests of
+    // ddmin; testing the slices themselves is subsumed because a slice is
+    // the complement of the rest at granularity 2).
+    for (std::size_t start = 0; start < current.size(); start += chunk) {
+      const std::size_t end = std::min(start + chunk, current.size());
+      std::vector<Choice> candidate;
+      candidate.reserve(current.size() - (end - start));
+      candidate.insert(candidate.end(), current.begin(),
+                       current.begin() + static_cast<std::ptrdiff_t>(start));
+      candidate.insert(candidate.end(),
+                       current.begin() + static_cast<std::ptrdiff_t>(end),
+                       current.end());
+      if (candidate.size() < current.size() &&
+          schedule_reproduces(config, candidate)) {
+        current = std::move(candidate);
+        granularity = std::max<std::size_t>(2, granularity - 1);
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) {
+      if (chunk == 1) break;  // 1-minimal
+      granularity = std::min(current.size(), granularity * 2);
+    }
+  }
+  return current;
+}
+
+}  // namespace icecube::mc

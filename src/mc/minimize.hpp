@@ -1,0 +1,31 @@
+// Delta-debugging trace minimization (Zeller/Hildebrandt ddmin).
+//
+// The explorer's raw counterexample carries every choice on the DFS path,
+// most of which are incidental. `minimize_trace` shrinks it to a
+// 1-minimal schedule: removing any single remaining choice either makes
+// some later choice inapplicable (structural message indices no longer
+// resolve, a step's link is down, ...) or makes the violation disappear.
+// Candidate schedules are judged by `schedule_reproduces`, which replays
+// them through a fresh `McWorld` under the same seeded mutant — the exact
+// semantics `run_mc_schedule` uses for `.icap` replay, so a minimized
+// trace is replayable by construction.
+#pragma once
+
+#include <vector>
+
+#include "mc/world.hpp"
+
+namespace icecube::mc {
+
+/// True iff every choice of `schedule` applies in order from genesis and
+/// an invariant (or, with config.algebra, a merge law at a quiescent
+/// state) is violated by the end. Activates config.mutant for the run.
+[[nodiscard]] bool schedule_reproduces(const McConfig& config,
+                                       const std::vector<Choice>& schedule);
+
+/// ddmin over `trace` (which must reproduce); returns a 1-minimal
+/// reproducing subsequence. Deterministic.
+[[nodiscard]] std::vector<Choice> minimize_trace(
+    const McConfig& config, const std::vector<Choice>& trace);
+
+}  // namespace icecube::mc

@@ -1,0 +1,64 @@
+// Deterministic schedule replay — the bridge between the model checker
+// and the PR 8 capture/replay harness.
+//
+// `run_mc_schedule` replays one choice sequence from genesis through a
+// fresh `McWorld`. It is a pure function of (config, schedule): the same
+// inputs produce the same trace CRC, the same capture frames and the same
+// final state digest, every run. That purity is what makes an `.icap`
+// counterexample *replayable*: the capture's first frame is the encoded
+// (config, schedule), and the replay engine re-runs it and compares
+// frame-for-frame + trace-CRC, exactly as it does for chaos captures.
+//
+// `witness_schedule` generates a counterexample-free convergent schedule
+// for a config — the corpus entry proving the shipped protocol settles
+// under a canonical exhaustively-checkable scenario.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "capture/capture_sink.hpp"
+#include "mc/world.hpp"
+
+namespace icecube::mc {
+
+/// What one schedule replay produced.
+struct McRunResult {
+  bool applied_all = false;   ///< every choice was applicable in order
+  std::size_t applied = 0;    ///< choices applied before stopping
+  std::vector<Violation> violations;
+  std::uint32_t trace_crc = 0;
+  std::uint64_t final_digest = 0;
+  bool settled = false;       ///< full convergence reached (see McWorld)
+
+  [[nodiscard]] bool violated() const { return !violations.empty(); }
+};
+
+/// Replays `schedule` from genesis under config.mutant. With `sink`,
+/// emits chaos-format capture records (kTrace/kAction/kGossipFrame/
+/// kCommitFrame while running, then kViolation per violation and a
+/// kSummary whose first line is "crc <hex32>"). Does NOT emit the kSpec
+/// frame — use run_mc_schedule_captured for a self-describing capture.
+McRunResult run_mc_schedule(const McConfig& config,
+                            const std::vector<Choice>& schedule,
+                            CaptureSink* sink = nullptr);
+
+/// Records the spec frame first, then runs; the result is a complete
+/// capture stream, replayable by capture/replay_engine.
+McRunResult run_mc_schedule_captured(const McConfig& config,
+                                     const std::vector<Choice>& schedule,
+                                     CaptureSink& sink);
+
+/// The kSummary payload for a run.
+[[nodiscard]] std::string mc_capture_summary(const McRunResult& result,
+                                             std::size_t schedule_size);
+
+/// Greedily builds a schedule that drives `config` to full convergence
+/// (settled()): rounds of per-site steps followed by draining every
+/// in-flight message. Returns an empty vector if the config does not
+/// settle within the internal round limit (it always does for fault-free
+/// configs at mc scale).
+[[nodiscard]] std::vector<Choice> witness_schedule(const McConfig& config);
+
+}  // namespace icecube::mc

@@ -1,0 +1,150 @@
+// One forkable protocol world for the model checker.
+//
+// `McWorld` bundles everything one explored state needs — the simulated
+// network, the gossip nodes, the commitment engines, the invariant
+// checkers and the fault budgets — into a single *value type*: copying a
+// world forks it. That is cheap because the expensive part, each node's
+// Universe, is copy-on-write (PR 4), and correct because every member is
+// a plain value except the engines, whose node references are rebound by
+// the CommitEngine copy-with-rebind constructor.
+//
+// The world is driven exclusively through `apply(Choice)`; `enabled()`
+// enumerates exactly the choices `apply` accepts, so the explorer, the
+// delta-debugging minimizer and the capture replay runner all share one
+// transition semantics. The workload is deterministic: site i's k-th
+// action is the same function of (seed, i, k) the chaos harness uses, so
+// a choice sequence fully determines the run — no RNG state to fork.
+//
+// `digest()` hashes the protocol-semantic state (replica contents,
+// commitment knowledge, per-link in-flight message order, budgets,
+// up/cut sets) and deliberately excludes bookkeeping that cannot change
+// future behaviour (the clock, message ids, counters, the trace): two
+// interleavings of independent choices then collide in the transposition
+// table, which is where most of the reduction's power comes from.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "capture/capture_sink.hpp"
+#include "core/mutation.hpp"
+#include "mc/choice.hpp"
+#include "replica/commit.hpp"
+#include "replica/gossip.hpp"
+#include "simnet/invariants.hpp"
+#include "simnet/simnet.hpp"
+
+namespace icecube::mc {
+
+/// Shape of the explored configuration. Small on purpose: the checker is
+/// exhaustive, so every knob multiplies the state space.
+struct McConfig {
+  std::size_t sites = 3;    ///< clamped to [2, 8]
+  std::size_t actions = 3;  ///< total workload actions, round-robin
+  std::uint64_t seed = 1;   ///< workload content seed (chaos recipe)
+  bool commitment = true;   ///< run a CommitEngine per site
+  bool algebra = true;      ///< merge-law pass at quiescent states
+  bool withhold = false;    ///< enable vote-withholding step choices
+  std::size_t max_drops = 0;    ///< message-loss choice budget
+  std::size_t max_dups = 0;     ///< duplication choice budget
+  std::size_t max_crashes = 0;  ///< crash choice budget
+  std::size_t max_cuts = 0;     ///< partition choice budget
+  /// Seeded protocol defect active for the whole exploration
+  /// (core/mutation.hpp); kNone checks the shipped protocol.
+  ProtocolMutant mutant = ProtocolMutant::kNone;
+};
+
+/// See file comment.
+class McWorld {
+ public:
+  /// Builds the genesis state. `capture` (not owned, may be nullptr)
+  /// receives chaos-format kTrace/kAction/kGossipFrame/kCommitFrame
+  /// records as choices are applied — attached by the schedule runner;
+  /// explorer forks never capture (copies detach the sink).
+  explicit McWorld(const McConfig& config, CaptureSink* capture = nullptr);
+
+  /// Fork. The copy is fully independent and detached from any sink.
+  McWorld(const McWorld& other);
+  McWorld& operator=(const McWorld&) = delete;
+
+  [[nodiscard]] const McConfig& config() const { return config_; }
+  [[nodiscard]] std::size_t sites() const { return names_.size(); }
+  [[nodiscard]] const std::vector<GossipNode>& nodes() const {
+    return nodes_;
+  }
+  [[nodiscard]] const std::vector<CommitEngine>& engines() const {
+    return engines_;
+  }
+  [[nodiscard]] SimNet& net() { return net_; }
+
+  /// Every choice currently applicable, in canonical order (steps by
+  /// site/peer, then per-message choices by link/index, then faults).
+  /// `apply` accepts exactly these.
+  [[nodiscard]] std::vector<Choice> enabled();
+
+  /// Applies one transition. Returns false — world untouched (up to a
+  /// cheap probe) — when the choice is not currently enabled; the
+  /// minimizer uses that to discard infeasible shrunken traces.
+  bool apply(const Choice& choice);
+
+  /// Protocol-semantic state hash; see file comment for what it covers.
+  [[nodiscard]] std::uint64_t digest() const;
+
+  /// No messages in flight and every site up — the states where the
+  /// algebraic merge laws are asserted.
+  [[nodiscard]] bool quiescent() const;
+
+  /// Runs the merge-law pass on copies (the world is not disturbed):
+  /// idempotence — a drained node receiving its own frame must not move;
+  /// commutativity — two same-state nodes merging each other's frames
+  /// must compute bit-identical committed states. Violations are recorded
+  /// and also returned.
+  std::optional<Violation> check_algebra();
+
+  /// All violations found so far (invariants, commitment, algebra).
+  [[nodiscard]] std::vector<Violation> violations() const;
+  [[nodiscard]] bool violated() const;
+
+  /// Full convergence, chaos-style: workload drained, everything shared,
+  /// and (with commitment) every committed action irrevocable everywhere.
+  [[nodiscard]] bool settled() const;
+
+  [[nodiscard]] std::uint32_t trace_crc() const { return net_.trace_crc(); }
+  [[nodiscard]] std::size_t actions_remaining() const;
+
+ private:
+  [[nodiscard]] std::optional<std::uint64_t> find_message(
+      const Choice& choice) const;
+  void capture_frame(CaptureRecordKind kind, std::size_t from,
+                     std::size_t to, const std::string& payload);
+  void observe(std::size_t site);
+  bool apply_step(const Choice& choice);
+  bool apply_message_choice(const Choice& choice);
+  bool apply_control(const Choice& choice);
+
+  McConfig config_;
+  SimNet net_;
+  std::vector<std::string> names_;
+  std::vector<GossipNode> nodes_;
+  std::vector<CommitEngine> engines_;  ///< empty without commitment
+  InvariantChecker checker_;
+  CommitInvariantChecker commit_checker_;
+  std::vector<Violation> algebra_violations_;
+  std::vector<std::size_t> remaining_;     ///< workload quota per site
+  std::vector<std::uint64_t> workload_seq_;
+  std::size_t drops_used_ = 0;
+  std::size_t dups_used_ = 0;
+  std::size_t crashes_used_ = 0;
+  std::size_t cuts_used_ = 0;
+  CaptureSink* capture_ = nullptr;  ///< not owned; dropped on fork
+};
+
+/// The deterministic workload: site `site`'s `seq`-th action under `seed`
+/// — byte-identical to the chaos harness recipe, so mc findings transfer.
+[[nodiscard]] ActionPtr mc_workload_action(std::uint64_t seed,
+                                           std::size_t site,
+                                           std::uint64_t seq);
+
+}  // namespace icecube::mc

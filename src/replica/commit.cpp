@@ -1,9 +1,11 @@
 #include "replica/commit.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <unordered_set>
 #include <utility>
 
+#include "core/mutation.hpp"
 #include "serialize/log_codec.hpp"
 
 namespace icecube {
@@ -14,6 +16,21 @@ CommitEngine::CommitEngine(GossipNode& node, std::size_t members,
       members_(members < 1 ? 1 : members),
       options_(options),
       actions_(ActionRegistry::with_builtins()) {}
+
+CommitEngine::CommitEngine(const CommitEngine& other, GossipNode& node)
+    : node_(node),
+      members_(other.members_),
+      options_(other.options_),
+      actions_(other.actions_),
+      proposals_(other.proposals_),
+      votes_(other.votes_),
+      decided_(other.decided_),
+      stable_uids_(other.stable_uids_),
+      stats_(other.stats_),
+      cached_frame_(other.cached_frame_),
+      cache_dirty_(other.cache_dirty_) {
+  assert(node_.name() == other.node_.name());
+}
 
 CommitEngine::Tally CommitEngine::tally(std::uint64_t election,
                                         std::uint32_t runoff) const {
@@ -33,12 +50,18 @@ CommitEngine::Tally CommitEngine::tally(std::uint64_t election,
 }
 
 std::string CommitEngine::winner(const Tally& t) const {
+  // Seeded defect (test-only, see core/mutation.hpp): treat unheard voters
+  // as abstentions. Partial tallies then decide elections the missing
+  // votes could overturn — the off-by-one the strict bounds below prevent.
+  const std::size_t unheard =
+      mutant_enabled(ProtocolMutant::kPluralityIgnoreUnheard) ? 0
+                                                              : t.unheard;
   for (const auto& [id, count] : t.counts) {
-    if (count <= t.unheard) continue;
+    if (count <= unheard) continue;
     bool dominates = true;
     for (const auto& [other, other_count] : t.counts) {
       if (other == id) continue;
-      if (count <= other_count + t.unheard) {
+      if (count <= other_count + unheard) {
         dominates = false;
         break;
       }

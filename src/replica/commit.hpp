@@ -145,6 +145,12 @@ class CommitEngine {
   CommitEngine(GossipNode& node, std::size_t members,
                CommitOptions options = {});
 
+  /// Copy-with-rebind: duplicates `other`'s entire state (knowledge,
+  /// decisions, stats, frame cache) but drives `node` — the forked copy of
+  /// `other`'s node in a model-checker world clone (src/mc/world.hpp).
+  /// `node` must carry the same site name as `other`'s node.
+  CommitEngine(const CommitEngine& other, GossipNode& node);
+
   [[nodiscard]] const std::string& site() const { return node_.name(); }
   [[nodiscard]] const GossipNode& node() const { return node_; }
   [[nodiscard]] std::size_t members() const { return members_; }

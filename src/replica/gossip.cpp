@@ -4,6 +4,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "core/mutation.hpp"
 #include "core/reconciler.hpp"
 
 namespace icecube {
@@ -225,7 +226,10 @@ GossipReceipt GossipNode::receive(const std::string& message) {
   // prefix the commitment protocol decided, but never rewrite it. Refusing
   // here (rather than quarantining the sender as damaged) keeps the node
   // talking: the reply carries this node's dominating decided lineage.
-  if (stable_ > 0) {
+  // (kStablePrefixRewrite seeds the historical defect of skipping this
+  // guard: dominance then rewrites decided prefixes; see core/mutation.hpp.)
+  if (stable_ > 0 &&
+      !mutant_enabled(ProtocolMutant::kStablePrefixRewrite)) {
     bool preserves = frame.history_uids.size() >= stable_;
     for (std::size_t i = 0; preserves && i < stable_; ++i) {
       preserves = frame.history_uids[i] == history_uids_[i];
@@ -262,10 +266,14 @@ GossipReceipt GossipNode::receive(const std::string& message) {
                                                frame.history_uids.end());
   std::vector<ActionPtr> new_pending;
   std::vector<std::string> new_pending_uids;
-  for (std::size_t i = 0; i < history_.size(); ++i) {
-    if (adopted_uids.contains(history_uids_[i])) continue;
-    new_pending.push_back(history_[i]);
-    new_pending_uids.push_back(history_uids_[i]);
+  // (kTransferDropDemoted re-introduces the defect this loop fixes: the
+  // dominated side's unique committed work silently vanishes.)
+  if (!mutant_enabled(ProtocolMutant::kTransferDropDemoted)) {
+    for (std::size_t i = 0; i < history_.size(); ++i) {
+      if (adopted_uids.contains(history_uids_[i])) continue;
+      new_pending.push_back(history_[i]);
+      new_pending_uids.push_back(history_uids_[i]);
+    }
   }
   receipt.demoted = new_pending.size();
   for (std::size_t i = 0; i < pending_.size(); ++i) {
@@ -316,11 +324,14 @@ bool GossipNode::rebase(const std::vector<ActionPtr>& actions,
   std::vector<ActionPtr> new_pending;
   std::vector<std::string> new_pending_uids;
   std::size_t demoted = 0;
-  for (std::size_t i = 0; i < history_.size(); ++i) {
-    if (decided.contains(history_uids_[i])) continue;
-    new_pending.push_back(history_[i]);
-    new_pending_uids.push_back(history_uids_[i]);
-    ++demoted;
+  // (kRebaseDropDemoted drops the divergent committed work instead.)
+  if (!mutant_enabled(ProtocolMutant::kRebaseDropDemoted)) {
+    for (std::size_t i = 0; i < history_.size(); ++i) {
+      if (decided.contains(history_uids_[i])) continue;
+      new_pending.push_back(history_[i]);
+      new_pending_uids.push_back(history_uids_[i]);
+      ++demoted;
+    }
   }
   for (std::size_t i = 0; i < pending_.size(); ++i) {
     if (decided.contains(pending_uids_[i])) continue;
@@ -347,7 +358,11 @@ void GossipNode::adopt_merge(Universe merged, std::vector<ActionPtr> schedule,
                              std::vector<std::string> schedule_uids,
                              std::uint64_t sender_epoch) {
   committed_ = std::move(merged);
-  epoch_ = std::max(epoch_, sender_epoch) + 1;
+  // The +1 is what makes a merged state dominate both inputs.
+  // (kMergeEpochNoBump forgets it: the merge then ties its inputs' epoch
+  // and fingerprint order arbitrates — commit-order catches the fallout.)
+  epoch_ = std::max(epoch_, sender_epoch) +
+           (mutant_enabled(ProtocolMutant::kMergeEpochNoBump) ? 0 : 1);
 
   std::unordered_set<std::string> committed_uids(schedule_uids.begin(),
                                                  schedule_uids.end());

@@ -1,5 +1,6 @@
 #include "simnet/simnet.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -173,6 +174,114 @@ std::optional<SimEvent> SimNet::step() {
     }
   }
   return std::nullopt;
+}
+
+std::optional<SimNet::Event> SimNet::extract_delivery(std::uint64_t seq) {
+  std::vector<Event> rest;
+  rest.reserve(queue_.size());
+  std::optional<Event> found;
+  while (!queue_.empty()) {
+    Event event = queue_.top();
+    queue_.pop();
+    if (!found && event.kind == EventKind::kDeliver && event.seq == seq) {
+      found = std::move(event);
+    } else {
+      rest.push_back(std::move(event));
+    }
+  }
+  // Re-queue directly (not via push()) so survivors keep their seq.
+  for (Event& event : rest) queue_.push(std::move(event));
+  return found;
+}
+
+std::vector<PendingDelivery> SimNet::pending_deliveries() const {
+  auto copy = queue_;
+  std::vector<PendingDelivery> out;
+  while (!copy.empty()) {
+    const Event& event = copy.top();
+    if (event.kind == EventKind::kDeliver) {
+      out.push_back({event.seq, event.time, event.peer, event.site,
+                     event.payload, event.id});
+    }
+    copy.pop();
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PendingDelivery& a, const PendingDelivery& b) {
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+std::optional<SimEvent> SimNet::take_delivery(std::uint64_t seq) {
+  std::optional<Event> event = extract_delivery(seq);
+  if (!event) return std::nullopt;
+  if (event->time > now_) now_ = event->time;
+  const std::string pid =
+      event->peer + ">" + event->site + "#" + std::to_string(event->id);
+  if (!is_up(event->site)) {
+    ++counters_.dropped_down;
+    note("t" + std::to_string(now_) + " down-drop " + pid);
+    return std::nullopt;
+  }
+  if (!link_open(event->peer, event->site)) {
+    ++counters_.dropped_partition;
+    note("t" + std::to_string(now_) + " cut-drop " + pid);
+    return std::nullopt;
+  }
+  ++counters_.delivered;
+  note("t" + std::to_string(now_) + " deliver " + pid);
+  return SimEvent{SimEvent::Kind::kDeliver, now_, event->site, event->peer,
+                  std::move(event->payload), event->id};
+}
+
+bool SimNet::drop_delivery(std::uint64_t seq) {
+  std::optional<Event> event = extract_delivery(seq);
+  if (!event) return false;
+  ++counters_.lost;
+  note("t" + std::to_string(now_) + " mc-drop " + event->peer + ">" +
+       event->site + "#" + std::to_string(event->id));
+  return true;
+}
+
+std::optional<std::uint64_t> SimNet::duplicate_delivery(std::uint64_t seq) {
+  std::optional<Event> event = extract_delivery(seq);
+  if (!event) return std::nullopt;
+  Event copy = *event;
+  queue_.push(std::move(*event));  // the original keeps its handle
+  ++counters_.duplicated;
+  note("t" + std::to_string(now_) + " mc-dup " + copy.peer + ">" + copy.site +
+       "#" + std::to_string(copy.id));
+  const std::uint64_t new_seq = next_seq_;
+  push(std::move(copy));
+  return new_seq;
+}
+
+void SimNet::force_crash(const std::string& site) {
+  assert(has_site(site));
+  if (!is_up(site)) return;
+  up_[site] = false;
+  note("t" + std::to_string(now_) + " crash " + site);
+}
+
+void SimNet::force_restart(const std::string& site) {
+  assert(has_site(site));
+  if (is_up(site)) return;
+  up_[site] = true;
+  note("t" + std::to_string(now_) + " restart " + site);
+}
+
+void SimNet::force_cut(const std::string& a, const std::string& b) {
+  assert(has_site(a) && has_site(b));
+  const std::string key = link_key(a, b);
+  if (!cut_links_.insert(key).second) return;
+  note("t" + std::to_string(now_) + " cut " + key);
+}
+
+void SimNet::force_heal(const std::string& a, const std::string& b) {
+  assert(has_site(a) && has_site(b));
+  const std::string key = link_key(a, b);
+  if (cut_links_.erase(key) == 0) return;
+  note("t" + std::to_string(now_) + " heal " + key);
 }
 
 }  // namespace icecube

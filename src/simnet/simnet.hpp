@@ -53,6 +53,20 @@ struct SimEvent {
   std::uint64_t id = 0; ///< message id (kDeliver only)
 };
 
+/// One undelivered message, as exposed to the model checker
+/// (src/mc/world.hpp). `seq` is the queue's internal tie-break sequence —
+/// unique per pending event and stable until the event is consumed, so it
+/// doubles as a take/drop/duplicate handle. Enumeration order (ascending
+/// seq) is the per-link FIFO send order.
+struct PendingDelivery {
+  std::uint64_t seq = 0;
+  std::size_t time = 0;  ///< earliest delivery time
+  std::string from;
+  std::string to;
+  std::string payload;
+  std::uint64_t id = 0;  ///< message id (shared by fault duplicates)
+};
+
 /// Delivery accounting, for reports and assertions.
 struct SimCounters {
   std::size_t sent = 0;
@@ -118,6 +132,42 @@ class SimNet {
   /// and advancing the clock. Returns nullopt when the queue is empty.
   [[nodiscard]] std::optional<SimEvent> step();
 
+  // --- choice-point seam (model checking; see src/mc/) -------------------
+  //
+  // The seeded runner above consumes events in (time, seq) order; the
+  // model checker instead enumerates the *frontier* — every undelivered
+  // message — and consumes a chosen one, exploring all delivery orders.
+  // SimNet is a plain value type (every member copies), so a checker forks
+  // a world by copying it; these methods are the only extra surface the
+  // fork/restore path needs.
+
+  /// Every pending kDeliver event, ascending seq (per-link FIFO order).
+  [[nodiscard]] std::vector<PendingDelivery> pending_deliveries() const;
+
+  /// Consumes the pending delivery with handle `seq`, advancing the clock
+  /// to its delivery time. Applies the same delivery-time semantics as
+  /// `step`: a down destination or cut link drops the message (counted and
+  /// traced) and yields nullopt. Returns nullopt too when no pending
+  /// delivery carries `seq`.
+  [[nodiscard]] std::optional<SimEvent> take_delivery(std::uint64_t seq);
+
+  /// Removes the pending delivery `seq` (a checker-chosen message loss).
+  /// Returns false when no pending delivery carries `seq`.
+  bool drop_delivery(std::uint64_t seq);
+
+  /// Enqueues a copy of pending delivery `seq` (a checker-chosen
+  /// duplication); the copy keeps the message id, like a fault-plan
+  /// duplicate. Returns the copy's handle, or nullopt when `seq` is gone.
+  [[nodiscard]] std::optional<std::uint64_t> duplicate_delivery(
+      std::uint64_t seq);
+
+  /// Immediate control actions — the checker's crash/restart/cut/heal
+  /// transitions, applied at the current clock instead of scheduled.
+  void force_crash(const std::string& site);
+  void force_restart(const std::string& site);
+  void force_cut(const std::string& a, const std::string& b);
+  void force_heal(const std::string& a, const std::string& b);
+
   [[nodiscard]] const std::vector<std::string>& trace() const {
     return trace_;
   }
@@ -150,6 +200,9 @@ class SimNet {
   };
 
   void push(Event event);
+  /// Removes and returns the pending kDeliver event with tie-break `seq`;
+  /// all other events keep their positions (and sequence numbers).
+  [[nodiscard]] std::optional<Event> extract_delivery(std::uint64_t seq);
   void note(const std::string& line);
   [[nodiscard]] static std::string link_key(const std::string& a,
                                             const std::string& b);

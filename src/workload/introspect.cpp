@@ -1,0 +1,60 @@
+#include "workload/introspect.hpp"
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "workload/fages.hpp"
+
+namespace icecube::workload {
+
+namespace {
+
+// A pool small enough that sampled tasks collide on cells constantly
+// (collisions are where the relation's claims get tested) but large
+// enough to draw commuting pairs too.
+constexpr std::uint64_t kTokenCells = 4;  // ids 0..3, replenishable
+constexpr std::uint64_t kClaimCells = 2;  // ids 4..5, consumed only
+constexpr std::uint64_t kCells = kTokenCells + kClaimCells;
+
+}  // namespace
+
+AuditSubject fages_audit_subject() {
+  AuditSubject s;
+  s.name = "fages";
+  s.make_universe = [] {
+    Universe u;
+    for (std::uint64_t i = 0; i < kTokenCells; ++i) {
+      (void)u.add(std::make_unique<FagesCell>(ObjectId(i), 2));
+    }
+    for (std::uint64_t i = 0; i < kClaimCells; ++i) {
+      (void)u.add(std::make_unique<FagesCell>(ObjectId(kTokenCells + i), 1));
+    }
+    return u;
+  };
+  // Tasks consume up to two cells (tokens or claims) and produce up to two
+  // token cells; claim cells are never produced — a claim is a consumption
+  // nothing replenishes. At least one cell is always touched.
+  s.sample_action = [](const Universe&, Rng& rng) -> ActionPtr {
+    const auto uid = static_cast<std::int64_t>(rng.below(1u << 20));
+    std::vector<ObjectId> consumes;
+    std::vector<ObjectId> produces;
+    const std::uint64_t n_consume = rng.below(3);
+    for (std::uint64_t i = 0; i < n_consume; ++i) {
+      consumes.emplace_back(rng.below(kCells));
+    }
+    const std::uint64_t n_produce =
+        rng.below(consumes.empty() ? 2 : 3);  // never a no-op task
+    for (std::uint64_t i = 0; i < n_produce; ++i) {
+      produces.emplace_back(rng.below(kTokenCells));
+    }
+    if (consumes.empty() && produces.empty()) {
+      produces.emplace_back(rng.below(kTokenCells));
+    }
+    return std::make_shared<FagesTaskAction>(uid, std::move(consumes),
+                                             std::move(produces));
+  };
+  return s;
+}
+
+}  // namespace icecube::workload

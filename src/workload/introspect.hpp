@@ -1,0 +1,22 @@
+// Audit subject for the Fages reconciliation substrate (see
+// core/audit.hpp).
+//
+// The Fages cells (workload/fages.hpp) carry the only shipped `order`
+// method that encodes a *dynamic* race — cross-log consumers of the same
+// token cell are `maybe` because which claimer wins is the scheduler's
+// choice — so the relation auditor's honesty checks (does `safe` really
+// mean failure-free? does `maybe` really flip?) exercise a branch no
+// src/objects type reaches. The subject samples small consume/produce
+// tasks over a fixed pool of token and claim cells, deterministically in
+// the rng draw.
+#pragma once
+
+#include "core/audit.hpp"
+
+namespace icecube::workload {
+
+/// Subject exercising a pool of token + claim cells under sampled
+/// FagesTaskActions.
+[[nodiscard]] AuditSubject fages_audit_subject();
+
+}  // namespace icecube::workload

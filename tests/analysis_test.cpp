@@ -335,7 +335,7 @@ TEST(ShippedTypes, SubjectRosterIsComplete) {
   for (const auto& s : subjects) names.push_back(s.name);
   for (const char* expected :
        {"counter", "rw_register", "calendar", "line_file", "file_system",
-        "text", "sysadmin", "jigsaw_semantic"}) {
+        "text", "sysadmin", "jigsaw_semantic", "fages"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << "missing audit subject: " << expected;
   }

@@ -302,7 +302,8 @@ int main(int argc, char** argv) {
       if (i + count >= argc) {
         std::fprintf(stderr, "%s needs %d argument(s)\n", arg.c_str(),
                      count);
-        std::exit(2);
+        // Single-threaded CLI: exiting from the arg parser is safe.
+        std::exit(2);  // NOLINT(concurrency-mt-unsafe)
       }
     };
     bool ok = true;

@@ -36,6 +36,7 @@ run bench_commit
 run bench_capture
 run bench_stream
 run bench_analysis
+run bench_mc
 
 # The soundness auditor's full report rides along with the bench artifacts:
 # ANALYSIS_REPORT.json is the machine-readable record of every finding the

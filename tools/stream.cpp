@@ -174,7 +174,8 @@ int main(int argc, char** argv) {
     const auto need = [&](const char* what) -> const char* {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "%s needs %s\n", argv[i], what);
-        std::exit(2);
+        // Single-threaded CLI: exiting from the arg parser is safe.
+        std::exit(2);  // NOLINT(concurrency-mt-unsafe)
       }
       return argv[++i];
     };
